@@ -1,0 +1,67 @@
+// Shared helpers for the figure-reproduction benches: workload sizing,
+// timed execution, and the three optimizer configurations compared in the
+// evaluation (base / opt2 / saturation).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/optimizer/heuristic_optimizer.h"
+#include "src/optimizer/spores_optimizer.h"
+#include "src/util/timer.h"
+#include "src/workloads/generators.h"
+#include "src/workloads/programs.h"
+
+namespace spores::bench {
+
+/// One scale point for a workload. Sizes are scaled down from the paper's
+/// cluster runs so every plan fits a laptop; the dense-vs-sparse asymmetries
+/// (what the optimizations exploit) are preserved. See EXPERIMENTS.md.
+struct ScalePoint {
+  std::string label;
+  int64_t rows;
+  int64_t cols;
+  int64_t rank;
+  double sparsity;
+};
+
+inline std::vector<ScalePoint> ScalesFor(const std::string& program) {
+  if (program == "GLM" || program == "SVM" || program == "MLR") {
+    return {{"10Kx200", 10000, 200, 0, 0.01},
+            {"40Kx200", 40000, 200, 0, 0.01},
+            {"160Kx200", 160000, 200, 0, 0.01}};
+  }
+  // Factorization workloads (ALS, PNMF, INTRO).
+  return {{"1Kx0.5K", 1000, 500, 10, 0.01},
+          {"2Kx1K", 2000, 1000, 10, 0.01},
+          {"4Kx2K", 4000, 2000, 10, 0.01}};
+}
+
+inline WorkloadData DataFor(const std::string& program, const ScalePoint& s,
+                            uint64_t seed = 17) {
+  if (program == "GLM" || program == "SVM" || program == "MLR") {
+    return MakeRegressionData(s.rows, s.cols, s.sparsity, seed);
+  }
+  return MakeFactorizationData(s.rows, s.cols, s.rank, s.sparsity, seed);
+}
+
+/// Executes `expr` `reps` times, returning min seconds (warm caches).
+inline double TimeExecution(const ExprPtr& expr, const Bindings& inputs,
+                            int reps = 3) {
+  double best = 1e99;
+  for (int i = 0; i < reps; ++i) {
+    Timer t;
+    auto r = Execute(expr, inputs);
+    double sec = t.Seconds();
+    if (!r.ok()) {
+      std::fprintf(stderr, "execution failed: %s\n",
+                   r.status().ToString().c_str());
+      return -1;
+    }
+    if (sec < best) best = sec;
+  }
+  return best;
+}
+
+}  // namespace spores::bench

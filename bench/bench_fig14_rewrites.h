@@ -1,0 +1,89 @@
+// Shared table of SystemML sum-product rewrite patterns for the Fig 14
+// reproduction: (method name, LHS, RHS) triples expressible in this repo's
+// operator vocabulary, grouped by the paper's method families.
+#pragma once
+
+#include <vector>
+
+namespace spores {
+
+struct RewriteEntry {
+  const char* method;  ///< Fig 14 method family
+  const char* lhs;
+  const char* rhs;
+};
+
+// Variables used by the entries (shapes registered by the harness):
+//   X, Y     16x12 matrices (X sparse)     Z  16x12 all-zero matrix
+//   A 16x8, B 8x12 (so A%*%B is 16x12)     C 8x16, D 12x8 (t-chain shapes)
+//   u 16x1, v 12x1 column vectors          r 1x12 row vector
+//   lam      1x1 scalar                    one 1x1 scalar valued 1
+inline std::vector<RewriteEntry> Fig14Entries() {
+  return {
+      // RowwiseAgg / ColwiseAgg
+      {"RowwiseAgg", "rowSums(r)", "sum(r)"},
+      {"ColwiseAgg", "colSums(u)", "sum(u)"},
+      {"RowwiseAgg", "rowSums(u)", "u"},
+      {"ColwiseAgg", "colSums(r)", "r"},
+      // ColSumsMVMult / RowSumsMVMult
+      {"ColSumsMVMult", "colSums(X * u)", "t(u) %*% X"},
+      {"RowSumsMVMult", "rowSums(X * r)", "X %*% t(r)"},
+      // UnnecessaryAggregate
+      {"UnnecessaryAggregate", "sum(lam)", "lam"},
+      // EmptyAgg / EmptyMMult / EmptyBinaryOperation
+      {"EmptyAgg", "sum(Z)", "0"},
+      {"EmptyMMult", "sum(A %*% (B * 0))", "0"},
+      {"EmptyBinaryOperation", "X * Z", "Z"},
+      // ScalarMatrixMult / IdentityRepMatrixMult
+      {"ScalarMatrixMult", "u %*% lam", "u * lam"},
+      {"IdentityRepMatrixMult", "u %*% one", "u"},
+      // pushdownSumOnAdd
+      {"pushdownSumOnAdd", "sum(X + Y)", "sum(X) + sum(Y)"},
+      // DotProductSum
+      {"DotProductSum", "sum(u ^ 2)", "t(u) %*% u"},
+      {"DotProductSum", "sum(u * u)", "t(u) %*% u"},
+      // reorderMinusMatrixMult
+      {"reorderMinusMatrixMult", "(-t(X)) %*% u", "-(t(X) %*% u)"},
+      // SumMatrixMult
+      {"SumMatrixMult", "sum(A %*% B)", "sum(t(colSums(A)) * rowSums(B))"},
+      {"SumMatrixMult", "sum(X %*% v)", "sum(colSums(X) %*% v)"},
+      // UnnecessaryBinaryOperation
+      {"UnnecessaryBinaryOperation", "X * 1", "X"},
+      {"UnnecessaryBinaryOperation", "1 * X", "X"},
+      {"UnnecessaryBinaryOperation", "X + 0", "X"},
+      {"UnnecessaryBinaryOperation", "X - 0", "X"},
+      // BinaryToUnaryOperation
+      {"BinaryToUnaryOperation", "X * X", "X ^ 2"},
+      {"BinaryToUnaryOperation", "X + X", "2 * X"},
+      // MatrixMultScalarAdd
+      {"MatrixMultScalarAdd", "lam + A %*% B", "A %*% B + lam"},
+      // DistributiveBinaryOperation
+      {"DistributiveBinaryOperation", "X - Y * X", "(1 - Y) * X"},
+      {"DistributiveBinaryOperation", "X * Y + X * X", "X * (Y + X)"},
+      // BushyBinaryOperation
+      {"BushyBinaryOperation", "X * (Y * (X %*% v) %*% r)",
+       "(X * Y) * ((X %*% v) %*% r)"},
+      // UnaryAggReorgOperation
+      {"UnaryAggReorgOperation", "sum(t(X))", "sum(X)"},
+      // UnnecessaryAggregates
+      {"UnnecessaryAggregates", "sum(rowSums(X))", "sum(X)"},
+      {"UnnecessaryAggregates", "sum(colSums(X))", "sum(X)"},
+      // BinaryMatrixScalarOperation
+      {"BinaryMatrixScalarOperation", "sum(lam * X)", "lam * sum(X)"},
+      // pushdownUnaryAggTransposeOp
+      {"pushdownUnaryAggTransposeOp", "colSums(t(X))", "t(rowSums(X))"},
+      {"pushdownUnaryAggTransposeOp", "rowSums(t(X))", "t(colSums(X))"},
+      // pushdownSumBinaryMult
+      {"pushdownSumBinaryMult", "sum(lam * X)", "lam * sum(X)"},
+      // UnnecessaryReorgOperation
+      {"UnnecessaryReorgOperation", "t(t(X))", "X"},
+      // TransposeAggBinBinaryChains
+      {"TransposeAggBinBinaryChains", "t(t(C) %*% t(D))", "D %*% C"},
+      {"TransposeAggBinBinaryChains", "t(t(C) %*% t(D) + Y)",
+       "D %*% C + t(Y)"},
+      // UnnecessaryMinus
+      {"UnnecessaryMinus", "-(-X)", "X"},
+  };
+}
+
+}  // namespace spores

@@ -1,0 +1,54 @@
+// Experiment E2 (Fig 15): run time of the five algorithms' inner-loop
+// expressions under three optimizers and three input scales:
+//   base       — SystemML opt level 1 (no advanced rewrites)
+//   opt2       — SystemML opt level 2 (heuristic rewrites + fusion)
+//   saturation — SPORES (equality saturation + ILP extraction)
+// The expected shape (paper): saturation >= opt2 >= base everywhere;
+// ALS / MLR / PNMF show saturation strictly ahead of opt2.
+#include "bench/bench_common.h"
+
+#include "src/ir/printer.h"
+
+int main() {
+  using namespace spores;
+  using namespace spores::bench;
+
+  std::printf("Figure 15 reproduction: run time [sec] per optimizer.\n");
+  std::printf("(sizes scaled down from the paper's cluster; see "
+              "EXPERIMENTS.md)\n\n");
+  std::printf("%-6s %-10s %10s %10s %10s   %s\n", "prog", "size", "base",
+              "opt2", "saturation", "speedup(sat vs opt2)");
+  std::printf("%.78s\n", std::string(78, '-').c_str());
+
+  for (const Program& prog : AllPrograms()) {
+    for (const ScalePoint& scale : ScalesFor(prog.name)) {
+      WorkloadData data = DataFor(prog.name, scale);
+
+      HeuristicOptimizer base(OptLevel::kBase);
+      HeuristicOptimizer opt2(OptLevel::kOpt2);
+      SporesOptimizer saturation;
+
+      ExprPtr plan_base = base.Optimize(prog.expr, data.catalog);
+      ExprPtr plan_opt2 = opt2.Optimize(prog.expr, data.catalog);
+      ExprPtr plan_sat = saturation.Optimize(prog.expr, data.catalog);
+
+      double t_base = TimeExecution(plan_base, data.inputs);
+      double t_opt2 = TimeExecution(plan_opt2, data.inputs);
+      double t_sat = TimeExecution(plan_sat, data.inputs);
+
+      std::printf("%-6s %-10s %10.4f %10.4f %10.4f   %.2fx\n",
+                  prog.name.c_str(), scale.label.c_str(), t_base, t_opt2,
+                  t_sat, t_opt2 / t_sat);
+    }
+  }
+  std::printf("\nPlans chosen at the largest scale:\n");
+  for (const Program& prog : AllPrograms()) {
+    ScalePoint scale = ScalesFor(prog.name).back();
+    WorkloadData data = DataFor(prog.name, scale);
+    SporesOptimizer saturation;
+    ExprPtr plan = saturation.Optimize(prog.expr, data.catalog);
+    std::printf("  %-6s %s\n     ->  %s\n", prog.name.c_str(),
+                ToString(prog.expr).c_str(), ToString(plan).c_str());
+  }
+  return 0;
+}

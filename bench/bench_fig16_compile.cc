@@ -1,0 +1,76 @@
+// Experiment E3 (Fig 16): compile-time breakdown
+// (translate / saturate / extract) for the strategies the paper compares:
+//   DFS + greedy        — depth-first saturation (times out on GLM/SVM-like
+//                         deeply nested programs)
+//   sampling + greedy   — the paper's fast configuration
+//   sampling + ILP      — the paper's optimal configuration (ILP dominates)
+// plus the heuristic optimizer's total time as the SystemML-like baseline.
+#include "bench/bench_common.h"
+
+namespace {
+
+struct Config {
+  const char* name;
+  spores::SaturationStrategy strategy;
+  spores::ExtractionStrategy extraction;
+};
+
+}  // namespace
+
+int main() {
+  using namespace spores;
+  using namespace spores::bench;
+
+  const Config configs[] = {
+      {"DFS+greedy", SaturationStrategy::kDepthFirst,
+       ExtractionStrategy::kGreedy},
+      {"sampling+greedy", SaturationStrategy::kSampling,
+       ExtractionStrategy::kGreedy},
+      {"sampling+ILP", SaturationStrategy::kSampling,
+       ExtractionStrategy::kIlp},
+  };
+
+  std::printf("Figure 16 reproduction: compile time breakdown [sec].\n");
+  std::printf("Saturation budget 2.5s (the paper's timeout).\n\n");
+  std::printf("%-17s %-6s %10s %10s %10s %10s  %s\n", "config", "prog",
+              "translate", "saturate", "extract", "total", "note");
+  std::printf("%.92s\n", std::string(92, '-').c_str());
+
+  for (const Config& config : configs) {
+    for (const Program& prog : AllPrograms()) {
+      ScalePoint scale = ScalesFor(prog.name)[0];
+      WorkloadData data = DataFor(prog.name, scale);
+      SporesConfig cfg;
+      cfg.runner.strategy = config.strategy;
+      cfg.runner.timeout_seconds = 2.5;
+      cfg.extraction = config.extraction;
+      SporesOptimizer opt(cfg);
+      OptimizeReport report;
+      opt.Optimize(prog.expr, data.catalog, &report);
+      const char* note = "";
+      if (report.saturation.stop_reason == StopReason::kTimeout) {
+        note = "saturation TIMEOUT";
+      } else if (report.saturation.stop_reason == StopReason::kNodeLimit) {
+        note = "node limit";
+      } else if (report.saturation.stop_reason == StopReason::kSaturated) {
+        note = "converged";
+      }
+      std::printf("%-17s %-6s %10.4f %10.4f %10.4f %10.4f  %s\n", config.name,
+                  prog.name.c_str(), report.translate_seconds,
+                  report.saturate_seconds, report.extract_seconds,
+                  report.TotalSeconds(), note);
+    }
+  }
+
+  std::printf("\n%-17s %-6s %10s\n", "config", "prog", "total");
+  for (const Program& prog : AllPrograms()) {
+    ScalePoint scale = ScalesFor(prog.name)[0];
+    WorkloadData data = DataFor(prog.name, scale);
+    HeuristicOptimizer heur(OptLevel::kOpt2);
+    Timer t;
+    heur.Optimize(prog.expr, data.catalog);
+    std::printf("%-17s %-6s %10.4f\n", "heuristic(opt2)", prog.name.c_str(),
+                t.Seconds());
+  }
+  return 0;
+}

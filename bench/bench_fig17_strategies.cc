@@ -1,0 +1,61 @@
+// Experiment E4 (Fig 17): run-time impact of the saturation/extraction
+// strategies — S+ILP, S+greedy, D+greedy — against the heuristic optimizer.
+// The paper's finding: greedy extraction matches the ILP's plans on these
+// workloads (all the important optimizations win regardless of sharing), and
+// depth-first saturation hits the compile timeout on deeply nested programs
+// yet still executes whatever plan it extracted.
+#include "bench/bench_common.h"
+
+namespace {
+
+struct Config {
+  const char* name;
+  spores::SaturationStrategy strategy;
+  spores::ExtractionStrategy extraction;
+};
+
+}  // namespace
+
+int main() {
+  using namespace spores;
+  using namespace spores::bench;
+
+  const Config configs[] = {
+      {"S+ILP", SaturationStrategy::kSampling, ExtractionStrategy::kIlp},
+      {"S+greedy", SaturationStrategy::kSampling,
+       ExtractionStrategy::kGreedy},
+      {"D+greedy", SaturationStrategy::kDepthFirst,
+       ExtractionStrategy::kGreedy},
+  };
+
+  std::printf("Figure 17 reproduction: run time [sec] per strategy.\n\n");
+  std::printf("%-6s %-10s %12s %10s %10s %10s\n", "prog", "size",
+              "heuristic", "S+ILP", "S+greedy", "D+greedy");
+  std::printf("%.66s\n", std::string(66, '-').c_str());
+
+  for (const Program& prog : AllPrograms()) {
+    // Middle scale: large enough that plan choice dominates noise.
+    ScalePoint scale = ScalesFor(prog.name)[1];
+    WorkloadData data = DataFor(prog.name, scale);
+
+    HeuristicOptimizer heuristic(OptLevel::kOpt2);
+    double t_heur =
+        TimeExecution(heuristic.Optimize(prog.expr, data.catalog),
+                      data.inputs);
+
+    double times[3];
+    for (int c = 0; c < 3; ++c) {
+      SporesConfig cfg;
+      cfg.runner.strategy = configs[c].strategy;
+      cfg.runner.timeout_seconds = 2.5;
+      cfg.extraction = configs[c].extraction;
+      SporesOptimizer opt(cfg);
+      times[c] = TimeExecution(opt.Optimize(prog.expr, data.catalog),
+                               data.inputs);
+    }
+    std::printf("%-6s %-10s %12.4f %10.4f %10.4f %10.4f\n",
+                prog.name.c_str(), scale.label.c_str(), t_heur, times[0],
+                times[1], times[2]);
+  }
+  return 0;
+}

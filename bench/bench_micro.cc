@@ -1,0 +1,175 @@
+// Experiment E7: microbenchmarks (google-benchmark) for the hot paths —
+// e-graph add/merge/rebuild, e-matching, extraction, kernels, and the fused
+// operators' advantage over their unfused definitions.
+#include <benchmark/benchmark.h>
+
+#include "src/egraph/matcher.h"
+#include "src/egraph/runner.h"
+#include "src/extract/extractor.h"
+#include "src/ir/parser.h"
+#include "src/optimizer/spores_optimizer.h"
+#include "src/rules/rules_eq.h"
+#include "src/rules/rules_lr.h"
+#include "src/runtime/executor.h"
+#include "src/runtime/fused.h"
+#include "src/runtime/kernels.h"
+#include "src/workloads/generators.h"
+#include "src/workloads/programs.h"
+
+namespace spores {
+namespace {
+
+// ---- E-graph core ----
+
+void BM_EGraphAddExpr(benchmark::State& state) {
+  ExprPtr e = Expr::Var("x");
+  for (int i = 0; i < state.range(0); ++i) {
+    e = Expr::Plus(Expr::Mul(e, Expr::Var("y")), Expr::Var("z"));
+  }
+  for (auto _ : state) {
+    EGraph eg;
+    benchmark::DoNotOptimize(eg.AddExpr(e));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_EGraphAddExpr)->Range(4, 64)->Complexity();
+
+void BM_EGraphMergeRebuild(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    EGraph eg;
+    std::vector<ClassId> leaves;
+    for (int i = 0; i < state.range(0); ++i) {
+      leaves.push_back(eg.AddExpr(Expr::Var(("v" + std::to_string(i)).c_str())));
+      eg.AddExpr(Expr::Transpose(Expr::Var(("v" + std::to_string(i)).c_str())));
+    }
+    state.ResumeTiming();
+    for (size_t i = 1; i < leaves.size(); ++i) eg.Merge(leaves[0], leaves[i]);
+    eg.Rebuild();
+    benchmark::DoNotOptimize(eg.NumClasses());
+  }
+}
+BENCHMARK(BM_EGraphMergeRebuild)->Range(8, 128);
+
+void BM_EMatch(benchmark::State& state) {
+  EGraph eg;
+  ExprPtr e = Expr::Var("x");
+  for (int i = 0; i < 32; ++i) {
+    e = Expr::Mul(e, Expr::Var(("w" + std::to_string(i % 4)).c_str()));
+  }
+  eg.AddExpr(e);
+  eg.Rebuild();
+  PatternPtr p = Pattern::N(
+      Op::kElemMul, {Pattern::N(Op::kElemMul,
+                                {Pattern::V("?a"), Pattern::V("?b")}),
+                     Pattern::V("?c")});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatchAll(eg, *p).size());
+  }
+}
+BENCHMARK(BM_EMatch);
+
+// ---- Full optimizer passes ----
+
+void BM_SaturateAls(benchmark::State& state) {
+  WorkloadData data = MakeFactorizationData(200, 150, 6, 0.02, 3);
+  for (auto _ : state) {
+    SporesOptimizer opt;
+    OptimizeReport report;
+    benchmark::DoNotOptimize(
+        opt.Optimize(AlsProgram().expr, data.catalog, &report));
+  }
+}
+BENCHMARK(BM_SaturateAls)->Unit(benchmark::kMillisecond);
+
+void BM_GreedyVsIlpExtraction(benchmark::State& state) {
+  WorkloadData data = MakeFactorizationData(200, 150, 6, 0.02, 3);
+  auto dims = std::make_shared<DimEnv>();
+  auto program = TranslateLaToRa(AlsProgram().expr, data.catalog, dims);
+  RaContext ctx{&data.catalog, dims};
+  EGraph eg(std::make_unique<RaAnalysis>(ctx));
+  ClassId root = eg.AddExpr(program.value().ra);
+  eg.Rebuild();
+  Runner runner(&eg, RaEqualityRules(ctx));
+  runner.Run();
+  root = eg.Find(root);
+  CostModel cost(ctx);
+  bool use_ilp = state.range(0) != 0;
+  for (auto _ : state) {
+    if (use_ilp) {
+      benchmark::DoNotOptimize(IlpExtract(eg, root, cost));
+    } else {
+      benchmark::DoNotOptimize(GreedyExtract(eg, root, cost));
+    }
+  }
+}
+BENCHMARK(BM_GreedyVsIlpExtraction)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMicrosecond);
+
+// ---- Kernels ----
+
+void BM_SpMV(benchmark::State& state) {
+  Rng rng(1);
+  int64_t n = state.range(0);
+  Matrix x = Matrix::RandomSparse(n, n, 0.01, rng);
+  Matrix v = Matrix::RandomDense(n, 1, rng);
+  for (auto _ : state) benchmark::DoNotOptimize(MatMul(x, v));
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_SpMV)->Range(256, 4096)->Complexity();
+
+void BM_DenseMM(benchmark::State& state) {
+  Rng rng(2);
+  int64_t n = state.range(0);
+  Matrix a = Matrix::RandomDense(n, n, rng);
+  Matrix b = Matrix::RandomDense(n, n, rng);
+  for (auto _ : state) benchmark::DoNotOptimize(MatMul(a, b));
+}
+BENCHMARK(BM_DenseMM)->Range(64, 256)->Unit(benchmark::kMillisecond);
+
+void BM_WsLossFusedVsNaive(benchmark::State& state) {
+  Rng rng(3);
+  int64_t n = 1200, m = 800, k = 10;
+  Matrix x = Matrix::RandomSparse(n, m, 0.01, rng);
+  Matrix u = Matrix::RandomDense(n, k, rng);
+  Matrix v = Matrix::RandomDense(m, k, rng);
+  bool fused = state.range(0) != 0;
+  for (auto _ : state) {
+    if (fused) {
+      benchmark::DoNotOptimize(WsLoss(x, u, v));
+    } else {
+      Matrix residual = Sub(x.ToDense(), MatMul(u, Transpose(v)));
+      benchmark::DoNotOptimize(SumAll(Mul(residual, residual)));
+    }
+  }
+}
+BENCHMARK(BM_WsLossFusedVsNaive)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MMChainDpVsLeftFold(benchmark::State& state) {
+  Rng rng(4);
+  std::vector<Matrix> chain = {Matrix::RandomDense(2000, 10, rng),
+                               Matrix::RandomDense(10, 1500, rng),
+                               Matrix::RandomDense(1500, 1, rng)};
+  bool dp = state.range(0) != 0;
+  for (auto _ : state) {
+    if (dp) {
+      benchmark::DoNotOptimize(MMChain(chain));
+    } else {
+      benchmark::DoNotOptimize(MatMul(MatMul(chain[0], chain[1]), chain[2]));
+    }
+  }
+}
+BENCHMARK(BM_MMChainDpVsLeftFold)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace spores
+
+BENCHMARK_MAIN();

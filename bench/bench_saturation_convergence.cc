@@ -1,0 +1,75 @@
+// Experiment E6 (Sec 4.3): sampling vs depth-first saturation on
+// increasingly deep nests of * and +. The paper's observation: depth-first
+// explodes the e-graph under the expansive AC rules and times out, while
+// sampling keeps every rule considered equally often and still converges on
+// the workloads where convergence is possible.
+#include <cstdio>
+#include <string>
+
+#include "src/egraph/runner.h"
+#include "src/rules/rules_eq.h"
+#include "src/rules/rules_lr.h"
+
+namespace {
+
+// ((...(v1 * v2) * ... + vK) alternating * and + to depth `depth`.
+spores::ExprPtr DeepNest(int depth) {
+  using namespace spores;
+  ExprPtr e = Expr::Var("m0");
+  for (int i = 1; i <= depth; ++i) {
+    ExprPtr v = Expr::Var(("m" + std::to_string(i)).c_str());
+    e = (i % 2 == 0) ? Expr::Mul(e, v) : Expr::Plus(e, v);
+  }
+  return e;
+}
+
+}  // namespace
+
+int main() {
+  using namespace spores;
+
+  std::printf("Saturation strategy comparison on deep */+ nests "
+              "(Sec 4.3).\n\n");
+  std::printf("%-11s %5s  %-12s %8s %8s %8s %9s\n", "strategy", "depth",
+              "stop", "iters", "nodes", "classes", "time[s]");
+  std::printf("%.70s\n", std::string(70, '-').c_str());
+
+  for (int depth : {4, 6, 8, 10, 12}) {
+    Catalog catalog;
+    for (int i = 0; i <= depth; ++i) {
+      catalog.Register("m" + std::to_string(i), 64, 48, 0.5);
+    }
+    for (SaturationStrategy strategy :
+         {SaturationStrategy::kDepthFirst, SaturationStrategy::kSampling}) {
+      auto dims = std::make_shared<DimEnv>();
+      auto program = TranslateLaToRa(DeepNest(depth), catalog, dims);
+      if (!program.ok()) continue;
+      RaContext ctx{&catalog, dims};
+      EGraph eg(std::make_unique<RaAnalysis>(ctx));
+      eg.AddExpr(program.value().ra);
+      eg.Rebuild();
+      RunnerConfig cfg;
+      cfg.strategy = strategy;
+      cfg.timeout_seconds = 2.5;  // the paper's budget
+      cfg.max_nodes = 20000;
+      Runner runner(&eg, RaEqualityRules(ctx), cfg);
+      RunnerReport report = runner.Run();
+      const char* stop = "";
+      switch (report.stop_reason) {
+        case StopReason::kSaturated: stop = "converged"; break;
+        case StopReason::kIterationLimit: stop = "iter-limit"; break;
+        case StopReason::kNodeLimit: stop = "NODE-LIMIT"; break;
+        case StopReason::kTimeout: stop = "TIMEOUT"; break;
+      }
+      std::printf("%-11s %5d  %-12s %8zu %8zu %8zu %9.3f\n",
+                  strategy == SaturationStrategy::kDepthFirst ? "depth-first"
+                                                              : "sampling",
+                  depth, stop, report.iterations, report.final_nodes,
+                  report.final_classes, report.seconds);
+    }
+  }
+  std::printf("\nExpected shape: depth-first hits the node limit / timeout "
+              "at moderate depth;\nsampling stays bounded per iteration and "
+              "degrades gracefully.\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Alternating-least-squares-style factorization driver (Sec 4.2's ALS):
+// runs a few gradient steps where each iteration's hot expression,
+// (U %*% t(V) - X) %*% V, goes through the SPORES optimizer. The optimizer
+// distributes the product so the sparse X is joined directly with V and the
+// dense residual U V^T is never materialized — the paper's "up to 5X".
+#include <cstdio>
+
+#include "src/ir/printer.h"
+#include "src/optimizer/heuristic_optimizer.h"
+#include "src/optimizer/spores_optimizer.h"
+#include "src/runtime/fused.h"
+#include "src/runtime/kernels.h"
+#include "src/util/timer.h"
+#include "src/workloads/generators.h"
+#include "src/workloads/programs.h"
+
+int main() {
+  using namespace spores;
+
+  const int64_t rows = 2000, cols = 1000, rank = 10;
+  WorkloadData data = MakeFactorizationData(rows, cols, rank, 0.01, 99);
+  Program als = AlsProgram();
+  std::printf("ALS inner-loop expression: %s\n", ToString(als.expr).c_str());
+
+  // Compile once with each optimizer (SystemML-style vs SPORES).
+  HeuristicOptimizer heuristic(OptLevel::kOpt2);
+  SporesOptimizer spores_opt;
+  ExprPtr plan_heuristic = heuristic.Optimize(als.expr, data.catalog);
+  ExprPtr plan_spores = spores_opt.Optimize(als.expr, data.catalog);
+  std::printf("heuristic plan: %s\n", ToString(plan_heuristic).c_str());
+  std::printf("SPORES plan:    %s\n\n", ToString(plan_spores).c_str());
+
+  // A few "descent" iterations: U <- U - eta * gradient. The step size is
+  // conservative; the example demonstrates per-iteration cost, not tuning.
+  const double eta = 2e-4;
+  const int iterations = 5;
+  for (auto [name, plan] : {std::pair<const char*, ExprPtr>{
+                                "heuristic", plan_heuristic},
+                            {"SPORES", plan_spores}}) {
+    Bindings state = data.inputs;  // copy: U evolves per-optimizer
+    Timer t;
+    double loss = 0;
+    for (int it = 0; it < iterations; ++it) {
+      auto grad = Execute(plan, state);
+      if (!grad.ok()) {
+        std::fprintf(stderr, "%s\n", grad.status().ToString().c_str());
+        return 1;
+      }
+      Matrix u = state.Get(Symbol::Intern("U"));
+      state.Bind("U", Sub(u, Scale(grad.value(), eta)));
+      // Track the residual norm cheaply via the fused wsloss.
+      loss = WsLoss(state.Get(Symbol::Intern("X")),
+                    state.Get(Symbol::Intern("U")),
+                    state.Get(Symbol::Intern("V")));
+    }
+    std::printf("%-10s %d iterations in %7.1f ms, final loss %.4f\n", name,
+                iterations, t.Millis(), loss);
+  }
+  std::printf("\nBoth optimizers converge to the same loss; SPORES gets "
+              "there much faster\nbecause its plan never materializes the "
+              "dense %ldx%ld residual.\n", rows, cols);
+  return 0;
+}

@@ -1,0 +1,322 @@
+#include "src/canon/canonical.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/canon/isomorphism.h"
+#include "src/rules/rules_lr.h"
+
+namespace spores {
+
+std::vector<Symbol> FreeAttrs(const ExprPtr& ra) {
+  switch (ra->op) {
+    case Op::kBind: {
+      std::vector<Symbol> s = ra->attrs;
+      std::sort(s.begin(), s.end());
+      return s;
+    }
+    case Op::kConst:
+    case Op::kVar:
+      return {};
+    case Op::kAgg:
+      return AttrMinus(FreeAttrs(ra->children[0]), ra->attrs);
+    default: {
+      std::vector<Symbol> s;
+      for (const ExprPtr& c : ra->children) s = AttrUnion(s, FreeAttrs(c));
+      return s;
+    }
+  }
+}
+
+ExprPtr RenameAttrs(const ExprPtr& ra,
+                    const std::unordered_map<Symbol, Symbol>& renaming) {
+  auto rename_list = [&](const std::vector<Symbol>& attrs) {
+    std::vector<Symbol> out;
+    out.reserve(attrs.size());
+    for (Symbol a : attrs) {
+      auto it = renaming.find(a);
+      out.push_back(it == renaming.end() ? a : it->second);
+    }
+    return out;
+  };
+  std::vector<ExprPtr> children;
+  children.reserve(ra->children.size());
+  bool changed = false;
+  for (const ExprPtr& c : ra->children) {
+    ExprPtr r = RenameAttrs(c, renaming);
+    changed |= (r != c);
+    children.push_back(std::move(r));
+  }
+  std::vector<Symbol> attrs = rename_list(ra->attrs);
+  if (!changed && attrs == ra->attrs) return ra;
+  if (ra->op == Op::kAgg) {
+    std::sort(attrs.begin(), attrs.end());
+  }
+  return Expr::Make(ra->op, ra->sym, ra->value, std::move(attrs),
+                    std::move(children));
+}
+
+std::vector<Symbol> Monomial::Free() const {
+  std::vector<Symbol> s;
+  for (const ExprPtr& a : atoms) s = AttrUnion(s, FreeAttrs(a));
+  return AttrMinus(s, bound);
+}
+
+void Monomial::Normalize() {
+  std::sort(bound.begin(), bound.end());
+  std::stable_sort(atoms.begin(), atoms.end(),
+                   [](const ExprPtr& a, const ExprPtr& b) {
+                     uint64_t ha = a->Hash(), hb = b->Hash();
+                     if (ha != hb) return ha < hb;
+                     return false;
+                   });
+}
+
+namespace {
+
+// Combines isomorphic monomials by summing coefficients, and drops zeros.
+void CombineMonomials(Polyterm& p) {
+  std::vector<Monomial> out;
+  for (Monomial& m : p.monomials) {
+    if (m.coeff == 0.0) continue;
+    if (m.atoms.empty()) {
+      // Pure constant: Sum_bound coeff already folded by caller.
+      p.constant += m.coeff;
+      continue;
+    }
+    bool merged = false;
+    for (Monomial& o : out) {
+      if (o.bound.size() == m.bound.size() &&
+          o.atoms.size() == m.atoms.size() && MonomialIsomorphic(o, m)) {
+        o.coeff += m.coeff;
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) out.push_back(std::move(m));
+  }
+  out.erase(std::remove_if(out.begin(), out.end(),
+                           [](const Monomial& m) { return m.coeff == 0.0; }),
+            out.end());
+  p.monomials = std::move(out);
+}
+
+// Renames bound attributes of `m` that clash with `used`, drawing fresh
+// names with matching dimensions.
+void AvoidClashes(Monomial& m, const std::vector<Symbol>& used,
+                  DimEnv& dims) {
+  std::unordered_map<Symbol, Symbol> renaming;
+  for (Symbol b : m.bound) {
+    if (AttrContains(used, b)) {
+      Symbol fresh = Symbol::Fresh("r");
+      if (dims.Has(b)) dims.Set(fresh, dims.DimOf(b));
+      renaming.emplace(b, fresh);
+    }
+  }
+  if (renaming.empty()) return;
+  for (Symbol& b : m.bound) {
+    auto it = renaming.find(b);
+    if (it != renaming.end()) b = it->second;
+  }
+  for (ExprPtr& a : m.atoms) a = RenameAttrs(a, renaming);
+  m.Normalize();
+}
+
+// All attributes (free and bound) mentioned in a monomial.
+std::vector<Symbol> AllAttrs(const Monomial& m) {
+  std::vector<Symbol> s = m.Free();
+  return AttrUnion(s, m.bound);
+}
+
+class Canonicalizer {
+ public:
+  explicit Canonicalizer(DimEnv& dims) : dims_(dims) {}
+
+  StatusOr<Polyterm> Run(const ExprPtr& ra) {
+    SPORES_ASSIGN_OR_RETURN(Polyterm p, Canon(ra));
+    CombineMonomials(p);
+    for (Monomial& m : p.monomials) m.Normalize();
+    return p;
+  }
+
+ private:
+  StatusOr<Polyterm> Canon(const ExprPtr& ra) {
+    Polyterm p;
+    switch (ra->op) {
+      case Op::kConst:
+        p.constant = ra->value;
+        return p;
+      case Op::kBind: {
+        Monomial m;
+        m.atoms.push_back(ra);
+        p.monomials.push_back(std::move(m));
+        return p;
+      }
+      case Op::kUnion: {
+        for (const ExprPtr& c : ra->children) {
+          SPORES_ASSIGN_OR_RETURN(Polyterm q, Canon(c));
+          p.constant += q.constant;
+          for (Monomial& m : q.monomials) {
+            p.monomials.push_back(std::move(m));
+          }
+        }
+        CombineMonomials(p);
+        return p;
+      }
+      case Op::kJoin: {
+        SPORES_ASSIGN_OR_RETURN(Polyterm acc, Canon(ra->children[0]));
+        for (size_t i = 1; i < ra->children.size(); ++i) {
+          SPORES_ASSIGN_OR_RETURN(Polyterm rhs, Canon(ra->children[i]));
+          acc = Multiply(acc, rhs);
+        }
+        return acc;
+      }
+      case Op::kAgg: {
+        SPORES_ASSIGN_OR_RETURN(Polyterm q, Canon(ra->children[0]));
+        // Sum distributes over +; per monomial, attributes in the monomial
+        // become bound, the rest multiply the coefficient by their dims
+        // (rule 5).
+        Polyterm out;
+        double const_mult = 1.0;
+        for (Symbol a : ra->attrs) const_mult *= DimOfChecked(a);
+        out.constant = q.constant * const_mult;
+        for (Monomial& m : q.monomials) {
+          std::vector<Symbol> frees = m.Free();
+          double mult = 1.0;
+          std::vector<Symbol> newly_bound;
+          for (Symbol a : ra->attrs) {
+            if (AttrContains(frees, a)) {
+              newly_bound.push_back(a);
+            } else {
+              mult *= DimOfChecked(a);
+            }
+          }
+          m.coeff *= mult;
+          m.bound = AttrUnion(m.bound, newly_bound);
+          out.monomials.push_back(std::move(m));
+        }
+        CombineMonomials(out);
+        return out;
+      }
+      // Uninterpreted operators become atoms with canonicalized children.
+      // sprop is canonicalized by its definition so fused and unfused forms
+      // share a normal form.
+      case Op::kSProp: {
+        const ExprPtr& p = ra->children[0];
+        return Canon(Expr::Join(
+            {p, Expr::Union({Expr::Const(1.0),
+                             Expr::Join({Expr::Const(-1.0), p})})}));
+      }
+      case Op::kElemDiv:
+      case Op::kPow:
+      case Op::kUnary: {
+        std::vector<ExprPtr> children;
+        children.reserve(ra->children.size());
+        for (const ExprPtr& c : ra->children) {
+          SPORES_ASSIGN_OR_RETURN(Polyterm q, Canon(c));
+          children.push_back(PolytermToExpr(q));
+        }
+        Monomial m;
+        m.atoms.push_back(Expr::Make(ra->op, ra->sym, ra->value, ra->attrs,
+                                     std::move(children)));
+        Polyterm out;
+        out.monomials.push_back(std::move(m));
+        return out;
+      }
+      default:
+        return Status::Unsupported(std::string("CanonicalizeRa: op ") +
+                                   std::string(OpName(ra->op)));
+    }
+  }
+
+  double DimOfChecked(Symbol a) {
+    return dims_.Has(a) ? static_cast<double>(dims_.DimOf(a)) : 1.0;
+  }
+
+  // (sum_i m_i) * (sum_j n_j) = sum_{ij} m_i * n_j, renaming bound clashes.
+  Polyterm Multiply(const Polyterm& a, const Polyterm& b) {
+    Polyterm out;
+    out.constant = a.constant * b.constant;
+    // constant x monomial cross terms
+    for (const Monomial& m : a.monomials) {
+      if (b.constant != 0.0) {
+        Monomial c = m;
+        c.coeff *= b.constant;
+        out.monomials.push_back(std::move(c));
+      }
+    }
+    for (const Monomial& n : b.monomials) {
+      if (a.constant != 0.0) {
+        Monomial c = n;
+        c.coeff *= a.constant;
+        out.monomials.push_back(std::move(c));
+      }
+    }
+    for (const Monomial& m : a.monomials) {
+      for (const Monomial& n : b.monomials) {
+        Monomial rhs = n;
+        AvoidClashes(rhs, AllAttrs(m), dims_);
+        Monomial prod;
+        prod.coeff = m.coeff * rhs.coeff;
+        prod.bound = AttrUnion(m.bound, rhs.bound);
+        prod.atoms = m.atoms;
+        prod.atoms.insert(prod.atoms.end(), rhs.atoms.begin(),
+                          rhs.atoms.end());
+        prod.Normalize();
+        out.monomials.push_back(std::move(prod));
+      }
+    }
+    CombineMonomials(out);
+    return out;
+  }
+
+  DimEnv& dims_;
+};
+
+}  // namespace
+
+StatusOr<Polyterm> CanonicalizeRa(const ExprPtr& ra, DimEnv& dims) {
+  Canonicalizer canon(dims);
+  return canon.Run(ra);
+}
+
+ExprPtr PolytermToExpr(const Polyterm& p) {
+  std::vector<ExprPtr> terms;
+  for (const Monomial& m : p.monomials) {
+    std::vector<ExprPtr> factors;
+    if (m.coeff != 1.0) factors.push_back(Expr::Const(m.coeff));
+    ExprPtr body;
+    if (m.atoms.empty()) {
+      body = Expr::Const(1.0);
+    } else if (m.atoms.size() == 1) {
+      body = m.atoms[0];
+    } else {
+      body = Expr::Join(m.atoms);
+    }
+    if (!m.bound.empty()) body = Expr::Agg(m.bound, body);
+    factors.push_back(body);
+    terms.push_back(factors.size() == 1 ? factors[0]
+                                        : Expr::Join(std::move(factors)));
+  }
+  if (p.constant != 0.0 || terms.empty()) {
+    terms.push_back(Expr::Const(p.constant));
+  }
+  return terms.size() == 1 ? terms[0] : Expr::Union(std::move(terms));
+}
+
+StatusOr<bool> EquivalentLa(const ExprPtr& e1, const ExprPtr& e2,
+                            const Catalog& catalog) {
+  SPORES_ASSIGN_OR_RETURN(Shape s1, InferShape(e1, catalog));
+  SPORES_ASSIGN_OR_RETURN(Shape s2, InferShape(e2, catalog));
+  if (!(s1 == s2)) return false;
+  auto dims = std::make_shared<DimEnv>();
+  SPORES_ASSIGN_OR_RETURN(RaProgram p1, TranslateLaToRa(e1, catalog, dims));
+  SPORES_ASSIGN_OR_RETURN(
+      RaProgram p2,
+      TranslateLaToRa(e2, catalog, dims, p1.out_row, p1.out_col));
+  SPORES_ASSIGN_OR_RETURN(Polyterm c1, CanonicalizeRa(p1.ra, *dims));
+  SPORES_ASSIGN_OR_RETURN(Polyterm c2, CanonicalizeRa(p2.ra, *dims));
+  return PolytermIsomorphic(c1, c2);
+}
+
+}  // namespace spores

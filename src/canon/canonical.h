@@ -1,0 +1,56 @@
+// Canonical (normal) form for RA expressions (Definition 2.1 / A.5): a
+// polyterm — a sum of monomials, each a constant coefficient times an
+// aggregation over a product of atoms. Canonical forms underpin the
+// completeness argument (Theorem 2.3): two LA expressions are equivalent iff
+// their RA canonical forms are isomorphic.
+#pragma once
+
+#include <vector>
+
+#include "src/ir/expr.h"
+#include "src/rules/ra_analysis.h"
+
+namespace spores {
+
+/// Free attributes (schema) of an RA expression tree.
+std::vector<Symbol> FreeAttrs(const ExprPtr& ra);
+
+/// Rewrites attribute names throughout an RA tree (bind/agg payloads).
+/// Attributes absent from `renaming` are left unchanged.
+ExprPtr RenameAttrs(const ExprPtr& ra,
+                    const std::unordered_map<Symbol, Symbol>& renaming);
+
+/// One monomial: coeff * Sum_{bound} (atom_1 * ... * atom_m). Atoms are RA
+/// leaves (kBind) or uninterpreted operators whose children are themselves
+/// canonicalized; repeated atoms encode powers.
+struct Monomial {
+  double coeff = 1.0;
+  std::vector<Symbol> bound;    ///< aggregated attributes, sorted
+  std::vector<ExprPtr> atoms;   ///< sorted by structural hash
+
+  /// Free attributes: union of atom schemas minus `bound`.
+  std::vector<Symbol> Free() const;
+  void Normalize();  ///< sort bound + atoms
+};
+
+/// Canonical polyterm: sum of non-isomorphic monomials plus a constant.
+struct Polyterm {
+  std::vector<Monomial> monomials;
+  double constant = 0.0;
+};
+
+/// Canonicalizes an RA expression (Lemma 2.1: every RPlan has an equivalent
+/// normal form reachable via R_EQ). `dims` resolves Sum over non-free
+/// attributes (rule 5) and supplies fresh-rename targets.
+StatusOr<Polyterm> CanonicalizeRa(const ExprPtr& ra, DimEnv& dims);
+
+/// Renders a polyterm back as an RA expression (n-ary join/union form).
+ExprPtr PolytermToExpr(const Polyterm& p);
+
+/// Semantic equivalence check for LA expressions via Theorem 2.3: translate
+/// both to RA with shared output attributes, canonicalize, and compare up to
+/// isomorphism.
+StatusOr<bool> EquivalentLa(const ExprPtr& e1, const ExprPtr& e2,
+                            const Catalog& catalog);
+
+}  // namespace spores

@@ -1,0 +1,226 @@
+#include "src/canon/isomorphism.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+namespace spores {
+
+namespace {
+
+bool NearlyEqual(double a, double b) {
+  double scale = std::max({std::abs(a), std::abs(b), 1.0});
+  return std::abs(a - b) <= 1e-9 * scale;
+}
+
+// Multiset equality of expression lists under structural equality.
+bool MultisetEquals(std::vector<ExprPtr> a, std::vector<ExprPtr> b) {
+  if (a.size() != b.size()) return false;
+  for (const ExprPtr& x : a) {
+    bool found = false;
+    for (auto it = b.begin(); it != b.end(); ++it) {
+      if (ExprEquals(x, *it)) {
+        b.erase(it);
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool MonomialIsomorphic(const Monomial& a, const Monomial& b) {
+  if (a.bound.size() != b.bound.size()) return false;
+  if (a.atoms.size() != b.atoms.size()) return false;
+  if (a.Free() != b.Free()) return false;
+  if (a.bound.empty()) return MultisetEquals(a.atoms, b.atoms);
+
+  // Try every bijection a.bound -> b.bound (bound sets are small).
+  std::vector<Symbol> perm = b.bound;
+  std::sort(perm.begin(), perm.end());
+  do {
+    std::unordered_map<Symbol, Symbol> renaming;
+    for (size_t i = 0; i < a.bound.size(); ++i) {
+      renaming.emplace(a.bound[i], perm[i]);
+    }
+    std::vector<ExprPtr> renamed;
+    renamed.reserve(a.atoms.size());
+    for (const ExprPtr& atom : a.atoms) {
+      renamed.push_back(RenameAttrs(atom, renaming));
+    }
+    if (MultisetEquals(renamed, b.atoms)) return true;
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return false;
+}
+
+bool PolytermIsomorphic(const Polyterm& a, const Polyterm& b) {
+  if (!NearlyEqual(a.constant, b.constant)) return false;
+  if (a.monomials.size() != b.monomials.size()) return false;
+  std::vector<bool> used(b.monomials.size(), false);
+  for (const Monomial& m : a.monomials) {
+    bool matched = false;
+    for (size_t j = 0; j < b.monomials.size(); ++j) {
+      if (used[j]) continue;
+      if (NearlyEqual(m.coeff, b.monomials[j].coeff) &&
+          MonomialIsomorphic(m, b.monomials[j])) {
+        used[j] = true;
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) return false;
+  }
+  return true;
+}
+
+namespace {
+
+// Curries n-ary AC expressions into nested binary form matching
+// EGraph::AddExpr's shape.
+ExprPtr Curry(const ExprPtr& e) {
+  std::vector<ExprPtr> children;
+  children.reserve(e->children.size());
+  for (const ExprPtr& c : e->children) children.push_back(Curry(c));
+  if (IsAcOp(e->op) && children.size() > 2) {
+    ExprPtr acc = children[0];
+    for (size_t i = 1; i < children.size(); ++i) {
+      acc = Expr::Make(e->op, Symbol(), 0, {}, {acc, children[i]});
+    }
+    return acc;
+  }
+  return Expr::Make(e->op, e->sym, e->value, e->attrs, std::move(children));
+}
+
+// Attributes bound by any kAgg in the tree (candidates for renaming).
+void CollectBound(const ExprPtr& e, std::vector<Symbol>* out) {
+  if (e->op == Op::kAgg) {
+    for (Symbol a : e->attrs) out->push_back(a);
+  }
+  for (const ExprPtr& c : e->children) CollectBound(c, out);
+}
+
+// Backtracking matcher: expression vs e-class, where attributes bound in the
+// expression may be renamed by a bijection onto e-graph attributes. Uses a
+// binding trail so failed branches roll back bindings made by successful
+// sub-matches.
+class AlphaMatcher {
+ public:
+  AlphaMatcher(const EGraph& egraph, std::vector<Symbol> bound)
+      : egraph_(egraph), bound_(std::move(bound)) {
+    std::sort(bound_.begin(), bound_.end());
+    bound_.erase(std::unique(bound_.begin(), bound_.end()), bound_.end());
+  }
+
+  bool Match(const ExprPtr& expr, ClassId id) {
+    return MatchExpr(expr, egraph_.Find(id));
+  }
+
+ private:
+  bool IsBound(Symbol a) const {
+    return std::binary_search(bound_.begin(), bound_.end(), a);
+  }
+
+  size_t Checkpoint() const { return trail_.size(); }
+
+  void Rollback(size_t checkpoint) {
+    while (trail_.size() > checkpoint) {
+      auto [f, t] = trail_.back();
+      trail_.pop_back();
+      fwd_.erase(f);
+      rev_.erase(t);
+    }
+  }
+
+  // Free attrs must match exactly; bound attrs extend the bijection.
+  bool MapAttr(Symbol from, Symbol to) {
+    if (!IsBound(from)) return from == to;
+    auto f = fwd_.find(from);
+    if (f != fwd_.end()) return f->second == to;
+    if (rev_.count(to)) return false;
+    fwd_.emplace(from, to);
+    rev_.emplace(to, from);
+    trail_.emplace_back(from, to);
+    return true;
+  }
+
+  bool MatchChildren(const ExprPtr& expr, const ENode& node) {
+    for (size_t i = 0; i < expr->children.size(); ++i) {
+      if (!MatchExpr(expr->children[i], node.children[i])) return false;
+    }
+    return true;
+  }
+
+  bool MatchExpr(const ExprPtr& expr, ClassId id) {
+    id = egraph_.Find(id);
+    const EClass& cls = egraph_.GetClass(id);
+    for (const ENode& node : cls.nodes) {
+      if (node.op != expr->op || node.sym != expr->sym ||
+          node.value != expr->value ||
+          node.children.size() != expr->children.size() ||
+          node.attrs.size() != expr->attrs.size()) {
+        continue;
+      }
+      size_t cp = Checkpoint();
+      if (expr->op == Op::kAgg && !expr->attrs.empty()) {
+        // Unordered attribute sets: try each permutation of node.attrs.
+        // Bindings for this binder's attributes are scoped to its subtree:
+        // they are rolled back on exit even on success, because alpha
+        // renaming is per-binder, not global (the graph may reuse the same
+        // attribute names under sibling binders).
+        std::vector<Symbol> perm = node.attrs;
+        std::sort(perm.begin(), perm.end());
+        bool matched = false;
+        do {
+          size_t inner = Checkpoint();
+          bool ok = true;
+          for (size_t i = 0; i < expr->attrs.size(); ++i) {
+            if (!MapAttr(expr->attrs[i], perm[i])) {
+              ok = false;
+              break;
+            }
+          }
+          if (ok && MatchChildren(expr, node)) {
+            matched = true;
+          }
+          Rollback(inner);  // close the binder scope either way
+          if (matched) break;
+        } while (std::next_permutation(perm.begin(), perm.end()));
+        if (matched) return true;
+        Rollback(cp);
+        continue;
+      }
+      // Ordered attribute lists (bind/unbind) or none.
+      bool ok = true;
+      for (size_t i = 0; i < expr->attrs.size(); ++i) {
+        if (!MapAttr(expr->attrs[i], node.attrs[i])) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok && MatchChildren(expr, node)) return true;
+      Rollback(cp);
+    }
+    return false;
+  }
+
+  const EGraph& egraph_;
+  std::vector<Symbol> bound_;
+  std::unordered_map<Symbol, Symbol> fwd_;
+  std::unordered_map<Symbol, Symbol> rev_;
+  std::vector<std::pair<Symbol, Symbol>> trail_;
+};
+
+}  // namespace
+
+bool AlphaRepresents(const EGraph& egraph, ClassId id, const ExprPtr& expr) {
+  ExprPtr curried = Curry(expr);
+  std::vector<Symbol> bound;
+  CollectBound(curried, &bound);
+  AlphaMatcher matcher(egraph, std::move(bound));
+  return matcher.Match(curried, id);
+}
+
+}  // namespace spores

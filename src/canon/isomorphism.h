@@ -1,0 +1,25 @@
+// Term and polyterm isomorphism (Definitions A.3/A.4/A.7): structural
+// equality up to a bijective renaming of bound attributes. Also provides
+// AlphaRepresents, the e-graph membership check modulo bound-attribute
+// renaming used by the Fig 14 rewrite-derivation experiment.
+#pragma once
+
+#include "src/canon/canonical.h"
+#include "src/egraph/egraph.h"
+
+namespace spores {
+
+/// True if two monomials are isomorphic: equal coefficients aside (the
+/// caller compares coefficients), equal free attributes, and a bijection on
+/// bound attributes mapping one atom multiset onto the other.
+bool MonomialIsomorphic(const Monomial& a, const Monomial& b);
+
+/// True if two polyterms are isomorphic (Definition A.7): equal constants
+/// and a pairing of monomials with equal coefficients and isomorphic bodies.
+bool PolytermIsomorphic(const Polyterm& a, const Polyterm& b);
+
+/// True if some alpha-renaming of `expr`'s bound attributes is represented
+/// inside e-class `id`. Free attributes must match exactly.
+bool AlphaRepresents(const EGraph& egraph, ClassId id, const ExprPtr& expr);
+
+}  // namespace spores

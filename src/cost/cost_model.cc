@@ -1,0 +1,72 @@
+#include "src/cost/cost_model.h"
+
+#include <algorithm>
+
+namespace spores {
+
+double CostModel::ClassNnz(const EGraph& egraph, ClassId id) const {
+  const ClassData& d = egraph.Data(id);
+  double size = ctx_.dims ? ctx_.dims->SizeOf(d.schema) : 1.0;
+  return d.sparsity * size;
+}
+
+double CostModel::NodeCost(const EGraph& egraph, const ENode& node) const {
+  switch (node.op) {
+    // Structural / free operators: leaves cost nothing (inputs already
+    // exist); bind/unbind are metadata-only.
+    case Op::kVar:
+    case Op::kConst:
+    case Op::kBind:
+    case Op::kUnbind:
+      return 0.0;
+    case Op::kJoin: {
+      // The join's conceptual output: schema = union of child schemas,
+      // sparsity = min (Fig 12). For a join feeding an aggregate this equals
+      // the fused multiply-add work (e.g. |i||j||k| for a matmul).
+      const ClassData& a = egraph.Data(node.children[0]);
+      const ClassData& b = egraph.Data(node.children[1]);
+      std::vector<Symbol> schema = AttrUnion(a.schema, b.schema);
+      double sparsity = std::min(a.sparsity, b.sparsity);
+      double size = ctx_.dims ? ctx_.dims->SizeOf(schema) : 1.0;
+      // Joining with a scalar constant is a free coefficient fold.
+      if (a.schema.empty() && a.constant) return 0.0;
+      if (b.schema.empty() && b.constant) return 0.0;
+      return sparsity * size;
+    }
+    case Op::kUnion: {
+      const ClassData& a = egraph.Data(node.children[0]);
+      const ClassData& b = egraph.Data(node.children[1]);
+      std::vector<Symbol> schema = AttrUnion(a.schema, b.schema);
+      double sparsity = std::min(1.0, a.sparsity + b.sparsity);
+      double size = ctx_.dims ? ctx_.dims->SizeOf(schema) : 1.0;
+      return sparsity * size;
+    }
+    case Op::kAgg: {
+      // Output materialization of the aggregate.
+      const ClassData& a = egraph.Data(node.children[0]);
+      std::vector<Symbol> schema = AttrMinus(a.schema, node.attrs);
+      double bound_size = 1.0;
+      if (ctx_.dims) {
+        for (Symbol attr : node.attrs) {
+          if (ctx_.dims->Has(attr)) {
+            bound_size *= static_cast<double>(ctx_.dims->DimOf(attr));
+          }
+        }
+      }
+      double sparsity = std::min(1.0, bound_size * a.sparsity);
+      double size = ctx_.dims ? ctx_.dims->SizeOf(schema) : 1.0;
+      return sparsity * size;
+    }
+    default: {
+      // Uninterpreted elementwise ops: dense-ish work over the union schema.
+      std::vector<Symbol> schema;
+      for (ClassId c : node.children) {
+        schema = AttrUnion(schema, egraph.Data(c).schema);
+      }
+      double size = ctx_.dims ? ctx_.dims->SizeOf(schema) : 1.0;
+      return size;
+    }
+  }
+}
+
+}  // namespace spores

@@ -1,0 +1,31 @@
+// Cost model (Sec 3.1): each operator costs its estimated output size in
+// non-zeroes — nnz = sparsity * (product of the schema's dimensions). Under
+// the relational reading, a join under an aggregate is charged the size of
+// the (conceptual) join output, which coincides with the multiplication
+// work a fused matmul performs; leaves and structural nodes are free.
+#pragma once
+
+#include "src/egraph/egraph.h"
+#include "src/rules/ra_analysis.h"
+
+namespace spores {
+
+/// Cost model over e-nodes, driven by the class analysis data (schema +
+/// sparsity invariants) and the attribute DimEnv.
+class CostModel {
+ public:
+  explicit CostModel(RaContext ctx) : ctx_(std::move(ctx)) {}
+
+  /// Cost of selecting `node`, whose class analysis data is `data`.
+  double NodeCost(const EGraph& egraph, const ENode& node) const;
+
+  /// Estimated output nnz of a class.
+  double ClassNnz(const EGraph& egraph, ClassId id) const;
+
+  const RaContext& context() const { return ctx_; }
+
+ private:
+  RaContext ctx_;
+};
+
+}  // namespace spores

@@ -1,0 +1,57 @@
+// E-class analyses ("class invariants", Sec 3.2). Every e-class carries a
+// ClassData record; the Analysis interface computes it for new e-nodes and
+// merges it when classes are unioned. This is the C++ analogue of egg's
+// Metadata/Analysis API.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "src/egraph/enode.h"
+#include "src/util/symbol.h"
+
+namespace spores {
+
+class EGraph;
+
+/// Per-e-class invariants tracked during saturation.
+///
+/// * `schema`  — sorted set of free attributes; equal expressions have equal
+///               schemas, so merges assert equality (Sec 3.2).
+/// * `constant`— scalar value if every expression in the class folds to a
+///               constant; enables constant folding inside saturation.
+/// * `sparsity`— conservative nnz/size estimate per Fig 12; merges keep the
+///               tighter (smaller) estimate.
+struct ClassData {
+  std::vector<Symbol> schema;
+  std::optional<double> constant;
+  double sparsity = 1.0;
+};
+
+/// Computes and combines ClassData. Implementations may also append derived
+/// e-nodes in Modify (e.g. materializing a folded constant).
+class Analysis {
+ public:
+  virtual ~Analysis() = default;
+
+  /// Data for a single e-node whose children already carry data.
+  virtual ClassData Make(const EGraph& egraph, const ENode& node) = 0;
+
+  /// Combines data of two merged classes; returns true if `into` changed
+  /// (which re-triggers parent analysis).
+  virtual bool Merge(ClassData& into, const ClassData& from) = 0;
+
+  /// Hook run after a class's data changes; may mutate the e-graph (e.g.
+  /// add a kConst node when `constant` became known).
+  virtual void Modify(EGraph& egraph, ClassId id) = 0;
+};
+
+/// No-op analysis used by unit tests of the raw e-graph machinery.
+class NullAnalysis final : public Analysis {
+ public:
+  ClassData Make(const EGraph&, const ENode&) override { return {}; }
+  bool Merge(ClassData&, const ClassData&) override { return false; }
+  void Modify(EGraph&, ClassId) override {}
+};
+
+}  // namespace spores

@@ -1,0 +1,274 @@
+#include "src/egraph/egraph.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "src/util/check.h"
+
+namespace spores {
+
+EGraph::EGraph(std::unique_ptr<Analysis> analysis)
+    : analysis_(std::move(analysis)) {
+  if (!analysis_) analysis_ = std::make_unique<NullAnalysis>();
+}
+
+ENode EGraph::Canonicalize(ENode node) const {
+  for (ClassId& c : node.children) c = uf_.FindConst(c);
+  return node;
+}
+
+EClass& EGraph::ClassRef(ClassId id) {
+  ClassId root = uf_.Find(id);
+  SPORES_CHECK_LT(root, classes_.size());
+  return classes_[root];
+}
+
+const EClass& EGraph::ClassRefConst(ClassId id) const {
+  ClassId root = uf_.FindConst(id);
+  SPORES_CHECK_LT(root, classes_.size());
+  return classes_[root];
+}
+
+const EClass& EGraph::GetClass(ClassId id) const { return ClassRefConst(id); }
+
+ClassId EGraph::Add(ENode node) {
+  node = Canonicalize(node);
+  auto it = hashcons_.find(node);
+  if (it != hashcons_.end()) return uf_.Find(it->second);
+
+  ClassId id = uf_.MakeSet();
+  SPORES_CHECK_EQ(id, classes_.size());
+  EClass cls;
+  cls.id = id;
+  cls.nodes.push_back(node);
+  cls.data = analysis_->Make(*this, node);
+  classes_.push_back(std::move(cls));
+  for (ClassId child : node.children) {
+    ClassRef(child).parents.emplace_back(node, id);
+  }
+  hashcons_.emplace(node, id);
+  ++version_;
+  analysis_->Modify(*this, id);
+  return uf_.Find(id);
+}
+
+ClassId EGraph::AddExpr(const ExprPtr& expr) {
+  std::vector<ClassId> children;
+  children.reserve(expr->children.size());
+  for (const ExprPtr& c : expr->children) children.push_back(AddExpr(c));
+
+  // Curry n-ary AC expressions into left-nested binary e-nodes.
+  if (IsAcOp(expr->op) && children.size() > 2) {
+    ClassId acc = children[0];
+    for (size_t i = 1; i < children.size(); ++i) {
+      ENode node;
+      node.op = expr->op;
+      node.children = {acc, children[i]};
+      acc = Add(std::move(node));
+    }
+    return acc;
+  }
+  return Add(ExprToENode(*expr, std::move(children)));
+}
+
+ENode EGraph::ExprToENode(const Expr& expr, std::vector<ClassId> children) {
+  ENode node;
+  node.op = expr.op;
+  node.sym = expr.sym;
+  node.value = expr.value;
+  node.attrs = expr.attrs;
+  node.children = std::move(children);
+  return node;
+}
+
+std::optional<ClassId> EGraph::Lookup(const ENode& node) const {
+  ENode canon = Canonicalize(node);
+  auto it = hashcons_.find(canon);
+  if (it == hashcons_.end()) return std::nullopt;
+  return uf_.FindConst(it->second);
+}
+
+std::optional<ClassId> EGraph::LookupExpr(const ExprPtr& expr) const {
+  std::vector<ClassId> children;
+  children.reserve(expr->children.size());
+  for (const ExprPtr& c : expr->children) {
+    std::optional<ClassId> cid = LookupExpr(c);
+    if (!cid) return std::nullopt;
+    children.push_back(*cid);
+  }
+  if (IsAcOp(expr->op) && children.size() > 2) {
+    std::optional<ClassId> acc = children[0];
+    for (size_t i = 1; i < children.size(); ++i) {
+      ENode node;
+      node.op = expr->op;
+      node.children = {*acc, children[i]};
+      acc = Lookup(node);
+      if (!acc) return std::nullopt;
+    }
+    return acc;
+  }
+  return Lookup(ExprToENode(*expr, std::move(children)));
+}
+
+bool EGraph::Represents(ClassId id, const ExprPtr& expr) const {
+  std::optional<ClassId> found = LookupExpr(expr);
+  return found && uf_.FindConst(*found) == uf_.FindConst(id);
+}
+
+bool EGraph::Merge(ClassId a, ClassId b) {
+  a = uf_.Find(a);
+  b = uf_.Find(b);
+  if (a == b) return false;
+  // Keep the class with more parents to move less data.
+  if (classes_[a].parents.size() < classes_[b].parents.size()) std::swap(a, b);
+  uf_.Union(a, b);
+  EClass& keep = classes_[a];
+  EClass& gone = classes_[b];
+  keep.nodes.insert(keep.nodes.end(),
+                    std::make_move_iterator(gone.nodes.begin()),
+                    std::make_move_iterator(gone.nodes.end()));
+  keep.parents.insert(keep.parents.end(),
+                      std::make_move_iterator(gone.parents.begin()),
+                      std::make_move_iterator(gone.parents.end()));
+  gone.nodes.clear();
+  gone.nodes.shrink_to_fit();
+  gone.parents.clear();
+  gone.parents.shrink_to_fit();
+
+  bool data_changed = analysis_->Merge(keep.data, gone.data);
+  pending_repair_.push_back(a);
+  if (data_changed) pending_analysis_.push_back(a);
+  ++version_;
+  analysis_->Modify(*this, a);
+  return true;
+}
+
+void EGraph::RepairClass(ClassId id) {
+  ClassId root = uf_.Find(id);
+  // Take the parent list; we will rebuild a deduplicated version.
+  std::vector<std::pair<ENode, ClassId>> parents =
+      std::move(classes_[root].parents);
+  classes_[root].parents.clear();
+
+  // Pass 1: erase stale hashcons entries keyed by the recorded node forms.
+  for (auto& [node, pclass] : parents) {
+    hashcons_.erase(node);
+  }
+  // Pass 2: re-insert canonicalized; congruent duplicates trigger merges.
+  std::unordered_map<ENode, ClassId, ENodeHash> seen;
+  for (auto& [node, pclass] : parents) {
+    ENode canon = Canonicalize(node);
+    ClassId pcanon = uf_.Find(pclass);
+    auto it = hashcons_.find(canon);
+    if (it != hashcons_.end()) {
+      ClassId other = uf_.Find(it->second);
+      if (other != pcanon) {
+        Merge(other, pcanon);
+        pcanon = uf_.Find(pcanon);
+      }
+    } else {
+      hashcons_.emplace(canon, pcanon);
+    }
+    auto sit = seen.find(canon);
+    if (sit == seen.end()) {
+      seen.emplace(canon, pcanon);
+    } else {
+      sit->second = uf_.Find(sit->second);
+    }
+  }
+  ClassId final_root = uf_.Find(root);
+  auto& plist = classes_[final_root].parents;
+  for (auto& [node, pclass] : seen) {
+    plist.emplace_back(node, uf_.Find(pclass));
+  }
+
+  // Canonicalize + dedup the class's own node list.
+  EClass& cls = classes_[final_root];
+  std::unordered_set<uint64_t> node_hashes;
+  std::vector<ENode> fresh;
+  fresh.reserve(cls.nodes.size());
+  for (ENode& n : cls.nodes) {
+    ENode canon = Canonicalize(std::move(n));
+    uint64_t h = canon.Hash();
+    bool dup = false;
+    if (node_hashes.count(h)) {
+      for (const ENode& f : fresh) {
+        if (f == canon) {
+          dup = true;
+          break;
+        }
+      }
+    }
+    if (!dup) {
+      node_hashes.insert(h);
+      fresh.push_back(std::move(canon));
+    }
+  }
+  cls.nodes = std::move(fresh);
+}
+
+void EGraph::PropagateAnalysis(ClassId id) {
+  ClassId root = uf_.Find(id);
+  // Child data changed: recompute each parent node's Make and merge into the
+  // parent class's data; propagate further if it changed.
+  std::vector<std::pair<ENode, ClassId>> parents = classes_[root].parents;
+  for (auto& [node, pclass] : parents) {
+    ClassId proot = uf_.Find(pclass);
+    ClassData made = analysis_->Make(*this, Canonicalize(node));
+    if (analysis_->Merge(classes_[proot].data, made)) {
+      pending_analysis_.push_back(proot);
+      analysis_->Modify(*this, proot);
+    }
+  }
+}
+
+void EGraph::Rebuild() {
+  while (!pending_repair_.empty() || !pending_analysis_.empty()) {
+    while (!pending_repair_.empty()) {
+      // Dedup the batch by canonical id to avoid redundant repairs.
+      std::vector<ClassId> batch;
+      batch.swap(pending_repair_);
+      std::unordered_set<ClassId> done;
+      for (ClassId id : batch) {
+        ClassId root = uf_.Find(id);
+        if (done.insert(root).second) RepairClass(root);
+      }
+    }
+    while (!pending_analysis_.empty()) {
+      std::vector<ClassId> batch;
+      batch.swap(pending_analysis_);
+      std::unordered_set<ClassId> done;
+      for (ClassId id : batch) {
+        ClassId root = uf_.Find(id);
+        if (done.insert(root).second) PropagateAnalysis(root);
+      }
+      if (!pending_repair_.empty()) break;  // repair before more analysis
+    }
+  }
+}
+
+std::vector<ClassId> EGraph::CanonicalClasses() const {
+  std::vector<ClassId> out;
+  for (ClassId i = 0; i < classes_.size(); ++i) {
+    if (uf_.FindConst(i) == i) out.push_back(i);
+  }
+  return out;
+}
+
+size_t EGraph::NumClasses() const {
+  size_t n = 0;
+  for (ClassId i = 0; i < classes_.size(); ++i) {
+    if (uf_.FindConst(i) == i) ++n;
+  }
+  return n;
+}
+
+size_t EGraph::NumNodes() const {
+  size_t n = 0;
+  for (ClassId i = 0; i < classes_.size(); ++i) {
+    if (uf_.FindConst(i) == i) n += classes_[i].nodes.size();
+  }
+  return n;
+}
+
+}  // namespace spores

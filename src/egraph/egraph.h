@@ -1,0 +1,106 @@
+// The E-Graph: a congruence-closed union of equivalence classes of terms
+// (Nelson 1980; design follows egg [Willsey et al.] with deferred
+// rebuilding). This is the data structure equality saturation populates
+// (Sec 3.1) and extraction consumes.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/egraph/analysis.h"
+#include "src/egraph/enode.h"
+#include "src/egraph/union_find.h"
+#include "src/ir/expr.h"
+
+namespace spores {
+
+/// One equivalence class of e-nodes.
+struct EClass {
+  ClassId id = kInvalidClassId;
+  /// Member e-nodes (canonicalized and deduplicated after Rebuild()).
+  std::vector<ENode> nodes;
+  /// Back-edges: e-nodes that have this class as a child, and the class the
+  /// parent node belongs to. Used for congruence repair and analysis
+  /// propagation.
+  std::vector<std::pair<ENode, ClassId>> parents;
+  ClassData data;
+};
+
+/// E-graph with hash-consing, deferred congruence repair, and pluggable
+/// e-class analyses.
+///
+/// Usage: Add/AddExpr to insert terms, Merge to assert equalities, then call
+/// Rebuild() before reading (matching/extraction). Merge and Add may leave
+/// the graph temporarily non-congruent; Rebuild restores all invariants.
+class EGraph {
+ public:
+  /// `analysis` may be null (no invariants tracked).
+  explicit EGraph(std::unique_ptr<Analysis> analysis = nullptr);
+
+  /// Inserts an e-node (children are canonicalized first). Returns the class
+  /// containing it (existing one if hash-consed).
+  ClassId Add(ENode node);
+
+  /// Recursively inserts an expression tree. N-ary Join/Union expressions
+  /// are curried into left-nested binary e-nodes.
+  ClassId AddExpr(const ExprPtr& expr);
+
+  /// Read-only lookup of a canonicalized node. Returns its class if present.
+  std::optional<ClassId> Lookup(const ENode& node) const;
+
+  /// Read-only recursive lookup of a whole expression tree.
+  std::optional<ClassId> LookupExpr(const ExprPtr& expr) const;
+
+  /// True if `expr` is represented inside class `id`.
+  bool Represents(ClassId id, const ExprPtr& expr) const;
+
+  /// Asserts a == b. Returns true if the graph changed. Congruence closure
+  /// is deferred until Rebuild().
+  bool Merge(ClassId a, ClassId b);
+
+  /// Restores congruence and re-propagates analysis data to fixpoint.
+  void Rebuild();
+
+  ClassId Find(ClassId id) const { return uf_.FindConst(id); }
+
+  const EClass& GetClass(ClassId id) const;
+  const ClassData& Data(ClassId id) const { return GetClass(id).data; }
+
+  /// All canonical class ids (stable order: ascending id).
+  std::vector<ClassId> CanonicalClasses() const;
+
+  size_t NumClasses() const;
+  /// Total e-node count across canonical classes.
+  size_t NumNodes() const;
+
+  /// Monotone counter bumped by every mutation; lets callers detect
+  /// saturation (no change over a full iteration).
+  uint64_t Version() const { return version_; }
+
+  Analysis* analysis() { return analysis_.get(); }
+
+  /// Canonicalizes an e-node's children (Find on each id).
+  ENode Canonicalize(ENode node) const;
+
+  /// Converts one Expr node (not its children) into an e-node given already
+  /// inserted child classes.
+  static ENode ExprToENode(const Expr& expr, std::vector<ClassId> children);
+
+ private:
+  EClass& ClassRef(ClassId id);
+  const EClass& ClassRefConst(ClassId id) const;
+  void RepairClass(ClassId id);
+  void PropagateAnalysis(ClassId id);
+
+  mutable UnionFind uf_;
+  std::vector<EClass> classes_;  // indexed by id; only canonical ids live
+  std::unordered_map<ENode, ClassId, ENodeHash> hashcons_;
+  std::vector<ClassId> pending_repair_;
+  std::vector<ClassId> pending_analysis_;
+  std::unique_ptr<Analysis> analysis_;
+  uint64_t version_ = 0;
+};
+
+}  // namespace spores

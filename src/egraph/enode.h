@@ -1,0 +1,49 @@
+// E-nodes: operators whose children point at e-classes rather than concrete
+// subtrees. Payloads mirror ir::Expr (symbols for variables, doubles for
+// scalar constants, attribute lists for Sum/bind/unbind).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/egraph/union_find.h"
+#include "src/ir/ops.h"
+#include "src/util/symbol.h"
+
+namespace spores {
+
+/// One operator node in the e-graph. Join/Union are binary here (assoc &
+/// comm are rewrite rules, Sec 3.1 "expansive rules").
+struct ENode {
+  Op op;
+  Symbol sym;                 ///< kVar name; kUnary function name.
+  double value = 0.0;         ///< kConst literal.
+  std::vector<Symbol> attrs;  ///< kAgg / kBind / kUnbind payload.
+  std::vector<ClassId> children;
+
+  friend bool operator==(const ENode& a, const ENode& b) {
+    return a.op == b.op && a.sym == b.sym && a.value == b.value &&
+           a.attrs == b.attrs && a.children == b.children;
+  }
+
+  uint64_t Hash() const {
+    uint64_t h = static_cast<uint64_t>(op) * 0x9e3779b97f4a7c15ull;
+    auto mix = [&h](uint64_t v) {
+      h ^= v + 0x9e3779b97f4a7c15ull + (h << 12) + (h >> 4);
+    };
+    mix(sym.id());
+    uint64_t bits;
+    __builtin_memcpy(&bits, &value, sizeof(bits));
+    mix(bits * 0xff51afd7ed558ccdull);
+    for (Symbol a : attrs) mix(a.id());
+    for (ClassId c : children) mix(c);
+    return h;
+  }
+};
+
+struct ENodeHash {
+  size_t operator()(const ENode& n) const { return n.Hash(); }
+};
+
+}  // namespace spores

@@ -1,0 +1,93 @@
+#include "src/egraph/matcher.h"
+
+#include <functional>
+
+namespace spores {
+
+namespace {
+
+// Extends `subst` so that `pattern` matches class `id`; invokes `emit` for
+// every consistent extension. `subst` is mutated and restored (backtracking).
+void MatchPattern(const EGraph& egraph, const Pattern& pattern, ClassId id,
+                  Subst& subst, const std::function<void()>& emit) {
+  id = egraph.Find(id);
+  if (pattern.kind == Pattern::Kind::kClassVar) {
+    auto it = subst.classes.find(pattern.var);
+    if (it != subst.classes.end()) {
+      if (egraph.Find(it->second) == id) emit();
+      return;
+    }
+    subst.classes.emplace(pattern.var, id);
+    emit();
+    subst.classes.erase(pattern.var);
+    return;
+  }
+
+  const EClass& cls = egraph.GetClass(id);
+  for (const ENode& node : cls.nodes) {
+    if (node.op != pattern.op) continue;
+    if (pattern.sym && node.sym != *pattern.sym) continue;
+    if (pattern.value && node.value != *pattern.value) continue;
+    if (pattern.attrs && node.attrs != *pattern.attrs) continue;
+    if (node.children.size() != pattern.children.size()) continue;
+
+    // Payload bindings (value_var / attrs_var) with consistency checks.
+    bool bound_value = false;
+    if (pattern.value_var) {
+      auto it = subst.values.find(*pattern.value_var);
+      if (it != subst.values.end()) {
+        if (it->second != node.value) continue;
+      } else {
+        subst.values.emplace(*pattern.value_var, node.value);
+        bound_value = true;
+      }
+    }
+    bool bound_attrs = false;
+    if (pattern.attrs_var) {
+      auto it = subst.attrs.find(*pattern.attrs_var);
+      if (it != subst.attrs.end()) {
+        if (it->second != node.attrs) {
+          if (bound_value) subst.values.erase(*pattern.value_var);
+          continue;
+        }
+      } else {
+        subst.attrs.emplace(*pattern.attrs_var, node.attrs);
+        bound_attrs = true;
+      }
+    }
+
+    // Recursively match children left-to-right.
+    std::function<void(size_t)> match_child = [&](size_t i) {
+      if (i == pattern.children.size()) {
+        emit();
+        return;
+      }
+      MatchPattern(egraph, *pattern.children[i], node.children[i], subst,
+                   [&]() { match_child(i + 1); });
+    };
+    match_child(0);
+
+    if (bound_value) subst.values.erase(*pattern.value_var);
+    if (bound_attrs) subst.attrs.erase(*pattern.attrs_var);
+  }
+}
+
+}  // namespace
+
+void MatchInClass(const EGraph& egraph, const Pattern& pattern, ClassId id,
+                  std::vector<Match>* out) {
+  Subst subst;
+  ClassId root = egraph.Find(id);
+  MatchPattern(egraph, pattern, root, subst,
+               [&]() { out->push_back(Match{root, subst}); });
+}
+
+std::vector<Match> MatchAll(const EGraph& egraph, const Pattern& pattern) {
+  std::vector<Match> out;
+  for (ClassId id : egraph.CanonicalClasses()) {
+    MatchInClass(egraph, pattern, id, &out);
+  }
+  return out;
+}
+
+}  // namespace spores

@@ -1,0 +1,26 @@
+// Backtracking e-matcher: enumerates all substitutions under which a pattern
+// is represented inside an e-class. The paper matches by graph traversal
+// (Sec 3.1 notes Rete is unnecessary at this rule count); we do the same.
+#pragma once
+
+#include <vector>
+
+#include "src/egraph/egraph.h"
+#include "src/egraph/pattern.h"
+
+namespace spores {
+
+/// One match site: the e-class whose member matched, plus bindings.
+struct Match {
+  ClassId root;
+  Subst subst;
+};
+
+/// All matches of `pattern` against class `id` (appended to `out`).
+void MatchInClass(const EGraph& egraph, const Pattern& pattern, ClassId id,
+                  std::vector<Match>* out);
+
+/// All matches of `pattern` across every canonical class of the graph.
+std::vector<Match> MatchAll(const EGraph& egraph, const Pattern& pattern);
+
+}  // namespace spores

@@ -1,0 +1,103 @@
+#include "src/egraph/pattern.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace spores {
+
+ClassId Subst::ClassOf(Symbol var) const {
+  auto it = classes.find(var);
+  SPORES_CHECK_MSG(it != classes.end(), var.str().c_str());
+  return it->second;
+}
+
+const std::vector<Symbol>& Subst::AttrsOf(Symbol var) const {
+  auto it = attrs.find(var);
+  SPORES_CHECK_MSG(it != attrs.end(), var.str().c_str());
+  return it->second;
+}
+
+double Subst::ValueOf(Symbol var) const {
+  auto it = values.find(var);
+  SPORES_CHECK_MSG(it != values.end(), var.str().c_str());
+  return it->second;
+}
+
+PatternPtr Pattern::V(std::string_view name) {
+  auto p = std::make_shared<Pattern>();
+  p->kind = Kind::kClassVar;
+  p->var = Symbol::Intern(name);
+  return p;
+}
+
+PatternPtr Pattern::N(Op op, std::vector<PatternPtr> children) {
+  auto p = std::make_shared<Pattern>();
+  p->kind = Kind::kNode;
+  p->op = op;
+  p->children = std::move(children);
+  return p;
+}
+
+PatternPtr Pattern::VarLeaf(std::string_view name) {
+  auto p = std::make_shared<Pattern>();
+  p->kind = Kind::kNode;
+  p->op = Op::kVar;
+  p->sym = Symbol::Intern(name);
+  return p;
+}
+
+PatternPtr Pattern::ConstLeaf(double value) {
+  auto p = std::make_shared<Pattern>();
+  p->kind = Kind::kNode;
+  p->op = Op::kConst;
+  p->value = value;
+  return p;
+}
+
+PatternPtr Pattern::ConstBind(std::string_view value_var) {
+  auto p = std::make_shared<Pattern>();
+  p->kind = Kind::kNode;
+  p->op = Op::kConst;
+  p->value_var = Symbol::Intern(value_var);
+  return p;
+}
+
+PatternPtr Pattern::AggBind(std::string_view attrs_var, PatternPtr child) {
+  auto p = std::make_shared<Pattern>();
+  p->kind = Kind::kNode;
+  p->op = Op::kAgg;
+  p->attrs_var = Symbol::Intern(attrs_var);
+  p->children = {std::move(child)};
+  return p;
+}
+
+PatternPtr Pattern::AggExact(std::vector<Symbol> attrs, PatternPtr child) {
+  auto p = std::make_shared<Pattern>();
+  p->kind = Kind::kNode;
+  p->op = Op::kAgg;
+  std::sort(attrs.begin(), attrs.end());
+  p->attrs = std::move(attrs);
+  p->children = {std::move(child)};
+  return p;
+}
+
+namespace {
+void CollectVars(const Pattern& p, std::vector<Symbol>& out) {
+  if (p.kind == Pattern::Kind::kClassVar) {
+    out.push_back(p.var);
+    return;
+  }
+  for (const PatternPtr& c : p.children) CollectVars(*c, out);
+}
+}  // namespace
+
+std::vector<Symbol> Pattern::ClassVars() const {
+  std::vector<Symbol> out;
+  CollectVars(*this, out);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace spores

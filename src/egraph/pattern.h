@@ -1,0 +1,78 @@
+// Pattern language for e-matching. Patterns mirror e-nodes but allow
+// variables at three levels:
+//   * class variables  (?a)  — bind whole e-classes,
+//   * attr variables   (?I)  — bind the attribute-list payload of
+//                              Sum/bind/unbind nodes,
+//   * value variables        — bind the scalar payload of kConst nodes.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/egraph/enode.h"
+#include "src/ir/ops.h"
+#include "src/util/symbol.h"
+
+namespace spores {
+
+class Pattern;
+using PatternPtr = std::shared_ptr<const Pattern>;
+
+/// A substitution produced by matching: variable name -> binding.
+struct Subst {
+  std::unordered_map<Symbol, ClassId> classes;
+  std::unordered_map<Symbol, std::vector<Symbol>> attrs;
+  std::unordered_map<Symbol, double> values;
+
+  ClassId ClassOf(Symbol var) const;
+  const std::vector<Symbol>& AttrsOf(Symbol var) const;
+  double ValueOf(Symbol var) const;
+};
+
+/// One pattern node.
+class Pattern {
+ public:
+  enum class Kind { kClassVar, kNode };
+
+  Kind kind;
+
+  // kClassVar payload.
+  Symbol var;
+
+  // kNode payload: required op plus optional payload constraints.
+  Op op = Op::kVar;
+  std::optional<Symbol> sym;            ///< require this symbol payload
+  std::optional<double> value;          ///< require this constant value
+  std::optional<Symbol> value_var;      ///< else bind the constant value
+  std::optional<std::vector<Symbol>> attrs;  ///< require these attrs
+  std::optional<Symbol> attrs_var;      ///< else bind the attr list
+  std::vector<PatternPtr> children;
+
+  /// ?x — matches any e-class, binding it to `name`.
+  static PatternPtr V(std::string_view name);
+
+  /// Operator node with child patterns.
+  static PatternPtr N(Op op, std::vector<PatternPtr> children);
+
+  /// kVar leaf requiring a specific input name.
+  static PatternPtr VarLeaf(std::string_view name);
+
+  /// kConst leaf requiring an exact value.
+  static PatternPtr ConstLeaf(double value);
+
+  /// kConst leaf binding its value to `value_var`.
+  static PatternPtr ConstBind(std::string_view value_var);
+
+  /// kAgg node binding its attribute list to `attrs_var`.
+  static PatternPtr AggBind(std::string_view attrs_var, PatternPtr child);
+
+  /// kAgg node requiring an exact attribute list.
+  static PatternPtr AggExact(std::vector<Symbol> attrs, PatternPtr child);
+
+  /// All class-variable names appearing in the pattern.
+  std::vector<Symbol> ClassVars() const;
+};
+
+}  // namespace spores

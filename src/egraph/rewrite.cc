@@ -1,0 +1,61 @@
+#include "src/egraph/rewrite.h"
+
+#include "src/util/check.h"
+
+namespace spores {
+
+ClassId InstantiatePattern(EGraph& egraph, const Pattern& pattern,
+                           const Subst& subst) {
+  if (pattern.kind == Pattern::Kind::kClassVar) {
+    return egraph.Find(subst.ClassOf(pattern.var));
+  }
+  ENode node;
+  node.op = pattern.op;
+  if (pattern.sym) node.sym = *pattern.sym;
+  if (pattern.value) {
+    node.value = *pattern.value;
+  } else if (pattern.value_var) {
+    node.value = subst.ValueOf(*pattern.value_var);
+  }
+  if (pattern.attrs) {
+    node.attrs = *pattern.attrs;
+  } else if (pattern.attrs_var) {
+    node.attrs = subst.AttrsOf(*pattern.attrs_var);
+  }
+  node.children.reserve(pattern.children.size());
+  for (const PatternPtr& c : pattern.children) {
+    node.children.push_back(InstantiatePattern(egraph, *c, subst));
+  }
+  return egraph.Add(std::move(node));
+}
+
+Applier TemplateApplier(PatternPtr rhs) {
+  return [rhs](EGraph& egraph, ClassId /*root*/,
+               const Subst& subst) -> std::optional<ClassId> {
+    return InstantiatePattern(egraph, *rhs, subst);
+  };
+}
+
+Rewrite MakeRewrite(std::string name, PatternPtr lhs, PatternPtr rhs,
+                    Guard guard, bool expansive) {
+  Rewrite rw;
+  rw.name = std::move(name);
+  rw.lhs = std::move(lhs);
+  rw.guard = std::move(guard);
+  rw.applier = TemplateApplier(std::move(rhs));
+  rw.expansive = expansive;
+  return rw;
+}
+
+Rewrite MakeDynRewrite(std::string name, PatternPtr lhs, Applier applier,
+                       Guard guard, bool expansive) {
+  Rewrite rw;
+  rw.name = std::move(name);
+  rw.lhs = std::move(lhs);
+  rw.guard = std::move(guard);
+  rw.applier = std::move(applier);
+  rw.expansive = expansive;
+  return rw;
+}
+
+}  // namespace spores

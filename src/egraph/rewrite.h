@@ -1,0 +1,51 @@
+// Rewrite rules: a left-hand pattern, an optional guard over the bindings
+// (used for schema side-conditions like "i not in Attr(A)", Sec 3.2), and an
+// applier that constructs the right-hand side in the e-graph. Appliers are
+// functions rather than templates so rules can compute attribute unions,
+// fresh names, and folded constants (the "dynamic" rules of Sec 3.2/3.3).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "src/egraph/matcher.h"
+
+namespace spores {
+
+/// Guard: returns true if the rule may fire on this substitution.
+using Guard = std::function<bool(const EGraph&, const Subst&)>;
+
+/// Applier: adds the RHS to the graph, returning the class to merge with the
+/// match root, or nullopt to decline this site.
+using Applier =
+    std::function<std::optional<ClassId>(EGraph&, ClassId root, const Subst&)>;
+
+/// A named rewrite rule.
+struct Rewrite {
+  std::string name;
+  PatternPtr lhs;
+  Guard guard;      ///< may be null (always fire)
+  Applier applier;
+  /// Expansive rules (assoc/comm) are throttled harder when sampling.
+  bool expansive = false;
+};
+
+/// Builds an applier that instantiates `rhs` as a template: every class
+/// variable / attr variable / value variable in `rhs` must be bound by the
+/// LHS match.
+Applier TemplateApplier(PatternPtr rhs);
+
+/// Instantiates a pattern under a substitution, adding nodes to the graph.
+ClassId InstantiatePattern(EGraph& egraph, const Pattern& pattern,
+                           const Subst& subst);
+
+/// Convenience constructor for purely structural rules.
+Rewrite MakeRewrite(std::string name, PatternPtr lhs, PatternPtr rhs,
+                    Guard guard = nullptr, bool expansive = false);
+
+/// Convenience constructor for dynamic rules.
+Rewrite MakeDynRewrite(std::string name, PatternPtr lhs, Applier applier,
+                       Guard guard = nullptr, bool expansive = false);
+
+}  // namespace spores

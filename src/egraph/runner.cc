@@ -1,0 +1,116 @@
+#include "src/egraph/runner.h"
+
+#include <sstream>
+
+namespace spores {
+
+std::string RunnerReport::ToString() const {
+  std::ostringstream os;
+  os << "saturation: ";
+  switch (stop_reason) {
+    case StopReason::kSaturated: os << "converged"; break;
+    case StopReason::kIterationLimit: os << "iteration-limit"; break;
+    case StopReason::kNodeLimit: os << "node-limit"; break;
+    case StopReason::kTimeout: os << "timeout"; break;
+  }
+  os << " after " << iterations << " iters, " << applied_matches
+     << " matches applied, " << final_nodes << " nodes / " << final_classes
+     << " classes, " << seconds << "s";
+  return os.str();
+}
+
+Runner::Runner(EGraph* egraph, std::vector<Rewrite> rules, RunnerConfig config)
+    : egraph_(egraph), rules_(std::move(rules)), config_(config),
+      rng_(config.seed) {}
+
+RunnerReport Runner::Run() {
+  Timer timer;
+  RunnerReport report;
+  egraph_->Rebuild();
+
+  // With sampling, an iteration may apply only already-known matches and
+  // leave the graph unchanged without being saturated. When that happens we
+  // verify with one full (unsampled) pass before declaring convergence.
+  bool verify_pass = false;
+  for (size_t iter = 0; iter < config_.max_iterations; ++iter) {
+    report.iterations = iter + 1;
+    uint64_t version_before = egraph_->Version();
+    bool sampled_this_iter = false;
+
+    // Phase 1: read-only matching against the frozen graph, so all rules see
+    // the same snapshot (simultaneous application, Sec 3.4).
+    struct PendingApplication {
+      const Rewrite* rule;
+      Match match;
+    };
+    std::vector<PendingApplication> pending;
+    for (const Rewrite& rule : rules_) {
+      std::vector<Match> matches = MatchAll(*egraph_, *rule.lhs);
+      if (rule.guard) {
+        std::vector<Match> kept;
+        kept.reserve(matches.size());
+        for (Match& m : matches) {
+          if (rule.guard(*egraph_, m.subst)) kept.push_back(std::move(m));
+        }
+        matches = std::move(kept);
+      }
+      if (config_.strategy == SaturationStrategy::kSampling && !verify_pass) {
+        size_t limit = rule.expansive ? config_.expansive_match_limit
+                                      : config_.match_limit_per_rule;
+        if (matches.size() > limit) {
+          sampled_this_iter = true;
+          std::vector<size_t> keep =
+              rng_.SampleWithoutReplacement(matches.size(), limit);
+          std::vector<Match> sampled;
+          sampled.reserve(limit);
+          for (size_t idx : keep) sampled.push_back(std::move(matches[idx]));
+          matches = std::move(sampled);
+        }
+      }
+      for (Match& m : matches) {
+        pending.push_back(PendingApplication{&rule, std::move(m)});
+      }
+    }
+
+    // Phase 2: apply.
+    for (PendingApplication& pa : pending) {
+      std::optional<ClassId> rhs =
+          pa.rule->applier(*egraph_, pa.match.root, pa.match.subst);
+      if (rhs) {
+        egraph_->Merge(pa.match.root, *rhs);
+        ++report.applied_matches;
+      }
+      if (egraph_->NumNodes() > config_.max_nodes) break;
+    }
+    egraph_->Rebuild();
+
+    if (egraph_->Version() == version_before) {
+      if (!sampled_this_iter || verify_pass) {
+        report.stop_reason = StopReason::kSaturated;
+        break;
+      }
+      // Unchanged but sampled: re-run once with sampling disabled to verify.
+      verify_pass = true;
+      continue;
+    }
+    verify_pass = false;
+    if (egraph_->NumNodes() > config_.max_nodes) {
+      report.stop_reason = StopReason::kNodeLimit;
+      break;
+    }
+    if (timer.Seconds() > config_.timeout_seconds) {
+      report.stop_reason = StopReason::kTimeout;
+      break;
+    }
+    if (iter + 1 == config_.max_iterations) {
+      report.stop_reason = StopReason::kIterationLimit;
+    }
+  }
+
+  report.final_nodes = egraph_->NumNodes();
+  report.final_classes = egraph_->NumClasses();
+  report.seconds = timer.Seconds();
+  return report;
+}
+
+}  // namespace spores

@@ -1,0 +1,67 @@
+// Saturation driver (Fig 8). Repeatedly matches every rule against the graph
+// and applies the results, until convergence or a resource bound. Implements
+// the two application strategies the paper evaluates (Sec 3.1 / Fig 16):
+//
+//  * kDepthFirst — apply every match of every rule each iteration; explodes
+//    on expansive AC rules (the paper's GLM/SVM timeout).
+//  * kSampling   — cap the number of matches applied per rule per iteration
+//    ("matches = sample(matches, limit)"), which keeps every rule considered
+//    equally often and preserves convergence with high probability.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/egraph/rewrite.h"
+#include "src/util/rng.h"
+#include "src/util/timer.h"
+
+namespace spores {
+
+enum class SaturationStrategy { kDepthFirst, kSampling };
+
+/// Why the runner stopped.
+enum class StopReason {
+  kSaturated,      ///< graph reached fixpoint: search space is exhaustive
+  kIterationLimit,
+  kNodeLimit,
+  kTimeout,
+};
+
+struct RunnerConfig {
+  SaturationStrategy strategy = SaturationStrategy::kSampling;
+  size_t match_limit_per_rule = 32;   ///< sampling cap per rule per iteration
+  size_t expansive_match_limit = 8;   ///< tighter cap for AC-style rules
+  size_t max_iterations = 40;
+  size_t max_nodes = 20000;
+  double timeout_seconds = 2.5;       ///< the paper's compile-time budget
+  uint64_t seed = 42;
+};
+
+struct RunnerReport {
+  StopReason stop_reason = StopReason::kIterationLimit;
+  size_t iterations = 0;
+  size_t applied_matches = 0;
+  size_t final_nodes = 0;
+  size_t final_classes = 0;
+  double seconds = 0.0;
+  std::string ToString() const;
+};
+
+/// Runs equality saturation over `egraph` with `rules`.
+class Runner {
+ public:
+  Runner(EGraph* egraph, std::vector<Rewrite> rules,
+         RunnerConfig config = RunnerConfig());
+
+  /// Saturates until fixpoint or a bound; the graph is rebuilt on return.
+  RunnerReport Run();
+
+ private:
+  EGraph* egraph_;
+  std::vector<Rewrite> rules_;
+  RunnerConfig config_;
+  Rng rng_;
+};
+
+}  // namespace spores

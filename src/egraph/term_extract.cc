@@ -1,0 +1,67 @@
+#include "src/egraph/term_extract.h"
+
+#include <limits>
+#include <unordered_map>
+
+namespace spores {
+
+namespace {
+
+constexpr uint64_t kInf = std::numeric_limits<uint64_t>::max();
+
+ExprPtr BuildTerm(const EGraph& egraph,
+                  const std::unordered_map<ClassId, const ENode*>& best,
+                  ClassId id) {
+  const ENode* node = best.at(egraph.Find(id));
+  std::vector<ExprPtr> children;
+  children.reserve(node->children.size());
+  for (ClassId c : node->children) {
+    children.push_back(BuildTerm(egraph, best, c));
+  }
+  auto e = std::make_shared<Expr>();
+  e->op = node->op;
+  e->sym = node->sym;
+  e->value = node->value;
+  e->attrs = node->attrs;
+  e->children = std::move(children);
+  return e;
+}
+
+}  // namespace
+
+std::optional<ExprPtr> SmallestTerm(const EGraph& egraph, ClassId id) {
+  // Bottom-up fixpoint over AST sizes (classic e-graph extraction).
+  std::unordered_map<ClassId, uint64_t> size;
+  std::unordered_map<ClassId, const ENode*> best;
+  std::vector<ClassId> classes = egraph.CanonicalClasses();
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (ClassId c : classes) {
+      uint64_t current = size.count(c) ? size[c] : kInf;
+      for (const ENode& n : egraph.GetClass(c).nodes) {
+        uint64_t total = 1;
+        bool ok = true;
+        for (ClassId child : n.children) {
+          auto it = size.find(egraph.Find(child));
+          if (it == size.end()) {
+            ok = false;
+            break;
+          }
+          total += it->second;
+        }
+        if (ok && total < current) {
+          current = total;
+          size[c] = total;
+          best[c] = &n;
+          changed = true;
+        }
+      }
+    }
+  }
+  ClassId root = egraph.Find(id);
+  if (!best.count(root)) return std::nullopt;
+  return BuildTerm(egraph, best, root);
+}
+
+}  // namespace spores

@@ -1,0 +1,17 @@
+// Smallest-term extraction: builds, for any e-class, the expression with the
+// fewest AST nodes it represents. Used for debugging, for representative
+// terms inside dynamic rules, and by tests. Cost-based extraction lives in
+// src/extract.
+#pragma once
+
+#include <optional>
+
+#include "src/egraph/egraph.h"
+
+namespace spores {
+
+/// Returns the minimum-AST-size expression represented by `id`, or nullopt
+/// if the class has no finite (acyclic) term.
+std::optional<ExprPtr> SmallestTerm(const EGraph& egraph, ClassId id);
+
+}  // namespace spores

@@ -1,0 +1,38 @@
+#include "src/egraph/union_find.h"
+
+#include "src/util/check.h"
+
+namespace spores {
+
+ClassId UnionFind::MakeSet() {
+  ClassId id = static_cast<ClassId>(parent_.size());
+  parent_.push_back(id);
+  return id;
+}
+
+ClassId UnionFind::Find(ClassId id) {
+  SPORES_CHECK_LT(id, parent_.size());
+  ClassId root = id;
+  while (parent_[root] != root) root = parent_[root];
+  while (parent_[id] != root) {
+    ClassId next = parent_[id];
+    parent_[id] = root;
+    id = next;
+  }
+  return root;
+}
+
+ClassId UnionFind::FindConst(ClassId id) const {
+  SPORES_CHECK_LT(id, parent_.size());
+  while (parent_[id] != id) id = parent_[id];
+  return id;
+}
+
+ClassId UnionFind::Union(ClassId keep, ClassId merge) {
+  SPORES_CHECK_EQ(parent_[keep], keep);
+  SPORES_CHECK_EQ(parent_[merge], merge);
+  parent_[merge] = keep;
+  return keep;
+}
+
+}  // namespace spores

@@ -1,0 +1,37 @@
+// Union-find over e-class ids with path compression. Union is
+// "union-by-argument": the first argument becomes the root, because EGraph
+// merges move e-class payloads into the kept root explicitly.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace spores {
+
+using ClassId = uint32_t;
+inline constexpr ClassId kInvalidClassId = static_cast<ClassId>(-1);
+
+/// Disjoint-set forest keyed by dense ClassIds.
+class UnionFind {
+ public:
+  /// Creates a fresh singleton set and returns its id.
+  ClassId MakeSet();
+
+  /// Canonical representative of `id` (with path compression).
+  ClassId Find(ClassId id);
+
+  /// Canonical representative without mutation (no path compression).
+  ClassId FindConst(ClassId id) const;
+
+  /// Makes `keep`'s root the representative of both sets; returns it.
+  /// Requires both args to be canonical ids.
+  ClassId Union(ClassId keep, ClassId merge);
+
+  size_t Size() const { return parent_.size(); }
+
+ private:
+  std::vector<ClassId> parent_;
+};
+
+}  // namespace spores

@@ -1,0 +1,47 @@
+// Extraction: choosing, from a saturated e-graph, the cheapest expression
+// equivalent to the input (Sec 3.1 "Extracting the Optimal Plan").
+//
+// Two implementations:
+//  * GreedyExtract — bottom-up, picks the cheapest operator per class; fast
+//    but blind to shared common subexpressions (the Fig 10 pitfall).
+//  * IlpExtract    — the Fig 11 ILP encoding solved exactly by the in-tree
+//    branch-and-bound solver; charges each shared operator once, with lazy
+//    cycle-elimination cuts (the published encoding admits cyclic picks).
+//
+// Both honor the LA-expressibility restriction (Sec 3.2): classes whose
+// schema has more than two attributes may only be entered through kJoin
+// nodes (they are legal only as fused join interiors under an aggregate).
+#pragma once
+
+#include <optional>
+
+#include "src/cost/cost_model.h"
+#include "src/egraph/egraph.h"
+
+namespace spores {
+
+struct ExtractionResult {
+  ExprPtr expr;        ///< extracted term (shared subterms share nodes)
+  double cost = 0.0;   ///< model cost of the selected operator set
+  bool optimal = false;///< true when the ILP proved optimality
+  double seconds = 0.0;
+};
+
+/// Greedy bottom-up extraction (tree cost; shared subexpressions counted
+/// once per use).
+StatusOr<ExtractionResult> GreedyExtract(const EGraph& egraph, ClassId root,
+                                         const CostModel& cost);
+
+struct IlpExtractConfig {
+  /// Total wall budget across all solve rounds (cycle cuts re-solve). On
+  /// exhaustion the greedy warm-start plan is returned, marked non-optimal.
+  double timeout_seconds = 2.0;
+  size_t max_cycle_cuts = 64;
+};
+
+/// ILP-based extraction (DAG cost; shared operators charged once).
+StatusOr<ExtractionResult> IlpExtract(const EGraph& egraph, ClassId root,
+                                      const CostModel& cost,
+                                      IlpExtractConfig config = {});
+
+}  // namespace spores

@@ -1,0 +1,86 @@
+#include <limits>
+#include <unordered_map>
+
+#include "src/extract/extractor.h"
+#include "src/util/timer.h"
+
+namespace spores {
+
+namespace {
+
+// True if `node` may be selected given the LA-expressibility restriction.
+bool Selectable(const EGraph& egraph, ClassId cls, const ENode& node) {
+  if (egraph.Data(cls).schema.size() <= 2) return true;
+  return node.op == Op::kJoin;
+}
+
+ExprPtr BuildShared(const EGraph& egraph,
+                    const std::unordered_map<ClassId, const ENode*>& best,
+                    std::unordered_map<ClassId, ExprPtr>& memo, ClassId id) {
+  ClassId root = egraph.Find(id);
+  auto it = memo.find(root);
+  if (it != memo.end()) return it->second;
+  const ENode* node = best.at(root);
+  std::vector<ExprPtr> children;
+  children.reserve(node->children.size());
+  for (ClassId c : node->children) {
+    children.push_back(BuildShared(egraph, best, memo, c));
+  }
+  ExprPtr e = Expr::Make(node->op, node->sym, node->value, node->attrs,
+                         std::move(children));
+  memo.emplace(root, e);
+  return e;
+}
+
+}  // namespace
+
+StatusOr<ExtractionResult> GreedyExtract(const EGraph& egraph, ClassId root,
+                                         const CostModel& cost) {
+  Timer timer;
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::unordered_map<ClassId, double> best_cost;
+  std::unordered_map<ClassId, const ENode*> best_node;
+  std::vector<ClassId> classes = egraph.CanonicalClasses();
+
+  // Bottom-up fixpoint: tree cost of the cheapest term per class.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (ClassId c : classes) {
+      double current = best_cost.count(c) ? best_cost[c] : kInf;
+      for (const ENode& n : egraph.GetClass(c).nodes) {
+        if (!Selectable(egraph, c, n)) continue;
+        double total = cost.NodeCost(egraph, n);
+        bool ok = true;
+        for (ClassId child : n.children) {
+          auto it = best_cost.find(egraph.Find(child));
+          if (it == best_cost.end()) {
+            ok = false;
+            break;
+          }
+          total += it->second;
+        }
+        if (ok && total < current) {
+          current = total;
+          best_cost[c] = total;
+          best_node[c] = &n;
+          changed = true;
+        }
+      }
+    }
+  }
+
+  ClassId r = egraph.Find(root);
+  if (!best_node.count(r)) {
+    return Status::NotFound("greedy extraction: no selectable term for root");
+  }
+  std::unordered_map<ClassId, ExprPtr> memo;
+  ExtractionResult result;
+  result.expr = BuildShared(egraph, best_node, memo, r);
+  result.cost = best_cost[r];
+  result.optimal = false;
+  result.seconds = timer.Seconds();
+  return result;
+}
+
+}  // namespace spores

@@ -1,0 +1,183 @@
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/extract/extractor.h"
+#include "src/solver/bb_solver.h"
+#include "src/util/timer.h"
+
+namespace spores {
+
+namespace {
+
+bool Selectable(const EGraph& egraph, ClassId cls, const ENode& node) {
+  if (egraph.Data(cls).schema.size() <= 2) return true;
+  return node.op == Op::kJoin;
+}
+
+struct Encoding {
+  IlpModel model;
+  // Per canonical class: its variable and the variables of its nodes.
+  std::unordered_map<ClassId, VarId> class_var;
+  std::vector<std::pair<ClassId, const ENode*>> node_of_var;  // by node var
+  std::unordered_map<VarId, std::pair<ClassId, const ENode*>> node_info;
+};
+
+// Builds the Fig 11 encoding: minimize sum(B_op * C_op) subject to
+// B_root, F(op) = op -> children classes, G(c) = class -> OR(members).
+Encoding BuildEncoding(const EGraph& egraph, ClassId root,
+                       const CostModel& cost) {
+  Encoding enc;
+  std::vector<ClassId> classes = egraph.CanonicalClasses();
+  for (ClassId c : classes) {
+    enc.class_var[c] = enc.model.AddVar(0.0, "class" + std::to_string(c));
+  }
+  for (ClassId c : classes) {
+    std::vector<VarId> members;
+    for (const ENode& n : egraph.GetClass(c).nodes) {
+      if (!Selectable(egraph, c, n)) continue;
+      VarId v = enc.model.AddVar(cost.NodeCost(egraph, n),
+                                 std::string(OpName(n.op)));
+      enc.node_info[v] = {c, &n};
+      for (ClassId child : n.children) {
+        enc.model.AddImplication(v, enc.class_var.at(egraph.Find(child)));
+      }
+      members.push_back(v);
+    }
+    enc.model.AddCover(enc.class_var.at(c), std::move(members));
+  }
+  enc.model.Fix(enc.class_var.at(egraph.Find(root)), true);
+  return enc;
+}
+
+// Attempts to build a term from the selected operators. Returns nullopt and
+// fills `cycle_vars` when the selection is cyclic (triggering a lazy cut).
+std::optional<ExprPtr> TryBuild(const EGraph& egraph, const Encoding& enc,
+                                const std::vector<bool>& assignment,
+                                ClassId root, std::vector<VarId>* cycle_vars) {
+  // Selected nodes per class, cheapest first.
+  std::unordered_map<ClassId, std::vector<VarId>> selected;
+  for (const auto& [v, info] : enc.node_info) {
+    if (assignment[static_cast<size_t>(v)]) {
+      selected[info.first].push_back(v);
+    }
+  }
+  std::unordered_map<ClassId, ExprPtr> memo;
+  std::unordered_set<ClassId> in_progress;
+  std::vector<VarId> path;
+  std::vector<ClassId> path_classes;
+
+  std::function<ExprPtr(ClassId)> build = [&](ClassId id) -> ExprPtr {
+    ClassId c = egraph.Find(id);
+    auto it = memo.find(c);
+    if (it != memo.end()) return it->second;
+    if (in_progress.count(c)) {
+      // Cycle: cut only the operators on the cyclic suffix of the path
+      // (tighter cuts converge much faster than whole-path cuts).
+      if (cycle_vars->empty()) {
+        size_t start = 0;
+        for (size_t i = 0; i < path_classes.size(); ++i) {
+          if (path_classes[i] == c) {
+            start = i;
+            break;
+          }
+        }
+        cycle_vars->assign(path.begin() + static_cast<ptrdiff_t>(start),
+                           path.end());
+      }
+      return nullptr;
+    }
+    auto sel = selected.find(c);
+    if (sel == selected.end() || sel->second.empty()) {
+      if (cycle_vars->empty()) *cycle_vars = path;  // uncovered class
+      return nullptr;
+    }
+    in_progress.insert(c);
+    ExprPtr result;
+    for (VarId v : sel->second) {
+      const ENode* n = enc.node_info.at(v).second;
+      path.push_back(v);
+      path_classes.push_back(c);
+      std::vector<ExprPtr> children;
+      children.reserve(n->children.size());
+      bool ok = true;
+      for (ClassId child : n->children) {
+        ExprPtr e = build(child);
+        if (!e) {
+          ok = false;
+          break;
+        }
+        children.push_back(std::move(e));
+      }
+      path.pop_back();
+      path_classes.pop_back();
+      if (ok) {
+        result = Expr::Make(n->op, n->sym, n->value, n->attrs,
+                            std::move(children));
+        break;
+      }
+    }
+    in_progress.erase(c);
+    if (result) memo.emplace(c, result);
+    return result;
+  };
+
+  ExprPtr out = build(root);
+  if (!out) return std::nullopt;
+  return out;
+}
+
+}  // namespace
+
+StatusOr<ExtractionResult> IlpExtract(const EGraph& egraph, ClassId root,
+                                      const CostModel& cost,
+                                      IlpExtractConfig config) {
+  Timer timer;
+  Encoding enc = BuildEncoding(egraph, root, cost);
+  SolverConfig scfg;
+  // config.timeout_seconds is the TOTAL extraction budget; each solve round
+  // gets whatever remains.
+  scfg.timeout_seconds = config.timeout_seconds;
+  // Warm-start pruning with the greedy solution's cost: greedy tree cost is
+  // an upper bound on the optimal DAG cost.
+  StatusOr<ExtractionResult> greedy = GreedyExtract(egraph, root, cost);
+  if (greedy.ok()) {
+    scfg.initial_upper_bound = greedy.value().cost;
+    scfg.has_initial_upper_bound = true;
+  }
+
+  for (size_t round = 0; round <= config.max_cycle_cuts; ++round) {
+    scfg.timeout_seconds = config.timeout_seconds - timer.Seconds();
+    if (scfg.timeout_seconds <= 0) break;
+    IlpResult sol = SolveIlp(enc.model, scfg);
+    if (!sol.feasible) {
+      return Status::NotFound("ILP extraction infeasible");
+    }
+    std::vector<VarId> cycle;
+    std::optional<ExprPtr> term =
+        TryBuild(egraph, enc, sol.assignment, egraph.Find(root), &cycle);
+    if (term) {
+      ExtractionResult result;
+      result.expr = *term;
+      result.cost = sol.objective;
+      result.optimal = sol.proven_optimal;
+      result.seconds = timer.Seconds();
+      return result;
+    }
+    if (cycle.empty()) {
+      return Status::Internal("ILP extraction: unbuildable acyclic solution");
+    }
+    // Lazy cut: this exact combination of operators may not all be chosen.
+    enc.model.AddForbid(cycle);
+  }
+  // Cycle cuts did not converge within budget; the greedy plan (acyclic by
+  // construction) is still a valid answer — return it, marked non-optimal.
+  if (greedy.ok()) {
+    ExtractionResult result = greedy.value();
+    result.optimal = false;
+    result.seconds = timer.Seconds();
+    return result;
+  }
+  return Status::ResourceExhausted("ILP extraction: cycle-cut budget spent");
+}
+
+}  // namespace spores

@@ -1,0 +1,250 @@
+#include "src/ir/expr.h"
+
+#include <algorithm>
+
+namespace spores {
+
+namespace {
+
+uint64_t HashCombine(uint64_t h, uint64_t v) {
+  // 64-bit boost-style mix.
+  return h ^ (v + 0x9e3779b97f4a7c15ull + (h << 12) + (h >> 4));
+}
+
+uint64_t HashDouble(double d) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(d));
+  __builtin_memcpy(&bits, &d, sizeof(bits));
+  return bits * 0xff51afd7ed558ccdull;
+}
+
+}  // namespace
+
+bool Expr::Equals(const Expr& other) const {
+  if (op != other.op || sym != other.sym || value != other.value ||
+      attrs != other.attrs || children.size() != other.children.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < children.size(); ++i) {
+    if (!ExprEquals(children[i], other.children[i])) return false;
+  }
+  return true;
+}
+
+uint64_t Expr::Hash() const {
+  uint64_t h = static_cast<uint64_t>(op) * 0x9e3779b97f4a7c15ull;
+  h = HashCombine(h, sym.id());
+  h = HashCombine(h, HashDouble(value));
+  for (Symbol a : attrs) h = HashCombine(h, a.id());
+  for (const ExprPtr& c : children) h = HashCombine(h, c->Hash());
+  return h;
+}
+
+size_t Expr::TreeSize() const {
+  size_t n = 1;
+  for (const ExprPtr& c : children) n += c->TreeSize();
+  return n;
+}
+
+ExprPtr Expr::Make(Op op, Symbol sym, double value, std::vector<Symbol> attrs,
+                   std::vector<ExprPtr> children) {
+  auto e = std::make_shared<Expr>();
+  e->op = op;
+  e->sym = sym;
+  e->value = value;
+  e->attrs = std::move(attrs);
+  e->children = std::move(children);
+  return e;
+}
+
+ExprPtr Expr::Var(Symbol name) { return Make(Op::kVar, name, 0, {}, {}); }
+ExprPtr Expr::Const(double v) { return Make(Op::kConst, Symbol(), v, {}, {}); }
+
+ExprPtr Expr::MatMul(ExprPtr a, ExprPtr b) {
+  return Make(Op::kMatMul, Symbol(), 0, {}, {std::move(a), std::move(b)});
+}
+ExprPtr Expr::Mul(ExprPtr a, ExprPtr b) {
+  return Make(Op::kElemMul, Symbol(), 0, {}, {std::move(a), std::move(b)});
+}
+ExprPtr Expr::Plus(ExprPtr a, ExprPtr b) {
+  return Make(Op::kElemPlus, Symbol(), 0, {}, {std::move(a), std::move(b)});
+}
+ExprPtr Expr::Minus(ExprPtr a, ExprPtr b) {
+  return Make(Op::kElemMinus, Symbol(), 0, {}, {std::move(a), std::move(b)});
+}
+ExprPtr Expr::Div(ExprPtr a, ExprPtr b) {
+  return Make(Op::kElemDiv, Symbol(), 0, {}, {std::move(a), std::move(b)});
+}
+ExprPtr Expr::Pow(ExprPtr a, double exponent) {
+  return Make(Op::kPow, Symbol(), 0, {}, {std::move(a), Const(exponent)});
+}
+ExprPtr Expr::Transpose(ExprPtr a) {
+  return Make(Op::kTranspose, Symbol(), 0, {}, {std::move(a)});
+}
+ExprPtr Expr::RowSums(ExprPtr a) {
+  return Make(Op::kRowAgg, Symbol(), 0, {}, {std::move(a)});
+}
+ExprPtr Expr::ColSums(ExprPtr a) {
+  return Make(Op::kColAgg, Symbol(), 0, {}, {std::move(a)});
+}
+ExprPtr Expr::Sum(ExprPtr a) {
+  return Make(Op::kSumAgg, Symbol(), 0, {}, {std::move(a)});
+}
+ExprPtr Expr::Neg(ExprPtr a) {
+  return Make(Op::kNeg, Symbol(), 0, {}, {std::move(a)});
+}
+ExprPtr Expr::Unary(std::string_view fn, ExprPtr a) {
+  return Make(Op::kUnary, Symbol::Intern(fn), 0, {}, {std::move(a)});
+}
+ExprPtr Expr::SProp(ExprPtr a) {
+  return Make(Op::kSProp, Symbol(), 0, {}, {std::move(a)});
+}
+ExprPtr Expr::WsLoss(ExprPtr x, ExprPtr u, ExprPtr v) {
+  return Make(Op::kWsLoss, Symbol(), 0, {},
+              {std::move(x), std::move(u), std::move(v)});
+}
+
+namespace {
+// AC operators keep children in a canonical order so structurally equal
+// terms hash identically regardless of construction order.
+void SortAcChildren(std::vector<ExprPtr>& children) {
+  std::stable_sort(children.begin(), children.end(),
+                   [](const ExprPtr& a, const ExprPtr& b) {
+                     return a->Hash() < b->Hash();
+                   });
+}
+}  // namespace
+
+ExprPtr Expr::Join(std::vector<ExprPtr> children) {
+  SPORES_CHECK_GE(children.size(), 1u);
+  if (children.size() == 1) return children[0];
+  SortAcChildren(children);
+  return Make(Op::kJoin, Symbol(), 0, {}, std::move(children));
+}
+
+ExprPtr Expr::Union(std::vector<ExprPtr> children) {
+  SPORES_CHECK_GE(children.size(), 1u);
+  if (children.size() == 1) return children[0];
+  SortAcChildren(children);
+  return Make(Op::kUnion, Symbol(), 0, {}, std::move(children));
+}
+
+ExprPtr Expr::Agg(std::vector<Symbol> attrs, ExprPtr child) {
+  if (attrs.empty()) return child;
+  std::sort(attrs.begin(), attrs.end());
+  attrs.erase(std::unique(attrs.begin(), attrs.end()), attrs.end());
+  return Make(Op::kAgg, Symbol(), 0, std::move(attrs), {std::move(child)});
+}
+
+ExprPtr Expr::Bind(std::vector<Symbol> attrs, ExprPtr child) {
+  return Make(Op::kBind, Symbol(), 0, std::move(attrs), {std::move(child)});
+}
+
+ExprPtr Expr::Unbind(std::vector<Symbol> attrs, ExprPtr child) {
+  return Make(Op::kUnbind, Symbol(), 0, std::move(attrs), {std::move(child)});
+}
+
+void Catalog::Register(std::string_view name, int64_t rows, int64_t cols,
+                       double sparsity) {
+  SPORES_CHECK_GT(rows, 0);
+  SPORES_CHECK_GT(cols, 0);
+  SPORES_CHECK(sparsity >= 0.0 && sparsity <= 1.0);
+  meta_[Symbol::Intern(name)] = MatrixMeta{Shape{rows, cols}, sparsity};
+}
+
+const MatrixMeta& Catalog::Get(Symbol name) const {
+  auto it = meta_.find(name);
+  SPORES_CHECK_MSG(it != meta_.end(), name.str().c_str());
+  return it->second;
+}
+
+namespace {
+
+StatusOr<Shape> BroadcastShape(const Shape& a, const Shape& b) {
+  auto combine = [](int64_t x, int64_t y) -> int64_t {
+    if (x == y) return x;
+    if (x == 1) return y;
+    if (y == 1) return x;
+    return -1;
+  };
+  int64_t r = combine(a.rows, b.rows);
+  int64_t c = combine(a.cols, b.cols);
+  if (r < 0 || c < 0) {
+    return Status::InvalidArgument(
+        "incompatible elementwise shapes: " + std::to_string(a.rows) + "x" +
+        std::to_string(a.cols) + " vs " + std::to_string(b.rows) + "x" +
+        std::to_string(b.cols));
+  }
+  return Shape{r, c};
+}
+
+}  // namespace
+
+StatusOr<Shape> InferShape(const ExprPtr& expr, const Catalog& catalog) {
+  switch (expr->op) {
+    case Op::kVar:
+      if (!catalog.Has(expr->sym)) {
+        return Status::NotFound("unknown input: " + expr->sym.str());
+      }
+      return catalog.Get(expr->sym).shape;
+    case Op::kConst:
+      return Shape{1, 1};
+    case Op::kMatMul: {
+      SPORES_ASSIGN_OR_RETURN(Shape a, InferShape(expr->children[0], catalog));
+      SPORES_ASSIGN_OR_RETURN(Shape b, InferShape(expr->children[1], catalog));
+      if (a.cols != b.rows) {
+        return Status::InvalidArgument(
+            "matmul inner dims mismatch: " + std::to_string(a.cols) + " vs " +
+            std::to_string(b.rows));
+      }
+      return Shape{a.rows, b.cols};
+    }
+    case Op::kElemMul:
+    case Op::kElemPlus:
+    case Op::kElemMinus:
+    case Op::kElemDiv: {
+      SPORES_ASSIGN_OR_RETURN(Shape a, InferShape(expr->children[0], catalog));
+      SPORES_ASSIGN_OR_RETURN(Shape b, InferShape(expr->children[1], catalog));
+      return BroadcastShape(a, b);
+    }
+    case Op::kPow: {
+      if (expr->children.size() != 2 || expr->children[1]->op != Op::kConst) {
+        return Status::InvalidArgument("pow requires constant exponent");
+      }
+      return InferShape(expr->children[0], catalog);
+    }
+    case Op::kTranspose: {
+      SPORES_ASSIGN_OR_RETURN(Shape a, InferShape(expr->children[0], catalog));
+      return Shape{a.cols, a.rows};
+    }
+    case Op::kRowAgg: {
+      SPORES_ASSIGN_OR_RETURN(Shape a, InferShape(expr->children[0], catalog));
+      return Shape{a.rows, 1};
+    }
+    case Op::kColAgg: {
+      SPORES_ASSIGN_OR_RETURN(Shape a, InferShape(expr->children[0], catalog));
+      return Shape{1, a.cols};
+    }
+    case Op::kSumAgg:
+      SPORES_RETURN_IF_ERROR(InferShape(expr->children[0], catalog).status());
+      return Shape{1, 1};
+    case Op::kUnary:
+    case Op::kNeg:
+    case Op::kSProp:
+      return InferShape(expr->children[0], catalog);
+    case Op::kWsLoss: {
+      SPORES_ASSIGN_OR_RETURN(Shape x, InferShape(expr->children[0], catalog));
+      SPORES_ASSIGN_OR_RETURN(Shape u, InferShape(expr->children[1], catalog));
+      SPORES_ASSIGN_OR_RETURN(Shape v, InferShape(expr->children[2], catalog));
+      if (u.rows != x.rows || v.rows != x.cols || u.cols != v.cols) {
+        return Status::InvalidArgument("wsloss shape mismatch");
+      }
+      return Shape{1, 1};
+    }
+    default:
+      return Status::Unsupported(std::string("InferShape: non-LA op ") +
+                                 std::string(OpName(expr->op)));
+  }
+}
+
+}  // namespace spores

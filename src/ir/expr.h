@@ -1,0 +1,118 @@
+// Immutable expression trees (shared-pointer DAGs) for LA and RA terms, plus
+// the input catalog describing matrix dimensions and sparsity. These trees
+// are the currency between the parser, the e-graph, the canonicalizer, the
+// optimizers, and the runtime executor.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/ir/ops.h"
+#include "src/util/status.h"
+#include "src/util/symbol.h"
+
+namespace spores {
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// One immutable expression node. Payload fields are only meaningful for the
+/// ops documented next to them; unused payloads stay default-initialized.
+class Expr {
+ public:
+  Op op;
+  Symbol sym;                 ///< kVar name; kUnary function name.
+  double value = 0.0;         ///< kConst literal.
+  std::vector<Symbol> attrs;  ///< kAgg bound attrs (sorted);
+                              ///< kBind/kUnbind ordered attribute lists.
+  std::vector<ExprPtr> children;
+
+  /// Structural equality (payloads and children, recursively).
+  bool Equals(const Expr& other) const;
+
+  /// Structural hash consistent with Equals.
+  uint64_t Hash() const;
+
+  /// Number of nodes in the tree (shared nodes counted once per occurrence).
+  size_t TreeSize() const;
+
+  // ---- Factory helpers (the builder DSL) ----
+  static ExprPtr Var(Symbol name);
+  static ExprPtr Var(std::string_view name) {
+    return Var(Symbol::Intern(name));
+  }
+  static ExprPtr Const(double v);
+  static ExprPtr MatMul(ExprPtr a, ExprPtr b);
+  static ExprPtr Mul(ExprPtr a, ExprPtr b);
+  static ExprPtr Plus(ExprPtr a, ExprPtr b);
+  static ExprPtr Minus(ExprPtr a, ExprPtr b);
+  static ExprPtr Div(ExprPtr a, ExprPtr b);
+  static ExprPtr Pow(ExprPtr a, double exponent);
+  static ExprPtr Transpose(ExprPtr a);
+  static ExprPtr RowSums(ExprPtr a);
+  static ExprPtr ColSums(ExprPtr a);
+  static ExprPtr Sum(ExprPtr a);
+  static ExprPtr Neg(ExprPtr a);
+  static ExprPtr Unary(std::string_view fn, ExprPtr a);
+  static ExprPtr SProp(ExprPtr a);
+  static ExprPtr WsLoss(ExprPtr x, ExprPtr u, ExprPtr v);
+
+  // RA constructors. Join/Union are n-ary; Make sorts AC children by hash to
+  // give a stable structural form.
+  static ExprPtr Join(std::vector<ExprPtr> children);
+  static ExprPtr Union(std::vector<ExprPtr> children);
+  static ExprPtr Agg(std::vector<Symbol> attrs, ExprPtr child);
+  static ExprPtr Bind(std::vector<Symbol> attrs, ExprPtr child);
+  static ExprPtr Unbind(std::vector<Symbol> attrs, ExprPtr child);
+
+  static ExprPtr Make(Op op, Symbol sym, double value,
+                      std::vector<Symbol> attrs, std::vector<ExprPtr> children);
+};
+
+/// Shape of a matrix (scalars are 1x1, column vectors Nx1, row vectors 1xN).
+struct Shape {
+  int64_t rows = 1;
+  int64_t cols = 1;
+
+  int64_t size() const { return rows * cols; }
+  bool IsScalar() const { return rows == 1 && cols == 1; }
+  bool IsColVector() const { return cols == 1; }
+  bool IsRowVector() const { return rows == 1; }
+  friend bool operator==(const Shape&, const Shape&) = default;
+};
+
+/// Catalog entry for one named input.
+struct MatrixMeta {
+  Shape shape;
+  double sparsity = 1.0;  ///< nnz / size in [0, 1]; 1.0 == dense.
+};
+
+/// Maps input names to their dimensions and sparsity estimates; the optimizer
+/// and runtime consult this the way SPORES consults SystemML's matrix
+/// characteristics.
+class Catalog {
+ public:
+  void Register(std::string_view name, int64_t rows, int64_t cols,
+                double sparsity = 1.0);
+  bool Has(Symbol name) const { return meta_.count(name) > 0; }
+  const MatrixMeta& Get(Symbol name) const;
+
+ private:
+  std::unordered_map<Symbol, MatrixMeta> meta_;
+};
+
+/// Infers the output shape of an LA expression against `catalog`.
+/// Fails on dimension mismatches or non-LA operators.
+StatusOr<Shape> InferShape(const ExprPtr& expr, const Catalog& catalog);
+
+/// Deep structural comparison through ExprPtr.
+inline bool ExprEquals(const ExprPtr& a, const ExprPtr& b) {
+  if (a == b) return true;
+  if (!a || !b) return false;
+  return a->Equals(*b);
+}
+
+}  // namespace spores

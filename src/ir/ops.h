@@ -1,0 +1,107 @@
+// Operator vocabulary for both the Linear Algebra (LA) surface language and
+// the Relational Algebra (RA) intermediate representation (Table 1 of the
+// paper). A single enum keeps the e-graph language uniform: saturation may
+// hold LA and RA nodes side by side (Sec 3.3 allows translation rules inside
+// saturation).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace spores {
+
+enum class Op : uint8_t {
+  // ---- Leaves ----
+  kVar,        ///< Named input matrix/vector/scalar; payload: Symbol.
+  kConst,      ///< Scalar literal; payload: double.
+
+  // ---- LA operators (Table 1 plus SystemML conveniences) ----
+  kMatMul,     ///< A %*% B.
+  kElemMul,    ///< A * B, elementwise with broadcast.
+  kElemPlus,   ///< A + B, elementwise with broadcast.
+  kElemMinus,  ///< A - B, elementwise with broadcast.
+  kElemDiv,    ///< A / B, elementwise with broadcast.
+  kPow,        ///< A ^ k, elementwise; exponent is a kConst child.
+  kTranspose,  ///< t(A).
+  kRowAgg,     ///< rowSums(A): M x N -> M x 1.
+  kColAgg,     ///< colSums(A): M x N -> 1 x N.
+  kSumAgg,     ///< sum(A): M x N -> 1 x 1.
+  kUnary,      ///< Elementwise function exp/log/sqrt/sigmoid/sign/abs;
+               ///< payload: Symbol function name.
+  kNeg,        ///< -A (unary minus).
+
+  // ---- Fused LA operators (SystemML, Sec 3.3) ----
+  kSProp,      ///< sprop(P) = P * (1 - P), one intermediate.
+  kWsLoss,     ///< wsloss(X, U, V) = sum((X - U V^T)^2) streamed over nnz(X).
+
+  // ---- RA operators (Table 1) ----
+  kJoin,       ///< n-ary natural join; multiplies multiplicities.
+  kUnion,      ///< n-ary union; adds multiplicities.
+  kAgg,        ///< Sum_{attrs} child; payload: sorted bound-attribute list.
+  kBind,       ///< [i,j]A : matrix -> relation; payload: attribute list.
+  kUnbind,     ///< [-i,-j]A : relation -> matrix; payload: attribute list.
+};
+
+/// True for the LA operator subset (translatable to runtime kernels).
+bool IsLaOp(Op op);
+
+/// True for the RA operator subset (join/union/agg/bind/unbind).
+bool IsRaOp(Op op);
+
+/// True if the operator's children are unordered and the op is
+/// associative-commutative (kJoin, kUnion).
+inline bool IsAcOp(Op op) { return op == Op::kJoin || op == Op::kUnion; }
+
+/// Stable lowercase name used by printers and hashing.
+std::string_view OpName(Op op);
+
+inline bool IsLaOp(Op op) {
+  switch (op) {
+    case Op::kVar: case Op::kConst: case Op::kMatMul: case Op::kElemMul:
+    case Op::kElemPlus: case Op::kElemMinus: case Op::kElemDiv: case Op::kPow:
+    case Op::kTranspose: case Op::kRowAgg: case Op::kColAgg: case Op::kSumAgg:
+    case Op::kUnary: case Op::kNeg: case Op::kSProp: case Op::kWsLoss:
+      return true;
+    default:
+      return false;
+  }
+}
+
+inline bool IsRaOp(Op op) {
+  switch (op) {
+    case Op::kJoin: case Op::kUnion: case Op::kAgg: case Op::kBind:
+    case Op::kUnbind: case Op::kVar: case Op::kConst:
+      return true;
+    default:
+      return false;
+  }
+}
+
+inline std::string_view OpName(Op op) {
+  switch (op) {
+    case Op::kVar: return "var";
+    case Op::kConst: return "const";
+    case Op::kMatMul: return "mmul";
+    case Op::kElemMul: return "mul";
+    case Op::kElemPlus: return "plus";
+    case Op::kElemMinus: return "minus";
+    case Op::kElemDiv: return "div";
+    case Op::kPow: return "pow";
+    case Op::kTranspose: return "t";
+    case Op::kRowAgg: return "rowSums";
+    case Op::kColAgg: return "colSums";
+    case Op::kSumAgg: return "sum";
+    case Op::kUnary: return "unary";
+    case Op::kNeg: return "neg";
+    case Op::kSProp: return "sprop";
+    case Op::kWsLoss: return "wsloss";
+    case Op::kJoin: return "join";
+    case Op::kUnion: return "union";
+    case Op::kAgg: return "agg";
+    case Op::kBind: return "bind";
+    case Op::kUnbind: return "unbind";
+  }
+  return "?";
+}
+
+}  // namespace spores

@@ -1,0 +1,277 @@
+#include "src/ir/parser.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace spores {
+
+namespace {
+
+enum class TokKind { kIdent, kNumber, kOp, kLParen, kRParen, kComma, kEnd };
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  double number = 0.0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  StatusOr<std::vector<Token>> Tokenize() {
+    std::vector<Token> out;
+    while (true) {
+      SkipSpace();
+      if (pos_ >= text_.size()) {
+        out.push_back({TokKind::kEnd, "", 0});
+        return out;
+      }
+      char c = text_[pos_];
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_' ||
+          c == '.') {
+        size_t start = pos_;
+        while (pos_ < text_.size() &&
+               (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '_' || text_[pos_] == '.')) {
+          ++pos_;
+        }
+        out.push_back(
+            {TokKind::kIdent, std::string(text_.substr(start, pos_ - start)),
+             0});
+      } else if (std::isdigit(static_cast<unsigned char>(c))) {
+        size_t start = pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' ||
+                ((text_[pos_] == '+' || text_[pos_] == '-') && pos_ > start &&
+                 (text_[pos_ - 1] == 'e' || text_[pos_ - 1] == 'E')))) {
+          ++pos_;
+        }
+        std::string num(text_.substr(start, pos_ - start));
+        out.push_back({TokKind::kNumber, num, std::strtod(num.c_str(),
+                                                          nullptr)});
+      } else if (c == '%') {
+        if (text_.substr(pos_, 3) == "%*%") {
+          pos_ += 3;
+          out.push_back({TokKind::kOp, "%*%", 0});
+        } else {
+          return Status::InvalidArgument("unexpected '%' at position " +
+                                         std::to_string(pos_));
+        }
+      } else if (c == '(') {
+        ++pos_;
+        out.push_back({TokKind::kLParen, "(", 0});
+      } else if (c == ')') {
+        ++pos_;
+        out.push_back({TokKind::kRParen, ")", 0});
+      } else if (c == ',') {
+        ++pos_;
+        out.push_back({TokKind::kComma, ",", 0});
+      } else if (c == '+' || c == '-' || c == '*' || c == '/' || c == '^') {
+        ++pos_;
+        out.push_back({TokKind::kOp, std::string(1, c), 0});
+      } else {
+        return Status::InvalidArgument(std::string("unexpected character '") +
+                                       c + "' at position " +
+                                       std::to_string(pos_));
+      }
+    }
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  StatusOr<ExprPtr> Parse() {
+    SPORES_ASSIGN_OR_RETURN(ExprPtr e, ParseAddSub());
+    if (Peek().kind != TokKind::kEnd) {
+      return Status::InvalidArgument("trailing input after expression: '" +
+                                     Peek().text + "'");
+    }
+    return e;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Advance() { return tokens_[pos_++]; }
+  bool MatchOp(std::string_view op) {
+    if (Peek().kind == TokKind::kOp && Peek().text == op) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  StatusOr<ExprPtr> ParseAddSub() {
+    SPORES_ASSIGN_OR_RETURN(ExprPtr lhs, ParseMulDiv());
+    while (true) {
+      if (MatchOp("+")) {
+        SPORES_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMulDiv());
+        lhs = Expr::Plus(lhs, rhs);
+      } else if (MatchOp("-")) {
+        SPORES_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMulDiv());
+        lhs = Expr::Minus(lhs, rhs);
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  StatusOr<ExprPtr> ParseMulDiv() {
+    SPORES_ASSIGN_OR_RETURN(ExprPtr lhs, ParseMatMul());
+    while (true) {
+      if (MatchOp("*")) {
+        SPORES_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMatMul());
+        lhs = Expr::Mul(lhs, rhs);
+      } else if (MatchOp("/")) {
+        SPORES_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMatMul());
+        lhs = Expr::Div(lhs, rhs);
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  StatusOr<ExprPtr> ParseMatMul() {
+    SPORES_ASSIGN_OR_RETURN(ExprPtr lhs, ParseUnary());
+    while (MatchOp("%*%")) {
+      SPORES_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+      lhs = Expr::MatMul(lhs, rhs);
+    }
+    return lhs;
+  }
+
+  StatusOr<ExprPtr> ParseUnary() {
+    if (MatchOp("-")) {
+      SPORES_ASSIGN_OR_RETURN(ExprPtr e, ParseUnary());
+      return Expr::Neg(e);
+    }
+    return ParsePower();
+  }
+
+  StatusOr<ExprPtr> ParsePower() {
+    SPORES_ASSIGN_OR_RETURN(ExprPtr base, ParseAtom());
+    if (MatchOp("^")) {
+      SPORES_ASSIGN_OR_RETURN(ExprPtr exp, ParseUnary());
+      if (exp->op != Op::kConst) {
+        return Status::Unsupported("only constant exponents are supported");
+      }
+      return Expr::Pow(base, exp->value);
+    }
+    return base;
+  }
+
+  StatusOr<ExprPtr> ParseAtom() {
+    const Token& tok = Advance();
+    switch (tok.kind) {
+      case TokKind::kNumber:
+        return Expr::Const(tok.number);
+      case TokKind::kLParen: {
+        SPORES_ASSIGN_OR_RETURN(ExprPtr e, ParseAddSub());
+        if (Peek().kind != TokKind::kRParen) {
+          return Status::InvalidArgument("expected ')'");
+        }
+        Advance();
+        return e;
+      }
+      case TokKind::kIdent: {
+        if (Peek().kind != TokKind::kLParen) {
+          return Expr::Var(tok.text);
+        }
+        Advance();  // consume '('
+        std::vector<ExprPtr> args;
+        if (Peek().kind != TokKind::kRParen) {
+          while (true) {
+            SPORES_ASSIGN_OR_RETURN(ExprPtr arg, ParseAddSub());
+            args.push_back(arg);
+            if (Peek().kind == TokKind::kComma) {
+              Advance();
+              continue;
+            }
+            break;
+          }
+        }
+        if (Peek().kind != TokKind::kRParen) {
+          return Status::InvalidArgument("expected ')' in call to " +
+                                         tok.text);
+        }
+        Advance();
+        return MakeCall(tok.text, std::move(args));
+      }
+      default:
+        return Status::InvalidArgument("unexpected token '" + tok.text + "'");
+    }
+  }
+
+  static StatusOr<ExprPtr> MakeCall(const std::string& name,
+                                    std::vector<ExprPtr> args) {
+    auto arity = [&](size_t n) -> Status {
+      if (args.size() != n) {
+        return Status::InvalidArgument(name + " expects " + std::to_string(n) +
+                                       " argument(s), got " +
+                                       std::to_string(args.size()));
+      }
+      return Status::OK();
+    };
+    if (name == "t") {
+      SPORES_RETURN_IF_ERROR(arity(1));
+      return Expr::Transpose(args[0]);
+    }
+    if (name == "sum") {
+      SPORES_RETURN_IF_ERROR(arity(1));
+      return Expr::Sum(args[0]);
+    }
+    if (name == "rowSums") {
+      SPORES_RETURN_IF_ERROR(arity(1));
+      return Expr::RowSums(args[0]);
+    }
+    if (name == "colSums") {
+      SPORES_RETURN_IF_ERROR(arity(1));
+      return Expr::ColSums(args[0]);
+    }
+    if (name == "sprop") {
+      SPORES_RETURN_IF_ERROR(arity(1));
+      return Expr::SProp(args[0]);
+    }
+    if (name == "wsloss") {
+      SPORES_RETURN_IF_ERROR(arity(3));
+      return Expr::WsLoss(args[0], args[1], args[2]);
+    }
+    if (name == "exp" || name == "log" || name == "sqrt" ||
+        name == "sigmoid" || name == "sign" || name == "abs") {
+      SPORES_RETURN_IF_ERROR(arity(1));
+      return Expr::Unary(name, args[0]);
+    }
+    return Status::Unsupported("unknown function: " + name);
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<ExprPtr> ParseExpr(std::string_view text) {
+  Lexer lexer(text);
+  SPORES_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  Parser parser(std::move(tokens));
+  return parser.Parse();
+}
+
+}  // namespace spores

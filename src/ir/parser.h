@@ -1,0 +1,25 @@
+// Recursive-descent parser for a DML/R-like surface syntax:
+//
+//   expr   := addsub
+//   addsub := muldiv  (('+'|'-') muldiv)*
+//   muldiv := matmul  (('*'|'/') matmul)*
+//   matmul := unary   ('%*%' unary)*
+//   unary  := '-' unary | power
+//   power  := atom ('^' unary)?              (right associative)
+//   atom   := number | ident | ident '(' expr (',' expr)* ')' | '(' expr ')'
+//
+// Recognized functions: t, sum, rowSums, colSums, sprop, wsloss, and the
+// elementwise unaries exp/log/sqrt/sigmoid/sign/abs.
+#pragma once
+
+#include <string_view>
+
+#include "src/ir/expr.h"
+#include "src/util/status.h"
+
+namespace spores {
+
+/// Parses `text` into an LA expression tree.
+StatusOr<ExprPtr> ParseExpr(std::string_view text);
+
+}  // namespace spores

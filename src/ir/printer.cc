@@ -1,0 +1,129 @@
+#include "src/ir/printer.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace spores {
+
+namespace {
+
+// Precedence levels for infix printing; higher binds tighter.
+int Precedence(Op op) {
+  switch (op) {
+    case Op::kElemPlus:
+    case Op::kElemMinus:
+      return 1;
+    case Op::kElemMul:
+    case Op::kElemDiv:
+      return 2;
+    case Op::kMatMul:
+      return 3;
+    case Op::kNeg:
+      return 4;
+    case Op::kPow:
+      return 5;
+    default:
+      return 6;  // atoms / function-call syntax never need parens
+  }
+}
+
+std::string FormatNumber(double v) {
+  if (v == std::floor(v) && std::abs(v) < 1e15) {
+    return std::to_string(static_cast<long long>(v));
+  }
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+void AttrList(const std::vector<Symbol>& attrs, std::ostringstream& os) {
+  os << '[';
+  for (size_t i = 0; i < attrs.size(); ++i) {
+    if (i) os << ',';
+    os << attrs[i].str();
+  }
+  os << ']';
+}
+
+void Print(const ExprPtr& e, std::ostringstream& os, int parent_prec) {
+  int prec = Precedence(e->op);
+  auto infix = [&](const char* sym) {
+    bool parens = prec < parent_prec;
+    if (parens) os << '(';
+    Print(e->children[0], os, prec);
+    os << sym;
+    // Left-associative: right child printed at prec+1 so nested same-level
+    // ops on the right keep their parens.
+    Print(e->children[1], os, prec + 1);
+    if (parens) os << ')';
+  };
+  auto call = [&](const char* name) {
+    os << name << '(';
+    for (size_t i = 0; i < e->children.size(); ++i) {
+      if (i) os << ", ";
+      Print(e->children[i], os, 0);
+    }
+    os << ')';
+  };
+  switch (e->op) {
+    case Op::kVar: os << e->sym.str(); break;
+    case Op::kConst: os << FormatNumber(e->value); break;
+    case Op::kMatMul: infix(" %*% "); break;
+    case Op::kElemMul: infix(" * "); break;
+    case Op::kElemPlus: infix(" + "); break;
+    case Op::kElemMinus: infix(" - "); break;
+    case Op::kElemDiv: infix(" / "); break;
+    case Op::kPow: infix(" ^ "); break;
+    case Op::kTranspose: call("t"); break;
+    case Op::kRowAgg: call("rowSums"); break;
+    case Op::kColAgg: call("colSums"); break;
+    case Op::kSumAgg: call("sum"); break;
+    case Op::kUnary: call(e->sym.str().c_str()); break;
+    case Op::kNeg: {
+      bool parens = prec < parent_prec;
+      if (parens) os << '(';
+      os << '-';
+      Print(e->children[0], os, prec);
+      if (parens) os << ')';
+      break;
+    }
+    case Op::kSProp: call("sprop"); break;
+    case Op::kWsLoss: call("wsloss"); break;
+    case Op::kJoin: call("join"); break;
+    case Op::kUnion: call("union"); break;
+    case Op::kAgg: {
+      os << "agg";
+      AttrList(e->attrs, os);
+      os << '(';
+      Print(e->children[0], os, 0);
+      os << ')';
+      break;
+    }
+    case Op::kBind: {
+      os << "bind";
+      AttrList(e->attrs, os);
+      os << '(';
+      Print(e->children[0], os, 0);
+      os << ')';
+      break;
+    }
+    case Op::kUnbind: {
+      os << "unbind";
+      AttrList(e->attrs, os);
+      os << '(';
+      Print(e->children[0], os, 0);
+      os << ')';
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string ToString(const ExprPtr& expr) {
+  std::ostringstream os;
+  Print(expr, os, 0);
+  return os.str();
+}
+
+}  // namespace spores

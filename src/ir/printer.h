@@ -1,0 +1,15 @@
+// Pretty-printers: LA expressions render in DML/R-like syntax
+// ("sum((X - U %*% t(V))^2)"), RA expressions in RPlan syntax
+// ("agg[i,j](join(bind[i,j](X), ...))").
+#pragma once
+
+#include <string>
+
+#include "src/ir/expr.h"
+
+namespace spores {
+
+/// Renders any expression (LA, RA, or mixed) as a string.
+std::string ToString(const ExprPtr& expr);
+
+}  // namespace spores

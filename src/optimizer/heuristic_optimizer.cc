@@ -1,0 +1,232 @@
+#include "src/optimizer/heuristic_optimizer.h"
+
+#include <cmath>
+
+#include "src/rules/rules_fusion.h"
+#include "src/util/check.h"
+
+namespace spores {
+
+namespace {
+
+// Occurrences of `target` (structurally) within `root`. SystemML's rewrites
+// guard on common subexpressions this way (Sec 4.2: "only applies the rule
+// when WH does not appear elsewhere").
+size_t CountOccurrences(const ExprPtr& root, const ExprPtr& target) {
+  size_t n = ExprEquals(root, target) ? 1 : 0;
+  for (const ExprPtr& c : root->children) n += CountOccurrences(c, target);
+  return n;
+}
+
+bool IsConst(const ExprPtr& e, double v) {
+  return e->op == Op::kConst && e->value == v;
+}
+
+bool IsScalarShaped(const ExprPtr& e, const Catalog& catalog) {
+  StatusOr<Shape> s = InferShape(e, catalog);
+  return s.ok() && s.value().IsScalar();
+}
+
+bool IsColVector(const ExprPtr& e, const Catalog& catalog) {
+  StatusOr<Shape> s = InferShape(e, catalog);
+  return s.ok() && s.value().cols == 1 && s.value().rows > 1;
+}
+
+bool IsRowVector(const ExprPtr& e, const Catalog& catalog) {
+  StatusOr<Shape> s = InferShape(e, catalog);
+  return s.ok() && s.value().rows == 1 && s.value().cols > 1;
+}
+
+class Rewriter {
+ public:
+  Rewriter(const Catalog& catalog, ExprPtr root)
+      : catalog_(catalog), root_(std::move(root)) {}
+
+  ExprPtr Run() {
+    ExprPtr current = root_;
+    // Fixpoint with a small iteration cap (SystemML performs a fixed number
+    // of rewrite sweeps).
+    for (int pass = 0; pass < 8; ++pass) {
+      root_ = current;
+      ExprPtr next = RewriteTree(current);
+      if (ExprEquals(next, current)) break;
+      current = next;
+    }
+    return ApplyFusion(current);
+  }
+
+ private:
+  ExprPtr RewriteTree(const ExprPtr& e) {
+    std::vector<ExprPtr> children;
+    children.reserve(e->children.size());
+    bool changed = false;
+    for (const ExprPtr& c : e->children) {
+      ExprPtr r = RewriteTree(c);
+      changed |= (r != c);
+      children.push_back(std::move(r));
+    }
+    ExprPtr node = changed ? Expr::Make(e->op, e->sym, e->value, e->attrs,
+                                        std::move(children))
+                           : e;
+    return RewriteNode(node);
+  }
+
+  ExprPtr RewriteNode(const ExprPtr& e) {
+    const auto& ch = e->children;
+    switch (e->op) {
+      case Op::kElemMul: {
+        // UnnecessaryBinaryOperation: X*1 -> X; X*0 -> 0-matrix (scalar 0
+        // here); BinaryToUnaryOperation: X*X -> X^2.
+        if (IsConst(ch[0], 1.0)) return ch[1];
+        if (IsConst(ch[1], 1.0)) return ch[0];
+        if (ExprEquals(ch[0], ch[1])) return Expr::Pow(ch[0], 2.0);
+        // Constant folding.
+        if (ch[0]->op == Op::kConst && ch[1]->op == Op::kConst) {
+          return Expr::Const(ch[0]->value * ch[1]->value);
+        }
+        break;
+      }
+      case Op::kElemPlus: {
+        if (IsConst(ch[0], 0.0)) return ch[1];
+        if (IsConst(ch[1], 0.0)) return ch[0];
+        if (ExprEquals(ch[0], ch[1])) {
+          return Expr::Mul(Expr::Const(2.0), ch[0]);
+        }
+        if (ch[0]->op == Op::kConst && ch[1]->op == Op::kConst) {
+          return Expr::Const(ch[0]->value + ch[1]->value);
+        }
+        break;
+      }
+      case Op::kElemMinus: {
+        if (IsConst(ch[1], 0.0)) return ch[0];
+        if (ch[0]->op == Op::kConst && ch[1]->op == Op::kConst) {
+          return Expr::Const(ch[0]->value - ch[1]->value);
+        }
+        break;
+      }
+      case Op::kElemDiv: {
+        if (IsConst(ch[1], 1.0)) return ch[0];
+        if (ch[0]->op == Op::kConst && ch[1]->op == Op::kConst &&
+            ch[1]->value != 0.0) {
+          return Expr::Const(ch[0]->value / ch[1]->value);
+        }
+        break;
+      }
+      case Op::kNeg: {
+        // UnnecessaryMinus: -(-X) -> X.
+        if (ch[0]->op == Op::kNeg) return ch[0]->children[0];
+        if (ch[0]->op == Op::kConst) return Expr::Const(-ch[0]->value);
+        break;
+      }
+      case Op::kTranspose: {
+        // UnnecessaryReorgOperation: t(t(X)) -> X.
+        if (ch[0]->op == Op::kTranspose) return ch[0]->children[0];
+        // TransposeAggBinBinaryChains: t(t(A) %*% t(B)) -> B %*% A.
+        if (ch[0]->op == Op::kMatMul &&
+            ch[0]->children[0]->op == Op::kTranspose &&
+            ch[0]->children[1]->op == Op::kTranspose) {
+          return Expr::MatMul(ch[0]->children[1]->children[0],
+                              ch[0]->children[0]->children[0]);
+        }
+        break;
+      }
+      case Op::kColAgg: {
+        // pushdownUnaryAggTransposeOp: colSums(t(X)) -> t(rowSums(X)).
+        if (ch[0]->op == Op::kTranspose) {
+          return Expr::Transpose(Expr::RowSums(ch[0]->children[0]));
+        }
+        // ColSumsMVMult: colSums(X*Y) -> t(Y) %*% X if Y col vector.
+        if (ch[0]->op == Op::kElemMul) {
+          const ExprPtr& x = ch[0]->children[0];
+          const ExprPtr& y = ch[0]->children[1];
+          if (IsColVector(y, catalog_) && !IsColVector(x, catalog_)) {
+            return Expr::MatMul(Expr::Transpose(y), x);
+          }
+          if (IsColVector(x, catalog_) && !IsColVector(y, catalog_)) {
+            return Expr::MatMul(Expr::Transpose(x), y);
+          }
+        }
+        break;
+      }
+      case Op::kRowAgg: {
+        if (ch[0]->op == Op::kTranspose) {
+          return Expr::Transpose(Expr::ColSums(ch[0]->children[0]));
+        }
+        // RowSumsMVMult: rowSums(X*Y) -> X %*% t(Y) if Y row vector.
+        if (ch[0]->op == Op::kElemMul) {
+          const ExprPtr& x = ch[0]->children[0];
+          const ExprPtr& y = ch[0]->children[1];
+          if (IsRowVector(y, catalog_) && !IsRowVector(x, catalog_)) {
+            return Expr::MatMul(x, Expr::Transpose(y));
+          }
+          if (IsRowVector(x, catalog_) && !IsRowVector(y, catalog_)) {
+            return Expr::MatMul(y, Expr::Transpose(x));
+          }
+        }
+        break;
+      }
+      case Op::kSumAgg: {
+        // UnaryAggReorgOperation: sum(t(X)) -> sum(X).
+        if (ch[0]->op == Op::kTranspose) {
+          return Expr::Sum(ch[0]->children[0]);
+        }
+        // UnnecessaryAggregates: sum(rowSums(X)) -> sum(X).
+        if (ch[0]->op == Op::kRowAgg || ch[0]->op == Op::kColAgg) {
+          return Expr::Sum(ch[0]->children[0]);
+        }
+        // pushdownSumOnAdd: sum(A+B) -> sum(A) + sum(B).
+        if (ch[0]->op == Op::kElemPlus) {
+          return Expr::Plus(Expr::Sum(ch[0]->children[0]),
+                            Expr::Sum(ch[0]->children[1]));
+        }
+        // pushdownSumBinaryMult: sum(c*X) -> c*sum(X), scalar c.
+        if (ch[0]->op == Op::kElemMul &&
+            IsScalarShaped(ch[0]->children[0], catalog_)) {
+          return Expr::Mul(ch[0]->children[0], Expr::Sum(ch[0]->children[1]));
+        }
+        if (ch[0]->op == Op::kElemMul &&
+            IsScalarShaped(ch[0]->children[1], catalog_)) {
+          return Expr::Mul(ch[0]->children[1], Expr::Sum(ch[0]->children[0]));
+        }
+        // DotProductSum: sum(v^2) -> t(v) %*% v for column vectors.
+        if (ch[0]->op == Op::kPow && ch[0]->children[1]->op == Op::kConst &&
+            ch[0]->children[1]->value == 2.0 &&
+            IsColVector(ch[0]->children[0], catalog_)) {
+          return Expr::MatMul(Expr::Transpose(ch[0]->children[0]),
+                              ch[0]->children[0]);
+        }
+        // SumMatrixMult: sum(A%*%B) -> sum(t(colSums(A)) * rowSums(B)),
+        // guarded: not a dot product, and — the CSE heuristic — only when
+        // the product is not shared elsewhere in the DAG (Sec 4.2; this is
+        // exactly why SystemML misses the PNMF rewrite).
+        if (ch[0]->op == Op::kMatMul) {
+          const ExprPtr& a = ch[0]->children[0];
+          const ExprPtr& b = ch[0]->children[1];
+          bool dot = IsRowVector(a, catalog_) && IsColVector(b, catalog_);
+          if (!dot && CountOccurrences(root_, ch[0]) <= 1) {
+            return Expr::Sum(Expr::Mul(Expr::Transpose(Expr::ColSums(a)),
+                                       Expr::RowSums(b)));
+          }
+        }
+        break;
+      }
+      default:
+        break;
+    }
+    return e;
+  }
+
+  const Catalog& catalog_;
+  ExprPtr root_;
+};
+
+}  // namespace
+
+ExprPtr HeuristicOptimizer::Optimize(const ExprPtr& expr,
+                                     const Catalog& catalog) const {
+  if (level_ == OptLevel::kBase) return expr;
+  Rewriter rewriter(catalog, expr);
+  return rewriter.Run();
+}
+
+}  // namespace spores

@@ -1,0 +1,28 @@
+// Rule-based baseline optimizer reproducing SystemML's hand-coded
+// sum-product rewrites and their heuristics (Fig 14 / Sec 3). Two levels:
+//   kBase — SystemML opt level 1: no advanced rewrites (identity here).
+//   kOpt2 — SystemML opt level 2: syntactic rewrites with heuristic guards
+//           (e.g. SumMatrixMult fires only when the product is not a shared
+//           subexpression — the exact conservatism that costs PNMF its
+//           speedup, Sec 4.2), plus operator fusion.
+// This is the `base` / `opt2` comparator of Figures 15-17.
+#pragma once
+
+#include "src/ir/expr.h"
+
+namespace spores {
+
+enum class OptLevel { kBase, kOpt2 };
+
+/// Heuristic (SystemML-like) optimizer for LA expression DAGs.
+class HeuristicOptimizer {
+ public:
+  explicit HeuristicOptimizer(OptLevel level) : level_(level) {}
+
+  ExprPtr Optimize(const ExprPtr& expr, const Catalog& catalog) const;
+
+ private:
+  OptLevel level_;
+};
+
+}  // namespace spores

@@ -1,0 +1,101 @@
+#include "src/optimizer/spores_optimizer.h"
+
+#include "src/rules/rules_eq.h"
+#include "src/rules/rules_fusion.h"
+#include "src/util/timer.h"
+
+namespace spores {
+
+namespace {
+
+// Model cost of a whole RA term: re-adds the term to a fresh graph... that
+// would be expensive; instead charge the term tree against the class data by
+// looking nodes up in the saturated graph. For reporting only.
+double TermCost(const EGraph& egraph, const CostModel& cost,
+                const ExprPtr& ra) {
+  double total = 0.0;
+  std::optional<ClassId> cls = egraph.LookupExpr(ra);
+  (void)cls;
+  // Tree walk: charge each node via a lookup of its own class; children
+  // recurse. Nodes not present (shouldn't happen) charge 0.
+  std::function<void(const ExprPtr&)> walk = [&](const ExprPtr& e) {
+    for (const ExprPtr& c : e->children) walk(c);
+    std::vector<ClassId> child_ids;
+    child_ids.reserve(e->children.size());
+    bool ok = true;
+    for (const ExprPtr& c : e->children) {
+      std::optional<ClassId> cid = egraph.LookupExpr(c);
+      if (!cid) { ok = false; break; }
+      child_ids.push_back(*cid);
+    }
+    if (!ok) return;
+    ENode node = EGraph::ExprToENode(*e, std::move(child_ids));
+    total += cost.NodeCost(egraph, node);
+  };
+  walk(ra);
+  return total;
+}
+
+}  // namespace
+
+ExprPtr SporesOptimizer::Optimize(const ExprPtr& expr, const Catalog& catalog,
+                                  OptimizeReport* report) const {
+  OptimizeReport local;
+  OptimizeReport* rep = report ? report : &local;
+  StatusOr<ExprPtr> result = OptimizeOrFail(expr, catalog, rep);
+  if (!result.ok()) {
+    rep->used_fallback = true;
+    rep->fallback_reason = result.status().ToString();
+    return config_.apply_fusion ? ApplyFusion(expr) : expr;
+  }
+  return std::move(result).value();
+}
+
+StatusOr<ExprPtr> SporesOptimizer::OptimizeOrFail(
+    const ExprPtr& expr, const Catalog& catalog,
+    OptimizeReport* report) const {
+  // ---- Translate (LA -> RA) ----
+  Timer timer;
+  SPORES_ASSIGN_OR_RETURN(RaProgram program, TranslateLaToRa(expr, catalog));
+  report->translate_seconds = timer.Seconds();
+
+  // ---- Saturate ----
+  timer.Reset();
+  RaContext ctx{&catalog, program.dims};
+  auto egraph = std::make_unique<EGraph>(std::make_unique<RaAnalysis>(ctx));
+  ClassId root = egraph->AddExpr(program.ra);
+  egraph->Rebuild();
+  root = egraph->Find(root);
+  Runner runner(egraph.get(), RaEqualityRules(ctx), config_.runner);
+  report->saturation = runner.Run();
+  report->saturate_seconds = timer.Seconds();
+  root = egraph->Find(root);
+
+  // ---- Extract ----
+  timer.Reset();
+  CostModel cost(ctx);
+  StatusOr<ExtractionResult> extracted =
+      config_.extraction == ExtractionStrategy::kIlp
+          ? IlpExtract(*egraph, root, cost, config_.ilp)
+          : GreedyExtract(*egraph, root, cost);
+  if (!extracted.ok()) {
+    report->extract_seconds = timer.Seconds();
+    return extracted.status();
+  }
+  report->extract_seconds = timer.Seconds();
+  report->plan_cost = extracted.value().cost;
+  report->original_cost = TermCost(*egraph, cost, program.ra);
+
+  // ---- Translate back (RA -> LA) ----
+  SPORES_ASSIGN_OR_RETURN(
+      ExprPtr la, TranslateRaToLa(extracted.value().expr, program, catalog));
+  // Sanity: the optimized plan must keep the input's shape.
+  SPORES_ASSIGN_OR_RETURN(Shape in_shape, InferShape(expr, catalog));
+  SPORES_ASSIGN_OR_RETURN(Shape out_shape, InferShape(la, catalog));
+  if (!(in_shape == out_shape)) {
+    return Status::Internal("optimized plan changed output shape");
+  }
+  return config_.apply_fusion ? ApplyFusion(la) : la;
+}
+
+}  // namespace spores

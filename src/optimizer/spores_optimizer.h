@@ -1,0 +1,60 @@
+// The SPORES optimizer pipeline (Fig 13):
+//   LA expression -> translate to RA -> equality saturation over R_EQ ->
+//   extract cheapest plan (greedy or ILP) -> translate back to LA ->
+//   fused-operator post-pass.
+// Any stage failure falls back to the input expression (never worse than
+// no optimization).
+#pragma once
+
+#include <string>
+
+#include "src/egraph/runner.h"
+#include "src/extract/extractor.h"
+#include "src/ir/expr.h"
+#include "src/rules/rules_lr.h"
+
+namespace spores {
+
+enum class ExtractionStrategy { kGreedy, kIlp };
+
+struct SporesConfig {
+  RunnerConfig runner;  ///< saturation strategy / limits (Sec 3.1)
+  ExtractionStrategy extraction = ExtractionStrategy::kIlp;
+  IlpExtractConfig ilp;
+  bool apply_fusion = true;  ///< run the fused-operator post-pass
+};
+
+/// Compile-time breakdown, matching Fig 16's translate/saturate/extract bars.
+struct OptimizeReport {
+  double translate_seconds = 0.0;
+  double saturate_seconds = 0.0;
+  double extract_seconds = 0.0;
+  RunnerReport saturation;
+  double plan_cost = 0.0;       ///< model cost of the chosen plan
+  double original_cost = 0.0;   ///< model cost of the input plan
+  bool used_fallback = false;   ///< true if any stage failed
+  std::string fallback_reason;
+
+  double TotalSeconds() const {
+    return translate_seconds + saturate_seconds + extract_seconds;
+  }
+};
+
+/// Optimizes one LA expression DAG against input metadata in `catalog`.
+class SporesOptimizer {
+ public:
+  explicit SporesOptimizer(SporesConfig config = {})
+      : config_(std::move(config)) {}
+
+  /// Returns the optimized LA expression (or the input on fallback).
+  ExprPtr Optimize(const ExprPtr& expr, const Catalog& catalog,
+                   OptimizeReport* report = nullptr) const;
+
+ private:
+  StatusOr<ExprPtr> OptimizeOrFail(const ExprPtr& expr, const Catalog& catalog,
+                                   OptimizeReport* report) const;
+
+  SporesConfig config_;
+};
+
+}  // namespace spores

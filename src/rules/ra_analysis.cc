@@ -1,0 +1,244 @@
+#include "src/rules/ra_analysis.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace spores {
+
+void DimEnv::Set(Symbol attr, int64_t dim) {
+  SPORES_CHECK_GT(dim, 0);
+  auto it = dims_.find(attr);
+  if (it != dims_.end()) {
+    SPORES_CHECK_MSG(it->second == dim, "attribute re-bound to new dimension");
+    return;
+  }
+  dims_.emplace(attr, dim);
+}
+
+int64_t DimEnv::DimOf(Symbol attr) const {
+  auto it = dims_.find(attr);
+  SPORES_CHECK_MSG(it != dims_.end(), attr.str().c_str());
+  return it->second;
+}
+
+double DimEnv::SizeOf(const std::vector<Symbol>& attrs) const {
+  double size = 1.0;
+  for (Symbol a : attrs) size *= static_cast<double>(DimOf(a));
+  return size;
+}
+
+std::vector<Symbol> AttrUnion(const std::vector<Symbol>& a,
+                              const std::vector<Symbol>& b) {
+  std::vector<Symbol> out;
+  out.reserve(a.size() + b.size());
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return out;
+}
+
+std::vector<Symbol> AttrMinus(const std::vector<Symbol>& a,
+                              const std::vector<Symbol>& b) {
+  std::vector<Symbol> out;
+  out.reserve(a.size());
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                      std::back_inserter(out));
+  return out;
+}
+
+std::vector<Symbol> AttrIntersect(const std::vector<Symbol>& a,
+                                  const std::vector<Symbol>& b) {
+  std::vector<Symbol> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+bool AttrContains(const std::vector<Symbol>& set, Symbol x) {
+  return std::binary_search(set.begin(), set.end(), x);
+}
+
+ClassData RaAnalysis::Make(const EGraph& egraph, const ENode& node) {
+  ClassData d;
+  auto child = [&](size_t i) -> const ClassData& {
+    return egraph.Data(node.children[i]);
+  };
+
+  switch (node.op) {
+    case Op::kVar: {
+      // A bare matrix value (not yet bound); schema empty. Sparsity from the
+      // catalog when known. An input with zero non-zeroes is the constant-0
+      // relation, which drives SystemML's Empty* rewrites (Fig 14) through
+      // plain constant folding.
+      if (ctx_.catalog && ctx_.catalog->Has(node.sym)) {
+        d.sparsity = ctx_.catalog->Get(node.sym).sparsity;
+        if (d.sparsity == 0.0) d.constant = 0.0;
+      }
+      return d;
+    }
+    case Op::kConst:
+      d.constant = node.value;
+      d.sparsity = (node.value == 0.0) ? 0.0 : 1.0;
+      return d;
+    case Op::kBind: {
+      d.schema = node.attrs;
+      std::sort(d.schema.begin(), d.schema.end());
+      d.sparsity = child(0).sparsity;
+      d.constant = child(0).constant;
+      return d;
+    }
+    case Op::kUnbind: {
+      d.schema = {};
+      d.sparsity = child(0).sparsity;
+      d.constant = child(0).constant;
+      return d;
+    }
+    case Op::kJoin: {
+      const ClassData& a = child(0);
+      const ClassData& b = child(1);
+      d.schema = AttrUnion(a.schema, b.schema);
+      d.sparsity = std::min(a.sparsity, b.sparsity);  // Fig 12
+      if (a.constant && b.constant) d.constant = *a.constant * *b.constant;
+      // Joining with a known zero gives the all-zero relation.
+      if ((a.constant && *a.constant == 0.0) ||
+          (b.constant && *b.constant == 0.0)) {
+        d.sparsity = 0.0;
+        d.constant = 0.0;
+      }
+      return d;
+    }
+    case Op::kUnion: {
+      const ClassData& a = child(0);
+      const ClassData& b = child(1);
+      d.schema = AttrUnion(a.schema, b.schema);
+      d.sparsity = std::min(1.0, a.sparsity + b.sparsity);  // Fig 12
+      if (a.constant && b.constant) d.constant = *a.constant + *b.constant;
+      return d;
+    }
+    case Op::kAgg: {
+      const ClassData& a = child(0);
+      d.schema = AttrMinus(a.schema, node.attrs);
+      // Fig 12: S[sum_i X] = min(1, |i| * S[X]).
+      double bound_size = 1.0;
+      if (ctx_.dims) {
+        for (Symbol attr : node.attrs) {
+          if (ctx_.dims->Has(attr)) {
+            bound_size *= static_cast<double>(ctx_.dims->DimOf(attr));
+          }
+        }
+      }
+      d.sparsity = std::min(1.0, bound_size * a.sparsity);
+      // Rule 5 as constant folding: aggregating a constant-valued relation
+      // multiplies the constant by the aggregated dimensions, whether the
+      // attribute is in the child's schema (summing dim(i) equal entries)
+      // or not (broadcast, also dim(i) copies).
+      if (a.constant && ctx_.dims) {
+        bool all_known = true;
+        double mult = 1.0;
+        for (Symbol attr : node.attrs) {
+          if (!ctx_.dims->Has(attr)) { all_known = false; break; }
+          mult *= static_cast<double>(ctx_.dims->DimOf(attr));
+        }
+        if (all_known) d.constant = *a.constant * mult;
+      }
+      return d;
+    }
+    // Uninterpreted elementwise operators kept as optimization barriers
+    // (Sec 3.3): schema is the union of child schemas.
+    case Op::kElemDiv: {
+      const ClassData& a = child(0);
+      const ClassData& b = child(1);
+      d.schema = AttrUnion(a.schema, b.schema);
+      d.sparsity = a.sparsity;  // 0/x == 0
+      if (a.constant && b.constant && *b.constant != 0.0) {
+        d.constant = *a.constant / *b.constant;
+      }
+      return d;
+    }
+    case Op::kPow: {
+      const ClassData& a = child(0);
+      d.schema = a.schema;
+      d.sparsity = a.sparsity;  // 0^k == 0 for k > 0
+      if (a.constant && child(1).constant) {
+        d.constant = std::pow(*a.constant, *child(1).constant);
+      }
+      return d;
+    }
+    case Op::kSProp: {
+      const ClassData& a = child(0);
+      d.schema = a.schema;
+      d.sparsity = a.sparsity;  // sprop(0) == 0
+      if (a.constant) d.constant = *a.constant * (1.0 - *a.constant);
+      return d;
+    }
+    case Op::kUnary: {
+      const ClassData& a = child(0);
+      d.schema = a.schema;
+      const std::string& fn = node.sym.str();
+      // exp/log/sigmoid map zero to non-zero: output is dense.
+      if (fn == "sqrt" || fn == "sign" || fn == "abs") {
+        d.sparsity = a.sparsity;
+      } else {
+        d.sparsity = 1.0;
+      }
+      if (a.constant) {
+        double v = *a.constant;
+        if (fn == "exp") d.constant = std::exp(v);
+        else if (fn == "log") d.constant = std::log(v);
+        else if (fn == "sqrt") d.constant = std::sqrt(v);
+        else if (fn == "sigmoid") d.constant = 1.0 / (1.0 + std::exp(-v));
+        else if (fn == "sign") d.constant = (v > 0) - (v < 0);
+        else if (fn == "abs") d.constant = std::abs(v);
+      }
+      return d;
+    }
+    default: {
+      // LA operators may appear when translation rules run inside
+      // saturation; give them empty (matrix) schema and propagate sparsity
+      // conservatively.
+      if (!node.children.empty()) {
+        d.sparsity = child(0).sparsity;
+      }
+      return d;
+    }
+  }
+}
+
+bool RaAnalysis::Merge(ClassData& into, const ClassData& from) {
+  // Schemas of equal expressions must agree (Sec 3.2). This is a saturation
+  // soundness check: a schema mismatch means a rule fired unsoundly.
+  SPORES_CHECK_MSG(into.schema == from.schema,
+                   "schema invariant violated on e-class merge");
+  bool changed = false;
+  if (!into.constant && from.constant) {
+    into.constant = from.constant;
+    changed = true;
+  }
+  // Conservative estimates can differ between equal expressions; keep the
+  // tighter one (Sec 3.2).
+  if (from.sparsity < into.sparsity) {
+    into.sparsity = from.sparsity;
+    changed = true;
+  }
+  return changed;
+}
+
+void RaAnalysis::Modify(EGraph& egraph, ClassId id) {
+  // Materialize folded constants: if the class is known-constant but holds
+  // no kConst node yet, add one and merge (integrates constant folding with
+  // the rest of the rewrites, Sec 3.2).
+  ClassId root = egraph.Find(id);
+  const ClassData& data = egraph.Data(root);
+  if (!data.constant || !data.schema.empty()) return;
+  for (const ENode& n : egraph.GetClass(root).nodes) {
+    if (n.op == Op::kConst) return;
+  }
+  ENode cnode;
+  cnode.op = Op::kConst;
+  cnode.value = *data.constant;
+  ClassId cid = egraph.Add(std::move(cnode));
+  egraph.Merge(root, cid);
+}
+
+}  // namespace spores

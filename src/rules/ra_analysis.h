@@ -1,0 +1,63 @@
+// RA-specific e-class analysis (Sec 3.2 "Schema and Sparsity as Class
+// Invariant"): tracks each class's free-attribute schema, scalar constant
+// (enabling constant folding inside saturation), and a conservative sparsity
+// estimate per Fig 12. Attribute dimensions live in a DimEnv shared between
+// translation, analysis, cost model, and extraction.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/egraph/egraph.h"
+#include "src/ir/expr.h"
+
+namespace spores {
+
+/// Maps attribute symbols (indices i, j, ...) to their dimension sizes.
+class DimEnv {
+ public:
+  void Set(Symbol attr, int64_t dim);
+  int64_t DimOf(Symbol attr) const;
+  bool Has(Symbol attr) const { return dims_.count(attr) > 0; }
+
+  /// Product of dimensions of an attribute set (the output size of a
+  /// relation with that schema). Empty set -> 1 (a scalar).
+  double SizeOf(const std::vector<Symbol>& attrs) const;
+
+ private:
+  std::unordered_map<Symbol, int64_t> dims_;
+};
+
+/// Shared context threaded through analysis, rules, cost and extraction.
+struct RaContext {
+  const Catalog* catalog = nullptr;
+  std::shared_ptr<DimEnv> dims;
+};
+
+/// Sorted-set union / difference helpers for schemas.
+std::vector<Symbol> AttrUnion(const std::vector<Symbol>& a,
+                              const std::vector<Symbol>& b);
+std::vector<Symbol> AttrMinus(const std::vector<Symbol>& a,
+                              const std::vector<Symbol>& b);
+std::vector<Symbol> AttrIntersect(const std::vector<Symbol>& a,
+                                  const std::vector<Symbol>& b);
+bool AttrContains(const std::vector<Symbol>& set, Symbol x);
+
+/// The analysis plugged into the EGraph for SPORES saturation.
+class RaAnalysis final : public Analysis {
+ public:
+  explicit RaAnalysis(RaContext ctx) : ctx_(std::move(ctx)) {}
+
+  ClassData Make(const EGraph& egraph, const ENode& node) override;
+  bool Merge(ClassData& into, const ClassData& from) override;
+  void Modify(EGraph& egraph, ClassId id) override;
+
+  const RaContext& context() const { return ctx_; }
+
+ private:
+  RaContext ctx_;
+};
+
+}  // namespace spores

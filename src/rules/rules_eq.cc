@@ -1,0 +1,504 @@
+#include "src/rules/rules_eq.h"
+
+#include <algorithm>
+
+namespace spores {
+
+namespace {
+
+using P = Pattern;
+
+// Schema of a bound pattern variable.
+const std::vector<Symbol>& SchemaOf(const EGraph& eg, const Subst& s,
+                                    const char* var) {
+  return eg.Data(s.ClassOf(Symbol::Intern(var))).schema;
+}
+
+bool DisjointAttrs(const std::vector<Symbol>& schema,
+                   const std::vector<Symbol>& attrs) {
+  return AttrIntersect(schema, attrs).empty();
+}
+
+ClassId AddNode(EGraph& eg, Op op, std::vector<ClassId> children,
+                std::vector<Symbol> attrs = {}) {
+  ENode n;
+  n.op = op;
+  n.attrs = std::move(attrs);
+  n.children = std::move(children);
+  return eg.Add(std::move(n));
+}
+
+ClassId AddConst(EGraph& eg, double v) {
+  ENode n;
+  n.op = Op::kConst;
+  n.value = v;
+  return eg.Add(std::move(n));
+}
+
+// Flattens a join tree rooted at class `id` into factor classes, following
+// the first kJoin e-node of each class (a sound representative choice).
+// Cycle-guarded; stops at non-join classes.
+void FlattenJoinClass(const EGraph& eg, ClassId id,
+                      std::vector<ClassId>* factors,
+                      std::vector<ClassId>& visiting, int depth) {
+  ClassId c = eg.Find(id);
+  if (depth > 32 ||
+      std::find(visiting.begin(), visiting.end(), c) != visiting.end()) {
+    factors->push_back(c);
+    return;
+  }
+  const ENode* join = nullptr;
+  for (const ENode& n : eg.GetClass(c).nodes) {
+    if (n.op == Op::kJoin) {
+      join = &n;
+      break;
+    }
+  }
+  if (!join) {
+    factors->push_back(c);
+    return;
+  }
+  visiting.push_back(c);
+  FlattenJoinClass(eg, join->children[0], factors, visiting, depth + 1);
+  FlattenJoinClass(eg, join->children[1], factors, visiting, depth + 1);
+  visiting.pop_back();
+}
+
+}  // namespace
+
+std::vector<Rewrite> RaEqualityRules(const RaContext& ctx) {
+  std::vector<Rewrite> rules;
+  auto dims = ctx.dims;
+
+  // -------------------------------------------------------------------
+  // Rule 1: A * (B + C) = A * B + A * C
+  // -------------------------------------------------------------------
+  rules.push_back(MakeRewrite(
+      "distribute-join-over-union",
+      P::N(Op::kJoin, {P::V("?a"), P::N(Op::kUnion, {P::V("?b"), P::V("?c")})}),
+      P::N(Op::kUnion,
+           {P::N(Op::kJoin, {P::V("?a"), P::V("?b")}),
+            P::N(Op::kJoin, {P::V("?a"), P::V("?c")})})));
+  rules.push_back(MakeRewrite(
+      "factor-join-out-of-union",
+      P::N(Op::kUnion,
+           {P::N(Op::kJoin, {P::V("?a"), P::V("?b")}),
+            P::N(Op::kJoin, {P::V("?a"), P::V("?c")})}),
+      P::N(Op::kJoin,
+           {P::V("?a"), P::N(Op::kUnion, {P::V("?b"), P::V("?c")})})));
+
+  // -------------------------------------------------------------------
+  // Rule 2: Sum_i (A + B) = Sum_i A + Sum_i B
+  // -------------------------------------------------------------------
+  rules.push_back(MakeRewrite(
+      "push-agg-over-union",
+      P::AggBind("?I", P::N(Op::kUnion, {P::V("?a"), P::V("?b")})),
+      P::N(Op::kUnion, {P::AggBind("?I", P::V("?a")),
+                        P::AggBind("?I", P::V("?b"))})));
+  rules.push_back(MakeRewrite(
+      "pull-agg-over-union",
+      P::N(Op::kUnion, {P::AggBind("?I", P::V("?a")),
+                        P::AggBind("?I", P::V("?b"))}),
+      P::AggBind("?I", P::N(Op::kUnion, {P::V("?a"), P::V("?b")}))));
+
+  // -------------------------------------------------------------------
+  // Rule 3: if I disjoint from Attr(A):  A * Sum_I B = Sum_I (A * B)
+  // The rename fallback is unnecessary here: translation draws bound
+  // attributes from a global fresh supply, so a bound attribute can never
+  // appear free in a sibling (alpha-freshness invariant; see DESIGN.md).
+  // -------------------------------------------------------------------
+  rules.push_back(MakeRewrite(
+      "pull-agg-out-of-join",
+      P::N(Op::kJoin, {P::V("?a"), P::AggBind("?I", P::V("?b"))}),
+      P::AggBind("?I", P::N(Op::kJoin, {P::V("?a"), P::V("?b")})),
+      [](const EGraph& eg, const Subst& s) {
+        return DisjointAttrs(SchemaOf(eg, s, "?a"),
+                             s.AttrsOf(Symbol::Intern("?I")));
+      }));
+  rules.push_back(MakeRewrite(
+      "push-agg-into-join-right",
+      P::AggBind("?I", P::N(Op::kJoin, {P::V("?a"), P::V("?b")})),
+      P::N(Op::kJoin, {P::V("?a"), P::AggBind("?I", P::V("?b"))}),
+      [](const EGraph& eg, const Subst& s) {
+        return DisjointAttrs(SchemaOf(eg, s, "?a"),
+                             s.AttrsOf(Symbol::Intern("?I")));
+      }));
+  rules.push_back(MakeRewrite(
+      "push-agg-into-join-left",
+      P::AggBind("?I", P::N(Op::kJoin, {P::V("?a"), P::V("?b")})),
+      P::N(Op::kJoin, {P::AggBind("?I", P::V("?a")), P::V("?b")}),
+      [](const EGraph& eg, const Subst& s) {
+        return DisjointAttrs(SchemaOf(eg, s, "?b"),
+                             s.AttrsOf(Symbol::Intern("?I")));
+      }));
+  // Composite of rules 3+4: partition the aggregate across a join in one
+  // step: Sum_I (A * B) = Sum_Ish ( Sum_Ia A * Sum_Ib B ) where Ia/Ib are
+  // the attrs exclusive to A/B. This is the workhorse that turns
+  // Sum_ij (U_i^2 V_j^2) into (Sum_i U_i^2)(Sum_j V_j^2) without waiting for
+  // a lucky split+push+push sampling sequence.
+  rules.push_back(MakeDynRewrite(
+      "partition-agg-across-join",
+      P::AggBind("?I", P::N(Op::kJoin, {P::V("?a"), P::V("?b")})),
+      [](EGraph& eg, ClassId, const Subst& s) -> std::optional<ClassId> {
+        const std::vector<Symbol>& attrs = s.AttrsOf(Symbol::Intern("?I"));
+        ClassId a = s.ClassOf(Symbol::Intern("?a"));
+        ClassId b = s.ClassOf(Symbol::Intern("?b"));
+        const std::vector<Symbol>& sa = eg.Data(a).schema;
+        const std::vector<Symbol>& sb = eg.Data(b).schema;
+        std::vector<Symbol> ia = AttrMinus(AttrIntersect(attrs, sa), sb);
+        std::vector<Symbol> ib = AttrMinus(AttrIntersect(attrs, sb), sa);
+        if (ia.empty() && ib.empty()) return std::nullopt;
+        std::vector<Symbol> shared = AttrMinus(AttrMinus(attrs, ia), ib);
+        ClassId left = ia.empty() ? a : AddNode(eg, Op::kAgg, {a}, ia);
+        ClassId right = ib.empty() ? b : AddNode(eg, Op::kAgg, {b}, ib);
+        ClassId join = AddNode(eg, Op::kJoin, {left, right});
+        if (shared.empty()) return join;
+        return AddNode(eg, Op::kAgg, {join}, std::move(shared));
+      }));
+
+  // -------------------------------------------------------------------
+  // Rule 4: Sum_i Sum_j A = Sum_{i,j} A
+  // -------------------------------------------------------------------
+  rules.push_back(MakeDynRewrite(
+      "merge-nested-agg",
+      P::AggBind("?I", P::AggBind("?J", P::V("?a"))),
+      [](EGraph& eg, ClassId, const Subst& s) -> std::optional<ClassId> {
+        std::vector<Symbol> attrs = AttrUnion(s.AttrsOf(Symbol::Intern("?I")),
+                                              s.AttrsOf(Symbol::Intern("?J")));
+        return AddNode(eg, Op::kAgg, {s.ClassOf(Symbol::Intern("?a"))},
+                       std::move(attrs));
+      }));
+  rules.push_back(MakeDynRewrite(
+      "split-agg",
+      P::AggBind("?I", P::V("?a")),
+      [](EGraph& eg, ClassId root, const Subst& s) -> std::optional<ClassId> {
+        const std::vector<Symbol>& attrs = s.AttrsOf(Symbol::Intern("?I"));
+        if (attrs.size() < 2) return std::nullopt;
+        ClassId a = s.ClassOf(Symbol::Intern("?a"));
+        // Peel each single attribute to the outside:
+        // Sum_I A -> Sum_{i} (Sum_{I \ i} A).
+        for (Symbol attr : attrs) {
+          std::vector<Symbol> inner;
+          for (Symbol x : attrs) {
+            if (x != attr) inner.push_back(x);
+          }
+          ClassId in = AddNode(eg, Op::kAgg, {a}, std::move(inner));
+          ClassId out = AddNode(eg, Op::kAgg, {in}, {attr});
+          eg.Merge(root, out);
+        }
+        return std::nullopt;  // merges already performed
+      },
+      nullptr, /*expansive=*/true));
+
+  // -------------------------------------------------------------------
+  // Rule 5: if I disjoint from Attr(A): Sum_I A = A * dim(I)
+  // (the expanding direction is only useful for proofs, not for cost, so we
+  // implement the collapsing direction; partial overlap peels the non-free
+  // attributes off as a constant).
+  // -------------------------------------------------------------------
+  rules.push_back(MakeDynRewrite(
+      "agg-nonfree-to-const",
+      P::AggBind("?I", P::V("?a")),
+      [dims](EGraph& eg, ClassId, const Subst& s) -> std::optional<ClassId> {
+        const std::vector<Symbol>& attrs = s.AttrsOf(Symbol::Intern("?I"));
+        ClassId a = s.ClassOf(Symbol::Intern("?a"));
+        const std::vector<Symbol>& schema = eg.Data(a).schema;
+        std::vector<Symbol> outside = AttrMinus(attrs, schema);
+        if (outside.empty()) return std::nullopt;
+        double mult = 1.0;
+        for (Symbol x : outside) {
+          if (!dims->Has(x)) return std::nullopt;
+          mult *= static_cast<double>(dims->DimOf(x));
+        }
+        std::vector<Symbol> inside = AttrIntersect(attrs, schema);
+        ClassId inner = a;
+        if (!inside.empty()) {
+          inner = AddNode(eg, Op::kAgg, {a}, std::move(inside));
+        }
+        return AddNode(eg, Op::kJoin, {AddConst(eg, mult), inner});
+      }));
+
+  // -------------------------------------------------------------------
+  // Rules 6 & 7: associativity and commutativity of + and *. These are the
+  // expansive rules sampling exists for (Sec 3.1).
+  // -------------------------------------------------------------------
+  for (Op op : {Op::kJoin, Op::kUnion}) {
+    const char* tag = (op == Op::kJoin) ? "join" : "union";
+    rules.push_back(MakeRewrite(
+        std::string("comm-") + tag,
+        P::N(op, {P::V("?a"), P::V("?b")}),
+        P::N(op, {P::V("?b"), P::V("?a")}),
+        nullptr, /*expansive=*/true));
+    rules.push_back(MakeRewrite(
+        std::string("assoc-") + tag,
+        P::N(op, {P::N(op, {P::V("?a"), P::V("?b")}), P::V("?c")}),
+        P::N(op, {P::V("?a"), P::N(op, {P::V("?b"), P::V("?c")})}),
+        nullptr, /*expansive=*/true));
+    rules.push_back(MakeRewrite(
+        std::string("assoc-") + tag + "-rev",
+        P::N(op, {P::V("?a"), P::N(op, {P::V("?b"), P::V("?c")})}),
+        P::N(op, {P::N(op, {P::V("?a"), P::V("?b")}), P::V("?c")}),
+        nullptr, /*expansive=*/true));
+  }
+
+  // -------------------------------------------------------------------
+  // Identity / coefficient folding. Constant folding itself is handled by
+  // the analysis (Sec 3.2); these rules keep scalar coefficients merged so
+  // canonical monomials stay in "c * term" form.
+  // -------------------------------------------------------------------
+  rules.push_back(MakeRewrite(
+      "join-one", P::N(Op::kJoin, {P::ConstLeaf(1.0), P::V("?a")}),
+      P::V("?a")));
+  // Zero absorption: A * Z = Z when Z is the all-zero relation and covers
+  // the join's schema (drives SystemML's EmptyBinaryOperation).
+  rules.push_back(MakeDynRewrite(
+      "join-absorb-zero",
+      P::N(Op::kJoin, {P::V("?a"), P::V("?b")}),
+      [](EGraph& eg, ClassId, const Subst& s) -> std::optional<ClassId> {
+        return eg.Find(s.ClassOf(Symbol::Intern("?b")));
+      },
+      [](const EGraph& eg, const Subst& s) {
+        const ClassData& a = eg.Data(s.ClassOf(Symbol::Intern("?a")));
+        const ClassData& b = eg.Data(s.ClassOf(Symbol::Intern("?b")));
+        return b.constant.has_value() && *b.constant == 0.0 &&
+               AttrMinus(a.schema, b.schema).empty();
+      }));
+  rules.push_back(MakeRewrite(
+      "union-zero", P::N(Op::kUnion, {P::ConstLeaf(0.0), P::V("?a")}),
+      P::V("?a")));
+  rules.push_back(MakeDynRewrite(
+      "coeff-join-fold",
+      P::N(Op::kJoin,
+           {P::ConstBind("?c1"),
+            P::N(Op::kJoin, {P::ConstBind("?c2"), P::V("?a")})}),
+      [](EGraph& eg, ClassId, const Subst& s) -> std::optional<ClassId> {
+        double c = s.ValueOf(Symbol::Intern("?c1")) *
+                   s.ValueOf(Symbol::Intern("?c2"));
+        return AddNode(eg, Op::kJoin,
+                       {AddConst(eg, c), s.ClassOf(Symbol::Intern("?a"))});
+      }));
+  rules.push_back(MakeDynRewrite(
+      "coeff-union-fold",
+      P::N(Op::kUnion,
+           {P::N(Op::kJoin, {P::ConstBind("?c1"), P::V("?a")}),
+            P::N(Op::kJoin, {P::ConstBind("?c2"), P::V("?a")})}),
+      [](EGraph& eg, ClassId, const Subst& s) -> std::optional<ClassId> {
+        double c = s.ValueOf(Symbol::Intern("?c1")) +
+                   s.ValueOf(Symbol::Intern("?c2"));
+        return AddNode(eg, Op::kJoin,
+                       {AddConst(eg, c), s.ClassOf(Symbol::Intern("?a"))});
+      }));
+  // A + A*C = A*(1 + C): factoring when one side lacks an explicit
+  // coefficient (rule 1 needs join shapes on both union children).
+  rules.push_back(MakeRewrite(
+      "factor-self",
+      P::N(Op::kUnion, {P::V("?a"), P::N(Op::kJoin, {P::V("?a"), P::V("?c")})}),
+      P::N(Op::kJoin,
+           {P::V("?a"),
+            P::N(Op::kUnion, {P::ConstLeaf(1.0), P::V("?c")})})));
+  rules.push_back(MakeDynRewrite(
+      "self-union-to-coeff",
+      P::N(Op::kUnion, {P::V("?a"), P::V("?a")}),
+      [](EGraph& eg, ClassId, const Subst& s) -> std::optional<ClassId> {
+        return AddNode(eg, Op::kJoin,
+                       {AddConst(eg, 2.0), s.ClassOf(Symbol::Intern("?a"))});
+      }));
+  // A + c*A = (1+c)*A  (needed to cancel X + (-1)X and friends).
+  rules.push_back(MakeDynRewrite(
+      "union-with-scaled-self",
+      P::N(Op::kUnion,
+           {P::V("?a"), P::N(Op::kJoin, {P::ConstBind("?c"), P::V("?a")})}),
+      [](EGraph& eg, ClassId, const Subst& s) -> std::optional<ClassId> {
+        double c = 1.0 + s.ValueOf(Symbol::Intern("?c"));
+        return AddNode(eg, Op::kJoin,
+                       {AddConst(eg, c), s.ClassOf(Symbol::Intern("?a"))});
+      }));
+
+  // -------------------------------------------------------------------
+  // Sum-product decomposition (generalizes rules 3+4+7 in one sound step):
+  // Sum_I (f1 * ... * fn) factorizes over connected components of the
+  // factor graph induced by the bound attributes:
+  //   Sum_{i,j}(U_i U_i V_j V_j) = (Sum_i U_i^2) * (Sum_j V_j^2).
+  // Sampling AC rules would eventually expose the same regrouping, but this
+  // rule makes the paper's flagship rewrites land reliably.
+  // -------------------------------------------------------------------
+  rules.push_back(MakeDynRewrite(
+      "decompose-agg-product",
+      P::AggBind("?I", P::V("?a")),
+      [](EGraph& eg, ClassId, const Subst& s) -> std::optional<ClassId> {
+        const std::vector<Symbol>& attrs = s.AttrsOf(Symbol::Intern("?I"));
+        ClassId a = s.ClassOf(Symbol::Intern("?a"));
+        std::vector<ClassId> factors;
+        std::vector<ClassId> visiting;
+        FlattenJoinClass(eg, a, &factors, visiting, 0);
+        if (factors.size() < 2) return std::nullopt;
+        // Union-find over factors: linked when sharing a bound attribute.
+        std::vector<size_t> parent(factors.size());
+        for (size_t i = 0; i < parent.size(); ++i) parent[i] = i;
+        std::function<size_t(size_t)> find = [&](size_t x) {
+          while (parent[x] != x) x = parent[x] = parent[parent[x]];
+          return x;
+        };
+        for (Symbol attr : attrs) {
+          size_t first = SIZE_MAX;
+          for (size_t i = 0; i < factors.size(); ++i) {
+            if (!AttrContains(eg.Data(factors[i]).schema, attr)) continue;
+            if (first == SIZE_MAX) {
+              first = i;
+            } else {
+              parent[find(i)] = find(first);
+            }
+          }
+        }
+        std::unordered_map<size_t, std::vector<size_t>> groups;
+        for (size_t i = 0; i < factors.size(); ++i) {
+          groups[find(i)].push_back(i);
+        }
+        if (groups.size() < 2) {
+          // Single connected component: fall back to greedy variable
+          // elimination (min-degree), which nests partial aggregates:
+          //   Sum_{i,j,r,r'}(U V U V)
+          //     = Sum_{r,r'}( Sum_i(U U) * Sum_j(V V) ).
+          // Each step composes rules 3, 4 and 7, so the result is equal.
+          struct VeFactor {
+            ClassId cls;
+            std::vector<Symbol> schema;
+          };
+          std::vector<VeFactor> work;
+          work.reserve(factors.size());
+          for (ClassId f : factors) {
+            work.push_back({f, eg.Data(f).schema});
+          }
+          std::vector<Symbol> remaining = attrs;
+          bool nontrivial = false;
+          while (!remaining.empty()) {
+            // Min-degree: the attribute in the fewest factors.
+            Symbol best;
+            size_t best_count = SIZE_MAX;
+            for (Symbol x : remaining) {
+              size_t count = 0;
+              for (const VeFactor& f : work) {
+                count += AttrContains(f.schema, x);
+              }
+              if (count < best_count) {
+                best_count = count;
+                best = x;
+              }
+            }
+            if (best_count != 0 && best_count < work.size()) {
+              nontrivial = true;
+            }
+            // Join the group containing `best`, aggregate it away.
+            std::vector<VeFactor> group;
+            std::vector<VeFactor> rest;
+            for (VeFactor& f : work) {
+              if (AttrContains(f.schema, best)) {
+                group.push_back(std::move(f));
+              } else {
+                rest.push_back(std::move(f));
+              }
+            }
+            remaining.erase(
+                std::remove(remaining.begin(), remaining.end(), best),
+                remaining.end());
+            if (group.empty()) continue;  // rule 5 handled by analysis
+            ClassId acc = group[0].cls;
+            std::vector<Symbol> schema = group[0].schema;
+            for (size_t i = 1; i < group.size(); ++i) {
+              acc = AddNode(eg, Op::kJoin, {acc, group[i].cls});
+              schema = AttrUnion(schema, group[i].schema);
+            }
+            // Aggregate every bound attr local to this group (best plus any
+            // others no longer appearing outside).
+            std::vector<Symbol> local = {best};
+            for (Symbol x : remaining) {
+              if (!AttrContains(schema, x)) continue;
+              bool outside = false;
+              for (const VeFactor& f : rest) {
+                if (AttrContains(f.schema, x)) {
+                  outside = true;
+                  break;
+                }
+              }
+              if (!outside) local.push_back(x);
+            }
+            std::sort(local.begin(), local.end());
+            for (Symbol x : local) {
+              remaining.erase(
+                  std::remove(remaining.begin(), remaining.end(), x),
+                  remaining.end());
+            }
+            acc = AddNode(eg, Op::kAgg, {acc}, local);
+            rest.push_back({acc, AttrMinus(schema, local)});
+            work = std::move(rest);
+          }
+          if (!nontrivial || work.empty()) return std::nullopt;
+          ClassId result = work[0].cls;
+          for (size_t i = 1; i < work.size(); ++i) {
+            result = AddNode(eg, Op::kJoin, {result, work[i].cls});
+          }
+          return result;
+        }
+        // Each group: join its factors, aggregate its own bound attrs.
+        std::vector<ClassId> pieces;
+        double dims_mult = 1.0;
+        std::vector<Symbol> covered;
+        for (auto& [rep, members] : groups) {
+          ClassId acc = factors[members[0]];
+          std::vector<Symbol> schema = eg.Data(acc).schema;
+          for (size_t i = 1; i < members.size(); ++i) {
+            acc = AddNode(eg, Op::kJoin, {acc, factors[members[i]]});
+            schema = AttrUnion(schema, eg.Data(factors[members[i]]).schema);
+          }
+          std::vector<Symbol> bound = AttrIntersect(attrs, schema);
+          covered = AttrUnion(covered, bound);
+          if (!bound.empty()) {
+            acc = AddNode(eg, Op::kAgg, {acc}, std::move(bound));
+          }
+          pieces.push_back(acc);
+        }
+        // Attributes in I touching no factor multiply by their dimensions.
+        (void)dims_mult;
+        ClassId result = pieces[0];
+        for (size_t i = 1; i < pieces.size(); ++i) {
+          result = AddNode(eg, Op::kJoin, {result, pieces[i]});
+        }
+        std::vector<Symbol> uncovered = AttrMinus(attrs, covered);
+        if (!uncovered.empty()) {
+          result = AddNode(eg, Op::kAgg, {result}, std::move(uncovered));
+        }
+        return result;
+      }));
+
+  // -------------------------------------------------------------------
+  // Fused operators inside saturation (Sec 3.3): encode sprop's definition
+  // as an equality so both versions coexist and extraction can choose the
+  // fused one by cost. p * (1 + (-1) * p) = sprop(p).
+  // -------------------------------------------------------------------
+  rules.push_back(MakeDynRewrite(
+      "sprop-intro",
+      P::N(Op::kJoin,
+           {P::V("?p"),
+            P::N(Op::kUnion,
+                 {P::ConstLeaf(1.0),
+                  P::N(Op::kJoin, {P::ConstLeaf(-1.0), P::V("?p")})})}),
+      [](EGraph& eg, ClassId, const Subst& s) -> std::optional<ClassId> {
+        ENode n;
+        n.op = Op::kSProp;
+        n.children = {s.ClassOf(Symbol::Intern("?p"))};
+        return eg.Add(std::move(n));
+      }));
+  // And the reverse, so programs written with sprop() still saturate fully.
+  rules.push_back(MakeRewrite(
+      "sprop-elim",
+      P::N(Op::kSProp, {P::V("?p")}),
+      P::N(Op::kJoin,
+           {P::V("?p"),
+            P::N(Op::kUnion,
+                 {P::ConstLeaf(1.0),
+                  P::N(Op::kJoin, {P::ConstLeaf(-1.0), P::V("?p")})})})));
+
+  return rules;
+}
+
+}  // namespace spores

@@ -1,0 +1,18 @@
+// R_EQ (Fig 3): the seven relational-algebra identities that make the
+// optimizer complete, expressed as e-graph rewrite rules, plus coefficient
+// and identity-element folding that keeps the canonical forms compact.
+// Associativity/commutativity are flagged expansive so the sampling
+// strategy throttles them (Sec 3.1).
+#pragma once
+
+#include <vector>
+
+#include "src/egraph/rewrite.h"
+#include "src/rules/ra_analysis.h"
+
+namespace spores {
+
+/// The RA equality ruleset. `ctx` supplies dims for rule 5 folding.
+std::vector<Rewrite> RaEqualityRules(const RaContext& ctx);
+
+}  // namespace spores

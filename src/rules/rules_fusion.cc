@@ -1,0 +1,165 @@
+#include "src/rules/rules_fusion.h"
+
+#include <algorithm>
+
+namespace spores {
+
+namespace {
+
+bool IsConst(const ExprPtr& e, double v) {
+  return e->op == Op::kConst && e->value == v;
+}
+
+// ---------------------------------------------------------------------------
+// Normalization: make negative coefficients readable so fusion patterns can
+// match. Plus(x, Mul(-1, y)) -> Minus(x, y); Mul(-1, x) -> Neg(x).
+// ---------------------------------------------------------------------------
+
+bool IsNegOne(const ExprPtr& e) { return IsConst(e, -1.0); }
+
+ExprPtr NormalizeNode(const ExprPtr& e) {
+  if (e->op == Op::kElemPlus) {
+    const ExprPtr& a = e->children[0];
+    const ExprPtr& b = e->children[1];
+    if (b->op == Op::kElemMul && IsNegOne(b->children[0])) {
+      return Expr::Minus(a, b->children[1]);
+    }
+    if (b->op == Op::kElemMul && IsNegOne(b->children[1])) {
+      return Expr::Minus(a, b->children[0]);
+    }
+    if (a->op == Op::kElemMul && IsNegOne(a->children[0])) {
+      return Expr::Minus(b, a->children[1]);
+    }
+    if (a->op == Op::kElemMul && IsNegOne(a->children[1])) {
+      return Expr::Minus(b, a->children[0]);
+    }
+    if (b->op == Op::kNeg) return Expr::Minus(a, b->children[0]);
+    if (a->op == Op::kNeg) return Expr::Minus(b, a->children[0]);
+  }
+  if (e->op == Op::kElemMul) {
+    if (e->children[0]->op == Op::kConst && e->children[1]->op == Op::kConst) {
+      return Expr::Const(e->children[0]->value * e->children[1]->value);
+    }
+    if (IsNegOne(e->children[0])) return Expr::Neg(e->children[1]);
+    if (IsNegOne(e->children[1])) return Expr::Neg(e->children[0]);
+    if (IsConst(e->children[0], 1.0)) return e->children[1];
+    if (IsConst(e->children[1], 1.0)) return e->children[0];
+  }
+  if (e->op == Op::kNeg) {
+    if (e->children[0]->op == Op::kNeg) return e->children[0]->children[0];
+    if (e->children[0]->op == Op::kConst) {
+      return Expr::Const(-e->children[0]->value);
+    }
+  }
+  if (e->op == Op::kElemMinus && e->children[1]->op == Op::kNeg) {
+    return Expr::Plus(e->children[0], e->children[1]->children[0]);
+  }
+  return e;
+}
+
+// ---------------------------------------------------------------------------
+// Fusion patterns
+// ---------------------------------------------------------------------------
+
+// Matches X - U %*% t(V) or X - U %*% W, returning (X, U, V).
+bool MatchLowRankResidual(const ExprPtr& e, ExprPtr* x, ExprPtr* u,
+                          ExprPtr* v) {
+  if (e->op != Op::kElemMinus) return false;
+  const ExprPtr& rhs = e->children[1];
+  if (rhs->op != Op::kMatMul) return false;
+  *x = e->children[0];
+  *u = rhs->children[0];
+  const ExprPtr& w = rhs->children[1];
+  *v = (w->op == Op::kTranspose) ? w->children[0] : Expr::Transpose(w);
+  return true;
+}
+
+// Flattens an elementwise-multiply tree into factors.
+void FlattenMul(const ExprPtr& e, std::vector<ExprPtr>* out) {
+  if (e->op == Op::kElemMul) {
+    FlattenMul(e->children[0], out);
+    FlattenMul(e->children[1], out);
+    return;
+  }
+  out->push_back(e);
+}
+
+// Is `m` of the form (1 - p)?
+bool IsOneMinus(const ExprPtr& m, ExprPtr* p) {
+  if (m->op == Op::kElemMinus && IsConst(m->children[0], 1.0)) {
+    *p = m->children[1];
+    return true;
+  }
+  return false;
+}
+
+ExprPtr FuseNode(const ExprPtr& e) {
+  // sum((X - U V^T)^2) -> wsloss (SystemML's weighted-squared-loss).
+  if (e->op == Op::kSumAgg) {
+    const ExprPtr& body = e->children[0];
+    ExprPtr squared;
+    if (body->op == Op::kPow && body->children[1]->op == Op::kConst &&
+        body->children[1]->value == 2.0) {
+      squared = body->children[0];
+    } else if (body->op == Op::kElemMul &&
+               ExprEquals(body->children[0], body->children[1])) {
+      squared = body->children[0];
+    }
+    if (squared) {
+      ExprPtr x, u, v;
+      if (MatchLowRankResidual(squared, &x, &u, &v)) {
+        return Expr::WsLoss(x, u, v);
+      }
+    }
+  }
+  // sprop: find a {p, (1-p)} pair among the factors of a multiply chain.
+  if (e->op == Op::kElemMul) {
+    std::vector<ExprPtr> factors;
+    FlattenMul(e, &factors);
+    if (factors.size() >= 2) {
+      for (size_t i = 0; i < factors.size(); ++i) {
+        ExprPtr p;
+        if (!IsOneMinus(factors[i], &p)) continue;
+        for (size_t j = 0; j < factors.size(); ++j) {
+          if (i == j || !ExprEquals(factors[j], p)) continue;
+          // Replace factors i and j by sprop(p); rebuild the chain.
+          std::vector<ExprPtr> rest;
+          for (size_t k = 0; k < factors.size(); ++k) {
+            if (k != i && k != j) rest.push_back(factors[k]);
+          }
+          ExprPtr fused = Expr::SProp(p);
+          for (ExprPtr& r : rest) fused = Expr::Mul(fused, r);
+          return fused;
+        }
+      }
+    }
+  }
+  return e;
+}
+
+}  // namespace
+
+ExprPtr ApplyFusion(const ExprPtr& expr) {
+  std::vector<ExprPtr> children;
+  children.reserve(expr->children.size());
+  bool changed = false;
+  for (const ExprPtr& c : expr->children) {
+    ExprPtr fused = ApplyFusion(c);
+    changed |= (fused != c);
+    children.push_back(std::move(fused));
+  }
+  ExprPtr rebuilt =
+      changed ? Expr::Make(expr->op, expr->sym, expr->value, expr->attrs,
+                           std::move(children))
+              : expr;
+  // Normalization can cascade (e.g. Mul(-1,-1) -> Neg(Const(-1)) -> Const):
+  // iterate to a per-node fixpoint before trying fusion.
+  while (true) {
+    ExprPtr normalized = NormalizeNode(rebuilt);
+    if (normalized == rebuilt) break;
+    rebuilt = normalized;
+  }
+  return FuseNode(rebuilt);
+}
+
+}  // namespace spores

@@ -1,0 +1,18 @@
+// LA-level fused-operator recognition (Sec 3.3 / SystemML's wsloss & sprop).
+// SPORES' extraction picks the algebraically best plan; this post-pass then
+// replaces sub-trees with SystemML-style fused operators so the runtime can
+// execute them without materializing intermediates. The heuristic baseline
+// optimizer reuses the same pass.
+#pragma once
+
+#include "src/ir/expr.h"
+
+namespace spores {
+
+/// Rewrites fusible patterns bottom-up:
+///   sum((X - U %*% t(V))^2)   -> wsloss(X, U, V)
+///   sum((X - U %*% W)^2)      -> wsloss(X, U, t(W))
+///   P * (1 - P), (1 - P) * P  -> sprop(P)
+ExprPtr ApplyFusion(const ExprPtr& expr);
+
+}  // namespace spores

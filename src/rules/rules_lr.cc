@@ -1,0 +1,589 @@
+#include "src/rules/rules_lr.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "src/ir/printer.h"
+
+namespace spores {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// LA -> RA
+// ---------------------------------------------------------------------------
+
+class LaToRa {
+ public:
+  LaToRa(const Catalog& catalog, std::shared_ptr<DimEnv> dims)
+      : catalog_(catalog), dims_(std::move(dims)) {}
+
+  StatusOr<RaProgram> Run(const ExprPtr& la, Symbol out_row, Symbol out_col) {
+    SPORES_ASSIGN_OR_RETURN(Shape shape, InferShape(la, catalog_));
+    Symbol row = shape.rows > 1
+                     ? (out_row.empty() ? FreshAttr(shape.rows) : out_row)
+                     : Symbol();
+    Symbol col = shape.cols > 1
+                     ? (out_col.empty() ? FreshAttr(shape.cols) : out_col)
+                     : Symbol();
+    if (!row.empty()) dims_->Set(row, shape.rows);
+    if (!col.empty()) dims_->Set(col, shape.cols);
+    SPORES_ASSIGN_OR_RETURN(ExprPtr ra, Tr(la, row, col));
+    RaProgram out;
+    out.ra = std::move(ra);
+    out.dims = dims_;
+    out.out_shape = shape;
+    out.out_row = row;
+    out.out_col = col;
+    return out;
+  }
+
+ private:
+  Symbol FreshAttr(int64_t dim) {
+    Symbol a = Symbol::Fresh("a");
+    dims_->Set(a, dim);
+    return a;
+  }
+
+  StatusOr<Shape> ShapeOf(const ExprPtr& e) {
+    auto it = shapes_.find(e.get());
+    if (it != shapes_.end()) return it->second;
+    SPORES_ASSIGN_OR_RETURN(Shape s, InferShape(e, catalog_));
+    shapes_.emplace(e.get(), s);
+    return s;
+  }
+
+  // Translates `e` so its rows map to attribute `row` and columns to `col`
+  // (either may be empty when that dimension is 1; for broadcast operands a
+  // non-empty target may pair with a size-1 dimension, in which case the
+  // attribute is dropped for that operand).
+  StatusOr<ExprPtr> Tr(const ExprPtr& e, Symbol row, Symbol col) {
+    SPORES_ASSIGN_OR_RETURN(Shape shape, ShapeOf(e));
+    if (shape.rows == 1) row = Symbol();
+    if (shape.cols == 1) col = Symbol();
+    // Memoize on (structure, target attrs): common LA subexpressions then
+    // translate to the *same* RA term (same internal attribute names), so
+    // the e-graph sees them as shared (the CSE story of Fig 10).
+    MemoKey key{e->Hash(), row, col};
+    auto it = memo_.find(key);
+    if (it != memo_.end()) return it->second;
+    SPORES_ASSIGN_OR_RETURN(ExprPtr result, TrImpl(e, row, col));
+    memo_.emplace(key, result);
+    return result;
+  }
+
+  StatusOr<ExprPtr> TrImpl(const ExprPtr& e, Symbol row, Symbol col) {
+    switch (e->op) {
+      case Op::kVar: {
+        std::vector<Symbol> attrs;
+        if (!row.empty()) attrs.push_back(row);
+        if (!col.empty()) attrs.push_back(col);
+        return Expr::Bind(std::move(attrs), e);
+      }
+      case Op::kConst:
+        return e;
+      case Op::kElemMul: {
+        SPORES_ASSIGN_OR_RETURN(ExprPtr a, Tr(e->children[0], row, col));
+        SPORES_ASSIGN_OR_RETURN(ExprPtr b, Tr(e->children[1], row, col));
+        return Expr::Join({a, b});
+      }
+      case Op::kElemPlus: {
+        SPORES_ASSIGN_OR_RETURN(ExprPtr a, Tr(e->children[0], row, col));
+        SPORES_ASSIGN_OR_RETURN(ExprPtr b, Tr(e->children[1], row, col));
+        return Expr::Union({a, b});
+      }
+      case Op::kElemMinus: {
+        // A - B  ->  A + (-1) * B   (Fig 2 rule 6)
+        SPORES_ASSIGN_OR_RETURN(ExprPtr a, Tr(e->children[0], row, col));
+        SPORES_ASSIGN_OR_RETURN(ExprPtr b, Tr(e->children[1], row, col));
+        return Expr::Union({a, Expr::Join({Expr::Const(-1.0), b})});
+      }
+      case Op::kNeg: {
+        SPORES_ASSIGN_OR_RETURN(ExprPtr a, Tr(e->children[0], row, col));
+        return Expr::Join({Expr::Const(-1.0), a});
+      }
+      case Op::kMatMul: {
+        // AB -> sum_j (A(i,j) * B(j,k))   (Fig 2 rule 4)
+        SPORES_ASSIGN_OR_RETURN(Shape sa, ShapeOf(e->children[0]));
+        Symbol j = sa.cols > 1 ? FreshAttr(sa.cols) : Symbol();
+        SPORES_ASSIGN_OR_RETURN(ExprPtr a, Tr(e->children[0], row, j));
+        SPORES_ASSIGN_OR_RETURN(ExprPtr b, Tr(e->children[1], j, col));
+        ExprPtr joined = Expr::Join({a, b});
+        if (j.empty()) return joined;  // inner dim 1: outer product
+        return Expr::Agg({j}, joined);
+      }
+      case Op::kTranspose:
+        return Tr(e->children[0], col, row);
+      case Op::kRowAgg: {
+        // rowSums: aggregate away the column attribute.
+        SPORES_ASSIGN_OR_RETURN(Shape sa, ShapeOf(e->children[0]));
+        Symbol j = sa.cols > 1 ? FreshAttr(sa.cols) : Symbol();
+        SPORES_ASSIGN_OR_RETURN(ExprPtr a, Tr(e->children[0], row, j));
+        if (j.empty()) return a;
+        return Expr::Agg({j}, a);
+      }
+      case Op::kColAgg: {
+        SPORES_ASSIGN_OR_RETURN(Shape sa, ShapeOf(e->children[0]));
+        Symbol i = sa.rows > 1 ? FreshAttr(sa.rows) : Symbol();
+        SPORES_ASSIGN_OR_RETURN(ExprPtr a, Tr(e->children[0], i, col));
+        if (i.empty()) return a;
+        return Expr::Agg({i}, a);
+      }
+      case Op::kSumAgg: {
+        SPORES_ASSIGN_OR_RETURN(Shape sa, ShapeOf(e->children[0]));
+        Symbol i = sa.rows > 1 ? FreshAttr(sa.rows) : Symbol();
+        Symbol j = sa.cols > 1 ? FreshAttr(sa.cols) : Symbol();
+        SPORES_ASSIGN_OR_RETURN(ExprPtr a, Tr(e->children[0], i, j));
+        std::vector<Symbol> attrs;
+        if (!i.empty()) attrs.push_back(i);
+        if (!j.empty()) attrs.push_back(j);
+        if (attrs.empty()) return a;
+        return Expr::Agg(std::move(attrs), a);
+      }
+      case Op::kPow: {
+        double k = e->children[1]->value;
+        if (k == std::floor(k) && k >= 1 && k <= 4) {
+          // Integer power: k-fold self-join squares multiplicities.
+          SPORES_ASSIGN_OR_RETURN(ExprPtr a, Tr(e->children[0], row, col));
+          std::vector<ExprPtr> factors(static_cast<size_t>(k), a);
+          if (factors.size() == 1) return a;
+          return Expr::Join(std::move(factors));
+        }
+        // Non-integer power: uninterpreted elementwise operator.
+        SPORES_ASSIGN_OR_RETURN(ExprPtr a, Tr(e->children[0], row, col));
+        return Expr::Make(Op::kPow, Symbol(), 0, {},
+                          {a, Expr::Const(k)});
+      }
+      case Op::kElemDiv: {
+        // Division is not core RA; keep it as an uninterpreted barrier
+        // (Sec 3.3), still optimizing above and below it.
+        SPORES_ASSIGN_OR_RETURN(ExprPtr a, Tr(e->children[0], row, col));
+        SPORES_ASSIGN_OR_RETURN(ExprPtr b, Tr(e->children[1], row, col));
+        return Expr::Make(Op::kElemDiv, Symbol(), 0, {}, {a, b});
+      }
+      case Op::kUnary: {
+        SPORES_ASSIGN_OR_RETURN(ExprPtr a, Tr(e->children[0], row, col));
+        return Expr::Make(Op::kUnary, e->sym, 0, {}, {a});
+      }
+      case Op::kSProp: {
+        // sprop(P) = P * (1 - P); expand so saturation can reason about it.
+        SPORES_ASSIGN_OR_RETURN(ExprPtr p, Tr(e->children[0], row, col));
+        ExprPtr one_minus =
+            Expr::Union({Expr::Const(1.0),
+                         Expr::Join({Expr::Const(-1.0), p})});
+        return Expr::Join({p, one_minus});
+      }
+      case Op::kWsLoss: {
+        // wsloss(X, U, V) = sum((X - U V^T)^2); expand the definition.
+        ExprPtr x = e->children[0];
+        ExprPtr u = e->children[1];
+        ExprPtr v = e->children[2];
+        ExprPtr expanded = Expr::Sum(
+            Expr::Pow(Expr::Minus(x, Expr::MatMul(u, Expr::Transpose(v))),
+                      2.0));
+        return Tr(expanded, Symbol(), Symbol());
+      }
+      default:
+        return Status::Unsupported(std::string("TranslateLaToRa: op ") +
+                                   std::string(OpName(e->op)));
+    }
+  }
+
+  struct MemoKey {
+    uint64_t hash;
+    Symbol row;
+    Symbol col;
+    friend bool operator==(const MemoKey&, const MemoKey&) = default;
+  };
+  struct MemoKeyHash {
+    size_t operator()(const MemoKey& k) const {
+      return k.hash ^ (static_cast<uint64_t>(k.row.id()) << 32) ^ k.col.id();
+    }
+  };
+
+  const Catalog& catalog_;
+  std::shared_ptr<DimEnv> dims_;
+  std::unordered_map<const Expr*, Shape> shapes_;
+  std::unordered_map<MemoKey, ExprPtr, MemoKeyHash> memo_;
+};
+
+// ---------------------------------------------------------------------------
+// RA -> LA
+// ---------------------------------------------------------------------------
+
+// An LA expression plus the attributes its two dimensions carry.
+// row/col empty <=> that dimension has size 1.
+struct Located {
+  ExprPtr la;
+  Symbol row;
+  Symbol col;
+
+  std::vector<Symbol> SchemaSet() const {
+    std::vector<Symbol> s;
+    if (!row.empty()) s.push_back(row);
+    if (!col.empty()) s.push_back(col);
+    std::sort(s.begin(), s.end());
+    return s;
+  }
+  bool IsScalar() const { return row.empty() && col.empty(); }
+};
+
+class RaToLa {
+ public:
+  RaToLa(const RaProgram& program, const Catalog& catalog)
+      : program_(program), catalog_(catalog) {}
+
+  StatusOr<ExprPtr> Run(const ExprPtr& ra) {
+    SPORES_ASSIGN_OR_RETURN(Located out, Lower(ra));
+    SPORES_ASSIGN_OR_RETURN(
+        Located aligned, AlignTo(out, program_.out_row, program_.out_col));
+    return aligned.la;
+  }
+
+ private:
+  int64_t DimOf(Symbol a) const { return program_.dims->DimOf(a); }
+
+  // Re-orients `x` to carry (row, col); inserts a transpose when flipped.
+  StatusOr<Located> AlignTo(Located x, Symbol row, Symbol col) {
+    if (x.row == row && x.col == col) return x;
+    if (x.row == col && x.col == row) {
+      return Located{Expr::Transpose(x.la), row, col};
+    }
+    return Status::Internal("cannot align schema {" + x.row.str() + "," +
+                            x.col.str() + "} to {" + row.str() + "," +
+                            col.str() + "}");
+  }
+
+  // Elementwise combine with broadcasting. `op` is kElemMul or kElemPlus.
+  StatusOr<Located> Combine(Op op, Located a, Located b) {
+    auto mk = [&](ExprPtr x, ExprPtr y) {
+      return op == Op::kElemMul ? Expr::Mul(std::move(x), std::move(y))
+                                : Expr::Plus(std::move(x), std::move(y));
+    };
+    std::vector<Symbol> sa = a.SchemaSet();
+    std::vector<Symbol> sb = b.SchemaSet();
+    // Make `a` the operand with the larger schema.
+    if (sb.size() > sa.size()) {
+      std::swap(a, b);
+      std::swap(sa, sb);
+    }
+    if (sa == sb) {
+      SPORES_ASSIGN_OR_RETURN(Located bb, AlignTo(b, a.row, a.col));
+      return Located{mk(a.la, bb.la), a.row, a.col};
+    }
+    if (sb.empty()) {  // scalar broadcast
+      return Located{mk(a.la, b.la), a.row, a.col};
+    }
+    if (sb.size() == 1 && sa.size() == 2) {
+      Symbol attr = sb[0];
+      if (attr == a.row) {
+        // Broadcast as a column vector along a's rows.
+        SPORES_ASSIGN_OR_RETURN(Located bb, AlignTo(b, attr, Symbol()));
+        return Located{mk(a.la, bb.la), a.row, a.col};
+      }
+      if (attr == a.col) {
+        // Broadcast as a row vector along a's columns.
+        SPORES_ASSIGN_OR_RETURN(Located bb, AlignTo(b, Symbol(), attr));
+        return Located{mk(a.la, bb.la), a.row, a.col};
+      }
+      return Status::Internal("broadcast attr not in larger operand");
+    }
+    if (sa.size() == 1 && sb.size() == 1) {
+      // Disjoint single attrs: outer combine, e.g. u(i) * v(j) -> u %*% t(v)
+      // for multiplication; addition becomes broadcast over both dims.
+      SPORES_ASSIGN_OR_RETURN(Located ca, AlignTo(a, sa[0], Symbol()));
+      SPORES_ASSIGN_OR_RETURN(Located cb, AlignTo(b, Symbol(), sb[0]));
+      if (op == Op::kElemMul) {
+        return Located{Expr::MatMul(ca.la, cb.la), sa[0], sb[0]};
+      }
+      // Outer sum: a(i) + b(j) broadcast; runtime broadcasting covers
+      // (Nx1) + (1xM).
+      return Located{Expr::Plus(ca.la, cb.la), sa[0], sb[0]};
+    }
+    if (sa.size() == 2 && sb.size() == 2) {
+      // Same size but different sets: impossible if schemas differ.
+      return Status::Internal("combine: incompatible 2-attr schemas");
+    }
+    return Status::Internal("combine: unsupported schema combination");
+  }
+
+  // Eliminates attribute `attr` from a single located operand by summing.
+  StatusOr<Located> EliminateWithin(Located x, Symbol attr) {
+    if (x.row == attr && x.col.empty()) {
+      return Located{Expr::Sum(x.la), Symbol(), Symbol()};
+    }
+    if (x.col == attr && x.row.empty()) {
+      return Located{Expr::Sum(x.la), Symbol(), Symbol()};
+    }
+    if (x.col == attr) {
+      return Located{Expr::RowSums(x.la), x.row, Symbol()};
+    }
+    if (x.row == attr) {
+      return Located{Expr::ColSums(x.la), Symbol(), x.col};
+    }
+    return Status::Internal("EliminateWithin: attr not present");
+  }
+
+  // Compiles sum over `bound` of the product of `factors` into LA by greedy
+  // variable elimination. Every intermediate keeps at most two attributes.
+  StatusOr<Located> CompileSumProduct(std::vector<Located> factors,
+                                      std::vector<Symbol> bound) {
+    // Constants first: fold scalars into one coefficient factor.
+    while (!bound.empty()) {
+      // Merge same-schema factors elementwise; this can only shrink the
+      // problem and never increases schema width.
+      SPORES_RETURN_IF_ERROR(MergeSameSchema(factors));
+
+      // Pick the attribute occurring in the fewest factors.
+      Symbol best;
+      size_t best_count = SIZE_MAX;
+      for (Symbol attr : bound) {
+        size_t count = 0;
+        for (const Located& f : factors) {
+          if (f.row == attr || f.col == attr) ++count;
+        }
+        if (count < best_count) {
+          best_count = count;
+          best = attr;
+        }
+      }
+      Symbol attr = best;
+      bound.erase(std::remove(bound.begin(), bound.end(), attr), bound.end());
+
+      std::vector<Located> group;
+      std::vector<Located> rest;
+      for (Located& f : factors) {
+        if (f.row == attr || f.col == attr) {
+          group.push_back(std::move(f));
+        } else {
+          rest.push_back(std::move(f));
+        }
+      }
+      if (group.empty()) {
+        // Rule 5 in reverse: sum_i A = A * dim(i) when i not in A's schema.
+        Located c{Expr::Const(static_cast<double>(DimOf(attr))), Symbol(),
+                  Symbol()};
+        rest.push_back(c);
+        factors = std::move(rest);
+        continue;
+      }
+      SPORES_ASSIGN_OR_RETURN(Located reduced,
+                              EliminateGroup(std::move(group), attr));
+      rest.push_back(std::move(reduced));
+      factors = std::move(rest);
+    }
+
+    // No bound attrs left: combine all remaining factors elementwise /
+    // as outer products.
+    SPORES_RETURN_IF_ERROR(MergeSameSchema(factors));
+    // Combine smallest-schema first so scalars fold in cheaply.
+    std::sort(factors.begin(), factors.end(),
+              [](const Located& a, const Located& b) {
+                return a.SchemaSet().size() < b.SchemaSet().size();
+              });
+    Located acc = std::move(factors[0]);
+    for (size_t i = 1; i < factors.size(); ++i) {
+      SPORES_ASSIGN_OR_RETURN(acc, Combine(Op::kElemMul, std::move(acc),
+                                           std::move(factors[i])));
+    }
+    return acc;
+  }
+
+  // Merges factors that share an identical schema via elementwise multiply.
+  Status MergeSameSchema(std::vector<Located>& factors) {
+    for (size_t i = 0; i < factors.size(); ++i) {
+      for (size_t j = i + 1; j < factors.size();) {
+        if (factors[i].SchemaSet() == factors[j].SchemaSet()) {
+          SPORES_ASSIGN_OR_RETURN(
+              Located merged, Combine(Op::kElemMul, std::move(factors[i]),
+                                      std::move(factors[j])));
+          factors[i] = std::move(merged);
+          factors.erase(factors.begin() + static_cast<ptrdiff_t>(j));
+        } else {
+          ++j;
+        }
+      }
+    }
+    return Status::OK();
+  }
+
+  // Eliminates `attr` from a group of factors that all contain it.
+  // Precondition: factors with identical schemas are already merged, so the
+  // group holds at most one {attr} vector, and matrices with distinct other
+  // attributes.
+  StatusOr<Located> EliminateGroup(std::vector<Located> group, Symbol attr) {
+    SPORES_RETURN_IF_ERROR(MergeSameSchema(group));
+
+    // Fold a pure {attr} vector into some matrix factor via broadcast
+    // multiply (or keep it if it is alone).
+    std::vector<Located> vectors;
+    std::vector<Located> matrices;
+    for (Located& g : group) {
+      if (g.SchemaSet().size() == 1) {
+        vectors.push_back(std::move(g));
+      } else {
+        matrices.push_back(std::move(g));
+      }
+    }
+    SPORES_CHECK_LE(vectors.size(), 1u);
+
+    if (matrices.empty()) {
+      // sum_attr v(attr) -> sum(v).
+      return EliminateWithin(std::move(vectors[0]), attr);
+    }
+    if (matrices.size() == 1) {
+      Located m = std::move(matrices[0]);
+      if (!vectors.empty()) {
+        // sum_attr M(o,attr) * v(attr): matrix-vector multiply.
+        Located v = std::move(vectors[0]);
+        if (m.col == attr) {
+          SPORES_ASSIGN_OR_RETURN(Located vc, AlignTo(v, attr, Symbol()));
+          return Located{Expr::MatMul(m.la, vc.la), m.row, Symbol()};
+        }
+        SPORES_CHECK(m.row == attr);
+        SPORES_ASSIGN_OR_RETURN(Located vr, AlignTo(v, Symbol(), attr));
+        return Located{Expr::MatMul(vr.la, m.la), Symbol(), m.col};
+      }
+      return EliminateWithin(std::move(m), attr);
+    }
+    if (matrices.size() == 2) {
+      // sum_attr A(a,attr) * B(attr,b) -> matmul. Attach any vector first.
+      Located a = std::move(matrices[0]);
+      Located b = std::move(matrices[1]);
+      if (!vectors.empty()) {
+        SPORES_ASSIGN_OR_RETURN(
+            a, Combine(Op::kElemMul, std::move(a), std::move(vectors[0])));
+      }
+      SPORES_ASSIGN_OR_RETURN(
+          Located al, AlignTo(a, a.row == attr ? a.col : a.row, attr));
+      SPORES_ASSIGN_OR_RETURN(
+          Located bl, AlignTo(b, attr, b.row == attr ? b.col : b.row));
+      return Located{Expr::MatMul(al.la, bl.la), al.row, bl.col};
+    }
+    // Three or more distinct matrices sharing `attr` would produce a >2-attr
+    // output; the extraction-side schema restriction prevents this.
+    return Status::Unsupported(
+        "sum-product group needs a >2 attribute intermediate");
+  }
+
+  // Flattens a join tree into multiplicative factors, stopping at non-join
+  // operators.
+  void FlattenJoin(const ExprPtr& e, std::vector<ExprPtr>* out) {
+    if (e->op == Op::kJoin) {
+      for (const ExprPtr& c : e->children) FlattenJoin(c, out);
+      return;
+    }
+    out->push_back(e);
+  }
+
+  StatusOr<Located> Lower(const ExprPtr& e) {
+    switch (e->op) {
+      case Op::kBind: {
+        SPORES_CHECK_EQ(e->children[0]->op, Op::kVar);
+        const ExprPtr& var = e->children[0];
+        Shape shape = catalog_.Get(var->sym).shape;
+        if (shape.rows > 1 && shape.cols > 1) {
+          SPORES_CHECK_EQ(e->attrs.size(), 2u);
+          return Located{var, e->attrs[0], e->attrs[1]};
+        }
+        if (shape.rows > 1) {
+          SPORES_CHECK_EQ(e->attrs.size(), 1u);
+          return Located{var, e->attrs[0], Symbol()};
+        }
+        if (shape.cols > 1) {
+          SPORES_CHECK_EQ(e->attrs.size(), 1u);
+          return Located{var, Symbol(), e->attrs[0]};
+        }
+        return Located{var, Symbol(), Symbol()};
+      }
+      case Op::kConst:
+        return Located{e, Symbol(), Symbol()};
+      case Op::kVar:
+        // A bare scalar variable (1x1 matrix).
+        return Located{e, Symbol(), Symbol()};
+      case Op::kJoin: {
+        std::vector<ExprPtr> parts;
+        FlattenJoin(e, &parts);
+        std::vector<Located> factors;
+        factors.reserve(parts.size());
+        for (const ExprPtr& p : parts) {
+          SPORES_ASSIGN_OR_RETURN(Located l, Lower(p));
+          factors.push_back(std::move(l));
+        }
+        return CompileSumProduct(std::move(factors), {});
+      }
+      case Op::kUnion: {
+        SPORES_ASSIGN_OR_RETURN(Located a, Lower(e->children[0]));
+        SPORES_ASSIGN_OR_RETURN(Located b, Lower(e->children[1]));
+        return Combine(Op::kElemPlus, std::move(a), std::move(b));
+      }
+      case Op::kAgg: {
+        // Aggregation over a join tree: compile jointly so matmuls fuse the
+        // join with the aggregate and no wide intermediate materializes.
+        std::vector<ExprPtr> parts;
+        FlattenJoin(e->children[0], &parts);
+        std::vector<Located> factors;
+        factors.reserve(parts.size());
+        for (const ExprPtr& p : parts) {
+          SPORES_ASSIGN_OR_RETURN(Located l, Lower(p));
+          factors.push_back(std::move(l));
+        }
+        return CompileSumProduct(std::move(factors), e->attrs);
+      }
+      case Op::kElemDiv: {
+        SPORES_ASSIGN_OR_RETURN(Located a, Lower(e->children[0]));
+        SPORES_ASSIGN_OR_RETURN(Located b, Lower(e->children[1]));
+        // Reuse Combine's broadcasting by building with kElemMul and then
+        // swapping the operator.
+        std::vector<Symbol> sa = a.SchemaSet();
+        std::vector<Symbol> sb = b.SchemaSet();
+        if (sa == sb) {
+          SPORES_ASSIGN_OR_RETURN(Located bb, AlignTo(b, a.row, a.col));
+          return Located{Expr::Div(a.la, bb.la), a.row, a.col};
+        }
+        if (sb.empty()) {
+          return Located{Expr::Div(a.la, b.la), a.row, a.col};
+        }
+        return Status::Unsupported("division with broadcast reshape");
+      }
+      case Op::kPow: {
+        SPORES_ASSIGN_OR_RETURN(Located a, Lower(e->children[0]));
+        return Located{Expr::Pow(a.la, e->children[1]->value), a.row, a.col};
+      }
+      case Op::kUnary: {
+        SPORES_ASSIGN_OR_RETURN(Located a, Lower(e->children[0]));
+        return Located{Expr::Unary(e->sym.str(), a.la), a.row, a.col};
+      }
+      case Op::kSProp: {
+        SPORES_ASSIGN_OR_RETURN(Located a, Lower(e->children[0]));
+        return Located{Expr::SProp(a.la), a.row, a.col};
+      }
+      default:
+        return Status::Unsupported(std::string("TranslateRaToLa: op ") +
+                                   std::string(OpName(e->op)) + " in " +
+                                   ToString(e));
+    }
+  }
+
+  const RaProgram& program_;
+  const Catalog& catalog_;
+};
+
+}  // namespace
+
+StatusOr<RaProgram> TranslateLaToRa(const ExprPtr& la, const Catalog& catalog,
+                                    std::shared_ptr<DimEnv> dims,
+                                    Symbol out_row, Symbol out_col) {
+  if (!dims) dims = std::make_shared<DimEnv>();
+  LaToRa translator(catalog, std::move(dims));
+  return translator.Run(la, out_row, out_col);
+}
+
+StatusOr<ExprPtr> TranslateRaToLa(const ExprPtr& ra, const RaProgram& program,
+                                  const Catalog& catalog) {
+  RaToLa lowering(program, catalog);
+  return lowering.Run(ra);
+}
+
+}  // namespace spores

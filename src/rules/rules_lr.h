@@ -1,0 +1,44 @@
+// R_LR (Fig 2): translation between Linear Algebra and Relational Algebra.
+//
+// TranslateLaToRa expands every LA operator element-wise into join / union /
+// aggregate over bind-ed leaves, assigning fresh attribute names and
+// recording their dimensions in a DimEnv. Dimensions of size 1 carry no
+// attribute (a 1xN row vector becomes a relation over one attribute), which
+// keeps K-relation schemas minimal and matches the paper's examples.
+//
+// TranslateRaToLa lowers an extracted RA term back to LA. Aggregations over
+// join trees are compiled by variable elimination into matmuls, row/col
+// aggregates and element-wise products, guaranteeing every LA intermediate
+// has at most two attributes.
+#pragma once
+
+#include "src/ir/expr.h"
+#include "src/rules/ra_analysis.h"
+
+namespace spores {
+
+/// Result of LA->RA translation for one expression DAG.
+struct RaProgram {
+  ExprPtr ra;                     ///< RA term (kBind leaves; no kUnbind).
+  std::shared_ptr<DimEnv> dims;   ///< attribute dimensions
+  Shape out_shape;                ///< LA output shape
+  Symbol out_row;                 ///< output row attribute (empty if rows==1)
+  Symbol out_col;                 ///< output col attribute (empty if cols==1)
+};
+
+/// Translates an LA expression to RA (rules R_LR). Fresh attributes are
+/// drawn from `dims` (created if null). `out_row`/`out_col` fix the output
+/// attribute names (used to compare translations of two expressions); when
+/// empty they are drawn fresh.
+StatusOr<RaProgram> TranslateLaToRa(const ExprPtr& la, const Catalog& catalog,
+                                    std::shared_ptr<DimEnv> dims = nullptr,
+                                    Symbol out_row = Symbol(),
+                                    Symbol out_col = Symbol());
+
+/// Lowers an RA term back to LA, oriented to (program.out_row,
+/// program.out_col). `ra` is typically the extraction result for
+/// program.ra's e-class.
+StatusOr<ExprPtr> TranslateRaToLa(const ExprPtr& ra, const RaProgram& program,
+                                  const Catalog& catalog);
+
+}  // namespace spores

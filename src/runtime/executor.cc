@@ -1,0 +1,184 @@
+#include "src/runtime/executor.h"
+
+#include "src/ir/printer.h"
+#include "src/runtime/fused.h"
+#include "src/runtime/kernels.h"
+
+namespace spores {
+
+void Bindings::Bind(std::string_view name, Matrix value) {
+  values_[Symbol::Intern(name)] = std::move(value);
+}
+
+const Matrix& Bindings::Get(Symbol name) const {
+  auto it = values_.find(name);
+  SPORES_CHECK_MSG(it != values_.end(), name.str().c_str());
+  return it->second;
+}
+
+Catalog Bindings::ToCatalog() const {
+  Catalog catalog;
+  for (const auto& [name, m] : values_) {
+    double sparsity =
+        static_cast<double>(m.Nnz()) / static_cast<double>(m.size());
+    catalog.Register(name.str(), m.rows(), m.cols(), sparsity);
+  }
+  return catalog;
+}
+
+namespace {
+
+class Evaluator {
+ public:
+  Evaluator(const Bindings& inputs, ExecStats* stats)
+      : inputs_(inputs), stats_(stats) {}
+
+  StatusOr<Matrix> Eval(const ExprPtr& e) {
+    auto it = cache_.find(e.get());
+    if (it != cache_.end()) {
+      if (stats_) ++stats_->cse_hits;
+      return it->second;
+    }
+    SPORES_ASSIGN_OR_RETURN(Matrix m, EvalImpl(e));
+    if (stats_) {
+      ++stats_->ops_executed;
+      stats_->peak_cells_allocated += static_cast<double>(m.size());
+    }
+    cache_.emplace(e.get(), m);
+    return m;
+  }
+
+ private:
+  // Flattens nested matmuls into a chain for optimal re-association.
+  void FlattenChain(const ExprPtr& e, std::vector<ExprPtr>* out) {
+    if (e->op == Op::kMatMul) {
+      FlattenChain(e->children[0], out);
+      FlattenChain(e->children[1], out);
+      return;
+    }
+    out->push_back(e);
+  }
+
+  StatusOr<Matrix> EvalImpl(const ExprPtr& e) {
+    switch (e->op) {
+      case Op::kVar:
+        if (!inputs_.Has(e->sym)) {
+          return Status::NotFound("unbound input: " + e->sym.str());
+        }
+        return inputs_.Get(e->sym);
+      case Op::kConst:
+        return Matrix::Scalar(e->value);
+      case Op::kMatMul: {
+        // Fused transpose-matmul (the SystemML pattern): never materialize
+        // t(X) for t(X) %*% B, A %*% t(B), or t(A) %*% t(B).
+        const ExprPtr& lhs = e->children[0];
+        const ExprPtr& rhs = e->children[1];
+        bool lt = lhs->op == Op::kTranspose;
+        bool rt = rhs->op == Op::kTranspose;
+        if (lt && rt) {
+          SPORES_ASSIGN_OR_RETURN(Matrix a, Eval(lhs->children[0]));
+          SPORES_ASSIGN_OR_RETURN(Matrix b, Eval(rhs->children[0]));
+          // t(A) %*% t(B) = t(B %*% A); the transpose happens on the
+          // (usually small) result.
+          return Transpose(MatMul(b, a));
+        }
+        if (lt) {
+          SPORES_ASSIGN_OR_RETURN(Matrix a, Eval(lhs->children[0]));
+          SPORES_ASSIGN_OR_RETURN(Matrix b, Eval(rhs));
+          return TransLeftMatMul(a, b);
+        }
+        if (rt) {
+          SPORES_ASSIGN_OR_RETURN(Matrix a, Eval(lhs));
+          SPORES_ASSIGN_OR_RETURN(Matrix b, Eval(rhs->children[0]));
+          return TransRightMatMul(a, b);
+        }
+        std::vector<ExprPtr> chain_exprs;
+        FlattenChain(e, &chain_exprs);
+        std::vector<Matrix> chain;
+        chain.reserve(chain_exprs.size());
+        for (const ExprPtr& c : chain_exprs) {
+          SPORES_ASSIGN_OR_RETURN(Matrix m, Eval(c));
+          chain.push_back(std::move(m));
+        }
+        // Scalar factors can sneak in via 1x1 ends; MMChain handles shapes.
+        return MMChain(chain);
+      }
+      case Op::kElemMul: {
+        SPORES_ASSIGN_OR_RETURN(Matrix a, Eval(e->children[0]));
+        SPORES_ASSIGN_OR_RETURN(Matrix b, Eval(e->children[1]));
+        return Mul(a, b);
+      }
+      case Op::kElemPlus: {
+        SPORES_ASSIGN_OR_RETURN(Matrix a, Eval(e->children[0]));
+        SPORES_ASSIGN_OR_RETURN(Matrix b, Eval(e->children[1]));
+        return Add(a, b);
+      }
+      case Op::kElemMinus: {
+        SPORES_ASSIGN_OR_RETURN(Matrix a, Eval(e->children[0]));
+        SPORES_ASSIGN_OR_RETURN(Matrix b, Eval(e->children[1]));
+        return Sub(a, b);
+      }
+      case Op::kElemDiv: {
+        SPORES_ASSIGN_OR_RETURN(Matrix a, Eval(e->children[0]));
+        SPORES_ASSIGN_OR_RETURN(Matrix b, Eval(e->children[1]));
+        return Div(a, b);
+      }
+      case Op::kPow: {
+        SPORES_ASSIGN_OR_RETURN(Matrix a, Eval(e->children[0]));
+        return PowElem(a, e->children[1]->value);
+      }
+      case Op::kNeg: {
+        SPORES_ASSIGN_OR_RETURN(Matrix a, Eval(e->children[0]));
+        return Scale(a, -1.0);
+      }
+      case Op::kTranspose: {
+        SPORES_ASSIGN_OR_RETURN(Matrix a, Eval(e->children[0]));
+        return Transpose(a);
+      }
+      case Op::kRowAgg: {
+        SPORES_ASSIGN_OR_RETURN(Matrix a, Eval(e->children[0]));
+        return RowSums(a);
+      }
+      case Op::kColAgg: {
+        SPORES_ASSIGN_OR_RETURN(Matrix a, Eval(e->children[0]));
+        return ColSums(a);
+      }
+      case Op::kSumAgg: {
+        SPORES_ASSIGN_OR_RETURN(Matrix a, Eval(e->children[0]));
+        return Matrix::Scalar(SumAll(a));
+      }
+      case Op::kUnary: {
+        SPORES_ASSIGN_OR_RETURN(Matrix a, Eval(e->children[0]));
+        return Unary(e->sym.str(), a);
+      }
+      case Op::kSProp: {
+        SPORES_ASSIGN_OR_RETURN(Matrix a, Eval(e->children[0]));
+        return SProp(a);
+      }
+      case Op::kWsLoss: {
+        SPORES_ASSIGN_OR_RETURN(Matrix x, Eval(e->children[0]));
+        SPORES_ASSIGN_OR_RETURN(Matrix u, Eval(e->children[1]));
+        SPORES_ASSIGN_OR_RETURN(Matrix v, Eval(e->children[2]));
+        return Matrix::Scalar(WsLoss(x, u, v));
+      }
+      default:
+        return Status::Unsupported("Execute: non-LA op " +
+                                   std::string(OpName(e->op)) + " in " +
+                                   ToString(e));
+    }
+  }
+
+  const Bindings& inputs_;
+  ExecStats* stats_;
+  std::unordered_map<const Expr*, Matrix> cache_;
+};
+
+}  // namespace
+
+StatusOr<Matrix> Execute(const ExprPtr& expr, const Bindings& inputs,
+                         ExecStats* stats) {
+  Evaluator evaluator(inputs, stats);
+  return evaluator.Eval(expr);
+}
+
+}  // namespace spores

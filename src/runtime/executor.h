@@ -1,0 +1,40 @@
+// DAG executor: evaluates LA expression trees against bound inputs, with
+// common-subexpression caching (shared Expr nodes evaluate once) and
+// matmul-chain flattening (the mmchain effect). This is the substitute for
+// SystemML's runtime (DESIGN.md).
+#pragma once
+
+#include <unordered_map>
+
+#include "src/ir/expr.h"
+#include "src/runtime/matrix.h"
+#include "src/util/status.h"
+
+namespace spores {
+
+/// Named inputs for one execution.
+class Bindings {
+ public:
+  void Bind(std::string_view name, Matrix value);
+  bool Has(Symbol name) const { return values_.count(name) > 0; }
+  const Matrix& Get(Symbol name) const;
+
+  /// Derives a Catalog (shapes + measured sparsity) from the bound values.
+  Catalog ToCatalog() const;
+
+ private:
+  std::unordered_map<Symbol, Matrix> values_;
+};
+
+struct ExecStats {
+  size_t ops_executed = 0;
+  size_t cse_hits = 0;
+  double peak_cells_allocated = 0;  ///< sum of output cells, a memory proxy
+};
+
+/// Evaluates `expr` against `inputs`. Shared subtrees (same Expr node)
+/// compute once.
+StatusOr<Matrix> Execute(const ExprPtr& expr, const Bindings& inputs,
+                         ExecStats* stats = nullptr);
+
+}  // namespace spores

@@ -1,0 +1,121 @@
+#include "src/runtime/fused.h"
+
+#include <functional>
+#include <limits>
+
+#include "src/runtime/kernels.h"
+
+namespace spores {
+
+double WsLoss(const Matrix& x, const Matrix& u, const Matrix& v) {
+  SPORES_CHECK_EQ(u.rows(), x.rows());
+  SPORES_CHECK_EQ(v.rows(), x.cols());
+  SPORES_CHECK_EQ(u.cols(), v.cols());
+  Matrix du = u.ToDense();
+  Matrix dv = v.ToDense();
+  int64_t k = du.cols();
+
+  // Term 3: sum_{ab} (U^T U)_ab (V^T V)_ab — O((M+N) k^2).
+  Matrix utu = MatMul(Transpose(du), du);
+  Matrix vtv = MatMul(Transpose(dv), dv);
+  double term3 = 0.0;
+  for (size_t i = 0; i < utu.values().size(); ++i) {
+    term3 += utu.values()[i] * vtv.values()[i];
+  }
+
+  // Terms 1 and 2 stream over X's non-zeros.
+  double term1 = 0.0, term2 = 0.0;
+  auto dot_uv = [&](int64_t r, int64_t c) {
+    const double* urow = &du.values()[static_cast<size_t>(r * k)];
+    const double* vrow = &dv.values()[static_cast<size_t>(c * k)];
+    double d = 0.0;
+    for (int64_t t = 0; t < k; ++t) d += urow[t] * vrow[t];
+    return d;
+  };
+  if (x.is_sparse()) {
+    for (int64_t r = 0; r < x.rows(); ++r) {
+      for (int64_t p = x.row_ptr()[static_cast<size_t>(r)];
+           p < x.row_ptr()[static_cast<size_t>(r) + 1]; ++p) {
+        int64_t c = x.col_idx()[static_cast<size_t>(p)];
+        double xv = x.csr_values()[static_cast<size_t>(p)];
+        term1 += xv * xv;
+        term2 += xv * dot_uv(r, c);
+      }
+    }
+  } else {
+    for (int64_t r = 0; r < x.rows(); ++r) {
+      for (int64_t c = 0; c < x.cols(); ++c) {
+        double xv = x.At(r, c);
+        if (xv == 0.0) continue;
+        term1 += xv * xv;
+        term2 += xv * dot_uv(r, c);
+      }
+    }
+  }
+  return term1 - 2.0 * term2 + term3;
+}
+
+Matrix SProp(const Matrix& p) {
+  if (p.is_sparse()) {
+    // 0 * (1 - 0) == 0: support is preserved.
+    std::vector<std::tuple<int64_t, int64_t, double>> triplets;
+    for (int64_t r = 0; r < p.rows(); ++r) {
+      for (int64_t k = p.row_ptr()[static_cast<size_t>(r)];
+           k < p.row_ptr()[static_cast<size_t>(r) + 1]; ++k) {
+        double v = p.csr_values()[static_cast<size_t>(k)];
+        triplets.emplace_back(r, p.col_idx()[static_cast<size_t>(k)],
+                              v * (1.0 - v));
+      }
+    }
+    return Matrix::FromTriplets(p.rows(), p.cols(), std::move(triplets));
+  }
+  Matrix out = Matrix::Dense(p.rows(), p.cols());
+  const auto& pv = p.values();
+  auto& ov = out.values();
+  for (size_t i = 0; i < ov.size(); ++i) ov[i] = pv[i] * (1.0 - pv[i]);
+  return out;
+}
+
+Matrix MMChain(const std::vector<Matrix>& chain) {
+  SPORES_CHECK(!chain.empty());
+  size_t n = chain.size();
+  if (n == 1) return chain[0];
+
+  // dims[i] x dims[i+1] is the shape of chain[i].
+  std::vector<int64_t> dims(n + 1);
+  for (size_t i = 0; i < n; ++i) {
+    dims[i] = chain[i].rows();
+    if (i + 1 < n) SPORES_CHECK_EQ(chain[i].cols(), chain[i + 1].rows());
+  }
+  dims[n] = chain[n - 1].cols();
+
+  // Interval DP for optimal association.
+  std::vector<std::vector<double>> costs(
+      n, std::vector<double>(n, std::numeric_limits<double>::infinity()));
+  std::vector<std::vector<size_t>> split(n, std::vector<size_t>(n, 0));
+  for (size_t i = 0; i < n; ++i) costs[i][i] = 0.0;
+  for (size_t len = 2; len <= n; ++len) {
+    for (size_t i = 0; i + len <= n; ++i) {
+      size_t j = i + len - 1;
+      for (size_t s = i; s < j; ++s) {
+        double c = costs[i][s] + costs[s + 1][j] +
+                   static_cast<double>(dims[i]) *
+                       static_cast<double>(dims[s + 1]) *
+                       static_cast<double>(dims[j + 1]);
+        if (c < costs[i][j]) {
+          costs[i][j] = c;
+          split[i][j] = s;
+        }
+      }
+    }
+  }
+  std::function<Matrix(size_t, size_t)> eval = [&](size_t i,
+                                                   size_t j) -> Matrix {
+    if (i == j) return chain[i];
+    size_t s = split[i][j];
+    return MatMul(eval(i, s), eval(s + 1, j));
+  };
+  return eval(0, n - 1);
+}
+
+}  // namespace spores

@@ -1,0 +1,25 @@
+// Fused operators mirroring SystemML's (Sec 3.3 / Sec 4.2): they compute
+// composite expressions without materializing dense intermediates, which is
+// where several of the paper's speedups come from.
+#pragma once
+
+#include <vector>
+
+#include "src/runtime/matrix.h"
+
+namespace spores {
+
+/// wsloss: sum((X - U V^T)^2) streamed over nnz(X) plus a rank-k correction:
+///   sum(X^2) - 2 * sum(X * (U V^T)) + sum_{ab} (U^T U)_ab (V^T V)_ab.
+/// Never materializes the dense U V^T (paper's weighted-squared-loss op).
+double WsLoss(const Matrix& x, const Matrix& u, const Matrix& v);
+
+/// sprop: P * (1 - P) in one pass with a single output allocation.
+Matrix SProp(const Matrix& p);
+
+/// mmchain: evaluates a matrix-multiplication chain with the optimal
+/// association order (classic interval DP over dimensions), the effect of
+/// SystemML's fused mmchain operator.
+Matrix MMChain(const std::vector<Matrix>& chain);
+
+}  // namespace spores

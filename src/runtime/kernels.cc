@@ -1,0 +1,473 @@
+#include "src/runtime/kernels.h"
+
+#include <cmath>
+#include <functional>
+#include <string>
+
+namespace spores {
+
+namespace {
+
+// Broadcast index helper: maps output (r, c) to the operand's cell.
+inline double BroadcastAt(const Matrix& m, int64_t r, int64_t c) {
+  int64_t rr = m.rows() == 1 ? 0 : r;
+  int64_t cc = m.cols() == 1 ? 0 : c;
+  return m.At(rr, cc);
+}
+
+void CheckBroadcastable(const Matrix& a, const Matrix& b, int64_t* rows,
+                        int64_t* cols) {
+  auto combine = [](int64_t x, int64_t y) {
+    if (x == y) return x;
+    if (x == 1) return y;
+    SPORES_CHECK_MSG(y == 1, "incompatible elementwise shapes");
+    return x;
+  };
+  *rows = combine(a.rows(), b.rows());
+  *cols = combine(a.cols(), b.cols());
+}
+
+// Generic dense elementwise with broadcasting.
+template <typename F>
+Matrix DenseElemwise(const Matrix& a, const Matrix& b, F f) {
+  int64_t rows, cols;
+  CheckBroadcastable(a, b, &rows, &cols);
+  Matrix out = Matrix::Dense(rows, cols);
+  // Fast path: identical dense shapes.
+  if (!a.is_sparse() && !b.is_sparse() && a.rows() == rows &&
+      b.rows() == rows && a.cols() == cols && b.cols() == cols) {
+    const auto& av = a.values();
+    const auto& bv = b.values();
+    auto& ov = out.values();
+    for (size_t i = 0; i < ov.size(); ++i) ov[i] = f(av[i], bv[i]);
+    return out;
+  }
+  auto& ov = out.values();
+  for (int64_t r = 0; r < rows; ++r) {
+    for (int64_t c = 0; c < cols; ++c) {
+      ov[static_cast<size_t>(r * cols + c)] =
+          f(BroadcastAt(a, r, c), BroadcastAt(b, r, c));
+    }
+  }
+  return out;
+}
+
+// Sparse-aware multiply: iterate only the sparse operand's non-zeros.
+Matrix SparseMulBroadcast(const Matrix& sp, const Matrix& other, bool swap) {
+  int64_t rows, cols;
+  if (!swap) {
+    CheckBroadcastable(sp, other, &rows, &cols);
+  } else {
+    CheckBroadcastable(other, sp, &rows, &cols);
+  }
+  SPORES_CHECK(sp.rows() == rows && sp.cols() == cols);
+  std::vector<std::tuple<int64_t, int64_t, double>> triplets;
+  triplets.reserve(static_cast<size_t>(sp.Nnz()));
+  const auto& rp = sp.row_ptr();
+  const auto& ci = sp.col_idx();
+  const auto& vv = sp.csr_values();
+  for (int64_t r = 0; r < rows; ++r) {
+    for (int64_t k = rp[static_cast<size_t>(r)];
+         k < rp[static_cast<size_t>(r) + 1]; ++k) {
+      int64_t c = ci[static_cast<size_t>(k)];
+      double v = vv[static_cast<size_t>(k)] * BroadcastAt(other, r, c);
+      if (v != 0.0) triplets.emplace_back(r, c, v);
+    }
+  }
+  return Matrix::FromTriplets(rows, cols, std::move(triplets));
+}
+
+// Sparse + sparse with equal shapes: CSR merge.
+Matrix SparseAdd(const Matrix& a, const Matrix& b, double b_scale) {
+  SPORES_CHECK_EQ(a.rows(), b.rows());
+  SPORES_CHECK_EQ(a.cols(), b.cols());
+  std::vector<std::tuple<int64_t, int64_t, double>> triplets;
+  triplets.reserve(static_cast<size_t>(a.Nnz() + b.Nnz()));
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    for (int64_t k = a.row_ptr()[static_cast<size_t>(r)];
+         k < a.row_ptr()[static_cast<size_t>(r) + 1]; ++k) {
+      triplets.emplace_back(r, a.col_idx()[static_cast<size_t>(k)],
+                            a.csr_values()[static_cast<size_t>(k)]);
+    }
+    for (int64_t k = b.row_ptr()[static_cast<size_t>(r)];
+         k < b.row_ptr()[static_cast<size_t>(r) + 1]; ++k) {
+      triplets.emplace_back(r, b.col_idx()[static_cast<size_t>(k)],
+                            b_scale * b.csr_values()[static_cast<size_t>(k)]);
+    }
+  }
+  return Matrix::FromTriplets(a.rows(), a.cols(), std::move(triplets));
+}
+
+}  // namespace
+
+Matrix Add(const Matrix& a, const Matrix& b) {
+  if (a.is_sparse() && b.is_sparse() && a.rows() == b.rows() &&
+      a.cols() == b.cols()) {
+    return SparseAdd(a, b, 1.0);
+  }
+  Matrix da = a.is_sparse() ? a.ToDense() : a;
+  Matrix db = b.is_sparse() ? b.ToDense() : b;
+  return DenseElemwise(da, db, [](double x, double y) { return x + y; });
+}
+
+Matrix Sub(const Matrix& a, const Matrix& b) {
+  if (a.is_sparse() && b.is_sparse() && a.rows() == b.rows() &&
+      a.cols() == b.cols()) {
+    return SparseAdd(a, b, -1.0);
+  }
+  Matrix da = a.is_sparse() ? a.ToDense() : a;
+  Matrix db = b.is_sparse() ? b.ToDense() : b;
+  return DenseElemwise(da, db, [](double x, double y) { return x - y; });
+}
+
+Matrix Mul(const Matrix& a, const Matrix& b) {
+  // Scalar fast paths.
+  if (a.IsScalar()) return Scale(b, a.AsScalar());
+  if (b.IsScalar()) return Scale(a, b.AsScalar());
+  // Sparsity-exploiting paths: the output's support is within the sparse
+  // operand's support.
+  if (a.is_sparse() && a.rows() >= b.rows() && a.cols() >= b.cols()) {
+    return SparseMulBroadcast(a, b, false);
+  }
+  if (b.is_sparse() && b.rows() >= a.rows() && b.cols() >= a.cols()) {
+    return SparseMulBroadcast(b, a, true);
+  }
+  Matrix da = a.is_sparse() ? a.ToDense() : a;
+  Matrix db = b.is_sparse() ? b.ToDense() : b;
+  return DenseElemwise(da, db, [](double x, double y) { return x * y; });
+}
+
+Matrix Div(const Matrix& a, const Matrix& b) {
+  if (a.is_sparse() && b.rows() <= a.rows() && b.cols() <= a.cols()) {
+    // 0 / y == 0: iterate a's non-zeros only.
+    Matrix recip = Apply(b.is_sparse() ? b.ToDense() : b,
+                         [](double v) { return 1.0 / v; }, false);
+    return SparseMulBroadcast(a, recip, false);
+  }
+  Matrix da = a.is_sparse() ? a.ToDense() : a;
+  Matrix db = b.is_sparse() ? b.ToDense() : b;
+  return DenseElemwise(da, db, [](double x, double y) { return x / y; });
+}
+
+Matrix PowElem(const Matrix& a, double exponent) {
+  if (a.is_sparse() && exponent > 0) {
+    std::vector<std::tuple<int64_t, int64_t, double>> triplets;
+    for (int64_t r = 0; r < a.rows(); ++r) {
+      for (int64_t k = a.row_ptr()[static_cast<size_t>(r)];
+           k < a.row_ptr()[static_cast<size_t>(r) + 1]; ++k) {
+        triplets.emplace_back(
+            r, a.col_idx()[static_cast<size_t>(k)],
+            std::pow(a.csr_values()[static_cast<size_t>(k)], exponent));
+      }
+    }
+    return Matrix::FromTriplets(a.rows(), a.cols(), std::move(triplets));
+  }
+  Matrix da = a.ToDense();
+  Matrix out = Matrix::Dense(a.rows(), a.cols());
+  for (size_t i = 0; i < out.values().size(); ++i) {
+    out.values()[i] = std::pow(da.values()[i], exponent);
+  }
+  return out;
+}
+
+Matrix Apply(const Matrix& a, double (*fn)(double), bool preserves_zero) {
+  if (a.is_sparse() && preserves_zero) {
+    std::vector<std::tuple<int64_t, int64_t, double>> triplets;
+    for (int64_t r = 0; r < a.rows(); ++r) {
+      for (int64_t k = a.row_ptr()[static_cast<size_t>(r)];
+           k < a.row_ptr()[static_cast<size_t>(r) + 1]; ++k) {
+        triplets.emplace_back(r, a.col_idx()[static_cast<size_t>(k)],
+                              fn(a.csr_values()[static_cast<size_t>(k)]));
+      }
+    }
+    return Matrix::FromTriplets(a.rows(), a.cols(), std::move(triplets));
+  }
+  Matrix da = a.ToDense();
+  Matrix out = Matrix::Dense(a.rows(), a.cols());
+  for (size_t i = 0; i < out.values().size(); ++i) {
+    out.values()[i] = fn(da.values()[i]);
+  }
+  return out;
+}
+
+Matrix Unary(const std::string& fn, const Matrix& a) {
+  if (fn == "exp") return Apply(a, [](double v) { return std::exp(v); }, false);
+  if (fn == "log") return Apply(a, [](double v) { return std::log(v); }, false);
+  if (fn == "sqrt") {
+    return Apply(a, [](double v) { return std::sqrt(v); }, true);
+  }
+  if (fn == "sigmoid") {
+    return Apply(a, [](double v) { return 1.0 / (1.0 + std::exp(-v)); },
+                 false);
+  }
+  if (fn == "sign") {
+    return Apply(
+        a, [](double v) { return static_cast<double>((v > 0) - (v < 0)); },
+        true);
+  }
+  if (fn == "abs") return Apply(a, [](double v) { return std::abs(v); }, true);
+  SPORES_CHECK_MSG(false, ("unknown unary fn: " + fn).c_str());
+  return a;
+}
+
+Matrix MatMul(const Matrix& a, const Matrix& b) {
+  SPORES_CHECK_EQ(a.cols(), b.rows());
+  int64_t m = a.rows(), n = b.cols(), kk = a.cols();
+  Matrix out = Matrix::Dense(m, n);
+  auto& ov = out.values();
+
+  if (a.is_sparse()) {
+    Matrix db = b.is_sparse() ? b.ToDense() : b;
+    const auto& bv = db.values();
+    for (int64_t r = 0; r < m; ++r) {
+      for (int64_t p = a.row_ptr()[static_cast<size_t>(r)];
+           p < a.row_ptr()[static_cast<size_t>(r) + 1]; ++p) {
+        int64_t j = a.col_idx()[static_cast<size_t>(p)];
+        double av = a.csr_values()[static_cast<size_t>(p)];
+        const double* brow = &bv[static_cast<size_t>(j * n)];
+        double* orow = &ov[static_cast<size_t>(r * n)];
+        for (int64_t c = 0; c < n; ++c) orow[c] += av * brow[c];
+      }
+    }
+    return out;
+  }
+  if (b.is_sparse()) {
+    const auto& av = a.values();
+    for (int64_t j = 0; j < kk; ++j) {
+      for (int64_t p = b.row_ptr()[static_cast<size_t>(j)];
+           p < b.row_ptr()[static_cast<size_t>(j) + 1]; ++p) {
+        int64_t c = b.col_idx()[static_cast<size_t>(p)];
+        double bvv = b.csr_values()[static_cast<size_t>(p)];
+        for (int64_t r = 0; r < m; ++r) {
+          ov[static_cast<size_t>(r * n + c)] +=
+              av[static_cast<size_t>(r * kk + j)] * bvv;
+        }
+      }
+    }
+    return out;
+  }
+  // Dense x dense: ikj loop order for locality.
+  const auto& av = a.values();
+  const auto& bv = b.values();
+  for (int64_t r = 0; r < m; ++r) {
+    for (int64_t j = 0; j < kk; ++j) {
+      double avv = av[static_cast<size_t>(r * kk + j)];
+      if (avv == 0.0) continue;
+      const double* brow = &bv[static_cast<size_t>(j * n)];
+      double* orow = &ov[static_cast<size_t>(r * n)];
+      for (int64_t c = 0; c < n; ++c) orow[c] += avv * brow[c];
+    }
+  }
+  return out;
+}
+
+Matrix TransLeftMatMul(const Matrix& a, const Matrix& b) {
+  SPORES_CHECK_EQ(a.rows(), b.rows());
+  int64_t m = a.cols(), n = b.cols(), kk = a.rows();
+  Matrix out = Matrix::Dense(m, n);
+  auto& ov = out.values();
+  if (a.is_sparse()) {
+    // out[j, c] += A[r, j] * B[r, c]: stream A's non-zeros row by row.
+    Matrix db = b.is_sparse() ? b.ToDense() : b;
+    const auto& bv = db.values();
+    for (int64_t r = 0; r < kk; ++r) {
+      const double* brow = &bv[static_cast<size_t>(r * n)];
+      for (int64_t p = a.row_ptr()[static_cast<size_t>(r)];
+           p < a.row_ptr()[static_cast<size_t>(r) + 1]; ++p) {
+        int64_t j = a.col_idx()[static_cast<size_t>(p)];
+        double av = a.csr_values()[static_cast<size_t>(p)];
+        double* orow = &ov[static_cast<size_t>(j * n)];
+        for (int64_t c = 0; c < n; ++c) orow[c] += av * brow[c];
+      }
+    }
+    return out;
+  }
+  if (b.is_sparse()) {
+    // out[j, c] += A[r, j] * B[r, c]: stream B's non-zeros.
+    const auto& av = a.values();
+    for (int64_t r = 0; r < kk; ++r) {
+      const double* arow = &av[static_cast<size_t>(r * m)];
+      for (int64_t p = b.row_ptr()[static_cast<size_t>(r)];
+           p < b.row_ptr()[static_cast<size_t>(r) + 1]; ++p) {
+        int64_t c = b.col_idx()[static_cast<size_t>(p)];
+        double bvv = b.csr_values()[static_cast<size_t>(p)];
+        for (int64_t j = 0; j < m; ++j) {
+          ov[static_cast<size_t>(j * n + c)] += arow[j] * bvv;
+        }
+      }
+    }
+    return out;
+  }
+  const auto& av = a.values();
+  const auto& bv = b.values();
+  for (int64_t r = 0; r < kk; ++r) {
+    const double* arow = &av[static_cast<size_t>(r * m)];
+    const double* brow = &bv[static_cast<size_t>(r * n)];
+    for (int64_t j = 0; j < m; ++j) {
+      double ajr = arow[j];
+      if (ajr == 0.0) continue;
+      double* orow = &ov[static_cast<size_t>(j * n)];
+      for (int64_t c = 0; c < n; ++c) orow[c] += ajr * brow[c];
+    }
+  }
+  return out;
+}
+
+Matrix TransRightMatMul(const Matrix& a, const Matrix& b) {
+  SPORES_CHECK_EQ(a.cols(), b.cols());
+  int64_t m = a.rows(), n = b.rows(), kk = a.cols();
+  Matrix out = Matrix::Dense(m, n);
+  auto& ov = out.values();
+  if (b.is_sparse()) {
+    // out[r, i] += A[r, j] * B[i, j]: stream B's non-zeros.
+    Matrix da = a.is_sparse() ? a.ToDense() : a;
+    const auto& av = da.values();
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t p = b.row_ptr()[static_cast<size_t>(i)];
+           p < b.row_ptr()[static_cast<size_t>(i) + 1]; ++p) {
+        int64_t j = b.col_idx()[static_cast<size_t>(p)];
+        double bv = b.csr_values()[static_cast<size_t>(p)];
+        for (int64_t r = 0; r < m; ++r) {
+          ov[static_cast<size_t>(r * n + i)] +=
+              av[static_cast<size_t>(r * kk + j)] * bv;
+        }
+      }
+    }
+    return out;
+  }
+  if (a.is_sparse()) {
+    // out[r, i] += A[r, j] * B[i, j]: stream A's non-zeros.
+    const auto& bvv = b.values();
+    for (int64_t r = 0; r < m; ++r) {
+      double* orow = &ov[static_cast<size_t>(r * n)];
+      for (int64_t p = a.row_ptr()[static_cast<size_t>(r)];
+           p < a.row_ptr()[static_cast<size_t>(r) + 1]; ++p) {
+        int64_t j = a.col_idx()[static_cast<size_t>(p)];
+        double av = a.csr_values()[static_cast<size_t>(p)];
+        for (int64_t i = 0; i < n; ++i) {
+          orow[i] += av * bvv[static_cast<size_t>(i * kk + j)];
+        }
+      }
+    }
+    return out;
+  }
+  const auto& av = a.values();
+  const auto& bvv = b.values();
+  for (int64_t r = 0; r < m; ++r) {
+    const double* arow = &av[static_cast<size_t>(r * kk)];
+    double* orow = &ov[static_cast<size_t>(r * n)];
+    for (int64_t i = 0; i < n; ++i) {
+      const double* brow = &bvv[static_cast<size_t>(i * kk)];
+      double dot = 0.0;
+      for (int64_t j = 0; j < kk; ++j) dot += arow[j] * brow[j];
+      orow[i] = dot;
+    }
+  }
+  return out;
+}
+
+Matrix Transpose(const Matrix& a) {
+  if (a.is_sparse()) {
+    std::vector<std::tuple<int64_t, int64_t, double>> triplets;
+    triplets.reserve(static_cast<size_t>(a.Nnz()));
+    for (int64_t r = 0; r < a.rows(); ++r) {
+      for (int64_t k = a.row_ptr()[static_cast<size_t>(r)];
+           k < a.row_ptr()[static_cast<size_t>(r) + 1]; ++k) {
+        triplets.emplace_back(a.col_idx()[static_cast<size_t>(k)], r,
+                              a.csr_values()[static_cast<size_t>(k)]);
+      }
+    }
+    return Matrix::FromTriplets(a.cols(), a.rows(), std::move(triplets));
+  }
+  Matrix out = Matrix::Dense(a.cols(), a.rows());
+  const auto& av = a.values();
+  auto& ov = out.values();
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    for (int64_t c = 0; c < a.cols(); ++c) {
+      ov[static_cast<size_t>(c * a.rows() + r)] =
+          av[static_cast<size_t>(r * a.cols() + c)];
+    }
+  }
+  return out;
+}
+
+Matrix RowSums(const Matrix& a) {
+  Matrix out = Matrix::Dense(a.rows(), 1);
+  auto& ov = out.values();
+  if (a.is_sparse()) {
+    for (int64_t r = 0; r < a.rows(); ++r) {
+      double s = 0.0;
+      for (int64_t k = a.row_ptr()[static_cast<size_t>(r)];
+           k < a.row_ptr()[static_cast<size_t>(r) + 1]; ++k) {
+        s += a.csr_values()[static_cast<size_t>(k)];
+      }
+      ov[static_cast<size_t>(r)] = s;
+    }
+    return out;
+  }
+  const auto& av = a.values();
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    double s = 0.0;
+    for (int64_t c = 0; c < a.cols(); ++c) {
+      s += av[static_cast<size_t>(r * a.cols() + c)];
+    }
+    ov[static_cast<size_t>(r)] = s;
+  }
+  return out;
+}
+
+Matrix ColSums(const Matrix& a) {
+  Matrix out = Matrix::Dense(1, a.cols());
+  auto& ov = out.values();
+  if (a.is_sparse()) {
+    for (int64_t r = 0; r < a.rows(); ++r) {
+      for (int64_t k = a.row_ptr()[static_cast<size_t>(r)];
+           k < a.row_ptr()[static_cast<size_t>(r) + 1]; ++k) {
+        ov[static_cast<size_t>(a.col_idx()[static_cast<size_t>(k)])] +=
+            a.csr_values()[static_cast<size_t>(k)];
+      }
+    }
+    return out;
+  }
+  const auto& av = a.values();
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    for (int64_t c = 0; c < a.cols(); ++c) {
+      ov[static_cast<size_t>(c)] += av[static_cast<size_t>(r * a.cols() + c)];
+    }
+  }
+  return out;
+}
+
+double SumAll(const Matrix& a) {
+  double s = 0.0;
+  if (a.is_sparse()) {
+    for (double v : a.csr_values()) s += v;
+    return s;
+  }
+  for (double v : a.values()) s += v;
+  return s;
+}
+
+Matrix Scale(const Matrix& a, double s) {
+  if (a.is_sparse()) {
+    if (s == 0.0) return Matrix::Sparse(a.rows(), a.cols());
+    Matrix out = a;
+    // Copy CSR and scale values in place via triplets round-trip to keep the
+    // Matrix API surface small.
+    std::vector<std::tuple<int64_t, int64_t, double>> triplets;
+    triplets.reserve(static_cast<size_t>(a.Nnz()));
+    for (int64_t r = 0; r < a.rows(); ++r) {
+      for (int64_t k = a.row_ptr()[static_cast<size_t>(r)];
+           k < a.row_ptr()[static_cast<size_t>(r) + 1]; ++k) {
+        triplets.emplace_back(r, a.col_idx()[static_cast<size_t>(k)],
+                              s * a.csr_values()[static_cast<size_t>(k)]);
+      }
+    }
+    return Matrix::FromTriplets(a.rows(), a.cols(), std::move(triplets));
+  }
+  Matrix out = a;
+  for (double& v : out.values()) v *= s;
+  return out;
+}
+
+}  // namespace spores

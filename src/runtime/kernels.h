@@ -1,0 +1,44 @@
+// Elementwise, matmul, aggregate and transpose kernels over Matrix, with
+// SystemML/R-style broadcasting for elementwise operators (scalar, row
+// vector, column vector recycle against a matrix). Sparse inputs take
+// sparsity-exploiting paths; outputs are sparse where zeros are preserved.
+#pragma once
+
+#include "src/runtime/matrix.h"
+
+namespace spores {
+
+// Elementwise with broadcasting (shapes must be compatible: equal or 1).
+Matrix Add(const Matrix& a, const Matrix& b);
+Matrix Sub(const Matrix& a, const Matrix& b);
+Matrix Mul(const Matrix& a, const Matrix& b);
+Matrix Div(const Matrix& a, const Matrix& b);
+
+/// Elementwise power with constant exponent.
+Matrix PowElem(const Matrix& a, double exponent);
+
+/// Applies `fn` to every cell. `preserves_zero` routes sparse inputs through
+/// the nnz-only fast path.
+Matrix Apply(const Matrix& a, double (*fn)(double), bool preserves_zero);
+
+/// Elementwise unary by name: exp/log/sqrt/sigmoid/sign/abs.
+Matrix Unary(const std::string& fn, const Matrix& a);
+
+/// Matrix product (dense/sparse x dense/sparse).
+Matrix MatMul(const Matrix& a, const Matrix& b);
+
+/// t(a) %*% b without materializing the transpose (SystemML fuses this).
+Matrix TransLeftMatMul(const Matrix& a, const Matrix& b);
+
+/// a %*% t(b) without materializing the transpose.
+Matrix TransRightMatMul(const Matrix& a, const Matrix& b);
+
+Matrix Transpose(const Matrix& a);
+Matrix RowSums(const Matrix& a);
+Matrix ColSums(const Matrix& a);
+double SumAll(const Matrix& a);
+
+/// Scalar multiply.
+Matrix Scale(const Matrix& a, double s);
+
+}  // namespace spores

@@ -1,0 +1,194 @@
+#include "src/runtime/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+
+namespace spores {
+
+Matrix Matrix::Dense(int64_t rows, int64_t cols) {
+  SPORES_CHECK_GT(rows, 0);
+  SPORES_CHECK_GT(cols, 0);
+  Matrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.sparse_ = false;
+  m.dense_.assign(static_cast<size_t>(rows * cols), 0.0);
+  return m;
+}
+
+Matrix Matrix::FromValues(int64_t rows, int64_t cols,
+                          std::vector<double> values) {
+  SPORES_CHECK_EQ(static_cast<int64_t>(values.size()), rows * cols);
+  Matrix m = Dense(rows, cols);
+  m.dense_ = std::move(values);
+  return m;
+}
+
+Matrix Matrix::Scalar(double v) { return FromValues(1, 1, {v}); }
+
+Matrix Matrix::Sparse(int64_t rows, int64_t cols) {
+  SPORES_CHECK_GT(rows, 0);
+  SPORES_CHECK_GT(cols, 0);
+  Matrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.sparse_ = true;
+  m.row_ptr_.assign(static_cast<size_t>(rows) + 1, 0);
+  return m;
+}
+
+Matrix Matrix::FromTriplets(
+    int64_t rows, int64_t cols,
+    std::vector<std::tuple<int64_t, int64_t, double>> triplets) {
+  std::sort(triplets.begin(), triplets.end());
+  // Sum duplicates.
+  std::vector<std::tuple<int64_t, int64_t, double>> merged;
+  merged.reserve(triplets.size());
+  for (auto& t : triplets) {
+    if (!merged.empty() && std::get<0>(merged.back()) == std::get<0>(t) &&
+        std::get<1>(merged.back()) == std::get<1>(t)) {
+      std::get<2>(merged.back()) += std::get<2>(t);
+    } else {
+      merged.push_back(t);
+    }
+  }
+  Matrix m = Sparse(rows, cols);
+  m.col_idx_.reserve(merged.size());
+  m.vals_.reserve(merged.size());
+  for (auto& [r, c, v] : merged) {
+    SPORES_CHECK(r >= 0 && r < rows && c >= 0 && c < cols);
+    if (v == 0.0) continue;
+    m.row_ptr_[static_cast<size_t>(r) + 1]++;
+    m.col_idx_.push_back(c);
+    m.vals_.push_back(v);
+  }
+  for (size_t i = 1; i < m.row_ptr_.size(); ++i) {
+    m.row_ptr_[i] += m.row_ptr_[i - 1];
+  }
+  return m;
+}
+
+Matrix Matrix::RandomDense(int64_t rows, int64_t cols, Rng& rng, double lo,
+                           double hi) {
+  Matrix m = Dense(rows, cols);
+  for (double& v : m.dense_) v = rng.UniformDouble(lo, hi);
+  return m;
+}
+
+Matrix Matrix::RandomSparse(int64_t rows, int64_t cols, double sparsity,
+                            Rng& rng, double lo, double hi) {
+  SPORES_CHECK(sparsity >= 0.0 && sparsity <= 1.0);
+  Matrix m = Sparse(rows, cols);
+  // Per-row expected nnz via a binomial-ish draw; cheap and adequate for
+  // synthetic workloads.
+  for (int64_t r = 0; r < rows; ++r) {
+    int64_t row_nnz = 0;
+    for (int64_t c = 0; c < cols; ++c) {
+      if (rng.Bernoulli(sparsity)) {
+        m.col_idx_.push_back(c);
+        double v = rng.UniformDouble(lo, hi);
+        if (v == 0.0) v = 0.5 * (lo + hi) + 1e-3;
+        m.vals_.push_back(v);
+        ++row_nnz;
+      }
+    }
+    m.row_ptr_[static_cast<size_t>(r) + 1] =
+        m.row_ptr_[static_cast<size_t>(r)] + row_nnz;
+  }
+  return m;
+}
+
+double Matrix::AsScalar() const {
+  SPORES_CHECK(IsScalar());
+  return At(0, 0);
+}
+
+int64_t Matrix::Nnz() const {
+  if (sparse_) return static_cast<int64_t>(vals_.size());
+  int64_t n = 0;
+  for (double v : dense_) n += (v != 0.0);
+  return n;
+}
+
+double Matrix::At(int64_t r, int64_t c) const {
+  SPORES_CHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+  if (!sparse_) return dense_[static_cast<size_t>(r * cols_ + c)];
+  int64_t lo = row_ptr_[static_cast<size_t>(r)];
+  int64_t hi = row_ptr_[static_cast<size_t>(r) + 1];
+  auto begin = col_idx_.begin() + lo;
+  auto end = col_idx_.begin() + hi;
+  auto it = std::lower_bound(begin, end, c);
+  if (it != end && *it == c) {
+    return vals_[static_cast<size_t>(lo + (it - begin))];
+  }
+  return 0.0;
+}
+
+const std::vector<double>& Matrix::values() const {
+  SPORES_CHECK(!sparse_);
+  return dense_;
+}
+std::vector<double>& Matrix::values() {
+  SPORES_CHECK(!sparse_);
+  return dense_;
+}
+const std::vector<int64_t>& Matrix::row_ptr() const {
+  SPORES_CHECK(sparse_);
+  return row_ptr_;
+}
+const std::vector<int64_t>& Matrix::col_idx() const {
+  SPORES_CHECK(sparse_);
+  return col_idx_;
+}
+const std::vector<double>& Matrix::csr_values() const {
+  SPORES_CHECK(sparse_);
+  return vals_;
+}
+
+Matrix Matrix::ToDense() const {
+  if (!sparse_) return *this;
+  Matrix m = Dense(rows_, cols_);
+  for (int64_t r = 0; r < rows_; ++r) {
+    for (int64_t k = row_ptr_[static_cast<size_t>(r)];
+         k < row_ptr_[static_cast<size_t>(r) + 1]; ++k) {
+      m.dense_[static_cast<size_t>(r * cols_ + col_idx_[static_cast<size_t>(
+                                                    k)])] =
+          vals_[static_cast<size_t>(k)];
+    }
+  }
+  return m;
+}
+
+Matrix Matrix::ToSparse() const {
+  if (sparse_) return *this;
+  Matrix m = Sparse(rows_, cols_);
+  for (int64_t r = 0; r < rows_; ++r) {
+    int64_t row_nnz = 0;
+    for (int64_t c = 0; c < cols_; ++c) {
+      double v = dense_[static_cast<size_t>(r * cols_ + c)];
+      if (v != 0.0) {
+        m.col_idx_.push_back(c);
+        m.vals_.push_back(v);
+        ++row_nnz;
+      }
+    }
+    m.row_ptr_[static_cast<size_t>(r) + 1] =
+        m.row_ptr_[static_cast<size_t>(r)] + row_nnz;
+  }
+  return m;
+}
+
+double Matrix::MaxAbsDiff(const Matrix& a, const Matrix& b) {
+  SPORES_CHECK_EQ(a.rows(), b.rows());
+  SPORES_CHECK_EQ(a.cols(), b.cols());
+  Matrix da = a.ToDense();
+  Matrix db = b.ToDense();
+  double max_diff = 0.0;
+  for (size_t i = 0; i < da.dense_.size(); ++i) {
+    max_diff = std::max(max_diff, std::abs(da.dense_[i] - db.dense_[i]));
+  }
+  return max_diff;
+}
+
+}  // namespace spores

@@ -1,0 +1,86 @@
+// Matrix values for the execution substrate: dense row-major or sparse CSR.
+// This stands in for SystemML's matrix blocks (see DESIGN.md substitutions):
+// the optimizer's wins come from sparsity-aware plan choice, which these two
+// representations expose faithfully.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "src/util/check.h"
+#include "src/util/rng.h"
+
+namespace spores {
+
+/// A 2-D matrix, dense (row-major) or sparse (CSR). Scalars are 1x1.
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// Dense zero matrix.
+  static Matrix Dense(int64_t rows, int64_t cols);
+  /// Dense from explicit values (row-major; values.size() == rows*cols).
+  static Matrix FromValues(int64_t rows, int64_t cols,
+                           std::vector<double> values);
+  /// 1x1 scalar.
+  static Matrix Scalar(double v);
+  /// Empty CSR matrix.
+  static Matrix Sparse(int64_t rows, int64_t cols);
+  /// CSR from triplets (row, col, value); duplicates are summed.
+  static Matrix FromTriplets(
+      int64_t rows, int64_t cols,
+      std::vector<std::tuple<int64_t, int64_t, double>> triplets);
+
+  /// Uniform-random dense entries in [lo, hi).
+  static Matrix RandomDense(int64_t rows, int64_t cols, Rng& rng,
+                            double lo = 0.0, double hi = 1.0);
+  /// Sparse with expected density `sparsity`, values in [lo, hi).
+  static Matrix RandomSparse(int64_t rows, int64_t cols, double sparsity,
+                             Rng& rng, double lo = 0.0, double hi = 1.0);
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  int64_t size() const { return rows_ * cols_; }
+  bool is_sparse() const { return sparse_; }
+  bool IsScalar() const { return rows_ == 1 && cols_ == 1; }
+  double AsScalar() const;
+
+  /// Number of stored non-zeros (dense matrices count actual non-zeros).
+  int64_t Nnz() const;
+
+  /// Element access (O(log nnz-per-row) for sparse).
+  double At(int64_t r, int64_t c) const;
+
+  /// Dense storage (requires !is_sparse()).
+  const std::vector<double>& values() const;
+  std::vector<double>& values();
+
+  // CSR storage (requires is_sparse()).
+  const std::vector<int64_t>& row_ptr() const;
+  const std::vector<int64_t>& col_idx() const;
+  const std::vector<double>& csr_values() const;
+
+  /// Conversion (copies).
+  Matrix ToDense() const;
+  Matrix ToSparse() const;
+
+  /// Max |a - b| over all cells; matrices must have equal shapes.
+  static double MaxAbsDiff(const Matrix& a, const Matrix& b);
+
+ private:
+  int64_t rows_ = 0;
+  int64_t cols_ = 0;
+  bool sparse_ = false;
+  // Dense payload.
+  std::vector<double> dense_;
+  // CSR payload.
+  std::vector<int64_t> row_ptr_;
+  std::vector<int64_t> col_idx_;
+  std::vector<double> vals_;
+
+  friend class MatrixBuilder;
+};
+
+}  // namespace spores

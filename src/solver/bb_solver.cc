@@ -1,0 +1,251 @@
+#include "src/solver/bb_solver.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/util/check.h"
+#include "src/util/timer.h"
+
+namespace spores {
+
+namespace {
+
+constexpr int8_t kUnknown = -1;
+
+// Indexed view of the model for fast propagation.
+struct SolverState {
+  const IlpModel& model;
+  SolverConfig config;
+  Timer timer;
+
+  // var -> implications where var is the antecedent.
+  std::vector<std::vector<VarId>> implies_out;
+  // var -> implications where var is the consequent (for 0-propagation:
+  // y = 0 forces x = 0 when x -> y).
+  std::vector<std::vector<VarId>> implies_in;
+  // var -> covers it triggers; var -> covers it appears in as an option.
+  std::vector<std::vector<size_t>> trigger_covers;
+  std::vector<std::vector<size_t>> option_covers;
+  // var -> forbid constraints containing it.
+  std::vector<std::vector<size_t>> var_forbids;
+
+  std::vector<int8_t> value;
+  std::vector<VarId> trail;
+  double current_cost = 0.0;
+
+  double best_cost = std::numeric_limits<double>::infinity();
+  std::vector<int8_t> best_assignment;
+  bool found = false;
+  uint64_t nodes = 0;
+  bool budget_exhausted = false;
+
+  explicit SolverState(const IlpModel& m, SolverConfig cfg)
+      : model(m), config(cfg) {
+    if (cfg.has_initial_upper_bound) {
+      // Strictly-better pruning: allow equaling the warm start by adding a
+      // hair of slack, since the warm start itself may not be revisited.
+      best_cost = cfg.initial_upper_bound * (1.0 + 1e-12) + 1e-9;
+    }
+    size_t n = m.NumVars();
+    implies_out.resize(n);
+    implies_in.resize(n);
+    trigger_covers.resize(n);
+    option_covers.resize(n);
+    var_forbids.resize(n);
+    value.assign(n, kUnknown);
+    for (auto& [x, y] : m.implications()) {
+      implies_out[static_cast<size_t>(x)].push_back(y);
+      implies_in[static_cast<size_t>(y)].push_back(x);
+    }
+    for (size_t i = 0; i < m.covers().size(); ++i) {
+      const IlpModel::Cover& c = m.covers()[i];
+      trigger_covers[static_cast<size_t>(c.trigger)].push_back(i);
+      for (VarId o : c.options) {
+        option_covers[static_cast<size_t>(o)].push_back(i);
+      }
+    }
+    for (size_t i = 0; i < m.forbids().size(); ++i) {
+      for (VarId v : m.forbids()[i]) {
+        var_forbids[static_cast<size_t>(v)].push_back(i);
+      }
+    }
+  }
+
+  bool OutOfBudget() {
+    if (nodes > config.max_search_nodes ||
+        timer.Seconds() > config.timeout_seconds) {
+      budget_exhausted = true;
+      return true;
+    }
+    return false;
+  }
+
+  // Assigns var = val, pushing consequences; returns false on conflict.
+  bool Assign(VarId var, bool val) {
+    size_t v = static_cast<size_t>(var);
+    if (value[v] != kUnknown) return value[v] == static_cast<int8_t>(val);
+    value[v] = static_cast<int8_t>(val);
+    trail.push_back(var);
+    if (val) current_cost += model.Cost(var);
+    if (current_cost >= best_cost) return false;  // objective prune
+
+    if (val) {
+      // x=1: children implications fire; forbid sets may become unit.
+      for (VarId y : implies_out[v]) {
+        if (!Assign(y, true)) return false;
+      }
+      for (size_t fi : var_forbids[v]) {
+        const std::vector<VarId>& f = model.forbids()[fi];
+        VarId unassigned = -1;
+        int unknowns = 0;
+        bool all_ones = true;
+        for (VarId w : f) {
+          int8_t val_w = value[static_cast<size_t>(w)];
+          if (val_w == 0) { all_ones = false; break; }
+          if (val_w == kUnknown) {
+            ++unknowns;
+            unassigned = w;
+            if (unknowns > 1) break;
+          }
+        }
+        if (!all_ones || unknowns > 1) continue;
+        if (unknowns == 0) return false;  // all 1: violated
+        if (!Assign(unassigned, false)) return false;
+      }
+      // Covers where v is an option become satisfied (nothing to do).
+      // Covers triggered by v are checked lazily at branching.
+    } else {
+      // x=0: any implication y -> x forces y = 0.
+      for (VarId y : implies_in[v]) {
+        if (!Assign(y, false)) return false;
+      }
+      // Covers where v was an option may become unit/violated.
+      for (size_t ci : option_covers[v]) {
+        const IlpModel::Cover& c = model.covers()[ci];
+        int8_t tval = value[static_cast<size_t>(c.trigger)];
+        if (tval == 0) continue;
+        VarId unassigned = -1;
+        int unknowns = 0;
+        bool satisfied = false;
+        for (VarId o : c.options) {
+          int8_t oval = value[static_cast<size_t>(o)];
+          if (oval == 1) { satisfied = true; break; }
+          if (oval == kUnknown) {
+            ++unknowns;
+            unassigned = o;
+            if (unknowns > 1) break;
+          }
+        }
+        if (satisfied || unknowns > 1) continue;
+        if (unknowns == 1) {
+          if (tval == 1) {
+            if (!Assign(unassigned, true)) return false;
+          }
+          continue;
+        }
+        // No options left.
+        if (tval == 1) return false;
+        if (!Assign(c.trigger, false)) return false;
+      }
+    }
+    return true;
+  }
+
+  void UndoTo(size_t mark) {
+    while (trail.size() > mark) {
+      VarId var = trail.back();
+      trail.pop_back();
+      size_t v = static_cast<size_t>(var);
+      if (value[v] == 1) current_cost -= model.Cost(var);
+      value[v] = kUnknown;
+    }
+  }
+
+  // Finds an open cover: trigger=1 but no option selected yet. Returns the
+  // cheapest undecided option to branch on, or -1 if all covers closed.
+  VarId PickBranchVar() {
+    VarId best_var = -1;
+    double best_var_cost = std::numeric_limits<double>::infinity();
+    for (const IlpModel::Cover& c : model.covers()) {
+      if (value[static_cast<size_t>(c.trigger)] != 1) continue;
+      bool satisfied = false;
+      for (VarId o : c.options) {
+        if (value[static_cast<size_t>(o)] == 1) {
+          satisfied = true;
+          break;
+        }
+      }
+      if (satisfied) continue;
+      for (VarId o : c.options) {
+        if (value[static_cast<size_t>(o)] == kUnknown &&
+            model.Cost(o) < best_var_cost) {
+          best_var_cost = model.Cost(o);
+          best_var = o;
+        }
+      }
+      if (best_var != -1) return best_var;  // first open cover
+      // Open cover with no undecided options and no selected option is a
+      // conflict; propagation should have caught it, but be safe.
+      return -2;
+    }
+    return -1;
+  }
+
+  void Record() {
+    if (current_cost < best_cost) {
+      best_cost = current_cost;
+      best_assignment = value;
+      found = true;
+    }
+  }
+
+  void Search() {
+    ++nodes;
+    if (OutOfBudget()) return;
+    VarId branch = PickBranchVar();
+    if (branch == -2) return;  // conflict
+    if (branch == -1) {
+      Record();  // all triggered covers satisfied; undecided default to 0
+      return;
+    }
+    // Branch: try selecting the cheap option first (tends to reach good
+    // incumbents quickly), then excluding it.
+    size_t mark = trail.size();
+    if (Assign(branch, true)) Search();
+    UndoTo(mark);
+    if (OutOfBudget()) return;
+    if (Assign(branch, false)) Search();
+    UndoTo(mark);
+  }
+};
+
+}  // namespace
+
+IlpResult SolveIlp(const IlpModel& model, SolverConfig config) {
+  SolverState state(model, config);
+  IlpResult result;
+
+  bool root_ok = true;
+  for (auto& [var, val] : model.fixes()) {
+    if (!state.Assign(var, val)) {
+      root_ok = false;
+      break;
+    }
+  }
+  if (root_ok) state.Search();
+
+  result.search_nodes = state.nodes;
+  result.seconds = state.timer.Seconds();
+  result.feasible = state.found;
+  result.proven_optimal = state.found && !state.budget_exhausted;
+  if (state.found) {
+    result.objective = state.best_cost;
+    result.assignment.resize(model.NumVars());
+    for (size_t i = 0; i < model.NumVars(); ++i) {
+      result.assignment[i] = state.best_assignment[i] == 1;
+    }
+  }
+  return result;
+}
+
+}  // namespace spores

@@ -1,0 +1,34 @@
+// Exact branch-and-bound solver for the 0-1 programs built by IlpModel.
+// DFS with unit propagation over implications/covers/forbids, objective
+// pruning against the incumbent, and a configurable node/time budget with a
+// best-effort (possibly suboptimal) answer on budget exhaustion.
+#pragma once
+
+#include <vector>
+
+#include "src/solver/ilp_model.h"
+
+namespace spores {
+
+struct SolverConfig {
+  double timeout_seconds = 5.0;
+  uint64_t max_search_nodes = 5'000'000;
+  /// Known feasible objective (e.g. from a greedy warm start); the search
+  /// prunes any branch reaching this cost. infinity = no warm start.
+  double initial_upper_bound = 0.0;
+  bool has_initial_upper_bound = false;
+};
+
+struct IlpResult {
+  bool feasible = false;
+  bool proven_optimal = false;
+  double objective = 0.0;
+  std::vector<bool> assignment;
+  uint64_t search_nodes = 0;
+  double seconds = 0.0;
+};
+
+/// Solves min sum(cost_i * x_i) subject to the model's constraints.
+IlpResult SolveIlp(const IlpModel& model, SolverConfig config = {});
+
+}  // namespace spores

@@ -1,0 +1,30 @@
+#include "src/solver/ilp_model.h"
+
+#include "src/util/check.h"
+
+namespace spores {
+
+VarId IlpModel::AddVar(double cost, std::string name) {
+  SPORES_CHECK_GE(cost, 0.0);
+  VarId id = static_cast<VarId>(costs_.size());
+  costs_.push_back(cost);
+  names_.push_back(std::move(name));
+  return id;
+}
+
+void IlpModel::Fix(VarId var, bool value) { fixes_.emplace_back(var, value); }
+
+void IlpModel::AddImplication(VarId x, VarId y) {
+  implications_.emplace_back(x, y);
+}
+
+void IlpModel::AddCover(VarId trigger, std::vector<VarId> options) {
+  covers_.push_back(Cover{trigger, std::move(options)});
+}
+
+void IlpModel::AddForbid(std::vector<VarId> vars) {
+  SPORES_CHECK(!vars.empty());
+  forbids_.push_back(std::move(vars));
+}
+
+}  // namespace spores

@@ -1,0 +1,65 @@
+// A small 0-1 integer program tailored to e-graph extraction (Fig 11).
+// Variables are boolean with non-negative objective coefficients; the
+// constraint forms are exactly the ones the encoding needs:
+//   * fixed assignments            (the root class must be selected)
+//   * implications x -> y          (F: an operator selects its children)
+//   * covers x -> OR(y_1..y_k)     (G: a class selects one of its members)
+//   * forbids NOT AND(x_1..x_k)    (lazy cycle-elimination cuts)
+// This module replaces the paper's use of Gurobi (see DESIGN.md).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace spores {
+
+using VarId = int32_t;
+
+/// The model container. Build with AddVar/constraints, then hand to the
+/// solver.
+class IlpModel {
+ public:
+  /// Adds a boolean variable with objective coefficient `cost` (>= 0).
+  VarId AddVar(double cost, std::string name = "");
+
+  /// Forces `var` to `value` in every solution.
+  void Fix(VarId var, bool value);
+
+  /// x = 1 implies y = 1.
+  void AddImplication(VarId x, VarId y);
+
+  /// trigger = 1 implies at least one of `options` is 1.
+  void AddCover(VarId trigger, std::vector<VarId> options);
+
+  /// Not all of `vars` may be 1 simultaneously.
+  void AddForbid(std::vector<VarId> vars);
+
+  size_t NumVars() const { return costs_.size(); }
+  double Cost(VarId v) const { return costs_[static_cast<size_t>(v)]; }
+  const std::string& Name(VarId v) const {
+    return names_[static_cast<size_t>(v)];
+  }
+
+  struct Cover {
+    VarId trigger;
+    std::vector<VarId> options;
+  };
+
+  const std::vector<std::pair<VarId, bool>>& fixes() const { return fixes_; }
+  const std::vector<std::pair<VarId, VarId>>& implications() const {
+    return implications_;
+  }
+  const std::vector<Cover>& covers() const { return covers_; }
+  const std::vector<std::vector<VarId>>& forbids() const { return forbids_; }
+
+ private:
+  std::vector<double> costs_;
+  std::vector<std::string> names_;
+  std::vector<std::pair<VarId, bool>> fixes_;
+  std::vector<std::pair<VarId, VarId>> implications_;
+  std::vector<Cover> covers_;
+  std::vector<std::vector<VarId>> forbids_;
+};
+
+}  // namespace spores

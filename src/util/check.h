@@ -1,0 +1,35 @@
+// Internal invariant checking. SPORES_CHECK aborts with a message on
+// violation; it is always on (invariant violations in an optimizer silently
+// produce wrong plans, which is worse than a crash).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace spores {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* cond, const char* msg) {
+  std::fprintf(stderr, "SPORES_CHECK failed at %s:%d: %s %s\n", file, line,
+               cond, msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace spores
+
+#define SPORES_CHECK(cond)                                        \
+  do {                                                            \
+    if (!(cond)) ::spores::CheckFailed(__FILE__, __LINE__, #cond, nullptr); \
+  } while (0)
+
+#define SPORES_CHECK_MSG(cond, msg)                               \
+  do {                                                            \
+    if (!(cond)) ::spores::CheckFailed(__FILE__, __LINE__, #cond, msg); \
+  } while (0)
+
+#define SPORES_CHECK_EQ(a, b) SPORES_CHECK((a) == (b))
+#define SPORES_CHECK_NE(a, b) SPORES_CHECK((a) != (b))
+#define SPORES_CHECK_LT(a, b) SPORES_CHECK((a) < (b))
+#define SPORES_CHECK_LE(a, b) SPORES_CHECK((a) <= (b))
+#define SPORES_CHECK_GT(a, b) SPORES_CHECK((a) > (b))
+#define SPORES_CHECK_GE(a, b) SPORES_CHECK((a) >= (b))

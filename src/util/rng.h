@@ -1,0 +1,44 @@
+// Deterministic PRNG used for data generation and match sampling. A thin
+// wrapper over SplitMix64/xoshiro-style mixing so results are reproducible
+// across platforms (std::mt19937 distributions are not portable).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace spores {
+
+/// Deterministic 64-bit PRNG (splitmix64 core).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5324e5a2d96f1ull) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t Next64();
+
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  /// Standard normal via Box-Muller.
+  double NextGaussian();
+
+  /// Returns true with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Sample k distinct indices from [0, n) (k >= n returns all, shuffled).
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+ private:
+  uint64_t state_;
+  bool has_spare_gaussian_ = false;
+  double spare_gaussian_ = 0.0;
+};
+
+}  // namespace spores

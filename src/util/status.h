@@ -1,0 +1,112 @@
+// RocksDB-style Status / StatusOr for recoverable errors at API boundaries.
+// Internal invariants use SPORES_CHECK instead (util/check.h).
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "src/util/check.h"
+
+namespace spores {
+
+/// Error codes for recoverable failures.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kUnsupported,
+  kInternal,
+  kResourceExhausted,
+  kTimeout,
+};
+
+/// A Status holds either success (ok) or an error code plus message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Timeout(std::string msg) {
+    return Status(StatusCode::kTimeout, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// Human-readable representation, e.g. "InvalidArgument: bad dims".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// StatusOr<T> holds either a value or an error Status.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(T value) : status_(Status::OK()), value_(std::move(value)) {}
+  StatusOr(Status status) : status_(std::move(status)) {
+    SPORES_CHECK_MSG(!status_.ok(), "StatusOr constructed from OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    SPORES_CHECK_MSG(ok(), status_.message().c_str());
+    return value_;
+  }
+  T& value() & {
+    SPORES_CHECK_MSG(ok(), status_.message().c_str());
+    return value_;
+  }
+  T&& value() && {
+    SPORES_CHECK_MSG(ok(), status_.message().c_str());
+    return std::move(value_);
+  }
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+}  // namespace spores
+
+/// Propagate a non-OK Status out of the current function.
+#define SPORES_RETURN_IF_ERROR(expr)          \
+  do {                                        \
+    ::spores::Status _st = (expr);            \
+    if (!_st.ok()) return _st;                \
+  } while (0)
+
+#define SPORES_CONCAT_INNER(a, b) a##b
+#define SPORES_CONCAT(a, b) SPORES_CONCAT_INNER(a, b)
+
+#define SPORES_ASSIGN_OR_RETURN(lhs, expr) \
+  SPORES_ASSIGN_OR_RETURN_IMPL(SPORES_CONCAT(_statusor_, __LINE__), lhs, expr)
+
+#define SPORES_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value();

@@ -1,0 +1,68 @@
+#include "src/util/symbol.h"
+
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+
+#include "src/util/check.h"
+
+namespace spores {
+
+namespace {
+
+// `strings` is a deque so element addresses are stable; `index` keys are
+// views into those elements.
+struct InternTable {
+  std::mutex mu;
+  std::deque<std::string> strings;
+  std::unordered_map<std::string_view, uint32_t> index;
+  uint64_t fresh_counter = 0;
+
+  InternTable() {
+    strings.emplace_back("");  // id 0 == empty symbol
+    index.emplace(std::string_view(strings.back()), 0);
+  }
+
+  uint32_t InternLocked(std::string_view name) {
+    auto it = index.find(name);
+    if (it != index.end()) return it->second;
+    uint32_t id = static_cast<uint32_t>(strings.size());
+    strings.emplace_back(name);
+    index.emplace(std::string_view(strings.back()), id);
+    return id;
+  }
+};
+
+InternTable& Table() {
+  static InternTable* table = new InternTable();
+  return *table;
+}
+
+}  // namespace
+
+Symbol Symbol::Intern(std::string_view name) {
+  InternTable& t = Table();
+  std::lock_guard<std::mutex> lock(t.mu);
+  return Symbol(t.InternLocked(name));
+}
+
+Symbol Symbol::Fresh(std::string_view prefix) {
+  InternTable& t = Table();
+  std::lock_guard<std::mutex> lock(t.mu);
+  while (true) {
+    std::string candidate =
+        std::string(prefix) + "$" + std::to_string(t.fresh_counter++);
+    if (t.index.find(candidate) == t.index.end()) {
+      return Symbol(t.InternLocked(candidate));
+    }
+  }
+}
+
+const std::string& Symbol::str() const {
+  InternTable& t = Table();
+  std::lock_guard<std::mutex> lock(t.mu);
+  SPORES_CHECK_LT(id_, t.strings.size());
+  return t.strings[id_];
+}
+
+}  // namespace spores

@@ -1,0 +1,45 @@
+// Interned strings. Symbols compare by integer id, which makes attribute
+// sets and operator payloads cheap to hash and compare. Interning is global
+// and append-only; Symbol values stay valid for the process lifetime.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace spores {
+
+/// An interned string; trivially copyable, compares by id.
+class Symbol {
+ public:
+  Symbol() : id_(0) {}  // the empty symbol ""
+
+  /// Intern `name`, returning the canonical Symbol for it.
+  static Symbol Intern(std::string_view name);
+
+  /// Generate a fresh symbol "`prefix``n`" guaranteed unused so far.
+  static Symbol Fresh(std::string_view prefix);
+
+  const std::string& str() const;
+  uint32_t id() const { return id_; }
+  bool empty() const { return id_ == 0; }
+
+  friend bool operator==(Symbol a, Symbol b) { return a.id_ == b.id_; }
+  friend bool operator!=(Symbol a, Symbol b) { return a.id_ != b.id_; }
+  friend bool operator<(Symbol a, Symbol b) { return a.id_ < b.id_; }
+
+ private:
+  explicit Symbol(uint32_t id) : id_(id) {}
+  uint32_t id_;
+};
+
+}  // namespace spores
+
+template <>
+struct std::hash<spores::Symbol> {
+  size_t operator()(spores::Symbol s) const noexcept {
+    return std::hash<uint32_t>()(s.id());
+  }
+};

@@ -1,0 +1,27 @@
+// Simple wall-clock timer for compile-time breakdowns (Fig 16).
+#pragma once
+
+#include <chrono>
+
+namespace spores {
+
+/// Wall-clock stopwatch; starts on construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace spores

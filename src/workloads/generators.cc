@@ -1,0 +1,40 @@
+#include "src/workloads/generators.h"
+
+namespace spores {
+
+namespace {
+
+WorkloadData Finish(Bindings inputs) {
+  WorkloadData data;
+  data.catalog = inputs.ToCatalog();
+  data.inputs = std::move(inputs);
+  return data;
+}
+
+}  // namespace
+
+WorkloadData MakeFactorizationData(int64_t rows, int64_t cols, int64_t rank,
+                                   double sparsity, uint64_t seed) {
+  Rng rng(seed);
+  Bindings b;
+  b.Bind("X", Matrix::RandomSparse(rows, cols, sparsity, rng, 0.1, 1.0));
+  b.Bind("U", Matrix::RandomDense(rows, rank, rng, 0.1, 1.0));
+  b.Bind("V", Matrix::RandomDense(cols, rank, rng, 0.1, 1.0));
+  b.Bind("W", Matrix::RandomDense(rows, rank, rng, 0.1, 1.0));
+  b.Bind("H", Matrix::RandomDense(rank, cols, rng, 0.1, 1.0));
+  return Finish(std::move(b));
+}
+
+WorkloadData MakeRegressionData(int64_t rows, int64_t cols, double sparsity,
+                                uint64_t seed) {
+  Rng rng(seed);
+  Bindings b;
+  b.Bind("X", Matrix::RandomSparse(rows, cols, sparsity, rng, 0.1, 1.0));
+  b.Bind("y", Matrix::RandomDense(rows, 1, rng, -1.0, 1.0));
+  b.Bind("w", Matrix::RandomDense(cols, 1, rng, -0.5, 0.5));
+  b.Bind("p", Matrix::RandomDense(rows, 1, rng, 0.01, 0.99));
+  b.Bind("r", Matrix::RandomDense(rows, 1, rng, -1.0, 1.0));
+  return Finish(std::move(b));
+}
+
+}  // namespace spores

@@ -1,0 +1,28 @@
+// Synthetic data generators standing in for SystemML's algorithm-specific
+// benchmark generators (Sec 4: "datasets have been synthetically generated").
+// Each generator produces Bindings (named matrices) plus the matching
+// Catalog metadata for one workload at a given scale.
+#pragma once
+
+#include "src/runtime/executor.h"
+
+namespace spores {
+
+/// One prepared workload instance: inputs plus derived metadata.
+struct WorkloadData {
+  Bindings inputs;
+  Catalog catalog;
+};
+
+/// Sparse data matrix X (rows x cols, given sparsity) plus dense factors
+/// U (rows x rank), V (cols x rank). Used by ALS / PNMF-style programs.
+WorkloadData MakeFactorizationData(int64_t rows, int64_t cols, int64_t rank,
+                                   double sparsity, uint64_t seed);
+
+/// Sparse features X (rows x cols), dense label/weight vectors:
+/// y (rows x 1), w (cols x 1), p (rows x 1, values in (0,1)).
+/// Used by GLM / SVM / MLR-style programs.
+WorkloadData MakeRegressionData(int64_t rows, int64_t cols, double sparsity,
+                                uint64_t seed);
+
+}  // namespace spores

@@ -1,0 +1,68 @@
+#include "src/workloads/programs.h"
+
+namespace spores {
+
+namespace {
+ExprPtr V(const char* name) { return Expr::Var(name); }
+}  // namespace
+
+Program AlsProgram() {
+  // (U %*% t(V) - X) %*% V
+  ExprPtr expr = Expr::MatMul(
+      Expr::Minus(Expr::MatMul(V("U"), Expr::Transpose(V("V"))), V("X")),
+      V("V"));
+  return {"ALS", expr,
+          "expand (UV^T - X)V to UV^TV - XV; exploit sparsity of X"};
+}
+
+Program GlmProgram() {
+  // t(X) %*% (y - X %*% w)
+  ExprPtr expr = Expr::MatMul(
+      Expr::Transpose(V("X")), Expr::Minus(V("y"), Expr::MatMul(V("X"),
+                                                                V("w"))));
+  return {"GLM", expr, "match the heuristic optimizer (no better plan)"};
+}
+
+Program SvmProgram() {
+  // t(X) %*% (X %*% w - y) + 0.001 * w
+  ExprPtr expr = Expr::Plus(
+      Expr::MatMul(Expr::Transpose(V("X")),
+                   Expr::Minus(Expr::MatMul(V("X"), V("w")), V("y"))),
+      Expr::Mul(Expr::Const(0.001), V("w")));
+  return {"SVM", expr, "match the heuristic optimizer (no better plan)"};
+}
+
+Program MlrProgram() {
+  // t(X) %*% (p*r - p*p*r): factors to t(X) %*% (sprop(p)*r).
+  ExprPtr p = V("p");
+  ExprPtr r = V("r");
+  ExprPtr expr = Expr::MatMul(
+      Expr::Transpose(V("X")),
+      Expr::Minus(Expr::Mul(p, r), Expr::Mul(Expr::Mul(p, p), r)));
+  return {"MLR", expr, "factor p out; fuse p*(1-p) into sprop"};
+}
+
+Program PnmfProgram() {
+  // sum(W %*% H) - sum(X * (W %*% H)), W%*%H shared (same Expr node).
+  ExprPtr wh = Expr::MatMul(V("W"), V("H"));
+  ExprPtr expr = Expr::Minus(Expr::Sum(wh), Expr::Sum(Expr::Mul(V("X"), wh)));
+  return {"PNMF", expr,
+          "avoid materializing W%*%H despite CSE (colSums/rowSums + "
+          "sparse sum-product)"};
+}
+
+Program IntroProgram() {
+  // sum((X - U %*% t(V))^2)
+  ExprPtr expr = Expr::Sum(Expr::Pow(
+      Expr::Minus(V("X"), Expr::MatMul(V("U"), Expr::Transpose(V("V")))),
+      2.0));
+  return {"INTRO", expr,
+          "sum(X^2) - 2 sum(X*U*V^T) + (U^T U)(V^T V) via sparsity of X"};
+}
+
+std::vector<Program> AllPrograms() {
+  return {AlsProgram(), GlmProgram(), SvmProgram(), MlrProgram(),
+          PnmfProgram()};
+}
+
+}  // namespace spores

@@ -1,0 +1,50 @@
+// Inner-loop LA expressions for the five evaluation algorithms (Sec 4.2):
+// ALS, GLM, SVM, MLR, PNMF — plus the paper's running intro example. Each is
+// the hot expression SPORES is invoked on ("we only invoke SPORES on
+// important LA expressions from the inner loops"). Shared subexpressions are
+// built as shared Expr nodes so DAG-level CSE is visible to optimizers and
+// the executor.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/ir/expr.h"
+
+namespace spores {
+
+struct Program {
+  std::string name;
+  ExprPtr expr;
+  /// What the paper's evaluation says SPORES should achieve on it.
+  std::string expectation;
+};
+
+/// ALS update direction: (U %*% t(V) - X) %*% V. SPORES expands the product
+/// to exploit X's sparsity (U (V^T V) - X V); the heuristic baseline does
+/// not distribute (Sec 4.2, up to 5X).
+Program AlsProgram();
+
+/// GLM gradient: t(X) %*% (y - X %*% w). Saturation matches the heuristic
+/// optimizer (no better plan exists).
+Program GlmProgram();
+
+/// SVM gradient: t(X) %*% (X %*% w - y) + 0.001 * w. Same story as GLM.
+Program SvmProgram();
+
+/// MLR inner term: t(X) %*% (p*r - p*p*r). SPORES factors p out, enabling
+/// the sprop fused operator (Sec 4.2, ~1.2X).
+Program MlrProgram();
+
+/// PNMF objective proxy: sum(W %*% H) - sum(X * (W %*% H)), with W%*%H a
+/// shared subexpression. The heuristic's CSE guard blocks its own
+/// sum-rewrite; SPORES optimizes both uses away (Sec 4.2, up to 3X).
+Program PnmfProgram();
+
+/// Intro example: sum((X - U %*% t(V))^2) -> sum(X^2) - 2 U^T X V + ...
+Program IntroProgram();
+
+/// All five benchmark programs in the paper's order.
+std::vector<Program> AllPrograms();
+
+}  // namespace spores

@@ -1,0 +1,225 @@
+// Tests of the canonical polyterm form (Definition 2.1/A.5), term and
+// polyterm isomorphism (Definitions A.3/A.4/A.7), the completeness-style
+// equivalence check (Theorem 2.3), and the alpha-renaming e-graph membership
+// check used by the Fig 14 experiment.
+#include <gtest/gtest.h>
+
+#include "src/canon/canonical.h"
+#include "src/canon/isomorphism.h"
+#include "src/egraph/runner.h"
+#include "src/ir/parser.h"
+#include "src/ir/printer.h"
+#include "src/rules/rules_eq.h"
+#include "src/rules/rules_lr.h"
+
+namespace spores {
+namespace {
+
+Catalog TestCatalog() {
+  Catalog c;
+  c.Register("X", 10, 8, 0.5);
+  c.Register("Y", 10, 8);
+  c.Register("U", 10, 1);
+  c.Register("V", 8, 1);
+  c.Register("A", 10, 6);
+  c.Register("B", 6, 8);
+  c.Register("x", 7, 7);
+  c.Register("y", 7, 7);
+  return c;
+}
+
+StatusOr<bool> Equiv(const char* a, const char* b) {
+  return EquivalentLa(ParseExpr(a).value(), ParseExpr(b).value(),
+                      TestCatalog());
+}
+
+TEST(FreeAttrs, ComputedStructurally) {
+  Symbol i = Symbol::Intern("fi"), j = Symbol::Intern("fj");
+  ExprPtr e = Expr::Agg({i}, Expr::Join({Expr::Bind({i, j}, Expr::Var("X")),
+                                         Expr::Bind({i}, Expr::Var("U"))}));
+  EXPECT_EQ(FreeAttrs(e), std::vector<Symbol>{j});
+}
+
+TEST(RenameAttrs, RewritesBindAndAgg) {
+  Symbol i = Symbol::Intern("ri"), j = Symbol::Intern("rj"),
+         k = Symbol::Intern("rk");
+  ExprPtr e = Expr::Agg({i}, Expr::Bind({i, j}, Expr::Var("X")));
+  ExprPtr renamed = RenameAttrs(e, {{i, k}});
+  EXPECT_EQ(renamed->attrs, std::vector<Symbol>{k});
+  EXPECT_EQ(renamed->children[0]->attrs, (std::vector<Symbol>{k, j}));
+}
+
+TEST(Canonical, SquareCombinesIntoRepeatedAtoms) {
+  // X * X canonicalizes to one monomial with the atom twice (a power).
+  Catalog catalog = TestCatalog();
+  auto prog = TranslateLaToRa(ParseExpr("X * X").value(), catalog);
+  ASSERT_TRUE(prog.ok());
+  auto poly = CanonicalizeRa(prog.value().ra, *prog.value().dims);
+  ASSERT_TRUE(poly.ok());
+  ASSERT_EQ(poly.value().monomials.size(), 1u);
+  EXPECT_EQ(poly.value().monomials[0].atoms.size(), 2u);
+}
+
+TEST(Canonical, IsomorphicMonomialsCombineCoefficients) {
+  // 3*X + 5*X -> one monomial with coefficient 8.
+  Catalog catalog = TestCatalog();
+  auto prog = TranslateLaToRa(ParseExpr("3 * X + 5 * X").value(), catalog);
+  ASSERT_TRUE(prog.ok());
+  auto poly = CanonicalizeRa(prog.value().ra, *prog.value().dims);
+  ASSERT_TRUE(poly.ok());
+  ASSERT_EQ(poly.value().monomials.size(), 1u);
+  EXPECT_DOUBLE_EQ(poly.value().monomials[0].coeff, 8.0);
+}
+
+TEST(Canonical, CancellationDropsMonomial) {
+  Catalog catalog = TestCatalog();
+  auto prog = TranslateLaToRa(ParseExpr("X - X").value(), catalog);
+  ASSERT_TRUE(prog.ok());
+  auto poly = CanonicalizeRa(prog.value().ra, *prog.value().dims);
+  ASSERT_TRUE(poly.ok());
+  EXPECT_TRUE(poly.value().monomials.empty());
+  EXPECT_DOUBLE_EQ(poly.value().constant, 0.0);
+}
+
+TEST(Canonical, DistributesProducts) {
+  // (X + Y) * X -> X^2 + X*Y: two monomials.
+  Catalog catalog = TestCatalog();
+  auto prog = TranslateLaToRa(ParseExpr("(X + Y) * X").value(), catalog);
+  ASSERT_TRUE(prog.ok());
+  auto poly = CanonicalizeRa(prog.value().ra, *prog.value().dims);
+  ASSERT_TRUE(poly.ok());
+  EXPECT_EQ(poly.value().monomials.size(), 2u);
+}
+
+TEST(Canonical, PolytermToExprRoundTripsSemantically) {
+  Catalog catalog = TestCatalog();
+  auto prog =
+      TranslateLaToRa(ParseExpr("sum((X - Y) ^ 2)").value(), catalog);
+  ASSERT_TRUE(prog.ok());
+  auto poly = CanonicalizeRa(prog.value().ra, *prog.value().dims);
+  ASSERT_TRUE(poly.ok());
+  // Canonical form of sum((X-Y)^2): sum(X^2) - 2 sum(XY) + sum(Y^2).
+  EXPECT_EQ(poly.value().monomials.size(), 3u);
+  ExprPtr back = PolytermToExpr(poly.value());
+  auto repoly = CanonicalizeRa(back, *prog.value().dims);
+  ASSERT_TRUE(repoly.ok());
+  EXPECT_TRUE(PolytermIsomorphic(poly.value(), repoly.value()));
+}
+
+// ---- Equivalence via canonical isomorphism (Theorem 2.3) ----
+
+struct EquivCase {
+  const char* a;
+  const char* b;
+  bool equivalent;
+};
+
+class EquivalenceCheck : public ::testing::TestWithParam<EquivCase> {};
+
+TEST_P(EquivalenceCheck, MatchesExpectation) {
+  auto result = Equiv(GetParam().a, GetParam().b);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value(), GetParam().equivalent)
+      << GetParam().a << " vs " << GetParam().b;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pairs, EquivalenceCheck,
+    ::testing::Values(
+        // The paper's motivating identities.
+        EquivCase{"sum((X - U %*% t(V))^2)",
+                  "sum(X^2) - 2 * sum(X * (U %*% t(V))) + "
+                  "t(U) %*% U * (t(V) %*% V)",
+                  true},
+        EquivCase{"sum(X * (U %*% t(V)))", "t(U) %*% X %*% V", true},
+        EquivCase{"sum((U %*% t(V))^2)", "t(U) %*% U * (t(V) %*% V)", true},
+        // Simple algebra.
+        EquivCase{"X + Y", "Y + X", true},
+        EquivCase{"X - Y", "Y - X", false},
+        EquivCase{"2 * X + 3 * X", "5 * X", true},
+        EquivCase{"X * (Y + X)", "X * Y + X ^ 2", true},
+        EquivCase{"sum(X + Y)", "sum(X) + sum(Y)", true},
+        EquivCase{"sum(X)", "sum(Y)", false},
+        EquivCase{"t(t(X))", "X", true},
+        EquivCase{"t(A %*% B)", "t(B) %*% t(A)", true},
+        EquivCase{"sum(A %*% B)", "sum(t(colSums(A)) * rowSums(B))", true},
+        EquivCase{"colSums(X * U)", "t(U) %*% X", true},
+        EquivCase{"sum(U ^ 2)", "t(U) %*% U", true},
+        EquivCase{"sum(X ^ 2)", "sum(X * X)", true},
+        EquivCase{"sum(X ^ 2)", "sum(X) ^ 2", false},
+        // The appendix's subtlety: these differ in general (only equal on
+        // 1x1 inputs), and x,y here are 7x7.
+        EquivCase{"sum(x * y)", "sum(x * t(y))", false},
+        // sprop is semantically its definition.
+        EquivCase{"sprop(U)", "U * (1 - U)", true},
+        EquivCase{"sprop(U)", "U - U^2", true},
+        EquivCase{"wsloss(X, U, V)", "sum((X - U %*% t(V))^2)", true}));
+
+// ---- Monomial isomorphism directly ----
+
+TEST(Isomorphism, BoundRenamingDetected) {
+  // Sum_i x(i,j)*y(i) vs Sum_k x(k,j)*y(k): isomorphic via i -> k.
+  Symbol i = Symbol::Intern("mi"), j = Symbol::Intern("mj"),
+         k = Symbol::Intern("mk");
+  Monomial a;
+  a.bound = {i};
+  a.atoms = {Expr::Bind({i, j}, Expr::Var("X")),
+             Expr::Bind({i}, Expr::Var("U"))};
+  a.Normalize();
+  Monomial b;
+  b.bound = {k};
+  b.atoms = {Expr::Bind({k, j}, Expr::Var("X")),
+             Expr::Bind({k}, Expr::Var("U"))};
+  b.Normalize();
+  EXPECT_TRUE(MonomialIsomorphic(a, b));
+}
+
+TEST(Isomorphism, FreeAttrsMustMatchExactly) {
+  Symbol i = Symbol::Intern("ni"), j = Symbol::Intern("nj"),
+         k = Symbol::Intern("nk");
+  Monomial a;
+  a.atoms = {Expr::Bind({i, j}, Expr::Var("X"))};
+  Monomial b;
+  b.atoms = {Expr::Bind({i, k}, Expr::Var("X"))};
+  EXPECT_FALSE(MonomialIsomorphic(a, b));
+}
+
+TEST(Isomorphism, DifferentAtomMultisetsRejected) {
+  Symbol i = Symbol::Intern("qi");
+  Monomial a;
+  a.atoms = {Expr::Bind({i}, Expr::Var("U")), Expr::Bind({i}, Expr::Var("U"))};
+  Monomial b;
+  b.atoms = {Expr::Bind({i}, Expr::Var("U")), Expr::Bind({i}, Expr::Var("V"))};
+  EXPECT_FALSE(MonomialIsomorphic(a, b));
+}
+
+// ---- AlphaRepresents over a saturated graph ----
+
+TEST(AlphaRepresents, FindsRenamedAggregates) {
+  Catalog catalog = TestCatalog();
+  auto dims = std::make_shared<DimEnv>();
+  RaContext ctx{&catalog, dims};
+  EGraph eg(std::make_unique<RaAnalysis>(ctx));
+
+  auto prog = TranslateLaToRa(ParseExpr("sum(X * Y)").value(), catalog, dims);
+  ASSERT_TRUE(prog.ok());
+  ClassId root = eg.AddExpr(prog.value().ra);
+  eg.Rebuild();
+
+  // Same term with freshly named bound attributes.
+  Symbol p = Symbol::Fresh("p"), q = Symbol::Fresh("q");
+  dims->Set(p, 10);
+  dims->Set(q, 8);
+  ExprPtr renamed = Expr::Agg(
+      {p, q}, Expr::Join({Expr::Bind({p, q}, Expr::Var("X")),
+                          Expr::Bind({p, q}, Expr::Var("Y"))}));
+  EXPECT_TRUE(AlphaRepresents(eg, root, renamed));
+  // But a transposed second operand is NOT alpha-equal.
+  ExprPtr twisted = Expr::Agg(
+      {p, q}, Expr::Join({Expr::Bind({p, q}, Expr::Var("X")),
+                          Expr::Bind({q, p}, Expr::Var("Y"))}));
+  EXPECT_FALSE(AlphaRepresents(eg, root, twisted));
+}
+
+}  // namespace
+}  // namespace spores

@@ -1,0 +1,191 @@
+// Tests of the extractors: greedy's blindness to shared subexpressions
+// (Fig 10) versus the ILP's DAG-aware optimum (Fig 11), the schema
+// restriction, and cycle handling.
+#include <gtest/gtest.h>
+
+#include "src/extract/extractor.h"
+#include "src/ir/printer.h"
+#include "src/rules/ra_analysis.h"
+
+namespace spores {
+namespace {
+
+struct Fixture {
+  Catalog catalog;
+  std::shared_ptr<DimEnv> dims = std::make_shared<DimEnv>();
+  RaContext ctx;
+  std::unique_ptr<EGraph> egraph;
+  std::unique_ptr<CostModel> cost;
+
+  Fixture() {
+    catalog.Register("X", 100, 80, 0.1);
+    catalog.Register("u", 100, 1);
+    catalog.Register("v", 80, 1);
+    ctx = RaContext{&catalog, dims};
+    egraph = std::make_unique<EGraph>(std::make_unique<RaAnalysis>(ctx));
+    cost = std::make_unique<CostModel>(ctx);
+  }
+};
+
+TEST(Extract, TrivialLeaf) {
+  Fixture f;
+  ClassId id = f.egraph->AddExpr(Expr::Var("X"));
+  f.egraph->Rebuild();
+  auto g = GreedyExtract(*f.egraph, id, *f.cost);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(ToString(g.value().expr), "X");
+  auto i = IlpExtract(*f.egraph, id, *f.cost);
+  ASSERT_TRUE(i.ok());
+  EXPECT_EQ(ToString(i.value().expr), "X");
+  EXPECT_TRUE(i.value().optimal);
+}
+
+TEST(Extract, PicksCheaperEquivalent) {
+  // Merge a dense-cost plan with a sparse-cost plan; both extractors must
+  // pick the sparse one.
+  Fixture f;
+  Symbol i = Symbol::Intern("xi"), j = Symbol::Intern("xj");
+  f.dims->Set(i, 100);
+  f.dims->Set(j, 80);
+  // Plan A: join of two dense outer products (expensive).
+  ExprPtr dense = Expr::Join({Expr::Bind({i}, Expr::Var("u")),
+                              Expr::Bind({j}, Expr::Var("v"))});
+  // Plan B: sparse bind.
+  ExprPtr sparse = Expr::Bind({i, j}, Expr::Var("X"));
+  ClassId ca = f.egraph->AddExpr(dense);
+  ClassId cb = f.egraph->AddExpr(sparse);
+  f.egraph->Merge(ca, cb);
+  f.egraph->Rebuild();
+
+  auto g = GreedyExtract(*f.egraph, ca, *f.cost);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g.value().expr->op, Op::kBind);
+  auto ilp = IlpExtract(*f.egraph, ca, *f.cost);
+  ASSERT_TRUE(ilp.ok());
+  EXPECT_EQ(ilp.value().expr->op, Op::kBind);
+  EXPECT_LE(ilp.value().cost, g.value().cost);
+}
+
+TEST(Extract, Fig10SharedSubexpressionScenario) {
+  // Reproduce Fig 10 structurally with a synthetic one-analysis graph:
+  //   root: either branch1 (cost 1) -> exclusive (cost 4)
+  //         or    branch2 (cost 2) -> shared    (cost 4)
+  //   and a second fixed consumer also needs `shared`.
+  // Greedy (tree cost) evaluates branch1 = 5 < branch2 = 6 and pays
+  // 1 + 4 + 4 = 9 total; the ILP sees the sharing and pays 2 + 4 = 6... in
+  // e-graph terms we emulate with union/join structure over shared classes.
+  Fixture f;
+  Symbol i = Symbol::Intern("fgi");
+  f.dims->Set(i, 100);
+
+  // shared := u (leaf), exclusive := v-based vector of same size.
+  // branch1 = agg_i(bind u * bind u') — forced to cost more in total by
+  // sharing: build plan alternatives for class TOP:
+  //   TOP = union(shared, shared)       (uses shared twice: cheap w/ DAG)
+  //   TOP = union(exclusive, shared)    (tree-cheaper, DAG-pricier)
+  ExprPtr shared = Expr::Bind({i}, Expr::Var("u"));
+  Symbol j = Symbol::Intern("fgj");
+  f.dims->Set(j, 100);
+  // exclusive: an agg that costs like a vector (non-shareable with `shared`)
+  ExprPtr exclusive =
+      Expr::Agg({j}, Expr::Join({Expr::Bind({i}, Expr::Var("u")),
+                                 Expr::Bind({j}, Expr::Var("u"))}));
+  // two plan variants for the same class
+  ExprPtr plan_shared = Expr::Union({shared, shared});
+  ExprPtr plan_mixed = Expr::Union({exclusive, shared});
+  ClassId a = f.egraph->AddExpr(plan_shared);
+  ClassId b = f.egraph->AddExpr(plan_mixed);
+  f.egraph->Merge(a, b);
+  f.egraph->Rebuild();
+
+  auto ilp = IlpExtract(*f.egraph, a, *f.cost);
+  ASSERT_TRUE(ilp.ok());
+  auto greedy = GreedyExtract(*f.egraph, a, *f.cost);
+  ASSERT_TRUE(greedy.ok());
+  // ILP's DAG objective is never worse than greedy's achieved cost.
+  EXPECT_LE(ilp.value().cost, greedy.value().cost + 1e-9);
+}
+
+TEST(Extract, SchemaRestrictionSkipsWideNonJoinNodes) {
+  // A 3-attribute union node must not be selected; with no alternative the
+  // extraction fails rather than emitting untranslatable plans.
+  Fixture f;
+  Symbol i = Symbol::Intern("wi"), j = Symbol::Intern("wj"),
+         k = Symbol::Intern("wk");
+  f.dims->Set(i, 4);
+  f.dims->Set(j, 5);
+  f.dims->Set(k, 6);
+  f.catalog.Register("T1", 4, 5);
+  f.catalog.Register("T2", 5, 6);
+  ExprPtr wide =
+      Expr::Union({Expr::Join({Expr::Bind({i, j}, Expr::Var("T1")),
+                               Expr::Bind({j, k}, Expr::Var("T2"))}),
+                   Expr::Join({Expr::Bind({i, j}, Expr::Var("T1")),
+                               Expr::Bind({j, k}, Expr::Var("T2"))})});
+  ClassId id = f.egraph->AddExpr(wide);
+  f.egraph->Rebuild();
+  EXPECT_EQ(f.egraph->Data(id).schema.size(), 3u);
+  auto g = GreedyExtract(*f.egraph, id, *f.cost);
+  EXPECT_FALSE(g.ok());
+  auto ilp = IlpExtract(*f.egraph, id, *f.cost);
+  EXPECT_FALSE(ilp.ok());
+}
+
+TEST(Extract, WideJoinUnderAggIsAllowed) {
+  Fixture f;
+  Symbol i = Symbol::Intern("vi"), j = Symbol::Intern("vj"),
+         k = Symbol::Intern("vk");
+  f.dims->Set(i, 4);
+  f.dims->Set(j, 5);
+  f.dims->Set(k, 6);
+  f.catalog.Register("M1", 4, 5);
+  f.catalog.Register("M2", 5, 6);
+  ExprPtr matmul =
+      Expr::Agg({j}, Expr::Join({Expr::Bind({i, j}, Expr::Var("M1")),
+                                 Expr::Bind({j, k}, Expr::Var("M2"))}));
+  ClassId id = f.egraph->AddExpr(matmul);
+  f.egraph->Rebuild();
+  auto g = GreedyExtract(*f.egraph, id, *f.cost);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g.value().expr->op, Op::kAgg);
+  auto ilp = IlpExtract(*f.egraph, id, *f.cost);
+  ASSERT_TRUE(ilp.ok());
+  EXPECT_EQ(ilp.value().expr->op, Op::kAgg);
+}
+
+TEST(Extract, SelfReferentialClassStillExtractable) {
+  // x merged with t(t-ish self) produces a cyclic class; extraction must
+  // pick the acyclic member.
+  Fixture f;
+  ClassId x = f.egraph->AddExpr(Expr::Var("X"));
+  ENode self;
+  self.op = Op::kUnion;
+  self.children = {x, x};
+  ClassId loop = f.egraph->Add(self);
+  f.egraph->Merge(x, loop);  // X = X union X (false in general; test only)
+  f.egraph->Rebuild();
+  auto g = GreedyExtract(*f.egraph, x, *f.cost);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(ToString(g.value().expr), "X");
+  auto ilp = IlpExtract(*f.egraph, x, *f.cost);
+  ASSERT_TRUE(ilp.ok());
+  EXPECT_EQ(ToString(ilp.value().expr), "X");
+}
+
+TEST(Extract, SharedSubtermsShareExprNodes) {
+  Fixture f;
+  Symbol i = Symbol::Intern("shi");
+  f.dims->Set(i, 100);
+  ExprPtr u = Expr::Bind({i}, Expr::Var("u"));
+  ClassId id = f.egraph->AddExpr(Expr::Union({u, u}));
+  f.egraph->Rebuild();
+  auto g = GreedyExtract(*f.egraph, id, *f.cost);
+  ASSERT_TRUE(g.ok());
+  // The two children of the union must be the same Expr object (DAG).
+  ASSERT_EQ(g.value().expr->children.size(), 2u);
+  EXPECT_EQ(g.value().expr->children[0].get(),
+            g.value().expr->children[1].get());
+}
+
+}  // namespace
+}  // namespace spores

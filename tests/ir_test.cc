@@ -1,0 +1,249 @@
+// Unit tests for the LA/RA expression IR: builders, structural
+// equality/hashing, shape inference, the parser, and the printer.
+#include <gtest/gtest.h>
+
+#include "src/ir/expr.h"
+#include "src/ir/parser.h"
+#include "src/ir/printer.h"
+
+namespace spores {
+namespace {
+
+Catalog TestCatalog() {
+  Catalog c;
+  c.Register("X", 100, 50, 0.1);
+  c.Register("Y", 100, 50, 1.0);
+  c.Register("A", 100, 30);
+  c.Register("B", 30, 50);
+  c.Register("u", 100, 1);
+  c.Register("v", 50, 1);
+  c.Register("r", 1, 50);
+  c.Register("s", 1, 1);
+  return c;
+}
+
+Shape MustShape(const ExprPtr& e) {
+  auto s = InferShape(e, TestCatalog());
+  EXPECT_TRUE(s.ok()) << s.status().ToString();
+  return s.ok() ? s.value() : Shape{};
+}
+
+TEST(Expr, StructuralEqualityAndHash) {
+  ExprPtr a = Expr::Plus(Expr::Var("X"), Expr::Var("Y"));
+  ExprPtr b = Expr::Plus(Expr::Var("X"), Expr::Var("Y"));
+  ExprPtr c = Expr::Plus(Expr::Var("Y"), Expr::Var("X"));
+  EXPECT_TRUE(ExprEquals(a, b));
+  EXPECT_EQ(a->Hash(), b->Hash());
+  EXPECT_FALSE(ExprEquals(a, c));
+}
+
+TEST(Expr, ConstsCompareByValue) {
+  EXPECT_TRUE(ExprEquals(Expr::Const(2.5), Expr::Const(2.5)));
+  EXPECT_FALSE(ExprEquals(Expr::Const(2.5), Expr::Const(2.0)));
+}
+
+TEST(Expr, AggSortsAndDedupsAttrs) {
+  Symbol i = Symbol::Intern("i"), j = Symbol::Intern("j");
+  ExprPtr e = Expr::Agg({j, i, j}, Expr::Var("X"));
+  ASSERT_EQ(e->op, Op::kAgg);
+  EXPECT_EQ(e->attrs, (std::vector<Symbol>{i, j}));
+}
+
+TEST(Expr, AggWithNoAttrsIsIdentity) {
+  ExprPtr x = Expr::Var("X");
+  EXPECT_EQ(Expr::Agg({}, x), x);
+}
+
+TEST(Expr, JoinIsOrderInsensitive) {
+  ExprPtr a = Expr::Join({Expr::Var("X"), Expr::Var("Y")});
+  ExprPtr b = Expr::Join({Expr::Var("Y"), Expr::Var("X")});
+  EXPECT_TRUE(ExprEquals(a, b));
+}
+
+TEST(Expr, SingletonJoinCollapses) {
+  ExprPtr x = Expr::Var("X");
+  EXPECT_EQ(Expr::Join({x}), x);
+  EXPECT_EQ(Expr::Union({x}), x);
+}
+
+TEST(Expr, TreeSizeCountsNodes) {
+  ExprPtr e = Expr::Sum(Expr::Mul(Expr::Var("X"), Expr::Var("Y")));
+  EXPECT_EQ(e->TreeSize(), 4u);
+}
+
+// ---- Shape inference ----
+
+TEST(Shape, MatMul) {
+  Shape s = MustShape(Expr::MatMul(Expr::Var("A"), Expr::Var("B")));
+  EXPECT_EQ(s, (Shape{100, 50}));
+}
+
+TEST(Shape, MatMulMismatchFails) {
+  auto s = InferShape(Expr::MatMul(Expr::Var("A"), Expr::Var("X")),
+                      TestCatalog());
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Shape, TransposeSwaps) {
+  EXPECT_EQ(MustShape(Expr::Transpose(Expr::Var("A"))), (Shape{30, 100}));
+}
+
+TEST(Shape, Aggregations) {
+  EXPECT_EQ(MustShape(Expr::RowSums(Expr::Var("X"))), (Shape{100, 1}));
+  EXPECT_EQ(MustShape(Expr::ColSums(Expr::Var("X"))), (Shape{1, 50}));
+  EXPECT_EQ(MustShape(Expr::Sum(Expr::Var("X"))), (Shape{1, 1}));
+}
+
+TEST(Shape, ElementwiseExact) {
+  EXPECT_EQ(MustShape(Expr::Plus(Expr::Var("X"), Expr::Var("Y"))),
+            (Shape{100, 50}));
+}
+
+TEST(Shape, BroadcastColVector) {
+  EXPECT_EQ(MustShape(Expr::Mul(Expr::Var("X"), Expr::Var("u"))),
+            (Shape{100, 50}));
+}
+
+TEST(Shape, BroadcastRowVector) {
+  EXPECT_EQ(MustShape(Expr::Mul(Expr::Var("X"), Expr::Var("r"))),
+            (Shape{100, 50}));
+}
+
+TEST(Shape, BroadcastScalar) {
+  EXPECT_EQ(MustShape(Expr::Plus(Expr::Var("s"), Expr::Var("X"))),
+            (Shape{100, 50}));
+}
+
+TEST(Shape, OuterBroadcast) {
+  // (100x1) * (1x50) elementwise-broadcasts to 100x50.
+  EXPECT_EQ(MustShape(Expr::Mul(Expr::Var("u"), Expr::Var("r"))),
+            (Shape{100, 50}));
+}
+
+TEST(Shape, IncompatibleElementwiseFails) {
+  auto s =
+      InferShape(Expr::Plus(Expr::Var("A"), Expr::Var("X")), TestCatalog());
+  EXPECT_FALSE(s.ok());
+}
+
+TEST(Shape, UnknownVarFails) {
+  auto s = InferShape(Expr::Var("NOPE"), TestCatalog());
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.status().code(), StatusCode::kNotFound);
+}
+
+TEST(Shape, WsLoss) {
+  Catalog c;
+  c.Register("X", 100, 50, 0.1);
+  c.Register("U", 100, 4);
+  c.Register("V", 50, 4);
+  auto s = InferShape(
+      Expr::WsLoss(Expr::Var("X"), Expr::Var("U"), Expr::Var("V")), c);
+  ASSERT_TRUE(s.ok());
+  EXPECT_TRUE(s.value().IsScalar());
+}
+
+TEST(Shape, WsLossMismatch) {
+  Catalog c;
+  c.Register("X", 100, 50, 0.1);
+  c.Register("U", 100, 4);
+  c.Register("V", 50, 5);  // rank mismatch
+  auto s = InferShape(
+      Expr::WsLoss(Expr::Var("X"), Expr::Var("U"), Expr::Var("V")), c);
+  EXPECT_FALSE(s.ok());
+}
+
+// ---- Parser ----
+
+struct RoundTrip {
+  const char* input;
+  const char* printed;  // nullptr => same as input
+};
+
+class ParserRoundTrip : public ::testing::TestWithParam<RoundTrip> {};
+
+TEST_P(ParserRoundTrip, PrintsBack) {
+  auto e = ParseExpr(GetParam().input);
+  ASSERT_TRUE(e.ok()) << e.status().ToString();
+  const char* want =
+      GetParam().printed ? GetParam().printed : GetParam().input;
+  EXPECT_EQ(ToString(e.value()), want);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Syntax, ParserRoundTrip,
+    ::testing::Values(
+        RoundTrip{"X", nullptr},
+        RoundTrip{"X + Y", nullptr},
+        RoundTrip{"X - Y - Z", nullptr},
+        RoundTrip{"X * Y + Z", nullptr},
+        RoundTrip{"(X + Y) * Z", nullptr},
+        RoundTrip{"X %*% Y", nullptr},
+        RoundTrip{"t(X)", nullptr},
+        RoundTrip{"sum(X)", nullptr},
+        RoundTrip{"rowSums(X)", nullptr},
+        RoundTrip{"colSums(X)", nullptr},
+        RoundTrip{"X ^ 2", nullptr},
+        RoundTrip{"sigmoid(X)", nullptr},
+        RoundTrip{"sprop(p)", nullptr},
+        RoundTrip{"wsloss(X, U, V)", nullptr},
+        RoundTrip{"sum((X - U %*% t(V))^2)", "sum((X - U %*% t(V)) ^ 2)"},
+        RoundTrip{"X*Y+Z", "X * Y + Z"},
+        RoundTrip{"1.5 * X", "1.5 * X"},
+        RoundTrip{"-X", nullptr},
+        RoundTrip{"X - -Y", nullptr}));
+
+TEST(Parser, PrecedenceMatMulOverMul) {
+  // * binds looser than %*%: A %*% B * C == (A %*% B) * C.
+  auto e = ParseExpr("A %*% B * C");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(e.value()->op, Op::kElemMul);
+  EXPECT_EQ(e.value()->children[0]->op, Op::kMatMul);
+}
+
+TEST(Parser, PrecedencePowOverNeg) {
+  // -x^2 parses as -(x^2) (R semantics).
+  auto e = ParseExpr("-X ^ 2");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(e.value()->op, Op::kNeg);
+  EXPECT_EQ(e.value()->children[0]->op, Op::kPow);
+}
+
+TEST(Parser, LeftAssociativeMinus) {
+  auto e = ParseExpr("X - Y - Z");
+  ASSERT_TRUE(e.ok());
+  // (X - Y) - Z
+  EXPECT_EQ(e.value()->children[0]->op, Op::kElemMinus);
+}
+
+TEST(Parser, ScientificNumbers) {
+  auto e = ParseExpr("1e-3 * X");
+  ASSERT_TRUE(e.ok());
+  EXPECT_DOUBLE_EQ(e.value()->children[0]->value, 1e-3);
+}
+
+TEST(Parser, Errors) {
+  EXPECT_FALSE(ParseExpr("X +").ok());
+  EXPECT_FALSE(ParseExpr("(X").ok());
+  EXPECT_FALSE(ParseExpr("X % Y").ok());
+  EXPECT_FALSE(ParseExpr("t(X, Y)").ok());   // wrong arity
+  EXPECT_FALSE(ParseExpr("frobnicate(X)").ok());
+  EXPECT_FALSE(ParseExpr("X ^ Y").ok());     // non-constant exponent
+  EXPECT_FALSE(ParseExpr("X Y").ok());       // trailing input
+  EXPECT_FALSE(ParseExpr("@").ok());
+}
+
+TEST(Printer, RaOperators) {
+  Symbol i = Symbol::Intern("i"), j = Symbol::Intern("j");
+  ExprPtr ra = Expr::Agg(
+      {j}, Expr::Join({Expr::Bind({i, j}, Expr::Var("A")),
+                       Expr::Bind({j}, Expr::Var("v"))}));
+  std::string s = ToString(ra);
+  EXPECT_NE(s.find("agg[j]"), std::string::npos);
+  EXPECT_NE(s.find("bind[i,j](A)"), std::string::npos);
+  EXPECT_NE(s.find("join("), std::string::npos);
+}
+
+}  // namespace
+}  // namespace spores

@@ -1,0 +1,143 @@
+// Unit tests for the pattern language and the backtracking e-matcher.
+#include <gtest/gtest.h>
+
+#include "src/egraph/matcher.h"
+#include "src/egraph/rewrite.h"
+#include "src/ir/expr.h"
+
+namespace spores {
+namespace {
+
+using P = Pattern;
+
+TEST(Pattern, ClassVarsCollected) {
+  PatternPtr p = P::N(Op::kJoin, {P::V("?a"), P::N(Op::kUnion, {P::V("?b"),
+                                                                P::V("?a")})});
+  std::vector<Symbol> vars = p->ClassVars();
+  EXPECT_EQ(vars.size(), 2u);
+}
+
+TEST(Matcher, LeafVarMatchesAnyClass) {
+  EGraph eg;
+  eg.AddExpr(Expr::Var("x"));
+  eg.AddExpr(Expr::Var("y"));
+  std::vector<Match> ms = MatchAll(eg, *P::V("?a"));
+  EXPECT_EQ(ms.size(), 2u);
+}
+
+TEST(Matcher, OpPatternMatchesOnlyThatOp) {
+  EGraph eg;
+  eg.AddExpr(Expr::Plus(Expr::Var("x"), Expr::Var("y")));
+  eg.AddExpr(Expr::Mul(Expr::Var("x"), Expr::Var("y")));
+  std::vector<Match> ms =
+      MatchAll(eg, *P::N(Op::kElemPlus, {P::V("?a"), P::V("?b")}));
+  ASSERT_EQ(ms.size(), 1u);
+  EXPECT_EQ(eg.Find(ms[0].subst.ClassOf(Symbol::Intern("?a"))),
+            *eg.LookupExpr(Expr::Var("x")));
+}
+
+TEST(Matcher, RepeatedVarRequiresSameClass) {
+  EGraph eg;
+  eg.AddExpr(Expr::Mul(Expr::Var("x"), Expr::Var("x")));
+  eg.AddExpr(Expr::Mul(Expr::Var("x"), Expr::Var("y")));
+  std::vector<Match> ms =
+      MatchAll(eg, *P::N(Op::kElemMul, {P::V("?a"), P::V("?a")}));
+  EXPECT_EQ(ms.size(), 1u);  // only x*x
+}
+
+TEST(Matcher, VarLeafConstrainsSymbol) {
+  EGraph eg;
+  eg.AddExpr(Expr::Transpose(Expr::Var("x")));
+  eg.AddExpr(Expr::Transpose(Expr::Var("y")));
+  std::vector<Match> ms =
+      MatchAll(eg, *P::N(Op::kTranspose, {P::VarLeaf("x")}));
+  EXPECT_EQ(ms.size(), 1u);
+}
+
+TEST(Matcher, ConstLeafMatchesExactValue) {
+  EGraph eg;
+  eg.AddExpr(Expr::Mul(Expr::Const(1.0), Expr::Var("x")));
+  eg.AddExpr(Expr::Mul(Expr::Const(2.0), Expr::Var("x")));
+  std::vector<Match> ms =
+      MatchAll(eg, *P::N(Op::kElemMul, {P::ConstLeaf(1.0), P::V("?a")}));
+  EXPECT_EQ(ms.size(), 1u);
+}
+
+TEST(Matcher, ConstBindCapturesValue) {
+  EGraph eg;
+  eg.AddExpr(Expr::Mul(Expr::Const(3.5), Expr::Var("x")));
+  std::vector<Match> ms =
+      MatchAll(eg, *P::N(Op::kElemMul, {P::ConstBind("?c"), P::V("?a")}));
+  ASSERT_EQ(ms.size(), 1u);
+  EXPECT_DOUBLE_EQ(ms[0].subst.ValueOf(Symbol::Intern("?c")), 3.5);
+}
+
+TEST(Matcher, AggBindCapturesAttrs) {
+  EGraph eg;
+  Symbol i = Symbol::Intern("i"), j = Symbol::Intern("j");
+  eg.AddExpr(Expr::Agg({i, j}, Expr::Bind({i, j}, Expr::Var("X"))));
+  std::vector<Match> ms = MatchAll(eg, *P::AggBind("?I", P::V("?a")));
+  ASSERT_EQ(ms.size(), 1u);
+  EXPECT_EQ(ms[0].subst.AttrsOf(Symbol::Intern("?I")),
+            (std::vector<Symbol>{i, j}));
+}
+
+TEST(Matcher, MatchesAcrossEquivalentNodes) {
+  // After merging x*y with z, pattern (t ?a) over t(z) should also match
+  // through the merged class when matching t(x*y).
+  EGraph eg;
+  ClassId xy = eg.AddExpr(Expr::Mul(Expr::Var("x"), Expr::Var("y")));
+  ClassId z = eg.AddExpr(Expr::Var("z"));
+  eg.AddExpr(Expr::Transpose(Expr::Var("z")));
+  eg.Merge(xy, z);
+  eg.Rebuild();
+  std::vector<Match> ms = MatchAll(
+      eg,
+      *P::N(Op::kTranspose, {P::N(Op::kElemMul, {P::V("?a"), P::V("?b")})}));
+  EXPECT_EQ(ms.size(), 1u);
+}
+
+TEST(Matcher, NestedPatternsBindConsistently) {
+  EGraph eg;
+  // (x + y) * (x + z): pattern (a+b)*(a+c) must bind a=x.
+  eg.AddExpr(Expr::Mul(Expr::Plus(Expr::Var("x"), Expr::Var("y")),
+                       Expr::Plus(Expr::Var("x"), Expr::Var("z"))));
+  std::vector<Match> ms = MatchAll(
+      eg, *P::N(Op::kElemMul, {P::N(Op::kElemPlus, {P::V("?a"), P::V("?b")}),
+                               P::N(Op::kElemPlus, {P::V("?a"), P::V("?c")})}));
+  ASSERT_EQ(ms.size(), 1u);
+  EXPECT_EQ(eg.Find(ms[0].subst.ClassOf(Symbol::Intern("?a"))),
+            eg.Find(*eg.LookupExpr(Expr::Var("x"))));
+}
+
+TEST(Rewrite, TemplateApplierInstantiates) {
+  EGraph eg;
+  ClassId root = eg.AddExpr(Expr::Plus(Expr::Var("x"), Expr::Var("x")));
+  // a + a -> 2 * a.
+  Rewrite rw = MakeRewrite(
+      "double", P::N(Op::kElemPlus, {P::V("?a"), P::V("?a")}),
+      P::N(Op::kElemMul, {P::ConstLeaf(2.0), P::V("?a")}));
+  std::vector<Match> ms = MatchAll(eg, *rw.lhs);
+  ASSERT_EQ(ms.size(), 1u);
+  std::optional<ClassId> rhs = rw.applier(eg, ms[0].root, ms[0].subst);
+  ASSERT_TRUE(rhs.has_value());
+  eg.Merge(ms[0].root, *rhs);
+  eg.Rebuild();
+  EXPECT_TRUE(eg.Represents(
+      root, Expr::Mul(Expr::Const(2.0), Expr::Var("x"))));
+}
+
+TEST(Rewrite, GuardBlocksApplication) {
+  EGraph eg;
+  eg.AddExpr(Expr::Plus(Expr::Var("x"), Expr::Var("y")));
+  Rewrite rw = MakeRewrite(
+      "never", P::N(Op::kElemPlus, {P::V("?a"), P::V("?b")}),
+      P::N(Op::kElemPlus, {P::V("?b"), P::V("?a")}),
+      [](const EGraph&, const Subst&) { return false; });
+  std::vector<Match> ms = MatchAll(eg, *rw.lhs);
+  ASSERT_EQ(ms.size(), 1u);
+  EXPECT_FALSE(rw.guard(eg, ms[0].subst));
+}
+
+}  // namespace
+}  // namespace spores

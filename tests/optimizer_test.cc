@@ -1,0 +1,228 @@
+// Tests of the two optimizers: the SPORES pipeline (Fig 13) end to end on
+// the paper's workloads, and the SystemML-style heuristic baseline's rewrite
+// rules and guards.
+#include <gtest/gtest.h>
+
+#include "src/ir/parser.h"
+#include "src/ir/printer.h"
+#include "src/optimizer/heuristic_optimizer.h"
+#include "src/optimizer/spores_optimizer.h"
+#include "src/rules/rules_fusion.h"
+#include "src/runtime/kernels.h"
+#include "src/workloads/generators.h"
+#include "src/workloads/programs.h"
+
+namespace spores {
+namespace {
+
+// ---- Heuristic (SystemML-like) optimizer rewrites ----
+
+Catalog HeurCatalog() {
+  Catalog c;
+  c.Register("X", 30, 20, 0.3);
+  c.Register("Y", 30, 20);
+  c.Register("A", 30, 10);
+  c.Register("B", 10, 20);
+  c.Register("u", 30, 1);
+  c.Register("v", 20, 1);
+  c.Register("r", 1, 20);
+  c.Register("C", 10, 30);
+  c.Register("D", 20, 10);
+  return c;
+}
+
+std::string HeurOpt(const char* text) {
+  HeuristicOptimizer opt(OptLevel::kOpt2);
+  return ToString(opt.Optimize(ParseExpr(text).value(), HeurCatalog()));
+}
+
+TEST(Heuristic, BaseLevelIsIdentity) {
+  HeuristicOptimizer opt(OptLevel::kBase);
+  ExprPtr e = ParseExpr("sum(X * 1)").value();
+  EXPECT_TRUE(ExprEquals(opt.Optimize(e, HeurCatalog()), e));
+}
+
+TEST(Heuristic, RemovesMulOne) { EXPECT_EQ(HeurOpt("X * 1"), "X"); }
+TEST(Heuristic, RemovesAddZero) { EXPECT_EQ(HeurOpt("X + 0"), "X"); }
+TEST(Heuristic, SquaresSelfMul) { EXPECT_EQ(HeurOpt("X * X"), "X ^ 2"); }
+TEST(Heuristic, DoublesSelfAdd) { EXPECT_EQ(HeurOpt("X + X"), "2 * X"); }
+TEST(Heuristic, DoubleTranspose) { EXPECT_EQ(HeurOpt("t(t(X))"), "X"); }
+TEST(Heuristic, DoubleNeg) { EXPECT_EQ(HeurOpt("-(-X)"), "X"); }
+TEST(Heuristic, ConstantFolding) { EXPECT_EQ(HeurOpt("(3 - 2) * X"), "X"); }
+
+TEST(Heuristic, SumOfTranspose) { EXPECT_EQ(HeurOpt("sum(t(X))"), "sum(X)"); }
+TEST(Heuristic, SumOfRowSums) {
+  EXPECT_EQ(HeurOpt("sum(rowSums(X))"), "sum(X)");
+}
+TEST(Heuristic, PushSumOverAdd) {
+  EXPECT_EQ(HeurOpt("sum(X + Y)"), "sum(X) + sum(Y)");
+}
+TEST(Heuristic, PullScalarFromSum) {
+  EXPECT_EQ(HeurOpt("sum(3 * X)"), "3 * sum(X)");
+}
+TEST(Heuristic, ColSumsOfTranspose) {
+  EXPECT_EQ(HeurOpt("colSums(t(X))"), "t(rowSums(X))");
+}
+TEST(Heuristic, DotProductSum) {
+  EXPECT_EQ(HeurOpt("sum(u ^ 2)"), "t(u) %*% u");
+}
+TEST(Heuristic, ColSumsMVMult) {
+  EXPECT_EQ(HeurOpt("colSums(X * u)"), "t(u) %*% X");
+}
+TEST(Heuristic, RowSumsMVMult) {
+  EXPECT_EQ(HeurOpt("rowSums(X * r)"), "X %*% t(r)");
+}
+TEST(Heuristic, TransposeOfTransposedMatMul) {
+  // TransposeAggBinBinaryChains: t(t(C) %*% t(D)) -> D %*% C.
+  EXPECT_EQ(HeurOpt("t(t(C) %*% t(D))"), "D %*% C");
+}
+
+TEST(Heuristic, SumMatrixMultRewrites) {
+  EXPECT_EQ(HeurOpt("sum(A %*% B)"),
+            "sum(t(colSums(A)) * rowSums(B))");
+}
+
+TEST(Heuristic, SumMatrixMultBlockedByCse) {
+  // The PNMF trap (Sec 4.2): A%*%B shared elsewhere blocks the rewrite.
+  ExprPtr ab = Expr::MatMul(Expr::Var("A"), Expr::Var("B"));
+  ExprPtr e = Expr::Plus(Expr::Sum(ab), Expr::Sum(Expr::Mul(ab, ab)));
+  HeuristicOptimizer opt(OptLevel::kOpt2);
+  std::string out = ToString(opt.Optimize(e, HeurCatalog()));
+  EXPECT_EQ(out.find("colSums"), std::string::npos) << out;
+}
+
+TEST(Heuristic, FusesWsLoss) {
+  Catalog c;
+  c.Register("X", 30, 20, 0.1);
+  c.Register("U", 30, 4);
+  c.Register("V", 20, 4);
+  HeuristicOptimizer opt(OptLevel::kOpt2);
+  ExprPtr e = ParseExpr("sum((X - U %*% t(V))^2)").value();
+  EXPECT_EQ(ToString(opt.Optimize(e, c)), "wsloss(X, U, V)");
+}
+
+TEST(Heuristic, WsLossFailsOnPlusVariant) {
+  // The intro's point: syntactic fusion misses sum((X + UV^T)^2).
+  Catalog c;
+  c.Register("X", 30, 20, 0.1);
+  c.Register("U", 30, 4);
+  c.Register("V", 20, 4);
+  HeuristicOptimizer opt(OptLevel::kOpt2);
+  ExprPtr e = ParseExpr("sum((X + U %*% t(V))^2)").value();
+  EXPECT_EQ(ToString(opt.Optimize(e, c)).find("wsloss"), std::string::npos);
+}
+
+TEST(Fusion, SpropDetectedInChains) {
+  ExprPtr p = Expr::Var("p");
+  ExprPtr e = Expr::Mul(Expr::Mul(p, Expr::Minus(Expr::Const(1.0), p)),
+                        Expr::Var("r"));
+  EXPECT_EQ(ToString(ApplyFusion(e)), "sprop(p) * r");
+}
+
+TEST(Fusion, NormalizesNegativeCoefficients) {
+  ExprPtr e = Expr::Plus(Expr::Var("X"),
+                         Expr::Mul(Expr::Const(-1.0), Expr::Var("Y")));
+  EXPECT_EQ(ToString(ApplyFusion(e)), "X - Y");
+}
+
+// ---- SPORES pipeline on the paper's workloads ----
+
+struct PipelineCase {
+  const char* name;
+  bool factorization_data;  // else regression data
+};
+
+class PipelineNumerics : public ::testing::TestWithParam<int> {};
+
+TEST_P(PipelineNumerics, OptimizedPlanMatchesOriginal) {
+  std::vector<Program> programs = AllPrograms();
+  programs.push_back(IntroProgram());
+  const Program& prog = programs[static_cast<size_t>(GetParam())];
+  bool regression =
+      prog.name == "GLM" || prog.name == "SVM" || prog.name == "MLR";
+  WorkloadData data = regression
+                          ? MakeRegressionData(300, 120, 0.05, 31)
+                          : MakeFactorizationData(250, 200, 6, 0.02, 31);
+  SporesOptimizer opt;
+  OptimizeReport report;
+  ExprPtr optimized = opt.Optimize(prog.expr, data.catalog, &report);
+  auto expected = Execute(prog.expr, data.inputs);
+  auto actual = Execute(optimized, data.inputs);
+  ASSERT_TRUE(expected.ok());
+  ASSERT_TRUE(actual.ok()) << prog.name << ": " << ToString(optimized);
+  double scale = 1.0 + std::abs(SumAll(expected.value()));
+  EXPECT_LT(Matrix::MaxAbsDiff(expected.value(), actual.value()),
+            1e-7 * scale)
+      << prog.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSix, PipelineNumerics, ::testing::Range(0, 6));
+
+TEST(Pipeline, AlsExploitsSparsity) {
+  WorkloadData data = MakeFactorizationData(400, 300, 8, 0.02, 7);
+  SporesOptimizer opt;
+  OptimizeReport report;
+  opt.Optimize(AlsProgram().expr, data.catalog, &report);
+  EXPECT_FALSE(report.used_fallback) << report.fallback_reason;
+  // Model cost must drop dramatically (paper: up to 5X wall clock).
+  EXPECT_LT(report.plan_cost, report.original_cost / 5);
+}
+
+TEST(Pipeline, PnmfAvoidsDenseProductDespiteCse) {
+  WorkloadData data = MakeFactorizationData(400, 300, 8, 0.02, 7);
+  SporesOptimizer opt;
+  OptimizeReport report;
+  ExprPtr optimized = opt.Optimize(PnmfProgram().expr, data.catalog, &report);
+  EXPECT_FALSE(report.used_fallback);
+  EXPECT_LT(report.plan_cost, report.original_cost / 10);
+  // The heuristic is blocked by its CSE guard on the same program.
+  HeuristicOptimizer heur(OptLevel::kOpt2);
+  ExprPtr hopt = heur.Optimize(PnmfProgram().expr, data.catalog);
+  EXPECT_EQ(ToString(hopt).find("colSums"), std::string::npos);
+}
+
+TEST(Pipeline, MlrFindsSprop) {
+  WorkloadData data = MakeRegressionData(500, 200, 0.05, 7);
+  SporesOptimizer opt;
+  ExprPtr optimized = opt.Optimize(MlrProgram().expr, data.catalog);
+  EXPECT_NE(ToString(optimized).find("sprop"), std::string::npos)
+      << ToString(optimized);
+}
+
+TEST(Pipeline, GreedyExtractionAlsoWorks) {
+  WorkloadData data = MakeFactorizationData(300, 200, 6, 0.02, 7);
+  SporesConfig cfg;
+  cfg.extraction = ExtractionStrategy::kGreedy;
+  SporesOptimizer opt(cfg);
+  OptimizeReport report;
+  ExprPtr optimized = opt.Optimize(AlsProgram().expr, data.catalog, &report);
+  EXPECT_FALSE(report.used_fallback);
+  auto r0 = Execute(AlsProgram().expr, data.inputs);
+  auto r1 = Execute(optimized, data.inputs);
+  ASSERT_TRUE(r0.ok());
+  ASSERT_TRUE(r1.ok());
+  EXPECT_LT(Matrix::MaxAbsDiff(r0.value(), r1.value()), 1e-8);
+}
+
+TEST(Pipeline, FallbackReturnsOriginalOnUnknownInput) {
+  Catalog empty;
+  SporesOptimizer opt;
+  OptimizeReport report;
+  ExprPtr e = ParseExpr("Q %*% R").value();
+  ExprPtr out = opt.Optimize(e, empty, &report);
+  EXPECT_TRUE(report.used_fallback);
+  EXPECT_TRUE(ExprEquals(out, e));
+}
+
+TEST(Pipeline, ReportBreaksDownCompileTime) {
+  WorkloadData data = MakeRegressionData(200, 100, 0.05, 7);
+  SporesOptimizer opt;
+  OptimizeReport report;
+  opt.Optimize(GlmProgram().expr, data.catalog, &report);
+  EXPECT_GT(report.saturate_seconds, 0.0);
+  EXPECT_GT(report.extract_seconds, 0.0);
+  EXPECT_GT(report.TotalSeconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace spores

@@ -1,0 +1,296 @@
+// Tests of the R_EQ ruleset (Fig 3) and the RA class analysis (Sec 3.2):
+// per-rule derivations inside the e-graph, plus a property suite that checks
+// saturation soundness by executing extracted plans against the original on
+// random inputs.
+#include <gtest/gtest.h>
+
+#include "src/canon/isomorphism.h"
+#include "src/cost/cost_model.h"
+#include "src/egraph/runner.h"
+#include "src/egraph/term_extract.h"
+#include "src/extract/extractor.h"
+#include "src/ir/parser.h"
+#include "src/ir/printer.h"
+#include "src/rules/rules_eq.h"
+#include "src/rules/rules_lr.h"
+#include "src/runtime/executor.h"
+
+namespace spores {
+namespace {
+
+struct Fixture {
+  Catalog catalog;
+  std::shared_ptr<DimEnv> dims = std::make_shared<DimEnv>();
+  RaContext ctx;
+  std::unique_ptr<EGraph> egraph;
+
+  Fixture() {
+    catalog.Register("X", 12, 9, 0.4);
+    catalog.Register("Y", 12, 9);
+    catalog.Register("Z", 12, 9, 0.0);  // empty matrix
+    catalog.Register("A", 12, 6);
+    catalog.Register("B", 6, 9);
+    catalog.Register("u", 12, 1);
+    catalog.Register("v", 9, 1);
+    ctx = RaContext{&catalog, dims};
+    egraph = std::make_unique<EGraph>(std::make_unique<RaAnalysis>(ctx));
+  }
+
+  // Translate LA text, add to the graph, saturate, return root.
+  ClassId Saturate(const std::string& text, RaProgram* out_prog = nullptr) {
+    auto parsed = ParseExpr(text);
+    EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+    auto program = TranslateLaToRa(parsed.value(), catalog, dims);
+    EXPECT_TRUE(program.ok()) << program.status().ToString();
+    if (out_prog) *out_prog = program.value();
+    ClassId root = egraph->AddExpr(program.value().ra);
+    egraph->Rebuild();
+    RunnerConfig cfg;
+    cfg.max_iterations = 30;
+    Runner runner(egraph.get(), RaEqualityRules(ctx), cfg);
+    runner.Run();
+    return egraph->Find(root);
+  }
+};
+
+// ---- Analysis: schema invariant ----
+
+TEST(RaAnalysis, SchemaOfBind) {
+  Fixture f;
+  Symbol i = Symbol::Intern("si"), j = Symbol::Intern("sj");
+  f.dims->Set(i, 12);
+  f.dims->Set(j, 9);
+  ClassId c = f.egraph->AddExpr(Expr::Bind({i, j}, Expr::Var("X")));
+  EXPECT_EQ(f.egraph->Data(c).schema, (std::vector<Symbol>{
+                std::min(i, j), std::max(i, j)}));
+}
+
+TEST(RaAnalysis, SchemaOfJoinIsUnion) {
+  Fixture f;
+  Symbol i = Symbol::Intern("ji"), j = Symbol::Intern("jj");
+  f.dims->Set(i, 12);
+  f.dims->Set(j, 9);
+  ClassId c = f.egraph->AddExpr(
+      Expr::Join({Expr::Bind({i}, Expr::Var("u")),
+                  Expr::Bind({j}, Expr::Var("v"))}));
+  EXPECT_EQ(f.egraph->Data(c).schema.size(), 2u);
+}
+
+TEST(RaAnalysis, SchemaOfAggSubtracts) {
+  Fixture f;
+  Symbol i = Symbol::Intern("ai"), j = Symbol::Intern("aj");
+  f.dims->Set(i, 12);
+  f.dims->Set(j, 9);
+  ClassId c = f.egraph->AddExpr(
+      Expr::Agg({i}, Expr::Bind({i, j}, Expr::Var("X"))));
+  EXPECT_EQ(f.egraph->Data(c).schema, std::vector<Symbol>{j});
+}
+
+// ---- Analysis: sparsity (Fig 12) ----
+
+TEST(RaAnalysis, SparsityJoinTakesMin) {
+  Fixture f;
+  Symbol i = Symbol::Intern("spi"), j = Symbol::Intern("spj");
+  f.dims->Set(i, 12);
+  f.dims->Set(j, 9);
+  ClassId c = f.egraph->AddExpr(
+      Expr::Join({Expr::Bind({i, j}, Expr::Var("X")),   // 0.4
+                  Expr::Bind({i, j}, Expr::Var("Y"))})); // 1.0
+  EXPECT_DOUBLE_EQ(f.egraph->Data(c).sparsity, 0.4);
+}
+
+TEST(RaAnalysis, SparsityUnionAddsSaturating) {
+  Fixture f;
+  Symbol i = Symbol::Intern("sui"), j = Symbol::Intern("suj");
+  f.dims->Set(i, 12);
+  f.dims->Set(j, 9);
+  ClassId c = f.egraph->AddExpr(
+      Expr::Union({Expr::Bind({i, j}, Expr::Var("X")),
+                   Expr::Bind({i, j}, Expr::Var("Y"))}));
+  EXPECT_DOUBLE_EQ(f.egraph->Data(c).sparsity, 1.0);  // min(1, 0.4 + 1.0)
+}
+
+TEST(RaAnalysis, SparsityAggScalesByDim) {
+  Fixture f;
+  Symbol i = Symbol::Intern("sai"), j = Symbol::Intern("saj");
+  f.dims->Set(i, 12);
+  f.dims->Set(j, 9);
+  ClassId bound = f.egraph->AddExpr(Expr::Bind({i, j}, Expr::Var("X")));
+  (void)bound;
+  ClassId c = f.egraph->AddExpr(
+      Expr::Agg({j}, Expr::Bind({i, j}, Expr::Var("X"))));
+  // min(1, |j| * 0.4) = 1.
+  EXPECT_DOUBLE_EQ(f.egraph->Data(c).sparsity, 1.0);
+}
+
+TEST(RaAnalysis, SparsityMergeKeepsTighter) {
+  Fixture f;
+  ClassId a = f.egraph->AddExpr(Expr::Var("X"));  // 0.4
+  ClassId b = f.egraph->AddExpr(Expr::Var("Y"));  // 1.0
+  f.egraph->Merge(a, b);
+  f.egraph->Rebuild();
+  EXPECT_DOUBLE_EQ(f.egraph->Data(a).sparsity, 0.4);
+}
+
+// ---- Analysis: constant folding ----
+
+TEST(RaAnalysis, ConstantFoldJoin) {
+  Fixture f;
+  ClassId c = f.egraph->AddExpr(
+      Expr::Join({Expr::Const(3.0), Expr::Const(4.0)}));
+  ASSERT_TRUE(f.egraph->Data(c).constant.has_value());
+  EXPECT_DOUBLE_EQ(*f.egraph->Data(c).constant, 12.0);
+  // Modify materialized the folded kConst node.
+  EXPECT_TRUE(f.egraph->Represents(c, Expr::Const(12.0)));
+}
+
+TEST(RaAnalysis, ConstantFoldAggMultipliesByDims) {
+  Fixture f;
+  Symbol i = Symbol::Intern("cfi");
+  f.dims->Set(i, 7);
+  ClassId c = f.egraph->AddExpr(Expr::Agg({i}, Expr::Const(5.0)));
+  ASSERT_TRUE(f.egraph->Data(c).constant.has_value());
+  EXPECT_DOUBLE_EQ(*f.egraph->Data(c).constant, 35.0);  // rule 5: 5 * dim(i)
+}
+
+TEST(RaAnalysis, EmptyInputIsConstantZero) {
+  Fixture f;
+  ClassId c = f.egraph->AddExpr(Expr::Var("Z"));  // sparsity 0
+  ASSERT_TRUE(f.egraph->Data(c).constant.has_value());
+  EXPECT_DOUBLE_EQ(*f.egraph->Data(c).constant, 0.0);
+}
+
+// ---- Rule derivations (is the RHS in the saturated graph?) ----
+
+TEST(RulesEq, DistributivityDerived) {
+  Fixture f;
+  RaProgram prog;
+  ClassId root = f.Saturate("X * (Y + X)", &prog);
+  // Distributed form: X*Y + X*X.
+  auto rhs = TranslateLaToRa(ParseExpr("X * Y + X * X").value(), f.catalog,
+                             f.dims, prog.out_row, prog.out_col);
+  ASSERT_TRUE(rhs.ok());
+  EXPECT_TRUE(AlphaRepresents(*f.egraph, root, rhs.value().ra));
+}
+
+TEST(RulesEq, FactoringDerived) {
+  Fixture f;
+  RaProgram prog;
+  ClassId root = f.Saturate("X * Y + X * X", &prog);
+  auto rhs = TranslateLaToRa(ParseExpr("X * (Y + X)").value(), f.catalog,
+                             f.dims, prog.out_row, prog.out_col);
+  ASSERT_TRUE(rhs.ok());
+  EXPECT_TRUE(AlphaRepresents(*f.egraph, root, rhs.value().ra));
+}
+
+TEST(RulesEq, AggOverUnionDerived) {
+  Fixture f;
+  RaProgram prog;
+  ClassId root = f.Saturate("sum(X + Y)", &prog);
+  auto rhs = TranslateLaToRa(ParseExpr("sum(X) + sum(Y)").value(), f.catalog,
+                             f.dims, prog.out_row, prog.out_col);
+  ASSERT_TRUE(rhs.ok());
+  EXPECT_TRUE(AlphaRepresents(*f.egraph, root, rhs.value().ra));
+}
+
+TEST(RulesEq, ConstantPullsOutOfSum) {
+  Fixture f;
+  RaProgram prog;
+  ClassId root = f.Saturate("sum(3 * X)", &prog);
+  auto rhs = TranslateLaToRa(ParseExpr("3 * sum(X)").value(), f.catalog,
+                             f.dims, prog.out_row, prog.out_col);
+  ASSERT_TRUE(rhs.ok());
+  EXPECT_TRUE(AlphaRepresents(*f.egraph, root, rhs.value().ra));
+}
+
+TEST(RulesEq, SelfUnionBecomesCoefficient) {
+  Fixture f;
+  RaProgram prog;
+  ClassId root = f.Saturate("X + X", &prog);
+  auto rhs = TranslateLaToRa(ParseExpr("2 * X").value(), f.catalog, f.dims,
+                             prog.out_row, prog.out_col);
+  ASSERT_TRUE(rhs.ok());
+  EXPECT_TRUE(AlphaRepresents(*f.egraph, root, rhs.value().ra));
+}
+
+TEST(RulesEq, MinusSelfIsZero) {
+  Fixture f;
+  ClassId root = f.Saturate("sum(X - X)");
+  EXPECT_TRUE(f.egraph->Represents(root, Expr::Const(0.0)));
+}
+
+TEST(RulesEq, EmptyMatrixSumIsZero) {
+  Fixture f;
+  ClassId root = f.Saturate("sum(Z * Y)");  // Z has zero nnz
+  EXPECT_TRUE(f.egraph->Represents(root, Expr::Const(0.0)));
+}
+
+TEST(RulesEq, SpropIntroduced) {
+  Fixture f;
+  ClassId root = f.Saturate("u * u - u * u * u");
+  // Some class in root's e-class should be a kSProp node times u.
+  bool found = false;
+  for (const ENode& n : f.egraph->GetClass(root).nodes) {
+    if (n.op == Op::kJoin) {
+      for (ClassId c : n.children) {
+        for (const ENode& m : f.egraph->GetClass(c).nodes) {
+          if (m.op == Op::kSProp) found = true;
+        }
+      }
+    }
+    if (n.op == Op::kSProp) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+// ---- Soundness property: every extractable plan evaluates identically ----
+
+class RuleSoundness : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RuleSoundness, ExtractedPlansMatchOriginal) {
+  Fixture f;
+  RaProgram prog;
+  ClassId root = f.Saturate(GetParam(), &prog);
+
+  Rng rng(2024);
+  Bindings inputs;
+  inputs.Bind("X", Matrix::RandomSparse(12, 9, 0.4, rng, -1, 1));
+  inputs.Bind("Y", Matrix::RandomDense(12, 9, rng, -1, 1));
+  inputs.Bind("Z", Matrix::Sparse(12, 9));
+  inputs.Bind("A", Matrix::RandomDense(12, 6, rng, -1, 1));
+  inputs.Bind("B", Matrix::RandomDense(6, 9, rng, -1, 1));
+  inputs.Bind("u", Matrix::RandomDense(12, 1, rng, 0.1, 0.9));
+  inputs.Bind("v", Matrix::RandomDense(9, 1, rng, -1, 1));
+
+  ExprPtr original = ParseExpr(GetParam()).value();
+  auto expected = Execute(original, inputs);
+  ASSERT_TRUE(expected.ok());
+
+  // Greedy and ILP extraction must both produce equivalent plans.
+  CostModel cost(f.ctx);
+  for (bool use_ilp : {false, true}) {
+    auto extracted = use_ilp ? IlpExtract(*f.egraph, root, cost)
+                             : GreedyExtract(*f.egraph, root, cost);
+    ASSERT_TRUE(extracted.ok()) << extracted.status().ToString();
+    auto lowered =
+        TranslateRaToLa(extracted.value().expr, prog, f.catalog);
+    ASSERT_TRUE(lowered.ok()) << lowered.status().ToString();
+    auto actual = Execute(lowered.value(), inputs);
+    ASSERT_TRUE(actual.ok()) << actual.status().ToString();
+    EXPECT_LT(Matrix::MaxAbsDiff(expected.value(), actual.value()), 1e-8)
+        << GetParam() << " (ilp=" << use_ilp << ") extracted as "
+        << ToString(lowered.value());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Programs, RuleSoundness,
+    ::testing::Values("sum(X * Y)", "sum(X + Y)", "X * (Y + X)",
+                      "sum((X - Y) ^ 2)", "A %*% B %*% v",
+                      "t(X) %*% (u - X %*% v)", "sum(A %*% B)",
+                      "colSums(X * Y)", "rowSums(X) + rowSums(Y)",
+                      "sum(3 * X) + sum(Y - Y)", "u * u - u * u * u",
+                      "(A %*% B - X) %*% v", "t(u) %*% X %*% v"));
+
+}  // namespace
+}  // namespace spores

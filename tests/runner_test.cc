@@ -1,0 +1,148 @@
+// Tests of the saturation runner: convergence detection, stop reasons, and
+// the depth-first vs sampling strategies (Sec 3.1).
+#include <gtest/gtest.h>
+
+#include "src/egraph/runner.h"
+#include "src/ir/expr.h"
+
+namespace spores {
+namespace {
+
+using P = Pattern;
+
+// A tiny confluent system: t(t(x)) -> x.
+Rewrite DoubleTranspose() {
+  return MakeRewrite("tt", P::N(Op::kTranspose, {P::N(Op::kTranspose,
+                                                      {P::V("?a")})}),
+                     P::V("?a"));
+}
+
+// Expansive system: commutativity of +.
+Rewrite CommPlus() {
+  return MakeRewrite("comm",
+                     P::N(Op::kElemPlus, {P::V("?a"), P::V("?b")}),
+                     P::N(Op::kElemPlus, {P::V("?b"), P::V("?a")}), nullptr,
+                     /*expansive=*/true);
+}
+
+ExprPtr DeepTranspose(int depth) {
+  ExprPtr e = Expr::Var("x");
+  for (int i = 0; i < depth; ++i) e = Expr::Transpose(e);
+  return e;
+}
+
+TEST(Runner, ConvergesOnFixpointSystem) {
+  EGraph eg;
+  ClassId root = eg.AddExpr(DeepTranspose(6));
+  Runner runner(&eg, {DoubleTranspose()});
+  RunnerReport report = runner.Run();
+  EXPECT_EQ(report.stop_reason, StopReason::kSaturated);
+  EXPECT_TRUE(eg.Represents(root, Expr::Var("x")));
+}
+
+TEST(Runner, OddTransposeKeepsOneLayer) {
+  EGraph eg;
+  ClassId root = eg.AddExpr(DeepTranspose(5));
+  Runner runner(&eg, {DoubleTranspose()});
+  runner.Run();
+  EXPECT_TRUE(eg.Represents(root, Expr::Transpose(Expr::Var("x"))));
+  EXPECT_FALSE(eg.Represents(root, Expr::Var("x")));
+}
+
+TEST(Runner, IterationLimitRespected) {
+  EGraph eg;
+  // A chain of sums commutativity can shuffle forever-ish.
+  ExprPtr e = Expr::Var("a");
+  for (int i = 0; i < 6; ++i) {
+    e = Expr::Plus(e, Expr::Var(("v" + std::to_string(i)).c_str()));
+  }
+  eg.AddExpr(e);
+  RunnerConfig cfg;
+  cfg.max_iterations = 2;
+  cfg.strategy = SaturationStrategy::kDepthFirst;
+  Runner runner(&eg, {CommPlus()}, cfg);
+  RunnerReport report = runner.Run();
+  EXPECT_LE(report.iterations, 2u);
+}
+
+TEST(Runner, NodeLimitStopsExplosion) {
+  EGraph eg;
+  ExprPtr e = Expr::Var("a");
+  for (int i = 0; i < 10; ++i) {
+    e = Expr::Plus(e, Expr::Var(("w" + std::to_string(i)).c_str()));
+  }
+  eg.AddExpr(e);
+  RunnerConfig cfg;
+  cfg.max_nodes = 60;
+  cfg.max_iterations = 50;
+  cfg.strategy = SaturationStrategy::kDepthFirst;
+  // Assoc+comm explode the permutation space.
+  std::vector<Rewrite> rules = {
+      CommPlus(),
+      MakeRewrite("assoc",
+                  P::N(Op::kElemPlus,
+                       {P::N(Op::kElemPlus, {P::V("?a"), P::V("?b")}),
+                        P::V("?c")}),
+                  P::N(Op::kElemPlus,
+                       {P::V("?a"),
+                        P::N(Op::kElemPlus, {P::V("?b"), P::V("?c")})}),
+                  nullptr, true)};
+  Runner runner(&eg, rules, cfg);
+  RunnerReport report = runner.Run();
+  EXPECT_EQ(report.stop_reason, StopReason::kNodeLimit);
+}
+
+TEST(Runner, SamplingAppliesFewerMatchesPerIteration) {
+  auto run = [](SaturationStrategy strategy) {
+    EGraph eg;
+    ExprPtr e = Expr::Var("a");
+    for (int i = 0; i < 8; ++i) {
+      e = Expr::Plus(e, Expr::Var(("u" + std::to_string(i)).c_str()));
+    }
+    eg.AddExpr(e);
+    RunnerConfig cfg;
+    cfg.strategy = strategy;
+    cfg.max_iterations = 3;
+    cfg.expansive_match_limit = 2;
+    cfg.max_nodes = 100000;
+    Runner runner(&eg, {CommPlus()}, cfg);
+    return runner.Run();
+  };
+  RunnerReport sampled = run(SaturationStrategy::kSampling);
+  RunnerReport dfs = run(SaturationStrategy::kDepthFirst);
+  EXPECT_LT(sampled.applied_matches, dfs.applied_matches);
+}
+
+TEST(Runner, SamplingStillConvergesOnConfluentSystem) {
+  // Sec 4.3: "sampling always preserves convergence in practice".
+  EGraph eg;
+  ClassId root = eg.AddExpr(DeepTranspose(8));
+  RunnerConfig cfg;
+  cfg.strategy = SaturationStrategy::kSampling;
+  cfg.match_limit_per_rule = 1;  // extreme throttling
+  cfg.max_iterations = 50;
+  Runner runner(&eg, {DoubleTranspose()}, cfg);
+  RunnerReport report = runner.Run();
+  EXPECT_EQ(report.stop_reason, StopReason::kSaturated);
+  EXPECT_TRUE(eg.Represents(root, Expr::Var("x")));
+}
+
+TEST(Runner, ReportToStringMentionsReason) {
+  EGraph eg;
+  eg.AddExpr(Expr::Var("x"));
+  Runner runner(&eg, {DoubleTranspose()});
+  RunnerReport report = runner.Run();
+  EXPECT_NE(report.ToString().find("converged"), std::string::npos);
+}
+
+TEST(Runner, EmptyRuleSetSaturatesImmediately) {
+  EGraph eg;
+  eg.AddExpr(Expr::Var("x"));
+  Runner runner(&eg, {});
+  RunnerReport report = runner.Run();
+  EXPECT_EQ(report.stop_reason, StopReason::kSaturated);
+  EXPECT_EQ(report.applied_matches, 0u);
+}
+
+}  // namespace
+}  // namespace spores

@@ -1,0 +1,330 @@
+// Tests of the execution substrate: dense/CSR matrices, kernels (with
+// broadcast and sparse fast paths), fused operators, and the DAG executor.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/ir/parser.h"
+#include "src/runtime/executor.h"
+#include "src/runtime/fused.h"
+#include "src/runtime/kernels.h"
+
+namespace spores {
+namespace {
+
+Matrix SmallDense() {
+  return Matrix::FromValues(2, 3, {1, 2, 3, 4, 5, 6});
+}
+
+TEST(Matrix, DenseConstruction) {
+  Matrix m = SmallDense();
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_FALSE(m.is_sparse());
+  EXPECT_DOUBLE_EQ(m.At(1, 2), 6);
+  EXPECT_EQ(m.Nnz(), 6);
+}
+
+TEST(Matrix, TripletsBuildCsr) {
+  Matrix m = Matrix::FromTriplets(3, 3, {{0, 1, 2.0}, {2, 0, 5.0},
+                                         {0, 1, 3.0}});  // duplicate sums
+  EXPECT_TRUE(m.is_sparse());
+  EXPECT_DOUBLE_EQ(m.At(0, 1), 5.0);
+  EXPECT_DOUBLE_EQ(m.At(2, 0), 5.0);
+  EXPECT_DOUBLE_EQ(m.At(1, 1), 0.0);
+  EXPECT_EQ(m.Nnz(), 2);
+}
+
+TEST(Matrix, TripletsDropExplicitZeros) {
+  Matrix m = Matrix::FromTriplets(2, 2, {{0, 0, 0.0}, {1, 1, 3.0}});
+  EXPECT_EQ(m.Nnz(), 1);
+}
+
+TEST(Matrix, DenseSparseRoundTrip) {
+  Matrix d = SmallDense();
+  Matrix s = d.ToSparse();
+  EXPECT_TRUE(s.is_sparse());
+  EXPECT_DOUBLE_EQ(Matrix::MaxAbsDiff(d, s.ToDense()), 0.0);
+}
+
+TEST(Matrix, RandomSparseRespectsDensityRoughly) {
+  Rng rng(5);
+  Matrix m = Matrix::RandomSparse(200, 200, 0.1, rng);
+  double density = static_cast<double>(m.Nnz()) / m.size();
+  EXPECT_NEAR(density, 0.1, 0.02);
+}
+
+TEST(Matrix, ScalarHelpers) {
+  Matrix s = Matrix::Scalar(4.25);
+  EXPECT_TRUE(s.IsScalar());
+  EXPECT_DOUBLE_EQ(s.AsScalar(), 4.25);
+}
+
+// ---- Kernels ----
+
+TEST(Kernels, AddDense) {
+  Matrix r = Add(SmallDense(), SmallDense());
+  EXPECT_DOUBLE_EQ(r.At(1, 2), 12.0);
+}
+
+TEST(Kernels, SubSparseSparse) {
+  Rng rng(6);
+  Matrix a = Matrix::RandomSparse(30, 20, 0.2, rng);
+  Matrix r = Sub(a, a);
+  EXPECT_EQ(r.Nnz(), 0);
+}
+
+TEST(Kernels, MulSparsePathPreservesSupport) {
+  Rng rng(7);
+  Matrix sp = Matrix::RandomSparse(40, 30, 0.1, rng);
+  Matrix dn = Matrix::RandomDense(40, 30, rng, 1.0, 2.0);
+  Matrix r = Mul(sp, dn);
+  EXPECT_TRUE(r.is_sparse());
+  EXPECT_LE(r.Nnz(), sp.Nnz());
+  EXPECT_LT(Matrix::MaxAbsDiff(r, Mul(sp.ToDense(), dn)), 1e-12);
+}
+
+TEST(Kernels, BroadcastScalar) {
+  Matrix r = Mul(SmallDense(), Matrix::Scalar(2.0));
+  EXPECT_DOUBLE_EQ(r.At(1, 0), 8.0);
+  r = Add(Matrix::Scalar(1.0), SmallDense());
+  EXPECT_DOUBLE_EQ(r.At(0, 0), 2.0);
+}
+
+TEST(Kernels, BroadcastColVector) {
+  Matrix v = Matrix::FromValues(2, 1, {10, 100});
+  Matrix r = Mul(SmallDense(), v);
+  EXPECT_DOUBLE_EQ(r.At(0, 2), 30.0);
+  EXPECT_DOUBLE_EQ(r.At(1, 0), 400.0);
+}
+
+TEST(Kernels, BroadcastRowVector) {
+  Matrix v = Matrix::FromValues(1, 3, {1, 10, 100});
+  Matrix r = Mul(SmallDense(), v);
+  EXPECT_DOUBLE_EQ(r.At(1, 1), 50.0);
+  EXPECT_DOUBLE_EQ(r.At(0, 2), 300.0);
+}
+
+TEST(Kernels, OuterBroadcastAdd) {
+  Matrix col = Matrix::FromValues(2, 1, {1, 2});
+  Matrix row = Matrix::FromValues(1, 3, {10, 20, 30});
+  Matrix r = Add(col, row);
+  EXPECT_EQ(r.rows(), 2);
+  EXPECT_EQ(r.cols(), 3);
+  EXPECT_DOUBLE_EQ(r.At(1, 2), 32.0);
+}
+
+TEST(Kernels, DivSparseNumerator) {
+  Rng rng(8);
+  Matrix sp = Matrix::RandomSparse(20, 20, 0.2, rng, 1.0, 2.0);
+  Matrix dn = Matrix::RandomDense(20, 20, rng, 1.0, 2.0);
+  Matrix r = Div(sp, dn);
+  EXPECT_TRUE(r.is_sparse());
+  EXPECT_LT(Matrix::MaxAbsDiff(r, Div(sp.ToDense(), dn)), 1e-12);
+}
+
+TEST(Kernels, MatMulAllRepresentationCombos) {
+  Rng rng(9);
+  Matrix a_d = Matrix::RandomDense(12, 7, rng, -1, 1);
+  Matrix b_d = Matrix::RandomDense(7, 9, rng, -1, 1);
+  Matrix a_s = Matrix::RandomSparse(12, 7, 0.3, rng, -1, 1);
+  Matrix b_s = Matrix::RandomSparse(7, 9, 0.3, rng, -1, 1);
+  Matrix want_ss = MatMul(a_s.ToDense(), b_s.ToDense());
+  EXPECT_LT(Matrix::MaxAbsDiff(MatMul(a_s, b_s), want_ss), 1e-10);
+  Matrix want_sd = MatMul(a_s.ToDense(), b_d);
+  EXPECT_LT(Matrix::MaxAbsDiff(MatMul(a_s, b_d), want_sd), 1e-10);
+  Matrix want_ds = MatMul(a_d, b_s.ToDense());
+  EXPECT_LT(Matrix::MaxAbsDiff(MatMul(a_d, b_s), want_ds), 1e-10);
+}
+
+TEST(Kernels, MatMulKnownValues) {
+  Matrix a = Matrix::FromValues(2, 2, {1, 2, 3, 4});
+  Matrix b = Matrix::FromValues(2, 2, {5, 6, 7, 8});
+  Matrix r = MatMul(a, b);
+  EXPECT_DOUBLE_EQ(r.At(0, 0), 19);
+  EXPECT_DOUBLE_EQ(r.At(0, 1), 22);
+  EXPECT_DOUBLE_EQ(r.At(1, 0), 43);
+  EXPECT_DOUBLE_EQ(r.At(1, 1), 50);
+}
+
+TEST(Kernels, TransposeBothReps) {
+  Matrix d = SmallDense();
+  EXPECT_DOUBLE_EQ(Transpose(d).At(2, 1), 6.0);
+  Matrix s = d.ToSparse();
+  EXPECT_DOUBLE_EQ(Matrix::MaxAbsDiff(Transpose(s).ToDense(), Transpose(d)),
+                   0.0);
+}
+
+TEST(Kernels, Aggregates) {
+  Matrix d = SmallDense();
+  EXPECT_DOUBLE_EQ(SumAll(d), 21.0);
+  EXPECT_DOUBLE_EQ(RowSums(d).At(0, 0), 6.0);
+  EXPECT_DOUBLE_EQ(RowSums(d).At(1, 0), 15.0);
+  EXPECT_DOUBLE_EQ(ColSums(d).At(0, 1), 7.0);
+  Matrix s = d.ToSparse();
+  EXPECT_DOUBLE_EQ(SumAll(s), 21.0);
+  EXPECT_DOUBLE_EQ(Matrix::MaxAbsDiff(RowSums(s), RowSums(d)), 0.0);
+  EXPECT_DOUBLE_EQ(Matrix::MaxAbsDiff(ColSums(s), ColSums(d)), 0.0);
+}
+
+TEST(Kernels, PowAndUnary) {
+  Matrix d = SmallDense();
+  EXPECT_DOUBLE_EQ(PowElem(d, 2.0).At(1, 2), 36.0);
+  EXPECT_DOUBLE_EQ(Unary("abs", Scale(d, -1.0)).At(0, 1), 2.0);
+  EXPECT_NEAR(Unary("sigmoid", Matrix::Scalar(0.0)).AsScalar(), 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(Unary("sign", Matrix::Scalar(-3.0)).AsScalar(), -1.0);
+}
+
+TEST(Kernels, UnarySparseZeroPreserving) {
+  Rng rng(10);
+  Matrix sp = Matrix::RandomSparse(20, 20, 0.1, rng, 1.0, 4.0);
+  Matrix r = Unary("sqrt", sp);
+  EXPECT_TRUE(r.is_sparse());
+  EXPECT_EQ(r.Nnz(), sp.Nnz());
+}
+
+TEST(Kernels, UnaryDensifying) {
+  Rng rng(10);
+  Matrix sp = Matrix::RandomSparse(10, 10, 0.1, rng);
+  Matrix r = Unary("exp", sp);
+  EXPECT_FALSE(r.is_sparse());
+  EXPECT_DOUBLE_EQ(r.At(0, 0) > 0, true);
+}
+
+// ---- Fused operators ----
+
+TEST(Fused, WsLossMatchesNaive) {
+  Rng rng(11);
+  Matrix x = Matrix::RandomSparse(30, 25, 0.15, rng, -1, 1);
+  Matrix u = Matrix::RandomDense(30, 4, rng, -1, 1);
+  Matrix v = Matrix::RandomDense(25, 4, rng, -1, 1);
+  Matrix residual = Sub(x.ToDense(), MatMul(u, Transpose(v)));
+  double naive = SumAll(Mul(residual, residual));
+  EXPECT_NEAR(WsLoss(x, u, v), naive, 1e-8 * std::abs(naive) + 1e-8);
+}
+
+TEST(Fused, WsLossDenseX) {
+  Rng rng(12);
+  Matrix x = Matrix::RandomDense(10, 8, rng, -1, 1);
+  Matrix u = Matrix::RandomDense(10, 3, rng, -1, 1);
+  Matrix v = Matrix::RandomDense(8, 3, rng, -1, 1);
+  Matrix residual = Sub(x, MatMul(u, Transpose(v)));
+  double naive = SumAll(Mul(residual, residual));
+  EXPECT_NEAR(WsLoss(x, u, v), naive, 1e-8);
+}
+
+TEST(Fused, SPropMatchesDefinition) {
+  Rng rng(13);
+  Matrix p = Matrix::RandomDense(15, 5, rng, 0.01, 0.99);
+  Matrix expected = Mul(p, Sub(Matrix::Scalar(1.0), p));
+  EXPECT_LT(Matrix::MaxAbsDiff(SProp(p), expected), 1e-12);
+}
+
+TEST(Fused, SPropSparsePreservesSupport) {
+  Rng rng(14);
+  Matrix p = Matrix::RandomSparse(20, 20, 0.1, rng, 0.2, 0.8);
+  Matrix r = SProp(p);
+  EXPECT_TRUE(r.is_sparse());
+  EXPECT_EQ(r.Nnz(), p.Nnz());
+}
+
+TEST(Fused, MMChainMatchesLeftFold) {
+  Rng rng(15);
+  std::vector<Matrix> chain = {Matrix::RandomDense(6, 20, rng, -1, 1),
+                               Matrix::RandomDense(20, 4, rng, -1, 1),
+                               Matrix::RandomDense(4, 18, rng, -1, 1),
+                               Matrix::RandomDense(18, 3, rng, -1, 1)};
+  Matrix fold = chain[0];
+  for (size_t i = 1; i < chain.size(); ++i) fold = MatMul(fold, chain[i]);
+  EXPECT_LT(Matrix::MaxAbsDiff(MMChain(chain), fold), 1e-9);
+}
+
+// ---- Executor ----
+
+TEST(Executor, EvaluatesParsedExpression) {
+  Bindings b;
+  b.Bind("X", SmallDense());
+  auto e = ParseExpr("sum(X * 2)");
+  ASSERT_TRUE(e.ok());
+  auto r = Execute(e.value(), b);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.value().AsScalar(), 42.0);
+}
+
+TEST(Executor, UnboundInputFails) {
+  Bindings b;
+  auto r = Execute(Expr::Var("missing"), b);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(Executor, SharedNodesEvaluateOnce) {
+  Bindings b;
+  Rng rng(16);
+  b.Bind("A", Matrix::RandomDense(10, 10, rng));
+  ExprPtr shared = Expr::MatMul(Expr::Var("A"), Expr::Var("A"));
+  ExprPtr e = Expr::Plus(Expr::Sum(shared), Expr::Sum(shared));
+  ExecStats stats;
+  auto r = Execute(e, b, &stats);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GE(stats.cse_hits, 1u);
+}
+
+TEST(Executor, MatMulChainUsesOptimalOrder) {
+  // (big x small) chain: peak allocation must reflect the optimal order.
+  Rng rng(17);
+  Bindings b;
+  b.Bind("U", Matrix::RandomDense(500, 4, rng));
+  b.Bind("V", Matrix::RandomDense(300, 4, rng));
+  b.Bind("w", Matrix::RandomDense(300, 1, rng));
+  // U %*% t(V) %*% w evaluated right-to-left is tiny; left-to-right huge.
+  auto e = ParseExpr("U %*% t(V) %*% w");
+  ASSERT_TRUE(e.ok());
+  ExecStats stats;
+  auto r = Execute(e.value(), b, &stats);
+  ASSERT_TRUE(r.ok());
+  // Peak cells must be far below the 500x300 dense intermediate.
+  EXPECT_LT(stats.peak_cells_allocated, 30000.0);
+  // And numerics must match the naive order.
+  Matrix naive = MatMul(MatMul(b.Get(Symbol::Intern("U")),
+                               Transpose(b.Get(Symbol::Intern("V")))),
+                        b.Get(Symbol::Intern("w")));
+  EXPECT_LT(Matrix::MaxAbsDiff(r.value(), naive), 1e-9);
+}
+
+TEST(Executor, BindingsDeriveCatalog) {
+  Bindings b;
+  Rng rng(18);
+  b.Bind("S", Matrix::RandomSparse(50, 40, 0.1, rng));
+  Catalog c = b.ToCatalog();
+  ASSERT_TRUE(c.Has(Symbol::Intern("S")));
+  EXPECT_EQ(c.Get(Symbol::Intern("S")).shape, (Shape{50, 40}));
+  EXPECT_NEAR(c.Get(Symbol::Intern("S")).sparsity, 0.1, 0.05);
+}
+
+class ExecutorParsedSweep : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ExecutorParsedSweep, AgreesWithManualKernels) {
+  Rng rng(19);
+  Bindings b;
+  Matrix X = Matrix::RandomDense(9, 7, rng, -1, 1);
+  Matrix Y = Matrix::RandomDense(9, 7, rng, -1, 1);
+  b.Bind("X", X);
+  b.Bind("Y", Y);
+  auto e = ParseExpr(GetParam());
+  ASSERT_TRUE(e.ok());
+  auto r = Execute(e.value(), b);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().rows() > 0, true);
+}
+
+INSTANTIATE_TEST_SUITE_P(Exprs, ExecutorParsedSweep,
+                         ::testing::Values("X + Y", "X - Y", "X * Y",
+                                           "X / (Y + 3)", "t(X) %*% Y",
+                                           "sum(X)", "rowSums(X * Y)",
+                                           "colSums(X) %*% t(Y) %*% X",
+                                           "exp(X * 0.1)", "sprop(X)",
+                                           "-X + Y", "(X + Y) ^ 2"));
+
+}  // namespace
+}  // namespace spores

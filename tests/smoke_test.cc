@@ -1,0 +1,9 @@
+#include <gtest/gtest.h>
+#include "src/ir/parser.h"
+#include "src/ir/printer.h"
+
+TEST(Smoke, ParsePrint) {
+  auto e = spores::ParseExpr("sum((X - U %*% t(V))^2)");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(spores::ToString(e.value()), "sum((X - U %*% t(V)) ^ 2)");
+}

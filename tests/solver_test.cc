@@ -1,0 +1,198 @@
+// Tests of the 0-1 ILP model and the branch-and-bound solver (the Gurobi
+// substitute): feasibility, optimality, propagation, forbid cuts, warm
+// starts, and budget behavior.
+#include <gtest/gtest.h>
+
+#include "src/solver/bb_solver.h"
+
+namespace spores {
+namespace {
+
+TEST(Solver, EmptyModelIsTriviallyFeasible) {
+  IlpModel m;
+  IlpResult r = SolveIlp(m);
+  EXPECT_TRUE(r.feasible);
+  EXPECT_DOUBLE_EQ(r.objective, 0.0);
+}
+
+TEST(Solver, FixedVariableCostCounts) {
+  IlpModel m;
+  VarId x = m.AddVar(5.0, "x");
+  m.Fix(x, true);
+  IlpResult r = SolveIlp(m);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_DOUBLE_EQ(r.objective, 5.0);
+  EXPECT_TRUE(r.assignment[static_cast<size_t>(x)]);
+}
+
+TEST(Solver, UnforcedVariablesDefaultToZero) {
+  IlpModel m;
+  VarId x = m.AddVar(5.0, "x");
+  IlpResult r = SolveIlp(m);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_FALSE(r.assignment[static_cast<size_t>(x)]);
+  EXPECT_DOUBLE_EQ(r.objective, 0.0);
+}
+
+TEST(Solver, CoverPicksCheapestOption) {
+  IlpModel m;
+  VarId trigger = m.AddVar(0.0, "t");
+  VarId cheap = m.AddVar(1.0, "cheap");
+  VarId pricey = m.AddVar(10.0, "pricey");
+  m.Fix(trigger, true);
+  m.AddCover(trigger, {pricey, cheap});
+  IlpResult r = SolveIlp(m);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_DOUBLE_EQ(r.objective, 1.0);
+  EXPECT_TRUE(r.assignment[static_cast<size_t>(cheap)]);
+  EXPECT_FALSE(r.assignment[static_cast<size_t>(pricey)]);
+  EXPECT_TRUE(r.proven_optimal);
+}
+
+TEST(Solver, ImplicationChainsPropagate) {
+  IlpModel m;
+  VarId a = m.AddVar(1.0, "a");
+  VarId b = m.AddVar(2.0, "b");
+  VarId c = m.AddVar(3.0, "c");
+  m.AddImplication(a, b);
+  m.AddImplication(b, c);
+  m.Fix(a, true);
+  IlpResult r = SolveIlp(m);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_DOUBLE_EQ(r.objective, 6.0);
+}
+
+TEST(Solver, SharedChildChargedOnce) {
+  // Two selected parents implying one shared child: child cost counts once
+  // (the Fig 10 DAG-cost semantics).
+  IlpModel m;
+  VarId p1 = m.AddVar(1.0, "p1");
+  VarId p2 = m.AddVar(1.0, "p2");
+  VarId shared = m.AddVar(4.0, "shared");
+  m.AddImplication(p1, shared);
+  m.AddImplication(p2, shared);
+  m.Fix(p1, true);
+  m.Fix(p2, true);
+  IlpResult r = SolveIlp(m);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_DOUBLE_EQ(r.objective, 6.0);
+}
+
+TEST(Solver, InfeasibleWhenCoverHasNoOptions) {
+  IlpModel m;
+  VarId t = m.AddVar(0.0, "t");
+  VarId only = m.AddVar(1.0, "only");
+  m.Fix(t, true);
+  m.Fix(only, false);
+  m.AddCover(t, {only});
+  IlpResult r = SolveIlp(m);
+  EXPECT_FALSE(r.feasible);
+}
+
+TEST(Solver, ForbidConstraintExcludesCombination) {
+  IlpModel m;
+  VarId t = m.AddVar(0.0, "t");
+  VarId a = m.AddVar(1.0, "a");
+  VarId b = m.AddVar(2.0, "b");
+  m.Fix(t, true);
+  m.AddCover(t, {a, b});
+  // a alone would be optimal; forbid {t, a} forces b.
+  m.AddForbid({t, a});
+  IlpResult r = SolveIlp(m);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_DOUBLE_EQ(r.objective, 2.0);
+  EXPECT_TRUE(r.assignment[static_cast<size_t>(b)]);
+}
+
+TEST(Solver, DiamondDagOptimal) {
+  // root -> cover {expensive_direct, via}; via -> mid -> leaf.
+  // direct = 10; via-path = 2 + 3 + 1 = 6. Optimal picks the path.
+  IlpModel m;
+  VarId root = m.AddVar(0.0, "root");
+  VarId direct = m.AddVar(10.0, "direct");
+  VarId via = m.AddVar(2.0, "via");
+  VarId mid = m.AddVar(3.0, "mid");
+  VarId leaf = m.AddVar(1.0, "leaf");
+  m.Fix(root, true);
+  m.AddCover(root, {direct, via});
+  m.AddImplication(via, mid);
+  m.AddImplication(mid, leaf);
+  IlpResult r = SolveIlp(m);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_DOUBLE_EQ(r.objective, 6.0);
+  EXPECT_TRUE(r.proven_optimal);
+}
+
+TEST(Solver, NestedCoversSolveExactly) {
+  // Class tree: each selected class triggers a cover among two options,
+  // one cheap with a deep dependency, one expensive and flat.
+  IlpModel m;
+  std::vector<VarId> classes, cheap, pricey;
+  for (int i = 0; i < 6; ++i) {
+    classes.push_back(m.AddVar(0.0, "c" + std::to_string(i)));
+    cheap.push_back(m.AddVar(1.0, "cheap" + std::to_string(i)));
+    pricey.push_back(m.AddVar(3.0, "pricey" + std::to_string(i)));
+  }
+  m.Fix(classes[0], true);
+  for (int i = 0; i < 6; ++i) {
+    m.AddCover(classes[i], {cheap[i], pricey[i]});
+    if (i + 1 < 6) {
+      m.AddImplication(cheap[static_cast<size_t>(i)], classes[i + 1]);
+    }
+  }
+  // cheap chain: 6 * 1 = 6; any pricey cut: i*1 + 3. Best: pricey at 0 = 3.
+  IlpResult r = SolveIlp(m);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_DOUBLE_EQ(r.objective, 3.0);
+}
+
+TEST(Solver, WarmStartBoundStillFindsOptimum) {
+  IlpModel m;
+  VarId t = m.AddVar(0.0, "t");
+  VarId a = m.AddVar(2.0, "a");
+  VarId b = m.AddVar(5.0, "b");
+  m.Fix(t, true);
+  m.AddCover(t, {a, b});
+  SolverConfig cfg;
+  cfg.has_initial_upper_bound = true;
+  cfg.initial_upper_bound = 5.0;  // the bad plan's cost
+  IlpResult r = SolveIlp(m, cfg);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_DOUBLE_EQ(r.objective, 2.0);
+}
+
+TEST(Solver, SearchNodeBudgetReportsNonOptimal) {
+  // A model with a wide search space and a one-node budget: if anything is
+  // found it must not be marked proven optimal.
+  IlpModel m;
+  VarId t = m.AddVar(0.0, "t");
+  std::vector<VarId> opts;
+  for (int i = 0; i < 20; ++i) {
+    opts.push_back(m.AddVar(1.0 + i, "o" + std::to_string(i)));
+  }
+  m.Fix(t, true);
+  m.AddCover(t, opts);
+  SolverConfig cfg;
+  cfg.max_search_nodes = 1;
+  IlpResult r = SolveIlp(m, cfg);
+  EXPECT_FALSE(r.proven_optimal);
+}
+
+TEST(Solver, ZeroPropagationThroughReverseImplication) {
+  // x -> y with y fixed 0 forces x = 0; cover must pick the alternative.
+  IlpModel m;
+  VarId t = m.AddVar(0.0, "t");
+  VarId x = m.AddVar(1.0, "x");
+  VarId y = m.AddVar(0.5, "y");
+  VarId alt = m.AddVar(7.0, "alt");
+  m.Fix(t, true);
+  m.AddImplication(x, y);
+  m.Fix(y, false);
+  m.AddCover(t, {x, alt});
+  IlpResult r = SolveIlp(m);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_DOUBLE_EQ(r.objective, 7.0);
+}
+
+}  // namespace
+}  // namespace spores

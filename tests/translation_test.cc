@@ -1,0 +1,215 @@
+// Tests of the R_LR translation (Fig 2): LA -> RA schemas and structure, and
+// the RA -> LA lowering compiler. The strongest check is semantic: lowering
+// the translation of e must evaluate to the same matrices as e itself.
+#include <gtest/gtest.h>
+
+#include "src/canon/canonical.h"
+#include "src/ir/parser.h"
+#include "src/ir/printer.h"
+#include "src/rules/rules_lr.h"
+#include "src/runtime/executor.h"
+#include "src/workloads/generators.h"
+
+namespace spores {
+namespace {
+
+Catalog TestCatalog() {
+  Catalog c;
+  c.Register("X", 20, 15, 0.3);
+  c.Register("Y", 20, 15);
+  c.Register("A", 20, 8);
+  c.Register("B", 8, 15);
+  c.Register("u", 20, 1);
+  c.Register("v", 15, 1);
+  c.Register("r", 1, 15);
+  c.Register("s", 1, 1);
+  c.Register("U", 20, 4);
+  c.Register("V", 15, 4);
+  return c;
+}
+
+Bindings TestBindings() {
+  Rng rng(99);
+  Bindings b;
+  b.Bind("X", Matrix::RandomSparse(20, 15, 0.3, rng, -1, 1));
+  b.Bind("Y", Matrix::RandomDense(20, 15, rng, -1, 1));
+  b.Bind("A", Matrix::RandomDense(20, 8, rng, -1, 1));
+  b.Bind("B", Matrix::RandomDense(8, 15, rng, -1, 1));
+  b.Bind("u", Matrix::RandomDense(20, 1, rng, -1, 1));
+  b.Bind("v", Matrix::RandomDense(15, 1, rng, -1, 1));
+  b.Bind("r", Matrix::RandomDense(1, 15, rng, -1, 1));
+  b.Bind("s", Matrix::Scalar(2.5));
+  b.Bind("U", Matrix::RandomDense(20, 4, rng, -1, 1));
+  b.Bind("V", Matrix::RandomDense(15, 4, rng, -1, 1));
+  return b;
+}
+
+// Translate to RA, lower back to LA, and compare numerics with the original.
+void ExpectRoundTrip(const std::string& text) {
+  Catalog catalog = TestCatalog();
+  auto parsed = ParseExpr(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ExprPtr la = parsed.value();
+
+  auto program = TranslateLaToRa(la, catalog);
+  ASSERT_TRUE(program.ok()) << text << ": " << program.status().ToString();
+  auto lowered = TranslateRaToLa(program.value().ra, program.value(), catalog);
+  ASSERT_TRUE(lowered.ok()) << text << ": " << lowered.status().ToString()
+                            << "\nRA: " << ToString(program.value().ra);
+
+  Bindings inputs = TestBindings();
+  auto expected = Execute(la, inputs);
+  auto actual = Execute(lowered.value(), inputs);
+  ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+  ASSERT_TRUE(actual.ok()) << text << " lowered to "
+                           << ToString(lowered.value()) << ": "
+                           << actual.status().ToString();
+  EXPECT_LT(Matrix::MaxAbsDiff(expected.value(), actual.value()), 1e-9)
+      << text << " lowered to " << ToString(lowered.value());
+}
+
+class TranslationRoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(TranslationRoundTrip, SemanticsPreserved) {
+  ExpectRoundTrip(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Expressions, TranslationRoundTrip,
+    ::testing::Values(
+        // Leaves and elementwise ops.
+        "X", "u", "r", "s",
+        "X * Y", "X + Y", "X - Y", "-X",
+        "X * s", "s * X + Y",
+        // Broadcasts.
+        "X * u", "X + u", "X * r", "X - r",
+        // Matrix multiplication in all orientation combinations.
+        "A %*% B", "t(B) %*% t(A)", "A %*% B %*% v",
+        "t(u) %*% X", "X %*% v", "t(u) %*% X %*% v",
+        "u %*% r",          // outer product
+        "t(v) %*% v",       // dot product
+        // Aggregations.
+        "sum(X)", "rowSums(X)", "colSums(X)", "sum(rowSums(X))",
+        "sum(X * Y)", "rowSums(X * Y)", "colSums(A %*% B)",
+        "sum(A %*% B)",
+        // Transposes.
+        "t(X)", "t(t(X))", "t(X * Y)", "t(A %*% B)",
+        // Powers and squares.
+        "X ^ 2", "sum(X ^ 2)", "sum((X - Y) ^ 2)",
+        // Unary barriers.
+        "exp(X)", "sum(exp(X) * Y)", "sigmoid(X) * Y", "abs(X)",
+        // Division barrier.
+        "X / Y", "X / s",
+        // Fused-op expansion round trips.
+        "sprop(u)", "wsloss(X, U, V)",
+        // Compound expressions from the paper.
+        "sum((X - U %*% t(V)) ^ 2)",
+        "(U %*% t(V) - X) %*% V",
+        "t(X) %*% (u - X %*% v)",
+        "sum(A %*% B) - sum(X * (A %*% B))"));
+
+TEST(Translation, OutputAttrsMatchShape) {
+  Catalog catalog = TestCatalog();
+  auto program = TranslateLaToRa(ParseExpr("A %*% B").value(), catalog);
+  ASSERT_TRUE(program.ok());
+  EXPECT_FALSE(program.value().out_row.empty());
+  EXPECT_FALSE(program.value().out_col.empty());
+  EXPECT_EQ(program.value().out_shape, (Shape{20, 15}));
+  EXPECT_EQ(program.value().dims->DimOf(program.value().out_row), 20);
+  EXPECT_EQ(program.value().dims->DimOf(program.value().out_col), 15);
+}
+
+TEST(Translation, ScalarOutputHasNoAttrs) {
+  Catalog catalog = TestCatalog();
+  auto program = TranslateLaToRa(ParseExpr("sum(X)").value(), catalog);
+  ASSERT_TRUE(program.ok());
+  EXPECT_TRUE(program.value().out_row.empty());
+  EXPECT_TRUE(program.value().out_col.empty());
+  EXPECT_EQ(program.value().ra->op, Op::kAgg);
+}
+
+TEST(Translation, MatMulBecomesAggOverJoin) {
+  Catalog catalog = TestCatalog();
+  auto program = TranslateLaToRa(ParseExpr("A %*% B").value(), catalog);
+  ASSERT_TRUE(program.ok());
+  const ExprPtr& ra = program.value().ra;
+  ASSERT_EQ(ra->op, Op::kAgg);
+  EXPECT_EQ(ra->attrs.size(), 1u);  // the contracted dimension
+  EXPECT_EQ(ra->children[0]->op, Op::kJoin);
+}
+
+TEST(Translation, ElemMulBecomesJoin) {
+  Catalog catalog = TestCatalog();
+  auto program = TranslateLaToRa(ParseExpr("X * Y").value(), catalog);
+  ASSERT_TRUE(program.ok());
+  EXPECT_EQ(program.value().ra->op, Op::kJoin);
+}
+
+TEST(Translation, MinusBecomesUnionWithNegativeCoefficient) {
+  // Fig 2 rule 6: A - B -> A + (-1)*B.
+  Catalog catalog = TestCatalog();
+  auto program = TranslateLaToRa(ParseExpr("X - Y").value(), catalog);
+  ASSERT_TRUE(program.ok());
+  EXPECT_EQ(program.value().ra->op, Op::kUnion);
+}
+
+TEST(Translation, SquareBecomesSelfJoin) {
+  Catalog catalog = TestCatalog();
+  auto program = TranslateLaToRa(ParseExpr("X ^ 2").value(), catalog);
+  ASSERT_TRUE(program.ok());
+  const ExprPtr& ra = program.value().ra;
+  ASSERT_EQ(ra->op, Op::kJoin);
+  EXPECT_TRUE(ExprEquals(ra->children[0], ra->children[1]));
+}
+
+TEST(Translation, SharedSubexpressionsShareRaTerms) {
+  // The CSE story: structurally equal subexpressions translated against the
+  // same target attributes produce the *identical* RA term (memoized on
+  // structure + targets), so the e-graph sees them as one class.
+  Catalog catalog = TestCatalog();
+  ExprPtr ab = Expr::MatMul(Expr::Var("A"), Expr::Var("B"));
+  ExprPtr e = Expr::Plus(Expr::Sum(ab), Expr::Sum(ab));
+  auto program = TranslateLaToRa(e, catalog);
+  ASSERT_TRUE(program.ok());
+  const ExprPtr& ra = program.value().ra;
+  ASSERT_EQ(ra->op, Op::kUnion);
+  EXPECT_TRUE(ExprEquals(ra->children[0], ra->children[1]));
+}
+
+TEST(Translation, FixedOutputAttrsAreHonored) {
+  Catalog catalog = TestCatalog();
+  auto dims = std::make_shared<DimEnv>();
+  Symbol i = Symbol::Intern("row_attr");
+  Symbol j = Symbol::Intern("col_attr");
+  auto program =
+      TranslateLaToRa(ParseExpr("X * Y").value(), catalog, dims, i, j);
+  ASSERT_TRUE(program.ok());
+  EXPECT_EQ(program.value().out_row, i);
+  EXPECT_EQ(program.value().out_col, j);
+  EXPECT_EQ(FreeAttrs(program.value().ra), (std::vector<Symbol>{
+                std::min(i, j), std::max(i, j)}));
+}
+
+TEST(Lowering, RejectsWideOutput) {
+  // A 3-attribute join with no aggregate cannot lower to LA.
+  Catalog catalog = TestCatalog();
+  auto dims = std::make_shared<DimEnv>();
+  Symbol i = Symbol::Intern("li"), j = Symbol::Intern("lj"),
+         k = Symbol::Intern("lk");
+  dims->Set(i, 4);
+  dims->Set(j, 5);
+  dims->Set(k, 6);
+  ExprPtr wide = Expr::Join({Expr::Bind({i, j}, Expr::Var("X")),
+                             Expr::Bind({j, k}, Expr::Var("Y"))});
+  RaProgram program;
+  program.ra = wide;
+  program.dims = dims;
+  program.out_shape = Shape{4, 6};
+  program.out_row = i;
+  program.out_col = k;
+  auto lowered = TranslateRaToLa(wide, program, catalog);
+  EXPECT_FALSE(lowered.ok());
+}
+
+}  // namespace
+}  // namespace spores

@@ -1,0 +1,196 @@
+// Unit tests for the utility layer: Status, StatusOr, Symbol, Rng.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <thread>
+
+#include "src/util/rng.h"
+#include "src/util/status.h"
+#include "src/util/symbol.h"
+
+namespace spores {
+namespace {
+
+TEST(Status, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad dims");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad dims");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad dims");
+}
+
+TEST(Status, AllConstructorsSetDistinctCodes) {
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::Unsupported("x").code(), StatusCode::kUnsupported);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::Timeout("x").code(), StatusCode::kTimeout);
+}
+
+TEST(StatusOr, HoldsValue) {
+  StatusOr<int> v(42);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 42);
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(StatusOr, HoldsError) {
+  StatusOr<int> v(Status::NotFound("missing"));
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+StatusOr<int> Doubled(StatusOr<int> in) {
+  SPORES_ASSIGN_OR_RETURN(int x, in);
+  return 2 * x;
+}
+
+TEST(StatusOr, AssignOrReturnPropagates) {
+  EXPECT_EQ(Doubled(21).value(), 42);
+  EXPECT_FALSE(Doubled(Status::Internal("boom")).ok());
+  EXPECT_EQ(Doubled(Status::Internal("boom")).status().code(),
+            StatusCode::kInternal);
+}
+
+TEST(Symbol, InterningIsIdempotent) {
+  Symbol a = Symbol::Intern("alpha");
+  Symbol b = Symbol::Intern("alpha");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.id(), b.id());
+  EXPECT_EQ(a.str(), "alpha");
+}
+
+TEST(Symbol, DistinctStringsDistinctIds) {
+  EXPECT_NE(Symbol::Intern("x1"), Symbol::Intern("x2"));
+}
+
+TEST(Symbol, EmptySymbolIsDefault) {
+  Symbol s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s, Symbol::Intern(""));
+}
+
+TEST(Symbol, FreshNeverCollides) {
+  std::set<uint32_t> seen;
+  seen.insert(Symbol::Intern("f$0").id());  // pre-claim a likely fresh name
+  for (int i = 0; i < 100; ++i) {
+    Symbol f = Symbol::Fresh("f");
+    EXPECT_TRUE(seen.insert(f.id()).second) << f.str();
+  }
+}
+
+TEST(Symbol, OrderingIsById) {
+  Symbol a = Symbol::Intern("ord_a");
+  Symbol b = Symbol::Intern("ord_b");
+  EXPECT_TRUE(a < b || b < a);
+}
+
+TEST(Symbol, ConcurrentInterningIsSafe) {
+  std::vector<std::thread> threads;
+  std::vector<uint32_t> ids(8);
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back(
+        [t, &ids] { ids[t] = Symbol::Intern("shared_name").id(); });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 1; t < 8; ++t) EXPECT_EQ(ids[t], ids[0]);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next64(), b.Next64());
+}
+
+TEST(Rng, SeedsDiffer) {
+  Rng a(1), b(2);
+  EXPECT_NE(a.Next64(), b.Next64());
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+  }
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliRoughlyCalibrated) {
+  Rng rng(11);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(13);
+  double sum = 0, sum2 = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double g = rng.NextGaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.05);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Rng rng(17);
+  std::vector<size_t> s = rng.SampleWithoutReplacement(100, 30);
+  EXPECT_EQ(s.size(), 30u);
+  std::set<size_t> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 30u);
+  for (size_t x : s) EXPECT_LT(x, 100u);
+}
+
+TEST(Rng, SampleRequestingMoreThanAvailable) {
+  Rng rng(17);
+  std::vector<size_t> s = rng.SampleWithoutReplacement(5, 50);
+  EXPECT_EQ(s.size(), 5u);
+}
+
+class RngUniformSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RngUniformSweep, NoModuloBias) {
+  // Chi-square-lite: each bucket within 3x expected deviation.
+  uint64_t n = GetParam();
+  Rng rng(n * 31 + 1);
+  std::vector<int> buckets(n, 0);
+  const int draws = 3000 * static_cast<int>(n);
+  for (int i = 0; i < draws; ++i) ++buckets[rng.Uniform(n)];
+  double expected = static_cast<double>(draws) / static_cast<double>(n);
+  for (uint64_t b = 0; b < n; ++b) {
+    EXPECT_NEAR(buckets[b], expected, 5 * std::sqrt(expected)) << "bucket "
+                                                               << b;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Buckets, RngUniformSweep,
+                         ::testing::Values(2, 3, 7, 10, 16));
+
+}  // namespace
+}  // namespace spores
