@@ -13,7 +13,7 @@
 #include "src/extract/extractor.h"
 #include "src/egraph/runner.h"
 #include "src/ir/printer.h"
-#include "src/optimizer/spores_optimizer.h"
+#include "src/optimizer/optimizer_session.h"
 #include "src/rules/rules_eq.h"
 #include "src/rules/rules_lr.h"
 #include "src/solver/bb_solver.h"
@@ -54,12 +54,11 @@ int main() {
     for (bool sparse_aware : {true, false}) {
       Catalog catalog = sparse_aware ? data.catalog
                                      : Densified(data.catalog, data.inputs);
-      SporesOptimizer opt;
-      OptimizeReport report;
-      opt.Optimize(prog.expr, catalog, &report);
+      OptimizerSession session;
+      OptimizedPlan result = session.Optimize(prog.expr, catalog);
       std::printf("%-6s %-22s %14.4g %14.4g\n", prog.name.c_str(),
                   sparse_aware ? "measured sparsity" : "all-dense (ablated)",
-                  report.plan_cost, report.original_cost);
+                  result.plan_cost, result.original_cost);
     }
   }
   std::printf("Expected: with sparsity the plan cost collapses vs the "
@@ -74,15 +73,14 @@ int main() {
   std::printf("%.52s\n", std::string(52, '-').c_str());
   for (size_t limit : {4, 8, 16, 32, 64}) {
     WorkloadData data = MakeFactorizationData(400, 300, 8, 0.02, 5);
-    SporesConfig cfg;
+    SessionConfig cfg;
     cfg.runner.match_limit_per_rule = limit;
     cfg.runner.expansive_match_limit = std::max<size_t>(1, limit / 4);
-    SporesOptimizer opt(cfg);
-    OptimizeReport report;
-    opt.Optimize(IntroProgram().expr, data.catalog, &report);
+    OptimizerSession session(cfg);
+    OptimizedPlan result = session.Optimize(IntroProgram().expr, data.catalog);
     std::printf("%8zu %10.3f %8zu %8zu %12.4g\n", limit,
-                report.saturate_seconds, report.saturation.iterations,
-                report.saturation.final_nodes, report.plan_cost);
+                result.timings.saturate_seconds, result.saturation.iterations,
+                result.saturation.final_nodes, result.plan_cost);
   }
   std::printf("\n");
 

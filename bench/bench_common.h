@@ -8,7 +8,7 @@
 #include <vector>
 
 #include "src/optimizer/heuristic_optimizer.h"
-#include "src/optimizer/spores_optimizer.h"
+#include "src/optimizer/optimizer_session.h"
 #include "src/util/timer.h"
 #include "src/workloads/generators.h"
 #include "src/workloads/programs.h"

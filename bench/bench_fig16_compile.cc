@@ -40,25 +40,26 @@ int main() {
     for (const Program& prog : AllPrograms()) {
       ScalePoint scale = ScalesFor(prog.name)[0];
       WorkloadData data = DataFor(prog.name, scale);
-      SporesConfig cfg;
+      SessionConfig cfg;
       cfg.runner.strategy = config.strategy;
       cfg.runner.timeout_seconds = 2.5;
       cfg.extraction = config.extraction;
-      SporesOptimizer opt(cfg);
-      OptimizeReport report;
-      opt.Optimize(prog.expr, data.catalog, &report);
+      cfg.enable_plan_cache = false;  // measuring cold compiles
+      OptimizerSession session(cfg);
+      OptimizedPlan result = session.Optimize(prog.expr, data.catalog);
       const char* note = "";
-      if (report.saturation.stop_reason == StopReason::kTimeout) {
+      if (result.saturation.stop_reason == StopReason::kTimeout) {
         note = "saturation TIMEOUT";
-      } else if (report.saturation.stop_reason == StopReason::kNodeLimit) {
+      } else if (result.saturation.stop_reason == StopReason::kNodeLimit) {
         note = "node limit";
-      } else if (report.saturation.stop_reason == StopReason::kSaturated) {
+      } else if (result.saturation.stop_reason == StopReason::kSaturated) {
         note = "converged";
       }
       std::printf("%-17s %-6s %10.4f %10.4f %10.4f %10.4f  %s\n", config.name,
-                  prog.name.c_str(), report.translate_seconds,
-                  report.saturate_seconds, report.extract_seconds,
-                  report.TotalSeconds(), note);
+                  prog.name.c_str(), result.timings.translate_seconds,
+                  result.timings.saturate_seconds,
+                  result.timings.extract_seconds,
+                  result.timings.TotalSeconds(), note);
     }
   }
 

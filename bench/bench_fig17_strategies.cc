@@ -45,12 +45,12 @@ int main() {
 
     double times[3];
     for (int c = 0; c < 3; ++c) {
-      SporesConfig cfg;
+      SessionConfig cfg;
       cfg.runner.strategy = configs[c].strategy;
       cfg.runner.timeout_seconds = 2.5;
       cfg.extraction = configs[c].extraction;
-      SporesOptimizer opt(cfg);
-      times[c] = TimeExecution(opt.Optimize(prog.expr, data.catalog),
+      OptimizerSession session(cfg);
+      times[c] = TimeExecution(session.Optimize(prog.expr, data.catalog).plan,
                                data.inputs);
     }
     std::printf("%-6s %-10s %12.4f %10.4f %10.4f %10.4f\n",

@@ -7,7 +7,7 @@
 #include "src/egraph/runner.h"
 #include "src/extract/extractor.h"
 #include "src/ir/parser.h"
-#include "src/optimizer/spores_optimizer.h"
+#include "src/optimizer/optimizer_session.h"
 #include "src/rules/rules_eq.h"
 #include "src/rules/rules_lr.h"
 #include "src/runtime/executor.h"
@@ -73,14 +73,28 @@ BENCHMARK(BM_EMatch);
 
 void BM_SaturateAls(benchmark::State& state) {
   WorkloadData data = MakeFactorizationData(200, 150, 6, 0.02, 3);
+  SessionConfig cfg;
+  cfg.enable_plan_cache = false;  // measuring the cold pipeline
   for (auto _ : state) {
-    SporesOptimizer opt;
-    OptimizeReport report;
+    OptimizerSession session(cfg);
     benchmark::DoNotOptimize(
-        opt.Optimize(AlsProgram().expr, data.catalog, &report));
+        session.Optimize(AlsProgram().expr, data.catalog).plan);
   }
 }
 BENCHMARK(BM_SaturateAls)->Unit(benchmark::kMillisecond);
+
+void BM_WarmSessionAls(benchmark::State& state) {
+  // Steady-state serving: the session's plan cache answers from canonical
+  // form, so each iteration pays translate + canonicalize only.
+  WorkloadData data = MakeFactorizationData(200, 150, 6, 0.02, 3);
+  OptimizerSession session;
+  session.Optimize(AlsProgram().expr, data.catalog);  // warm the cache
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        session.Optimize(AlsProgram().expr, data.catalog).plan);
+  }
+}
+BENCHMARK(BM_WarmSessionAls)->Unit(benchmark::kMicrosecond);
 
 void BM_GreedyVsIlpExtraction(benchmark::State& state) {
   WorkloadData data = MakeFactorizationData(200, 150, 6, 0.02, 3);

@@ -1,0 +1,48 @@
+// Plan-cache trajectory: warm-session vs cold-call optimize latency on the
+// Fig-15 workloads. A cold call pays translate + saturate + extract; a warm
+// call on an isomorphic query is answered from the canonical-form plan
+// cache and pays translate + canonicalize only. The gap is the compile time
+// a serving deployment amortizes across repeated traffic.
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace spores;
+  using namespace spores::bench;
+
+  std::printf("Plan cache: cold vs warm optimize latency [ms].\n");
+  std::printf("(warm = same query resubmitted to the same session)\n\n");
+  std::printf("%-6s %-10s %12s %12s %10s  %s\n", "prog", "size", "cold[ms]",
+              "warm[ms]", "speedup", "saturation skipped");
+  std::printf("%.72s\n", std::string(72, '-').c_str());
+
+  const int kWarmReps = 25;
+  OptimizerSession session;
+  for (const Program& prog : AllPrograms()) {
+    for (const ScalePoint& scale : ScalesFor(prog.name)) {
+      WorkloadData data = DataFor(prog.name, scale);
+
+      Timer t;
+      OptimizedPlan cold = session.Optimize(prog.expr, data.catalog);
+      double cold_ms = t.Millis();
+
+      double warm_ms = 1e99;
+      bool all_hits = true;
+      for (int i = 0; i < kWarmReps; ++i) {
+        t.Reset();
+        OptimizedPlan warm = session.Optimize(prog.expr, data.catalog);
+        warm_ms = std::min(warm_ms, t.Millis());
+        all_hits = all_hits && warm.cache_hit;
+      }
+
+      std::printf("%-6s %-10s %12.3f %12.3f %9.1fx  %s\n", prog.name.c_str(),
+                  scale.label.c_str(), cold_ms, warm_ms, cold_ms / warm_ms,
+                  all_hits && !cold.used_fallback ? "yes" : "NO");
+    }
+  }
+
+  std::printf("\nsession: %s\n", session.stats().ToString().c_str());
+  const PlanCacheStats& cs = session.cache_stats();
+  std::printf("cache:   %zu hits / %zu misses, %zu entries resident\n",
+              cs.hits, cs.misses, session.PlanCacheSize());
+  return 0;
+}

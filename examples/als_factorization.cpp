@@ -7,7 +7,7 @@
 
 #include "src/ir/printer.h"
 #include "src/optimizer/heuristic_optimizer.h"
-#include "src/optimizer/spores_optimizer.h"
+#include "src/optimizer/optimizer_session.h"
 #include "src/runtime/fused.h"
 #include "src/runtime/kernels.h"
 #include "src/util/timer.h"
@@ -24,9 +24,9 @@ int main() {
 
   // Compile once with each optimizer (SystemML-style vs SPORES).
   HeuristicOptimizer heuristic(OptLevel::kOpt2);
-  SporesOptimizer spores_opt;
+  OptimizerSession session;
   ExprPtr plan_heuristic = heuristic.Optimize(als.expr, data.catalog);
-  ExprPtr plan_spores = spores_opt.Optimize(als.expr, data.catalog);
+  ExprPtr plan_spores = session.Optimize(als.expr, data.catalog).plan;
   std::printf("heuristic plan: %s\n", ToString(plan_heuristic).c_str());
   std::printf("SPORES plan:    %s\n\n", ToString(plan_spores).c_str());
 

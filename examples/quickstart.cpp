@@ -1,11 +1,14 @@
-// Quickstart: optimize one linear-algebra expression with SPORES.
+// Quickstart: optimize linear-algebra expressions with a SPORES
+// OptimizerSession.
 //
 //   1. Describe the inputs (dimensions + sparsity) in a Catalog.
 //   2. Parse the expression in DML/R-like syntax.
-//   3. Run the optimizer: translate to relational algebra, equality-saturate
-//      with the complete rule set R_EQ, extract the cheapest plan, translate
-//      back to linear algebra.
-//   4. Execute both plans and compare.
+//   3. Create ONE session (it compiles the rule set once and owns a plan
+//      cache) and call Optimize per query: translate to relational algebra,
+//      equality-saturate with the complete rule set R_EQ, extract the
+//      cheapest plan, translate back to linear algebra.
+//   4. Execute both plans and compare; resubmit the query to see the
+//      canonical-form plan cache skip saturation entirely.
 //
 // The example is the paper's running one: sum((X - U %*% t(V))^2) with a
 // sparse X — the expression SystemML's syntactic rules only handle through a
@@ -14,7 +17,7 @@
 
 #include "src/ir/parser.h"
 #include "src/ir/printer.h"
-#include "src/optimizer/spores_optimizer.h"
+#include "src/optimizer/optimizer_session.h"
 #include "src/runtime/executor.h"
 #include "src/util/timer.h"
 
@@ -39,28 +42,43 @@ int main() {
   ExprPtr program = parsed.value();
   std::printf("input:     %s\n", ToString(program).c_str());
 
-  // ---- 3. Optimize. ----
-  SporesOptimizer optimizer;
-  OptimizeReport report;
-  ExprPtr optimized = optimizer.Optimize(program, catalog, &report);
-  std::printf("optimized: %s\n", ToString(optimized).c_str());
+  // ---- 3. Optimize through a session. ----
+  OptimizerSession session;
+  OptimizedPlan result = session.Optimize(program, catalog);
+  if (result.used_fallback) {
+    std::printf("NOTE: a stage failed (%s); plan is the fused input and "
+                "will not be cached.\n", result.fallback_reason.c_str());
+  }
+  std::printf("optimized: %s\n", ToString(result.plan).c_str());
+  std::printf("cost:      %.3g -> %.3g (model nnz, %s)\n",
+              result.original_cost, result.plan_cost,
+              result.optimal ? "ILP-optimal" : "not proven optimal");
   std::printf("compile:   translate %.1fms, saturate %.1fms (%s), "
               "extract %.1fms\n",
-              report.translate_seconds * 1e3, report.saturate_seconds * 1e3,
-              report.saturation.ToString().c_str(),
-              report.extract_seconds * 1e3);
+              result.timings.translate_seconds * 1e3,
+              result.timings.saturate_seconds * 1e3,
+              result.saturation.ToString().c_str(),
+              result.timings.extract_seconds * 1e3);
 
   // ---- 4. Execute both and compare. ----
   Timer t;
   auto naive = Execute(program, inputs);
   double t_naive = t.Seconds();
   t.Reset();
-  auto fast = Execute(optimized, inputs);
+  auto fast = Execute(result.plan, inputs);
   double t_fast = t.Seconds();
   if (!naive.ok() || !fast.ok()) return 1;
   std::printf("naive:     %.6f  (%.1f ms)\n", naive.value().AsScalar(),
               t_naive * 1e3);
   std::printf("optimized: %.6f  (%.1f ms)  -> %.1fx faster\n",
               fast.value().AsScalar(), t_fast * 1e3, t_naive / t_fast);
+
+  // ---- 5. Resubmit: the canonical-form plan cache skips saturation. ----
+  t.Reset();
+  OptimizedPlan warm = session.Optimize(program, catalog);
+  std::printf("\nresubmitted: cache %s in %.2f ms (cold compile was "
+              "%.2f ms)\n", warm.cache_hit ? "HIT" : "miss",
+              t.Millis(), result.timings.TotalSeconds() * 1e3);
+  std::printf("session:   %s\n", session.stats().ToString().c_str());
   return 0;
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 
 #include "src/canon/isomorphism.h"
 #include "src/rules/rules_lr.h"
@@ -302,6 +303,28 @@ ExprPtr PolytermToExpr(const Polyterm& p) {
     terms.push_back(Expr::Const(p.constant));
   }
   return terms.size() == 1 ? terms[0] : Expr::Union(std::move(terms));
+}
+
+std::string PolytermSignature(const Polyterm& p) {
+  // Per monomial: (coeff, #bound, #atoms) — invariant under attribute
+  // renaming and monomial reordering once sorted.
+  std::vector<std::string> parts;
+  parts.reserve(p.monomials.size());
+  for (const Monomial& m : p.monomials) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g/%zu/%zu", m.coeff, m.bound.size(),
+                  m.atoms.size());
+    parts.emplace_back(buf);
+  }
+  std::sort(parts.begin(), parts.end());
+  char head[32];
+  std::snprintf(head, sizeof(head), "%.17g", p.constant);
+  std::string sig = head;
+  for (const std::string& s : parts) {
+    sig += '|';
+    sig += s;
+  }
+  return sig;
 }
 
 StatusOr<bool> EquivalentLa(const ExprPtr& e1, const ExprPtr& e2,

@@ -5,6 +5,7 @@
 // their RA canonical forms are isomorphic.
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "src/ir/expr.h"
@@ -46,6 +47,12 @@ StatusOr<Polyterm> CanonicalizeRa(const ExprPtr& ra, DimEnv& dims);
 
 /// Renders a polyterm back as an RA expression (n-ary join/union form).
 ExprPtr PolytermToExpr(const Polyterm& p);
+
+/// A cheap renaming-invariant summary of a polyterm's structure (constant,
+/// sorted coefficients, atom/bound counts). Two isomorphic polyterms always
+/// share a signature; the converse does not hold, so the signature is a
+/// hash-bucket key and candidates still need PolytermIsomorphic.
+std::string PolytermSignature(const Polyterm& p);
 
 /// Semantic equivalence check for LA expressions via Theorem 2.3: translate
 /// both to RA with shared output attributes, canonicalize, and compare up to

@@ -20,8 +20,12 @@ std::string RunnerReport::ToString() const {
 }
 
 Runner::Runner(EGraph* egraph, std::vector<Rewrite> rules, RunnerConfig config)
-    : egraph_(egraph), rules_(std::move(rules)), config_(config),
-      rng_(config.seed) {}
+    : egraph_(egraph), owned_rules_(std::move(rules)), rules_(&owned_rules_),
+      config_(config), rng_(config.seed) {}
+
+Runner::Runner(EGraph* egraph, const std::vector<Rewrite>* rules,
+               RunnerConfig config)
+    : egraph_(egraph), rules_(rules), config_(config), rng_(config.seed) {}
 
 RunnerReport Runner::Run() {
   Timer timer;
@@ -44,7 +48,7 @@ RunnerReport Runner::Run() {
       Match match;
     };
     std::vector<PendingApplication> pending;
-    for (const Rewrite& rule : rules_) {
+    for (const Rewrite& rule : *rules_) {
       std::vector<Match> matches = MatchAll(*egraph_, *rule.lhs);
       if (rule.guard) {
         std::vector<Match> kept;

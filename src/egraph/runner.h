@@ -51,15 +51,26 @@ struct RunnerReport {
 /// Runs equality saturation over `egraph` with `rules`.
 class Runner {
  public:
+  /// Owning form: the runner keeps its own copy of the rule set.
   Runner(EGraph* egraph, std::vector<Rewrite> rules,
          RunnerConfig config = RunnerConfig());
+
+  /// Borrowing form: `*rules` must outlive the runner. Lets a long-lived
+  /// session compile the rule set once and share it across saturations.
+  Runner(EGraph* egraph, const std::vector<Rewrite>* rules,
+         RunnerConfig config = RunnerConfig());
+
+  // Non-copyable/movable: rules_ may point into owned_rules_.
+  Runner(const Runner&) = delete;
+  Runner& operator=(const Runner&) = delete;
 
   /// Saturates until fixpoint or a bound; the graph is rebuilt on return.
   RunnerReport Run();
 
  private:
   EGraph* egraph_;
-  std::vector<Rewrite> rules_;
+  std::vector<Rewrite> owned_rules_;
+  const std::vector<Rewrite>* rules_;  ///< owned_rules_ or the borrowed set
   RunnerConfig config_;
   Rng rng_;
 };

@@ -1,6 +1,7 @@
 #include "src/ir/expr.h"
 
 #include <algorithm>
+#include <unordered_set>
 
 namespace spores {
 
@@ -245,6 +246,26 @@ StatusOr<Shape> InferShape(const ExprPtr& expr, const Catalog& catalog) {
       return Status::Unsupported(std::string("InferShape: non-LA op ") +
                                  std::string(OpName(expr->op)));
   }
+}
+
+namespace {
+
+void CollectVarsInto(const Expr* e, std::unordered_set<const Expr*>& seen,
+                     std::vector<Symbol>& out) {
+  if (!seen.insert(e).second) return;
+  if (e->op == Op::kVar) out.push_back(e->sym);
+  for (const ExprPtr& c : e->children) CollectVarsInto(c.get(), seen, out);
+}
+
+}  // namespace
+
+std::vector<Symbol> CollectVars(const ExprPtr& expr) {
+  std::unordered_set<const Expr*> seen;
+  std::vector<Symbol> out;
+  CollectVarsInto(expr.get(), seen, out);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
 }
 
 }  // namespace spores

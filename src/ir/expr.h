@@ -108,6 +108,11 @@ class Catalog {
 /// Fails on dimension mismatches or non-LA operators.
 StatusOr<Shape> InferShape(const ExprPtr& expr, const Catalog& catalog);
 
+/// All distinct kVar names referenced by `expr`, sorted. Shared subtrees are
+/// visited once; used for catalog fingerprints (plan caching) and input
+/// validation.
+std::vector<Symbol> CollectVars(const ExprPtr& expr);
+
 /// Deep structural comparison through ExprPtr.
 inline bool ExprEquals(const ExprPtr& a, const ExprPtr& b) {
   if (a == b) return true;

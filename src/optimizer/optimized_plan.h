@@ -1,0 +1,62 @@
+// Result types for the session-based SPORES pipeline: per-stage timings, the
+// extraction choices (greedy and/or ILP), and the OptimizedPlan a session
+// returns — plan plus cost breakdown, saturation report, and cache/fallback
+// provenance. These replace the old bare ExprPtr + OptimizeReport out-param.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/egraph/runner.h"
+#include "src/ir/expr.h"
+
+namespace spores {
+
+enum class ExtractionStrategy { kGreedy, kIlp };
+
+inline const char* ExtractionStrategyName(ExtractionStrategy s) {
+  return s == ExtractionStrategy::kGreedy ? "greedy" : "ilp";
+}
+
+/// Wall-clock breakdown across the pipeline stages (Fig 16's bars, plus the
+/// cache probe and the fusion post-pass the old report omitted).
+struct StageTimings {
+  double translate_seconds = 0.0;  ///< LA -> RA (R_LR)
+  double cache_seconds = 0.0;      ///< canonicalization + plan-cache probe
+  double saturate_seconds = 0.0;   ///< equality saturation over R_EQ
+  double extract_seconds = 0.0;    ///< extraction + RA -> LA lowering
+  double fuse_seconds = 0.0;       ///< fused-operator post-pass
+
+  double TotalSeconds() const {
+    return translate_seconds + cache_seconds + saturate_seconds +
+           extract_seconds + fuse_seconds;
+  }
+};
+
+/// One extracted plan: the lowered LA term plus its model cost.
+struct PlanChoice {
+  ExtractionStrategy strategy = ExtractionStrategy::kGreedy;
+  ExprPtr la;            ///< lowered (pre-fusion) LA plan
+  double cost = 0.0;     ///< model cost of the selected operator set
+  bool optimal = false;  ///< true when the ILP proved optimality
+};
+
+/// The full result of optimizing one expression through a session.
+struct OptimizedPlan {
+  ExprPtr plan;                ///< final executable plan (input on fallback)
+  double plan_cost = 0.0;      ///< model cost of the chosen plan
+  double original_cost = 0.0;  ///< model cost of the input plan (nonzero
+                               ///< even on fallback; structural estimate
+                               ///< when translation itself failed)
+  bool optimal = false;        ///< extraction proved cost-optimality
+  bool cache_hit = false;      ///< served from the canonical-form plan cache
+  bool used_fallback = false;  ///< a stage failed; plan == (fused) input
+  std::string fallback_reason;
+  StageTimings timings;
+  RunnerReport saturation;     ///< zero-valued on cache hits and fallbacks
+  /// All extraction choices computed this call (chosen one first). Contains
+  /// both greedy and ILP when SessionConfig::collect_alternatives is set.
+  std::vector<PlanChoice> alternatives;
+};
+
+}  // namespace spores

@@ -1,0 +1,241 @@
+#include "src/optimizer/optimizer_session.h"
+
+#include <functional>
+#include <sstream>
+
+#include "src/rules/rules_eq.h"
+#include "src/rules/rules_fusion.h"
+#include "src/util/timer.h"
+
+namespace spores {
+
+namespace {
+
+// Model cost of a whole RA term, charged node-by-node against the e-graph's
+// class data (every node of the term is present in the graph it was added
+// to). For reporting only.
+double TermCost(const EGraph& egraph, const CostModel& cost,
+                const ExprPtr& ra) {
+  double total = 0.0;
+  std::function<void(const ExprPtr&)> walk = [&](const ExprPtr& e) {
+    for (const ExprPtr& c : e->children) walk(c);
+    std::vector<ClassId> child_ids;
+    child_ids.reserve(e->children.size());
+    bool ok = true;
+    for (const ExprPtr& c : e->children) {
+      std::optional<ClassId> cid = egraph.LookupExpr(c);
+      if (!cid) { ok = false; break; }
+      child_ids.push_back(*cid);
+    }
+    if (!ok) return;
+    ENode node = EGraph::ExprToENode(*e, std::move(child_ids));
+    total += cost.NodeCost(egraph, node);
+  };
+  walk(ra);
+  return total;
+}
+
+}  // namespace
+
+std::string SessionStats::ToString() const {
+  std::ostringstream os;
+  os << queries << " queries: " << cache_hits << " cache hits, "
+     << cache_misses << " misses, " << saturations << " saturations, "
+     << fallbacks << " fallbacks, " << compile_seconds << "s compile";
+  return os.str();
+}
+
+OptimizerSession::OptimizerSession(SessionConfig config)
+    : config_(std::move(config)),
+      dims_(std::make_shared<DimEnv>()),
+      cache_(config_.enable_plan_cache ? config_.plan_cache_capacity : 0) {
+  // R_EQ reads only the shared DimEnv (rule-5 folding), never the catalog,
+  // so one compilation serves every query of the session.
+  rules_ = RaEqualityRules(RaContext{nullptr, dims_});
+}
+
+StatusOr<Translation> OptimizerSession::Translate(const ExprPtr& la,
+                                                  const Catalog& catalog) {
+  Timer timer;
+  Translation t;
+  t.la = la;
+  SPORES_ASSIGN_OR_RETURN(t.program, TranslateLaToRa(la, catalog, dims_));
+  t.seconds = timer.Seconds();
+  return t;
+}
+
+StatusOr<Saturation> OptimizerSession::Saturate(const Translation& t,
+                                                const Catalog& catalog) {
+  if (!t.program.ra) {
+    return Status::InvalidArgument("Saturate: empty translation");
+  }
+  Timer timer;
+  Saturation s;
+  RaContext ctx{&catalog, dims_};
+  s.egraph = std::make_unique<EGraph>(std::make_unique<RaAnalysis>(ctx));
+  ClassId root = s.egraph->AddExpr(t.program.ra);
+  s.egraph->Rebuild();
+  // Keep per-query saturation deterministic but decorrelated: the first
+  // query reproduces the configured seed exactly, later ones offset it.
+  RunnerConfig runner_config = config_.runner;
+  runner_config.seed = config_.runner.seed + saturation_count_++;
+  Runner runner(s.egraph.get(), &rules_, runner_config);
+  s.report = runner.Run();
+  s.root = s.egraph->Find(root);
+  CostModel cost(ctx);
+  s.original_cost = TermCost(*s.egraph, cost, t.program.ra);
+  s.seconds = timer.Seconds();
+  return s;
+}
+
+StatusOr<Extraction> OptimizerSession::Extract(const Saturation& s,
+                                               const Translation& t,
+                                               const Catalog& catalog) const {
+  if (!s.egraph) {
+    return Status::InvalidArgument("Extract: empty saturation");
+  }
+  Timer timer;
+  RaContext ctx{&catalog, dims_};
+  CostModel cost(ctx);
+
+  auto run_one = [&](ExtractionStrategy strategy) -> StatusOr<PlanChoice> {
+    StatusOr<ExtractionResult> extracted =
+        strategy == ExtractionStrategy::kIlp
+            ? IlpExtract(*s.egraph, s.root, cost, config_.ilp)
+            : GreedyExtract(*s.egraph, s.root, cost);
+    if (!extracted.ok()) return extracted.status();
+    PlanChoice choice;
+    choice.strategy = strategy;
+    choice.cost = extracted.value().cost;
+    choice.optimal = extracted.value().optimal;
+    SPORES_ASSIGN_OR_RETURN(
+        choice.la, TranslateRaToLa(extracted.value().expr, t.program, catalog));
+    // Sanity: the optimized plan must keep the input's shape.
+    SPORES_ASSIGN_OR_RETURN(Shape out_shape, InferShape(choice.la, catalog));
+    if (!(out_shape == t.program.out_shape)) {
+      return Status::Internal("optimized plan changed output shape");
+    }
+    return choice;
+  };
+
+  Extraction result;
+  SPORES_ASSIGN_OR_RETURN(result.chosen, run_one(config_.extraction));
+  result.alternatives.push_back(result.chosen);
+  if (config_.collect_alternatives) {
+    ExtractionStrategy other = config_.extraction == ExtractionStrategy::kIlp
+                                   ? ExtractionStrategy::kGreedy
+                                   : ExtractionStrategy::kIlp;
+    StatusOr<PlanChoice> alt = run_one(other);
+    if (alt.ok()) result.alternatives.push_back(std::move(alt).value());
+  }
+  result.seconds = timer.Seconds();
+  return result;
+}
+
+ExprPtr OptimizerSession::Fuse(const ExprPtr& la) const {
+  return ApplyFusion(la);
+}
+
+OptimizedPlan OptimizerSession::Fallback(const ExprPtr& expr,
+                                         const Status& status,
+                                         OptimizedPlan out) {
+  out.used_fallback = true;
+  out.fallback_reason = status.ToString();
+  if (out.original_cost <= 0.0) {
+    // Translation itself failed: no model cost is available, so report a
+    // structural floor (node count) — still nonzero for any real input.
+    out.original_cost = static_cast<double>(expr->TreeSize());
+  }
+  out.plan_cost = out.original_cost;  // the fallback plan IS the input
+  Timer fuse_timer;
+  out.plan = config_.apply_fusion ? Fuse(expr) : expr;
+  out.timings.fuse_seconds = fuse_timer.Seconds();
+  ++stats_.fallbacks;
+  return out;
+}
+
+OptimizedPlan OptimizerSession::Optimize(const ExprPtr& expr,
+                                         const Catalog& catalog) {
+  ++stats_.queries;
+  Timer total;
+  OptimizedPlan out;
+  struct StatsGuard {
+    SessionStats& stats;
+    Timer& total;
+    ~StatsGuard() { stats.compile_seconds += total.Seconds(); }
+  } guard{stats_, total};
+
+  // ---- Translate ----
+  Timer stage;
+  StatusOr<Translation> translated = Translate(expr, catalog);
+  out.timings.translate_seconds =
+      translated.ok() ? translated.value().seconds : stage.Seconds();
+  if (!translated.ok()) {
+    return Fallback(expr, translated.status(), std::move(out));
+  }
+  const Translation& t = translated.value();
+
+  // ---- Plan-cache probe ----
+  StatusOr<PlanCacheKey> key = Status::Unsupported("plan cache disabled");
+  if (config_.enable_plan_cache) {
+    stage.Reset();
+    key = BuildPlanCacheKey(expr, t.program, catalog, *dims_);
+    if (key.ok()) {
+      if (const OptimizedPlan* cached = cache_.Lookup(key.value())) {
+        double cache_seconds = stage.Seconds();
+        out = *cached;  // plan, costs, optimality, alternatives
+        out.cache_hit = true;
+        out.used_fallback = false;
+        out.fallback_reason.clear();
+        out.timings = StageTimings{};
+        out.timings.translate_seconds = t.seconds;
+        out.timings.cache_seconds = cache_seconds;
+        out.saturation = RunnerReport{};  // no saturation ran
+        ++stats_.cache_hits;
+        return out;
+      }
+      ++stats_.cache_misses;
+    } else {
+      ++stats_.cache_misses;  // canonicalization bypass counts as a miss
+    }
+    out.timings.cache_seconds = stage.Seconds();
+  }
+
+  // ---- Saturate ----
+  stage.Reset();
+  StatusOr<Saturation> saturated = Saturate(t, catalog);
+  ++stats_.saturations;
+  out.timings.saturate_seconds =
+      saturated.ok() ? saturated.value().seconds : stage.Seconds();
+  if (!saturated.ok()) {
+    return Fallback(expr, saturated.status(), std::move(out));
+  }
+  const Saturation& s = saturated.value();
+  out.saturation = s.report;
+  out.original_cost = s.original_cost;
+
+  // ---- Extract (+ lower) ----
+  stage.Reset();
+  StatusOr<Extraction> extracted = Extract(s, t, catalog);
+  out.timings.extract_seconds =
+      extracted.ok() ? extracted.value().seconds : stage.Seconds();
+  if (!extracted.ok()) {
+    return Fallback(expr, extracted.status(), std::move(out));
+  }
+  Extraction& e = extracted.value();
+  out.plan_cost = e.chosen.cost;
+  out.optimal = e.chosen.optimal;
+  out.alternatives = std::move(e.alternatives);
+
+  // ---- Fuse ----
+  stage.Reset();
+  out.plan = config_.apply_fusion ? Fuse(e.chosen.la) : e.chosen.la;
+  out.timings.fuse_seconds = stage.Seconds();
+
+  if (config_.enable_plan_cache && key.ok()) {
+    cache_.Insert(key.value(), out);
+  }
+  return out;
+}
+
+}  // namespace spores

@@ -1,0 +1,145 @@
+// Session-based SPORES optimizer (Fig 13 as a composable pipeline).
+//
+// An OptimizerSession amortizes compile state across many queries: it owns
+// the compiled R_EQ rule set, the attribute-dimension environment shared by
+// translation / analysis / costing, the saturation RNG, and a plan cache
+// keyed on canonical form (isomorphic queries skip saturation entirely).
+//
+// The pipeline stages are first-class and individually invocable —
+//
+//   Translate  LA -> RA                      (R_LR, Fig 2)
+//   Saturate   equality saturation over R_EQ (Fig 8, Sec 3.1)
+//   Extract    cheapest-plan extraction + RA -> LA lowering
+//   Fuse       fused-operator post-pass
+//
+// — each returning StatusOr<stage result> with its own report, so callers
+// can run the full Optimize() driver (cache + fallback policy included) or
+// compose stages themselves, e.g. to inspect the saturated e-graph or to
+// compare greedy and ILP extractions on one saturation.
+//
+// Any stage failure inside Optimize() falls back to the (fused) input
+// expression — never worse than no optimization.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/cost/cost_model.h"
+#include "src/egraph/runner.h"
+#include "src/extract/extractor.h"
+#include "src/ir/expr.h"
+#include "src/optimizer/optimized_plan.h"
+#include "src/optimizer/plan_cache.h"
+#include "src/rules/rules_lr.h"
+
+namespace spores {
+
+struct SessionConfig {
+  RunnerConfig runner;  ///< saturation strategy / limits (Sec 3.1)
+  ExtractionStrategy extraction = ExtractionStrategy::kIlp;
+  IlpExtractConfig ilp;
+  bool apply_fusion = true;  ///< run the fused-operator post-pass
+  /// Also run the non-chosen extractor and surface both plans in
+  /// OptimizedPlan::alternatives (greedy vs ILP, Fig 17's comparison).
+  bool collect_alternatives = false;
+  bool enable_plan_cache = true;
+  size_t plan_cache_capacity = 256;
+};
+
+/// Result of the Translate stage.
+struct Translation {
+  ExprPtr la;         ///< the source expression
+  RaProgram program;  ///< RA term + shared attribute dims
+  double seconds = 0.0;
+};
+
+/// Result of the Saturate stage. Owns the saturated e-graph; the catalog
+/// passed to Saturate must stay alive while this is used.
+struct Saturation {
+  std::unique_ptr<EGraph> egraph;
+  ClassId root = kInvalidClassId;
+  RunnerReport report;
+  double original_cost = 0.0;  ///< model cost of the input term
+  double seconds = 0.0;
+};
+
+/// Result of the Extract stage: lowered LA plans with model costs.
+struct Extraction {
+  PlanChoice chosen;
+  /// Every choice computed (chosen first; both strategies when
+  /// SessionConfig::collect_alternatives is set).
+  std::vector<PlanChoice> alternatives;
+  double seconds = 0.0;
+};
+
+/// Cumulative per-session counters (cache behavior, fallbacks, compile time).
+struct SessionStats {
+  size_t queries = 0;
+  size_t cache_hits = 0;
+  size_t cache_misses = 0;  ///< includes canonicalization bypasses
+  size_t fallbacks = 0;
+  size_t saturations = 0;  ///< queries that actually ran saturation
+  double compile_seconds = 0.0;
+
+  std::string ToString() const;
+};
+
+/// A long-lived optimizer: construct once, call Optimize per query. The
+/// catalog is per-call so one session can serve queries over many input
+/// bindings; the plan cache discriminates on input dimensions and sparsity.
+/// Not thread-safe; use one session per thread.
+class OptimizerSession {
+ public:
+  explicit OptimizerSession(SessionConfig config = {});
+
+  OptimizerSession(const OptimizerSession&) = delete;
+  OptimizerSession& operator=(const OptimizerSession&) = delete;
+
+  /// Full pipeline with plan-cache probe and fallback policy. Never fails:
+  /// on stage failure the returned plan is the (fused) input and
+  /// `used_fallback` is set with the stage's error as the reason.
+  OptimizedPlan Optimize(const ExprPtr& expr, const Catalog& catalog);
+
+  // ---- Individually-invocable pipeline stages ----
+
+  /// LA -> RA. Records attribute dimensions in the session's shared DimEnv.
+  StatusOr<Translation> Translate(const ExprPtr& la, const Catalog& catalog);
+
+  /// Builds an e-graph from the translation and equality-saturates it with
+  /// the session's compiled rule set.
+  StatusOr<Saturation> Saturate(const Translation& t, const Catalog& catalog);
+
+  /// Extracts the cheapest plan (per config) from a saturated e-graph and
+  /// lowers it back to LA, verifying the output shape is preserved.
+  StatusOr<Extraction> Extract(const Saturation& s, const Translation& t,
+                               const Catalog& catalog) const;
+
+  /// Fused-operator post-pass (always applies; Optimize gates it on
+  /// config.apply_fusion).
+  ExprPtr Fuse(const ExprPtr& la) const;
+
+  // ---- Introspection ----
+
+  const SessionConfig& config() const { return config_; }
+  const SessionStats& stats() const { return stats_; }
+  const PlanCacheStats& cache_stats() const { return cache_.stats(); }
+  size_t PlanCacheSize() const { return cache_.size(); }
+  void ClearPlanCache() { cache_.Clear(); }
+  /// The attribute-dimension environment shared across this session's
+  /// queries (grows monotonically; attribute names are globally fresh).
+  const DimEnv& dims() const { return *dims_; }
+
+ private:
+  OptimizedPlan Fallback(const ExprPtr& expr, const Status& status,
+                         OptimizedPlan out);
+
+  SessionConfig config_;
+  std::shared_ptr<DimEnv> dims_;
+  std::vector<Rewrite> rules_;  ///< R_EQ, compiled once per session
+  PlanCache cache_;
+  SessionStats stats_;
+  uint64_t saturation_count_ = 0;  ///< per-query saturation seed offset
+};
+
+}  // namespace spores

@@ -1,0 +1,107 @@
+#include "src/optimizer/plan_cache.h"
+
+#include <cstdio>
+
+#include "src/canon/isomorphism.h"
+
+namespace spores {
+
+StatusOr<PlanCacheKey> BuildPlanCacheKey(const ExprPtr& la,
+                                         const RaProgram& program,
+                                         const Catalog& catalog,
+                                         DimEnv& dims) {
+  // Normalize the free (output) attributes to fixed sentinels: every
+  // translation draws fresh output names, and PolytermIsomorphic requires
+  // free attributes to match exactly. The sentinels are deliberately NOT
+  // registered in `dims` — they are free in the whole term, so
+  // canonicalization never reads their dimension (only aggregated
+  // attributes are looked up), and registering them would re-bind the
+  // shared env on every output-shape change.
+  std::unordered_map<Symbol, Symbol> renaming;
+  if (!program.out_row.empty()) {
+    renaming.emplace(program.out_row, Symbol::Intern("$cache_row"));
+  }
+  if (!program.out_col.empty()) {
+    renaming.emplace(program.out_col, Symbol::Intern("$cache_col"));
+  }
+  ExprPtr ra =
+      renaming.empty() ? program.ra : RenameAttrs(program.ra, renaming);
+  SPORES_ASSIGN_OR_RETURN(Polyterm canon, CanonicalizeRa(ra, dims));
+
+  PlanCacheKey key;
+  key.canon = std::move(canon);
+  // Fingerprint: output shape, each referenced input's dims + sparsity, and
+  // the polyterm signature. All exact-match; isomorphism only has to absorb
+  // attribute renaming within a bucket.
+  std::string& fp = key.fingerprint;
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "out:%lldx%lld;",
+                static_cast<long long>(program.out_shape.rows),
+                static_cast<long long>(program.out_shape.cols));
+  fp += buf;
+  for (Symbol v : CollectVars(la)) {
+    if (!catalog.Has(v)) continue;  // translation already validated inputs
+    const MatrixMeta& m = catalog.Get(v);
+    fp += v.str();  // appended separately: names must never truncate
+    std::snprintf(buf, sizeof(buf), ":%lldx%lld@%.17g;",
+                  static_cast<long long>(m.shape.rows),
+                  static_cast<long long>(m.shape.cols), m.sparsity);
+    fp += buf;
+  }
+  fp += PolytermSignature(key.canon);
+  return key;
+}
+
+const OptimizedPlan* PlanCache::Lookup(const PlanCacheKey& key) {
+  auto it = buckets_.find(key.fingerprint);
+  if (it != buckets_.end()) {
+    for (const Entry& e : it->second) {
+      if (PolytermIsomorphic(e.canon, key.canon)) {
+        ++stats_.hits;
+        return &e.plan;
+      }
+    }
+  }
+  ++stats_.misses;
+  return nullptr;
+}
+
+void PlanCache::Insert(const PlanCacheKey& key, OptimizedPlan plan) {
+  if (capacity_ == 0) return;
+  std::vector<Entry>& bucket = buckets_[key.fingerprint];
+  for (const Entry& e : bucket) {
+    if (PolytermIsomorphic(e.canon, key.canon)) return;
+  }
+  while (size_ >= capacity_ && !fifo_.empty()) {
+    auto [fp, order] = fifo_.front();
+    fifo_.pop_front();
+    auto victim = buckets_.find(fp);
+    if (victim == buckets_.end()) continue;
+    std::vector<Entry>& entries = victim->second;
+    for (size_t i = 0; i < entries.size(); ++i) {
+      if (entries[i].order == order) {
+        entries.erase(entries.begin() + i);
+        --size_;
+        ++stats_.evictions;
+        break;
+      }
+    }
+    if (entries.empty()) buckets_.erase(victim);
+  }
+  Entry entry;
+  entry.canon = key.canon;
+  entry.plan = std::move(plan);
+  entry.order = next_order_++;
+  fifo_.emplace_back(key.fingerprint, entry.order);
+  buckets_[key.fingerprint].push_back(std::move(entry));
+  ++size_;
+  ++stats_.insertions;
+}
+
+void PlanCache::Clear() {
+  buckets_.clear();
+  fifo_.clear();
+  size_ = 0;
+}
+
+}  // namespace spores

@@ -1,0 +1,83 @@
+// Plan cache keyed on canonical form (Definition 2.1): a query's translated
+// RA term is canonicalized to a polyterm with its output attributes
+// normalized to fixed sentinels, so two isomorphic queries — the same
+// expression resubmitted (translation draws fresh attribute names each
+// time), or a differently-written but equivalent one — map to isomorphic
+// keys and share a plan without re-saturating (Theorem 2.3 makes this
+// sound). The fingerprint folds in every input's dimensions and sparsity,
+// so a dimension or density change is a miss: plan choice is cost-based and
+// costs depend on the catalog.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/canon/canonical.h"
+#include "src/optimizer/optimized_plan.h"
+#include "src/rules/rules_lr.h"
+
+namespace spores {
+
+/// Cache key: an exact-match fingerprint (input metadata + polyterm
+/// signature) selecting a bucket, plus the canonical polyterm compared up to
+/// isomorphism within the bucket.
+struct PlanCacheKey {
+  std::string fingerprint;
+  Polyterm canon;
+};
+
+/// Builds the cache key for one translated query. `la` is the source LA
+/// expression (its variables' catalog metadata enter the fingerprint) and
+/// `dims` the attribute-dimension environment the translation wrote into;
+/// canonicalization records sentinel and fresh-rename dimensions in it, the
+/// same contract as CanonicalizeRa (no copy — probes stay O(query), not
+/// O(session age)). Fails when the RA term cannot be canonicalized; callers
+/// then bypass the cache and optimize normally.
+StatusOr<PlanCacheKey> BuildPlanCacheKey(const ExprPtr& la,
+                                         const RaProgram& program,
+                                         const Catalog& catalog,
+                                         DimEnv& dims);
+
+struct PlanCacheStats {
+  size_t hits = 0;
+  size_t misses = 0;
+  size_t insertions = 0;
+  size_t evictions = 0;
+};
+
+/// FIFO-bounded map from canonical form to OptimizedPlan.
+class PlanCache {
+ public:
+  explicit PlanCache(size_t capacity = 256) : capacity_(capacity) {}
+
+  /// Returns the cached plan isomorphic to `key`, or nullptr. Counts a hit
+  /// or a miss either way.
+  const OptimizedPlan* Lookup(const PlanCacheKey& key);
+
+  /// Inserts (no-op if an isomorphic entry already exists). Evicts the
+  /// oldest entry when at capacity.
+  void Insert(const PlanCacheKey& key, OptimizedPlan plan);
+
+  size_t size() const { return size_; }
+  const PlanCacheStats& stats() const { return stats_; }
+  void Clear();
+
+ private:
+  struct Entry {
+    Polyterm canon;
+    OptimizedPlan plan;
+    uint64_t order = 0;
+  };
+
+  size_t capacity_;
+  size_t size_ = 0;
+  uint64_t next_order_ = 0;
+  std::unordered_map<std::string, std::vector<Entry>> buckets_;
+  std::deque<std::pair<std::string, uint64_t>> fifo_;  ///< (fingerprint, order)
+  PlanCacheStats stats_;
+};
+
+}  // namespace spores

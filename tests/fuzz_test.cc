@@ -9,7 +9,7 @@
 
 #include "src/ir/printer.h"
 #include "src/optimizer/heuristic_optimizer.h"
-#include "src/optimizer/spores_optimizer.h"
+#include "src/optimizer/optimizer_session.h"
 #include "src/runtime/executor.h"
 
 namespace spores {
@@ -193,21 +193,21 @@ TEST_P(OptimizerFuzz, AllOptimizersPreserveSemantics) {
     const char* name;
     ExprPtr plan;
   };
-  SporesConfig greedy_cfg;
+  SessionConfig greedy_cfg;
   greedy_cfg.extraction = ExtractionStrategy::kGreedy;
   // Keep per-case saturation cheap: these are 100 cases.
   greedy_cfg.runner.max_iterations = 12;
-  SporesConfig ilp_cfg;
+  SessionConfig ilp_cfg;
   ilp_cfg.runner.max_iterations = 12;
   ilp_cfg.ilp.timeout_seconds = 0.5;
   HeuristicOptimizer heuristic(OptLevel::kOpt2);
-  SporesOptimizer spores_greedy(greedy_cfg);
-  SporesOptimizer spores_ilp(ilp_cfg);
+  OptimizerSession spores_greedy(greedy_cfg);
+  OptimizerSession spores_ilp(ilp_cfg);
 
   std::vector<Candidate> candidates = {
       {"heuristic", heuristic.Optimize(expr, catalog)},
-      {"spores-greedy", spores_greedy.Optimize(expr, catalog)},
-      {"spores-ilp", spores_ilp.Optimize(expr, catalog)},
+      {"spores-greedy", spores_greedy.Optimize(expr, catalog).plan},
+      {"spores-ilp", spores_ilp.Optimize(expr, catalog).plan},
   };
   for (const Candidate& c : candidates) {
     auto actual = Execute(c.plan, inputs);

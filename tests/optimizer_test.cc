@@ -6,7 +6,7 @@
 #include "src/ir/parser.h"
 #include "src/ir/printer.h"
 #include "src/optimizer/heuristic_optimizer.h"
-#include "src/optimizer/spores_optimizer.h"
+#include "src/optimizer/optimizer_session.h"
 #include "src/rules/rules_fusion.h"
 #include "src/runtime/kernels.h"
 #include "src/workloads/generators.h"
@@ -143,9 +143,9 @@ TEST_P(PipelineNumerics, OptimizedPlanMatchesOriginal) {
   WorkloadData data = regression
                           ? MakeRegressionData(300, 120, 0.05, 31)
                           : MakeFactorizationData(250, 200, 6, 0.02, 31);
-  SporesOptimizer opt;
-  OptimizeReport report;
-  ExprPtr optimized = opt.Optimize(prog.expr, data.catalog, &report);
+  OptimizerSession session;
+  OptimizedPlan result = session.Optimize(prog.expr, data.catalog);
+  ExprPtr optimized = result.plan;
   auto expected = Execute(prog.expr, data.inputs);
   auto actual = Execute(optimized, data.inputs);
   ASSERT_TRUE(expected.ok());
@@ -160,21 +160,19 @@ INSTANTIATE_TEST_SUITE_P(AllSix, PipelineNumerics, ::testing::Range(0, 6));
 
 TEST(Pipeline, AlsExploitsSparsity) {
   WorkloadData data = MakeFactorizationData(400, 300, 8, 0.02, 7);
-  SporesOptimizer opt;
-  OptimizeReport report;
-  opt.Optimize(AlsProgram().expr, data.catalog, &report);
-  EXPECT_FALSE(report.used_fallback) << report.fallback_reason;
+  OptimizerSession session;
+  OptimizedPlan result = session.Optimize(AlsProgram().expr, data.catalog);
+  EXPECT_FALSE(result.used_fallback) << result.fallback_reason;
   // Model cost must drop dramatically (paper: up to 5X wall clock).
-  EXPECT_LT(report.plan_cost, report.original_cost / 5);
+  EXPECT_LT(result.plan_cost, result.original_cost / 5);
 }
 
 TEST(Pipeline, PnmfAvoidsDenseProductDespiteCse) {
   WorkloadData data = MakeFactorizationData(400, 300, 8, 0.02, 7);
-  SporesOptimizer opt;
-  OptimizeReport report;
-  ExprPtr optimized = opt.Optimize(PnmfProgram().expr, data.catalog, &report);
-  EXPECT_FALSE(report.used_fallback);
-  EXPECT_LT(report.plan_cost, report.original_cost / 10);
+  OptimizerSession session;
+  OptimizedPlan result = session.Optimize(PnmfProgram().expr, data.catalog);
+  EXPECT_FALSE(result.used_fallback);
+  EXPECT_LT(result.plan_cost, result.original_cost / 10);
   // The heuristic is blocked by its CSE guard on the same program.
   HeuristicOptimizer heur(OptLevel::kOpt2);
   ExprPtr hopt = heur.Optimize(PnmfProgram().expr, data.catalog);
@@ -183,22 +181,21 @@ TEST(Pipeline, PnmfAvoidsDenseProductDespiteCse) {
 
 TEST(Pipeline, MlrFindsSprop) {
   WorkloadData data = MakeRegressionData(500, 200, 0.05, 7);
-  SporesOptimizer opt;
-  ExprPtr optimized = opt.Optimize(MlrProgram().expr, data.catalog);
-  EXPECT_NE(ToString(optimized).find("sprop"), std::string::npos)
-      << ToString(optimized);
+  OptimizerSession session;
+  OptimizedPlan result = session.Optimize(MlrProgram().expr, data.catalog);
+  EXPECT_NE(ToString(result.plan).find("sprop"), std::string::npos)
+      << ToString(result.plan);
 }
 
 TEST(Pipeline, GreedyExtractionAlsoWorks) {
   WorkloadData data = MakeFactorizationData(300, 200, 6, 0.02, 7);
-  SporesConfig cfg;
+  SessionConfig cfg;
   cfg.extraction = ExtractionStrategy::kGreedy;
-  SporesOptimizer opt(cfg);
-  OptimizeReport report;
-  ExprPtr optimized = opt.Optimize(AlsProgram().expr, data.catalog, &report);
-  EXPECT_FALSE(report.used_fallback);
+  OptimizerSession session(cfg);
+  OptimizedPlan result = session.Optimize(AlsProgram().expr, data.catalog);
+  EXPECT_FALSE(result.used_fallback);
   auto r0 = Execute(AlsProgram().expr, data.inputs);
-  auto r1 = Execute(optimized, data.inputs);
+  auto r1 = Execute(result.plan, data.inputs);
   ASSERT_TRUE(r0.ok());
   ASSERT_TRUE(r1.ok());
   EXPECT_LT(Matrix::MaxAbsDiff(r0.value(), r1.value()), 1e-8);
@@ -206,22 +203,24 @@ TEST(Pipeline, GreedyExtractionAlsoWorks) {
 
 TEST(Pipeline, FallbackReturnsOriginalOnUnknownInput) {
   Catalog empty;
-  SporesOptimizer opt;
-  OptimizeReport report;
+  OptimizerSession session;
   ExprPtr e = ParseExpr("Q %*% R").value();
-  ExprPtr out = opt.Optimize(e, empty, &report);
-  EXPECT_TRUE(report.used_fallback);
-  EXPECT_TRUE(ExprEquals(out, e));
+  OptimizedPlan result = session.Optimize(e, empty);
+  EXPECT_TRUE(result.used_fallback);
+  EXPECT_TRUE(ExprEquals(result.plan, e));
+  // Fallback plans still carry a nonzero cost estimate (structural floor).
+  EXPECT_GT(result.original_cost, 0.0);
+  EXPECT_EQ(result.plan_cost, result.original_cost);
+  EXPECT_EQ(session.stats().fallbacks, 1u);
 }
 
 TEST(Pipeline, ReportBreaksDownCompileTime) {
   WorkloadData data = MakeRegressionData(200, 100, 0.05, 7);
-  SporesOptimizer opt;
-  OptimizeReport report;
-  opt.Optimize(GlmProgram().expr, data.catalog, &report);
-  EXPECT_GT(report.saturate_seconds, 0.0);
-  EXPECT_GT(report.extract_seconds, 0.0);
-  EXPECT_GT(report.TotalSeconds(), 0.0);
+  OptimizerSession session;
+  OptimizedPlan result = session.Optimize(GlmProgram().expr, data.catalog);
+  EXPECT_GT(result.timings.saturate_seconds, 0.0);
+  EXPECT_GT(result.timings.extract_seconds, 0.0);
+  EXPECT_GT(result.timings.TotalSeconds(), 0.0);
 }
 
 }  // namespace

@@ -138,7 +138,7 @@ TEST(Runner, ReportToStringMentionsReason) {
 TEST(Runner, EmptyRuleSetSaturatesImmediately) {
   EGraph eg;
   eg.AddExpr(Expr::Var("x"));
-  Runner runner(&eg, {});
+  Runner runner(&eg, std::vector<Rewrite>{});
   RunnerReport report = runner.Run();
   EXPECT_EQ(report.stop_reason, StopReason::kSaturated);
   EXPECT_EQ(report.applied_matches, 0u);

@@ -1,0 +1,268 @@
+// Tests of the session-based optimizer API: state reuse across queries,
+// per-stage StatusOr error propagation, and the canonical-form plan cache
+// (hit on repeated/isomorphic queries, miss on dimension or sparsity
+// changes, warm-vs-cold compile time).
+#include <gtest/gtest.h>
+
+#include "src/ir/parser.h"
+#include "src/ir/printer.h"
+#include "src/optimizer/optimizer_session.h"
+#include "src/runtime/executor.h"
+#include "src/runtime/kernels.h"
+#include "src/util/timer.h"
+#include "src/workloads/generators.h"
+#include "src/workloads/programs.h"
+
+namespace spores {
+namespace {
+
+// ---- Session reuse ----
+
+TEST(Session, ReusedAcrossManyQueries) {
+  WorkloadData data = MakeFactorizationData(250, 200, 6, 0.02, 31);
+  OptimizerSession session;
+  for (const Program& prog :
+       {AlsProgram(), PnmfProgram(), IntroProgram()}) {
+    OptimizedPlan result = session.Optimize(prog.expr, data.catalog);
+    EXPECT_FALSE(result.used_fallback) << prog.name << ": "
+                                       << result.fallback_reason;
+    auto expected = Execute(prog.expr, data.inputs);
+    auto actual = Execute(result.plan, data.inputs);
+    ASSERT_TRUE(expected.ok() && actual.ok()) << prog.name;
+    double scale = 1.0 + std::abs(SumAll(expected.value()));
+    EXPECT_LT(Matrix::MaxAbsDiff(expected.value(), actual.value()),
+              1e-7 * scale)
+        << prog.name;
+  }
+  EXPECT_EQ(session.stats().queries, 3u);
+  EXPECT_EQ(session.stats().saturations, 3u);
+  EXPECT_EQ(session.stats().fallbacks, 0u);
+}
+
+TEST(Session, MixedCatalogsInOneSession) {
+  // The same session serves queries over unrelated catalogs (regression
+  // then factorization data) without cross-contamination.
+  OptimizerSession session;
+  WorkloadData reg = MakeRegressionData(200, 100, 0.05, 7);
+  WorkloadData fac = MakeFactorizationData(250, 200, 6, 0.02, 7);
+  OptimizedPlan r1 = session.Optimize(GlmProgram().expr, reg.catalog);
+  OptimizedPlan r2 = session.Optimize(AlsProgram().expr, fac.catalog);
+  EXPECT_FALSE(r1.used_fallback);
+  EXPECT_FALSE(r2.used_fallback);
+  auto e2 = Execute(AlsProgram().expr, fac.inputs);
+  auto a2 = Execute(r2.plan, fac.inputs);
+  ASSERT_TRUE(e2.ok() && a2.ok());
+  EXPECT_LT(Matrix::MaxAbsDiff(e2.value(), a2.value()), 1e-6);
+}
+
+// ---- Per-stage StatusOr error propagation ----
+
+TEST(Stages, TranslateFailsOnUnknownInput) {
+  OptimizerSession session;
+  Catalog empty;
+  auto t = session.Translate(ParseExpr("Q %*% R").value(), empty);
+  EXPECT_FALSE(t.ok());
+  EXPECT_FALSE(t.status().message().empty());
+}
+
+TEST(Stages, SaturateRejectsEmptyTranslation) {
+  OptimizerSession session;
+  Catalog c;
+  c.Register("X", 10, 10);
+  Translation t;  // never produced by Translate
+  auto s = session.Saturate(t, c);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Stages, ExtractRejectsEmptySaturation) {
+  OptimizerSession session;
+  Catalog c;
+  c.Register("X", 10, 10);
+  Translation t;
+  Saturation s;  // never produced by Saturate
+  auto e = session.Extract(s, t, c);
+  EXPECT_FALSE(e.ok());
+  EXPECT_EQ(e.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Stages, ComposedManuallyMatchesOptimize) {
+  // Drive the pipeline stage by stage and check it agrees with the driver.
+  WorkloadData data = MakeFactorizationData(250, 200, 6, 0.02, 31);
+  SessionConfig cfg;
+  cfg.enable_plan_cache = false;
+  OptimizerSession session(cfg);
+  ExprPtr expr = AlsProgram().expr;
+
+  auto t = session.Translate(expr, data.catalog);
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  auto s = session.Saturate(t.value(), data.catalog);
+  ASSERT_TRUE(s.ok()) << s.status().ToString();
+  EXPECT_GT(s.value().original_cost, 0.0);
+  EXPECT_GT(s.value().report.iterations, 0u);
+  auto e = session.Extract(s.value(), t.value(), data.catalog);
+  ASSERT_TRUE(e.ok()) << e.status().ToString();
+  EXPECT_LE(e.value().chosen.cost, s.value().original_cost * (1 + 1e-9));
+  ExprPtr plan = session.Fuse(e.value().chosen.la);
+
+  OptimizerSession driver(cfg);
+  OptimizedPlan reference = driver.Optimize(expr, data.catalog);
+  ASSERT_FALSE(reference.used_fallback);
+  EXPECT_EQ(ToString(plan), ToString(reference.plan));
+  EXPECT_DOUBLE_EQ(e.value().chosen.cost, reference.plan_cost);
+}
+
+TEST(Stages, CollectAlternativesReportsBothExtractors) {
+  WorkloadData data = MakeFactorizationData(250, 200, 6, 0.02, 31);
+  SessionConfig cfg;
+  cfg.collect_alternatives = true;
+  OptimizerSession session(cfg);
+  OptimizedPlan result = session.Optimize(AlsProgram().expr, data.catalog);
+  ASSERT_FALSE(result.used_fallback);
+  ASSERT_EQ(result.alternatives.size(), 2u);
+  EXPECT_EQ(result.alternatives[0].strategy, ExtractionStrategy::kIlp);
+  EXPECT_EQ(result.alternatives[1].strategy, ExtractionStrategy::kGreedy);
+  for (const PlanChoice& choice : result.alternatives) {
+    ASSERT_TRUE(choice.la != nullptr);
+    EXPECT_GT(choice.cost, 0.0);
+  }
+  // Fig 17's finding: greedy matches the ILP's plan cost on these workloads.
+  EXPECT_LE(result.alternatives[0].cost,
+            result.alternatives[1].cost * (1 + 1e-9));
+}
+
+// ---- Plan cache ----
+
+TEST(PlanCache, HitOnRepeatedQuerySkipsSaturation) {
+  WorkloadData data = MakeFactorizationData(250, 200, 6, 0.02, 31);
+  OptimizerSession session;
+  ExprPtr expr = AlsProgram().expr;
+
+  Timer t;
+  OptimizedPlan cold = session.Optimize(expr, data.catalog);
+  double cold_seconds = t.Seconds();
+  ASSERT_FALSE(cold.used_fallback);
+  EXPECT_FALSE(cold.cache_hit);
+  EXPECT_EQ(session.stats().cache_misses, 1u);
+
+  t.Reset();
+  OptimizedPlan warm = session.Optimize(expr, data.catalog);
+  double warm_seconds = t.Seconds();
+  EXPECT_TRUE(warm.cache_hit);
+  EXPECT_EQ(session.stats().cache_hits, 1u);
+  EXPECT_EQ(session.stats().saturations, 1u);  // saturation ran only once
+  EXPECT_EQ(warm.timings.saturate_seconds, 0.0);
+  EXPECT_EQ(warm.saturation.iterations, 0u);
+  EXPECT_EQ(ToString(warm.plan), ToString(cold.plan));
+  EXPECT_DOUBLE_EQ(warm.plan_cost, cold.plan_cost);
+  // Warm-vs-cold: skipping saturation + extraction must be visibly faster.
+  EXPECT_LT(warm_seconds, cold_seconds);
+}
+
+TEST(PlanCache, HitOnIsomorphicQuery) {
+  // sum(X + Y) and sum(Y + X) differ syntactically but share a canonical
+  // form (Theorem 2.3), so the second query reuses the first's plan.
+  Catalog c;
+  c.Register("X", 200, 150, 0.1);
+  c.Register("Y", 200, 150);
+  OptimizerSession session;
+  OptimizedPlan first =
+      session.Optimize(ParseExpr("sum(X + Y)").value(), c);
+  ASSERT_FALSE(first.used_fallback);
+  OptimizedPlan second =
+      session.Optimize(ParseExpr("sum(Y + X)").value(), c);
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(session.stats().cache_hits, 1u);
+  EXPECT_EQ(ToString(second.plan), ToString(first.plan));
+}
+
+TEST(PlanCache, MissOnDimensionChange) {
+  OptimizerSession session;
+  ExprPtr expr = ParseExpr("sum((X - U %*% t(V))^2)").value();
+
+  Catalog small;
+  small.Register("X", 200, 150, 0.02);
+  small.Register("U", 200, 6);
+  small.Register("V", 150, 6);
+  OptimizedPlan r1 = session.Optimize(expr, small);
+  ASSERT_FALSE(r1.used_fallback);
+
+  // Same query, one dimension changed: must miss (costs depend on dims).
+  Catalog grown;
+  grown.Register("X", 400, 150, 0.02);
+  grown.Register("U", 400, 6);
+  grown.Register("V", 150, 6);
+  OptimizedPlan r2 = session.Optimize(expr, grown);
+  EXPECT_FALSE(r2.cache_hit);
+
+  // Same dims, different sparsity: also a miss (plan choice is cost-based).
+  Catalog denser;
+  denser.Register("X", 200, 150, 0.9);
+  denser.Register("U", 200, 6);
+  denser.Register("V", 150, 6);
+  OptimizedPlan r3 = session.Optimize(expr, denser);
+  EXPECT_FALSE(r3.cache_hit);
+
+  EXPECT_EQ(session.stats().cache_hits, 0u);
+  EXPECT_EQ(session.stats().cache_misses, 3u);
+  EXPECT_EQ(session.PlanCacheSize(), 3u);
+
+  // And the original catalog still hits its original entry.
+  OptimizedPlan r4 = session.Optimize(expr, small);
+  EXPECT_TRUE(r4.cache_hit);
+  EXPECT_EQ(ToString(r4.plan), ToString(r1.plan));
+}
+
+TEST(PlanCache, MissOnStructurallyDifferentQuery) {
+  Catalog c;
+  c.Register("X", 200, 150, 0.1);
+  c.Register("Y", 200, 150);
+  OptimizerSession session;
+  session.Optimize(ParseExpr("sum(X + Y)").value(), c);
+  OptimizedPlan other = session.Optimize(ParseExpr("sum(X * Y)").value(), c);
+  EXPECT_FALSE(other.cache_hit);
+  EXPECT_EQ(session.stats().cache_hits, 0u);
+}
+
+TEST(PlanCache, DisabledByConfig) {
+  WorkloadData data = MakeFactorizationData(200, 150, 6, 0.02, 31);
+  SessionConfig cfg;
+  cfg.enable_plan_cache = false;
+  OptimizerSession session(cfg);
+  session.Optimize(AlsProgram().expr, data.catalog);
+  OptimizedPlan second = session.Optimize(AlsProgram().expr, data.catalog);
+  EXPECT_FALSE(second.cache_hit);
+  EXPECT_EQ(session.PlanCacheSize(), 0u);
+  EXPECT_EQ(session.stats().saturations, 2u);
+}
+
+TEST(PlanCache, EvictsOldestBeyondCapacity) {
+  Catalog c;
+  c.Register("X", 64, 48, 0.1);
+  c.Register("Y", 64, 48);
+  SessionConfig cfg;
+  cfg.plan_cache_capacity = 2;
+  OptimizerSession session(cfg);
+  session.Optimize(ParseExpr("sum(X + Y)").value(), c);
+  session.Optimize(ParseExpr("sum(X * Y)").value(), c);
+  session.Optimize(ParseExpr("sum(X - Y)").value(), c);  // evicts sum(X + Y)
+  EXPECT_EQ(session.PlanCacheSize(), 2u);
+  EXPECT_EQ(session.cache_stats().evictions, 1u);
+  OptimizedPlan replay = session.Optimize(ParseExpr("sum(X + Y)").value(), c);
+  EXPECT_FALSE(replay.cache_hit);
+}
+
+TEST(PlanCache, FallbacksAreNotCached) {
+  OptimizerSession session;
+  Catalog empty;
+  ExprPtr e = ParseExpr("Q %*% R").value();
+  OptimizedPlan r1 = session.Optimize(e, empty);
+  EXPECT_TRUE(r1.used_fallback);
+  EXPECT_EQ(session.PlanCacheSize(), 0u);
+  OptimizedPlan r2 = session.Optimize(e, empty);
+  EXPECT_TRUE(r2.used_fallback);
+  EXPECT_FALSE(r2.cache_hit);
+}
+
+}  // namespace
+}  // namespace spores
