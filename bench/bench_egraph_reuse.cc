@@ -1,0 +1,174 @@
+// Cross-query e-graph reuse: warm-graph (resumed) saturation vs cold
+// (fresh-graph) saturation on isomorphism-adjacent variants of the Fig-15
+// workloads.
+//
+// Each program is submitted to one long-lived session as a family of
+// structurally overlapping queries: the program itself, then local-delta
+// wrappers (abs(E), sign(E)) and a self-combination (E + E). None of them
+// is isomorphic to the base (the canonical-form plan cache misses), so
+// every query pays saturation — but the reuse session resumes on the
+// already-saturated shared graph, where deterministic attribute naming
+// makes the whole base subgraph hashcons-hit, and the persistent
+// RuleScheduler's search floors confine matching to the new query's delta.
+// The comparison session saturates every query on a fresh graph.
+//
+// Gates (exit 1 on violation):
+//  * identity — whenever both runs converge (kSaturated), extraction costs
+//    must agree to 1e-9 relative; budget-bounded runs (MLR-style
+//    non-converging regions) are reported but not gated, since a bounded
+//    exploration is trajectory-dependent by nature.
+//  * speedup — aggregate warm saturation over the local-delta variants
+//    must beat cold by >= 2x. Under --smoke (CI: loaded shared runners,
+//    sanitizer builds, microsecond absolute times) the ratio is
+//    report-only — wall-clock gates train people to ignore red CI — and
+//    only the identity gate fails the run.
+//
+// Usage: bench_egraph_reuse [--smoke]
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/ir/printer.h"
+
+namespace {
+
+using namespace spores;
+using namespace spores::bench;
+
+struct Variant {
+  std::string label;
+  ExprPtr expr;
+  bool gated;  ///< counts toward the speedup gate (local-delta wrappers)
+};
+
+std::vector<Variant> VariantsOf(const Program& prog) {
+  return {
+      {prog.name + " base", prog.expr, false},
+      {prog.name + " abs", Expr::Unary("abs", prog.expr), true},
+      {prog.name + " sign", Expr::Unary("sign", prog.expr), true},
+      {prog.name + " self+", Expr::Plus(prog.expr, prog.expr), false},
+  };
+}
+
+const char* StopName(StopReason r) {
+  switch (r) {
+    case StopReason::kSaturated: return "saturated";
+    case StopReason::kIterationLimit: return "iter-limit";
+    case StopReason::kNodeLimit: return "node-limit";
+    case StopReason::kTimeout: return "timeout";
+    case StopReason::kStalled: return "stalled";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+
+  std::printf("E-graph reuse: warm (resumed) vs cold (fresh-graph) "
+              "saturation%s.\n", smoke ? " [smoke]" : "");
+  std::printf("Plan cache disabled in both sessions; every query pays "
+              "saturation.\n\n");
+  std::printf("%-11s %12s %12s %9s  %-10s %-6s\n", "query", "cold-sat[ms]",
+              "warm-sat[ms]", "speedup", "stop(warm)", "cost");
+  std::printf("%.66s\n", std::string(66, '-').c_str());
+
+  // Programs sharing a data generator share a catalog, hence one shared
+  // graph per group.
+  const std::vector<std::vector<std::string>> groups = {
+      {"ALS", "PNMF"},
+      {"GLM", "SVM", "MLR"},
+  };
+
+  double gated_cold = 0.0, gated_warm = 0.0;
+  size_t mismatches = 0, compared = 0, converged_pairs = 0;
+  for (const auto& group : groups) {
+    ScalePoint scale = ScalesFor(group.front()).front();
+    if (smoke) {
+      scale.rows = std::max<int64_t>(scale.rows / 8, 64);
+      scale.cols = std::max<int64_t>(scale.cols / 8, 32);
+    }
+    WorkloadData data = DataFor(group.front(), scale);
+
+    SessionConfig warm_cfg;
+    warm_cfg.enable_plan_cache = false;
+    SessionConfig cold_cfg = warm_cfg;
+    cold_cfg.reuse_egraph = false;
+    OptimizerSession warm(warm_cfg);
+    OptimizerSession cold(cold_cfg);
+
+    for (const Program& prog : AllPrograms()) {
+      bool in_group = false;
+      for (const std::string& name : group) in_group |= prog.name == name;
+      if (!in_group) continue;
+      for (const Variant& v : VariantsOf(prog)) {
+        OptimizedPlan cp = cold.Optimize(v.expr, data.catalog);
+        OptimizedPlan wp = warm.Optimize(v.expr, data.catalog);
+        if (cp.used_fallback || wp.used_fallback) {
+          std::printf("%-11s %47s\n", v.label.c_str(), "FALLBACK (skipped)");
+          continue;
+        }
+        ++compared;
+        bool both_converged =
+            wp.saturation.stop_reason == StopReason::kSaturated &&
+            cp.saturation.stop_reason == StopReason::kSaturated;
+        bool same_cost = std::abs(wp.plan_cost - cp.plan_cost) <=
+                         1e-9 * (1.0 + std::abs(cp.plan_cost));
+        if (both_converged) {
+          ++converged_pairs;
+          if (!same_cost) {
+            ++mismatches;
+            std::printf("MISMATCH %s: warm %.6g vs cold %.6g\n"
+                        "  warm: %s\n  cold: %s\n",
+                        v.label.c_str(), wp.plan_cost, cp.plan_cost,
+                        ToString(wp.plan).c_str(), ToString(cp.plan).c_str());
+          }
+        }
+        double cold_ms = cp.timings.saturate_seconds * 1e3;
+        double warm_ms = wp.timings.saturate_seconds * 1e3;
+        if (v.gated) {
+          gated_cold += cp.timings.saturate_seconds;
+          gated_warm += wp.timings.saturate_seconds;
+        }
+        std::printf("%-11s %12.3f %12.3f %8.1fx  %-10s %-6s\n",
+                    v.label.c_str(), cold_ms, warm_ms,
+                    warm_ms > 0 ? cold_ms / warm_ms : 0.0,
+                    StopName(wp.saturation.stop_reason),
+                    both_converged ? (same_cost ? "==" : "DIFF")
+                                   : (same_cost ? "==(nc)" : "nc"));
+      }
+    }
+    std::printf("  warm session: %s\n\n", warm.stats().ToString().c_str());
+  }
+
+  double speedup = gated_warm > 0 ? gated_cold / gated_warm : 0.0;
+  std::printf("local-delta variants: cold %.1fms vs warm %.1fms saturation "
+              "(%.1fx); %zu/%zu converged pairs cost-identical\n",
+              gated_cold * 1e3, gated_warm * 1e3, speedup,
+              converged_pairs - mismatches, converged_pairs);
+
+  int rc = 0;
+  if (mismatches > 0) {
+    std::fprintf(stderr, "FAIL: %zu converged warm/cold cost mismatches\n",
+                 mismatches);
+    rc = 1;
+  }
+  if (smoke) {
+    if (speedup < 2.0) {
+      std::fprintf(stderr, "WARN: warm speedup %.2fx below 2x (report-only "
+                   "in smoke mode)\n", speedup);
+    }
+  } else if (speedup < 2.0) {
+    std::fprintf(stderr, "FAIL: warm speedup %.2fx below required 2x\n",
+                 speedup);
+    rc = 1;
+  }
+  if (compared == 0) {
+    std::fprintf(stderr, "FAIL: no comparisons ran\n");
+    rc = 1;
+  }
+  return rc;
+}

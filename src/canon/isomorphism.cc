@@ -156,7 +156,8 @@ class AlphaMatcher {
   bool MatchExpr(const ExprPtr& expr, ClassId id) {
     id = egraph_.Find(id);
     const EClass& cls = egraph_.GetClass(id);
-    for (const ENode& node : cls.nodes) {
+    for (NodeId nid : cls.nodes) {
+      const ENode& node = egraph_.NodeAt(nid);
       if (node.op != expr->op || node.sym != expr->sym ||
           node.value != expr->value ||
           node.children.size() != expr->children.size() ||
@@ -200,7 +201,20 @@ class AlphaMatcher {
           break;
         }
       }
-      if (ok && MatchChildren(expr, node)) return true;
+      if (ok) {
+        size_t args = Checkpoint();
+        if (MatchChildren(expr, node)) return true;
+        Rollback(args);
+        // AC operands are semantically unordered, and the hash-canonical
+        // construction order of an alpha-variant (different attribute
+        // names, different hashes) can differ from the graph's — try the
+        // swapped order before giving up on this node.
+        if (IsAcOp(expr->op) && node.children.size() == 2 &&
+            MatchExpr(expr->children[0], node.children[1]) &&
+            MatchExpr(expr->children[1], node.children[0])) {
+          return true;
+        }
+      }
       Rollback(cp);
     }
     return false;

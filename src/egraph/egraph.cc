@@ -1,6 +1,7 @@
 #include "src/egraph/egraph.h"
 
 #include <algorithm>
+#include <sstream>
 #include <unordered_set>
 
 #include "src/util/check.h"
@@ -31,23 +32,36 @@ const EClass& EGraph::ClassRefConst(ClassId id) const {
 
 const EClass& EGraph::GetClass(ClassId id) const { return ClassRefConst(id); }
 
+void EGraph::MarkAnalysisDirty(ClassId root) {
+  if (classes_[root].analysis_dirty) return;
+  classes_[root].analysis_dirty = true;
+  analysis_worklist_.push_back(root);
+}
+
 ClassId EGraph::Add(ENode node) {
   node = Canonicalize(node);
   auto it = hashcons_.find(node);
-  if (it != hashcons_.end()) return uf_.Find(it->second);
+  if (it != hashcons_.end()) return uf_.Find(node_class_[it->second]);
 
+  NodeId nid = static_cast<NodeId>(nodes_.size());
   ClassId id = uf_.MakeSet();
   SPORES_CHECK_EQ(id, classes_.size());
+  ++version_;
   EClass cls;
   cls.id = id;
-  cls.nodes.push_back(node);
+  cls.nodes.push_back(nid);
+  cls.version = version_;
   cls.data = analysis_->Make(*this, node);
   classes_.push_back(std::move(cls));
-  for (ClassId child : node.children) {
-    ClassRef(child).parents.emplace_back(node, id);
+  node_class_.push_back(id);
+  for (size_t i = 0; i < node.children.size(); ++i) {
+    ClassId child = node.children[i];
+    bool dup = false;
+    for (size_t j = 0; j < i && !dup; ++j) dup = node.children[j] == child;
+    if (!dup) ClassRef(child).parents.push_back(nid);
   }
-  hashcons_.emplace(node, id);
-  ++version_;
+  hashcons_.emplace(node, nid);
+  nodes_.push_back(std::move(node));
   analysis_->Modify(*this, id);
   return uf_.Find(id);
 }
@@ -85,7 +99,7 @@ std::optional<ClassId> EGraph::Lookup(const ENode& node) const {
   ENode canon = Canonicalize(node);
   auto it = hashcons_.find(canon);
   if (it == hashcons_.end()) return std::nullopt;
-  return uf_.FindConst(it->second);
+  return uf_.FindConst(node_class_[it->second]);
 }
 
 std::optional<ClassId> EGraph::LookupExpr(const ExprPtr& expr) const {
@@ -124,75 +138,88 @@ bool EGraph::Merge(ClassId a, ClassId b) {
   uf_.Union(a, b);
   EClass& keep = classes_[a];
   EClass& gone = classes_[b];
-  keep.nodes.insert(keep.nodes.end(),
-                    std::make_move_iterator(gone.nodes.begin()),
-                    std::make_move_iterator(gone.nodes.end()));
-  keep.parents.insert(keep.parents.end(),
-                      std::make_move_iterator(gone.parents.begin()),
-                      std::make_move_iterator(gone.parents.end()));
-  gone.nodes.clear();
-  gone.nodes.shrink_to_fit();
-  gone.parents.clear();
-  gone.parents.shrink_to_fit();
+  keep.nodes.insert(keep.nodes.end(), gone.nodes.begin(), gone.nodes.end());
+  keep.parents.insert(keep.parents.end(), gone.parents.begin(),
+                      gone.parents.end());
+  std::vector<NodeId>().swap(gone.nodes);
+  std::vector<NodeId>().swap(gone.parents);
 
   bool data_changed = analysis_->Merge(keep.data, gone.data);
-  pending_repair_.push_back(a);
-  if (data_changed) pending_analysis_.push_back(a);
   ++version_;
+  keep.version = version_;
+
+  // Dirty-flag bookkeeping: a worklist entry for `gone` redirects to `keep`
+  // via Find, so push only when neither side was queued.
+  bool was_repair = keep.repair_dirty || gone.repair_dirty;
+  gone.repair_dirty = false;
+  keep.repair_dirty = true;
+  if (!was_repair) repair_worklist_.push_back(a);
+
+  bool was_analysis = keep.analysis_dirty || gone.analysis_dirty;
+  gone.analysis_dirty = false;
+  if (data_changed || was_analysis) {
+    keep.analysis_dirty = true;
+    if (!was_analysis) analysis_worklist_.push_back(a);
+  }
   analysis_->Modify(*this, a);
   return true;
 }
 
 void EGraph::RepairClass(ClassId id) {
   ClassId root = uf_.Find(id);
-  // Take the parent list; we will rebuild a deduplicated version.
-  std::vector<std::pair<ENode, ClassId>> parents =
-      std::move(classes_[root].parents);
+  // Take the parent list; a deduplicated version is rebuilt below.
+  std::vector<NodeId> parents = std::move(classes_[root].parents);
   classes_[root].parents.clear();
 
-  // Pass 1: erase stale hashcons entries keyed by the recorded node forms.
-  for (auto& [node, pclass] : parents) {
-    hashcons_.erase(node);
-  }
-  // Pass 2: re-insert canonicalized; congruent duplicates trigger merges.
-  std::unordered_map<ENode, ClassId, ENodeHash> seen;
-  for (auto& [node, pclass] : parents) {
-    ENode canon = Canonicalize(node);
-    ClassId pcanon = uf_.Find(pclass);
-    auto it = hashcons_.find(canon);
-    if (it != hashcons_.end()) {
-      ClassId other = uf_.Find(it->second);
-      if (other != pcanon) {
-        Merge(other, pcanon);
-        pcanon = uf_.Find(pcanon);
-      }
-    } else {
-      hashcons_.emplace(canon, pcanon);
-    }
-    auto sit = seen.find(canon);
-    if (sit == seen.end()) {
-      seen.emplace(canon, pcanon);
-    } else {
-      sit->second = uf_.Find(sit->second);
-    }
-  }
-  ClassId final_root = uf_.Find(root);
-  auto& plist = classes_[final_root].parents;
-  for (auto& [node, pclass] : seen) {
-    plist.emplace_back(node, uf_.Find(pclass));
+  // Pass 1: drop the hashcons entries keyed by each parent's stored form
+  // (about to go stale). Entries owned by another node are left alone.
+  for (NodeId nid : parents) {
+    auto it = hashcons_.find(nodes_[nid]);
+    if (it != hashcons_.end() && it->second == nid) hashcons_.erase(it);
   }
 
-  // Canonicalize + dedup the class's own node list.
+  // Pass 2: re-canonicalize each parent node in place and re-insert. A
+  // collision with a different node is a congruence: merge the owning
+  // classes and keep the incumbent as the hashcons winner; the loser stays
+  // in the arena but drops out of the parent index.
+  std::vector<NodeId> fresh;
+  fresh.reserve(parents.size());
+  std::unordered_set<NodeId> seen;
+  for (NodeId nid : parents) {
+    ENode canon = Canonicalize(nodes_[nid]);
+    NodeId winner = nid;
+    auto it = hashcons_.find(canon);
+    if (it != hashcons_.end() && it->second != nid) {
+      winner = it->second;
+      ClassId wclass = uf_.Find(node_class_[winner]);
+      ClassId pclass = uf_.Find(node_class_[nid]);
+      if (wclass != pclass) Merge(wclass, pclass);
+    } else if (it == hashcons_.end()) {
+      hashcons_.emplace(canon, nid);
+    }
+    nodes_[nid] = std::move(canon);
+    if (seen.insert(winner).second) fresh.push_back(winner);
+  }
+  ClassId final_root = uf_.Find(root);
   EClass& cls = classes_[final_root];
-  std::unordered_set<uint64_t> node_hashes;
-  std::vector<ENode> fresh;
-  fresh.reserve(cls.nodes.size());
-  for (ENode& n : cls.nodes) {
-    ENode canon = Canonicalize(std::move(n));
+  // Merges above may have concatenated other parent lists onto final_root;
+  // append rather than overwrite (duplicates resolve at its next repair).
+  cls.parents.insert(cls.parents.end(), fresh.begin(), fresh.end());
+
+  // Dedup the class's own node list by canonical form. Stored forms are not
+  // rewritten here: losers keep their stale children (Find resolves them)
+  // and winners were already updated when their children's classes repaired.
+  std::vector<NodeId> fresh_nodes;
+  fresh_nodes.reserve(cls.nodes.size());
+  std::unordered_set<uint64_t> form_hashes;
+  std::vector<ENode> forms;
+  forms.reserve(cls.nodes.size());
+  for (NodeId nid : cls.nodes) {
+    ENode canon = Canonicalize(nodes_[nid]);
     uint64_t h = canon.Hash();
     bool dup = false;
-    if (node_hashes.count(h)) {
-      for (const ENode& f : fresh) {
+    if (form_hashes.count(h)) {
+      for (const ENode& f : forms) {
         if (f == canon) {
           dup = true;
           break;
@@ -200,49 +227,52 @@ void EGraph::RepairClass(ClassId id) {
       }
     }
     if (!dup) {
-      node_hashes.insert(h);
-      fresh.push_back(std::move(canon));
+      form_hashes.insert(h);
+      forms.push_back(std::move(canon));
+      fresh_nodes.push_back(nid);
     }
   }
-  cls.nodes = std::move(fresh);
+  cls.nodes = std::move(fresh_nodes);
+  cls.version = version_;
 }
 
 void EGraph::PropagateAnalysis(ClassId id) {
   ClassId root = uf_.Find(id);
   // Child data changed: recompute each parent node's Make and merge into the
   // parent class's data; propagate further if it changed.
-  std::vector<std::pair<ENode, ClassId>> parents = classes_[root].parents;
-  for (auto& [node, pclass] : parents) {
-    ClassId proot = uf_.Find(pclass);
-    ClassData made = analysis_->Make(*this, Canonicalize(node));
+  std::vector<NodeId> parents = classes_[root].parents;
+  for (NodeId nid : parents) {
+    ClassId proot = uf_.Find(node_class_[nid]);
+    ClassData made = analysis_->Make(*this, Canonicalize(nodes_[nid]));
     if (analysis_->Merge(classes_[proot].data, made)) {
-      pending_analysis_.push_back(proot);
+      // Refined data counts as a change: rule guards read it, so
+      // incremental matchers must revisit the class.
+      ++version_;
+      classes_[proot].version = version_;
+      MarkAnalysisDirty(proot);
       analysis_->Modify(*this, proot);
     }
   }
 }
 
 void EGraph::Rebuild() {
-  while (!pending_repair_.empty() || !pending_analysis_.empty()) {
-    while (!pending_repair_.empty()) {
-      // Dedup the batch by canonical id to avoid redundant repairs.
-      std::vector<ClassId> batch;
-      batch.swap(pending_repair_);
-      std::unordered_set<ClassId> done;
-      for (ClassId id : batch) {
-        ClassId root = uf_.Find(id);
-        if (done.insert(root).second) RepairClass(root);
-      }
+  while (!repair_worklist_.empty() || !analysis_worklist_.empty()) {
+    while (!repair_worklist_.empty()) {
+      ClassId id = repair_worklist_.back();
+      repair_worklist_.pop_back();
+      ClassId root = uf_.Find(id);
+      if (!classes_[root].repair_dirty) continue;
+      classes_[root].repair_dirty = false;
+      RepairClass(root);
     }
-    while (!pending_analysis_.empty()) {
-      std::vector<ClassId> batch;
-      batch.swap(pending_analysis_);
-      std::unordered_set<ClassId> done;
-      for (ClassId id : batch) {
-        ClassId root = uf_.Find(id);
-        if (done.insert(root).second) PropagateAnalysis(root);
-      }
-      if (!pending_repair_.empty()) break;  // repair before more analysis
+    while (!analysis_worklist_.empty()) {
+      ClassId id = analysis_worklist_.back();
+      analysis_worklist_.pop_back();
+      ClassId root = uf_.Find(id);
+      if (!classes_[root].analysis_dirty) continue;
+      classes_[root].analysis_dirty = false;
+      PropagateAnalysis(root);
+      if (!repair_worklist_.empty()) break;  // repair before more analysis
     }
   }
 }
@@ -253,6 +283,31 @@ std::vector<ClassId> EGraph::CanonicalClasses() const {
     if (uf_.FindConst(i) == i) out.push_back(i);
   }
   return out;
+}
+
+std::vector<ClassId> EGraph::ReachableClasses(ClassId root) const {
+  std::vector<bool> seen(classes_.size(), false);
+  std::vector<ClassId> order;
+  std::vector<ClassId> stack;
+  root = uf_.FindConst(root);
+  seen[root] = true;
+  stack.push_back(root);
+  while (!stack.empty()) {
+    ClassId c = stack.back();
+    stack.pop_back();
+    order.push_back(c);
+    for (NodeId nid : classes_[c].nodes) {
+      for (ClassId child : nodes_[nid].children) {
+        child = uf_.FindConst(child);
+        if (!seen[child]) {
+          seen[child] = true;
+          stack.push_back(child);
+        }
+      }
+    }
+  }
+  std::sort(order.begin(), order.end());
+  return order;
 }
 
 size_t EGraph::NumClasses() const {
@@ -269,6 +324,211 @@ size_t EGraph::NumNodes() const {
     if (uf_.FindConst(i) == i) n += classes_[i].nodes.size();
   }
   return n;
+}
+
+std::vector<ClassId> EGraph::CompactInto(
+    EGraph& out, const std::vector<ClassId>& roots) const {
+  // 1. Classes reachable from the live roots.
+  std::vector<bool> reach(classes_.size(), false);
+  std::vector<ClassId> order;
+  std::vector<ClassId> stack;
+  for (ClassId r : roots) {
+    r = uf_.FindConst(r);
+    if (r < classes_.size() && !reach[r]) {
+      reach[r] = true;
+      stack.push_back(r);
+    }
+  }
+  while (!stack.empty()) {
+    ClassId c = stack.back();
+    stack.pop_back();
+    order.push_back(c);
+    for (NodeId nid : classes_[c].nodes) {
+      for (ClassId ch : nodes_[nid].children) {
+        ch = uf_.FindConst(ch);
+        if (!reach[ch]) {
+          reach[ch] = true;
+          stack.push_back(ch);
+        }
+      }
+    }
+  }
+
+  // 2. Materialize bottom-up to a fixpoint: a node can be re-added once all
+  // its child classes exist in `out`. Cyclic-only nodes never qualify and
+  // are dropped. The DFS discovery order is roughly parents-first, so walk
+  // it in reverse (children-first) — acyclic graphs then converge in one
+  // pass; the fixpoint loop remains for cross-class cycles.
+  std::reverse(order.begin(), order.end());
+  std::vector<ClassId> map(classes_.size(), kInvalidClassId);
+  std::vector<bool> done(nodes_.size(), false);
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (ClassId c : order) {
+      for (NodeId nid : classes_[c].nodes) {
+        if (done[nid]) continue;
+        const ENode& n = nodes_[nid];
+        ENode copy;
+        copy.op = n.op;
+        copy.sym = n.sym;
+        copy.value = n.value;
+        copy.attrs = n.attrs;
+        copy.children.reserve(n.children.size());
+        bool ready = true;
+        for (ClassId ch : n.children) {
+          ClassId m = map[uf_.FindConst(ch)];
+          if (m == kInvalidClassId) {
+            ready = false;
+            break;
+          }
+          copy.children.push_back(out.Find(m));
+        }
+        if (!ready) continue;
+        ClassId nc = out.Add(std::move(copy));
+        if (map[c] == kInvalidClassId) {
+          map[c] = nc;
+        } else {
+          out.Merge(map[c], nc);
+        }
+        done[nid] = true;
+        progress = true;
+      }
+    }
+    out.Rebuild();
+  }
+  out.Rebuild();
+
+  std::vector<ClassId> new_roots;
+  new_roots.reserve(roots.size());
+  for (ClassId r : roots) {
+    ClassId m = map[uf_.FindConst(r)];
+    new_roots.push_back(m == kInvalidClassId ? kInvalidClassId : out.Find(m));
+  }
+  return new_roots;
+}
+
+std::string EGraph::CheckInvariants() const {
+  std::ostringstream err;
+  auto fail = [&err](const std::string& what) {
+    err << what;
+    return err.str();
+  };
+
+  if (node_class_.size() != nodes_.size()) {
+    return fail("node_class_/arena size mismatch");
+  }
+  if (uf_.Size() != classes_.size()) {
+    return fail("union-find/classes size mismatch");
+  }
+
+  // Class membership and parent indexes.
+  for (ClassId c = 0; c < classes_.size(); ++c) {
+    const EClass& cls = classes_[c];
+    bool canonical = uf_.FindConst(c) == c;
+    if (!canonical) {
+      if (!cls.nodes.empty() || !cls.parents.empty()) {
+        err << "non-canonical class " << c << " still owns nodes/parents";
+        return err.str();
+      }
+      continue;
+    }
+    if (cls.id != c) {
+      err << "class " << c << " has id " << cls.id;
+      return err.str();
+    }
+    if (cls.nodes.empty()) {
+      err << "canonical class " << c << " has no member nodes";
+      return err.str();
+    }
+    for (NodeId nid : cls.nodes) {
+      if (nid >= nodes_.size()) {
+        err << "class " << c << " lists out-of-range node " << nid;
+        return err.str();
+      }
+      if (uf_.FindConst(node_class_[nid]) != c) {
+        err << "node " << nid << " listed in class " << c
+            << " but node_class resolves to " << uf_.FindConst(node_class_[nid]);
+        return err.str();
+      }
+      ENode canon = Canonicalize(nodes_[nid]);
+      // Hashcons congruence: every member form must resolve through the
+      // hashcons to this class.
+      auto it = hashcons_.find(canon);
+      if (it == hashcons_.end()) {
+        err << "node " << nid << " of class " << c
+            << " has no hashcons entry for its canonical form";
+        return err.str();
+      }
+      if (uf_.FindConst(node_class_[it->second]) != c) {
+        err << "canonical form of node " << nid << " maps to class "
+            << uf_.FindConst(node_class_[it->second]) << ", expected " << c;
+        return err.str();
+      }
+      // Parent completeness: each distinct child class must index a parent
+      // node with this node's canonical form.
+      for (size_t i = 0; i < canon.children.size(); ++i) {
+        ClassId ch = canon.children[i];
+        bool repeated = false;
+        for (size_t j = 0; j < i && !repeated; ++j) {
+          repeated = canon.children[j] == ch;
+        }
+        if (repeated) continue;
+        if (ch >= classes_.size() || uf_.FindConst(ch) != ch) {
+          err << "node " << nid << " child class " << ch << " is not canonical";
+          return err.str();
+        }
+        bool found = false;
+        for (NodeId p : classes_[ch].parents) {
+          if (p == nid || Canonicalize(nodes_[p]) == canon) {
+            found = true;
+            break;
+          }
+        }
+        if (!found) {
+          err << "node " << nid << " missing from parent index of class " << ch;
+          return err.str();
+        }
+      }
+    }
+    for (NodeId p : cls.parents) {
+      if (p >= nodes_.size()) {
+        err << "class " << c << " parent index lists out-of-range node " << p;
+        return err.str();
+      }
+    }
+  }
+
+  // Hashcons entries with canonical keys must be live: key == stored form of
+  // the mapped node, and the owning class lists a node of that form.
+  // (Entries keyed by superseded forms are unreachable garbage by design:
+  // probes are canonicalized first, and a dead union-find root never becomes
+  // a root again.)
+  for (const auto& [form, nid] : hashcons_) {
+    if (nid >= nodes_.size()) {
+      err << "hashcons maps to out-of-range node " << nid;
+      return err.str();
+    }
+    ENode canon_key = Canonicalize(form);
+    if (!(canon_key == form)) continue;  // stale, unreachable entry
+    if (!(nodes_[nid] == form)) {
+      err << "hashcons key for node " << nid << " diverges from stored form";
+      return err.str();
+    }
+    ClassId c = uf_.FindConst(node_class_[nid]);
+    bool listed = false;
+    for (NodeId member : classes_[c].nodes) {
+      if (member == nid || Canonicalize(nodes_[member]) == form) {
+        listed = true;
+        break;
+      }
+    }
+    if (!listed) {
+      err << "hashcons winner " << nid << " not represented in class " << c;
+      return err.str();
+    }
+  }
+  return std::string();
 }
 
 }  // namespace spores

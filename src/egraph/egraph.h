@@ -2,10 +2,17 @@
 // (Nelson 1980; design follows egg [Willsey et al.] with deferred
 // rebuilding). This is the data structure equality saturation populates
 // (Sec 3.1) and extraction consumes.
+//
+// Storage is arena-backed: every distinct e-node is interned once into a
+// contiguous arena and addressed by a dense NodeId. E-classes hold NodeId
+// lists (members and deduplicated parent back-edges) instead of owning node
+// copies, so merges move a few integers, congruence repair re-canonicalizes
+// nodes in place, and extraction cost tables can be flat vectors.
 #pragma once
 
 #include <memory>
 #include <optional>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -16,16 +23,21 @@
 
 namespace spores {
 
-/// One equivalence class of e-nodes.
+/// One equivalence class of e-nodes. Node and parent lists index the
+/// EGraph's arena (resolve with EGraph::NodeAt).
 struct EClass {
   ClassId id = kInvalidClassId;
   /// Member e-nodes (canonicalized and deduplicated after Rebuild()).
-  std::vector<ENode> nodes;
-  /// Back-edges: e-nodes that have this class as a child, and the class the
-  /// parent node belongs to. Used for congruence repair and analysis
-  /// propagation.
-  std::vector<std::pair<ENode, ClassId>> parents;
+  std::vector<NodeId> nodes;
+  /// Back-edges: e-nodes that have this class as a child (deduplicated
+  /// after Rebuild()). Used for congruence repair and analysis propagation.
+  std::vector<NodeId> parents;
   ClassData data;
+  /// Graph Version() at which this class last changed (created, merged, or
+  /// congruence-repaired). Lets incremental matchers skip stable classes.
+  uint64_t version = 0;
+  bool repair_dirty = false;    ///< queued in the congruence worklist
+  bool analysis_dirty = false;  ///< queued in the analysis worklist
 };
 
 /// E-graph with hash-consing, deferred congruence repair, and pluggable
@@ -68,16 +80,40 @@ class EGraph {
   const EClass& GetClass(ClassId id) const;
   const ClassData& Data(ClassId id) const { return GetClass(id).data; }
 
+  /// The interned e-node at `id`. Canonical after Rebuild() for hashcons
+  /// winners; losers (congruent duplicates) may hold stale child ids, which
+  /// Find() resolves to the same classes.
+  const ENode& NodeAt(NodeId id) const { return nodes_[id]; }
+
+  /// Canonical class currently containing arena node `id`.
+  ClassId NodeClass(NodeId id) const { return uf_.FindConst(node_class_[id]); }
+
   /// All canonical class ids (stable order: ascending id).
   std::vector<ClassId> CanonicalClasses() const;
+
+  /// Canonical classes reachable from `root` through member-node children,
+  /// ascending id. Scopes extraction and resumed saturation to one query's
+  /// region of a long-lived multi-query graph.
+  std::vector<ClassId> ReachableClasses(ClassId root) const;
 
   size_t NumClasses() const;
   /// Total e-node count across canonical classes.
   size_t NumNodes() const;
 
+  /// Total interned nodes, live or superseded — the arena footprint a
+  /// session's Compact() budget is measured against.
+  size_t ArenaSize() const { return nodes_.size(); }
+
+  /// One past the largest ClassId ever allocated (canonical or not); sizes
+  /// flat per-class tables in extractors.
+  size_t NumClassSlots() const { return classes_.size(); }
+
   /// Monotone counter bumped by every mutation; lets callers detect
   /// saturation (no change over a full iteration).
   uint64_t Version() const { return version_; }
+
+  /// Graph Version() at which class `id` last changed. See EClass::version.
+  uint64_t ClassVersion(ClassId id) const { return GetClass(id).version; }
 
   Analysis* analysis() { return analysis_.get(); }
 
@@ -88,17 +124,36 @@ class EGraph {
   /// inserted child classes.
   static ENode ExprToENode(const Expr& expr, std::vector<ClassId> children);
 
+  /// Re-inserts every class reachable from `roots` into `out` (which must be
+  /// freshly constructed with its own analysis). Returns the new canonical
+  /// class of each root, position-aligned with `roots`. Nodes representable
+  /// only cyclically are dropped — they carry no extractable term and
+  /// saturation re-derives them on demand. This is the session Compact()
+  /// primitive: it sheds superseded arena nodes, stale hashcons entries, and
+  /// classes unreachable from live query roots.
+  std::vector<ClassId> CompactInto(EGraph& out,
+                                   const std::vector<ClassId>& roots) const;
+
+  /// Exhaustively cross-checks the union-find, hashcons, class node lists,
+  /// and parent indexes against each other. Returns an empty string when
+  /// every invariant holds, else a description of the first violation.
+  /// O(nodes * log) — test/debug use only.
+  std::string CheckInvariants() const;
+
  private:
   EClass& ClassRef(ClassId id);
   const EClass& ClassRefConst(ClassId id) const;
   void RepairClass(ClassId id);
   void PropagateAnalysis(ClassId id);
+  void MarkAnalysisDirty(ClassId root);
 
   mutable UnionFind uf_;
-  std::vector<EClass> classes_;  // indexed by id; only canonical ids live
-  std::unordered_map<ENode, ClassId, ENodeHash> hashcons_;
-  std::vector<ClassId> pending_repair_;
-  std::vector<ClassId> pending_analysis_;
+  std::vector<EClass> classes_;     // indexed by id; only canonical ids live
+  std::vector<ENode> nodes_;        // the arena: interned e-nodes by NodeId
+  std::vector<ClassId> node_class_; // arena-parallel: class that owns a node
+  std::unordered_map<ENode, NodeId, ENodeHash> hashcons_;
+  std::vector<ClassId> repair_worklist_;
+  std::vector<ClassId> analysis_worklist_;
   std::unique_ptr<Analysis> analysis_;
   uint64_t version_ = 0;
 };

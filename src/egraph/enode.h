@@ -13,6 +13,12 @@
 
 namespace spores {
 
+/// Dense index of an interned e-node in the EGraph's arena. Stable for the
+/// lifetime of the graph: merges and repairs update the node in place, they
+/// never move or delete it.
+using NodeId = uint32_t;
+inline constexpr NodeId kInvalidNodeId = static_cast<NodeId>(-1);
+
 /// One operator node in the e-graph. Join/Union are binary here (assoc &
 /// comm are rewrite rules, Sec 3.1 "expansive rules").
 struct ENode {

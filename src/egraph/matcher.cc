@@ -24,7 +24,8 @@ void MatchPattern(const EGraph& egraph, const Pattern& pattern, ClassId id,
   }
 
   const EClass& cls = egraph.GetClass(id);
-  for (const ENode& node : cls.nodes) {
+  for (NodeId nid : cls.nodes) {
+    const ENode& node = egraph.NodeAt(nid);
     if (node.op != pattern.op) continue;
     if (pattern.sym && node.sym != *pattern.sym) continue;
     if (pattern.value && node.value != *pattern.value) continue;

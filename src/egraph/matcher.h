@@ -21,6 +21,9 @@ void MatchInClass(const EGraph& egraph, const Pattern& pattern, ClassId id,
                   std::vector<Match>* out);
 
 /// All matches of `pattern` across every canonical class of the graph.
+/// (Incremental saturation does not live here: the Runner restricts the
+/// classes it calls MatchInClass on via exact ancestor-closure "affected"
+/// sets — see Runner::Run.)
 std::vector<Match> MatchAll(const EGraph& egraph, const Pattern& pattern);
 
 }  // namespace spores

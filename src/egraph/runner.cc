@@ -1,6 +1,9 @@
 #include "src/egraph/runner.h"
 
 #include <sstream>
+#include <unordered_map>
+
+#include "src/util/check.h"
 
 namespace spores {
 
@@ -12,44 +15,170 @@ std::string RunnerReport::ToString() const {
     case StopReason::kIterationLimit: os << "iteration-limit"; break;
     case StopReason::kNodeLimit: os << "node-limit"; break;
     case StopReason::kTimeout: os << "timeout"; break;
+    case StopReason::kStalled: os << "stalled"; break;
   }
   os << " after " << iterations << " iters, " << applied_matches
      << " matches applied, " << final_nodes << " nodes / " << final_classes
      << " classes, " << seconds << "s";
+  if (rules_banned > 0 || backoff_skips > 0) {
+    os << " (" << rules_banned << " bans, " << backoff_skips
+       << " searches skipped)";
+  }
   return os.str();
 }
 
 Runner::Runner(EGraph* egraph, std::vector<Rewrite> rules, RunnerConfig config)
     : egraph_(egraph), owned_rules_(std::move(rules)), rules_(&owned_rules_),
-      config_(config), rng_(config.seed) {}
+      config_(config), rng_(config.seed),
+      owned_scheduler_(std::make_unique<RuleScheduler>(owned_rules_.size(),
+                                                       config.scheduler)),
+      scheduler_(owned_scheduler_.get()) {}
 
 Runner::Runner(EGraph* egraph, const std::vector<Rewrite>* rules,
-               RunnerConfig config)
-    : egraph_(egraph), rules_(rules), config_(config), rng_(config.seed) {}
+               RunnerConfig config, RuleScheduler* scheduler)
+    : egraph_(egraph), rules_(rules), config_(config), rng_(config.seed),
+      scheduler_(scheduler) {
+  if (!scheduler_) {
+    owned_scheduler_ =
+        std::make_unique<RuleScheduler>(rules_->size(), config.scheduler);
+    scheduler_ = owned_scheduler_.get();
+  }
+  SPORES_CHECK_EQ(scheduler_->num_rules(), rules_->size());
+}
 
 RunnerReport Runner::Run() {
   Timer timer;
   RunnerReport report;
+  report.rules.resize(rules_->size());
+  for (size_t i = 0; i < rules_->size(); ++i) {
+    report.rules[i].name = (*rules_)[i].name;
+  }
   egraph_->Rebuild();
+  size_t node_limit = config_.max_nodes;
+  if (config_.node_limit_is_growth) node_limit += egraph_->NumNodes();
+  // Bans are per-run (iteration numbers restart); incremental search floors
+  // persist when the scheduler is session-owned.
+  scheduler_->BeginRun();
 
-  // With sampling, an iteration may apply only already-known matches and
-  // leave the graph unchanged without being saturated. When that happens we
-  // verify with one full (unsampled) pass before declaring convergence.
+  // Backoff, incremental matching, and sampling may all leave known matches
+  // unapplied, so an unchanged iteration is not proof of saturation. When
+  // one happens under any restriction we re-run once with every heuristic
+  // disabled (full match, no bans, no sampling) before declaring
+  // convergence.
   bool verify_pass = false;
   for (size_t iter = 0; iter < config_.max_iterations; ++iter) {
     report.iterations = iter + 1;
     uint64_t version_before = egraph_->Version();
-    bool sampled_this_iter = false;
+    bool restricted = false;
+
+    // Candidate match roots: the whole graph, or — when scoped — only the
+    // current query's region (recomputed every iteration; applications grow
+    // it). kSaturated is then a fixpoint claim about that region.
+    std::vector<ClassId> candidates =
+        config_.scope_root != kInvalidClassId
+            ? egraph_->ReachableClasses(config_.scope_root)
+            : egraph_->CanonicalClasses();
+
+    // "Affected" sets per incremental floor: the ancestor closure (through
+    // the parent indexes) of every class that changed since the floor. A
+    // new match can only root at an affected class — a match whose whole
+    // traversal runs through unchanged classes already existed — so
+    // filtering to this set is exact, not a heuristic.
+    std::unordered_map<uint64_t, std::vector<bool>> affected_cache;
+    auto affected_since = [&](uint64_t fl) -> const std::vector<bool>& {
+      auto it = affected_cache.find(fl);
+      if (it != affected_cache.end()) return it->second;
+      std::vector<bool> aff(egraph_->NumClassSlots(), false);
+      std::vector<ClassId> queue;
+      for (ClassId c : egraph_->CanonicalClasses()) {
+        if (egraph_->ClassVersion(c) >= fl) {
+          aff[c] = true;
+          queue.push_back(c);
+        }
+      }
+      while (!queue.empty()) {
+        ClassId c = queue.back();
+        queue.pop_back();
+        for (NodeId p : egraph_->GetClass(c).parents) {
+          ClassId pc = egraph_->NodeClass(p);
+          if (!aff[pc]) {
+            aff[pc] = true;
+            queue.push_back(pc);
+          }
+        }
+      }
+      return affected_cache.emplace(fl, std::move(aff)).first->second;
+    };
 
     // Phase 1: read-only matching against the frozen graph, so all rules see
     // the same snapshot (simultaneous application, Sec 3.4).
     struct PendingApplication {
-      const Rewrite* rule;
+      size_t rule_index;
       Match match;
     };
     std::vector<PendingApplication> pending;
-    for (const Rewrite& rule : *rules_) {
-      std::vector<Match> matches = MatchAll(*egraph_, *rule.lhs);
+    // Floors only advance once this iteration's matches are actually
+    // enqueued and applied in full: a rule that sampled matches away (or a
+    // phase cut short by a budget) must re-find them next time, exactly
+    // like the ban path.
+    std::vector<size_t> floor_advances;
+    bool timed_out = false;
+    for (size_t ri = 0; ri < rules_->size(); ++ri) {
+      // A single expansive rule can blow the compile budget from inside one
+      // iteration; check the clock between rules, not just between
+      // iterations.
+      if (timer.Seconds() > config_.timeout_seconds) {
+        timed_out = true;
+        break;
+      }
+      const Rewrite& rule = (*rules_)[ri];
+      // Expansive rules under the sampling strategy are throttled by the
+      // sample cap itself (the paper's design: every rule keeps making
+      // steady progress). Banning them as well starves the AC shuffling
+      // that other rules' match sites are built from, so backoff only
+      // governs them when nothing else does (kDepthFirst).
+      bool bannable =
+          config_.enable_backoff &&
+          !(config_.strategy == SaturationStrategy::kSampling &&
+            rule.expansive);
+      if (!verify_pass && bannable && !scheduler_->ShouldSearch(ri, iter)) {
+        restricted = true;
+        ++report.backoff_skips;
+        continue;
+      }
+      uint64_t floor = 0;
+      if (!verify_pass && config_.incremental_matching) {
+        floor = scheduler_->SearchFloor(ri);
+      }
+      // The scope floor confines even the verify pass: it is the boundary
+      // between this query's delta and a region an earlier budget-bounded
+      // run deliberately left mid-churn — re-matching past it would pour
+      // this query's budget into the old churn. Incremental rule floors
+      // are exact (affected-closure), so within the cone the verify pass
+      // still lifts every heuristic restriction (bans, sampling draws).
+      uint64_t scope_floor = config_.scope_version_floor;
+      if (scope_floor > 0 && !verify_pass) restricted = true;
+      const std::vector<bool>* aff =
+          floor > 0 ? &affected_since(floor) : nullptr;
+      const std::vector<bool>* scope_aff =
+          scope_floor > 0 ? &affected_since(scope_floor) : nullptr;
+      std::vector<Match> matches;
+      for (ClassId c : candidates) {
+        if (aff && !(*aff)[c]) continue;
+        if (scope_aff && !(*scope_aff)[c]) continue;
+        MatchInClass(*egraph_, *rule.lhs, c, &matches);
+      }
+      report.rules[ri].matched += matches.size();
+      if (!verify_pass && bannable &&
+          scheduler_->RecordSearch(ri, iter, matches.size(), rule.expansive)) {
+        // Banned: the search overflowed its budget. Matches are dropped and
+        // the search floor stays put so they are re-found once the ban
+        // expires (or by the verify pass).
+        ++report.rules[ri].bans;
+        ++report.rules_banned;
+        restricted = true;
+        continue;
+      }
       if (rule.guard) {
         std::vector<Match> kept;
         kept.reserve(matches.size());
@@ -58,11 +187,19 @@ RunnerReport Runner::Run() {
         }
         matches = std::move(kept);
       }
-      if (config_.strategy == SaturationStrategy::kSampling && !verify_pass) {
+      // The verify pass lifts bans and incremental floors but keeps the
+      // sampling cap for expansive rules: a full unsampled AC application
+      // burst on a large region would blow the node budget in one shot.
+      bool sample_rule =
+          config_.strategy == SaturationStrategy::kSampling &&
+          (!verify_pass || rule.expansive);
+      bool dropped = false;
+      if (sample_rule) {
         size_t limit = rule.expansive ? config_.expansive_match_limit
                                       : config_.match_limit_per_rule;
         if (matches.size() > limit) {
-          sampled_this_iter = true;
+          restricted = true;
+          dropped = true;
           std::vector<size_t> keep =
               rng_.SampleWithoutReplacement(matches.size(), limit);
           std::vector<Match> sampled;
@@ -71,34 +208,63 @@ RunnerReport Runner::Run() {
           matches = std::move(sampled);
         }
       }
+      if (!dropped) floor_advances.push_back(ri);
       for (Match& m : matches) {
-        pending.push_back(PendingApplication{&rule, std::move(m)});
+        pending.push_back(PendingApplication{ri, std::move(m)});
       }
     }
 
     // Phase 2: apply.
+    size_t applied_since_check = 0;
+    bool apply_truncated = false;
     for (PendingApplication& pa : pending) {
-      std::optional<ClassId> rhs =
-          pa.rule->applier(*egraph_, pa.match.root, pa.match.subst);
+      if (timed_out) break;
+      std::optional<ClassId> rhs = (*rules_)[pa.rule_index].applier(
+          *egraph_, pa.match.root, pa.match.subst);
       if (rhs) {
-        egraph_->Merge(pa.match.root, *rhs);
+        if (egraph_->Merge(pa.match.root, *rhs)) {
+          ++report.rules[pa.rule_index].applied;
+        }
         ++report.applied_matches;
       }
-      if (egraph_->NumNodes() > config_.max_nodes) break;
+      if (++applied_since_check >= 8) {
+        applied_since_check = 0;
+        if (egraph_->NumNodes() > node_limit) {
+          apply_truncated = true;
+          break;
+        }
+        if (timer.Seconds() > config_.timeout_seconds) timed_out = true;
+      }
     }
     egraph_->Rebuild();
+    // Commit floors only after a complete apply phase; a truncated one left
+    // enqueued matches unapplied, and they must be re-found next run.
+    if (!timed_out && !apply_truncated) {
+      for (size_t ri : floor_advances) {
+        scheduler_->AdvanceSearchFloor(ri, version_before + 1);
+      }
+    }
 
+    if (timed_out) {
+      report.stop_reason = StopReason::kTimeout;
+      break;
+    }
     if (egraph_->Version() == version_before) {
-      if (!sampled_this_iter || verify_pass) {
+      if (!restricted || verify_pass) {
         report.stop_reason = StopReason::kSaturated;
         break;
       }
-      // Unchanged but sampled: re-run once with sampling disabled to verify.
+      // Unchanged but restricted: re-run once unrestricted to verify.
+      if (report.verify_passes >= config_.max_verify_passes) {
+        report.stop_reason = StopReason::kStalled;
+        break;
+      }
       verify_pass = true;
+      ++report.verify_passes;
       continue;
     }
     verify_pass = false;
-    if (egraph_->NumNodes() > config_.max_nodes) {
+    if (egraph_->NumNodes() > node_limit) {
       report.stop_reason = StopReason::kNodeLimit;
       break;
     }

@@ -7,12 +7,21 @@
 //  * kSampling   — cap the number of matches applied per rule per iteration
 //    ("matches = sample(matches, limit)"), which keeps every rule considered
 //    equally often and preserves convergence with high probability.
+//
+// On top of either strategy the runner schedules rule *searches* through a
+// RuleScheduler: per-rule exponential backoff (a rule that overflows its
+// match budget is banned for growing iteration spans) and incremental
+// matching (a rule only revisits classes that changed since it last ran).
+// Both under-approximate the match set, so convergence is confirmed by one
+// unrestricted verify pass before kSaturated is reported.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "src/egraph/rewrite.h"
+#include "src/egraph/scheduler.h"
 #include "src/util/rng.h"
 #include "src/util/timer.h"
 
@@ -22,10 +31,21 @@ enum class SaturationStrategy { kDepthFirst, kSampling };
 
 /// Why the runner stopped.
 enum class StopReason {
-  kSaturated,      ///< graph reached fixpoint: search space is exhaustive
+  /// Fixpoint (within the scope, if scoped): a full verify pass — every
+  /// rule, every class, bans and incremental floors lifted — changed
+  /// nothing. Expansive rules stay sample-capped even in the verify pass
+  /// (resuming into a large non-converged region must not trigger an
+  /// unsampled application burst), so exhaustiveness is exact for
+  /// non-expansive rules and holds with high probability for expansive
+  /// ones (Sec 4.3's argument).
+  kSaturated,
   kIterationLimit,
   kNodeLimit,
   kTimeout,
+  /// The verify-pass budget ran out while restricted iterations kept the
+  /// graph stable: no more progress is reachable without another full
+  /// re-match, and those stopped paying off.
+  kStalled,
 };
 
 struct RunnerConfig {
@@ -34,8 +54,42 @@ struct RunnerConfig {
   size_t expansive_match_limit = 8;   ///< tighter cap for AC-style rules
   size_t max_iterations = 40;
   size_t max_nodes = 20000;
+  /// When true, max_nodes bounds *growth* over the graph's size at Run()
+  /// entry rather than the absolute size — the right semantics when
+  /// resuming saturation on a session's long-lived graph.
+  bool node_limit_is_growth = false;
   double timeout_seconds = 2.5;       ///< the paper's compile-time budget
   uint64_t seed = 42;
+  bool enable_backoff = true;         ///< rule-level exponential backoff
+  bool incremental_matching = true;   ///< skip classes unchanged since last search
+  SchedulerConfig scheduler;          ///< backoff budgets / ban spans
+  /// When set, matching only roots in classes reachable from this class
+  /// (recomputed every iteration as the region grows). A session resuming
+  /// saturation on its shared graph scopes the run to the current query so
+  /// other queries' regions neither consume this query's budgets nor get
+  /// churned further.
+  ClassId scope_root = kInvalidClassId;
+  /// With scope_root: matching additionally skips classes outside the
+  /// ancestor closure of classes changed since this floor (the session
+  /// passes the graph version at which the query was added). Resuming into
+  /// a region an earlier budget-bounded run left mid-churn then works the
+  /// new query's delta cone instead of pouring another full budget into
+  /// the old churn. The floor bounds verify passes too, so for scoped runs
+  /// kSaturated is a fixpoint claim about the delta cone given the
+  /// existing region — which coincides with region saturation whenever the
+  /// region itself had converged.
+  uint64_t scope_version_floor = 0;
+  /// Full re-match passes allowed for convergence confirmation before the
+  /// runner stops with kStalled.
+  size_t max_verify_passes = 4;
+};
+
+/// Per-rule outcome counters for one Run().
+struct RuleRunStats {
+  std::string name;
+  size_t matched = 0;  ///< match sites found (pre-guard, pre-sampling)
+  size_t applied = 0;  ///< applications that changed the graph
+  size_t bans = 0;     ///< times the backoff scheduler banned the rule
 };
 
 struct RunnerReport {
@@ -45,6 +99,12 @@ struct RunnerReport {
   size_t final_nodes = 0;
   size_t final_classes = 0;
   double seconds = 0.0;
+  /// Scheduler behavior: searches skipped while banned, bans issued, and
+  /// full unrestricted passes run to confirm convergence.
+  size_t backoff_skips = 0;
+  size_t rules_banned = 0;
+  size_t verify_passes = 0;
+  std::vector<RuleRunStats> rules;  ///< indexed like the rule vector
   std::string ToString() const;
 };
 
@@ -57,8 +117,12 @@ class Runner {
 
   /// Borrowing form: `*rules` must outlive the runner. Lets a long-lived
   /// session compile the rule set once and share it across saturations.
+  /// `scheduler` (optional, must match the rule count) persists per-rule
+  /// incremental-search state across Run() calls on the same graph; when
+  /// null the runner owns a fresh one.
   Runner(EGraph* egraph, const std::vector<Rewrite>* rules,
-         RunnerConfig config = RunnerConfig());
+         RunnerConfig config = RunnerConfig(),
+         RuleScheduler* scheduler = nullptr);
 
   // Non-copyable/movable: rules_ may point into owned_rules_.
   Runner(const Runner&) = delete;
@@ -73,6 +137,8 @@ class Runner {
   const std::vector<Rewrite>* rules_;  ///< owned_rules_ or the borrowed set
   RunnerConfig config_;
   Rng rng_;
+  std::unique_ptr<RuleScheduler> owned_scheduler_;
+  RuleScheduler* scheduler_;  ///< owned_scheduler_ or the borrowed one
 };
 
 }  // namespace spores

@@ -1,0 +1,41 @@
+#include "src/egraph/scheduler.h"
+
+namespace spores {
+
+RuleScheduler::RuleScheduler(size_t num_rules, SchedulerConfig config)
+    : config_(config), rules_(num_rules) {}
+
+void RuleScheduler::BeginRun() {
+  for (RuleState& r : rules_) {
+    r.banned_until = 0;
+    r.times_banned = 0;
+  }
+}
+
+bool RuleScheduler::ShouldSearch(size_t i, size_t iteration) const {
+  return iteration >= rules_[i].banned_until;
+}
+
+size_t RuleScheduler::MatchBudget(size_t i, bool expansive) const {
+  size_t base = expansive ? config_.expansive_match_limit : config_.match_limit;
+  size_t shift = rules_[i].times_banned;
+  if (shift > 16) shift = 16;  // cap: budgets beyond ~65536x are meaningless
+  return base << shift;
+}
+
+bool RuleScheduler::RecordSearch(size_t i, size_t iteration,
+                                 size_t num_matches, bool expansive) {
+  RuleState& r = rules_[i];
+  if (num_matches <= MatchBudget(i, expansive)) return false;
+  size_t shift = r.times_banned;
+  if (shift > 16) shift = 16;
+  r.banned_until = iteration + 1 + (config_.ban_length << shift);
+  ++r.times_banned;
+  return true;
+}
+
+void RuleScheduler::AdvanceSearchFloor(size_t i, uint64_t v) {
+  if (v > rules_[i].search_floor) rules_[i].search_floor = v;
+}
+
+}  // namespace spores

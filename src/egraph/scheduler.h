@@ -1,0 +1,73 @@
+// Rule-match scheduling for the saturation runner (egg's BackoffScheduler
+// adapted to SPORES): a rule whose match count overflows its budget is
+// banned for an exponentially growing span of iterations, and every rule
+// remembers the graph version it last searched so re-runs only visit
+// classes that changed since (incremental matching). Both mechanisms are
+// heuristics that under-approximate the full match set, so the Runner
+// confirms convergence with one unrestricted verify pass before reporting
+// saturation.
+//
+// The scheduler outlives individual Runner::Run calls: a session keeps one
+// per long-lived e-graph so the per-rule search versions persist across
+// queries — resuming saturation after AddExpr of a new query then matches
+// only the classes that query introduced or touched.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace spores {
+
+struct SchedulerConfig {
+  /// Matches a rule may produce in one search before it is banned.
+  size_t match_limit = 512;
+  /// Expansive (AC-style) rules get a tighter budget.
+  size_t expansive_match_limit = 128;
+  /// Base ban span in iterations; doubles with every consecutive ban.
+  size_t ban_length = 4;
+};
+
+/// Per-rule backoff and incremental-search state. Rules are addressed by
+/// their index in the runner's rule vector.
+class RuleScheduler {
+ public:
+  explicit RuleScheduler(size_t num_rules, SchedulerConfig config = {});
+
+  /// Resets per-run state (bans, iteration clock) but keeps the per-rule
+  /// last-searched versions, so a resumed saturation stays incremental.
+  void BeginRun();
+
+  /// True if rule `i` may search in `iteration` (not banned).
+  bool ShouldSearch(size_t i, size_t iteration) const;
+
+  /// Match budget for one search of rule `i` (scales with past bans so a
+  /// recidivist rule gets headroom back slowly).
+  size_t MatchBudget(size_t i, bool expansive) const;
+
+  /// Records a completed search of rule `i`: bans it when `num_matches`
+  /// overflowed its budget. Returns true if the rule was banned.
+  bool RecordSearch(size_t i, size_t iteration, size_t num_matches,
+                    bool expansive);
+
+  /// Smallest class version rule `i` still has to look at.
+  uint64_t SearchFloor(size_t i) const { return rules_[i].search_floor; }
+
+  /// Marks everything up to graph version `v` as seen by rule `i`.
+  void AdvanceSearchFloor(size_t i, uint64_t v);
+
+  size_t num_rules() const { return rules_.size(); }
+  size_t TimesBanned(size_t i) const { return rules_[i].times_banned; }
+
+ private:
+  struct RuleState {
+    size_t banned_until = 0;     ///< first iteration the rule may run again
+    size_t times_banned = 0;
+    uint64_t search_floor = 0;   ///< min class version left to search
+  };
+
+  SchedulerConfig config_;
+  std::vector<RuleState> rules_;
+};
+
+}  // namespace spores

@@ -1,7 +1,6 @@
 #include "src/egraph/term_extract.h"
 
 #include <limits>
-#include <unordered_map>
 
 namespace spores {
 
@@ -9,20 +8,19 @@ namespace {
 
 constexpr uint64_t kInf = std::numeric_limits<uint64_t>::max();
 
-ExprPtr BuildTerm(const EGraph& egraph,
-                  const std::unordered_map<ClassId, const ENode*>& best,
+ExprPtr BuildTerm(const EGraph& egraph, const std::vector<NodeId>& best,
                   ClassId id) {
-  const ENode* node = best.at(egraph.Find(id));
+  const ENode& node = egraph.NodeAt(best[egraph.Find(id)]);
   std::vector<ExprPtr> children;
-  children.reserve(node->children.size());
-  for (ClassId c : node->children) {
+  children.reserve(node.children.size());
+  for (ClassId c : node.children) {
     children.push_back(BuildTerm(egraph, best, c));
   }
   auto e = std::make_shared<Expr>();
-  e->op = node->op;
-  e->sym = node->sym;
-  e->value = node->value;
-  e->attrs = node->attrs;
+  e->op = node.op;
+  e->sym = node.sym;
+  e->value = node.value;
+  e->attrs = node.attrs;
   e->children = std::move(children);
   return e;
 }
@@ -30,37 +28,39 @@ ExprPtr BuildTerm(const EGraph& egraph,
 }  // namespace
 
 std::optional<ExprPtr> SmallestTerm(const EGraph& egraph, ClassId id) {
-  // Bottom-up fixpoint over AST sizes (classic e-graph extraction).
-  std::unordered_map<ClassId, uint64_t> size;
-  std::unordered_map<ClassId, const ENode*> best;
+  // Bottom-up fixpoint over AST sizes (classic e-graph extraction), with
+  // flat per-class tables indexed by canonical ClassId.
+  std::vector<uint64_t> size(egraph.NumClassSlots(), kInf);
+  std::vector<NodeId> best(egraph.NumClassSlots(), kInvalidNodeId);
   std::vector<ClassId> classes = egraph.CanonicalClasses();
   bool changed = true;
   while (changed) {
     changed = false;
     for (ClassId c : classes) {
-      uint64_t current = size.count(c) ? size[c] : kInf;
-      for (const ENode& n : egraph.GetClass(c).nodes) {
+      uint64_t current = size[c];
+      for (NodeId nid : egraph.GetClass(c).nodes) {
+        const ENode& n = egraph.NodeAt(nid);
         uint64_t total = 1;
         bool ok = true;
         for (ClassId child : n.children) {
-          auto it = size.find(egraph.Find(child));
-          if (it == size.end()) {
+          uint64_t s = size[egraph.Find(child)];
+          if (s == kInf) {
             ok = false;
             break;
           }
-          total += it->second;
+          total += s;
         }
         if (ok && total < current) {
           current = total;
           size[c] = total;
-          best[c] = &n;
+          best[c] = nid;
           changed = true;
         }
       }
     }
   }
   ClassId root = egraph.Find(id);
-  if (!best.count(root)) return std::nullopt;
+  if (best[root] == kInvalidNodeId) return std::nullopt;
   return BuildTerm(egraph, best, root);
 }
 

@@ -1,5 +1,7 @@
+#include <algorithm>
 #include <limits>
 #include <unordered_map>
+#include <vector>
 
 #include "src/extract/extractor.h"
 #include "src/util/timer.h"
@@ -14,19 +16,18 @@ bool Selectable(const EGraph& egraph, ClassId cls, const ENode& node) {
   return node.op == Op::kJoin;
 }
 
-ExprPtr BuildShared(const EGraph& egraph,
-                    const std::unordered_map<ClassId, const ENode*>& best,
+ExprPtr BuildShared(const EGraph& egraph, const std::vector<NodeId>& best,
                     std::unordered_map<ClassId, ExprPtr>& memo, ClassId id) {
   ClassId root = egraph.Find(id);
   auto it = memo.find(root);
   if (it != memo.end()) return it->second;
-  const ENode* node = best.at(root);
+  const ENode& node = egraph.NodeAt(best[root]);
   std::vector<ExprPtr> children;
-  children.reserve(node->children.size());
-  for (ClassId c : node->children) {
+  children.reserve(node.children.size());
+  for (ClassId c : node.children) {
     children.push_back(BuildShared(egraph, best, memo, c));
   }
-  ExprPtr e = Expr::Make(node->op, node->sym, node->value, node->attrs,
+  ExprPtr e = Expr::Make(node.op, node.sym, node.value, node.attrs,
                          std::move(children));
   memo.emplace(root, e);
   return e;
@@ -38,32 +39,35 @@ StatusOr<ExtractionResult> GreedyExtract(const EGraph& egraph, ClassId root,
                                          const CostModel& cost) {
   Timer timer;
   constexpr double kInf = std::numeric_limits<double>::infinity();
-  std::unordered_map<ClassId, double> best_cost;
-  std::unordered_map<ClassId, const ENode*> best_node;
-  std::vector<ClassId> classes = egraph.CanonicalClasses();
+  std::vector<double> best_cost(egraph.NumClassSlots(), kInf);
+  std::vector<NodeId> best_node(egraph.NumClassSlots(), kInvalidNodeId);
+  // A long-lived session graph holds classes from many queries; scope all
+  // work to the classes this query's root can reach.
+  std::vector<ClassId> classes = egraph.ReachableClasses(root);
 
   // Bottom-up fixpoint: tree cost of the cheapest term per class.
   bool changed = true;
   while (changed) {
     changed = false;
     for (ClassId c : classes) {
-      double current = best_cost.count(c) ? best_cost[c] : kInf;
-      for (const ENode& n : egraph.GetClass(c).nodes) {
+      double current = best_cost[c];
+      for (NodeId nid : egraph.GetClass(c).nodes) {
+        const ENode& n = egraph.NodeAt(nid);
         if (!Selectable(egraph, c, n)) continue;
         double total = cost.NodeCost(egraph, n);
         bool ok = true;
         for (ClassId child : n.children) {
-          auto it = best_cost.find(egraph.Find(child));
-          if (it == best_cost.end()) {
+          double s = best_cost[egraph.Find(child)];
+          if (s == kInf) {
             ok = false;
             break;
           }
-          total += it->second;
+          total += s;
         }
         if (ok && total < current) {
           current = total;
           best_cost[c] = total;
-          best_node[c] = &n;
+          best_node[c] = nid;
           changed = true;
         }
       }
@@ -71,7 +75,7 @@ StatusOr<ExtractionResult> GreedyExtract(const EGraph& egraph, ClassId root,
   }
 
   ClassId r = egraph.Find(root);
-  if (!best_node.count(r)) {
+  if (best_node[r] == kInvalidNodeId) {
     return Status::NotFound("greedy extraction: no selectable term for root");
   }
   std::unordered_map<ClassId, ExprPtr> memo;

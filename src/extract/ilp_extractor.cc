@@ -1,5 +1,8 @@
+#include <functional>
+#include <optional>
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 #include "src/extract/extractor.h"
 #include "src/solver/bb_solver.h"
@@ -16,36 +19,51 @@ bool Selectable(const EGraph& egraph, ClassId cls, const ENode& node) {
 
 struct Encoding {
   IlpModel model;
-  // Per canonical class: its variable and the variables of its nodes.
-  std::unordered_map<ClassId, VarId> class_var;
-  std::vector<std::pair<ClassId, const ENode*>> node_of_var;  // by node var
-  std::unordered_map<VarId, std::pair<ClassId, const ENode*>> node_info;
+  /// Flat per-class-slot table: the class's ILP variable (-1 off-scope).
+  std::vector<VarId> class_var;
+  /// Per-VarId: the (class, arena node) an operator variable selects;
+  /// {kInvalidClassId, kInvalidNodeId} for class variables.
+  std::vector<std::pair<ClassId, NodeId>> var_node;
 };
 
 // Builds the Fig 11 encoding: minimize sum(B_op * C_op) subject to
 // B_root, F(op) = op -> children classes, G(c) = class -> OR(members).
+// Scoped to the classes reachable from `root` — a session's long-lived
+// graph also holds other queries' classes, which must not inflate the
+// model.
 Encoding BuildEncoding(const EGraph& egraph, ClassId root,
                        const CostModel& cost) {
   Encoding enc;
-  std::vector<ClassId> classes = egraph.CanonicalClasses();
+  std::vector<ClassId> classes = egraph.ReachableClasses(root);
+  enc.class_var.assign(egraph.NumClassSlots(), -1);
+  auto note_var = [&enc](VarId v, ClassId c, NodeId n) {
+    if (static_cast<size_t>(v) >= enc.var_node.size()) {
+      enc.var_node.resize(static_cast<size_t>(v) + 1,
+                          {kInvalidClassId, kInvalidNodeId});
+    }
+    enc.var_node[static_cast<size_t>(v)] = {c, n};
+  };
   for (ClassId c : classes) {
-    enc.class_var[c] = enc.model.AddVar(0.0, "class" + std::to_string(c));
+    VarId v = enc.model.AddVar(0.0, "class" + std::to_string(c));
+    enc.class_var[c] = v;
+    note_var(v, kInvalidClassId, kInvalidNodeId);
   }
   for (ClassId c : classes) {
     std::vector<VarId> members;
-    for (const ENode& n : egraph.GetClass(c).nodes) {
+    for (NodeId nid : egraph.GetClass(c).nodes) {
+      const ENode& n = egraph.NodeAt(nid);
       if (!Selectable(egraph, c, n)) continue;
       VarId v = enc.model.AddVar(cost.NodeCost(egraph, n),
                                  std::string(OpName(n.op)));
-      enc.node_info[v] = {c, &n};
+      note_var(v, c, nid);
       for (ClassId child : n.children) {
-        enc.model.AddImplication(v, enc.class_var.at(egraph.Find(child)));
+        enc.model.AddImplication(v, enc.class_var[egraph.Find(child)]);
       }
       members.push_back(v);
     }
-    enc.model.AddCover(enc.class_var.at(c), std::move(members));
+    enc.model.AddCover(enc.class_var[c], std::move(members));
   }
-  enc.model.Fix(enc.class_var.at(egraph.Find(root)), true);
+  enc.model.Fix(enc.class_var[egraph.Find(root)], true);
   return enc;
 }
 
@@ -54,11 +72,13 @@ Encoding BuildEncoding(const EGraph& egraph, ClassId root,
 std::optional<ExprPtr> TryBuild(const EGraph& egraph, const Encoding& enc,
                                 const std::vector<bool>& assignment,
                                 ClassId root, std::vector<VarId>* cycle_vars) {
-  // Selected nodes per class, cheapest first.
+  // Selected nodes per class, in solver variable order.
   std::unordered_map<ClassId, std::vector<VarId>> selected;
-  for (const auto& [v, info] : enc.node_info) {
-    if (assignment[static_cast<size_t>(v)]) {
-      selected[info.first].push_back(v);
+  for (size_t v = 0; v < enc.var_node.size(); ++v) {
+    const auto& [cls, nid] = enc.var_node[v];
+    if (nid == kInvalidNodeId) continue;
+    if (v < assignment.size() && assignment[v]) {
+      selected[cls].push_back(static_cast<VarId>(v));
     }
   }
   std::unordered_map<ClassId, ExprPtr> memo;
@@ -94,13 +114,13 @@ std::optional<ExprPtr> TryBuild(const EGraph& egraph, const Encoding& enc,
     in_progress.insert(c);
     ExprPtr result;
     for (VarId v : sel->second) {
-      const ENode* n = enc.node_info.at(v).second;
+      const ENode& n = egraph.NodeAt(enc.var_node[static_cast<size_t>(v)].second);
       path.push_back(v);
       path_classes.push_back(c);
       std::vector<ExprPtr> children;
-      children.reserve(n->children.size());
+      children.reserve(n.children.size());
       bool ok = true;
-      for (ClassId child : n->children) {
+      for (ClassId child : n.children) {
         ExprPtr e = build(child);
         if (!e) {
           ok = false;
@@ -111,7 +131,7 @@ std::optional<ExprPtr> TryBuild(const EGraph& egraph, const Encoding& enc,
       path.pop_back();
       path_classes.pop_back();
       if (ok) {
-        result = Expr::Make(n->op, n->sym, n->value, n->attrs,
+        result = Expr::Make(n.op, n.sym, n.value, n.attrs,
                             std::move(children));
         break;
       }
@@ -150,6 +170,16 @@ StatusOr<ExtractionResult> IlpExtract(const EGraph& egraph, ClassId root,
     if (scfg.timeout_seconds <= 0) break;
     IlpResult sol = SolveIlp(enc.model, scfg);
     if (!sol.feasible) {
+      // Either the solve timed out before finding an incumbent (large
+      // models on loaded machines) or the root really is uncoverable. The
+      // greedy plan, when it exists, is still a valid answer — prefer it
+      // over failing the whole extraction.
+      if (greedy.ok()) {
+        ExtractionResult result = greedy.value();
+        result.optimal = false;
+        result.seconds = timer.Seconds();
+        return result;
+      }
       return Status::NotFound("ILP extraction infeasible");
     }
     std::vector<VarId> cycle;

@@ -1,6 +1,8 @@
 #include "src/ir/expr.h"
 
 #include <algorithm>
+#include <functional>
+#include <string_view>
 #include <unordered_set>
 
 namespace spores {
@@ -33,11 +35,25 @@ bool Expr::Equals(const Expr& other) const {
 }
 
 uint64_t Expr::Hash() const {
+  // Memoized per node: without this, hashing is quadratic in depth for
+  // chains and exponential for self-nested DAGs (every caller — AC child
+  // ordering, translation memo keys, attribute naming — re-walks the
+  // subtree).
+  uint64_t cached = hash_cache_.load(std::memory_order_relaxed);
+  if (cached != 0) return cached;
+  // Symbols contribute their *strings*, not their interning ids: this hash
+  // orders AC children and names translation attributes, so it must be a
+  // pure function of content — interning order varies with process history.
+  auto sym_hash = [](Symbol s) {
+    return static_cast<uint64_t>(std::hash<std::string_view>{}(s.str()));
+  };
   uint64_t h = static_cast<uint64_t>(op) * 0x9e3779b97f4a7c15ull;
-  h = HashCombine(h, sym.id());
+  h = HashCombine(h, sym_hash(sym));
   h = HashCombine(h, HashDouble(value));
-  for (Symbol a : attrs) h = HashCombine(h, a.id());
+  for (Symbol a : attrs) h = HashCombine(h, sym_hash(a));
   for (const ExprPtr& c : children) h = HashCombine(h, c->Hash());
+  if (h == 0) h = 1;  // 0 is the "not computed" sentinel
+  hash_cache_.store(h, std::memory_order_relaxed);
   return h;
 }
 

@@ -4,6 +4,7 @@
 // optimizers, and the runtime executor.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -33,7 +34,10 @@ class Expr {
   /// Structural equality (payloads and children, recursively).
   bool Equals(const Expr& other) const;
 
-  /// Structural hash consistent with Equals.
+  /// Structural hash consistent with Equals, memoized per node (shared
+  /// subtrees hash once, not once per occurrence). Treat an Expr as
+  /// immutable after its first Hash() call — mutation would leave the
+  /// cached value stale.
   uint64_t Hash() const;
 
   /// Number of nodes in the tree (shared nodes counted once per occurrence).
@@ -70,6 +74,12 @@ class Expr {
 
   static ExprPtr Make(Op op, Symbol sym, double value,
                       std::vector<Symbol> attrs, std::vector<ExprPtr> children);
+
+ private:
+  /// Lazily filled by Hash(); 0 means "not computed" (Hash remaps a
+  /// genuine 0 to 1). Atomic so query trees may be shared across
+  /// per-thread sessions: racing computations store the same value.
+  mutable std::atomic<uint64_t> hash_cache_{0};
 };
 
 /// Shape of a matrix (scalars are 1x1, column vectors Nx1, row vectors 1xN).
@@ -99,6 +109,10 @@ class Catalog {
                 double sparsity = 1.0);
   bool Has(Symbol name) const { return meta_.count(name) > 0; }
   const MatrixMeta& Get(Symbol name) const;
+  /// All registered inputs (unordered); used for catalog fingerprints.
+  const std::unordered_map<Symbol, MatrixMeta>& entries() const {
+    return meta_;
+  }
 
  private:
   std::unordered_map<Symbol, MatrixMeta> meta_;

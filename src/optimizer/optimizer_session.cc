@@ -1,5 +1,7 @@
 #include "src/optimizer/optimizer_session.h"
 
+#include <algorithm>
+#include <cstdio>
 #include <functional>
 #include <sstream>
 
@@ -35,14 +37,51 @@ double TermCost(const EGraph& egraph, const CostModel& cost,
   return total;
 }
 
+// Order-independent fingerprint of every registered input's name, shape and
+// sparsity. Analysis invariants (Fig 12 sparsity) and costs read the
+// catalog, so the shared e-graph is only sound across queries whose
+// catalogs agree.
+std::string CatalogSignature(const Catalog& catalog) {
+  std::vector<std::string> parts;
+  parts.reserve(catalog.entries().size());
+  char buf[96];
+  for (const auto& [name, meta] : catalog.entries()) {
+    std::string part = name.str();
+    std::snprintf(buf, sizeof(buf), ":%lldx%lld@%.17g;",
+                  static_cast<long long>(meta.shape.rows),
+                  static_cast<long long>(meta.shape.cols), meta.sparsity);
+    part += buf;
+    parts.push_back(std::move(part));
+  }
+  std::sort(parts.begin(), parts.end());
+  std::string sig;
+  for (const std::string& p : parts) sig += p;
+  return sig;
+}
+
 }  // namespace
 
 std::string SessionStats::ToString() const {
   std::ostringstream os;
   os << queries << " queries: " << cache_hits << " cache hits, "
-     << cache_misses << " misses, " << saturations << " saturations, "
-     << fallbacks << " fallbacks, " << compile_seconds << "s compile";
+     << cache_misses << " misses, " << saturations << " saturations ("
+     << graph_reuses << " on warm graph, " << graph_resets << " resets, "
+     << compactions << " compactions, arena peak " << arena_high_water
+     << "), " << fallbacks << " fallbacks, " << compile_seconds
+     << "s compile";
   return os.str();
+}
+
+OptimizerSession::GraphState::GraphState(
+    const Catalog& cat, std::string sig, std::shared_ptr<DimEnv> dims,
+    size_t num_rules, const SchedulerConfig& scheduler_config)
+    : catalog(cat),
+      signature(std::move(sig)),
+      scheduler(num_rules, scheduler_config) {
+  // The analysis context must point at *this state's* catalog snapshot:
+  // callers' catalogs are per-call temporaries.
+  egraph = std::make_unique<EGraph>(
+      std::make_unique<RaAnalysis>(RaContext{&catalog, std::move(dims)}));
 }
 
 OptimizerSession::OptimizerSession(SessionConfig config)
@@ -52,6 +91,18 @@ OptimizerSession::OptimizerSession(SessionConfig config)
   // R_EQ reads only the shared DimEnv (rule-5 folding), never the catalog,
   // so one compilation serves every query of the session.
   rules_ = RaEqualityRules(RaContext{nullptr, dims_});
+}
+
+const EGraph* OptimizerSession::shared_egraph() const {
+  return graph_ ? graph_->egraph.get() : nullptr;
+}
+
+std::vector<ClassId> OptimizerSession::live_roots() const {
+  if (!graph_) return {};
+  std::vector<ClassId> out;
+  out.reserve(graph_->roots.size());
+  for (ClassId r : graph_->roots) out.push_back(graph_->egraph->Find(r));
+  return out;
 }
 
 StatusOr<Translation> OptimizerSession::Translate(const ExprPtr& la,
@@ -64,6 +115,56 @@ StatusOr<Translation> OptimizerSession::Translate(const ExprPtr& la,
   return t;
 }
 
+OptimizerSession::GraphState& OptimizerSession::EnsureSharedGraph(
+    const Catalog& catalog) {
+  std::string sig = CatalogSignature(catalog);
+  if (!graph_ || graph_->signature != sig) {
+    if (graph_) ++stats_.graph_resets;
+    graph_ = std::make_shared<GraphState>(catalog, std::move(sig), dims_,
+                                          rules_.size(),
+                                          config_.runner.scheduler);
+  } else if (graph_->egraph->ArenaSize() > config_.egraph_node_budget &&
+             !graph_->roots.empty()) {
+    CompactSharedGraph();
+  }
+  return *graph_;
+}
+
+void OptimizerSession::CompactSharedGraph() {
+  GraphState& old = *graph_;
+  auto fresh = std::make_shared<GraphState>(old.catalog, old.signature, dims_,
+                                            rules_.size(),
+                                            config_.runner.scheduler);
+  std::vector<ClassId> mapped =
+      old.egraph->CompactInto(*fresh->egraph, old.roots);
+  for (ClassId r : mapped) {
+    if (r != kInvalidClassId) fresh->roots.push_back(r);
+  }
+  // The fresh scheduler's search floors are zero: rules re-match the whole
+  // compacted graph once, then turn incremental again.
+  graph_ = std::move(fresh);
+  ++stats_.compactions;
+}
+
+void OptimizerSession::RecordRoot(ClassId root) {
+  GraphState& g = *graph_;
+  // Re-canonicalize (saturation merges move roots), dedup, keep the most
+  // recent max_live_roots.
+  std::vector<ClassId> canon;
+  canon.reserve(g.roots.size() + 1);
+  for (ClassId r : g.roots) canon.push_back(g.egraph->Find(r));
+  canon.push_back(g.egraph->Find(root));
+  std::vector<ClassId> kept;
+  for (auto it = canon.rbegin();
+       it != canon.rend() && kept.size() < config_.max_live_roots; ++it) {
+    if (std::find(kept.begin(), kept.end(), *it) == kept.end()) {
+      kept.push_back(*it);
+    }
+  }
+  std::reverse(kept.begin(), kept.end());
+  g.roots = std::move(kept);
+}
+
 StatusOr<Saturation> OptimizerSession::Saturate(const Translation& t,
                                                 const Catalog& catalog) {
   if (!t.program.ra) {
@@ -71,18 +172,45 @@ StatusOr<Saturation> OptimizerSession::Saturate(const Translation& t,
   }
   Timer timer;
   Saturation s;
-  RaContext ctx{&catalog, dims_};
-  s.egraph = std::make_unique<EGraph>(std::make_unique<RaAnalysis>(ctx));
-  ClassId root = s.egraph->AddExpr(t.program.ra);
-  s.egraph->Rebuild();
   // Keep per-query saturation deterministic but decorrelated: the first
   // query reproduces the configured seed exactly, later ones offset it.
   RunnerConfig runner_config = config_.runner;
   runner_config.seed = config_.runner.seed + saturation_count_++;
-  Runner runner(s.egraph.get(), &rules_, runner_config);
-  s.report = runner.Run();
-  s.root = s.egraph->Find(root);
-  CostModel cost(ctx);
+
+  if (config_.reuse_egraph) {
+    GraphState& g = EnsureSharedGraph(catalog);
+    bool warm = g.egraph->Version() > 0;
+    uint64_t version_at_entry = g.egraph->Version();
+    ClassId root = g.egraph->AddExpr(t.program.ra);
+    g.egraph->Rebuild();
+    // On a warm graph the node budget bounds growth, not absolute size —
+    // earlier queries' classes must not starve this one — and the run is
+    // scoped to the current query's region so other queries' regions
+    // neither consume its iteration/match budgets nor get churned further.
+    runner_config.node_limit_is_growth = true;
+    runner_config.scope_root = root;
+    runner_config.scope_version_floor = version_at_entry + 1;
+    Runner runner(g.egraph.get(), &rules_, runner_config, &g.scheduler);
+    s.report = runner.Run();
+    s.root = g.egraph->Find(root);
+    s.reused_graph = warm;
+    if (warm) ++stats_.graph_reuses;
+    RecordRoot(s.root);
+    stats_.arena_high_water =
+        std::max(stats_.arena_high_water, g.egraph->ArenaSize());
+    // Alias the graph through the state so catalog snapshot, scheduler and
+    // graph live exactly as long as any Saturation using them.
+    s.egraph = std::shared_ptr<EGraph>(graph_, g.egraph.get());
+  } else {
+    RaContext ctx{&catalog, dims_};
+    s.egraph = std::make_shared<EGraph>(std::make_unique<RaAnalysis>(ctx));
+    ClassId root = s.egraph->AddExpr(t.program.ra);
+    s.egraph->Rebuild();
+    Runner runner(s.egraph.get(), &rules_, runner_config);
+    s.report = runner.Run();
+    s.root = s.egraph->Find(root);
+  }
+  CostModel cost(RaContext{&catalog, dims_});
   s.original_cost = TermCost(*s.egraph, cost, t.program.ra);
   s.seconds = timer.Seconds();
   return s;

@@ -2,8 +2,20 @@
 //
 // An OptimizerSession amortizes compile state across many queries: it owns
 // the compiled R_EQ rule set, the attribute-dimension environment shared by
-// translation / analysis / costing, the saturation RNG, and a plan cache
-// keyed on canonical form (isomorphic queries skip saturation entirely).
+// translation / analysis / costing, the saturation RNG, a plan cache keyed
+// on canonical form (isomorphic queries skip saturation entirely), and — the
+// deepest reuse — one long-lived, already-saturated e-graph per catalog. A
+// plan-cache miss does not start saturation from scratch: the new query is
+// AddExpr'd into the existing graph and saturation *resumes*, so every
+// equivalence proved for earlier queries is shared, and the persistent
+// RuleScheduler makes the resumed run incremental (rules only revisit
+// classes the new query touched).
+//
+// The shared graph is keyed on a catalog signature (input names, dims,
+// sparsity): analysis invariants and costs are catalog-dependent, so a
+// catalog change resets it. Per-query root classes are tracked, and when the
+// node arena outgrows `egraph_node_budget` the graph is compacted — rebuilt
+// from the most recent roots — before absorbing the next query.
 //
 // The pipeline stages are first-class and individually invocable —
 //
@@ -45,6 +57,14 @@ struct SessionConfig {
   bool collect_alternatives = false;
   bool enable_plan_cache = true;
   size_t plan_cache_capacity = 256;
+  /// Keep one saturated e-graph per catalog and resume saturation on it for
+  /// every cache miss, instead of building a fresh graph per query.
+  bool reuse_egraph = true;
+  /// Arena size (interned e-nodes) above which the shared graph is
+  /// compacted — rebuilt from the live query roots — before the next query.
+  size_t egraph_node_budget = 50000;
+  /// How many recent query roots survive a Compact().
+  size_t max_live_roots = 12;
 };
 
 /// Result of the Translate stage.
@@ -54,11 +74,15 @@ struct Translation {
   double seconds = 0.0;
 };
 
-/// Result of the Saturate stage. Owns the saturated e-graph; the catalog
-/// passed to Saturate must stay alive while this is used.
+/// Result of the Saturate stage. `egraph` is either the session's shared
+/// graph (reuse_egraph; the shared_ptr also keeps the session's catalog
+/// snapshot alive, so the result outlives even a session reset) or a graph
+/// owned by this result — in the latter case the catalog passed to Saturate
+/// must stay alive while this is used.
 struct Saturation {
-  std::unique_ptr<EGraph> egraph;
+  std::shared_ptr<EGraph> egraph;
   ClassId root = kInvalidClassId;
+  bool reused_graph = false;  ///< saturation resumed on a warm shared graph
   RunnerReport report;
   double original_cost = 0.0;  ///< model cost of the input term
   double seconds = 0.0;
@@ -79,7 +103,11 @@ struct SessionStats {
   size_t cache_hits = 0;
   size_t cache_misses = 0;  ///< includes canonicalization bypasses
   size_t fallbacks = 0;
-  size_t saturations = 0;  ///< queries that actually ran saturation
+  size_t saturations = 0;   ///< queries that actually ran saturation
+  size_t graph_reuses = 0;  ///< saturations resumed on the warm shared graph
+  size_t graph_resets = 0;  ///< catalog changes that discarded the graph
+  size_t compactions = 0;   ///< arena-budget-triggered Compact() runs
+  size_t arena_high_water = 0;  ///< peak shared-graph arena size observed
   double compile_seconds = 0.0;
 
   std::string ToString() const;
@@ -87,8 +115,9 @@ struct SessionStats {
 
 /// A long-lived optimizer: construct once, call Optimize per query. The
 /// catalog is per-call so one session can serve queries over many input
-/// bindings; the plan cache discriminates on input dimensions and sparsity.
-/// Not thread-safe; use one session per thread.
+/// bindings; the plan cache discriminates on input dimensions and sparsity,
+/// and the shared e-graph resets when the catalog signature changes. Not
+/// thread-safe; use one session per thread.
 class OptimizerSession {
  public:
   explicit OptimizerSession(SessionConfig config = {});
@@ -106,12 +135,14 @@ class OptimizerSession {
   /// LA -> RA. Records attribute dimensions in the session's shared DimEnv.
   StatusOr<Translation> Translate(const ExprPtr& la, const Catalog& catalog);
 
-  /// Builds an e-graph from the translation and equality-saturates it with
-  /// the session's compiled rule set.
+  /// Saturates the translation with the session's compiled rule set — on the
+  /// session's long-lived e-graph when config().reuse_egraph (resuming from
+  /// every earlier query's equivalences), else on a fresh graph.
   StatusOr<Saturation> Saturate(const Translation& t, const Catalog& catalog);
 
   /// Extracts the cheapest plan (per config) from a saturated e-graph and
-  /// lowers it back to LA, verifying the output shape is preserved.
+  /// lowers it back to LA, verifying the output shape is preserved. Work is
+  /// scoped to the classes reachable from the query's root.
   StatusOr<Extraction> Extract(const Saturation& s, const Translation& t,
                                const Catalog& catalog) const;
 
@@ -129,16 +160,43 @@ class OptimizerSession {
   /// The attribute-dimension environment shared across this session's
   /// queries (grows monotonically; attribute names are globally fresh).
   const DimEnv& dims() const { return *dims_; }
+  /// The session's long-lived e-graph (null until the first reuse-path
+  /// saturation). Exposed for tests and diagnostics.
+  const EGraph* shared_egraph() const;
+  /// Canonical ids of the query roots currently kept live in the shared
+  /// graph (most recent last).
+  std::vector<ClassId> live_roots() const;
 
  private:
+  /// Everything whose lifetime is tied to one shared e-graph: the catalog
+  /// snapshot its analysis reads, the graph, the persistent scheduler, and
+  /// the live query roots. Saturations alias into this via shared_ptr, so a
+  /// reset or Compact() never invalidates an outstanding stage result.
+  struct GraphState {
+    explicit GraphState(const Catalog& cat, std::string sig,
+                        std::shared_ptr<DimEnv> dims, size_t num_rules,
+                        const SchedulerConfig& scheduler_config);
+    Catalog catalog;  ///< snapshot; the analysis context points here
+    std::string signature;
+    std::unique_ptr<EGraph> egraph;
+    RuleScheduler scheduler;
+    std::vector<ClassId> roots;  ///< recent query roots, most recent last
+  };
+
   OptimizedPlan Fallback(const ExprPtr& expr, const Status& status,
                          OptimizedPlan out);
+  /// Returns the shared graph for `catalog`, creating or resetting it when
+  /// the signature changed, and compacting it when over the arena budget.
+  GraphState& EnsureSharedGraph(const Catalog& catalog);
+  void CompactSharedGraph();
+  void RecordRoot(ClassId root);
 
   SessionConfig config_;
   std::shared_ptr<DimEnv> dims_;
   std::vector<Rewrite> rules_;  ///< R_EQ, compiled once per session
   PlanCache cache_;
   SessionStats stats_;
+  std::shared_ptr<GraphState> graph_;  ///< null until first reuse saturation
   uint64_t saturation_count_ = 0;  ///< per-query saturation seed offset
 };
 

@@ -52,12 +52,18 @@ StatusOr<PlanCacheKey> BuildPlanCacheKey(const ExprPtr& la,
   return key;
 }
 
+void PlanCache::Touch(Entry& entry) {
+  // Most-recently-used lives at the back of the recency list.
+  lru_.splice(lru_.end(), lru_, entry.lru_pos);
+}
+
 const OptimizedPlan* PlanCache::Lookup(const PlanCacheKey& key) {
   auto it = buckets_.find(key.fingerprint);
   if (it != buckets_.end()) {
-    for (const Entry& e : it->second) {
+    for (Entry& e : it->second) {
       if (PolytermIsomorphic(e.canon, key.canon)) {
         ++stats_.hits;
+        Touch(e);
         return &e.plan;
       }
     }
@@ -69,12 +75,15 @@ const OptimizedPlan* PlanCache::Lookup(const PlanCacheKey& key) {
 void PlanCache::Insert(const PlanCacheKey& key, OptimizedPlan plan) {
   if (capacity_ == 0) return;
   std::vector<Entry>& bucket = buckets_[key.fingerprint];
-  for (const Entry& e : bucket) {
-    if (PolytermIsomorphic(e.canon, key.canon)) return;
+  for (Entry& e : bucket) {
+    if (PolytermIsomorphic(e.canon, key.canon)) {
+      Touch(e);
+      return;
+    }
   }
-  while (size_ >= capacity_ && !fifo_.empty()) {
-    auto [fp, order] = fifo_.front();
-    fifo_.pop_front();
+  while (size_ >= capacity_ && !lru_.empty()) {
+    auto [fp, order] = lru_.front();
+    lru_.pop_front();
     auto victim = buckets_.find(fp);
     if (victim == buckets_.end()) continue;
     std::vector<Entry>& entries = victim->second;
@@ -92,7 +101,7 @@ void PlanCache::Insert(const PlanCacheKey& key, OptimizedPlan plan) {
   entry.canon = key.canon;
   entry.plan = std::move(plan);
   entry.order = next_order_++;
-  fifo_.emplace_back(key.fingerprint, entry.order);
+  entry.lru_pos = lru_.emplace(lru_.end(), key.fingerprint, entry.order);
   buckets_[key.fingerprint].push_back(std::move(entry));
   ++size_;
   ++stats_.insertions;
@@ -100,7 +109,7 @@ void PlanCache::Insert(const PlanCacheKey& key, OptimizedPlan plan) {
 
 void PlanCache::Clear() {
   buckets_.clear();
-  fifo_.clear();
+  lru_.clear();
   size_ = 0;
 }
 

@@ -10,7 +10,7 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
+#include <list>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -48,17 +48,20 @@ struct PlanCacheStats {
   size_t evictions = 0;
 };
 
-/// FIFO-bounded map from canonical form to OptimizedPlan.
+/// LRU-bounded map from canonical form to OptimizedPlan. A hit refreshes the
+/// entry's recency, so a steadily re-queried plan survives bursts of
+/// one-off queries (the FIFO policy this replaces evicted by insertion age
+/// regardless of use).
 class PlanCache {
  public:
   explicit PlanCache(size_t capacity = 256) : capacity_(capacity) {}
 
   /// Returns the cached plan isomorphic to `key`, or nullptr. Counts a hit
-  /// or a miss either way.
+  /// or a miss either way; a hit moves the entry to most-recently-used.
   const OptimizedPlan* Lookup(const PlanCacheKey& key);
 
-  /// Inserts (no-op if an isomorphic entry already exists). Evicts the
-  /// oldest entry when at capacity.
+  /// Inserts (an already-present isomorphic entry is only refreshed).
+  /// Evicts the least-recently-used entry when at capacity.
   void Insert(const PlanCacheKey& key, OptimizedPlan plan);
 
   size_t size() const { return size_; }
@@ -66,17 +69,24 @@ class PlanCache {
   void Clear();
 
  private:
+  /// Recency list: least-recently-used at the front. Nodes name an entry by
+  /// (fingerprint bucket, insertion order).
+  using LruList = std::list<std::pair<std::string, uint64_t>>;
+
   struct Entry {
     Polyterm canon;
     OptimizedPlan plan;
     uint64_t order = 0;
+    LruList::iterator lru_pos;
   };
+
+  void Touch(Entry& entry);
 
   size_t capacity_;
   size_t size_ = 0;
   uint64_t next_order_ = 0;
   std::unordered_map<std::string, std::vector<Entry>> buckets_;
-  std::deque<std::pair<std::string, uint64_t>> fifo_;  ///< (fingerprint, order)
+  LruList lru_;
   PlanCacheStats stats_;
 };
 

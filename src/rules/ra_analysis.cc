@@ -231,8 +231,8 @@ void RaAnalysis::Modify(EGraph& egraph, ClassId id) {
   ClassId root = egraph.Find(id);
   const ClassData& data = egraph.Data(root);
   if (!data.constant || !data.schema.empty()) return;
-  for (const ENode& n : egraph.GetClass(root).nodes) {
-    if (n.op == Op::kConst) return;
+  for (NodeId nid : egraph.GetClass(root).nodes) {
+    if (egraph.NodeAt(nid).op == Op::kConst) return;
   }
   ENode cnode;
   cnode.op = Op::kConst;

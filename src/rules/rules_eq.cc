@@ -48,7 +48,8 @@ void FlattenJoinClass(const EGraph& eg, ClassId id,
     return;
   }
   const ENode* join = nullptr;
-  for (const ENode& n : eg.GetClass(c).nodes) {
+  for (NodeId nid : eg.GetClass(c).nodes) {
+    const ENode& n = eg.NodeAt(nid);
     if (n.op == Op::kJoin) {
       join = &n;
       break;

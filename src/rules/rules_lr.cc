@@ -22,10 +22,13 @@ class LaToRa {
   StatusOr<RaProgram> Run(const ExprPtr& la, Symbol out_row, Symbol out_col) {
     SPORES_ASSIGN_OR_RETURN(Shape shape, InferShape(la, catalog_));
     Symbol row = shape.rows > 1
-                     ? (out_row.empty() ? FreshAttr(shape.rows) : out_row)
+                     ? (out_row.empty() ? AnchorAttr(la, true, shape.rows)
+                                        : out_row)
                      : Symbol();
     Symbol col = shape.cols > 1
-                     ? (out_col.empty() ? FreshAttr(shape.cols) : out_col)
+                     ? (out_col.empty()
+                            ? AnchorAttr(la, false, shape.cols, /*avoid=*/row)
+                            : out_col)
                      : Symbol();
     if (!row.empty()) dims_->Set(row, shape.rows);
     if (!col.empty()) dims_->Set(col, shape.cols);
@@ -40,8 +43,91 @@ class LaToRa {
   }
 
  private:
-  Symbol FreshAttr(int64_t dim) {
-    Symbol a = Symbol::Fresh("a");
+  // Deterministic attribute naming: the attribute a node introduces is a
+  // pure function of the node's structure, its role, and the dimension, so
+  // the same (sub)expression translates to the identically-named RA term in
+  // every query. This is what lets a session's long-lived e-graph share
+  // classes across queries — with globally-fresh names, no two
+  // translations would ever hashcons together.
+  //
+  // Alpha-safety: a name f(N) is created at node N and immediately bound at
+  // N (by the Agg the rule emits), so it is free only inside N's own
+  // subtree; no strict subterm of N equals N structurally, hence a bound
+  // attribute never escapes beside its binder. Distinct role tags keep the
+  // attributes one node introduces apart, and the dimension is folded into
+  // the name so one name always maps to one dimension, even across catalog
+  // changes (the session DimEnv outlives catalog resets). Name collisions
+  // reduce to 64-bit structural-hash collisions, the same tolerance the
+  // translation memo below already accepts.
+  Symbol NodeAttr(const Expr& node, char role, int64_t dim) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "a$%c%016llx_%lld", role,
+                  static_cast<unsigned long long>(node.Hash()),
+                  static_cast<long long>(dim));
+    Symbol a = Symbol::Intern(buf);
+    dims_->Set(a, dim);
+    return a;
+  }
+
+  // Output axes are named by the axis's *origin*: descend through
+  // axis-preserving operators to the node the axis really comes from, so a
+  // query E and a wrapper around it (abs(E), E + E, ...) give their shared
+  // output axes the same attribute — their translated bodies then coincide
+  // inside the shared e-graph.
+  uint64_t AxisAnchor(const ExprPtr& e, bool row_axis) {
+    switch (e->op) {
+      case Op::kElemMul:
+      case Op::kElemPlus:
+      case Op::kElemMinus:
+      case Op::kElemDiv:
+      case Op::kPow:
+      case Op::kUnary:
+      case Op::kNeg:
+      case Op::kSProp: {
+        // Follow the first child that actually carries the axis (broadcast
+        // operands have size 1 there and cannot be its origin).
+        for (const ExprPtr& c : e->children) {
+          if (c->op == Op::kConst) continue;
+          StatusOr<Shape> s = ShapeOf(c);
+          if (!s.ok()) break;
+          int64_t d = row_axis ? s.value().rows : s.value().cols;
+          if (d > 1) return AxisAnchor(c, row_axis);
+        }
+        break;
+      }
+      case Op::kTranspose:
+        return AxisAnchor(e->children[0], !row_axis);
+      case Op::kMatMul:
+        return row_axis ? AxisAnchor(e->children[0], true)
+                        : AxisAnchor(e->children[1], false);
+      case Op::kRowAgg:
+        if (row_axis) return AxisAnchor(e->children[0], true);
+        break;
+      case Op::kColAgg:
+        if (!row_axis) return AxisAnchor(e->children[0], false);
+        break;
+      default:
+        break;
+    }
+    return e->Hash() * 2 + (row_axis ? 1 : 0);
+  }
+
+  Symbol AnchorAttr(const ExprPtr& e, bool row_axis, int64_t dim,
+                    Symbol avoid = Symbol()) {
+    char buf[56];
+    std::snprintf(buf, sizeof(buf), "a$r%016llx_%lld",
+                  static_cast<unsigned long long>(AxisAnchor(e, row_axis)),
+                  static_cast<long long>(dim));
+    Symbol a = Symbol::Intern(buf);
+    if (a == avoid) {
+      // Both output axes can originate at the same leaf axis (Gram queries:
+      // X %*% t(X) rows and columns are both X's rows). They are still
+      // independent indices and must carry distinct attributes.
+      std::snprintf(buf, sizeof(buf), "a$r%016llx_%lldc",
+                    static_cast<unsigned long long>(AxisAnchor(e, row_axis)),
+                    static_cast<long long>(dim));
+      a = Symbol::Intern(buf);
+    }
     dims_->Set(a, dim);
     return a;
   }
@@ -106,7 +192,7 @@ class LaToRa {
       case Op::kMatMul: {
         // AB -> sum_j (A(i,j) * B(j,k))   (Fig 2 rule 4)
         SPORES_ASSIGN_OR_RETURN(Shape sa, ShapeOf(e->children[0]));
-        Symbol j = sa.cols > 1 ? FreshAttr(sa.cols) : Symbol();
+        Symbol j = sa.cols > 1 ? NodeAttr(*e, 'm', sa.cols) : Symbol();
         SPORES_ASSIGN_OR_RETURN(ExprPtr a, Tr(e->children[0], row, j));
         SPORES_ASSIGN_OR_RETURN(ExprPtr b, Tr(e->children[1], j, col));
         ExprPtr joined = Expr::Join({a, b});
@@ -118,22 +204,22 @@ class LaToRa {
       case Op::kRowAgg: {
         // rowSums: aggregate away the column attribute.
         SPORES_ASSIGN_OR_RETURN(Shape sa, ShapeOf(e->children[0]));
-        Symbol j = sa.cols > 1 ? FreshAttr(sa.cols) : Symbol();
+        Symbol j = sa.cols > 1 ? NodeAttr(*e, 'g', sa.cols) : Symbol();
         SPORES_ASSIGN_OR_RETURN(ExprPtr a, Tr(e->children[0], row, j));
         if (j.empty()) return a;
         return Expr::Agg({j}, a);
       }
       case Op::kColAgg: {
         SPORES_ASSIGN_OR_RETURN(Shape sa, ShapeOf(e->children[0]));
-        Symbol i = sa.rows > 1 ? FreshAttr(sa.rows) : Symbol();
+        Symbol i = sa.rows > 1 ? NodeAttr(*e, 'h', sa.rows) : Symbol();
         SPORES_ASSIGN_OR_RETURN(ExprPtr a, Tr(e->children[0], i, col));
         if (i.empty()) return a;
         return Expr::Agg({i}, a);
       }
       case Op::kSumAgg: {
         SPORES_ASSIGN_OR_RETURN(Shape sa, ShapeOf(e->children[0]));
-        Symbol i = sa.rows > 1 ? FreshAttr(sa.rows) : Symbol();
-        Symbol j = sa.cols > 1 ? FreshAttr(sa.cols) : Symbol();
+        Symbol i = sa.rows > 1 ? NodeAttr(*e, 'u', sa.rows) : Symbol();
+        Symbol j = sa.cols > 1 ? NodeAttr(*e, 'v', sa.cols) : Symbol();
         SPORES_ASSIGN_OR_RETURN(ExprPtr a, Tr(e->children[0], i, j));
         std::vector<Symbol> attrs;
         if (!i.empty()) attrs.push_back(i);

@@ -31,7 +31,7 @@ struct Fixture {
     egraph->Rebuild();
     const EClass& cls = egraph->GetClass(id);
     // The node we just added is the last one.
-    return cost.NodeCost(*egraph, cls.nodes.back());
+    return cost.NodeCost(*egraph, egraph->NodeAt(cls.nodes.back()));
   }
 };
 

@@ -1,0 +1,156 @@
+// Property-style invariant testing of the arena-backed e-graph: after any
+// sequence of Add / Merge / Rebuild operations, EGraph::CheckInvariants()
+// must report the hashcons, union-find, class node lists, and parent
+// indexes as mutually consistent. Sequences are generated randomly over a
+// small operator alphabet so congruence cascades, duplicate forms, and
+// deep merge chains all occur; fuzz_test.cc additionally runs the same
+// check on the session's shared graph after full optimizer pipelines.
+#include <gtest/gtest.h>
+
+#include "src/egraph/egraph.h"
+#include "src/egraph/term_extract.h"
+#include "src/util/rng.h"
+
+namespace spores {
+namespace {
+
+ENode Leaf(const std::string& name) {
+  ENode n;
+  n.op = Op::kVar;
+  n.sym = Symbol::Intern(name);
+  return n;
+}
+
+ENode Node(Op op, std::vector<ClassId> children) {
+  ENode n;
+  n.op = op;
+  n.children = std::move(children);
+  return n;
+}
+
+// Random Add/Merge/Rebuild driver. Ops with arity 1 and 2 over existing
+// classes, a few distinct leaves, duplicate adds, and self-referential
+// children (cycles) are all in scope.
+void RunRandomSequence(uint64_t seed, size_t num_ops, EGraph& eg) {
+  Rng rng(seed);
+  std::vector<ClassId> ids;
+  for (int i = 0; i < 4; ++i) {
+    ids.push_back(eg.Add(Leaf("v" + std::to_string(i))));
+  }
+  const Op unary[] = {Op::kTranspose, Op::kRowAgg, Op::kColAgg};
+  const Op binary[] = {Op::kElemPlus, Op::kElemMul, Op::kMatMul};
+  for (size_t op = 0; op < num_ops; ++op) {
+    switch (rng.Uniform(8)) {
+      case 0:
+      case 1:
+      case 2: {  // unary node over a random class
+        ClassId c = ids[rng.Uniform(ids.size())];
+        ids.push_back(eg.Add(Node(unary[rng.Uniform(3)], {c})));
+        break;
+      }
+      case 3:
+      case 4: {  // binary node (children may coincide)
+        ClassId a = ids[rng.Uniform(ids.size())];
+        ClassId b = ids[rng.Uniform(ids.size())];
+        ids.push_back(eg.Add(Node(binary[rng.Uniform(3)], {a, b})));
+        break;
+      }
+      case 5: {  // duplicate add: must hashcons to an existing class
+        ClassId c = ids[rng.Uniform(ids.size())];
+        ids.push_back(eg.Add(Node(unary[0], {c})));
+        break;
+      }
+      case 6: {  // merge two random classes (may create cycles)
+        ClassId a = ids[rng.Uniform(ids.size())];
+        ClassId b = ids[rng.Uniform(ids.size())];
+        eg.Merge(a, b);
+        break;
+      }
+      default:
+        eg.Rebuild();
+        break;
+    }
+  }
+  eg.Rebuild();
+}
+
+class EGraphInvariants : public ::testing::TestWithParam<int> {};
+
+TEST_P(EGraphInvariants, RandomSequencesStayConsistent) {
+  EGraph eg;
+  RunRandomSequence(static_cast<uint64_t>(GetParam()) * 6151 + 7, 300, eg);
+  std::string err = eg.CheckInvariants();
+  EXPECT_TRUE(err.empty()) << err;
+  // The graph must still answer queries: every canonical class either
+  // extracts a finite term or is cyclic-only.
+  for (ClassId c : eg.CanonicalClasses()) {
+    (void)SmallestTerm(eg, c);  // must not crash or hang
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EGraphInvariants, ::testing::Range(0, 25));
+
+TEST(EGraphInvariants, CheckpointsDuringSequence) {
+  // Invariants hold at every Rebuild point, not just at the end.
+  EGraph eg;
+  Rng rng(99);
+  std::vector<ClassId> ids;
+  for (int i = 0; i < 3; ++i) {
+    ids.push_back(eg.Add(Leaf("w" + std::to_string(i))));
+  }
+  for (int step = 0; step < 40; ++step) {
+    ClassId a = ids[rng.Uniform(ids.size())];
+    ClassId b = ids[rng.Uniform(ids.size())];
+    ids.push_back(eg.Add(Node(Op::kElemPlus, {a, b})));
+    ids.push_back(eg.Add(Node(Op::kTranspose, {a})));
+    if (step % 3 == 0) eg.Merge(a, b);
+    eg.Rebuild();
+    std::string err = eg.CheckInvariants();
+    ASSERT_TRUE(err.empty()) << "step " << step << ": " << err;
+  }
+}
+
+TEST(EGraphInvariants, CongruenceCascadeConsistency) {
+  // Deep congruence cascade: merging the leaves must collapse every level,
+  // with all indexes agreeing afterwards.
+  EGraph eg;
+  ClassId x = eg.Add(Leaf("x"));
+  ClassId y = eg.Add(Leaf("y"));
+  ClassId fx = x, fy = y;
+  std::vector<std::pair<ClassId, ClassId>> levels;
+  for (int i = 0; i < 8; ++i) {
+    fx = eg.Add(Node(Op::kTranspose, {fx}));
+    fy = eg.Add(Node(Op::kTranspose, {fy}));
+    levels.emplace_back(fx, fy);
+  }
+  eg.Merge(x, y);
+  eg.Rebuild();
+  for (auto [a, b] : levels) EXPECT_EQ(eg.Find(a), eg.Find(b));
+  std::string err = eg.CheckInvariants();
+  EXPECT_TRUE(err.empty()) << err;
+}
+
+TEST(EGraphInvariants, CompactPreservesReachableEquivalences) {
+  EGraph eg;
+  ClassId x = eg.Add(Leaf("x"));
+  ClassId tx = eg.Add(Node(Op::kTranspose, {x}));
+  ClassId ttx = eg.Add(Node(Op::kTranspose, {tx}));
+  ClassId dead = eg.Add(Leaf("dead"));
+  eg.Add(Node(Op::kRowAgg, {dead}));
+  eg.Merge(ttx, x);
+  eg.Rebuild();
+
+  EGraph out;
+  std::vector<ClassId> roots = eg.CompactInto(out, {eg.Find(ttx)});
+  ASSERT_EQ(roots.size(), 1u);
+  ASSERT_NE(roots[0], kInvalidClassId);
+  std::string err = out.CheckInvariants();
+  EXPECT_TRUE(err.empty()) << err;
+  // The t(t(x)) == x equivalence survives; the dead branch does not.
+  EXPECT_TRUE(out.Represents(roots[0], Expr::Var("x")));
+  EXPECT_FALSE(out.LookupExpr(Expr::Var("dead")).has_value());
+  EXPECT_LT(out.ArenaSize(), eg.ArenaSize());
+}
+
+}  // namespace
+}  // namespace spores

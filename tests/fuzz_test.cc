@@ -185,7 +185,8 @@ TEST_P(OptimizerFuzz, AllOptimizersPreserveSemantics) {
   ASSERT_TRUE(expected.ok()) << ToString(expr);
   // Values can grow through products; scale the tolerance.
   double scale = 1.0;
-  for (double v : expected.value().ToDense().values()) {
+  Matrix expected_dense = expected.value().ToDense();
+  for (double v : expected_dense.values()) {
     scale = std::max(scale, std::abs(v));
   }
 
@@ -219,6 +220,16 @@ TEST_P(OptimizerFuzz, AllOptimizersPreserveSemantics) {
               1e-7 * scale)
         << c.name << "\n  in:  " << ToString(expr)
         << "\n  out: " << ToString(c.plan);
+  }
+
+  // The fuzz sequences double as invariant fodder for the arena-backed
+  // e-graph: after each full pipeline, the session's shared graph must keep
+  // hashcons, union-find, and parent indexes mutually consistent.
+  for (OptimizerSession* session : {&spores_greedy, &spores_ilp}) {
+    if (const EGraph* g = session->shared_egraph()) {
+      std::string err = g->CheckInvariants();
+      EXPECT_TRUE(err.empty()) << "seed " << seed << ": " << err;
+    }
   }
 }
 

@@ -230,11 +230,12 @@ TEST(RulesEq, SpropIntroduced) {
   ClassId root = f.Saturate("u * u - u * u * u");
   // Some class in root's e-class should be a kSProp node times u.
   bool found = false;
-  for (const ENode& n : f.egraph->GetClass(root).nodes) {
+  for (NodeId nid : f.egraph->GetClass(root).nodes) {
+    const ENode& n = f.egraph->NodeAt(nid);
     if (n.op == Op::kJoin) {
       for (ClassId c : n.children) {
-        for (const ENode& m : f.egraph->GetClass(c).nodes) {
-          if (m.op == Op::kSProp) found = true;
+        for (NodeId mid : f.egraph->GetClass(c).nodes) {
+          if (f.egraph->NodeAt(mid).op == Op::kSProp) found = true;
         }
       }
     }

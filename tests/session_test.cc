@@ -252,6 +252,153 @@ TEST(PlanCache, EvictsOldestBeyondCapacity) {
   EXPECT_FALSE(replay.cache_hit);
 }
 
+TEST(PlanCache, LruEvictionPrefersRecentlyUsed) {
+  Catalog c;
+  c.Register("X", 64, 48, 0.1);
+  c.Register("Y", 64, 48);
+  SessionConfig cfg;
+  cfg.plan_cache_capacity = 2;
+  OptimizerSession session(cfg);
+  session.Optimize(ParseExpr("sum(X + Y)").value(), c);  // A
+  session.Optimize(ParseExpr("sum(X * Y)").value(), c);  // B
+  // Touch A: it becomes most-recently-used even though it was inserted
+  // first (under the old FIFO policy the next insert would evict it).
+  OptimizedPlan touched = session.Optimize(ParseExpr("sum(X + Y)").value(), c);
+  ASSERT_TRUE(touched.cache_hit);
+  session.Optimize(ParseExpr("sum(X - Y)").value(), c);  // C evicts LRU = B
+  EXPECT_EQ(session.cache_stats().evictions, 1u);
+  EXPECT_EQ(session.PlanCacheSize(), 2u);
+  OptimizedPlan a = session.Optimize(ParseExpr("sum(X + Y)").value(), c);
+  EXPECT_TRUE(a.cache_hit);  // A survived the eviction
+  OptimizedPlan b = session.Optimize(ParseExpr("sum(X * Y)").value(), c);
+  EXPECT_FALSE(b.cache_hit);  // B was the victim
+}
+
+// ---- Cross-query e-graph reuse ----
+
+TEST(SharedEGraph, WarmSaturationMatchesFreshGraphPlans) {
+  // Structurally different (non-isomorphic) queries over one catalog resume
+  // saturation on the session's shared graph. Whenever both the resumed and
+  // the fresh-graph saturation converge, extraction costs must be
+  // identical (equal closures extract equal minima); budget-bounded runs
+  // are trajectory-dependent, so for those only semantic preservation is
+  // required. All plans must compute the same values as the inputs.
+  Rng rng(11);
+  Bindings inputs;
+  inputs.Bind("X", Matrix::RandomSparse(96, 64, 0.05, rng, -1, 1));
+  inputs.Bind("Y", Matrix::RandomDense(96, 64, rng, -1, 1));
+  inputs.Bind("U", Matrix::RandomDense(96, 8, rng, -1, 1));
+  inputs.Bind("V", Matrix::RandomDense(64, 8, rng, -1, 1));
+  Catalog c = inputs.ToCatalog();
+  const char* queries[] = {
+      "sum(X + Y)",
+      "sum((X - U %*% t(V))^2)",
+      "sum((X + Y) * X)",
+      "sum(2 * (X - U %*% t(V))^2)",
+  };
+  SessionConfig warm_cfg;
+  warm_cfg.enable_plan_cache = false;  // force every query through saturation
+  SessionConfig cold_cfg = warm_cfg;
+  cold_cfg.reuse_egraph = false;
+  OptimizerSession warm(warm_cfg);
+  OptimizerSession cold(cold_cfg);
+  size_t converged_pairs = 0;
+  for (const char* q : queries) {
+    ExprPtr expr = ParseExpr(q).value();
+    OptimizedPlan wp = warm.Optimize(expr, c);
+    OptimizedPlan cp = cold.Optimize(expr, c);
+    ASSERT_FALSE(wp.used_fallback) << q << ": " << wp.fallback_reason;
+    ASSERT_FALSE(cp.used_fallback) << q << ": " << cp.fallback_reason;
+    if (wp.saturation.stop_reason == StopReason::kSaturated &&
+        cp.saturation.stop_reason == StopReason::kSaturated) {
+      ++converged_pairs;
+      EXPECT_DOUBLE_EQ(wp.plan_cost, cp.plan_cost) << q;
+    }
+    auto expected = Execute(expr, inputs);
+    ASSERT_TRUE(expected.ok()) << q;
+    double scale = 1.0 + std::abs(SumAll(expected.value()));
+    for (const ExprPtr& plan : {wp.plan, cp.plan}) {
+      auto actual = Execute(plan, inputs);
+      ASSERT_TRUE(actual.ok()) << q << ": " << ToString(plan);
+      EXPECT_LT(Matrix::MaxAbsDiff(expected.value(), actual.value()),
+                1e-7 * scale)
+          << q << ": " << ToString(plan);
+    }
+  }
+  EXPECT_GE(converged_pairs, 2u);  // the small sums must converge both ways
+  EXPECT_EQ(warm.stats().graph_reuses, 3u);  // all but the first query
+  EXPECT_EQ(cold.stats().graph_reuses, 0u);
+  ASSERT_NE(warm.shared_egraph(), nullptr);
+  EXPECT_TRUE(warm.shared_egraph()->CheckInvariants().empty())
+      << warm.shared_egraph()->CheckInvariants();
+}
+
+TEST(SharedEGraph, ResetsOnCatalogChange) {
+  SessionConfig cfg;
+  cfg.enable_plan_cache = false;
+  OptimizerSession session(cfg);
+  ExprPtr expr = ParseExpr("sum(X + Y)").value();
+  Catalog small;
+  small.Register("X", 64, 48, 0.1);
+  small.Register("Y", 64, 48);
+  Catalog grown;
+  grown.Register("X", 128, 48, 0.1);
+  grown.Register("Y", 128, 48);
+  OptimizedPlan r1 = session.Optimize(expr, small);
+  OptimizedPlan r2 = session.Optimize(expr, grown);  // signature changed
+  OptimizedPlan r3 = session.Optimize(expr, grown);  // warm again
+  EXPECT_FALSE(r1.used_fallback);
+  EXPECT_FALSE(r2.used_fallback);
+  EXPECT_FALSE(r3.used_fallback);
+  EXPECT_EQ(session.stats().graph_resets, 1u);
+  EXPECT_EQ(session.stats().graph_reuses, 1u);  // only r3 found a warm graph
+}
+
+TEST(SharedEGraph, CompactionKeepsPlansCorrect) {
+  // A tiny arena budget forces Compact() between queries; plans must still
+  // match a fresh-graph session's, and the arena must actually shrink.
+  Catalog c;
+  c.Register("X", 96, 64, 0.05);
+  c.Register("Y", 96, 64);
+  SessionConfig warm_cfg;
+  warm_cfg.enable_plan_cache = false;
+  warm_cfg.egraph_node_budget = 40;  // far below one query's saturated size
+  warm_cfg.max_live_roots = 2;
+  SessionConfig cold_cfg = warm_cfg;
+  cold_cfg.reuse_egraph = false;
+  OptimizerSession warm(warm_cfg);
+  OptimizerSession cold(cold_cfg);
+  const char* queries[] = {"sum(X + Y)", "sum(X * Y)", "sum((X + Y) * X)",
+                           "sum(X - Y)"};
+  for (const char* q : queries) {
+    ExprPtr expr = ParseExpr(q).value();
+    OptimizedPlan wp = warm.Optimize(expr, c);
+    OptimizedPlan cp = cold.Optimize(expr, c);
+    ASSERT_FALSE(wp.used_fallback) << q << ": " << wp.fallback_reason;
+    EXPECT_DOUBLE_EQ(wp.plan_cost, cp.plan_cost) << q;
+    EXPECT_EQ(ToString(wp.plan), ToString(cp.plan)) << q;
+  }
+  EXPECT_GE(warm.stats().compactions, 1u);
+  EXPECT_LE(warm.live_roots().size(), 2u);
+  ASSERT_NE(warm.shared_egraph(), nullptr);
+  EXPECT_TRUE(warm.shared_egraph()->CheckInvariants().empty())
+      << warm.shared_egraph()->CheckInvariants();
+}
+
+TEST(SharedEGraph, DisabledByConfigBuildsFreshGraphs) {
+  Catalog c;
+  c.Register("X", 64, 48, 0.1);
+  c.Register("Y", 64, 48);
+  SessionConfig cfg;
+  cfg.enable_plan_cache = false;
+  cfg.reuse_egraph = false;
+  OptimizerSession session(cfg);
+  session.Optimize(ParseExpr("sum(X + Y)").value(), c);
+  session.Optimize(ParseExpr("sum(X * Y)").value(), c);
+  EXPECT_EQ(session.shared_egraph(), nullptr);
+  EXPECT_EQ(session.stats().graph_reuses, 0u);
+}
+
 TEST(PlanCache, FallbacksAreNotCached) {
   OptimizerSession session;
   Catalog empty;

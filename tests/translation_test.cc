@@ -106,7 +106,9 @@ INSTANTIATE_TEST_SUITE_P(
         "sum((X - U %*% t(V)) ^ 2)",
         "(U %*% t(V) - X) %*% V",
         "t(X) %*% (u - X %*% v)",
-        "sum(A %*% B) - sum(X * (A %*% B))"));
+        "sum(A %*% B) - sum(X * (A %*% B))",
+        // Gram/covariance patterns: both output axes share one origin.
+        "X %*% t(X)", "t(X) %*% X"));
 
 TEST(Translation, OutputAttrsMatchShape) {
   Catalog catalog = TestCatalog();
@@ -117,6 +119,21 @@ TEST(Translation, OutputAttrsMatchShape) {
   EXPECT_EQ(program.value().out_shape, (Shape{20, 15}));
   EXPECT_EQ(program.value().dims->DimOf(program.value().out_row), 20);
   EXPECT_EQ(program.value().dims->DimOf(program.value().out_col), 15);
+}
+
+TEST(Translation, GramQueryOutputAttrsStayDistinct) {
+  // X %*% t(X): both output axes originate at X's row axis, but they are
+  // independent indices — the deterministic axis-anchor naming must still
+  // give them distinct attributes (regression: identical anchors once
+  // collapsed them into one symbol).
+  Catalog catalog = TestCatalog();
+  auto program = TranslateLaToRa(ParseExpr("X %*% t(X)").value(), catalog);
+  ASSERT_TRUE(program.ok());
+  EXPECT_FALSE(program.value().out_row.empty());
+  EXPECT_FALSE(program.value().out_col.empty());
+  EXPECT_NE(program.value().out_row, program.value().out_col);
+  EXPECT_EQ(program.value().dims->DimOf(program.value().out_row),
+            program.value().dims->DimOf(program.value().out_col));
 }
 
 TEST(Translation, ScalarOutputHasNoAttrs) {
