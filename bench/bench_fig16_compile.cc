@@ -5,6 +5,23 @@
 //   sampling + greedy   — the paper's fast configuration
 //   sampling + ILP      — the paper's optimal configuration (ILP dominates)
 // plus the heuristic optimizer's total time as the SystemML-like baseline.
+//
+// The bench also gates the compiled e-matching engine: every program's cold
+// compile is run twice — once through the compiled multi-pattern trie
+// (default) and once with the legacy backtracking matcher (the pre-compiled-
+// engine implementation, kept as an oracle). Both runs are seeded
+// identically and walk the same trajectory, so extracted plan costs must be
+// bit-identical whenever neither run hits the wall clock (that identity is
+// the CI gate); the saturate-time ratio is the compiled engine's speedup
+// (report-only in --smoke).
+//
+// Flags:
+//   --smoke          identity gate + speedup report only (fast, CI-friendly)
+//   --json FILE      also write all measurements as JSON
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
 #include "bench/bench_common.h"
 
 namespace {
@@ -15,11 +32,64 @@ struct Config {
   spores::ExtractionStrategy extraction;
 };
 
-}  // namespace
+struct MatcherRun {
+  double saturate_seconds = 0.0;
+  double total_seconds = 0.0;
+  double plan_cost = 0.0;
+  double original_cost = 0.0;
+  size_t iterations = 0;
+  size_t applied = 0;
+  bool timed_out = false;
+};
 
-int main() {
+// Cold compile (no plan cache, fresh session) with the paper's fast
+// configuration; min-of-reps timing. Identity fields come from the last rep
+// (all reps are identical by determinism).
+MatcherRun RunOnce(const spores::Program& prog, bool legacy_matcher,
+                   int reps) {
   using namespace spores;
   using namespace spores::bench;
+  ScalePoint scale = ScalesFor(prog.name)[0];
+  WorkloadData data = DataFor(prog.name, scale);
+  MatcherRun out;
+  out.saturate_seconds = 1e99;
+  out.total_seconds = 1e99;
+  for (int rep = 0; rep < reps; ++rep) {
+    SessionConfig cfg;
+    cfg.runner.strategy = SaturationStrategy::kSampling;
+    cfg.runner.timeout_seconds = 10.0;  // deterministic: never hit the clock
+    cfg.runner.use_legacy_matcher = legacy_matcher;
+    cfg.extraction = ExtractionStrategy::kGreedy;
+    cfg.enable_plan_cache = false;
+    OptimizerSession session(cfg);
+    OptimizedPlan result = session.Optimize(prog.expr, data.catalog);
+    out.saturate_seconds =
+        std::min(out.saturate_seconds, result.timings.saturate_seconds);
+    out.total_seconds =
+        std::min(out.total_seconds, result.timings.TotalSeconds());
+    out.plan_cost = result.plan_cost;
+    out.original_cost = result.original_cost;
+    out.iterations = result.saturation.iterations;
+    out.applied = result.saturation.applied_matches;
+    out.timed_out = result.saturation.stop_reason == StopReason::kTimeout;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace spores;
+  using namespace spores::bench;
+
+  bool smoke = false;
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
 
   const Config configs[] = {
       {"DFS+greedy", SaturationStrategy::kDepthFirst,
@@ -30,48 +100,143 @@ int main() {
        ExtractionStrategy::kIlp},
   };
 
-  std::printf("Figure 16 reproduction: compile time breakdown [sec].\n");
-  std::printf("Saturation budget 2.5s (the paper's timeout).\n\n");
-  std::printf("%-17s %-6s %10s %10s %10s %10s  %s\n", "config", "prog",
-              "translate", "saturate", "extract", "total", "note");
-  std::printf("%.92s\n", std::string(92, '-').c_str());
+  FILE* json = nullptr;
+  if (json_path) {
+    json = std::fopen(json_path, "w");
+    if (!json) {
+      std::fprintf(stderr, "cannot open %s\n", json_path);
+      return 1;
+    }
+    std::fprintf(json, "{\n");
+  }
 
-  for (const Config& config : configs) {
+  if (!smoke) {
+    std::printf("Figure 16 reproduction: compile time breakdown [sec].\n");
+    std::printf("Saturation budget 2.5s (the paper's timeout).\n\n");
+    std::printf("%-17s %-6s %10s %10s %10s %10s  %s\n", "config", "prog",
+                "translate", "saturate", "extract", "total", "note");
+    std::printf("%.92s\n", std::string(92, '-').c_str());
+    if (json) std::fprintf(json, "  \"configs\": [\n");
+    bool first_json_row = true;
+    for (const Config& config : configs) {
+      for (const Program& prog : AllPrograms()) {
+        ScalePoint scale = ScalesFor(prog.name)[0];
+        WorkloadData data = DataFor(prog.name, scale);
+        SessionConfig cfg;
+        cfg.runner.strategy = config.strategy;
+        cfg.runner.timeout_seconds = 2.5;
+        cfg.extraction = config.extraction;
+        cfg.enable_plan_cache = false;  // measuring cold compiles
+        OptimizerSession session(cfg);
+        OptimizedPlan result = session.Optimize(prog.expr, data.catalog);
+        const char* note = "";
+        if (result.saturation.stop_reason == StopReason::kTimeout) {
+          note = "saturation TIMEOUT";
+        } else if (result.saturation.stop_reason == StopReason::kNodeLimit) {
+          note = "node limit";
+        } else if (result.saturation.stop_reason == StopReason::kSaturated) {
+          note = "converged";
+        }
+        std::printf("%-17s %-6s %10.4f %10.4f %10.4f %10.4f  %s\n",
+                    config.name, prog.name.c_str(),
+                    result.timings.translate_seconds,
+                    result.timings.saturate_seconds,
+                    result.timings.extract_seconds,
+                    result.timings.TotalSeconds(), note);
+        if (json) {
+          std::fprintf(json,
+                       "%s    {\"config\": \"%s\", \"prog\": \"%s\", "
+                       "\"translate\": %.6f, \"saturate\": %.6f, "
+                       "\"extract\": %.6f, \"total\": %.6f}",
+                       first_json_row ? "" : ",\n", config.name,
+                       prog.name.c_str(), result.timings.translate_seconds,
+                       result.timings.saturate_seconds,
+                       result.timings.extract_seconds,
+                       result.timings.TotalSeconds());
+          first_json_row = false;
+        }
+      }
+    }
+    if (json) std::fprintf(json, "\n  ],\n");
+
+    std::printf("\n%-17s %-6s %10s\n", "config", "prog", "total");
     for (const Program& prog : AllPrograms()) {
       ScalePoint scale = ScalesFor(prog.name)[0];
       WorkloadData data = DataFor(prog.name, scale);
-      SessionConfig cfg;
-      cfg.runner.strategy = config.strategy;
-      cfg.runner.timeout_seconds = 2.5;
-      cfg.extraction = config.extraction;
-      cfg.enable_plan_cache = false;  // measuring cold compiles
-      OptimizerSession session(cfg);
-      OptimizedPlan result = session.Optimize(prog.expr, data.catalog);
-      const char* note = "";
-      if (result.saturation.stop_reason == StopReason::kTimeout) {
-        note = "saturation TIMEOUT";
-      } else if (result.saturation.stop_reason == StopReason::kNodeLimit) {
-        note = "node limit";
-      } else if (result.saturation.stop_reason == StopReason::kSaturated) {
-        note = "converged";
-      }
-      std::printf("%-17s %-6s %10.4f %10.4f %10.4f %10.4f  %s\n", config.name,
-                  prog.name.c_str(), result.timings.translate_seconds,
-                  result.timings.saturate_seconds,
-                  result.timings.extract_seconds,
-                  result.timings.TotalSeconds(), note);
+      HeuristicOptimizer heur(OptLevel::kOpt2);
+      Timer t;
+      heur.Optimize(prog.expr, data.catalog);
+      std::printf("%-17s %-6s %10.4f\n", "heuristic(opt2)", prog.name.c_str(),
+                  t.Seconds());
     }
+    std::printf("\n");
   }
 
-  std::printf("\n%-17s %-6s %10s\n", "config", "prog", "total");
+  // ---- Compiled-vs-legacy matcher gate (sampling+greedy cold compiles) ----
+  std::printf("Compiled e-matching engine vs legacy backtracking matcher\n");
+  std::printf("(cold compile, sampling+greedy, identical seeds)\n\n");
+  std::printf("%-6s %12s %12s %8s  %s\n", "prog", "legacy-sat", "compiled-sat",
+              "speedup", "plan-cost identity");
+  std::printf("%.72s\n", std::string(72, '-').c_str());
+  if (json) std::fprintf(json, "  \"matcher\": [\n");
+
+  const int reps = smoke ? 2 : 5;
+  double log_speedup_sum = 0.0;
+  size_t speedup_count = 0;
+  bool identity_ok = true;
+  bool first_json_row = true;
   for (const Program& prog : AllPrograms()) {
-    ScalePoint scale = ScalesFor(prog.name)[0];
-    WorkloadData data = DataFor(prog.name, scale);
-    HeuristicOptimizer heur(OptLevel::kOpt2);
-    Timer t;
-    heur.Optimize(prog.expr, data.catalog);
-    std::printf("%-17s %-6s %10.4f\n", "heuristic(opt2)", prog.name.c_str(),
-                t.Seconds());
+    MatcherRun legacy = RunOnce(prog, /*legacy_matcher=*/true, reps);
+    MatcherRun compiled = RunOnce(prog, /*legacy_matcher=*/false, reps);
+    double speedup = legacy.saturate_seconds / compiled.saturate_seconds;
+    // A run that hit the wall clock is trajectory-nondeterministic, so
+    // identity is unknowable there (JSON: null), not a divergence.
+    bool comparable = !legacy.timed_out && !compiled.timed_out;
+    bool same = false;
+    if (comparable) {
+      same = legacy.plan_cost == compiled.plan_cost &&
+             legacy.original_cost == compiled.original_cost &&
+             legacy.iterations == compiled.iterations &&
+             legacy.applied == compiled.applied;
+      if (!same) identity_ok = false;
+      log_speedup_sum += std::log(speedup);
+      ++speedup_count;
+    }
+    std::printf("%-6s %12.6f %12.6f %7.2fx  %s\n", prog.name.c_str(),
+                legacy.saturate_seconds, compiled.saturate_seconds, speedup,
+                !comparable ? "n/a (timeout)"
+                            : (same ? "identical" : "DIVERGED"));
+    if (json) {
+      std::fprintf(json,
+                   "%s    {\"prog\": \"%s\", \"legacy_saturate\": %.6f, "
+                   "\"compiled_saturate\": %.6f, \"speedup\": %.3f, "
+                   "\"plan_cost\": %.17g, \"timed_out\": %s, "
+                   "\"identical\": %s}",
+                   first_json_row ? "" : ",\n", prog.name.c_str(),
+                   legacy.saturate_seconds, compiled.saturate_seconds,
+                   speedup, compiled.plan_cost,
+                   comparable ? "false" : "true",
+                   !comparable ? "null" : (same ? "true" : "false"));
+      first_json_row = false;
+    }
+  }
+  double geomean =
+      speedup_count ? std::exp(log_speedup_sum / speedup_count) : 0.0;
+  std::printf(
+      "\ngeomean cold-saturation speedup vs in-binary oracle: %.2fx "
+      "(report-only; conservative — the oracle path shares the flat-Subst / "
+      "op-index / path-compression gains; see BENCH_pr3.json for the "
+      "pre-PR-binary trajectory)\n",
+      geomean);
+  if (json) {
+    std::fprintf(json, "\n  ],\n  \"geomean_speedup\": %.3f\n}\n", geomean);
+    std::fclose(json);
+  }
+
+  if (!identity_ok) {
+    std::fprintf(stderr,
+                 "FAIL: compiled matcher diverged from the legacy oracle\n");
+    return 1;
   }
   return 0;
 }

@@ -1,9 +1,19 @@
 // Experiment E7: microbenchmarks (google-benchmark) for the hot paths —
-// e-graph add/merge/rebuild, e-matching, extraction, kernels, and the fused
-// operators' advantage over their unfused definitions.
+// e-graph add/merge/rebuild, e-matching (compiled VM / shared trie vs the
+// legacy backtracking oracle), extraction, kernels, and the fused operators'
+// advantage over their unfused definitions.
+//
+// `bench_micro --smoke` skips google-benchmark and runs the e-matching
+// identity gate instead: the compiled trie's per-rule match sequences must
+// equal the legacy oracle's on a saturated workload graph (exit 1 on
+// divergence; the measured speedup is report-only). CI runs this under
+// ASan+UBSan so the compiled path is sanitizer-covered on every PR.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+
 #include "src/egraph/matcher.h"
+#include "src/egraph/pattern_program.h"
 #include "src/egraph/runner.h"
 #include "src/extract/extractor.h"
 #include "src/ir/parser.h"
@@ -68,6 +78,93 @@ void BM_EMatch(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EMatch);
+
+// ---- E-matching engine: compiled VM / shared trie vs legacy oracle ----
+
+// A saturated e-graph over the ALS workload — realistic match-site density
+// for the R_EQ rule set (AC shuffles, nested aggregates, coefficients).
+struct SaturatedAls {
+  std::shared_ptr<DimEnv> dims = std::make_shared<DimEnv>();
+  WorkloadData data = MakeFactorizationData(150, 100, 5, 0.02, 11);
+  std::unique_ptr<EGraph> egraph;
+  std::vector<Rewrite> rules;
+
+  SaturatedAls() {
+    auto translated = TranslateLaToRa(AlsProgram().expr, data.catalog, dims);
+    RaContext ctx{&data.catalog, dims};
+    egraph = std::make_unique<EGraph>(std::make_unique<RaAnalysis>(ctx));
+    egraph->AddExpr(translated.value().ra);
+    egraph->Rebuild();
+    rules = RaEqualityRules(ctx);
+    RunnerConfig cfg;
+    cfg.max_iterations = 8;
+    cfg.timeout_seconds = 5.0;
+    Runner runner(egraph.get(), &rules, cfg);
+    runner.Run();
+  }
+
+  std::vector<PatternPtr> Lhs() const { return LhsPatterns(rules); }
+};
+
+SaturatedAls& SharedAls() {
+  static SaturatedAls als;
+  return als;
+}
+
+// Matching every R_EQ rule across the whole graph: one trie pass per class.
+void BM_EMatchRuleSetTrie(benchmark::State& state) {
+  SaturatedAls& als = SharedAls();
+  CompiledRuleSet trie(als.Lhs());
+  RuleMask all(als.rules.size());
+  all.SetAll();
+  MatchBank bank;
+  std::vector<ClassId> classes = als.egraph->CanonicalClasses();
+  for (auto _ : state) {
+    bank.Reset(als.rules.size());
+    for (ClassId c : classes) trie.MatchClass(*als.egraph, c, all, &bank);
+    size_t total = 0;
+    for (const auto& rm : bank.rules) total += rm.size();
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_EMatchRuleSetTrie)->Unit(benchmark::kMicrosecond);
+
+// The same work through the legacy backtracking interpreter (rule-at-a-time
+// over raw class node lists) — the pre-compiled-engine hot loop.
+void BM_EMatchRuleSetLegacy(benchmark::State& state) {
+  SaturatedAls& als = SharedAls();
+  std::vector<ClassId> classes = als.egraph->CanonicalClasses();
+  for (auto _ : state) {
+    size_t total = 0;
+    std::vector<Match> matches;
+    for (const Rewrite& rule : als.rules) {
+      matches.clear();
+      for (ClassId c : classes) {
+        LegacyMatchInClass(*als.egraph, *rule.lhs, c, &matches);
+      }
+      total += matches.size();
+    }
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_EMatchRuleSetLegacy)->Unit(benchmark::kMicrosecond);
+
+// Single-pattern compiled VM (compile amortized out) vs the oracle.
+void BM_EMatchSinglePattern(benchmark::State& state) {
+  SaturatedAls& als = SharedAls();
+  PatternPtr p = Pattern::AggBind(
+      "?I", Pattern::N(Op::kJoin, {Pattern::V("?a"), Pattern::V("?b")}));
+  bool compiled = state.range(0) != 0;
+  for (auto _ : state) {
+    size_t n = compiled ? MatchAll(*als.egraph, *p).size()
+                        : LegacyMatchAll(*als.egraph, *p).size();
+    benchmark::DoNotOptimize(n);
+  }
+}
+BENCHMARK(BM_EMatchSinglePattern)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMicrosecond);
 
 // ---- Full optimizer passes ----
 
@@ -183,7 +280,75 @@ BENCHMARK(BM_MMChainDpVsLeftFold)
     ->Arg(1)
     ->Unit(benchmark::kMillisecond);
 
+// ---- --smoke: e-matching identity gate (sanitizer-friendly, no
+// google-benchmark), exit 1 when the compiled engine diverges from the
+// oracle; speedup is report-only. ----
+
+int RunMatchSmoke() {
+  SaturatedAls& als = SharedAls();
+  CompiledRuleSet trie(als.Lhs());
+  RuleMask all(als.rules.size());
+  all.SetAll();
+  std::vector<ClassId> classes = als.egraph->CanonicalClasses();
+
+  MatchBank bank;
+  bank.Reset(als.rules.size());
+  Timer compiled_timer;
+  for (ClassId c : classes) trie.MatchClass(*als.egraph, c, all, &bank);
+  double compiled_seconds = compiled_timer.Seconds();
+
+  Timer legacy_timer;
+  std::vector<std::vector<Match>> oracle(als.rules.size());
+  for (size_t ri = 0; ri < als.rules.size(); ++ri) {
+    for (ClassId c : classes) {
+      LegacyMatchInClass(*als.egraph, *als.rules[ri].lhs, c, &oracle[ri]);
+    }
+  }
+  double legacy_seconds = legacy_timer.Seconds();
+
+  size_t total = 0;
+  for (size_t ri = 0; ri < als.rules.size(); ++ri) {
+    const MatchBank::RuleMatches& got = bank.rules[ri];
+    if (got.size() != oracle[ri].size()) {
+      std::fprintf(stderr, "FAIL: rule %s: %zu matches vs oracle %zu\n",
+                   als.rules[ri].name.c_str(), got.size(),
+                   oracle[ri].size());
+      return 1;
+    }
+    for (size_t i = 0; i < got.size(); ++i) {
+      Subst s = trie.MatchSubst(*als.egraph, ri, bank, i);
+      const Match& want = oracle[ri][i];
+      if (got.roots[i] != want.root || s.classes != want.subst.classes ||
+          s.attrs != want.subst.attrs || s.values != want.subst.values) {
+        std::fprintf(stderr, "FAIL: rule %s match %zu diverges\n",
+                     als.rules[ri].name.c_str(), i);
+        return 1;
+      }
+    }
+    total += got.size();
+  }
+  std::printf(
+      "e-matching smoke: %zu rules, %zu classes, %zu matches identical to "
+      "the legacy oracle\n",
+      als.rules.size(), classes.size(), total);
+  std::printf(
+      "full-rule-set pass: legacy %.3fms, compiled trie %.3fms (%.2fx, "
+      "report-only)\n",
+      legacy_seconds * 1e3, compiled_seconds * 1e3,
+      legacy_seconds / compiled_seconds);
+  return 0;
+}
+
 }  // namespace
 }  // namespace spores
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) return spores::RunMatchSmoke();
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

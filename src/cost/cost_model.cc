@@ -69,4 +69,37 @@ double CostModel::NodeCost(const EGraph& egraph, const ENode& node) const {
   }
 }
 
+double CostMemo::NodeCost(const CostModel& cost, const EGraph& egraph,
+                          NodeId nid) {
+  if (nodes_.size() <= nid) nodes_.resize(egraph.ArenaSize());
+  const ENode& node = egraph.NodeAt(nid);
+  // Any change to a child class (merge, repair, refined analysis data) bumps
+  // its version to the graph's strictly increasing counter, so the max over
+  // child versions moves whenever any cost input could have.
+  uint64_t stamp = 1;
+  for (ClassId c : node.children) {
+    uint64_t v = egraph.ClassVersion(c) + 1;
+    if (v > stamp) stamp = v;
+  }
+  Entry& e = nodes_[nid];
+  if (e.stamp != stamp) {
+    e.stamp = stamp;
+    e.value = cost.NodeCost(egraph, node);
+  }
+  return e.value;
+}
+
+double CostMemo::ClassNnz(const CostModel& cost, const EGraph& egraph,
+                          ClassId id) {
+  ClassId c = egraph.Find(id);
+  if (classes_.size() <= c) classes_.resize(egraph.NumClassSlots());
+  uint64_t stamp = egraph.ClassVersion(c) + 1;
+  Entry& e = classes_[c];
+  if (e.stamp != stamp) {
+    e.stamp = stamp;
+    e.value = cost.ClassNnz(egraph, c);
+  }
+  return e.value;
+}
+
 }  // namespace spores

@@ -28,4 +28,35 @@ class CostModel {
   RaContext ctx_;
 };
 
+/// Version-tagged memo for extraction-time cost lookups. A node's cost is a
+/// pure function of its children's class analysis data, and every class
+/// carries the graph version at which it last changed — so a cached cost is
+/// valid while the (few) child-class versions still match the stamp it was
+/// computed under, which turns the schema-union/dimension-product work in
+/// NodeCost into two version reads on the unchanged-class fast path.
+///
+/// The memo survives across extractions of the same graph (a session keeps
+/// one per shared e-graph): greedy's fixpoint loop, the ILP encoding, the
+/// greedy warm-start inside IlpExtract, and later queries' extractions all
+/// hit the same entries for classes saturation did not touch. Tied to one
+/// EGraph instance — NodeIds/ClassIds index its arena; discard with it.
+class CostMemo {
+ public:
+  /// Memoized CostModel::NodeCost of the arena node `nid`.
+  double NodeCost(const CostModel& cost, const EGraph& egraph, NodeId nid);
+
+  /// Memoized CostModel::ClassNnz of class `id` (canonical or not) — for
+  /// nnz-driven consumers (size estimates, future cost-aware Compact());
+  /// extraction itself only needs NodeCost.
+  double ClassNnz(const CostModel& cost, const EGraph& egraph, ClassId id);
+
+ private:
+  struct Entry {
+    uint64_t stamp = 0;  ///< 0 = empty; else 1 + newest dependency version
+    double value = 0.0;
+  };
+  std::vector<Entry> nodes_;    // NodeId-indexed
+  std::vector<Entry> classes_;  // canonical-ClassId-indexed
+};
+
 }  // namespace spores

@@ -8,6 +8,24 @@
 
 namespace spores {
 
+namespace {
+
+// Appends `nid` to the op-index bucket for `op`, creating the bucket on
+// first sight. Append order is what keeps each bucket a subsequence of the
+// class's node list (the matcher-order contract).
+void AppendToOpIndex(std::vector<std::pair<Op, std::vector<NodeId>>>& index,
+                     Op op, NodeId nid) {
+  for (auto& [o, list] : index) {
+    if (o == op) {
+      list.push_back(nid);
+      return;
+    }
+  }
+  index.push_back({op, {nid}});
+}
+
+}  // namespace
+
 EGraph::EGraph(std::unique_ptr<Analysis> analysis)
     : analysis_(std::move(analysis)) {
   if (!analysis_) analysis_ = std::make_unique<NullAnalysis>();
@@ -50,6 +68,7 @@ ClassId EGraph::Add(ENode node) {
   EClass cls;
   cls.id = id;
   cls.nodes.push_back(nid);
+  cls.op_index.push_back({node.op, {nid}});
   cls.version = version_;
   cls.data = analysis_->Make(*this, node);
   classes_.push_back(std::move(cls));
@@ -141,8 +160,22 @@ bool EGraph::Merge(ClassId a, ClassId b) {
   keep.nodes.insert(keep.nodes.end(), gone.nodes.begin(), gone.nodes.end());
   keep.parents.insert(keep.parents.end(), gone.parents.begin(),
                       gone.parents.end());
+  // Merge op buckets; appending gone's after keep's preserves the relative
+  // order of keep.nodes ++ gone.nodes within each op.
+  for (auto& [op, list] : gone.op_index) {
+    bool merged = false;
+    for (auto& [kop, klist] : keep.op_index) {
+      if (kop == op) {
+        klist.insert(klist.end(), list.begin(), list.end());
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) keep.op_index.push_back({op, std::move(list)});
+  }
   std::vector<NodeId>().swap(gone.nodes);
   std::vector<NodeId>().swap(gone.parents);
+  std::vector<std::pair<Op, std::vector<NodeId>>>().swap(gone.op_index);
 
   bool data_changed = analysis_->Merge(keep.data, gone.data);
   ++version_;
@@ -233,6 +266,12 @@ void EGraph::RepairClass(ClassId id) {
     }
   }
   cls.nodes = std::move(fresh_nodes);
+  // Rebuild the op index from the deduplicated member list (ops are
+  // immutable per node, but dedup and congruence merges changed membership).
+  cls.op_index.clear();
+  for (NodeId nid : cls.nodes) {
+    AppendToOpIndex(cls.op_index, nodes_[nid].op, nid);
+  }
   cls.version = version_;
 }
 
@@ -427,11 +466,42 @@ std::string EGraph::CheckInvariants() const {
     const EClass& cls = classes_[c];
     bool canonical = uf_.FindConst(c) == c;
     if (!canonical) {
-      if (!cls.nodes.empty() || !cls.parents.empty()) {
+      if (!cls.nodes.empty() || !cls.parents.empty() ||
+          !cls.op_index.empty()) {
         err << "non-canonical class " << c << " still owns nodes/parents";
         return err.str();
       }
       continue;
+    }
+    // The op index must partition `nodes` exactly, preserving per-op order.
+    {
+      std::vector<std::pair<Op, std::vector<NodeId>>> expected;
+      for (NodeId nid : cls.nodes) {
+        if (nid >= nodes_.size()) continue;  // reported by the member checks
+        AppendToOpIndex(expected, nodes_[nid].op, nid);
+      }
+      size_t indexed = 0;
+      for (const auto& [op, list] : cls.op_index) {
+        if (list.empty()) {
+          err << "class " << c << " has an empty op bucket";
+          return err.str();
+        }
+        indexed += list.size();
+        const std::vector<NodeId>* exp = nullptr;
+        for (const auto& [eo, elist] : expected) {
+          if (eo == op) exp = &elist;
+        }
+        if (!exp || *exp != list) {
+          err << "class " << c << " op bucket for " << OpName(op)
+              << " diverges from its node list";
+          return err.str();
+        }
+      }
+      if (indexed != cls.nodes.size()) {
+        err << "class " << c << " op index covers " << indexed << " of "
+            << cls.nodes.size() << " nodes";
+        return err.str();
+      }
     }
     if (cls.id != c) {
       err << "class " << c << " has id " << cls.id;

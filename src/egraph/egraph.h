@@ -14,6 +14,7 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/egraph/analysis.h"
@@ -29,9 +30,23 @@ struct EClass {
   ClassId id = kInvalidClassId;
   /// Member e-nodes (canonicalized and deduplicated after Rebuild()).
   std::vector<NodeId> nodes;
+  /// Per-op index over `nodes`: the bucket for op X lists exactly the
+  /// members whose e-node op is X, preserving their relative order in
+  /// `nodes`. E-matching jumps straight to a pattern's candidate nodes
+  /// instead of scanning the class. Maintained by Add/Merge/RepairClass
+  /// (CompactInto re-adds through Add); cross-checked by CheckInvariants.
+  std::vector<std::pair<Op, std::vector<NodeId>>> op_index;
   /// Back-edges: e-nodes that have this class as a child (deduplicated
   /// after Rebuild()). Used for congruence repair and analysis propagation.
   std::vector<NodeId> parents;
+
+  /// Members whose op is `op`, or nullptr when the class has none.
+  const std::vector<NodeId>* NodesWith(Op op) const {
+    for (const auto& [o, list] : op_index) {
+      if (o == op) return &list;
+    }
+    return nullptr;
+  }
   ClassData data;
   /// Graph Version() at which this class last changed (created, merged, or
   /// congruence-repaired). Lets incremental matchers skip stable classes.
@@ -75,7 +90,11 @@ class EGraph {
   /// Restores congruence and re-propagates analysis data to fixpoint.
   void Rebuild();
 
-  ClassId Find(ClassId id) const { return uf_.FindConst(id); }
+  /// Canonical class of `id`. Path-compresses through the mutable
+  /// union-find even on const graphs (logically const; the graph is
+  /// single-threaded by design), so the tight Find loops in matching and
+  /// extraction amortize to near-O(1).
+  ClassId Find(ClassId id) const { return uf_.Find(id); }
 
   const EClass& GetClass(ClassId id) const;
   const ClassData& Data(ClassId id) const { return GetClass(id).data; }

@@ -2,24 +2,58 @@
 
 #include <functional>
 
+#include "src/egraph/pattern_program.h"
+
 namespace spores {
+
+void MatchInClass(const EGraph& egraph, const Pattern& pattern, ClassId id,
+                  std::vector<Match>* out) {
+  PatternProgram prog = CompilePattern(pattern);
+  MachineScratch scratch;
+  scratch.Ensure(prog);
+  ClassId root = egraph.Find(id);
+  scratch.regs[0] = root;
+  RunProgram(egraph, prog, scratch, [&] {
+    out->push_back(Match{root, ScratchToSubst(egraph, prog, scratch)});
+  });
+}
+
+std::vector<Match> MatchAll(const EGraph& egraph, const Pattern& pattern) {
+  std::vector<Match> out;
+  PatternProgram prog = CompilePattern(pattern);
+  MachineScratch scratch;
+  scratch.Ensure(prog);
+  // CanonicalClasses() yields canonical ids already; binding regs[0]
+  // directly keeps the per-class Find out of the loop.
+  for (ClassId id : egraph.CanonicalClasses()) {
+    scratch.regs[0] = id;
+    RunProgram(egraph, prog, scratch, [&] {
+      out.push_back(Match{id, ScratchToSubst(egraph, prog, scratch)});
+    });
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Legacy backtracking interpreter (reference oracle).
+// ---------------------------------------------------------------------------
 
 namespace {
 
 // Extends `subst` so that `pattern` matches class `id`; invokes `emit` for
 // every consistent extension. `subst` is mutated and restored (backtracking).
-void MatchPattern(const EGraph& egraph, const Pattern& pattern, ClassId id,
-                  Subst& subst, const std::function<void()>& emit) {
+void LegacyMatchPattern(const EGraph& egraph, const Pattern& pattern,
+                        ClassId id, Subst& subst,
+                        const std::function<void()>& emit) {
   id = egraph.Find(id);
   if (pattern.kind == Pattern::Kind::kClassVar) {
-    auto it = subst.classes.find(pattern.var);
-    if (it != subst.classes.end()) {
-      if (egraph.Find(it->second) == id) emit();
+    if (const ClassId* bound = subst.FindClass(pattern.var)) {
+      if (egraph.Find(*bound) == id) emit();
       return;
     }
-    subst.classes.emplace(pattern.var, id);
+    subst.BindClass(pattern.var, id);
     emit();
-    subst.classes.erase(pattern.var);
+    subst.UnbindClass(pattern.var);
     return;
   }
 
@@ -35,24 +69,23 @@ void MatchPattern(const EGraph& egraph, const Pattern& pattern, ClassId id,
     // Payload bindings (value_var / attrs_var) with consistency checks.
     bool bound_value = false;
     if (pattern.value_var) {
-      auto it = subst.values.find(*pattern.value_var);
-      if (it != subst.values.end()) {
-        if (it->second != node.value) continue;
+      if (const double* bound = subst.FindValue(*pattern.value_var)) {
+        if (*bound != node.value) continue;
       } else {
-        subst.values.emplace(*pattern.value_var, node.value);
+        subst.BindValue(*pattern.value_var, node.value);
         bound_value = true;
       }
     }
     bool bound_attrs = false;
     if (pattern.attrs_var) {
-      auto it = subst.attrs.find(*pattern.attrs_var);
-      if (it != subst.attrs.end()) {
-        if (it->second != node.attrs) {
-          if (bound_value) subst.values.erase(*pattern.value_var);
+      if (const std::vector<Symbol>* bound =
+              subst.FindAttrs(*pattern.attrs_var)) {
+        if (*bound != node.attrs) {
+          if (bound_value) subst.UnbindValue(*pattern.value_var);
           continue;
         }
       } else {
-        subst.attrs.emplace(*pattern.attrs_var, node.attrs);
+        subst.BindAttrs(*pattern.attrs_var, node.attrs);
         bound_attrs = true;
       }
     }
@@ -63,30 +96,31 @@ void MatchPattern(const EGraph& egraph, const Pattern& pattern, ClassId id,
         emit();
         return;
       }
-      MatchPattern(egraph, *pattern.children[i], node.children[i], subst,
-                   [&]() { match_child(i + 1); });
+      LegacyMatchPattern(egraph, *pattern.children[i], node.children[i],
+                         subst, [&]() { match_child(i + 1); });
     };
     match_child(0);
 
-    if (bound_value) subst.values.erase(*pattern.value_var);
-    if (bound_attrs) subst.attrs.erase(*pattern.attrs_var);
+    if (bound_value) subst.UnbindValue(*pattern.value_var);
+    if (bound_attrs) subst.UnbindAttrs(*pattern.attrs_var);
   }
 }
 
 }  // namespace
 
-void MatchInClass(const EGraph& egraph, const Pattern& pattern, ClassId id,
-                  std::vector<Match>* out) {
+void LegacyMatchInClass(const EGraph& egraph, const Pattern& pattern,
+                        ClassId id, std::vector<Match>* out) {
   Subst subst;
   ClassId root = egraph.Find(id);
-  MatchPattern(egraph, pattern, root, subst,
-               [&]() { out->push_back(Match{root, subst}); });
+  LegacyMatchPattern(egraph, pattern, root, subst,
+                     [&]() { out->push_back(Match{root, subst}); });
 }
 
-std::vector<Match> MatchAll(const EGraph& egraph, const Pattern& pattern) {
+std::vector<Match> LegacyMatchAll(const EGraph& egraph,
+                                  const Pattern& pattern) {
   std::vector<Match> out;
   for (ClassId id : egraph.CanonicalClasses()) {
-    MatchInClass(egraph, pattern, id, &out);
+    LegacyMatchInClass(egraph, pattern, id, &out);
   }
   return out;
 }

@@ -1,6 +1,12 @@
-// Backtracking e-matcher: enumerates all substitutions under which a pattern
-// is represented inside an e-class. The paper matches by graph traversal
-// (Sec 3.1 notes Rete is unnecessary at this rule count); we do the same.
+// E-matching: enumerates all substitutions under which a pattern is
+// represented inside an e-class.
+//
+// The production path compiles the pattern to a flat instruction program and
+// runs the pattern VM over the e-class op index (see pattern_program.h); the
+// Runner goes further and matches its whole rule set through one shared
+// multi-pattern trie. The original backtracking interpreter is kept below as
+// Legacy* — a reference oracle for differential tests and bench identity
+// gates, never on a hot path. Both enumerate matches in the same order.
 #pragma once
 
 #include <vector>
@@ -17,13 +23,25 @@ struct Match {
 };
 
 /// All matches of `pattern` against class `id` (appended to `out`).
+/// Compiles the pattern per call — for repeated use compile once with
+/// CompilePattern, or use the Runner's CompiledRuleSet.
 void MatchInClass(const EGraph& egraph, const Pattern& pattern, ClassId id,
                   std::vector<Match>* out);
 
-/// All matches of `pattern` across every canonical class of the graph.
+/// All matches of `pattern` across every canonical class of the graph; the
+/// pattern is compiled once and canonicalization is hoisted out of the loop.
 /// (Incremental saturation does not live here: the Runner restricts the
-/// classes it calls MatchInClass on via exact ancestor-closure "affected"
-/// sets — see Runner::Run.)
+/// classes it matches via exact ancestor-closure "affected" sets — see
+/// Runner::Run.)
 std::vector<Match> MatchAll(const EGraph& egraph, const Pattern& pattern);
+
+/// Reference oracle: the legacy backtracking interpreter (std::function
+/// recursion over the raw class node lists). Kept only so tests and bench
+/// gates can differential-check the compiled engine; O(class nodes) per
+/// pattern node where the compiled path is O(op candidates).
+void LegacyMatchInClass(const EGraph& egraph, const Pattern& pattern,
+                        ClassId id, std::vector<Match>* out);
+std::vector<Match> LegacyMatchAll(const EGraph& egraph,
+                                  const Pattern& pattern);
 
 }  // namespace spores

@@ -7,22 +7,59 @@
 namespace spores {
 
 ClassId Subst::ClassOf(Symbol var) const {
-  auto it = classes.find(var);
-  SPORES_CHECK_MSG(it != classes.end(), var.str().c_str());
-  return it->second;
+  const ClassId* found = FindClass(var);
+  SPORES_CHECK_MSG(found != nullptr, var.str().c_str());
+  return *found;
 }
 
 const std::vector<Symbol>& Subst::AttrsOf(Symbol var) const {
-  auto it = attrs.find(var);
-  SPORES_CHECK_MSG(it != attrs.end(), var.str().c_str());
-  return it->second;
+  const std::vector<Symbol>* found = FindAttrs(var);
+  SPORES_CHECK_MSG(found != nullptr, var.str().c_str());
+  return *found;
 }
 
 double Subst::ValueOf(Symbol var) const {
-  auto it = values.find(var);
-  SPORES_CHECK_MSG(it != values.end(), var.str().c_str());
-  return it->second;
+  const double* found = FindValue(var);
+  SPORES_CHECK_MSG(found != nullptr, var.str().c_str());
+  return *found;
 }
+
+const ClassId* Subst::FindClass(Symbol var) const {
+  for (const auto& [v, id] : classes) {
+    if (v == var) return &id;
+  }
+  return nullptr;
+}
+
+const std::vector<Symbol>* Subst::FindAttrs(Symbol var) const {
+  for (const auto& [v, a] : attrs) {
+    if (v == var) return &a;
+  }
+  return nullptr;
+}
+
+const double* Subst::FindValue(Symbol var) const {
+  for (const auto& [v, d] : values) {
+    if (v == var) return &d;
+  }
+  return nullptr;
+}
+
+namespace {
+template <typename Vec>
+void EraseKey(Vec& vec, Symbol var) {
+  for (auto it = vec.begin(); it != vec.end(); ++it) {
+    if (it->first == var) {
+      vec.erase(it);
+      return;
+    }
+  }
+}
+}  // namespace
+
+void Subst::UnbindClass(Symbol var) { EraseKey(classes, var); }
+void Subst::UnbindAttrs(Symbol var) { EraseKey(attrs, var); }
+void Subst::UnbindValue(Symbol var) { EraseKey(values, var); }
 
 PatternPtr Pattern::V(std::string_view name) {
   auto p = std::make_shared<Pattern>();

@@ -8,7 +8,7 @@
 
 #include <memory>
 #include <optional>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/egraph/enode.h"
@@ -21,14 +21,37 @@ class Pattern;
 using PatternPtr = std::shared_ptr<const Pattern>;
 
 /// A substitution produced by matching: variable name -> binding.
+///
+/// Storage is flat (vectors of pairs, linear scan): patterns bind at most a
+/// handful of variables, so scanning beats hashing and — more importantly —
+/// copying a Subst into a Match is three small memcpy-ish vector copies
+/// instead of three hash-map deep copies. The compiled matcher goes further
+/// and keeps bindings in raw register/slot arrays (see pattern_program.h),
+/// materializing a Subst only for matches that survive guards and sampling.
 struct Subst {
-  std::unordered_map<Symbol, ClassId> classes;
-  std::unordered_map<Symbol, std::vector<Symbol>> attrs;
-  std::unordered_map<Symbol, double> values;
+  std::vector<std::pair<Symbol, ClassId>> classes;
+  std::vector<std::pair<Symbol, std::vector<Symbol>>> attrs;
+  std::vector<std::pair<Symbol, double>> values;
 
+  /// Checked lookups (SPORES_CHECK on a missing variable).
   ClassId ClassOf(Symbol var) const;
   const std::vector<Symbol>& AttrsOf(Symbol var) const;
   double ValueOf(Symbol var) const;
+
+  /// Unchecked lookups: nullptr when the variable is unbound.
+  const ClassId* FindClass(Symbol var) const;
+  const std::vector<Symbol>* FindAttrs(Symbol var) const;
+  const double* FindValue(Symbol var) const;
+
+  /// Binding mutators for matchers (append; caller keeps vars unique).
+  void BindClass(Symbol var, ClassId id) { classes.emplace_back(var, id); }
+  void BindAttrs(Symbol var, std::vector<Symbol> a) {
+    attrs.emplace_back(var, std::move(a));
+  }
+  void BindValue(Symbol var, double v) { values.emplace_back(var, v); }
+  void UnbindClass(Symbol var);
+  void UnbindAttrs(Symbol var);
+  void UnbindValue(Symbol var);
 };
 
 /// One pattern node.

@@ -1,0 +1,319 @@
+#include "src/egraph/pattern_program.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace spores {
+
+bool operator==(const PatternInstr& x, const PatternInstr& y) {
+  return x.kind == y.kind && x.in == y.in && x.out == y.out &&
+         x.num_children == y.num_children && x.flags == y.flags &&
+         x.op == y.op && x.sym == y.sym && x.value == y.value &&
+         x.value_slot == y.value_slot && x.attrs_slot == y.attrs_slot &&
+         x.attrs == y.attrs && x.a == y.a && x.b == y.b;
+}
+
+namespace {
+
+struct Compiler {
+  PatternProgram prog;
+
+  // Emits instructions for `p`, whose class is held in regs[reg]. DFS
+  // left-to-right with sequential register/slot allocation: the instruction
+  // order reproduces the legacy backtracking matcher's loop nesting exactly
+  // (binds before payload compares before children), so match enumeration
+  // order is preserved, and structurally equal pattern prefixes compile to
+  // equal instruction prefixes (what the trie's sharing keys on).
+  void Compile(const Pattern& p, RegId reg) {
+    if (p.kind == Pattern::Kind::kClassVar) {
+      for (const auto& [sym, r] : prog.class_legend) {
+        if (sym == p.var) {
+          PatternInstr cmp;
+          cmp.kind = PatternInstr::Kind::kCompareReg;
+          cmp.a = r;
+          cmp.b = reg;
+          prog.instrs.push_back(std::move(cmp));
+          return;
+        }
+      }
+      prog.class_legend.emplace_back(p.var, reg);
+      return;
+    }
+
+    PatternInstr ins;
+    ins.kind = PatternInstr::Kind::kBind;
+    ins.in = reg;
+    ins.op = p.op;
+    ins.out = prog.num_regs;
+    SPORES_CHECK_LT(p.children.size(), 256u);
+    ins.num_children = static_cast<uint8_t>(p.children.size());
+    prog.num_regs = static_cast<uint16_t>(prog.num_regs + p.children.size());
+    if (p.sym) {
+      ins.flags |= PatternInstr::kReqSym;
+      ins.sym = *p.sym;
+    }
+    if (p.value) {
+      ins.flags |= PatternInstr::kReqValue;
+      ins.value = *p.value;
+    }
+    if (p.attrs) {
+      ins.flags |= PatternInstr::kReqAttrs;
+      ins.attrs = *p.attrs;
+    }
+
+    // Payload variables always record into a fresh slot; a repeated variable
+    // additionally compares against its first slot, at the same position the
+    // interpreter checked consistency (before any child is matched).
+    std::vector<PatternInstr> compares;
+    if (p.value_var) {
+      SlotId slot = prog.num_value_slots++;
+      ins.flags |= PatternInstr::kBindValue;
+      ins.value_slot = slot;
+      const SlotId* first = nullptr;
+      for (const auto& [sym, s] : prog.value_legend) {
+        if (sym == *p.value_var) first = &s;
+      }
+      if (first) {
+        PatternInstr cmp;
+        cmp.kind = PatternInstr::Kind::kCompareValue;
+        cmp.a = *first;
+        cmp.b = slot;
+        compares.push_back(std::move(cmp));
+      } else {
+        prog.value_legend.emplace_back(*p.value_var, slot);
+      }
+    }
+    if (p.attrs_var) {
+      SlotId slot = prog.num_attr_slots++;
+      ins.flags |= PatternInstr::kBindAttrs;
+      ins.attrs_slot = slot;
+      const SlotId* first = nullptr;
+      for (const auto& [sym, s] : prog.attr_legend) {
+        if (sym == *p.attrs_var) first = &s;
+      }
+      if (first) {
+        PatternInstr cmp;
+        cmp.kind = PatternInstr::Kind::kCompareAttrs;
+        cmp.a = *first;
+        cmp.b = slot;
+        compares.push_back(std::move(cmp));
+      } else {
+        prog.attr_legend.emplace_back(*p.attrs_var, slot);
+      }
+    }
+
+    RegId out = ins.out;
+    prog.instrs.push_back(std::move(ins));
+    for (PatternInstr& cmp : compares) prog.instrs.push_back(std::move(cmp));
+    for (size_t i = 0; i < p.children.size(); ++i) {
+      Compile(*p.children[i], static_cast<RegId>(out + i));
+    }
+  }
+};
+
+// Executes one instruction; invokes `cont` for every way it can succeed.
+// Templated so the trie walk and the single-program runner share it without
+// std::function overhead on the per-candidate path.
+template <typename Cont>
+inline void ExecInstr(const EGraph& egraph, const PatternInstr& ins,
+                      MachineScratch& s, Cont&& cont) {
+  switch (ins.kind) {
+    case PatternInstr::Kind::kBind: {
+      ClassId c = egraph.Find(s.regs[ins.in]);
+      const std::vector<NodeId>* bucket = egraph.GetClass(c).NodesWith(ins.op);
+      if (!bucket) return;
+      for (NodeId nid : *bucket) {
+        const ENode& n = egraph.NodeAt(nid);
+        if (n.children.size() != ins.num_children) continue;
+        if ((ins.flags & PatternInstr::kReqSym) && n.sym != ins.sym) continue;
+        if ((ins.flags & PatternInstr::kReqValue) && n.value != ins.value) {
+          continue;
+        }
+        if ((ins.flags & PatternInstr::kReqAttrs) && n.attrs != ins.attrs) {
+          continue;
+        }
+        if (ins.flags & PatternInstr::kBindValue) {
+          s.values[ins.value_slot] = n.value;
+        }
+        if (ins.flags & PatternInstr::kBindAttrs) {
+          s.attr_nodes[ins.attrs_slot] = nid;
+        }
+        for (uint8_t i = 0; i < ins.num_children; ++i) {
+          s.regs[ins.out + i] = n.children[i];
+        }
+        cont();
+      }
+      return;
+    }
+    case PatternInstr::Kind::kCompareReg:
+      if (egraph.Find(s.regs[ins.a]) == egraph.Find(s.regs[ins.b])) cont();
+      return;
+    case PatternInstr::Kind::kCompareValue:
+      if (s.values[ins.a] == s.values[ins.b]) cont();
+      return;
+    case PatternInstr::Kind::kCompareAttrs:
+      if (egraph.NodeAt(s.attr_nodes[ins.a]).attrs ==
+          egraph.NodeAt(s.attr_nodes[ins.b]).attrs) {
+        cont();
+      }
+      return;
+  }
+}
+
+void ExecFrom(const EGraph& egraph, const std::vector<PatternInstr>& instrs,
+              size_t ip, MachineScratch& s,
+              const std::function<void()>& yield) {
+  if (ip == instrs.size()) {
+    yield();
+    return;
+  }
+  ExecInstr(egraph, instrs[ip], s,
+            [&] { ExecFrom(egraph, instrs, ip + 1, s, yield); });
+}
+
+}  // namespace
+
+PatternProgram CompilePattern(const Pattern& pattern) {
+  Compiler c;
+  c.Compile(pattern, 0);
+  return std::move(c.prog);
+}
+
+void RunProgram(const EGraph& egraph, const PatternProgram& prog,
+                MachineScratch& scratch, const std::function<void()>& yield) {
+  scratch.Ensure(prog);
+  ExecFrom(egraph, prog.instrs, 0, scratch, yield);
+}
+
+Subst ScratchToSubst(const EGraph& egraph, const PatternProgram& prog,
+                     const MachineScratch& scratch) {
+  Subst out;
+  out.classes.reserve(prog.class_legend.size());
+  for (const auto& [sym, reg] : prog.class_legend) {
+    out.BindClass(sym, egraph.Find(scratch.regs[reg]));
+  }
+  out.values.reserve(prog.value_legend.size());
+  for (const auto& [sym, slot] : prog.value_legend) {
+    out.BindValue(sym, scratch.values[slot]);
+  }
+  out.attrs.reserve(prog.attr_legend.size());
+  for (const auto& [sym, slot] : prog.attr_legend) {
+    out.BindAttrs(sym, egraph.NodeAt(scratch.attr_nodes[slot]).attrs);
+  }
+  return out;
+}
+
+CompiledRuleSet::CompiledRuleSet(const std::vector<PatternPtr>& lhs_patterns) {
+  const size_t n = lhs_patterns.size();
+  programs_.reserve(n);
+  for (const PatternPtr& p : lhs_patterns) {
+    programs_.push_back(CompilePattern(*p));
+  }
+  for (size_t r = 0; r < n; ++r) {
+    const PatternProgram& prog = programs_[r];
+    total_instrs_ += prog.instrs.size();
+    max_regs_ = std::max(max_regs_, prog.num_regs);
+    max_value_slots_ = std::max(max_value_slots_, prog.num_value_slots);
+    max_attr_slots_ = std::max(max_attr_slots_, prog.num_attr_slots);
+    if (prog.instrs.empty()) {
+      // Bare ?x: matches every class; handled outside the trie.
+      var_rules_.push_back(static_cast<uint32_t>(r));
+      continue;
+    }
+    // Thread the program into the trie, sharing the longest existing
+    // instruction prefix. `parent` == UINT32_MAX denotes the root level.
+    uint32_t parent = UINT32_MAX;
+    uint32_t cur = UINT32_MAX;
+    for (const PatternInstr& ins : prog.instrs) {
+      std::vector<uint32_t>& level =
+          parent == UINT32_MAX ? roots_ : nodes_[parent].children;
+      uint32_t found = UINT32_MAX;
+      for (uint32_t idx : level) {
+        if (nodes_[idx].instr == ins) {
+          found = idx;
+          break;
+        }
+      }
+      if (found == UINT32_MAX) {
+        found = static_cast<uint32_t>(nodes_.size());
+        TrieNode tn;
+        tn.instr = ins;
+        tn.subtree = RuleMask(n);
+        nodes_.push_back(std::move(tn));
+        // Re-fetch: push_back may have reallocated nodes_.
+        (parent == UINT32_MAX ? roots_ : nodes_[parent].children)
+            .push_back(found);
+      }
+      nodes_[found].subtree.Set(r);
+      parent = cur = found;
+    }
+    nodes_[cur].yields.push_back(static_cast<uint32_t>(r));
+  }
+}
+
+void CompiledRuleSet::Emit(const EGraph& egraph, uint32_t rule,
+                           MatchBank* bank) const {
+  const PatternProgram& p = programs_[rule];
+  MatchBank::RuleMatches& rm = bank->rules[rule];
+  const MachineScratch& s = bank->scratch;
+  rm.roots.push_back(egraph.Find(s.regs[0]));
+  for (const auto& [sym, reg] : p.class_legend) {
+    rm.class_slots.push_back(egraph.Find(s.regs[reg]));
+  }
+  for (const auto& [sym, slot] : p.value_legend) {
+    rm.value_slots.push_back(s.values[slot]);
+  }
+  for (const auto& [sym, slot] : p.attr_legend) {
+    rm.attr_nodes.push_back(s.attr_nodes[slot]);
+  }
+}
+
+void CompiledRuleSet::Walk(const EGraph& egraph, uint32_t node_idx,
+                           const RuleMask& active, MatchBank* bank) const {
+  const TrieNode& tn = nodes_[node_idx];
+  if (!tn.subtree.Intersects(active)) return;
+  ExecInstr(egraph, tn.instr, bank->scratch, [&] {
+    for (uint32_t r : tn.yields) {
+      if (active.Test(r)) Emit(egraph, r, bank);
+    }
+    for (uint32_t child : tn.children) Walk(egraph, child, active, bank);
+  });
+}
+
+void CompiledRuleSet::MatchClass(const EGraph& egraph, ClassId cls,
+                                 const RuleMask& active,
+                                 MatchBank* bank) const {
+  bank->scratch.Ensure(max_regs_, max_value_slots_, max_attr_slots_);
+  bank->scratch.regs[0] = egraph.Find(cls);
+  for (uint32_t r : var_rules_) {
+    if (active.Test(r)) Emit(egraph, r, bank);
+  }
+  for (uint32_t root : roots_) Walk(egraph, root, active, bank);
+}
+
+Subst CompiledRuleSet::MatchSubst(const EGraph& egraph, size_t rule,
+                                  const MatchBank& bank, size_t index) const {
+  const PatternProgram& p = programs_[rule];
+  const MatchBank::RuleMatches& rm = bank.rules[rule];
+  Subst out;
+  const size_t nc = p.class_legend.size();
+  const size_t nv = p.value_legend.size();
+  const size_t na = p.attr_legend.size();
+  out.classes.reserve(nc);
+  for (size_t i = 0; i < nc; ++i) {
+    out.BindClass(p.class_legend[i].first, rm.class_slots[index * nc + i]);
+  }
+  out.values.reserve(nv);
+  for (size_t i = 0; i < nv; ++i) {
+    out.BindValue(p.value_legend[i].first, rm.value_slots[index * nv + i]);
+  }
+  out.attrs.reserve(na);
+  for (size_t i = 0; i < na; ++i) {
+    out.BindAttrs(p.attr_legend[i].first,
+                  egraph.NodeAt(rm.attr_nodes[index * na + i]).attrs);
+  }
+  return out;
+}
+
+}  // namespace spores

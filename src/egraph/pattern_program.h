@@ -1,0 +1,236 @@
+// Compiled e-matching (egg's "machine" style). Each LHS pattern is compiled
+// once into a flat instruction program over numbered ClassId registers:
+//
+//   kBind          iterate the candidate e-nodes of op X in class regs[in]
+//                  (via the e-class op index — no full member scan), check
+//                  payload constraints, write the children into fresh
+//                  registers (a backtracking point);
+//   kCompareReg    repeated pattern variable: Find(regs[a]) == Find(regs[b]);
+//   kCompareValue/ repeated payload variable: slot a == slot b.
+//   kCompareAttrs
+//
+// Substitutions stay flat during matching — registers plus value/attr slots
+// in a reusable scratch file — and are materialized into a Subst (via the
+// program's register -> Symbol legend) only for matches that survive guards
+// and sampling, so Rewrite appliers and guards are untouched.
+//
+// Programs compile deterministically (left-to-right DFS, sequential
+// register/slot allocation), so two patterns with a common structural prefix
+// compile to byte-identical instruction prefixes. CompiledRuleSet exploits
+// this: all programs merge into one discrimination trie rooted at the LHS
+// root operator, and a single pass over a candidate e-class advances every
+// rule whose LHS shares the prefix. Per-rule match order is exactly the
+// legacy backtracking matcher's order (nested candidate loops in the same
+// nesting), which the differential tests and the saturation identity gates
+// rely on.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/egraph/egraph.h"
+#include "src/egraph/pattern.h"
+
+namespace spores {
+
+using RegId = uint16_t;
+using SlotId = uint16_t;
+
+/// One instruction of a compiled pattern program.
+struct PatternInstr {
+  enum class Kind : uint8_t {
+    kBind,          ///< enumerate op-candidates of class regs[in]
+    kCompareReg,    ///< Find(regs[a]) == Find(regs[b])
+    kCompareValue,  ///< value_slots[a] == value_slots[b]
+    kCompareAttrs,  ///< attrs of attr_slots[a] == attrs of attr_slots[b]
+  };
+
+  // Payload-constraint flags for kBind.
+  static constexpr uint8_t kReqSym = 1;     ///< node.sym must equal `sym`
+  static constexpr uint8_t kReqValue = 2;   ///< node.value must equal `value`
+  static constexpr uint8_t kReqAttrs = 4;   ///< node.attrs must equal `attrs`
+  static constexpr uint8_t kBindValue = 8;  ///< record node.value in slot
+  static constexpr uint8_t kBindAttrs = 16; ///< record node id in attr slot
+
+  Kind kind = Kind::kBind;
+
+  // kBind operands.
+  RegId in = 0;             ///< register holding the class to search
+  RegId out = 0;            ///< children go to regs[out .. out+num_children)
+  uint8_t num_children = 0;
+  uint8_t flags = 0;
+  Op op = Op::kVar;
+  Symbol sym;               ///< kReqSym
+  double value = 0.0;       ///< kReqValue
+  SlotId value_slot = 0;    ///< kBindValue
+  SlotId attrs_slot = 0;    ///< kBindAttrs
+  std::vector<Symbol> attrs;  ///< kReqAttrs (owned copy; sorted like AggExact)
+
+  // kCompare* operands (registers or slots depending on kind).
+  uint16_t a = 0;
+  uint16_t b = 0;
+
+  friend bool operator==(const PatternInstr& x, const PatternInstr& y);
+};
+
+/// A compiled LHS: the instruction sequence plus the legend mapping pattern
+/// variables to the registers/slots holding their bindings at yield time.
+struct PatternProgram {
+  std::vector<PatternInstr> instrs;
+  uint16_t num_regs = 1;        ///< reg 0 holds the candidate root class
+  uint16_t num_value_slots = 0;
+  uint16_t num_attr_slots = 0;
+  std::vector<std::pair<Symbol, RegId>> class_legend;
+  std::vector<std::pair<Symbol, SlotId>> value_legend;
+  std::vector<std::pair<Symbol, SlotId>> attr_legend;
+};
+
+/// Compiles a pattern. Deterministic: same structure -> same instructions.
+PatternProgram CompilePattern(const Pattern& pattern);
+
+/// Reusable register/slot file for the pattern VM. Attr bindings are stored
+/// as the NodeId whose e-node carries the attribute list (arena nodes never
+/// change their attrs payload), so matching copies no vectors at all.
+struct MachineScratch {
+  std::vector<ClassId> regs;
+  std::vector<double> values;
+  std::vector<NodeId> attr_nodes;
+
+  void Ensure(const PatternProgram& prog) {
+    Ensure(prog.num_regs, prog.num_value_slots, prog.num_attr_slots);
+  }
+  void Ensure(size_t num_regs, size_t num_values, size_t num_attrs) {
+    if (regs.size() < num_regs) regs.resize(num_regs);
+    if (values.size() < num_values) values.resize(num_values);
+    if (attr_nodes.size() < num_attrs) attr_nodes.resize(num_attrs);
+  }
+};
+
+/// Runs one program against the class in scratch.regs[0]; calls `yield` once
+/// per match with the bindings live in `scratch`.
+void RunProgram(const EGraph& egraph, const PatternProgram& prog,
+                MachineScratch& scratch,
+                const std::function<void()>& yield);
+
+/// Materializes the bindings currently in `scratch` into a Subst, following
+/// the program's legend. Class bindings are canonicalized.
+Subst ScratchToSubst(const EGraph& egraph, const PatternProgram& prog,
+                     const MachineScratch& scratch);
+
+/// Small dynamic bitset addressing rules by index (one or two words in
+/// practice — R_EQ is ~30 rules).
+class RuleMask {
+ public:
+  RuleMask() = default;
+  explicit RuleMask(size_t num_rules) : words_((num_rules + 63) / 64, 0) {}
+
+  void Set(size_t i) { words_[i / 64] |= uint64_t{1} << (i % 64); }
+  bool Test(size_t i) const {
+    return (words_[i / 64] >> (i % 64)) & uint64_t{1};
+  }
+  void SetAll() {
+    for (uint64_t& w : words_) w = ~uint64_t{0};
+  }
+  void ClearAll() {
+    for (uint64_t& w : words_) w = 0;
+  }
+  void OrWith(const RuleMask& o) {
+    for (size_t i = 0; i < words_.size(); ++i) words_[i] |= o.words_[i];
+  }
+  bool Intersects(const RuleMask& o) const {
+    for (size_t i = 0; i < words_.size(); ++i) {
+      if (words_[i] & o.words_[i]) return true;
+    }
+    return false;
+  }
+  bool Any() const {
+    for (uint64_t w : words_) {
+      if (w) return true;
+    }
+    return false;
+  }
+
+ private:
+  std::vector<uint64_t> words_;
+};
+
+/// Per-rule match buffers with flat slot storage, arena-reused across
+/// saturation iterations (Clear keeps capacity). One match of rule r
+/// occupies one entry in `roots` plus fixed-size strides of the rule's
+/// class/value/attr slot arrays, in the program's legend order.
+struct MatchBank {
+  struct RuleMatches {
+    std::vector<ClassId> roots;
+    std::vector<ClassId> class_slots;  ///< size() * class_legend.size()
+    std::vector<double> value_slots;   ///< size() * value_legend.size()
+    std::vector<NodeId> attr_nodes;    ///< size() * attr_legend.size()
+
+    size_t size() const { return roots.size(); }
+    void Clear() {
+      roots.clear();
+      class_slots.clear();
+      value_slots.clear();
+      attr_nodes.clear();
+    }
+  };
+
+  std::vector<RuleMatches> rules;
+  MachineScratch scratch;
+
+  /// Sizes for `num_rules` and clears all buffers, keeping capacity.
+  void Reset(size_t num_rules) {
+    rules.resize(num_rules);
+    for (RuleMatches& r : rules) r.Clear();
+  }
+};
+
+/// All rule LHS programs merged into one shared multi-pattern trie.
+class CompiledRuleSet {
+ public:
+  CompiledRuleSet() = default;
+  /// Compiles each LHS. Order defines rule indices (must match the rule
+  /// vector the scheduler and runner address).
+  explicit CompiledRuleSet(const std::vector<PatternPtr>& lhs_patterns);
+
+  size_t num_rules() const { return programs_.size(); }
+  const PatternProgram& program(size_t i) const { return programs_[i]; }
+
+  /// Trie size diagnostics: instructions stored vs instructions across the
+  /// uncompiled programs (the difference is prefix sharing).
+  size_t trie_instrs() const { return nodes_.size(); }
+  size_t total_instrs() const { return total_instrs_; }
+
+  /// Matches every rule in `active` against class `cls` in one pass,
+  /// appending each rule's matches (flat slots) to `bank->rules[rule]`.
+  /// Per-rule append order equals the legacy backtracking matcher's.
+  void MatchClass(const EGraph& egraph, ClassId cls, const RuleMask& active,
+                  MatchBank* bank) const;
+
+  /// Builds the Subst of match `index` of rule `rule` from `bank`.
+  Subst MatchSubst(const EGraph& egraph, size_t rule,
+                   const MatchBank& bank, size_t index) const;
+
+ private:
+  struct TrieNode {
+    PatternInstr instr;
+    std::vector<uint32_t> children;   ///< trie child node indices
+    std::vector<uint32_t> yields;     ///< rules completing after this instr
+    RuleMask subtree;                 ///< all rules below (incl. yields)
+  };
+
+  void Walk(const EGraph& egraph, uint32_t node_idx, const RuleMask& active,
+            MatchBank* bank) const;
+  void Emit(const EGraph& egraph, uint32_t rule, MatchBank* bank) const;
+
+  std::vector<PatternProgram> programs_;
+  std::vector<TrieNode> nodes_;
+  std::vector<uint32_t> roots_;      ///< top level: first instructions
+  std::vector<uint32_t> var_rules_;  ///< rules whose LHS is a bare ?x
+  size_t total_instrs_ = 0;
+  uint16_t max_regs_ = 1;
+  uint16_t max_value_slots_ = 0;
+  uint16_t max_attr_slots_ = 0;
+};
+
+}  // namespace spores

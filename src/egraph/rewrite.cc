@@ -58,4 +58,11 @@ Rewrite MakeDynRewrite(std::string name, PatternPtr lhs, Applier applier,
   return rw;
 }
 
+std::vector<PatternPtr> LhsPatterns(const std::vector<Rewrite>& rules) {
+  std::vector<PatternPtr> out;
+  out.reserve(rules.size());
+  for (const Rewrite& r : rules) out.push_back(r.lhs);
+  return out;
+}
+
 }  // namespace spores

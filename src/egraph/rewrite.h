@@ -48,4 +48,9 @@ Rewrite MakeRewrite(std::string name, PatternPtr lhs, PatternPtr rhs,
 Rewrite MakeDynRewrite(std::string name, PatternPtr lhs, Applier applier,
                        Guard guard = nullptr, bool expansive = false);
 
+/// The rules' LHS patterns, position-aligned with `rules` — the input a
+/// CompiledRuleSet is built from. Keeping this in one place guarantees rule
+/// indices agree between the trie, the scheduler, and the rule vector.
+std::vector<PatternPtr> LhsPatterns(const std::vector<Rewrite>& rules);
+
 }  // namespace spores

@@ -32,25 +32,35 @@ Runner::Runner(EGraph* egraph, std::vector<Rewrite> rules, RunnerConfig config)
       config_(config), rng_(config.seed),
       owned_scheduler_(std::make_unique<RuleScheduler>(owned_rules_.size(),
                                                        config.scheduler)),
-      scheduler_(owned_scheduler_.get()) {}
+      scheduler_(owned_scheduler_.get()),
+      owned_compiled_(
+          std::make_unique<CompiledRuleSet>(LhsPatterns(owned_rules_))),
+      compiled_(owned_compiled_.get()) {}
 
 Runner::Runner(EGraph* egraph, const std::vector<Rewrite>* rules,
-               RunnerConfig config, RuleScheduler* scheduler)
+               RunnerConfig config, RuleScheduler* scheduler,
+               const CompiledRuleSet* compiled)
     : egraph_(egraph), rules_(rules), config_(config), rng_(config.seed),
-      scheduler_(scheduler) {
+      scheduler_(scheduler), compiled_(compiled) {
   if (!scheduler_) {
     owned_scheduler_ =
         std::make_unique<RuleScheduler>(rules_->size(), config.scheduler);
     scheduler_ = owned_scheduler_.get();
   }
   SPORES_CHECK_EQ(scheduler_->num_rules(), rules_->size());
+  if (!compiled_) {
+    owned_compiled_ = std::make_unique<CompiledRuleSet>(LhsPatterns(*rules_));
+    compiled_ = owned_compiled_.get();
+  }
+  SPORES_CHECK_EQ(compiled_->num_rules(), rules_->size());
 }
 
 RunnerReport Runner::Run() {
   Timer timer;
   RunnerReport report;
-  report.rules.resize(rules_->size());
-  for (size_t i = 0; i < rules_->size(); ++i) {
+  const size_t num_rules = rules_->size();
+  report.rules.resize(num_rules);
+  for (size_t i = 0; i < num_rules; ++i) {
     report.rules[i].name = (*rules_)[i].name;
   }
   egraph_->Rebuild();
@@ -110,27 +120,11 @@ RunnerReport Runner::Run() {
       return affected_cache.emplace(fl, std::move(aff)).first->second;
     };
 
-    // Phase 1: read-only matching against the frozen graph, so all rules see
-    // the same snapshot (simultaneous application, Sec 3.4).
-    struct PendingApplication {
-      size_t rule_index;
-      Match match;
-    };
-    std::vector<PendingApplication> pending;
-    // Floors only advance once this iteration's matches are actually
-    // enqueued and applied in full: a rule that sampled matches away (or a
-    // phase cut short by a budget) must re-find them next time, exactly
-    // like the ban path.
-    std::vector<size_t> floor_advances;
-    bool timed_out = false;
-    for (size_t ri = 0; ri < rules_->size(); ++ri) {
-      // A single expansive rule can blow the compile budget from inside one
-      // iteration; check the clock between rules, not just between
-      // iterations.
-      if (timer.Seconds() > config_.timeout_seconds) {
-        timed_out = true;
-        break;
-      }
+    // Which rules search this iteration (backoff bans), and the incremental
+    // floor each one matches above.
+    std::vector<char> searching(num_rules, 1);
+    std::vector<uint64_t> floors(num_rules, 0);
+    for (size_t ri = 0; ri < num_rules; ++ri) {
       const Rewrite& rule = (*rules_)[ri];
       // Expansive rules under the sampling strategy are throttled by the
       // sample cap itself (the paper's design: every rule keeps making
@@ -142,35 +136,135 @@ RunnerReport Runner::Run() {
           !(config_.strategy == SaturationStrategy::kSampling &&
             rule.expansive);
       if (!verify_pass && bannable && !scheduler_->ShouldSearch(ri, iter)) {
+        searching[ri] = 0;
         restricted = true;
         ++report.backoff_skips;
         continue;
       }
-      uint64_t floor = 0;
       if (!verify_pass && config_.incremental_matching) {
-        floor = scheduler_->SearchFloor(ri);
+        floors[ri] = scheduler_->SearchFloor(ri);
       }
-      // The scope floor confines even the verify pass: it is the boundary
-      // between this query's delta and a region an earlier budget-bounded
-      // run deliberately left mid-churn — re-matching past it would pour
-      // this query's budget into the old churn. Incremental rule floors
-      // are exact (affected-closure), so within the cone the verify pass
-      // still lifts every heuristic restriction (bans, sampling draws).
-      uint64_t scope_floor = config_.scope_version_floor;
-      if (scope_floor > 0 && !verify_pass) restricted = true;
-      const std::vector<bool>* aff =
-          floor > 0 ? &affected_since(floor) : nullptr;
-      const std::vector<bool>* scope_aff =
-          scope_floor > 0 ? &affected_since(scope_floor) : nullptr;
-      std::vector<Match> matches;
+    }
+
+    // The scope floor confines even the verify pass: it is the boundary
+    // between this query's delta and a region an earlier budget-bounded
+    // run deliberately left mid-churn — re-matching past it would pour
+    // this query's budget into the old churn. Incremental rule floors
+    // are exact (affected-closure), so within the cone the verify pass
+    // still lifts every heuristic restriction (bans, sampling draws).
+    uint64_t scope_floor = config_.scope_version_floor;
+    if (scope_floor > 0 && !verify_pass) restricted = true;
+    const std::vector<bool>* scope_aff =
+        scope_floor > 0 ? &affected_since(scope_floor) : nullptr;
+
+    // Phase 1a: read-only matching against the frozen graph, so all rules
+    // see the same snapshot (simultaneous application, Sec 3.4). The
+    // compiled path makes one pass over the candidate classes, advancing
+    // every searching rule through the shared trie at once; per-rule match
+    // buffers live in an arena reused across iterations. The legacy path
+    // (oracle mode) interprets each rule's pattern separately; both emit
+    // identical per-rule match sequences.
+    std::vector<std::vector<Match>> legacy_matches;
+    bool timed_out = false;
+    size_t rules_matched = num_rules;  // legacy: rules finished pre-timeout
+    if (!config_.use_legacy_matcher) {
+      bank_.Reset(num_rules);
+      // One active-rule mask per distinct floor; a class's mask is the union
+      // of the groups whose affected set contains it.
+      struct FloorGroup {
+        const std::vector<bool>* affected;  // null: no floor (all classes)
+        RuleMask mask;
+      };
+      std::vector<uint64_t> group_floors;
+      std::vector<FloorGroup> groups;
+      for (size_t ri = 0; ri < num_rules; ++ri) {
+        if (!searching[ri]) continue;
+        size_t gi = 0;
+        while (gi < group_floors.size() && group_floors[gi] != floors[ri]) {
+          ++gi;
+        }
+        if (gi == group_floors.size()) {
+          group_floors.push_back(floors[ri]);
+          groups.push_back(FloorGroup{
+              floors[ri] > 0 ? &affected_since(floors[ri]) : nullptr,
+              RuleMask(num_rules)});
+        }
+        groups[gi].mask.Set(ri);
+      }
+      RuleMask active(num_rules);
+      size_t since_clock_check = 0;
       for (ClassId c : candidates) {
-        if (aff && !(*aff)[c]) continue;
         if (scope_aff && !(*scope_aff)[c]) continue;
-        MatchInClass(*egraph_, *rule.lhs, c, &matches);
+        // A single expansive class can hold many candidates; keep the
+        // compile-budget clock honest without a syscall per class.
+        if (++since_clock_check >= 64) {
+          since_clock_check = 0;
+          if (timer.Seconds() > config_.timeout_seconds) {
+            timed_out = true;
+            break;
+          }
+        }
+        active.ClearAll();
+        bool any = false;
+        for (const FloorGroup& g : groups) {
+          if (!g.affected || (*g.affected)[c]) {
+            active.OrWith(g.mask);
+            any = true;
+          }
+        }
+        if (!any) continue;
+        compiled_->MatchClass(*egraph_, c, active, &bank_);
       }
-      report.rules[ri].matched += matches.size();
+      if (timed_out) rules_matched = 0;  // nothing is complete; drop all
+    } else {
+      legacy_matches.resize(num_rules);
+      for (size_t ri = 0; ri < num_rules; ++ri) {
+        // A single expansive rule can blow the compile budget from inside
+        // one iteration; check the clock between rules.
+        if (timer.Seconds() > config_.timeout_seconds) {
+          timed_out = true;
+          rules_matched = ri;
+          break;
+        }
+        if (!searching[ri]) continue;
+        const std::vector<bool>* aff =
+            floors[ri] > 0 ? &affected_since(floors[ri]) : nullptr;
+        for (ClassId c : candidates) {
+          if (aff && !(*aff)[c]) continue;
+          if (scope_aff && !(*scope_aff)[c]) continue;
+          LegacyMatchInClass(*egraph_, *(*rules_)[ri].lhs, c,
+                             &legacy_matches[ri]);
+        }
+      }
+    }
+
+    // Phase 1b: per-rule accounting — ban on budget overflow, guard filter,
+    // sampling — then enqueue surviving applications. Substs are only
+    // materialized for matches a guard must see or that survived sampling.
+    struct PendingApplication {
+      size_t rule_index;
+      ClassId root;
+      Subst subst;
+    };
+    std::vector<PendingApplication> pending;
+    // Floors only advance once this iteration's matches are actually
+    // enqueued and applied in full: a rule that sampled matches away (or a
+    // phase cut short by a budget) must re-find them next time, exactly
+    // like the ban path.
+    std::vector<size_t> floor_advances;
+    for (size_t ri = 0; ri < rules_matched; ++ri) {
+      if (!searching[ri]) continue;
+      const Rewrite& rule = (*rules_)[ri];
+      const bool from_bank = !config_.use_legacy_matcher;
+      const size_t found =
+          from_bank ? bank_.rules[ri].size() : legacy_matches[ri].size();
+      report.rules[ri].matched += found;
+      bool bannable =
+          config_.enable_backoff &&
+          !(config_.strategy == SaturationStrategy::kSampling &&
+            rule.expansive);
       if (!verify_pass && bannable &&
-          scheduler_->RecordSearch(ri, iter, matches.size(), rule.expansive)) {
+          scheduler_->RecordSearch(ri, iter, found, rule.expansive)) {
         // Banned: the search overflowed its budget. Matches are dropped and
         // the search floor stays put so they are re-found once the ban
         // expires (or by the verify pass).
@@ -179,13 +273,27 @@ RunnerReport Runner::Run() {
         restricted = true;
         continue;
       }
+      auto root_of = [&](size_t i) {
+        return from_bank ? bank_.rules[ri].roots[i] : legacy_matches[ri][i].root;
+      };
+      auto subst_of = [&](size_t i) {
+        return from_bank ? compiled_->MatchSubst(*egraph_, ri, bank_, i)
+                         : std::move(legacy_matches[ri][i].subst);
+      };
+      // Indices still alive after the guard (all of them when unguarded, so
+      // no Subst is built for matches sampling will throw away).
+      std::vector<size_t> live;
+      std::vector<Subst> live_substs;  // parallel to live, guarded rules only
       if (rule.guard) {
-        std::vector<Match> kept;
-        kept.reserve(matches.size());
-        for (Match& m : matches) {
-          if (rule.guard(*egraph_, m.subst)) kept.push_back(std::move(m));
+        for (size_t i = 0; i < found; ++i) {
+          Subst s = subst_of(i);
+          if (!rule.guard(*egraph_, s)) continue;
+          live.push_back(i);
+          live_substs.push_back(std::move(s));
         }
-        matches = std::move(kept);
+      } else {
+        live.resize(found);
+        for (size_t i = 0; i < found; ++i) live[i] = i;
       }
       // The verify pass lifts bans and incremental floors but keeps the
       // sampling cap for expansive rules: a full unsampled AC application
@@ -197,20 +305,30 @@ RunnerReport Runner::Run() {
       if (sample_rule) {
         size_t limit = rule.expansive ? config_.expansive_match_limit
                                       : config_.match_limit_per_rule;
-        if (matches.size() > limit) {
+        if (live.size() > limit) {
           restricted = true;
           dropped = true;
           std::vector<size_t> keep =
-              rng_.SampleWithoutReplacement(matches.size(), limit);
-          std::vector<Match> sampled;
+              rng_.SampleWithoutReplacement(live.size(), limit);
+          std::vector<size_t> sampled;
+          std::vector<Subst> sampled_substs;
           sampled.reserve(limit);
-          for (size_t idx : keep) sampled.push_back(std::move(matches[idx]));
-          matches = std::move(sampled);
+          if (rule.guard) sampled_substs.reserve(limit);
+          for (size_t idx : keep) {
+            sampled.push_back(live[idx]);
+            if (rule.guard) {
+              sampled_substs.push_back(std::move(live_substs[idx]));
+            }
+          }
+          live = std::move(sampled);
+          live_substs = std::move(sampled_substs);
         }
       }
       if (!dropped) floor_advances.push_back(ri);
-      for (Match& m : matches) {
-        pending.push_back(PendingApplication{ri, std::move(m)});
+      for (size_t k = 0; k < live.size(); ++k) {
+        Subst s = rule.guard ? std::move(live_substs[k]) : subst_of(live[k]);
+        pending.push_back(
+            PendingApplication{ri, root_of(live[k]), std::move(s)});
       }
     }
 
@@ -220,9 +338,9 @@ RunnerReport Runner::Run() {
     for (PendingApplication& pa : pending) {
       if (timed_out) break;
       std::optional<ClassId> rhs = (*rules_)[pa.rule_index].applier(
-          *egraph_, pa.match.root, pa.match.subst);
+          *egraph_, pa.root, pa.subst);
       if (rhs) {
-        if (egraph_->Merge(pa.match.root, *rhs)) {
+        if (egraph_->Merge(pa.root, *rhs)) {
           ++report.rules[pa.rule_index].applied;
         }
         ++report.applied_matches;

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "src/egraph/pattern_program.h"
 #include "src/egraph/rewrite.h"
 #include "src/egraph/scheduler.h"
 #include "src/util/rng.h"
@@ -82,6 +83,12 @@ struct RunnerConfig {
   /// Full re-match passes allowed for convergence confirmation before the
   /// runner stops with kStalled.
   size_t max_verify_passes = 4;
+  /// Oracle mode for differential gates: match with the legacy backtracking
+  /// interpreter (one pattern at a time over raw class node lists) instead
+  /// of the compiled multi-pattern trie. Produces the same per-rule match
+  /// sequences — so converging runs are trajectory-identical — just slower.
+  /// Test/bench use only.
+  bool use_legacy_matcher = false;
 };
 
 /// Per-rule outcome counters for one Run().
@@ -119,10 +126,14 @@ class Runner {
   /// session compile the rule set once and share it across saturations.
   /// `scheduler` (optional, must match the rule count) persists per-rule
   /// incremental-search state across Run() calls on the same graph; when
-  /// null the runner owns a fresh one.
+  /// null the runner owns a fresh one. `compiled` (optional, must be built
+  /// from the same rule vector) is the shared multi-pattern trie — a session
+  /// compiles it once next to the rules; when null the runner compiles its
+  /// own.
   Runner(EGraph* egraph, const std::vector<Rewrite>* rules,
          RunnerConfig config = RunnerConfig(),
-         RuleScheduler* scheduler = nullptr);
+         RuleScheduler* scheduler = nullptr,
+         const CompiledRuleSet* compiled = nullptr);
 
   // Non-copyable/movable: rules_ may point into owned_rules_.
   Runner(const Runner&) = delete;
@@ -139,6 +150,9 @@ class Runner {
   Rng rng_;
   std::unique_ptr<RuleScheduler> owned_scheduler_;
   RuleScheduler* scheduler_;  ///< owned_scheduler_ or the borrowed one
+  std::unique_ptr<CompiledRuleSet> owned_compiled_;
+  const CompiledRuleSet* compiled_;  ///< owned_compiled_ or the borrowed one
+  MatchBank bank_;  ///< per-rule match buffers, reused across iterations
 };
 
 }  // namespace spores

@@ -28,9 +28,13 @@ struct ExtractionResult {
 };
 
 /// Greedy bottom-up extraction (tree cost; shared subexpressions counted
-/// once per use).
+/// once per use). `memo` (optional) caches per-node costs across the
+/// fixpoint passes and across extractions of the same graph — a session
+/// passes its shared-graph memo so unchanged classes are never re-costed;
+/// when null a call-local memo still collapses the fixpoint's rescans.
 StatusOr<ExtractionResult> GreedyExtract(const EGraph& egraph, ClassId root,
-                                         const CostModel& cost);
+                                         const CostModel& cost,
+                                         CostMemo* memo = nullptr);
 
 struct IlpExtractConfig {
   /// Total wall budget across all solve rounds (cycle cuts re-solve). On
@@ -39,9 +43,11 @@ struct IlpExtractConfig {
   size_t max_cycle_cuts = 64;
 };
 
-/// ILP-based extraction (DAG cost; shared operators charged once).
+/// ILP-based extraction (DAG cost; shared operators charged once). `memo`
+/// as in GreedyExtract (also shared with the internal greedy warm start).
 StatusOr<ExtractionResult> IlpExtract(const EGraph& egraph, ClassId root,
                                       const CostModel& cost,
-                                      IlpExtractConfig config = {});
+                                      IlpExtractConfig config = {},
+                                      CostMemo* memo = nullptr);
 
 }  // namespace spores

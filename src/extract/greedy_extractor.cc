@@ -36,8 +36,11 @@ ExprPtr BuildShared(const EGraph& egraph, const std::vector<NodeId>& best,
 }  // namespace
 
 StatusOr<ExtractionResult> GreedyExtract(const EGraph& egraph, ClassId root,
-                                         const CostModel& cost) {
+                                         const CostModel& cost,
+                                         CostMemo* memo) {
   Timer timer;
+  CostMemo local_memo;
+  if (!memo) memo = &local_memo;
   constexpr double kInf = std::numeric_limits<double>::infinity();
   std::vector<double> best_cost(egraph.NumClassSlots(), kInf);
   std::vector<NodeId> best_node(egraph.NumClassSlots(), kInvalidNodeId);
@@ -54,7 +57,7 @@ StatusOr<ExtractionResult> GreedyExtract(const EGraph& egraph, ClassId root,
       for (NodeId nid : egraph.GetClass(c).nodes) {
         const ENode& n = egraph.NodeAt(nid);
         if (!Selectable(egraph, c, n)) continue;
-        double total = cost.NodeCost(egraph, n);
+        double total = memo->NodeCost(cost, egraph, nid);
         bool ok = true;
         for (ClassId child : n.children) {
           double s = best_cost[egraph.Find(child)];
@@ -78,9 +81,9 @@ StatusOr<ExtractionResult> GreedyExtract(const EGraph& egraph, ClassId root,
   if (best_node[r] == kInvalidNodeId) {
     return Status::NotFound("greedy extraction: no selectable term for root");
   }
-  std::unordered_map<ClassId, ExprPtr> memo;
+  std::unordered_map<ClassId, ExprPtr> built;
   ExtractionResult result;
-  result.expr = BuildShared(egraph, best_node, memo, r);
+  result.expr = BuildShared(egraph, best_node, built, r);
   result.cost = best_cost[r];
   result.optimal = false;
   result.seconds = timer.Seconds();

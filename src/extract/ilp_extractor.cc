@@ -32,7 +32,7 @@ struct Encoding {
 // graph also holds other queries' classes, which must not inflate the
 // model.
 Encoding BuildEncoding(const EGraph& egraph, ClassId root,
-                       const CostModel& cost) {
+                       const CostModel& cost, CostMemo* memo) {
   Encoding enc;
   std::vector<ClassId> classes = egraph.ReachableClasses(root);
   enc.class_var.assign(egraph.NumClassSlots(), -1);
@@ -53,7 +53,7 @@ Encoding BuildEncoding(const EGraph& egraph, ClassId root,
     for (NodeId nid : egraph.GetClass(c).nodes) {
       const ENode& n = egraph.NodeAt(nid);
       if (!Selectable(egraph, c, n)) continue;
-      VarId v = enc.model.AddVar(cost.NodeCost(egraph, n),
+      VarId v = enc.model.AddVar(memo->NodeCost(cost, egraph, nid),
                                  std::string(OpName(n.op)));
       note_var(v, c, nid);
       for (ClassId child : n.children) {
@@ -150,16 +150,19 @@ std::optional<ExprPtr> TryBuild(const EGraph& egraph, const Encoding& enc,
 
 StatusOr<ExtractionResult> IlpExtract(const EGraph& egraph, ClassId root,
                                       const CostModel& cost,
-                                      IlpExtractConfig config) {
+                                      IlpExtractConfig config,
+                                      CostMemo* memo) {
   Timer timer;
-  Encoding enc = BuildEncoding(egraph, root, cost);
+  CostMemo local_memo;
+  if (!memo) memo = &local_memo;
+  Encoding enc = BuildEncoding(egraph, root, cost, memo);
   SolverConfig scfg;
   // config.timeout_seconds is the TOTAL extraction budget; each solve round
   // gets whatever remains.
   scfg.timeout_seconds = config.timeout_seconds;
   // Warm-start pruning with the greedy solution's cost: greedy tree cost is
   // an upper bound on the optimal DAG cost.
-  StatusOr<ExtractionResult> greedy = GreedyExtract(egraph, root, cost);
+  StatusOr<ExtractionResult> greedy = GreedyExtract(egraph, root, cost, memo);
   if (greedy.ok()) {
     scfg.initial_upper_bound = greedy.value().cost;
     scfg.has_initial_upper_bound = true;

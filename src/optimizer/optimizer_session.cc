@@ -89,8 +89,10 @@ OptimizerSession::OptimizerSession(SessionConfig config)
       dims_(std::make_shared<DimEnv>()),
       cache_(config_.enable_plan_cache ? config_.plan_cache_capacity : 0) {
   // R_EQ reads only the shared DimEnv (rule-5 folding), never the catalog,
-  // so one compilation serves every query of the session.
+  // so one compilation serves every query of the session — both the rule
+  // vector and the e-matching trie its LHS patterns merge into.
   rules_ = RaEqualityRules(RaContext{nullptr, dims_});
+  compiled_rules_ = CompiledRuleSet(LhsPatterns(rules_));
 }
 
 const EGraph* OptimizerSession::shared_egraph() const {
@@ -190,7 +192,8 @@ StatusOr<Saturation> OptimizerSession::Saturate(const Translation& t,
     runner_config.node_limit_is_growth = true;
     runner_config.scope_root = root;
     runner_config.scope_version_floor = version_at_entry + 1;
-    Runner runner(g.egraph.get(), &rules_, runner_config, &g.scheduler);
+    Runner runner(g.egraph.get(), &rules_, runner_config, &g.scheduler,
+                  &compiled_rules_);
     s.report = runner.Run();
     s.root = g.egraph->Find(root);
     s.reused_graph = warm;
@@ -206,7 +209,8 @@ StatusOr<Saturation> OptimizerSession::Saturate(const Translation& t,
     s.egraph = std::make_shared<EGraph>(std::make_unique<RaAnalysis>(ctx));
     ClassId root = s.egraph->AddExpr(t.program.ra);
     s.egraph->Rebuild();
-    Runner runner(s.egraph.get(), &rules_, runner_config);
+    Runner runner(s.egraph.get(), &rules_, runner_config,
+                  /*scheduler=*/nullptr, &compiled_rules_);
     s.report = runner.Run();
     s.root = s.egraph->Find(root);
   }
@@ -225,12 +229,18 @@ StatusOr<Extraction> OptimizerSession::Extract(const Saturation& s,
   Timer timer;
   RaContext ctx{&catalog, dims_};
   CostModel cost(ctx);
+  // When extracting from the session's shared graph, reuse its persistent
+  // cost memo so classes unchanged since earlier queries are never
+  // re-costed; a one-off graph gets a call-local memo inside the extractor.
+  CostMemo* memo =
+      (graph_ && s.egraph.get() == graph_->egraph.get()) ? &graph_->cost_memo
+                                                         : nullptr;
 
   auto run_one = [&](ExtractionStrategy strategy) -> StatusOr<PlanChoice> {
     StatusOr<ExtractionResult> extracted =
         strategy == ExtractionStrategy::kIlp
-            ? IlpExtract(*s.egraph, s.root, cost, config_.ilp)
-            : GreedyExtract(*s.egraph, s.root, cost);
+            ? IlpExtract(*s.egraph, s.root, cost, config_.ilp, memo)
+            : GreedyExtract(*s.egraph, s.root, cost, memo);
     if (!extracted.ok()) return extracted.status();
     PlanChoice choice;
     choice.strategy = strategy;

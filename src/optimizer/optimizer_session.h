@@ -181,6 +181,11 @@ class OptimizerSession {
     std::unique_ptr<EGraph> egraph;
     RuleScheduler scheduler;
     std::vector<ClassId> roots;  ///< recent query roots, most recent last
+    /// Extraction cost cache, version-tagged per class: later queries'
+    /// extractions reuse costs for every class their saturation left
+    /// untouched. Lifetime-tied to `egraph` (discarded with it on
+    /// reset/Compact).
+    CostMemo cost_memo;
   };
 
   OptimizedPlan Fallback(const ExprPtr& expr, const Status& status,
@@ -194,6 +199,10 @@ class OptimizerSession {
   SessionConfig config_;
   std::shared_ptr<DimEnv> dims_;
   std::vector<Rewrite> rules_;  ///< R_EQ, compiled once per session
+  /// The rules' LHS patterns compiled into the shared multi-pattern trie
+  /// (pattern programs + root-op discrimination), once per session; every
+  /// saturation — fresh or resumed — matches through it.
+  CompiledRuleSet compiled_rules_;
   PlanCache cache_;
   SessionStats stats_;
   std::shared_ptr<GraphState> graph_;  ///< null until first reuse saturation

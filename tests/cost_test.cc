@@ -129,5 +129,36 @@ TEST(CostModel, SparsityMakesExpandedAlsPlanCheaper) {
   EXPECT_GT(residual_cost, 50 * sparse_cost);
 }
 
+TEST(CostMemo, AgreesWithModelAndTracksVersions) {
+  Fixture f;
+  Symbol i = Symbol::Intern("mi"), j = Symbol::Intern("mj");
+  f.dims->Set(i, 1000);
+  f.dims->Set(j, 500);
+  ClassId bound = f.egraph->AddExpr(Expr::Bind({i, j}, Expr::Var("Xs")));
+  ClassId agg = f.egraph->AddExpr(
+      Expr::Agg({j}, Expr::Bind({i, j}, Expr::Var("Xs"))));
+  f.egraph->Rebuild();
+  NodeId agg_node = f.egraph->GetClass(agg).nodes.back();
+
+  CostMemo memo;
+  double model_cost = f.cost.NodeCost(*f.egraph, f.egraph->NodeAt(agg_node));
+  EXPECT_DOUBLE_EQ(memo.NodeCost(f.cost, *f.egraph, agg_node), model_cost);
+  EXPECT_DOUBLE_EQ(memo.NodeCost(f.cost, *f.egraph, agg_node), model_cost);
+  EXPECT_DOUBLE_EQ(memo.ClassNnz(f.cost, *f.egraph, bound),
+                   f.cost.ClassNnz(*f.egraph, bound));
+
+  // Merging the aggregate's child with a denser class bumps the child's
+  // version and refines its analysis data; the memo must re-cost, matching
+  // the model on the updated graph.
+  ClassId dense = f.egraph->AddExpr(Expr::Bind({i, j}, Expr::Var("Xd")));
+  f.egraph->Merge(bound, dense);
+  f.egraph->Rebuild();
+  EXPECT_DOUBLE_EQ(
+      memo.NodeCost(f.cost, *f.egraph, agg_node),
+      f.cost.NodeCost(*f.egraph, f.egraph->NodeAt(agg_node)));
+  EXPECT_DOUBLE_EQ(memo.ClassNnz(f.cost, *f.egraph, bound),
+                   f.cost.ClassNnz(*f.egraph, bound));
+}
+
 }  // namespace
 }  // namespace spores

@@ -1,0 +1,255 @@
+// Differential tests for the compiled e-matching engine: the legacy
+// backtracking interpreter (LegacyMatch*) serves as the oracle. The compiled
+// single-pattern VM and the shared multi-pattern trie must both reproduce
+// the oracle's match sets — and, stronger, its exact per-rule match
+// *sequences* (root order and binding order), because the Runner's sampling
+// RNG consumes matches positionally and the saturation identity gates rely
+// on trajectory equality.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "src/egraph/matcher.h"
+#include "src/egraph/pattern_program.h"
+#include "src/egraph/runner.h"
+#include "src/rules/rules_eq.h"
+#include "src/rules/rules_lr.h"
+#include "src/util/rng.h"
+#include "src/workloads/generators.h"
+#include "src/workloads/programs.h"
+
+namespace spores {
+namespace {
+
+using P = Pattern;
+
+bool SameSubst(const Subst& a, const Subst& b) {
+  return a.classes == b.classes && a.attrs == b.attrs && a.values == b.values;
+}
+
+void ExpectSameMatches(const std::vector<Match>& got,
+                       const std::vector<Match>& want, const char* what) {
+  ASSERT_EQ(got.size(), want.size()) << what;
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].root, want[i].root) << what << " match " << i;
+    EXPECT_TRUE(SameSubst(got[i].subst, want[i].subst))
+        << what << " match " << i << " bindings diverge";
+  }
+}
+
+// The R_EQ LHS patterns (guards/appliers unused here).
+std::vector<Rewrite> EqRules() {
+  auto dims = std::make_shared<DimEnv>();
+  return RaEqualityRules(RaContext{nullptr, dims});
+}
+
+// A saturated e-graph over one of the paper's workload programs.
+struct WorkloadGraph {
+  std::shared_ptr<DimEnv> dims = std::make_shared<DimEnv>();
+  WorkloadData data;
+  std::unique_ptr<EGraph> egraph;
+
+  explicit WorkloadGraph(const Program& prog)
+      : data(MakeFactorizationData(120, 80, 4, 0.05, 7)) {
+    auto translated = TranslateLaToRa(prog.expr, data.catalog, dims);
+    EXPECT_TRUE(translated.ok()) << translated.status().ToString();
+    RaContext ctx{&data.catalog, dims};
+    egraph = std::make_unique<EGraph>(std::make_unique<RaAnalysis>(ctx));
+    egraph->AddExpr(translated.value().ra);
+    egraph->Rebuild();
+    RunnerConfig cfg;
+    cfg.max_iterations = 6;
+    cfg.timeout_seconds = 1.0;
+    Runner runner(egraph.get(), RaEqualityRules(ctx), cfg);
+    runner.Run();
+  }
+};
+
+// A randomized e-graph: random RA/LA nodes over existing classes, random
+// constants (shared values so ConstBind consistency paths trigger), random
+// agg attribute lists, then random merges and a rebuild.
+void FillRandom(EGraph& eg, Rng& rng, size_t num_nodes, size_t num_merges) {
+  std::vector<Symbol> attr_pool = {Symbol::Intern("i"), Symbol::Intern("j"),
+                                   Symbol::Intern("k"), Symbol::Intern("l")};
+  std::vector<ClassId> classes;
+  for (int v = 0; v < 4; ++v) {
+    ENode leaf;
+    leaf.op = Op::kVar;
+    leaf.sym = Symbol::Intern(std::string(1, static_cast<char>('a' + v)));
+    classes.push_back(eg.Add(std::move(leaf)));
+  }
+  const double const_pool[] = {0.0, 1.0, -1.0, 2.0};
+  for (int v = 0; v < 4; ++v) {
+    ENode leaf;
+    leaf.op = Op::kConst;
+    leaf.value = const_pool[v];
+    classes.push_back(eg.Add(std::move(leaf)));
+  }
+  const Op ops[] = {Op::kJoin,    Op::kUnion,   Op::kAgg,
+                    Op::kElemMul, Op::kElemPlus, Op::kSProp};
+  for (size_t n = 0; n < num_nodes; ++n) {
+    ENode node;
+    node.op = ops[rng.Uniform(6)];
+    size_t arity = node.op == Op::kAgg || node.op == Op::kSProp ? 1 : 2;
+    for (size_t c = 0; c < arity; ++c) {
+      node.children.push_back(classes[rng.Uniform(classes.size())]);
+    }
+    if (node.op == Op::kAgg) {
+      size_t n_attrs = 1 + rng.Uniform(2);
+      for (size_t a = 0; a < n_attrs; ++a) {
+        Symbol s = attr_pool[rng.Uniform(attr_pool.size())];
+        if (std::find(node.attrs.begin(), node.attrs.end(), s) ==
+            node.attrs.end()) {
+          node.attrs.push_back(s);
+        }
+      }
+      std::sort(node.attrs.begin(), node.attrs.end());
+    }
+    classes.push_back(eg.Add(std::move(node)));
+  }
+  for (size_t m = 0; m < num_merges; ++m) {
+    eg.Merge(classes[rng.Uniform(classes.size())],
+             classes[rng.Uniform(classes.size())]);
+  }
+  eg.Rebuild();
+  ASSERT_EQ(eg.CheckInvariants(), "");
+}
+
+// Patterns exercising every instruction kind, beyond the R_EQ shapes:
+// repeated class vars, repeated payload vars, exact payloads.
+std::vector<PatternPtr> HandcraftedPatterns() {
+  return {
+      P::V("?x"),
+      P::N(Op::kJoin, {P::V("?a"), P::V("?a")}),
+      P::N(Op::kUnion, {P::N(Op::kJoin, {P::V("?a"), P::V("?b")}),
+                        P::N(Op::kJoin, {P::V("?b"), P::V("?a")})}),
+      P::N(Op::kJoin, {P::ConstBind("?c"), P::ConstBind("?c")}),
+      P::N(Op::kJoin, {P::ConstBind("?c1"), P::ConstBind("?c2")}),
+      P::N(Op::kUnion, {P::AggBind("?I", P::V("?a")),
+                        P::AggBind("?I", P::V("?b"))}),
+      P::AggBind("?I", P::AggBind("?J", P::V("?a"))),
+      P::AggExact({Symbol::Intern("i")}, P::V("?a")),
+      P::N(Op::kJoin, {P::ConstLeaf(1.0), P::V("?a")}),
+      P::N(Op::kSProp, {P::VarLeaf("a")}),
+  };
+}
+
+TEST(CompiledMatcher, MatchesOracleOnWorkloadGraphs) {
+  for (const Program& prog : {AlsProgram(), PnmfProgram()}) {
+    WorkloadGraph wg(prog);
+    for (const Rewrite& rule : EqRules()) {
+      ExpectSameMatches(MatchAll(*wg.egraph, *rule.lhs),
+                        LegacyMatchAll(*wg.egraph, *rule.lhs),
+                        rule.name.c_str());
+    }
+  }
+}
+
+TEST(CompiledMatcher, MatchesOracleOnRandomGraphs) {
+  std::vector<Rewrite> rules = EqRules();
+  std::vector<PatternPtr> extra = HandcraftedPatterns();
+  for (uint64_t seed = 1; seed <= 12; ++seed) {
+    EGraph eg;
+    Rng rng(seed * 0x9e3779b9ull);
+    FillRandom(eg, rng, 60, 8);
+    for (const Rewrite& rule : rules) {
+      ExpectSameMatches(MatchAll(eg, *rule.lhs), LegacyMatchAll(eg, *rule.lhs),
+                        rule.name.c_str());
+    }
+    for (const PatternPtr& p : extra) {
+      ExpectSameMatches(MatchAll(eg, *p), LegacyMatchAll(eg, *p),
+                        "handcrafted");
+    }
+  }
+}
+
+TEST(CompiledMatcher, TrieMatchesOraclePerRuleInOrder) {
+  std::vector<Rewrite> rules = EqRules();
+  CompiledRuleSet trie(LhsPatterns(rules));
+  RuleMask all(rules.size());
+  all.SetAll();
+
+  for (uint64_t seed : {3ull, 17ull, 99ull}) {
+    EGraph eg;
+    Rng rng(seed);
+    FillRandom(eg, rng, 80, 10);
+
+    // One trie pass per class, every rule active.
+    MatchBank bank;
+    bank.Reset(rules.size());
+    std::vector<ClassId> classes = eg.CanonicalClasses();
+    for (ClassId c : classes) trie.MatchClass(eg, c, all, &bank);
+
+    for (size_t ri = 0; ri < rules.size(); ++ri) {
+      std::vector<Match> expect;
+      for (ClassId c : classes) {
+        LegacyMatchInClass(eg, *rules[ri].lhs, c, &expect);
+      }
+      const MatchBank::RuleMatches& got = bank.rules[ri];
+      ASSERT_EQ(got.size(), expect.size()) << rules[ri].name;
+      for (size_t i = 0; i < expect.size(); ++i) {
+        EXPECT_EQ(got.roots[i], expect[i].root) << rules[ri].name;
+        Subst s = trie.MatchSubst(eg, ri, bank, i);
+        EXPECT_TRUE(SameSubst(s, expect[i].subst))
+            << rules[ri].name << " match " << i;
+      }
+    }
+  }
+}
+
+TEST(CompiledMatcher, TrieRuleMaskRestrictsRules) {
+  std::vector<Rewrite> rules = EqRules();
+  CompiledRuleSet trie(LhsPatterns(rules));
+
+  EGraph eg;
+  Rng rng(42);
+  FillRandom(eg, rng, 70, 6);
+
+  // Enable every third rule only.
+  RuleMask some(rules.size());
+  for (size_t ri = 0; ri < rules.size(); ri += 3) some.Set(ri);
+
+  MatchBank bank;
+  bank.Reset(rules.size());
+  for (ClassId c : eg.CanonicalClasses()) trie.MatchClass(eg, c, some, &bank);
+
+  for (size_t ri = 0; ri < rules.size(); ++ri) {
+    size_t expect = 0;
+    if (some.Test(ri)) {
+      expect = LegacyMatchAll(eg, *rules[ri].lhs).size();
+    }
+    EXPECT_EQ(bank.rules[ri].size(), expect) << rules[ri].name;
+  }
+}
+
+TEST(CompiledMatcher, LegacyRunnerModeMatchesCompiledTrajectory) {
+  // Full saturation with the compiled trie vs the legacy oracle must walk
+  // the identical trajectory (same per-rule matched/applied counters, same
+  // final graph shape) on a converging workload.
+  WorkloadData data = MakeFactorizationData(100, 60, 4, 0.05, 3);
+  auto run = [&](bool legacy) {
+    auto dims = std::make_shared<DimEnv>();
+    auto translated = TranslateLaToRa(AlsProgram().expr, data.catalog, dims);
+    EXPECT_TRUE(translated.ok());
+    RaContext ctx{&data.catalog, dims};
+    EGraph eg(std::make_unique<RaAnalysis>(ctx));
+    eg.AddExpr(translated.value().ra);
+    eg.Rebuild();
+    RunnerConfig cfg;
+    cfg.use_legacy_matcher = legacy;
+    cfg.timeout_seconds = 30.0;  // deterministic: never hit the clock
+    Runner runner(&eg, RaEqualityRules(ctx), cfg);
+    RunnerReport report = runner.Run();
+    EXPECT_NE(report.stop_reason, StopReason::kTimeout);
+    return std::tuple(report.iterations, report.applied_matches,
+                      eg.NumNodes(), eg.NumClasses(), report.stop_reason);
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+}  // namespace
+}  // namespace spores
