@@ -23,7 +23,9 @@
 //    report-only — wall-clock gates train people to ignore red CI — and
 //    only the identity gate fails the run.
 //
-// Usage: bench_egraph_reuse [--smoke]
+// Usage: bench_egraph_reuse [--smoke] [--json FILE]
+// (--json writes the same BENCH_*.json trajectory format as the other
+// benches: one row per query plus the aggregate gate numbers.)
 #include <cmath>
 #include <cstring>
 #include <string>
@@ -66,7 +68,25 @@ const char* StopName(StopReason r) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  bool smoke = false;
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
+  FILE* json = nullptr;
+  if (json_path) {
+    json = std::fopen(json_path, "w");
+    if (!json) {
+      std::fprintf(stderr, "cannot open %s\n", json_path);
+      return 1;
+    }
+    std::fprintf(json, "{\n  \"bench\": \"egraph_reuse\",\n  \"smoke\": %s,\n"
+                 "  \"rows\": [\n", smoke ? "true" : "false");
+  }
+  bool first_json_row = true;
 
   std::printf("E-graph reuse: warm (resumed) vs cold (fresh-graph) "
               "saturation%s.\n", smoke ? " [smoke]" : "");
@@ -139,6 +159,20 @@ int main(int argc, char** argv) {
                     StopName(wp.saturation.stop_reason),
                     both_converged ? (same_cost ? "==" : "DIFF")
                                    : (same_cost ? "==(nc)" : "nc"));
+        if (json) {
+          std::fprintf(json,
+                       "%s    {\"query\": \"%s\", \"cold_sat_ms\": %.6f, "
+                       "\"warm_sat_ms\": %.6f, \"speedup\": %.3f, "
+                       "\"stop_warm\": \"%s\", \"gated\": %s, "
+                       "\"plan_cost\": %.17g, \"cost_identical\": %s}",
+                       first_json_row ? "" : ",\n", v.label.c_str(), cold_ms,
+                       warm_ms, warm_ms > 0 ? cold_ms / warm_ms : 0.0,
+                       StopName(wp.saturation.stop_reason),
+                       v.gated ? "true" : "false", wp.plan_cost,
+                       !both_converged ? "null"
+                                       : (same_cost ? "true" : "false"));
+          first_json_row = false;
+        }
       }
     }
     std::printf("  warm session: %s\n\n", warm.stats().ToString().c_str());
@@ -149,6 +183,15 @@ int main(int argc, char** argv) {
               "(%.1fx); %zu/%zu converged pairs cost-identical\n",
               gated_cold * 1e3, gated_warm * 1e3, speedup,
               converged_pairs - mismatches, converged_pairs);
+  if (json) {
+    std::fprintf(json,
+                 "\n  ],\n  \"gated_cold_seconds\": %.6f,\n"
+                 "  \"gated_warm_seconds\": %.6f,\n  \"speedup\": %.3f,\n"
+                 "  \"converged_pairs\": %zu,\n  \"mismatches\": %zu\n}\n",
+                 gated_cold, gated_warm, speedup, converged_pairs,
+                 mismatches);
+    std::fclose(json);
+  }
 
   int rc = 0;
   if (mismatches > 0) {

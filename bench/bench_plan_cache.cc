@@ -3,11 +3,33 @@
 // call on an isomorphic query is answered from the canonical-form plan
 // cache and pays translate + canonicalize only. The gap is the compile time
 // a serving deployment amortizes across repeated traffic.
+//
+// Flags:
+//   --json FILE   also write all measurements as JSON (the same BENCH_*.json
+//                 trajectory format as bench_fig16_compile / bench_serving)
+#include <cstring>
+
 #include "bench/bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace spores;
   using namespace spores::bench;
+
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
+  FILE* json = nullptr;
+  if (json_path) {
+    json = std::fopen(json_path, "w");
+    if (!json) {
+      std::fprintf(stderr, "cannot open %s\n", json_path);
+      return 1;
+    }
+    std::fprintf(json, "{\n  \"bench\": \"plan_cache\",\n  \"rows\": [\n");
+  }
 
   std::printf("Plan cache: cold vs warm optimize latency [ms].\n");
   std::printf("(warm = same query resubmitted to the same session)\n\n");
@@ -17,6 +39,7 @@ int main() {
 
   const int kWarmReps = 25;
   OptimizerSession session;
+  bool first_json_row = true;
   for (const Program& prog : AllPrograms()) {
     for (const ScalePoint& scale : ScalesFor(prog.name)) {
       WorkloadData data = DataFor(prog.name, scale);
@@ -34,9 +57,21 @@ int main() {
         all_hits = all_hits && warm.cache_hit;
       }
 
+      bool skipped = all_hits && !cold.used_fallback;
       std::printf("%-6s %-10s %12.3f %12.3f %9.1fx  %s\n", prog.name.c_str(),
                   scale.label.c_str(), cold_ms, warm_ms, cold_ms / warm_ms,
-                  all_hits && !cold.used_fallback ? "yes" : "NO");
+                  skipped ? "yes" : "NO");
+      if (json) {
+        std::fprintf(json,
+                     "%s    {\"prog\": \"%s\", \"size\": \"%s\", "
+                     "\"cold_ms\": %.6f, \"warm_ms\": %.6f, "
+                     "\"speedup\": %.3f, \"plan_cost\": %.17g, "
+                     "\"saturation_skipped\": %s}",
+                     first_json_row ? "" : ",\n", prog.name.c_str(),
+                     scale.label.c_str(), cold_ms, warm_ms, cold_ms / warm_ms,
+                     cold.plan_cost, skipped ? "true" : "false");
+        first_json_row = false;
+      }
     }
   }
 
@@ -44,5 +79,12 @@ int main() {
   const PlanCacheStats& cs = session.cache_stats();
   std::printf("cache:   %zu hits / %zu misses, %zu entries resident\n",
               cs.hits, cs.misses, session.PlanCacheSize());
+  if (json) {
+    std::fprintf(json,
+                 "\n  ],\n  \"cache_hits\": %zu,\n  \"cache_misses\": %zu,\n"
+                 "  \"entries_resident\": %zu\n}\n",
+                 cs.hits, cs.misses, session.PlanCacheSize());
+    std::fclose(json);
+  }
   return 0;
 }

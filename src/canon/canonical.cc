@@ -102,14 +102,23 @@ void CombineMonomials(Polyterm& p) {
   p.monomials = std::move(out);
 }
 
-// Renames bound attributes of `m` that clash with `used`, drawing fresh
-// names with matching dimensions.
-void AvoidClashes(Monomial& m, const std::vector<Symbol>& used,
-                  DimEnv& dims) {
+// Renames bound attributes of `m` that clash with `used`, drawing rename
+// targets with matching dimensions. The targets are deterministic — derived
+// from the clashing attribute plus a per-canonicalization counter, NOT
+// globally fresh — so canonicalizing the same term twice (or on two serving
+// threads) yields byte-identical polyterms; nested occurrences of these
+// names sit below the top-level bound set, where isomorphism checks compare
+// structurally and a nondeterministic name would break cache/router key
+// stability. Derived names cannot collide: translation names are a$-
+// prefixed, the source name is folded in (its dimension is a pure function
+// of it), and the counter separates repeated renames of one attribute.
+void AvoidClashes(Monomial& m, const std::vector<Symbol>& used, DimEnv& dims,
+                  size_t* rename_counter) {
   std::unordered_map<Symbol, Symbol> renaming;
   for (Symbol b : m.bound) {
     if (AttrContains(used, b)) {
-      Symbol fresh = Symbol::Fresh("r");
+      Symbol fresh = Symbol::Intern("r$" + b.str() + "#" +
+                                    std::to_string((*rename_counter)++));
       if (dims.Has(b)) dims.Set(fresh, dims.DimOf(b));
       renaming.emplace(b, fresh);
     }
@@ -256,7 +265,7 @@ class Canonicalizer {
     for (const Monomial& m : a.monomials) {
       for (const Monomial& n : b.monomials) {
         Monomial rhs = n;
-        AvoidClashes(rhs, AllAttrs(m), dims_);
+        AvoidClashes(rhs, AllAttrs(m), dims_, &rename_counter_);
         Monomial prod;
         prod.coeff = m.coeff * rhs.coeff;
         prod.bound = AttrUnion(m.bound, rhs.bound);
@@ -272,6 +281,9 @@ class Canonicalizer {
   }
 
   DimEnv& dims_;
+  /// Clash-rename sequence number; per-canonicalization so renames are a
+  /// deterministic function of the input term (see AvoidClashes).
+  size_t rename_counter_ = 0;
 };
 
 }  // namespace

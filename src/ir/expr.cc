@@ -1,6 +1,7 @@
 #include "src/ir/expr.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <functional>
 #include <string_view>
 #include <unordered_set>
@@ -38,7 +39,11 @@ uint64_t Expr::Hash() const {
   // Memoized per node: without this, hashing is quadratic in depth for
   // chains and exponential for self-nested DAGs (every caller — AC child
   // ordering, translation memo keys, attribute naming — re-walks the
-  // subtree).
+  // subtree). Safe under concurrent first calls from different threads
+  // (serving shards share query trees): the hash is a pure function of the
+  // immutable node, so racing computations store the same value and
+  // relaxed ordering suffices — a reader either sees 0 and recomputes or
+  // sees the one possible nonzero value.
   uint64_t cached = hash_cache_.load(std::memory_order_relaxed);
   if (cached != 0) return cached;
   // Symbols contribute their *strings*, not their interning ids: this hash
@@ -274,6 +279,24 @@ void CollectVarsInto(const Expr* e, std::unordered_set<const Expr*>& seen,
 }
 
 }  // namespace
+
+std::string CatalogSignature(const Catalog& catalog) {
+  std::vector<std::string> parts;
+  parts.reserve(catalog.entries().size());
+  char buf[96];
+  for (const auto& [name, meta] : catalog.entries()) {
+    std::string part = name.str();
+    std::snprintf(buf, sizeof(buf), ":%lldx%lld@%.17g;",
+                  static_cast<long long>(meta.shape.rows),
+                  static_cast<long long>(meta.shape.cols), meta.sparsity);
+    part += buf;
+    parts.push_back(std::move(part));
+  }
+  std::sort(parts.begin(), parts.end());
+  std::string sig;
+  for (const std::string& p : parts) sig += p;
+  return sig;
+}
 
 std::vector<Symbol> CollectVars(const ExprPtr& expr) {
   std::unordered_set<const Expr*> seen;

@@ -118,6 +118,12 @@ class Catalog {
   std::unordered_map<Symbol, MatrixMeta> meta_;
 };
 
+/// Order-independent fingerprint of every registered input's name, shape
+/// and sparsity. Analysis invariants (Fig 12 sparsity) and costs read the
+/// catalog, so anything cached per catalog — a session's shared e-graph,
+/// the serving router's fallback route — keys on this.
+std::string CatalogSignature(const Catalog& catalog);
+
 /// Infers the output shape of an LA expression against `catalog`.
 /// Fails on dimension mismatches or non-LA operators.
 StatusOr<Shape> InferShape(const ExprPtr& expr, const Catalog& catalog);

@@ -1,0 +1,17 @@
+#include "src/optimizer/optimizer_context.h"
+
+#include "src/rules/rules_eq.h"
+
+namespace spores {
+
+OptimizerContext::OptimizerContext(SessionConfig base_config)
+    : base_config_(std::move(base_config)), dims_(std::make_shared<DimEnv>()) {
+  // R_EQ reads only the shared DimEnv (rule-5 folding), never the catalog,
+  // so one compilation serves every query of every session sharing this
+  // context — both the rule vector and the e-matching trie its LHS patterns
+  // merge into.
+  rules_ = RaEqualityRules(RaContext{nullptr, dims_});
+  compiled_rules_ = CompiledRuleSet(LhsPatterns(rules_));
+}
+
+}  // namespace spores

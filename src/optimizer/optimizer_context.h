@@ -1,0 +1,102 @@
+// Shared immutable compile state for optimizer sessions.
+//
+// An OptimizerContext hoists everything an OptimizerSession used to build
+// privately but never mutates after construction — the compiled R_EQ rule
+// set, the multi-pattern e-matching trie its LHS patterns merge into, and
+// the attribute-dimension environment — into one read-only artifact that
+// any number of per-shard sessions (src/serve/session_pool.h) share. What
+// remains in a session is exactly the cheap mutable state a shard must own
+// privately: its e-graph, plan cache, cost memo, scheduler, RNG seeds and
+// stats. This is the "share compiled artifacts, never caches" split that
+// keeps shared-nothing shards from inverting parallel scaling.
+//
+// Sharing contract (audited per member; see also the satellite notes on
+// each type's own header):
+//
+//  * rules() — std::vector<Rewrite>, immutable after construction. Guards
+//    and appliers are pure functions of their (EGraph, Subst) arguments
+//    except for two audited effects: reads of the shared DimEnv (rule-5
+//    aggregate folding; DimEnv is internally synchronized and write-once
+//    per attribute) and Symbol::Intern calls (global intern table,
+//    thread-safe). No rule captures per-session mutable state.
+//
+//  * compiled_rules() — CompiledRuleSet, immutable after construction.
+//    MatchClass is const and writes only into the caller-owned MatchBank,
+//    so one trie serves every shard's saturations concurrently.
+//
+//  * dims() — DimEnv, internally synchronized and monotone (write-once per
+//    attribute). Concurrent translations on different shards intern
+//    deterministically-named attributes (a pure function of structure and
+//    dimension), so racing writers always agree; sharing one env is what
+//    makes canonical forms and plan costs identical across shards.
+//
+//  * Catalogs are deliberately NOT part of the context: they are per-call,
+//    and each session's long-lived graph keeps its own snapshot.
+//
+// base_config() is the SessionConfig sessions default to; per-shard
+// overrides (e.g. a smaller plan cache) are passed at session construction.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/egraph/pattern_program.h"
+#include "src/egraph/rewrite.h"
+#include "src/egraph/runner.h"
+#include "src/extract/extractor.h"
+#include "src/optimizer/optimized_plan.h"
+#include "src/rules/ra_analysis.h"
+
+namespace spores {
+
+struct SessionConfig {
+  RunnerConfig runner;  ///< saturation strategy / limits (Sec 3.1)
+  ExtractionStrategy extraction = ExtractionStrategy::kIlp;
+  IlpExtractConfig ilp;
+  bool apply_fusion = true;  ///< run the fused-operator post-pass
+  /// Also run the non-chosen extractor and surface both plans in
+  /// OptimizedPlan::alternatives (greedy vs ILP, Fig 17's comparison).
+  bool collect_alternatives = false;
+  bool enable_plan_cache = true;
+  size_t plan_cache_capacity = 256;
+  /// Keep one saturated e-graph per catalog and resume saturation on it for
+  /// every cache miss, instead of building a fresh graph per query.
+  bool reuse_egraph = true;
+  /// Arena size (interned e-nodes) above which the shared graph is
+  /// compacted — rebuilt from the live query roots — before the next query.
+  size_t egraph_node_budget = 50000;
+  /// How many recent query roots survive a Compact().
+  size_t max_live_roots = 12;
+};
+
+/// Compile-once, share-everywhere optimizer state. Construct one, hand a
+/// shared_ptr<const OptimizerContext> to every session/pool that should
+/// share the compiled rules; all members are safe for concurrent use from
+/// any number of threads (see the sharing contract above).
+class OptimizerContext {
+ public:
+  explicit OptimizerContext(SessionConfig base_config = {});
+
+  OptimizerContext(const OptimizerContext&) = delete;
+  OptimizerContext& operator=(const OptimizerContext&) = delete;
+
+  const SessionConfig& base_config() const { return base_config_; }
+  /// R_EQ, compiled once. Rule indices are shared by compiled_rules() and
+  /// every session's scheduler.
+  const std::vector<Rewrite>& rules() const { return rules_; }
+  /// The rules' LHS patterns compiled into the shared multi-pattern trie
+  /// (pattern programs + root-op discrimination).
+  const CompiledRuleSet& compiled_rules() const { return compiled_rules_; }
+  /// The attribute-dimension environment shared by translation, analysis,
+  /// canonicalization, costing and rule folding across every session using
+  /// this context (grows monotonically; internally synchronized).
+  const std::shared_ptr<DimEnv>& dims() const { return dims_; }
+
+ private:
+  SessionConfig base_config_;
+  std::shared_ptr<DimEnv> dims_;
+  std::vector<Rewrite> rules_;
+  CompiledRuleSet compiled_rules_;
+};
+
+}  // namespace spores

@@ -5,7 +5,6 @@
 #include <functional>
 #include <sstream>
 
-#include "src/rules/rules_eq.h"
 #include "src/rules/rules_fusion.h"
 #include "src/util/timer.h"
 
@@ -37,28 +36,6 @@ double TermCost(const EGraph& egraph, const CostModel& cost,
   return total;
 }
 
-// Order-independent fingerprint of every registered input's name, shape and
-// sparsity. Analysis invariants (Fig 12 sparsity) and costs read the
-// catalog, so the shared e-graph is only sound across queries whose
-// catalogs agree.
-std::string CatalogSignature(const Catalog& catalog) {
-  std::vector<std::string> parts;
-  parts.reserve(catalog.entries().size());
-  char buf[96];
-  for (const auto& [name, meta] : catalog.entries()) {
-    std::string part = name.str();
-    std::snprintf(buf, sizeof(buf), ":%lldx%lld@%.17g;",
-                  static_cast<long long>(meta.shape.rows),
-                  static_cast<long long>(meta.shape.cols), meta.sparsity);
-    part += buf;
-    parts.push_back(std::move(part));
-  }
-  std::sort(parts.begin(), parts.end());
-  std::string sig;
-  for (const std::string& p : parts) sig += p;
-  return sig;
-}
-
 }  // namespace
 
 std::string SessionStats::ToString() const {
@@ -85,15 +62,16 @@ OptimizerSession::GraphState::GraphState(
 }
 
 OptimizerSession::OptimizerSession(SessionConfig config)
-    : config_(std::move(config)),
-      dims_(std::make_shared<DimEnv>()),
-      cache_(config_.enable_plan_cache ? config_.plan_cache_capacity : 0) {
-  // R_EQ reads only the shared DimEnv (rule-5 folding), never the catalog,
-  // so one compilation serves every query of the session — both the rule
-  // vector and the e-matching trie its LHS patterns merge into.
-  rules_ = RaEqualityRules(RaContext{nullptr, dims_});
-  compiled_rules_ = CompiledRuleSet(LhsPatterns(rules_));
-}
+    : OptimizerSession(
+          std::make_shared<const OptimizerContext>(std::move(config))) {}
+
+OptimizerSession::OptimizerSession(
+    std::shared_ptr<const OptimizerContext> context,
+    std::optional<SessionConfig> config)
+    : context_(std::move(context)),
+      config_(config ? std::move(*config) : context_->base_config()),
+      dims_(context_->dims()),
+      cache_(config_.enable_plan_cache ? config_.plan_cache_capacity : 0) {}
 
 const EGraph* OptimizerSession::shared_egraph() const {
   return graph_ ? graph_->egraph.get() : nullptr;
@@ -118,12 +96,11 @@ StatusOr<Translation> OptimizerSession::Translate(const ExprPtr& la,
 }
 
 OptimizerSession::GraphState& OptimizerSession::EnsureSharedGraph(
-    const Catalog& catalog) {
-  std::string sig = CatalogSignature(catalog);
+    const Catalog& catalog, std::string sig) {
   if (!graph_ || graph_->signature != sig) {
     if (graph_) ++stats_.graph_resets;
     graph_ = std::make_shared<GraphState>(catalog, std::move(sig), dims_,
-                                          rules_.size(),
+                                          context_->rules().size(),
                                           config_.runner.scheduler);
   } else if (graph_->egraph->ArenaSize() > config_.egraph_node_budget &&
              !graph_->roots.empty()) {
@@ -135,7 +112,7 @@ OptimizerSession::GraphState& OptimizerSession::EnsureSharedGraph(
 void OptimizerSession::CompactSharedGraph() {
   GraphState& old = *graph_;
   auto fresh = std::make_shared<GraphState>(old.catalog, old.signature, dims_,
-                                            rules_.size(),
+                                            context_->rules().size(),
                                             config_.runner.scheduler);
   std::vector<ClassId> mapped =
       old.egraph->CompactInto(*fresh->egraph, old.roots);
@@ -168,7 +145,8 @@ void OptimizerSession::RecordRoot(ClassId root) {
 }
 
 StatusOr<Saturation> OptimizerSession::Saturate(const Translation& t,
-                                                const Catalog& catalog) {
+                                                const Catalog& catalog,
+                                                bool preserve_shared_graph) {
   if (!t.program.ra) {
     return Status::InvalidArgument("Saturate: empty translation");
   }
@@ -179,8 +157,18 @@ StatusOr<Saturation> OptimizerSession::Saturate(const Translation& t,
   RunnerConfig runner_config = config_.runner;
   runner_config.seed = config_.runner.seed + saturation_count_++;
 
-  if (config_.reuse_egraph) {
-    GraphState& g = EnsureSharedGraph(catalog);
+  bool use_shared = config_.reuse_egraph;
+  std::string sig;
+  if (use_shared) {
+    sig = CatalogSignature(catalog);
+    if (preserve_shared_graph && (!graph_ || graph_->signature != sig)) {
+      // A foreign catalog would reset the shared graph; this call was asked
+      // to leave it warm, so it saturates on a throwaway graph instead.
+      use_shared = false;
+    }
+  }
+  if (use_shared) {
+    GraphState& g = EnsureSharedGraph(catalog, std::move(sig));
     bool warm = g.egraph->Version() > 0;
     uint64_t version_at_entry = g.egraph->Version();
     ClassId root = g.egraph->AddExpr(t.program.ra);
@@ -192,8 +180,8 @@ StatusOr<Saturation> OptimizerSession::Saturate(const Translation& t,
     runner_config.node_limit_is_growth = true;
     runner_config.scope_root = root;
     runner_config.scope_version_floor = version_at_entry + 1;
-    Runner runner(g.egraph.get(), &rules_, runner_config, &g.scheduler,
-                  &compiled_rules_);
+    Runner runner(g.egraph.get(), &context_->rules(), runner_config,
+                  &g.scheduler, &context_->compiled_rules());
     s.report = runner.Run();
     s.root = g.egraph->Find(root);
     s.reused_graph = warm;
@@ -209,8 +197,8 @@ StatusOr<Saturation> OptimizerSession::Saturate(const Translation& t,
     s.egraph = std::make_shared<EGraph>(std::make_unique<RaAnalysis>(ctx));
     ClassId root = s.egraph->AddExpr(t.program.ra);
     s.egraph->Rebuild();
-    Runner runner(s.egraph.get(), &rules_, runner_config,
-                  /*scheduler=*/nullptr, &compiled_rules_);
+    Runner runner(s.egraph.get(), &context_->rules(), runner_config,
+                  /*scheduler=*/nullptr, &context_->compiled_rules());
     s.report = runner.Run();
     s.root = s.egraph->Find(root);
   }
@@ -294,6 +282,12 @@ OptimizedPlan OptimizerSession::Fallback(const ExprPtr& expr,
 
 OptimizedPlan OptimizerSession::Optimize(const ExprPtr& expr,
                                          const Catalog& catalog) {
+  return Optimize(expr, catalog, QueryOptions{});
+}
+
+OptimizedPlan OptimizerSession::Optimize(const ExprPtr& expr,
+                                         const Catalog& catalog,
+                                         const QueryOptions& options) {
   ++stats_.queries;
   Timer total;
   OptimizedPlan out;
@@ -303,9 +297,45 @@ OptimizedPlan OptimizerSession::Optimize(const ExprPtr& expr,
     ~StatsGuard() { stats.compile_seconds += total.Seconds(); }
   } guard{stats_, total};
 
-  // ---- Translate ----
+  const bool use_cache = config_.enable_plan_cache && options.use_plan_cache;
+  auto serve_hit = [&](const OptimizedPlan& cached, double translate_seconds,
+                       double cache_seconds) {
+    out = cached;  // plan, costs, optimality, alternatives
+    out.cache_hit = true;
+    out.used_fallback = false;
+    out.fallback_reason.clear();
+    out.timings = StageTimings{};
+    out.timings.translate_seconds = translate_seconds;
+    out.timings.cache_seconds = cache_seconds;
+    out.saturation = RunnerReport{};  // no saturation ran
+    ++stats_.cache_hits;
+  };
+
+  // ---- Precomputed-key probe ----
+  // The serving path routes on the canonical form, so the key already
+  // exists; probing before translation makes a warm hit pay one
+  // isomorphism check and nothing else.
   Timer stage;
-  StatusOr<Translation> translated = Translate(expr, catalog);
+  if (use_cache && options.key) {
+    if (const OptimizedPlan* cached = cache_.Lookup(*options.key)) {
+      serve_hit(*cached, 0.0, stage.Seconds());
+      return out;
+    }
+    ++stats_.cache_misses;
+    out.timings.cache_seconds = stage.Seconds();
+  }
+
+  // ---- Translate (reusing the router's translation when provided) ----
+  stage.Reset();
+  StatusOr<Translation> translated = Status::Unsupported("not translated");
+  if (options.translation) {
+    Translation precomputed;
+    precomputed.la = expr;
+    precomputed.program = *options.translation;
+    translated = std::move(precomputed);
+  } else {
+    translated = Translate(expr, catalog);
+  }
   out.timings.translate_seconds =
       translated.ok() ? translated.value().seconds : stage.Seconds();
   if (!translated.ok()) {
@@ -313,23 +343,16 @@ OptimizedPlan OptimizerSession::Optimize(const ExprPtr& expr,
   }
   const Translation& t = translated.value();
 
-  // ---- Plan-cache probe ----
-  StatusOr<PlanCacheKey> key = Status::Unsupported("plan cache disabled");
-  if (config_.enable_plan_cache) {
+  // ---- Plan-cache probe (no precomputed key) ----
+  StatusOr<PlanCacheKey> built_key = Status::Unsupported("key not built");
+  const PlanCacheKey* key = options.key;
+  if (use_cache && !key && !options.translation) {
     stage.Reset();
-    key = BuildPlanCacheKey(expr, t.program, catalog, *dims_);
-    if (key.ok()) {
-      if (const OptimizedPlan* cached = cache_.Lookup(key.value())) {
-        double cache_seconds = stage.Seconds();
-        out = *cached;  // plan, costs, optimality, alternatives
-        out.cache_hit = true;
-        out.used_fallback = false;
-        out.fallback_reason.clear();
-        out.timings = StageTimings{};
-        out.timings.translate_seconds = t.seconds;
-        out.timings.cache_seconds = cache_seconds;
-        out.saturation = RunnerReport{};  // no saturation ran
-        ++stats_.cache_hits;
+    built_key = BuildPlanCacheKey(expr, t.program, catalog, *dims_);
+    if (built_key.ok()) {
+      key = &built_key.value();
+      if (const OptimizedPlan* cached = cache_.Lookup(*key)) {
+        serve_hit(*cached, t.seconds, stage.Seconds());
         return out;
       }
       ++stats_.cache_misses;
@@ -337,11 +360,17 @@ OptimizedPlan OptimizerSession::Optimize(const ExprPtr& expr,
       ++stats_.cache_misses;  // canonicalization bypass counts as a miss
     }
     out.timings.cache_seconds = stage.Seconds();
+  } else if (use_cache && !key) {
+    // Precomputed translation without a key: the caller (router) already
+    // attempted canonicalization and it failed — a bypass, counted as a
+    // miss, without repeating the failing walk.
+    ++stats_.cache_misses;
   }
 
   // ---- Saturate ----
   stage.Reset();
-  StatusOr<Saturation> saturated = Saturate(t, catalog);
+  StatusOr<Saturation> saturated =
+      Saturate(t, catalog, options.preserve_shared_egraph);
   ++stats_.saturations;
   out.timings.saturate_seconds =
       saturated.ok() ? saturated.value().seconds : stage.Seconds();
@@ -370,8 +399,8 @@ OptimizedPlan OptimizerSession::Optimize(const ExprPtr& expr,
   out.plan = config_.apply_fusion ? Fuse(e.chosen.la) : e.chosen.la;
   out.timings.fuse_seconds = stage.Seconds();
 
-  if (config_.enable_plan_cache && key.ok()) {
-    cache_.Insert(key.value(), out);
+  if (use_cache && key) {
+    cache_.Insert(*key, out);
   }
   return out;
 }

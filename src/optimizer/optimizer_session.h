@@ -31,9 +31,16 @@
 //
 // Any stage failure inside Optimize() falls back to the (fused) input
 // expression — never worse than no optimization.
+//
+// Compile state that is immutable after construction (the compiled R_EQ
+// rule set, the e-matching trie, the DimEnv) lives in an OptimizerContext
+// (optimizer_context.h). A session constructed the plain way owns a private
+// context; the serving layer constructs many sessions over one shared
+// context, so a session is exactly the per-shard mutable state.
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -42,30 +49,11 @@
 #include "src/extract/extractor.h"
 #include "src/ir/expr.h"
 #include "src/optimizer/optimized_plan.h"
+#include "src/optimizer/optimizer_context.h"
 #include "src/optimizer/plan_cache.h"
 #include "src/rules/rules_lr.h"
 
 namespace spores {
-
-struct SessionConfig {
-  RunnerConfig runner;  ///< saturation strategy / limits (Sec 3.1)
-  ExtractionStrategy extraction = ExtractionStrategy::kIlp;
-  IlpExtractConfig ilp;
-  bool apply_fusion = true;  ///< run the fused-operator post-pass
-  /// Also run the non-chosen extractor and surface both plans in
-  /// OptimizedPlan::alternatives (greedy vs ILP, Fig 17's comparison).
-  bool collect_alternatives = false;
-  bool enable_plan_cache = true;
-  size_t plan_cache_capacity = 256;
-  /// Keep one saturated e-graph per catalog and resume saturation on it for
-  /// every cache miss, instead of building a fresh graph per query.
-  bool reuse_egraph = true;
-  /// Arena size (interned e-nodes) above which the shared graph is
-  /// compacted — rebuilt from the live query roots — before the next query.
-  size_t egraph_node_budget = 50000;
-  /// How many recent query roots survive a Compact().
-  size_t max_live_roots = 12;
-};
 
 /// Result of the Translate stage.
 struct Translation {
@@ -113,14 +101,56 @@ struct SessionStats {
   std::string ToString() const;
 };
 
+/// Per-query knobs for the serving path. Defaults reproduce plain
+/// Optimize(expr, catalog).
+struct QueryOptions {
+  /// Precomputed canonical-form cache key (the shard router builds it to
+  /// pick a shard; passing it here skips re-canonicalizing and lets a warm
+  /// hit skip translation entirely). Must describe (expr, catalog).
+  const PlanCacheKey* key = nullptr;
+  /// Precomputed LA->RA translation (the router's other by-product): a
+  /// cache miss then skips the session's own Translate stage too. Must
+  /// describe (expr, catalog) and have been translated against this
+  /// session's shared DimEnv (any session of the same context qualifies).
+  /// Contract: a caller precomputing the translation is expected to have
+  /// attempted the cache key as well — translation-without-key tells the
+  /// session canonicalization already failed, and the (known-failing)
+  /// canonicalization walk is not repeated.
+  const RaProgram* translation = nullptr;
+  /// When false, this call neither probes nor fills the session's plan
+  /// cache. The pool uses this for stolen jobs so a shard's cache only ever
+  /// holds keys the router assigned to it.
+  bool use_plan_cache = true;
+  /// When true, this call must not disturb the session's long-lived shared
+  /// e-graph: saturation resumes on it only if the query's catalog
+  /// signature already matches, and otherwise runs on a throwaway fresh
+  /// graph. The pool sets this for stolen jobs — a foreign-catalog query
+  /// resetting the thief's warm graph would cost that shard's own traffic
+  /// a cold resaturation.
+  bool preserve_shared_egraph = false;
+};
+
 /// A long-lived optimizer: construct once, call Optimize per query. The
 /// catalog is per-call so one session can serve queries over many input
 /// bindings; the plan cache discriminates on input dimensions and sparsity,
-/// and the shared e-graph resets when the catalog signature changes. Not
-/// thread-safe; use one session per thread.
+/// and the shared e-graph resets when the catalog signature changes.
+///
+/// A session itself is NOT thread-safe — it is the cheap per-shard mutable
+/// state (e-graph, plan cache, cost memo, scheduler, stats) of the
+/// context/session split; use one session per thread. Sessions constructed
+/// over one shared OptimizerContext may run concurrently: everything they
+/// share through it is immutable or internally synchronized (see
+/// optimizer_context.h for the audited contract).
 class OptimizerSession {
  public:
+  /// Convenience: builds a private OptimizerContext from `config`.
   explicit OptimizerSession(SessionConfig config = {});
+
+  /// Shard form: share `context`'s compiled rules / trie / DimEnv; `config`
+  /// overrides the context's base_config for this session (pass nullopt to
+  /// inherit it).
+  explicit OptimizerSession(std::shared_ptr<const OptimizerContext> context,
+                            std::optional<SessionConfig> config = std::nullopt);
 
   OptimizerSession(const OptimizerSession&) = delete;
   OptimizerSession& operator=(const OptimizerSession&) = delete;
@@ -130,6 +160,10 @@ class OptimizerSession {
   /// `used_fallback` is set with the stage's error as the reason.
   OptimizedPlan Optimize(const ExprPtr& expr, const Catalog& catalog);
 
+  /// As above with per-query options (precomputed cache key, cache bypass).
+  OptimizedPlan Optimize(const ExprPtr& expr, const Catalog& catalog,
+                         const QueryOptions& options);
+
   // ---- Individually-invocable pipeline stages ----
 
   /// LA -> RA. Records attribute dimensions in the session's shared DimEnv.
@@ -137,8 +171,12 @@ class OptimizerSession {
 
   /// Saturates the translation with the session's compiled rule set — on the
   /// session's long-lived e-graph when config().reuse_egraph (resuming from
-  /// every earlier query's equivalences), else on a fresh graph.
-  StatusOr<Saturation> Saturate(const Translation& t, const Catalog& catalog);
+  /// every earlier query's equivalences), else on a fresh graph. With
+  /// `preserve_shared_graph`, a catalog whose signature does not match the
+  /// current shared graph saturates on a fresh graph instead of resetting
+  /// it (see QueryOptions::preserve_shared_egraph).
+  StatusOr<Saturation> Saturate(const Translation& t, const Catalog& catalog,
+                                bool preserve_shared_graph = false);
 
   /// Extracts the cheapest plan (per config) from a saturated e-graph and
   /// lowers it back to LA, verifying the output shape is preserved. Work is
@@ -157,8 +195,14 @@ class OptimizerSession {
   const PlanCacheStats& cache_stats() const { return cache_.stats(); }
   size_t PlanCacheSize() const { return cache_.size(); }
   void ClearPlanCache() { cache_.Clear(); }
+  /// The shared immutable compile state (rules, trie, DimEnv) this session
+  /// runs over — private to this session unless it was constructed from a
+  /// caller-supplied context.
+  const std::shared_ptr<const OptimizerContext>& context() const {
+    return context_;
+  }
   /// The attribute-dimension environment shared across this session's
-  /// queries (grows monotonically; attribute names are globally fresh).
+  /// queries (and across every session of the same context).
   const DimEnv& dims() const { return *dims_; }
   /// The session's long-lived e-graph (null until the first reuse-path
   /// saturation). Exposed for tests and diagnostics.
@@ -190,19 +234,18 @@ class OptimizerSession {
 
   OptimizedPlan Fallback(const ExprPtr& expr, const Status& status,
                          OptimizedPlan out);
-  /// Returns the shared graph for `catalog`, creating or resetting it when
-  /// the signature changed, and compacting it when over the arena budget.
-  GraphState& EnsureSharedGraph(const Catalog& catalog);
+  /// Returns the shared graph for `catalog` (whose signature the caller
+  /// already computed), creating or resetting it when the signature
+  /// changed, and compacting it when over the arena budget.
+  GraphState& EnsureSharedGraph(const Catalog& catalog, std::string sig);
   void CompactSharedGraph();
   void RecordRoot(ClassId root);
 
+  /// Shared immutable compile state (rules, trie, DimEnv); everything below
+  /// is this session's private mutable state.
+  std::shared_ptr<const OptimizerContext> context_;
   SessionConfig config_;
-  std::shared_ptr<DimEnv> dims_;
-  std::vector<Rewrite> rules_;  ///< R_EQ, compiled once per session
-  /// The rules' LHS patterns compiled into the shared multi-pattern trie
-  /// (pattern programs + root-op discrimination), once per session; every
-  /// saturation — fresh or resumed — matches through it.
-  CompiledRuleSet compiled_rules_;
+  std::shared_ptr<DimEnv> dims_;  ///< == context_->dims()
   PlanCache cache_;
   SessionStats stats_;
   std::shared_ptr<GraphState> graph_;  ///< null until first reuse saturation

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <mutex>
 
 #include "src/util/check.h"
 
@@ -9,6 +10,7 @@ namespace spores {
 
 void DimEnv::Set(Symbol attr, int64_t dim) {
   SPORES_CHECK_GT(dim, 0);
+  std::unique_lock<std::shared_mutex> lock(mu_);
   auto it = dims_.find(attr);
   if (it != dims_.end()) {
     SPORES_CHECK_MSG(it->second == dim, "attribute re-bound to new dimension");
@@ -18,14 +20,25 @@ void DimEnv::Set(Symbol attr, int64_t dim) {
 }
 
 int64_t DimEnv::DimOf(Symbol attr) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = dims_.find(attr);
   SPORES_CHECK_MSG(it != dims_.end(), attr.str().c_str());
   return it->second;
 }
 
+bool DimEnv::Has(Symbol attr) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return dims_.count(attr) > 0;
+}
+
 double DimEnv::SizeOf(const std::vector<Symbol>& attrs) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   double size = 1.0;
-  for (Symbol a : attrs) size *= static_cast<double>(DimOf(a));
+  for (Symbol a : attrs) {
+    auto it = dims_.find(a);
+    SPORES_CHECK_MSG(it != dims_.end(), a.str().c_str());
+    size *= static_cast<double>(it->second);
+  }
   return size;
 }
 

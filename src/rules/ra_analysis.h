@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -16,17 +17,31 @@
 namespace spores {
 
 /// Maps attribute symbols (indices i, j, ...) to their dimension sizes.
+///
+/// Thread-safe and monotone: entries are write-once (Set re-binding an
+/// attribute to a different dimension is a checked error), so one DimEnv can
+/// back many concurrent optimizer sessions — deterministic LA->RA attribute
+/// naming folds the dimension into every generated name, so racing Set calls
+/// for the same attribute always agree and the winner is irrelevant. Reads
+/// take a shared lock; a read following any Set of that attribute (on any
+/// thread, ordered by the lock) sees it.
 class DimEnv {
  public:
+  DimEnv() = default;
+  DimEnv(const DimEnv&) = delete;
+  DimEnv& operator=(const DimEnv&) = delete;
+
   void Set(Symbol attr, int64_t dim);
   int64_t DimOf(Symbol attr) const;
-  bool Has(Symbol attr) const { return dims_.count(attr) > 0; }
+  bool Has(Symbol attr) const;
 
   /// Product of dimensions of an attribute set (the output size of a
-  /// relation with that schema). Empty set -> 1 (a scalar).
+  /// relation with that schema). Empty set -> 1 (a scalar). Every attribute
+  /// must be bound.
   double SizeOf(const std::vector<Symbol>& attrs) const;
 
  private:
+  mutable std::shared_mutex mu_;
   std::unordered_map<Symbol, int64_t> dims_;
 };
 

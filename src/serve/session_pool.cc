@@ -1,0 +1,309 @@
+#include "src/serve/session_pool.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/canon/isomorphism.h"
+#include "src/util/check.h"
+
+namespace spores {
+
+size_t PoolStats::TotalExecuted() const {
+  size_t n = 0;
+  for (const ShardStats& s : shards) n += s.executed;
+  return n;
+}
+
+size_t PoolStats::TotalSteals() const {
+  size_t n = 0;
+  for (const ShardStats& s : shards) n += s.steals;
+  return n;
+}
+
+double PoolStats::CacheHitRate() const {
+  size_t hits = 0, misses = 0;
+  for (const ShardStats& s : shards) {
+    hits += s.cache.hits;
+    misses += s.cache.misses;
+  }
+  return hits + misses == 0
+             ? 0.0
+             : static_cast<double>(hits) / static_cast<double>(hits + misses);
+}
+
+std::string PoolStats::ToString() const {
+  std::ostringstream os;
+  os << shards.size() << " shards: " << submitted << " submitted ("
+     << dedup_hits << " batch-deduped), " << completed << " completed, "
+     << TotalSteals() << " steals, cache hit rate " << CacheHitRate() << "\n";
+  for (size_t i = 0; i < shards.size(); ++i) {
+    const ShardStats& s = shards[i];
+    os << "  shard " << i << ": " << s.executed << " executed (" << s.steals
+       << " stolen, " << s.stolen_from << " stolen from), depth "
+       << s.queue_depth << ", cache " << s.cache.hits << "/"
+       << (s.cache.hits + s.cache.misses) << " hits, " << s.cache_entries
+       << " entries; " << s.session.ToString() << "\n";
+  }
+  return os.str();
+}
+
+SessionPool::SessionPool(std::shared_ptr<const OptimizerContext> context,
+                         PoolConfig config)
+    : context_(std::move(context)),
+      config_(std::move(config)),
+      router_(config_.num_shards, context_) {
+  SPORES_CHECK_GT(config_.num_shards, 0u);
+  shards_.reserve(config_.num_shards);
+  for (size_t i = 0; i < config_.num_shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->session =
+        std::make_unique<OptimizerSession>(context_, config_.session);
+    shards_.push_back(std::move(shard));
+  }
+  // Workers start only after every shard exists: a thief scans all queues.
+  for (size_t i = 0; i < config_.num_shards; ++i) {
+    shards_[i]->worker = std::thread([this, i] { WorkerLoop(i); });
+  }
+}
+
+SessionPool::~SessionPool() {
+  Drain();  // every promise is fulfilled before teardown
+  {
+    std::lock_guard<std::mutex> lock(park_mu_);
+    shutdown_ = true;
+  }
+  park_cv_.notify_all();
+  for (auto& shard : shards_) {
+    if (shard->worker.joinable()) shard->worker.join();
+  }
+}
+
+std::shared_future<OptimizedPlan> SessionPool::Enqueue(
+    std::unique_ptr<Job> job) {
+  std::shared_future<OptimizedPlan> future =
+      job->promise.get_future().share();
+  Shard& home = *shards_[job->home_shard];
+  {
+    std::lock_guard<std::mutex> lock(done_mu_);
+    ++submitted_;
+  }
+  {
+    std::lock_guard<std::mutex> lock(home.mu);
+    home.queue.push_back(std::move(job));
+  }
+  {
+    std::lock_guard<std::mutex> lock(park_mu_);
+    ++work_epoch_;
+  }
+  park_cv_.notify_all();
+  return future;
+}
+
+std::shared_future<OptimizedPlan> SessionPool::Submit(
+    ExprPtr expr, std::shared_ptr<const Catalog> catalog) {
+  SPORES_CHECK(expr != nullptr);
+  SPORES_CHECK(catalog != nullptr);
+  RouteDecision route = router_.Route(expr, *catalog);
+  auto job = std::make_unique<Job>();
+  job->expr = std::move(expr);
+  job->catalog = std::move(catalog);
+  job->home_shard = route.shard;
+  if (route.key.ok()) job->key = std::move(route.key).value();
+  if (route.program.ok()) job->translation = std::move(route.program).value();
+  return Enqueue(std::move(job));
+}
+
+std::vector<std::shared_future<OptimizedPlan>> SessionPool::BatchSubmit(
+    const std::vector<ServeRequest>& batch) {
+  std::vector<std::shared_future<OptimizedPlan>> futures(batch.size());
+  // Dedupe groups: representative jobs keyed by exact fingerprint, with
+  // isomorphism deciding membership inside a fingerprint bucket — the same
+  // two-level test the plan cache runs. Only canonicalizable queries
+  // dedupe; a bypass query cannot prove equivalence to anything.
+  struct Group {
+    std::string fingerprint;
+    Polyterm canon;
+    std::shared_future<OptimizedPlan> future;
+  };
+  std::vector<Group> groups;
+  size_t dedup_hits = 0;
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const ServeRequest& req = batch[i];
+    SPORES_CHECK(req.expr != nullptr);
+    SPORES_CHECK(req.catalog != nullptr);
+    RouteDecision route = router_.Route(req.expr, *req.catalog);
+    if (route.key.ok()) {
+      const PlanCacheKey& key = route.key.value();
+      bool joined = false;
+      for (const Group& g : groups) {
+        if (g.fingerprint == key.fingerprint &&
+            PolytermIsomorphic(g.canon, key.canon)) {
+          futures[i] = g.future;  // ride the representative's optimization
+          ++dedup_hits;
+          joined = true;
+          break;
+        }
+      }
+      if (joined) continue;
+    }
+    auto job = std::make_unique<Job>();
+    job->expr = req.expr;
+    job->catalog = req.catalog;
+    job->home_shard = route.shard;
+    if (route.key.ok()) job->key = route.key.value();
+    if (route.program.ok()) {
+      job->translation = std::move(route.program).value();
+    }
+    if (route.key.ok()) {
+      groups.push_back(Group{job->key->fingerprint, job->key->canon,
+                             std::shared_future<OptimizedPlan>()});
+    }
+    futures[i] = Enqueue(std::move(job));
+    if (route.key.ok()) groups.back().future = futures[i];
+  }
+  if (dedup_hits > 0) {
+    std::lock_guard<std::mutex> lock(done_mu_);
+    dedup_hits_ += dedup_hits;
+  }
+  return futures;
+}
+
+PoolStats SessionPool::Stats() const {
+  PoolStats out;
+  out.shards.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    ShardStats s;
+    std::lock_guard<std::mutex> lock(shard->mu);
+    s.executed = shard->executed;
+    s.steals = shard->steals;
+    s.stolen_from = shard->stolen_from;
+    s.queue_depth = shard->queue.size();
+    s.session = shard->session_stats;
+    s.cache = shard->cache_stats;
+    s.cache_entries = shard->cache_entries;
+    out.shards.push_back(std::move(s));
+  }
+  std::lock_guard<std::mutex> lock(done_mu_);
+  out.submitted = submitted_;
+  out.completed = completed_;
+  out.dedup_hits = dedup_hits_;
+  return out;
+}
+
+void SessionPool::Drain() {
+  std::unique_lock<std::mutex> lock(done_mu_);
+  done_cv_.wait(lock, [&] { return completed_ == submitted_; });
+}
+
+std::unique_ptr<SessionPool::Job> SessionPool::NextJob(size_t self,
+                                                       bool* stolen) {
+  *stolen = false;
+  Shard& own = *shards_[self];
+  {
+    std::lock_guard<std::mutex> lock(own.mu);
+    if (!own.queue.empty()) {
+      auto job = std::move(own.queue.front());
+      own.queue.pop_front();
+      return job;
+    }
+  }
+  if (!config_.enable_work_stealing || shards_.size() == 1) return nullptr;
+  // Steal the oldest job of the most backlogged other queue — but only
+  // from queues holding two or more: a lone queued job is left to its home
+  // worker. Stealing it wins nothing when that worker is idle and about to
+  // pop it (every enqueue wakes all parked workers, so thieves would
+  // routinely race the home worker), and a stolen job bypasses the thief's
+  // plan cache — under light load indiscriminate stealing would starve the
+  // very cache warming the router exists to provide. Sizes are sampled one
+  // lock at a time (never two shard locks at once), so the argmax can be
+  // stale — fall back to any stealable queue.
+  size_t best = self, best_depth = 1;  // floor 1: only depth >= 2 steals
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    if (i == self) continue;
+    std::lock_guard<std::mutex> lock(shards_[i]->mu);
+    if (shards_[i]->queue.size() > best_depth) {
+      best = i;
+      best_depth = shards_[i]->queue.size();
+    }
+  }
+  if (best == self) return nullptr;
+  for (size_t attempt = 0; attempt < shards_.size(); ++attempt) {
+    size_t victim_index =
+        attempt == 0 ? best : (self + attempt) % shards_.size();
+    if (victim_index == self) continue;
+    Shard& victim = *shards_[victim_index];
+    std::lock_guard<std::mutex> lock(victim.mu);
+    if (victim.queue.size() >= 2) {
+      auto job = std::move(victim.queue.front());
+      victim.queue.pop_front();
+      ++victim.stolen_from;
+      *stolen = true;
+      return job;
+    }
+  }
+  return nullptr;
+}
+
+void SessionPool::RunJob(size_t self, Job& job, bool stolen) {
+  Shard& shard = *shards_[self];
+  QueryOptions options;
+  // A stolen job bypasses the thief's plan cache entirely: the router
+  // assigned its canonical form to another shard, and a shard's cache must
+  // only ever hold keys routed to it (the isolation serve_test pins down).
+  // It likewise must not reset the thief's warm shared e-graph when it
+  // carries a foreign catalog — that graph serves the shard's own traffic.
+  options.use_plan_cache = !stolen;
+  options.preserve_shared_egraph = stolen;
+  options.key = job.key ? &*job.key : nullptr;
+  options.translation = job.translation ? &*job.translation : nullptr;
+  // An exception escaping the worker body would std::terminate the whole
+  // process and strand every waiter (including deduped batch members), so
+  // it is forwarded through the promise instead — where a single-session
+  // caller would have caught it — and the accounting below still runs so
+  // Drain() and the destructor stay live.
+  try {
+    OptimizedPlan plan =
+        shard.session->Optimize(job.expr, *job.catalog, options);
+    job.promise.set_value(std::move(plan));
+  } catch (...) {
+    job.promise.set_exception(std::current_exception());
+  }
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    ++shard.executed;
+    if (stolen) ++shard.steals;
+    shard.session_stats = shard.session->stats();
+    shard.cache_stats = shard.session->cache_stats();
+    shard.cache_entries = shard.session->PlanCacheSize();
+  }
+  {
+    std::lock_guard<std::mutex> lock(done_mu_);
+    ++completed_;
+  }
+  done_cv_.notify_all();
+}
+
+void SessionPool::WorkerLoop(size_t self) {
+  while (true) {
+    uint64_t seen;
+    {
+      std::lock_guard<std::mutex> lock(park_mu_);
+      seen = work_epoch_;
+    }
+    bool stolen = false;
+    std::unique_ptr<Job> job = NextJob(self, &stolen);
+    if (job) {
+      RunJob(self, *job, stolen);
+      continue;
+    }
+    // Nothing anywhere: park until an enqueue bumps the epoch. Reading the
+    // epoch before the scan makes the sleep missed-wakeup-free — a job
+    // enqueued after the read changes the epoch and the wait falls through.
+    std::unique_lock<std::mutex> lock(park_mu_);
+    park_cv_.wait(lock,
+                  [&] { return shutdown_ || work_epoch_ != seen; });
+    if (shutdown_) break;  // the destructor drained the queues already
+  }
+}
+
+}  // namespace spores

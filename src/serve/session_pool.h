@@ -1,0 +1,182 @@
+// Sharded serving pool: N worker threads, each owning one OptimizerSession
+// (shard), behind a canonical-form ShardRouter.
+//
+// Architecture ("When More Cores Hurts" is the cautionary tale — naive
+// shared-cache parallelism inverts scaling, so nothing mutable is shared):
+//
+//   Submit/BatchSubmit (any thread)
+//        │  route: canonicalize → hash fingerprint → home shard
+//        ▼
+//   per-shard MPSC queues ──► worker threads, one per shard
+//        │                      │  session.Optimize (shard-local e-graph,
+//        │ steal (back)         │  plan cache, cost memo, scheduler)
+//        └──────────────────────┘
+//
+//  * Shard affinity: isomorphic queries always route to the same shard, so
+//    its plan cache and warm e-graph serve them without re-saturating, and
+//    no two shards ever populate caches for the same key.
+//  * Work stealing: an idle worker takes the *oldest* job from the most
+//    backlogged other queue, but only from queues holding two or more — a
+//    lone queued job is left to its home worker (stealing it would race an
+//    idle home worker for no win and skip the cache warming below). Stolen
+//    jobs execute on the thief's session with the plan cache bypassed
+//    (QueryOptions::use_plan_cache=false) and the thief's warm shared
+//    e-graph protected (QueryOptions::preserve_shared_egraph — a foreign
+//    catalog saturates on a throwaway graph instead of resetting it):
+//    correctness is unaffected, the thief's shard-local state never
+//    degrades for its own traffic, and the home shard's cache is simply
+//    not warmed by that one job.
+//  * Batch dedupe: BatchSubmit groups a batch by canonical form (exact
+//    fingerprint + polyterm isomorphism) before enqueueing, so duplicate
+//    batch members ride one optimization and share one result.
+//
+// Every shared artifact (rules, e-matching trie, DimEnv) comes from the
+// read-only OptimizerContext; see optimizer_context.h for the audited
+// sharing contract. All pool methods are thread-safe.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/optimizer/optimizer_session.h"
+#include "src/serve/shard_router.h"
+
+namespace spores {
+
+struct PoolConfig {
+  size_t num_shards = 8;
+  /// Per-shard session config; defaults to the context's base_config.
+  std::optional<SessionConfig> session;
+  /// Allow idle workers to execute other shards' queued jobs.
+  bool enable_work_stealing = true;
+};
+
+/// One query for BatchSubmit. The catalog is shared-ptr'd because the job
+/// outlives the submit call (workers read it when the job runs).
+struct ServeRequest {
+  ExprPtr expr;
+  std::shared_ptr<const Catalog> catalog;
+};
+
+/// Per-shard observability snapshot.
+struct ShardStats {
+  size_t executed = 0;      ///< jobs run on this shard's session
+  size_t steals = 0;        ///< jobs this worker stole from other queues
+  size_t stolen_from = 0;   ///< jobs other workers took from this queue
+  size_t queue_depth = 0;   ///< jobs waiting at snapshot time
+  SessionStats session;     ///< the shard session's cumulative counters
+  PlanCacheStats cache;     ///< the shard plan cache's counters
+  size_t cache_entries = 0;
+};
+
+/// Pool-wide stats: per-shard snapshots plus batch-level counters.
+struct PoolStats {
+  std::vector<ShardStats> shards;
+  size_t submitted = 0;   ///< jobs enqueued (after dedupe)
+  size_t dedup_hits = 0;  ///< batch members that rode another member's job
+  size_t completed = 0;
+
+  /// Aggregates across shards (sums; hit rate recomputed from sums).
+  size_t TotalExecuted() const;
+  size_t TotalSteals() const;
+  double CacheHitRate() const;  ///< hits / (hits+misses) over all shards
+  std::string ToString() const;
+};
+
+/// The sharded serving layer. Construction spawns the workers; destruction
+/// drains every queue, then joins them (no job is abandoned — every future
+/// obtained from Submit/BatchSubmit becomes ready).
+class SessionPool {
+ public:
+  explicit SessionPool(std::shared_ptr<const OptimizerContext> context,
+                       PoolConfig config = {});
+  ~SessionPool();
+
+  SessionPool(const SessionPool&) = delete;
+  SessionPool& operator=(const SessionPool&) = delete;
+
+  /// Routes one query to its home shard and enqueues it. Thread-safe.
+  std::shared_future<OptimizedPlan> Submit(
+      ExprPtr expr, std::shared_ptr<const Catalog> catalog);
+
+  /// Routes a whole batch, deduping by canonical form first: members whose
+  /// canonical forms are isomorphic (and whose referenced inputs agree —
+  /// the fingerprint pins those) share one optimization. Returns one future
+  /// per request, index-aligned; duplicates share the representative's.
+  std::vector<std::shared_future<OptimizedPlan>> BatchSubmit(
+      const std::vector<ServeRequest>& batch);
+
+  /// Blocks until every job submitted so far has completed.
+  void Drain();
+
+  /// Snapshot of per-shard and pool-wide counters. Never blocks on a
+  /// running optimization (session stats are snapshotted by the worker
+  /// after each job).
+  PoolStats Stats() const;
+
+  size_t num_shards() const { return shards_.size(); }
+  const ShardRouter& router() const { return router_; }
+
+ private:
+  struct Job {
+    ExprPtr expr;
+    std::shared_ptr<const Catalog> catalog;
+    /// Router by-products (when canonicalizable): the executing session
+    /// probes/fills its cache with exactly this key and reuses the
+    /// translation on a miss, so a query is translated once end to end.
+    std::optional<PlanCacheKey> key;
+    std::optional<RaProgram> translation;
+    size_t home_shard = 0;
+    std::promise<OptimizedPlan> promise;
+  };
+
+  struct Shard {
+    mutable std::mutex mu;            ///< guards queue + snapshots below
+    std::deque<std::unique_ptr<Job>> queue;
+    size_t executed = 0;
+    size_t steals = 0;
+    size_t stolen_from = 0;
+    SessionStats session_stats;       ///< copied after each job
+    PlanCacheStats cache_stats;
+    size_t cache_entries = 0;
+    /// The session itself: touched only by the worker thread that owns
+    /// this shard (stolen jobs run on the *thief's* session).
+    std::unique_ptr<OptimizerSession> session;
+    std::thread worker;
+  };
+
+  std::shared_future<OptimizedPlan> Enqueue(std::unique_ptr<Job> job);
+  void WorkerLoop(size_t shard_index);
+  /// Pops the next job for worker `self`: own queue front first, else the
+  /// oldest job of the most backlogged other queue (work stealing).
+  std::unique_ptr<Job> NextJob(size_t self, bool* stolen);
+  void RunJob(size_t self, Job& job, bool stolen);
+
+  std::shared_ptr<const OptimizerContext> context_;
+  PoolConfig config_;
+  ShardRouter router_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  /// Parking lot: workers sleep here when every queue is empty; every
+  /// enqueue bumps the epoch (missed-wakeup-free sleep protocol).
+  mutable std::mutex park_mu_;
+  std::condition_variable park_cv_;
+  uint64_t work_epoch_ = 0;
+  bool shutdown_ = false;
+
+  /// Drain accounting.
+  mutable std::mutex done_mu_;
+  std::condition_variable done_cv_;
+  size_t submitted_ = 0;
+  size_t completed_ = 0;
+  size_t dedup_hits_ = 0;
+};
+
+}  // namespace spores

@@ -1,0 +1,63 @@
+#include "src/serve/shard_router.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "src/rules/rules_lr.h"
+#include "src/util/check.h"
+#include "src/util/timer.h"
+
+namespace spores {
+
+ShardRouter::ShardRouter(size_t num_shards,
+                         std::shared_ptr<const OptimizerContext> ctx)
+    : num_shards_(num_shards), context_(std::move(ctx)) {
+  SPORES_CHECK_GT(num_shards_, 0u);
+  SPORES_CHECK(context_ != nullptr);
+}
+
+uint64_t ShardRouter::HashBytes(const std::string& bytes) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+RouteDecision ShardRouter::Route(const ExprPtr& expr,
+                                 const Catalog& catalog) const {
+  Timer timer;
+  RouteDecision out;
+  // Same translation the executing session would run: deterministic
+  // attribute naming plus the shared DimEnv make the canonical form a pure
+  // function of (expr structure, catalog dims) regardless of which thread
+  // translates first.
+  out.program = TranslateLaToRa(expr, catalog, context_->dims());
+  if (out.program.ok()) {
+    out.key = BuildPlanCacheKey(expr, out.program.value(), catalog,
+                                *context_->dims());
+  } else {
+    out.key = out.program.status();
+  }
+  if (out.key.ok()) {
+    // The fingerprint is renaming-invariant (exact input metadata + the
+    // polyterm signature), so isomorphic queries share it — and the shard.
+    out.shard = HashBytes(out.key.value().fingerprint) % num_shards_;
+  } else {
+    // Canonicalization bypass: route on structure + the catalog signature
+    // (the session keys its shared e-graph on the same fingerprint).
+    // Isomorphism groups whose members are structurally distinct may split
+    // across shards, but each individual query still routes
+    // deterministically.
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(expr->Hash()));
+    out.shard = HashBytes(buf + CatalogSignature(catalog)) % num_shards_;
+  }
+  out.seconds = timer.Seconds();
+  return out;
+}
+
+}  // namespace spores

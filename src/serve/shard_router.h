@@ -1,0 +1,66 @@
+// Canonical-form shard routing.
+//
+// A serving deployment runs N shard-local optimizer sessions; which shard a
+// query lands on decides which plan cache and which warm e-graph it can
+// reuse. Routing on the query text would scatter isomorphic queries (every
+// resubmission draws fresh attribute names; equivalent queries can be
+// written differently) across shards, duplicating saturation work N ways.
+// The router therefore routes on the *canonical form*: it translates the
+// query, builds the same canonical-form cache key the plan cache uses, and
+// hashes the key's renaming-invariant fingerprint — so every member of an
+// isomorphism class maps to the same shard, and a shard's plan cache sees
+// a closed key population (the isolation the routing tests pin down).
+//
+// Queries whose RA term cannot be canonicalized (the plan cache bypasses
+// those too) fall back to hashing the expression's structural hash plus the
+// catalog fingerprint: still deterministic, just not isomorphism-stable.
+//
+// The by-product PlanCacheKey is returned with the route so the executing
+// session can skip re-canonicalizing (see QueryOptions::key) — on a warm
+// shard the whole optimize collapses to one cache probe.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/optimizer/optimizer_context.h"
+#include "src/optimizer/plan_cache.h"
+
+namespace spores {
+
+/// Routing decision for one query. The translation and key are by-products
+/// the executing session reuses (QueryOptions::{translation,key}) so a
+/// routed query is translated and canonicalized exactly once end to end.
+struct RouteDecision {
+  size_t shard = 0;
+  /// The canonical-form cache key (error == canonicalization bypass; the
+  /// query was routed on its structural fallback hash instead).
+  StatusOr<PlanCacheKey> key = Status::Unsupported("not routed");
+  /// The LA->RA translation the key was built from.
+  StatusOr<RaProgram> program = Status::Unsupported("not routed");
+  double seconds = 0.0;  ///< translate + canonicalize time spent routing
+};
+
+/// Stateless (beyond the shared context) and thread-safe: Route may be
+/// called from any number of submitter threads concurrently.
+class ShardRouter {
+ public:
+  ShardRouter(size_t num_shards, std::shared_ptr<const OptimizerContext> ctx);
+
+  size_t num_shards() const { return num_shards_; }
+
+  /// Routes one query. Deterministic: the same (expr, catalog) — or any
+  /// isomorphic rewriting of it — always maps to the same shard.
+  RouteDecision Route(const ExprPtr& expr, const Catalog& catalog) const;
+
+  /// Stable 64-bit FNV-1a (not std::hash: shard assignment should not
+  /// depend on the standard library's per-process salt).
+  static uint64_t HashBytes(const std::string& bytes);
+
+ private:
+  size_t num_shards_;
+  std::shared_ptr<const OptimizerContext> context_;
+};
+
+}  // namespace spores

@@ -1,6 +1,6 @@
 #include "src/util/symbol.h"
 
-#include <deque>
+#include <atomic>
 #include <mutex>
 #include <unordered_map>
 
@@ -10,26 +10,52 @@ namespace spores {
 
 namespace {
 
-// `strings` is a deque so element addresses are stable; `index` keys are
-// views into those elements.
+// The intern table serves two very different access patterns under
+// concurrency: Intern/Fresh (writes, rare after warmup, serialized by `mu`)
+// and str() (reads, on hot paths of every serving shard). Reads are
+// lock-free: interned strings live in fixed-size chunks whose addresses
+// never change, chunk pointers are published with release stores, and the
+// table size is release-published only after the new string is fully
+// constructed — so any reader that observes id < size (acquire) also
+// observes the string bytes. A shard can therefore stringify symbols
+// (catalog fingerprints, diagnostics) without contending with other shards'
+// translations interning fresh attribute names.
+constexpr size_t kChunkBits = 12;  // 4096 symbols per chunk
+constexpr size_t kChunkSize = size_t{1} << kChunkBits;
+constexpr size_t kMaxChunks = 1 << 14;  // 64M symbols: effectively unbounded
+
 struct InternTable {
-  std::mutex mu;
-  std::deque<std::string> strings;
+  std::mutex mu;  // guards writers: index, fresh_counter, chunk allocation
+  std::atomic<std::string*> chunks[kMaxChunks] = {};
+  std::atomic<uint32_t> size{0};
+  // Keys are views into the chunk-stored strings (stable addresses).
   std::unordered_map<std::string_view, uint32_t> index;
   uint64_t fresh_counter = 0;
 
-  InternTable() {
-    strings.emplace_back("");  // id 0 == empty symbol
-    index.emplace(std::string_view(strings.back()), 0);
-  }
+  InternTable() { InternLocked(""); }  // id 0 == empty symbol
 
   uint32_t InternLocked(std::string_view name) {
     auto it = index.find(name);
     if (it != index.end()) return it->second;
-    uint32_t id = static_cast<uint32_t>(strings.size());
-    strings.emplace_back(name);
-    index.emplace(std::string_view(strings.back()), id);
+    uint32_t id = size.load(std::memory_order_relaxed);
+    size_t chunk = id >> kChunkBits;
+    SPORES_CHECK_LT(chunk, kMaxChunks);
+    std::string* block = chunks[chunk].load(std::memory_order_relaxed);
+    if (block == nullptr) {
+      block = new std::string[kChunkSize];
+      chunks[chunk].store(block, std::memory_order_release);
+    }
+    block[id & (kChunkSize - 1)] = std::string(name);
+    size.store(id + 1, std::memory_order_release);
+    index.emplace(std::string_view(block[id & (kChunkSize - 1)]), id);
     return id;
+  }
+
+  const std::string& At(uint32_t id) const {
+    SPORES_CHECK_LT(id, size.load(std::memory_order_acquire));
+    const std::string* block =
+        chunks[id >> kChunkBits].load(std::memory_order_acquire);
+    return block[id & (kChunkSize - 1)];
   }
 };
 
@@ -58,11 +84,6 @@ Symbol Symbol::Fresh(std::string_view prefix) {
   }
 }
 
-const std::string& Symbol::str() const {
-  InternTable& t = Table();
-  std::lock_guard<std::mutex> lock(t.mu);
-  SPORES_CHECK_LT(id_, t.strings.size());
-  return t.strings[id_];
-}
+const std::string& Symbol::str() const { return Table().At(id_); }
 
 }  // namespace spores

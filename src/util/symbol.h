@@ -1,6 +1,11 @@
 // Interned strings. Symbols compare by integer id, which makes attribute
 // sets and operator payloads cheap to hash and compare. Interning is global
 // and append-only; Symbol values stay valid for the process lifetime.
+//
+// Fully thread-safe: Intern/Fresh serialize on the table mutex, and str()
+// is lock-free (interned strings live at stable addresses and are
+// release-published before their id escapes), so concurrent serving shards
+// can intern and stringify without contention.
 #pragma once
 
 #include <cstdint>
