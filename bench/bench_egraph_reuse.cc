@@ -61,6 +61,7 @@ const char* StopName(StopReason r) {
     case StopReason::kNodeLimit: return "node-limit";
     case StopReason::kTimeout: return "timeout";
     case StopReason::kStalled: return "stalled";
+    case StopReason::kCancelled: return "cancelled";
   }
   return "?";
 }

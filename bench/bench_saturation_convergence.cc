@@ -60,6 +60,8 @@ int main() {
         case StopReason::kIterationLimit: stop = "iter-limit"; break;
         case StopReason::kNodeLimit: stop = "NODE-LIMIT"; break;
         case StopReason::kTimeout: stop = "TIMEOUT"; break;
+        case StopReason::kStalled: stop = "stalled"; break;
+        case StopReason::kCancelled: stop = "cancelled"; break;
       }
       std::printf("%-11s %5d  %-12s %8zu %8zu %8zu %9.3f\n",
                   strategy == SaturationStrategy::kDepthFirst ? "depth-first"

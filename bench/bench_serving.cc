@@ -1,32 +1,51 @@
-// Serving-layer throughput: a sharded SessionPool vs one OptimizerSession
-// on a mixed Fig-15/16 workload (every program plus local-delta variants,
-// each resubmitted several times, deterministically shuffled — the shape of
-// repeated compile traffic a deployment sees).
+// Serving-layer throughput and latency: a sharded SessionPool vs one
+// OptimizerSession on a mixed Fig-15/16 workload (every program plus
+// local-delta variants, each resubmitted several times, deterministically
+// shuffled — the shape of repeated compile traffic a deployment sees).
 //
 // Both executions deliver the same query stream:
-//  * single  — one session, queries optimized sequentially in stream order.
+//  * single  — one session, queries optimized sequentially in stream order
+//    (blocking submission).
 //  * sharded — an OptimizerContext (rules + trie + DimEnv compiled once)
-//    behind a SessionPool: canonical-form routing, per-shard sessions,
-//    batch dedupe (the stream is submitted in batches), work stealing.
+//    behind a SessionPool consumed through the async API: canonical-form
+//    routing with load bias, per-shard sessions, batch dedupe (the stream
+//    is submitted in batches), work stealing, ServeFuture completion.
 //
 // Gates (exit 1 on violation):
 //  * identity — for every distinct query whose saturation converged in both
 //    executions (or was served from cache), extracted plan costs must be
-//    bit-identical. Timed-out/budget-bounded saturations are trajectory-
-//    dependent and reported but not gated (same policy as
-//    bench_egraph_reuse). This gate runs in every mode and hard-fails CI.
+//    bit-identical: unconstrained async submission must change NOTHING
+//    about optimization results vs blocking. Timed-out/budget-bounded
+//    saturations are trajectory-dependent and reported but not gated (same
+//    policy as bench_egraph_reuse). Runs in every mode; hard-fails CI.
+//  * deadline — jobs submitted already-expired must come back
+//    kDeadlineExceeded with ZERO optimizer invocations (they short-circuit
+//    at dequeue). Runs in every mode; hard-fails CI.
+//  * cancel — Cancel() on a job mid-saturation must complete it kCancelled
+//    well inside the saturation budget (the Runner exits via the token,
+//    not the clock). Runs in every mode; hard-fails CI.
 //  * speedup — aggregate throughput at >= 8 shards must be >= 3x the single
 //    session. Wall-clock speedup needs real cores: the gate only arms in
 //    full mode on hardware with >= 8 concurrent threads; under --smoke or
 //    on smaller machines it is report-only (wall-clock gates on loaded CI
 //    runners train people to ignore red CI).
 //
+// --latency additionally drives the stream through SubmitAsync with a
+// per-query deadline and reports completion-latency percentiles
+// (p50/p95/p99) and the deadline-miss rate — the tail-latency view the
+// async pipeline exists to control. Report-only: latency numbers on shared
+// hardware are not gateable.
+//
 // Flags:
-//   --smoke       reduced scales + reps, identity gate only (CI-friendly)
-//   --shards N    pool size (default 8)
-//   --json FILE   write all measurements as JSON
+//   --smoke         reduced scales + reps (CI-friendly)
+//   --shards N      pool size (default 8)
+//   --latency       run the deadline/latency phase too
+//   --deadline S    per-query deadline for --latency (default 2.0)
+//   --json FILE     write all measurements as JSON
+#include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <mutex>
 #include <thread>
 
 #include "bench/bench_common.h"
@@ -83,14 +102,42 @@ std::vector<DistinctQuery> BuildDistinct(bool smoke) {
   return out;
 }
 
+// The shared non-converging blocker workload (src/workloads/programs.h,
+// also serve_test's async blocker): the cancel gate needs a worker that
+// is reliably still busy when Cancel() lands.
+ExprPtr HeavyQuery() { return NonConvergingChainExpr(); }
+
+std::shared_ptr<const Catalog> HeavyCatalog() {
+  return std::make_shared<Catalog>(NonConvergingCatalog());
+}
+
+double Percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  double idx = p * static_cast<double>(sorted.size() - 1);
+  size_t lo = static_cast<size_t>(idx);
+  size_t hi = std::min(lo + 1, sorted.size() - 1);
+  double frac = idx - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  bool latency_mode = false;
+  double latency_deadline = 2.0;
   size_t num_shards = 8;
   const char* json_path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--latency") == 0) latency_mode = true;
+    if (std::strcmp(argv[i], "--deadline") == 0 && i + 1 < argc) {
+      latency_deadline = std::atof(argv[++i]);
+      if (latency_deadline <= 0) {
+        std::fprintf(stderr, "--deadline must be positive\n");
+        return 1;
+      }
+    }
     if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
       long parsed = std::atol(argv[++i]);
       if (parsed < 1 || parsed > 1024) {
@@ -136,14 +183,15 @@ int main(int argc, char** argv) {
   cfg.runner.strategy = SaturationStrategy::kSampling;
   cfg.extraction = ExtractionStrategy::kGreedy;
 
-  std::printf("Serving layer: %zu-shard SessionPool vs single session.\n",
-              num_shards);
+  std::printf("Serving layer: %zu-shard SessionPool (async) vs single "
+              "session (blocking).\n", num_shards);
   std::printf("%zu distinct queries x %d repeats = %zu stream entries, "
-              "batches of %zu, hw threads %u%s\n\n",
+              "batches of %zu, hw threads %u%s%s\n\n",
               distinct.size(), kRepeats, stream.size(), kBatch,
-              std::thread::hardware_concurrency(), smoke ? " [smoke]" : "");
+              std::thread::hardware_concurrency(), smoke ? " [smoke]" : "",
+              latency_mode ? " [latency]" : "");
 
-  // ---- Single session, sequential ----
+  // ---- Single session, sequential (blocking submission) ----
   std::vector<Outcome> single(distinct.size());
   Timer t;
   {
@@ -155,9 +203,9 @@ int main(int argc, char** argv) {
   }
   double single_seconds = t.Seconds();
 
-  // ---- Sharded pool, batched ----
+  // ---- Sharded pool, batched async submission, no deadlines ----
   std::vector<Outcome> sharded(distinct.size());
-  size_t steals = 0, dedup_hits = 0;
+  size_t steals = 0, dedup_hits = 0, pregroup_hits = 0;
   double cache_hit_rate = 0.0;
   std::string pool_stats_text;
   t.Reset();
@@ -166,7 +214,7 @@ int main(int argc, char** argv) {
     PoolConfig pool_cfg;
     pool_cfg.num_shards = num_shards;
     SessionPool pool(context, pool_cfg);
-    std::vector<std::shared_future<OptimizedPlan>> futures;
+    std::vector<ServeFuture<OptimizedPlan>> futures;
     std::vector<size_t> future_query(stream.size());
     for (size_t begin = 0; begin < stream.size(); begin += kBatch) {
       size_t end = std::min(begin + kBatch, stream.size());
@@ -182,7 +230,13 @@ int main(int argc, char** argv) {
       }
     }
     for (size_t i = 0; i < futures.size(); ++i) {
-      sharded[future_query[i]].Observe(futures[i].get());
+      const StatusOr<OptimizedPlan>& result = futures[i].get();
+      if (!result.ok()) {
+        std::fprintf(stderr, "FAIL: unconstrained async job errored: %s\n",
+                     result.status().ToString().c_str());
+        return 1;
+      }
+      sharded[future_query[i]].Observe(result.value());
     }
     // The last futures resolve before their workers bump the counters;
     // Drain orders the snapshot after every stat update.
@@ -190,12 +244,13 @@ int main(int argc, char** argv) {
     PoolStats stats = pool.Stats();
     steals = stats.TotalSteals();
     dedup_hits = stats.dedup_hits;
+    pregroup_hits = stats.pregroup_hits;
     cache_hit_rate = stats.CacheHitRate();
     pool_stats_text = stats.ToString();
   }
   double sharded_seconds = t.Seconds();
 
-  // ---- Identity gate ----
+  // ---- Identity gate (async-vs-blocking plan costs) ----
   size_t compared = 0, mismatches = 0, skipped = 0;
   std::printf("%-11s %14s %14s  %s\n", "query", "single-cost", "sharded-cost",
               "identity");
@@ -224,12 +279,137 @@ int main(int argc, char** argv) {
 
   double speedup = sharded_seconds > 0 ? single_seconds / sharded_seconds : 0;
   std::printf("\nsingle %.2fs vs sharded %.2fs: %.2fx aggregate throughput "
-              "(%zu steals, %zu batch-dedup hits, pool cache hit rate %.2f)\n",
+              "(%zu steals, %zu batch-dedup + %zu pre-group hits, pool "
+              "cache hit rate %.2f)\n",
               single_seconds, sharded_seconds, speedup, steals, dedup_hits,
-              cache_hit_rate);
+              pregroup_hits, cache_hit_rate);
   std::printf("%zu/%zu converged distinct queries cost-identical, "
               "%zu not gated\n\n", compared - mismatches, compared, skipped);
   std::printf("%s", pool_stats_text.c_str());
+
+  // ---- Deadline gate: expired jobs short-circuit at dequeue ----
+  size_t expired_ok = 0, expired_wrong_status = 0, expired_optimized = 0;
+  const size_t kExpiredJobs = 6;
+  {
+    auto context = std::make_shared<const OptimizerContext>(cfg);
+    PoolConfig pool_cfg;
+    pool_cfg.num_shards = std::min<size_t>(num_shards, 2);
+    SessionPool pool(context, pool_cfg);
+    std::vector<ServeFuture<OptimizedPlan>> futures;
+    for (size_t i = 0; i < kExpiredJobs; ++i) {
+      const DistinctQuery& q = distinct[i % distinct.size()];
+      ServeRequest request;
+      request.expr = q.expr;
+      request.catalog = q.catalog;
+      request.deadline = Deadline::AfterSeconds(-1.0);  // expired on arrival
+      futures.push_back(pool.SubmitAsync(request));
+    }
+    pool.Drain();
+    for (const auto& f : futures) {
+      if (f.get().status().code() == StatusCode::kDeadlineExceeded) {
+        ++expired_ok;
+      } else {
+        ++expired_wrong_status;
+      }
+    }
+    // Fresh pool: the sessions' query counters ARE the total number of
+    // Optimize invocations — the gate requires zero.
+    PoolStats stats = pool.Stats();
+    expired_optimized = 0;
+    for (const ShardStats& s : stats.shards) {
+      expired_optimized += s.session.queries;
+    }
+  }
+  std::printf("\ndeadline gate: %zu/%zu expired jobs -> kDeadlineExceeded, "
+              "%zu optimizer invocations (must be 0)\n",
+              expired_ok, kExpiredJobs, expired_optimized);
+
+  // ---- Cancel gate: the Runner exits via the token mid-saturation ----
+  bool cancel_busy_seen = false, cancel_completed = false;
+  bool cancel_status_ok = false;
+  double cancel_latency = -1.0;
+  {
+    SessionConfig heavy_cfg = cfg;
+    heavy_cfg.runner.timeout_seconds = 20.0;  // the budget cancel must beat
+    heavy_cfg.runner.max_iterations = 1'000'000;
+    heavy_cfg.runner.max_nodes = 100'000'000;
+    auto context = std::make_shared<const OptimizerContext>(heavy_cfg);
+    PoolConfig pool_cfg;
+    pool_cfg.num_shards = 1;
+    SessionPool pool(context, pool_cfg);
+    auto future = pool.Submit(HeavyQuery(), HeavyCatalog());
+    Timer busy_wait;
+    while (busy_wait.Seconds() < 5.0) {
+      if (pool.Stats().shards[0].busy) {
+        cancel_busy_seen = true;
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    Timer cancel_timer;
+    future.Cancel();
+    cancel_completed = future.WaitFor(10.0);
+    if (cancel_completed) {
+      cancel_latency = cancel_timer.Seconds();
+      cancel_status_ok =
+          future.get().status().code() == StatusCode::kCancelled;
+    }
+    pool.Drain();
+  }
+  std::printf("cancel gate: busy=%d completed=%d status_cancelled=%d "
+              "latency=%.3fs (saturation budget 20s)\n",
+              cancel_busy_seen ? 1 : 0, cancel_completed ? 1 : 0,
+              cancel_status_ok ? 1 : 0, cancel_latency);
+
+  // ---- Latency phase (--latency): deadlines on, percentile report ----
+  size_t lat_total = 0, lat_missed = 0, lat_degraded = 0, lat_rejected = 0;
+  double p50 = 0, p95 = 0, p99 = 0;
+  if (latency_mode) {
+    auto context = std::make_shared<const OptimizerContext>(cfg);
+    PoolConfig pool_cfg;
+    pool_cfg.num_shards = num_shards;
+    SessionPool pool(context, pool_cfg);
+    std::mutex mu;
+    std::vector<double> latencies;
+    for (size_t i = 0; i < stream.size(); ++i) {
+      const DistinctQuery& q = distinct[stream[i]];
+      ServeRequest request;
+      request.expr = q.expr;
+      request.catalog = q.catalog;
+      request.deadline = Deadline::AfterSeconds(latency_deadline);
+      Timer submit_timer;
+      auto future = pool.SubmitAsync(request);
+      future.then([&, submit_timer](const StatusOr<OptimizedPlan>& r) {
+        std::lock_guard<std::mutex> lock(mu);
+        latencies.push_back(submit_timer.Seconds());
+        ++lat_total;
+        if (!r.ok()) {
+          if (r.status().code() == StatusCode::kDeadlineExceeded) {
+            ++lat_missed;
+          } else if (r.status().code() == StatusCode::kResourceExhausted) {
+            ++lat_rejected;
+          }
+        } else if (r.value().degraded) {
+          ++lat_degraded;
+        }
+      });
+    }
+    pool.Drain();
+    std::lock_guard<std::mutex> lock(mu);
+    std::sort(latencies.begin(), latencies.end());
+    p50 = Percentile(latencies, 0.50);
+    p95 = Percentile(latencies, 0.95);
+    p99 = Percentile(latencies, 0.99);
+    std::printf("\nlatency (deadline %.2fs, %zu jobs): p50 %.1fms, p95 "
+                "%.1fms, p99 %.1fms; %zu deadline-missed (%.1f%%), %zu "
+                "degraded, %zu rejected\n",
+                latency_deadline, lat_total, p50 * 1e3, p95 * 1e3, p99 * 1e3,
+                lat_missed,
+                lat_total ? 100.0 * static_cast<double>(lat_missed) /
+                                static_cast<double>(lat_total)
+                          : 0.0,
+                lat_degraded, lat_rejected);
+  }
 
   if (json) {
     std::fprintf(
@@ -239,13 +419,32 @@ int main(int argc, char** argv) {
         "  \"distinct_queries\": %zu,\n  \"stream_entries\": %zu,\n"
         "  \"single_seconds\": %.6f,\n  \"sharded_seconds\": %.6f,\n"
         "  \"speedup\": %.3f,\n  \"steals\": %zu,\n"
-        "  \"batch_dedup_hits\": %zu,\n  \"cache_hit_rate\": %.4f,\n"
+        "  \"batch_dedup_hits\": %zu,\n  \"batch_pregroup_hits\": %zu,\n"
+        "  \"cache_hit_rate\": %.4f,\n"
         "  \"identity_compared\": %zu,\n  \"identity_mismatches\": %zu,\n"
-        "  \"identity_skipped\": %zu\n}\n",
+        "  \"identity_skipped\": %zu,\n"
+        "  \"expired_jobs\": %zu,\n  \"expired_deadline_exceeded\": %zu,\n"
+        "  \"expired_optimizer_invocations\": %zu,\n"
+        "  \"cancel_completed\": %s,\n  \"cancel_status_ok\": %s,\n"
+        "  \"cancel_latency_seconds\": %.4f,\n"
+        "  \"latency_mode\": %s,\n  \"latency_deadline_seconds\": %.3f,\n"
+        "  \"latency_jobs\": %zu,\n  \"latency_p50_ms\": %.3f,\n"
+        "  \"latency_p95_ms\": %.3f,\n  \"latency_p99_ms\": %.3f,\n"
+        "  \"deadline_missed\": %zu,\n  \"deadline_miss_rate\": %.4f,\n"
+        "  \"degraded_plans\": %zu,\n  \"admission_rejected\": %zu\n}\n",
         smoke ? "true" : "false", num_shards,
         std::thread::hardware_concurrency(), distinct.size(), stream.size(),
         single_seconds, sharded_seconds, speedup, steals, dedup_hits,
-        cache_hit_rate, compared, mismatches, skipped);
+        pregroup_hits, cache_hit_rate, compared, mismatches, skipped,
+        kExpiredJobs, expired_ok, expired_optimized,
+        cancel_completed ? "true" : "false",
+        cancel_status_ok ? "true" : "false", cancel_latency,
+        latency_mode ? "true" : "false", latency_deadline, lat_total,
+        p50 * 1e3, p95 * 1e3, p99 * 1e3, lat_missed,
+        lat_total ? static_cast<double>(lat_missed) /
+                        static_cast<double>(lat_total)
+                  : 0.0,
+        lat_degraded, lat_rejected);
     std::fclose(json);
   }
 
@@ -258,6 +457,26 @@ int main(int argc, char** argv) {
   }
   if (compared == 0) {
     std::fprintf(stderr, "FAIL: no identity comparisons ran\n");
+    rc = 1;
+  }
+  if (expired_ok != kExpiredJobs || expired_wrong_status > 0) {
+    std::fprintf(stderr,
+                 "FAIL: %zu/%zu expired jobs returned kDeadlineExceeded\n",
+                 expired_ok, kExpiredJobs);
+    rc = 1;
+  }
+  if (expired_optimized > 0) {
+    std::fprintf(stderr,
+                 "FAIL: expired jobs triggered %zu optimizer invocations\n",
+                 expired_optimized);
+    rc = 1;
+  }
+  if (!cancel_busy_seen || !cancel_completed || !cancel_status_ok) {
+    std::fprintf(stderr,
+                 "FAIL: cancel gate (busy=%d completed=%d status=%d) — the "
+                 "runner did not exit via the token\n",
+                 cancel_busy_seen ? 1 : 0, cancel_completed ? 1 : 0,
+                 cancel_status_ok ? 1 : 0);
     rc = 1;
   }
   bool gate_speedup = !smoke && num_shards >= 8 &&

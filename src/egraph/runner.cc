@@ -16,6 +16,7 @@ std::string RunnerReport::ToString() const {
     case StopReason::kNodeLimit: os << "node-limit"; break;
     case StopReason::kTimeout: os << "timeout"; break;
     case StopReason::kStalled: os << "stalled"; break;
+    case StopReason::kCancelled: os << "cancelled"; break;
   }
   os << " after " << iterations << " iters, " << applied_matches
      << " matches applied, " << final_nodes << " nodes / " << final_classes
@@ -58,6 +59,17 @@ Runner::Runner(EGraph* egraph, const std::vector<Rewrite>* rules,
 RunnerReport Runner::Run() {
   Timer timer;
   RunnerReport report;
+  // One budget predicate for every checkpoint: wall clock or external
+  // cancellation. `cancelled` distinguishes the stop reason afterwards;
+  // with an inert token this is exactly the old timeout check.
+  bool cancelled = false;
+  auto out_of_budget = [&]() {
+    if (config_.cancel.cancelled()) {
+      cancelled = true;
+      return true;
+    }
+    return timer.Seconds() > config_.timeout_seconds;
+  };
   const size_t num_rules = rules_->size();
   report.rules.resize(num_rules);
   for (size_t i = 0; i < num_rules; ++i) {
@@ -199,7 +211,7 @@ RunnerReport Runner::Run() {
         // compile-budget clock honest without a syscall per class.
         if (++since_clock_check >= 64) {
           since_clock_check = 0;
-          if (timer.Seconds() > config_.timeout_seconds) {
+          if (out_of_budget()) {
             timed_out = true;
             break;
           }
@@ -221,7 +233,7 @@ RunnerReport Runner::Run() {
       for (size_t ri = 0; ri < num_rules; ++ri) {
         // A single expansive rule can blow the compile budget from inside
         // one iteration; check the clock between rules.
-        if (timer.Seconds() > config_.timeout_seconds) {
+        if (out_of_budget()) {
           timed_out = true;
           rules_matched = ri;
           break;
@@ -351,7 +363,7 @@ RunnerReport Runner::Run() {
           apply_truncated = true;
           break;
         }
-        if (timer.Seconds() > config_.timeout_seconds) timed_out = true;
+        if (out_of_budget()) timed_out = true;
       }
     }
     egraph_->Rebuild();
@@ -364,7 +376,8 @@ RunnerReport Runner::Run() {
     }
 
     if (timed_out) {
-      report.stop_reason = StopReason::kTimeout;
+      report.stop_reason =
+          cancelled ? StopReason::kCancelled : StopReason::kTimeout;
       break;
     }
     if (egraph_->Version() == version_before) {
@@ -386,8 +399,9 @@ RunnerReport Runner::Run() {
       report.stop_reason = StopReason::kNodeLimit;
       break;
     }
-    if (timer.Seconds() > config_.timeout_seconds) {
-      report.stop_reason = StopReason::kTimeout;
+    if (out_of_budget()) {
+      report.stop_reason =
+          cancelled ? StopReason::kCancelled : StopReason::kTimeout;
       break;
     }
     if (iter + 1 == config_.max_iterations) {

@@ -23,6 +23,7 @@
 #include "src/egraph/pattern_program.h"
 #include "src/egraph/rewrite.h"
 #include "src/egraph/scheduler.h"
+#include "src/util/cancellation.h"
 #include "src/util/rng.h"
 #include "src/util/timer.h"
 
@@ -47,6 +48,11 @@ enum class StopReason {
   /// graph stable: no more progress is reachable without another full
   /// re-match, and those stopped paying off.
   kStalled,
+  /// RunnerConfig::cancel was triggered: the caller gave up on this work
+  /// (a served query's future was cancelled). Observed at the same
+  /// checkpoints as the timeout, so in-flight saturation stops within one
+  /// check interval instead of running out its full budget.
+  kCancelled,
 };
 
 struct RunnerConfig {
@@ -60,6 +66,10 @@ struct RunnerConfig {
   /// resuming saturation on a session's long-lived graph.
   bool node_limit_is_growth = false;
   double timeout_seconds = 2.5;       ///< the paper's compile-time budget
+  /// External cancellation, polled wherever the timeout is polled; when
+  /// triggered the run stops with kCancelled. Inert by default (serving
+  /// passes each job's token so Cancel() stops in-flight saturation).
+  CancelToken cancel;
   uint64_t seed = 42;
   bool enable_backoff = true;         ///< rule-level exponential backoff
   bool incremental_matching = true;   ///< skip classes unchanged since last search

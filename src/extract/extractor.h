@@ -17,6 +17,7 @@
 
 #include "src/cost/cost_model.h"
 #include "src/egraph/egraph.h"
+#include "src/util/cancellation.h"
 
 namespace spores {
 
@@ -41,6 +42,10 @@ struct IlpExtractConfig {
   /// exhaustion the greedy warm-start plan is returned, marked non-optimal.
   double timeout_seconds = 2.0;
   size_t max_cycle_cuts = 64;
+  /// External cancellation, forwarded into every branch-and-bound solve and
+  /// checked between cycle-cut rounds; treated like budget exhaustion (the
+  /// greedy warm-start plan is returned, marked non-optimal).
+  CancelToken cancel;
 };
 
 /// ILP-based extraction (DAG cost; shared operators charged once). `memo`

@@ -160,6 +160,7 @@ StatusOr<ExtractionResult> IlpExtract(const EGraph& egraph, ClassId root,
   // config.timeout_seconds is the TOTAL extraction budget; each solve round
   // gets whatever remains.
   scfg.timeout_seconds = config.timeout_seconds;
+  scfg.cancel = config.cancel;
   // Warm-start pruning with the greedy solution's cost: greedy tree cost is
   // an upper bound on the optimal DAG cost.
   StatusOr<ExtractionResult> greedy = GreedyExtract(egraph, root, cost, memo);
@@ -170,7 +171,7 @@ StatusOr<ExtractionResult> IlpExtract(const EGraph& egraph, ClassId root,
 
   for (size_t round = 0; round <= config.max_cycle_cuts; ++round) {
     scfg.timeout_seconds = config.timeout_seconds - timer.Seconds();
-    if (scfg.timeout_seconds <= 0) break;
+    if (scfg.timeout_seconds <= 0 || config.cancel.cancelled()) break;
     IlpResult sol = SolveIlp(enc.model, scfg);
     if (!sol.feasible) {
       // Either the solve timed out before finding an incumbent (large

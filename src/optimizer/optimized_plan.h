@@ -52,6 +52,13 @@ struct OptimizedPlan {
   bool cache_hit = false;      ///< served from the canonical-form plan cache
   bool used_fallback = false;  ///< a stage failed; plan == (fused) input
   std::string fallback_reason;
+  /// Deadline pressure changed the pipeline for this query: saturation was
+  /// clamped below its configured budget and cut short, or ILP extraction
+  /// was skipped for greedy. The plan is still valid and cost-improving —
+  /// just not the plan an unconstrained run would have produced — so
+  /// degraded plans are never inserted into the plan cache.
+  bool degraded = false;
+  std::string degrade_reason;
   StageTimings timings;
   RunnerReport saturation;     ///< zero-valued on cache hits and fallbacks
   /// All extraction choices computed this call (chosen one first). Contains

@@ -67,6 +67,15 @@ struct SessionConfig {
   size_t egraph_node_budget = 50000;
   /// How many recent query roots survive a Compact().
   size_t max_live_roots = 12;
+  /// Deadline steering (only active for queries that carry a Deadline in
+  /// their QueryOptions::budget). Saturation may spend at most this share
+  /// of the remaining budget — the rest is reserved for extraction and
+  /// lowering, so a deadline cannot be eaten whole before a plan exists.
+  double saturate_deadline_fraction = 0.7;
+  /// Remaining budget below which ILP extraction degrades to greedy (the
+  /// branch-and-bound solve is the one stage that can't produce a partial
+  /// answer fast); recorded as OptimizedPlan::degraded provenance.
+  double ilp_min_remaining_seconds = 0.05;
 };
 
 /// Compile-once, share-everywhere optimizer state. Construct one, hand a

@@ -146,7 +146,8 @@ void OptimizerSession::RecordRoot(ClassId root) {
 
 StatusOr<Saturation> OptimizerSession::Saturate(const Translation& t,
                                                 const Catalog& catalog,
-                                                bool preserve_shared_graph) {
+                                                bool preserve_shared_graph,
+                                                const StageBudget& budget) {
   if (!t.program.ra) {
     return Status::InvalidArgument("Saturate: empty translation");
   }
@@ -156,6 +157,18 @@ StatusOr<Saturation> OptimizerSession::Saturate(const Translation& t,
   // query reproduces the configured seed exactly, later ones offset it.
   RunnerConfig runner_config = config_.runner;
   runner_config.seed = config_.runner.seed + saturation_count_++;
+  runner_config.cancel = budget.cancel;
+  if (budget.deadline.has_deadline()) {
+    // Saturation gets its configured budget or its share of what remains of
+    // the query's deadline, whichever is smaller — the reserved remainder
+    // keeps extraction and lowering inside the deadline too.
+    double remaining = std::max(budget.deadline.RemainingSeconds(), 0.0);
+    double derived = remaining * config_.saturate_deadline_fraction;
+    if (derived < runner_config.timeout_seconds) {
+      runner_config.timeout_seconds = derived;
+      s.deadline_clamped = true;
+    }
+  }
 
   bool use_shared = config_.reuse_egraph;
   std::string sig;
@@ -210,7 +223,8 @@ StatusOr<Saturation> OptimizerSession::Saturate(const Translation& t,
 
 StatusOr<Extraction> OptimizerSession::Extract(const Saturation& s,
                                                const Translation& t,
-                                               const Catalog& catalog) const {
+                                               const Catalog& catalog,
+                                               const StageBudget& budget) const {
   if (!s.egraph) {
     return Status::InvalidArgument("Extract: empty saturation");
   }
@@ -224,10 +238,27 @@ StatusOr<Extraction> OptimizerSession::Extract(const Saturation& s,
       (graph_ && s.egraph.get() == graph_->egraph.get()) ? &graph_->cost_memo
                                                          : nullptr;
 
+  // Deadline steering: the ILP solve is clamped to the remaining budget,
+  // and skipped outright (greedy instead) when too little remains for
+  // branch-and-bound to beat its own warm start. Greedy is not clamped —
+  // it is the degraded path itself and completes in one bottom-up pass.
+  IlpExtractConfig ilp_config = config_.ilp;
+  ilp_config.cancel = budget.cancel;
+  bool degrade_ilp = false;
+  bool ilp_clamped = false;
+  if (budget.deadline.has_deadline()) {
+    double remaining = std::max(budget.deadline.RemainingSeconds(), 0.0);
+    if (remaining < ilp_config.timeout_seconds) {
+      ilp_config.timeout_seconds = remaining;
+      ilp_clamped = true;
+    }
+    if (remaining < config_.ilp_min_remaining_seconds) degrade_ilp = true;
+  }
+
   auto run_one = [&](ExtractionStrategy strategy) -> StatusOr<PlanChoice> {
     StatusOr<ExtractionResult> extracted =
         strategy == ExtractionStrategy::kIlp
-            ? IlpExtract(*s.egraph, s.root, cost, config_.ilp, memo)
+            ? IlpExtract(*s.egraph, s.root, cost, ilp_config, memo)
             : GreedyExtract(*s.egraph, s.root, cost, memo);
     if (!extracted.ok()) return extracted.status();
     PlanChoice choice;
@@ -245,14 +276,43 @@ StatusOr<Extraction> OptimizerSession::Extract(const Saturation& s,
   };
 
   Extraction result;
-  SPORES_ASSIGN_OR_RETURN(result.chosen, run_one(config_.extraction));
+  ExtractionStrategy chosen_strategy = config_.extraction;
+  if (chosen_strategy == ExtractionStrategy::kIlp && degrade_ilp) {
+    chosen_strategy = ExtractionStrategy::kGreedy;
+    result.degraded_to_greedy = true;
+  }
+  SPORES_ASSIGN_OR_RETURN(result.chosen, run_one(chosen_strategy));
+  // A deadline-clamped solve that then failed to prove optimality may be
+  // weaker than an unconstrained run's plan — degradation provenance, so
+  // it is never cached. (A full-budget non-optimal ILP is NOT degraded:
+  // that is the configured budget doing its job, deterministically.)
+  if (chosen_strategy == ExtractionStrategy::kIlp && ilp_clamped &&
+      !result.chosen.optimal) {
+    result.deadline_limited_ilp = true;
+  }
   result.alternatives.push_back(result.chosen);
-  if (config_.collect_alternatives) {
-    ExtractionStrategy other = config_.extraction == ExtractionStrategy::kIlp
+  // Alternatives are a luxury a degraded query can't afford: when the
+  // deadline ruled ILP out (degrade_ilp), the alternative pass would be
+  // that very solve — regardless of which strategy was chosen.
+  if (config_.collect_alternatives && !result.degraded_to_greedy) {
+    ExtractionStrategy other = chosen_strategy == ExtractionStrategy::kIlp
                                    ? ExtractionStrategy::kGreedy
                                    : ExtractionStrategy::kIlp;
-    StatusOr<PlanChoice> alt = run_one(other);
-    if (alt.ok()) result.alternatives.push_back(std::move(alt).value());
+    if (other == ExtractionStrategy::kIlp && degrade_ilp) {
+      result.alternatives_suppressed = true;
+    } else {
+      StatusOr<PlanChoice> alt = run_one(other);
+      if (alt.ok()) {
+        // A deadline-clamped alternative ILP that failed to prove
+        // optimality weakens the alternatives list the same way it would
+        // weaken a chosen plan — provenance, so the result is not cached.
+        if (other == ExtractionStrategy::kIlp && ilp_clamped &&
+            !alt.value().optimal) {
+          result.deadline_limited_ilp = true;
+        }
+        result.alternatives.push_back(std::move(alt).value());
+      }
+    }
   }
   result.seconds = timer.Seconds();
   return result;
@@ -367,10 +427,30 @@ OptimizedPlan OptimizerSession::Optimize(const ExprPtr& expr,
     ++stats_.cache_misses;
   }
 
+  // ---- Budget checkpoint ----
+  // Past the cache probes: from here on the query does real work. A dead
+  // budget (cancelled, or deadline fully expired before saturation began)
+  // falls back to the input immediately — the fallback is the degenerate
+  // degraded plan, produced for free.
+  if (options.budget.cancel.cancelled()) {
+    return Fallback(expr, Status::Cancelled("query cancelled before work"),
+                    std::move(out));
+  }
+  if (options.budget.deadline.Expired()) {
+    // This fallback IS deadline degradation (the caller gets the raw
+    // input); mark it so ok()-path consumers branching on `degraded` —
+    // and the latency bench's accounting — see the miss.
+    out.degraded = true;
+    out.degrade_reason = "deadline expired before optimization";
+    return Fallback(expr,
+                    Status::DeadlineExceeded("deadline expired before work"),
+                    std::move(out));
+  }
+
   // ---- Saturate ----
   stage.Reset();
   StatusOr<Saturation> saturated =
-      Saturate(t, catalog, options.preserve_shared_egraph);
+      Saturate(t, catalog, options.preserve_shared_egraph, options.budget);
   ++stats_.saturations;
   out.timings.saturate_seconds =
       saturated.ok() ? saturated.value().seconds : stage.Seconds();
@@ -380,26 +460,61 @@ OptimizedPlan OptimizerSession::Optimize(const ExprPtr& expr,
   const Saturation& s = saturated.value();
   out.saturation = s.report;
   out.original_cost = s.original_cost;
+  if (s.report.stop_reason == StopReason::kCancelled) {
+    // The runner exited via the token mid-saturation; nothing downstream
+    // should spend budget on a result nobody wants.
+    return Fallback(expr, Status::Cancelled("saturation cancelled"),
+                    std::move(out));
+  }
+  if (s.deadline_clamped && s.report.stop_reason == StopReason::kTimeout) {
+    out.degraded = true;
+    out.degrade_reason = "deadline clamped saturation budget";
+  }
 
   // ---- Extract (+ lower) ----
   stage.Reset();
-  StatusOr<Extraction> extracted = Extract(s, t, catalog);
+  StatusOr<Extraction> extracted = Extract(s, t, catalog, options.budget);
   out.timings.extract_seconds =
       extracted.ok() ? extracted.value().seconds : stage.Seconds();
   if (!extracted.ok()) {
     return Fallback(expr, extracted.status(), std::move(out));
   }
   Extraction& e = extracted.value();
+  // Cancellation inside extraction surfaces as an ok() result (the ILP
+  // solver treats the token as budget exhaustion and falls back to its
+  // greedy warm start) — catch it here so a cancellation-truncated plan is
+  // neither returned as normal nor cached.
+  if (options.budget.cancel.cancelled()) {
+    return Fallback(expr, Status::Cancelled("extraction cancelled"),
+                    std::move(out));
+  }
   out.plan_cost = e.chosen.cost;
   out.optimal = e.chosen.optimal;
   out.alternatives = std::move(e.alternatives);
+  auto add_degrade = [&out](const char* reason) {
+    out.degraded = true;
+    if (!out.degrade_reason.empty()) out.degrade_reason += "; ";
+    out.degrade_reason += reason;
+  };
+  if (e.degraded_to_greedy) {
+    add_degrade("deadline skipped ILP, greedy extraction");
+  }
+  if (e.deadline_limited_ilp) {
+    add_degrade("deadline clamped ILP budget, optimality unproven");
+  }
+  if (e.alternatives_suppressed) {
+    add_degrade("deadline suppressed alternative extraction");
+  }
 
   // ---- Fuse ----
   stage.Reset();
   out.plan = config_.apply_fusion ? Fuse(e.chosen.la) : e.chosen.la;
   out.timings.fuse_seconds = stage.Seconds();
 
-  if (use_cache && key) {
+  // Degraded plans are deliberately not cached: the cache must only serve
+  // what an unconstrained run would have produced, or one rushed query
+  // would pin its weaker plan for every future isomorphic query.
+  if (use_cache && key && !out.degraded) {
     cache_.Insert(*key, out);
   }
   return out;

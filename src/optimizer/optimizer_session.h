@@ -52,8 +52,21 @@
 #include "src/optimizer/optimizer_context.h"
 #include "src/optimizer/plan_cache.h"
 #include "src/rules/rules_lr.h"
+#include "src/util/cancellation.h"
+#include "src/util/deadline.h"
 
 namespace spores {
+
+/// Per-query wall-clock/cancellation budget, threaded from the serving
+/// layer through every pipeline stage: Saturate derives its runner timeout
+/// from the remaining deadline, extraction clamps (or skips) the ILP solve,
+/// and the cancel token reaches the saturation runner's and branch-and-
+/// bound's budget checkpoints, so Cancel() stops in-flight work. Default:
+/// no deadline, inert token — exactly the unconstrained pipeline.
+struct StageBudget {
+  Deadline deadline;
+  CancelToken cancel;
+};
 
 /// Result of the Translate stage.
 struct Translation {
@@ -71,6 +84,10 @@ struct Saturation {
   std::shared_ptr<EGraph> egraph;
   ClassId root = kInvalidClassId;
   bool reused_graph = false;  ///< saturation resumed on a warm shared graph
+  /// The query's deadline clamped the runner timeout below its configured
+  /// budget. Combined with a kTimeout stop this means the deadline (not the
+  /// normal compile budget) cut saturation short — degradation provenance.
+  bool deadline_clamped = false;
   RunnerReport report;
   double original_cost = 0.0;  ///< model cost of the input term
   double seconds = 0.0;
@@ -82,6 +99,18 @@ struct Extraction {
   /// Every choice computed (chosen first; both strategies when
   /// SessionConfig::collect_alternatives is set).
   std::vector<PlanChoice> alternatives;
+  /// The deadline forced greedy extraction although ILP was configured
+  /// (remaining budget under SessionConfig::ilp_min_remaining_seconds).
+  bool degraded_to_greedy = false;
+  /// The deadline clamped the ILP solve below its configured budget AND
+  /// the clamped solve failed to prove optimality — the plan may be weaker
+  /// than an unconstrained run's (degradation provenance; an unclamped
+  /// non-optimal ILP is just the configured budget doing its job).
+  bool deadline_limited_ilp = false;
+  /// The deadline suppressed the collect_alternatives ILP pass: the chosen
+  /// plan is unaffected, but the result lacks alternatives an
+  /// unconstrained run would carry (so it must not be cached).
+  bool alternatives_suppressed = false;
   double seconds = 0.0;
 };
 
@@ -128,6 +157,11 @@ struct QueryOptions {
   /// resetting the thief's warm graph would cost that shard's own traffic
   /// a cold resaturation.
   bool preserve_shared_egraph = false;
+  /// The query's remaining wall budget and cancellation token, threaded
+  /// through every stage (see StageBudget). A cache hit is served even
+  /// past the deadline (it is effectively free); everything else degrades
+  /// or aborts as the budget runs out, and degraded plans are not cached.
+  StageBudget budget;
 };
 
 /// A long-lived optimizer: construct once, call Optimize per query. The
@@ -174,15 +208,22 @@ class OptimizerSession {
   /// every earlier query's equivalences), else on a fresh graph. With
   /// `preserve_shared_graph`, a catalog whose signature does not match the
   /// current shared graph saturates on a fresh graph instead of resetting
-  /// it (see QueryOptions::preserve_shared_egraph).
+  /// it (see QueryOptions::preserve_shared_egraph). `budget` clamps the
+  /// runner timeout to saturate_deadline_fraction of the remaining deadline
+  /// and wires the cancel token into the runner's checkpoints.
   StatusOr<Saturation> Saturate(const Translation& t, const Catalog& catalog,
-                                bool preserve_shared_graph = false);
+                                bool preserve_shared_graph = false,
+                                const StageBudget& budget = {});
 
   /// Extracts the cheapest plan (per config) from a saturated e-graph and
   /// lowers it back to LA, verifying the output shape is preserved. Work is
-  /// scoped to the classes reachable from the query's root.
+  /// scoped to the classes reachable from the query's root. `budget` clamps
+  /// the ILP solve to the remaining deadline — and degrades it to greedy
+  /// entirely when under ilp_min_remaining_seconds (Extraction::
+  /// degraded_to_greedy).
   StatusOr<Extraction> Extract(const Saturation& s, const Translation& t,
-                               const Catalog& catalog) const;
+                               const Catalog& catalog,
+                               const StageBudget& budget = {}) const;
 
   /// Fused-operator post-pass (always applies; Optimize gates it on
   /// config.apply_fusion).

@@ -1,0 +1,201 @@
+// Lightweight completion futures for the async serving pipeline.
+//
+// A ServeFuture<T> is the caller's handle to one submitted job: it carries
+// the job's result (StatusOr<T> — errors are values here, not exceptions:
+// kDeadlineExceeded, kCancelled, and admission's kResourceExhausted are
+// expected outcomes under load, and a serving tier must branch on them
+// cheaply), completion callbacks, and the cancellation plumbing.
+//
+//  * then(fn)  — registers a callback invoked exactly once with the final
+//    result. Registered-before-completion callbacks run on the completing
+//    worker thread, in registration order, after the result is published
+//    (get() from inside a callback would not block). Registered after
+//    completion, fn runs inline on the registering thread. Callbacks must
+//    not block the worker on other pool work finishing later (deadlock by
+//    queue ordering); completing cheap bookkeeping or handing off to an
+//    executor is the intended use.
+//  * Cancel()  — requests cancellation: a job still queued completes with
+//    kCancelled at dequeue without running; a job already optimizing is
+//    stopped at the runner's / ILP solver's next budget checkpoint via the
+//    shared CancelToken, and reports kCancelled even if a plan happened to
+//    finish computing in the race — the caller said it no longer wants a
+//    result, so it never gets one. Only a job whose result was already
+//    *published* (the future was ready) keeps it; Cancel then has no
+//    effect. Deduped batch members hold *member handles* onto one shared
+//    job: a member's Cancel completes that member's own future kCancelled
+//    immediately and casts one vote — the underlying job is only cancelled
+//    once EVERY member has voted, so one caller's cancellation never
+//    destroys a result other callers still wait for.
+//  * get()/Wait()/WaitFor() — blocking consumption for callers that want
+//    the PR-4-style synchronous flow.
+//
+// Copyable; copies share one state. Thread-safe.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "src/util/cancellation.h"
+#include "src/util/status.h"
+
+namespace spores {
+
+template <typename T>
+class ServeFuture {
+ public:
+  using Result = StatusOr<T>;
+  using Callback = std::function<void(const Result&)>;
+
+  /// An empty future (valid() == false); Submit/BatchSubmit return live
+  /// ones. Calling anything but valid() on an empty future is a bug.
+  ServeFuture() = default;
+
+  bool valid() const { return state_ != nullptr; }
+
+  /// True once the result is published (get() would not block).
+  bool ready() const {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    return state_->result.has_value();
+  }
+
+  /// Blocks until the result is published and returns it. The reference
+  /// stays valid as long as any copy of this future does.
+  const Result& get() const {
+    std::unique_lock<std::mutex> lock(state_->mu);
+    state_->cv.wait(lock, [&] { return state_->result.has_value(); });
+    return *state_->result;
+  }
+
+  void Wait() const { get(); }
+
+  /// Waits up to `seconds`; true when the result is ready.
+  bool WaitFor(double seconds) const {
+    std::unique_lock<std::mutex> lock(state_->mu);
+    return state_->cv.wait_for(
+        lock, std::chrono::duration<double>(seconds),
+        [&] { return state_->result.has_value(); });
+  }
+
+  /// Registers a completion callback (see the header comment for
+  /// threading). Const like Cancel(): it mutates only the shared state.
+  void then(Callback fn) const {
+    {
+      std::lock_guard<std::mutex> lock(state_->mu);
+      if (!state_->result.has_value()) {
+        state_->callbacks.push_back(std::move(fn));
+        return;
+      }
+    }
+    // Already complete: run inline. The result is immutable once published.
+    fn(*state_->result);
+  }
+
+  /// Requests cancellation (idempotent, any thread). Queued jobs complete
+  /// kCancelled at dequeue; running jobs stop at the next budget
+  /// checkpoint. On a member handle (deduped batch): this handle completes
+  /// kCancelled now, and the shared job is cancelled only when every
+  /// member has voted. The publish-vs-cancel race is decided under the
+  /// state mutex (see Complete), so "cancelled before publication never
+  /// delivers a result" is exact, not timing-dependent.
+  void Cancel() const {
+    State& st = *state_;
+    if (st.job) {
+      if (st.vote_cast.exchange(true, std::memory_order_relaxed)) return;
+      st.Complete(Result(Status::Cancelled("cancelled by caller")));
+      // Votes_needed is final before any member future escapes
+      // BatchSubmit, so this comparison cannot fire early.
+      if (st.job->cancel_votes.fetch_add(1, std::memory_order_acq_rel) + 1 >=
+          st.job->cancel_votes_needed.load(std::memory_order_acquire)) {
+        st.job->RequestCancelJob();
+      }
+      return;
+    }
+    st.RequestCancelJob();
+  }
+
+ private:
+  friend class SessionPool;
+
+  struct State {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::optional<Result> result;
+    std::vector<Callback> callbacks;
+    /// Checked by the worker at dequeue (cancel-before-run short-circuit).
+    std::atomic<bool> cancel_requested{false};
+    /// Shared with the optimizer stages (runner / ILP checkpoints). Armed
+    /// (allocated) by Make() for job-owning states; member handles leave
+    /// it inert — their Cancel votes on the job's token instead.
+    CancelToken cancel;
+    /// Member-handle plumbing (deduped batches): when `job` is set this
+    /// state is one member's view of a shared job; its result arrives by
+    /// forwarding, and Cancel votes on `job` instead of firing its token.
+    std::shared_ptr<State> job;
+    std::atomic<bool> vote_cast{false};
+    /// On a shared job's own state: how many member handles must vote
+    /// before the job is really cancelled (fixed before futures escape).
+    std::atomic<size_t> cancel_votes_needed{0};
+    std::atomic<size_t> cancel_votes{0};
+
+    /// Flags cancellation for the dequeue check and fires the token. The
+    /// flag is set under mu so the Cancel-vs-publish race has a definite
+    /// winner: whichever acquires the mutex first (Complete converts an
+    /// ok result to kCancelled when it loses).
+    void RequestCancelJob() {
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        if (!result.has_value()) {
+          cancel_requested.store(true, std::memory_order_relaxed);
+        }
+      }
+      cancel.RequestCancel();
+    }
+
+    /// Publishes the result and drains callbacks, exactly once; later
+    /// Complete calls are ignored (e.g. Cancel racing normal completion).
+    void Complete(Result r) {
+      std::vector<Callback> pending;
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        if (result.has_value()) return;
+        if (r.ok() && cancel_requested.load(std::memory_order_relaxed)) {
+          // Cancel() acquired the mutex before publication: per the
+          // documented contract, such a job never delivers a result.
+          r = Result(Status::Cancelled("cancelled before completion"));
+        }
+        result.emplace(std::move(r));
+        pending.swap(callbacks);
+      }
+      cv.notify_all();
+      for (Callback& fn : pending) fn(*result);
+    }
+  };
+
+  /// A job-owning future: its token is live (the optimizer stages poll it).
+  static ServeFuture Make() {
+    ServeFuture f;
+    f.state_ = std::make_shared<State>();
+    f.state_->cancel = CancelToken::Cancellable();
+    return f;
+  }
+
+  /// A member handle onto `job` (deduped batches): no token of its own —
+  /// Cancel completes this handle and votes on the job.
+  static ServeFuture MakeAttached(std::shared_ptr<State> job) {
+    ServeFuture f;
+    f.state_ = std::make_shared<State>();
+    f.state_->job = std::move(job);
+    return f;
+  }
+
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace spores

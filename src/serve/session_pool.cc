@@ -1,12 +1,40 @@
 #include "src/serve/session_pool.h"
 
 #include <algorithm>
+#include <chrono>
+#include <exception>
 #include <sstream>
 
 #include "src/canon/isomorphism.h"
 #include "src/util/check.h"
 
 namespace spores {
+
+namespace {
+
+int64_t NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Index of the best job in `queue`: lowest priority value first, FIFO
+/// (enqueue seq) within a level. Queues are short; a linear scan beats
+/// maintaining a heap under the shard mutex.
+template <typename Queue>
+size_t BestJob(const Queue& queue) {
+  size_t best = 0;
+  for (size_t i = 1; i < queue.size(); ++i) {
+    if (queue[i]->priority < queue[best]->priority ||
+        (queue[i]->priority == queue[best]->priority &&
+         queue[i]->seq < queue[best]->seq)) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace
 
 size_t PoolStats::TotalExecuted() const {
   size_t n = 0;
@@ -17,6 +45,24 @@ size_t PoolStats::TotalExecuted() const {
 size_t PoolStats::TotalSteals() const {
   size_t n = 0;
   for (const ShardStats& s : shards) n += s.steals;
+  return n;
+}
+
+size_t PoolStats::TotalExpired() const {
+  size_t n = 0;
+  for (const ShardStats& s : shards) n += s.expired;
+  return n;
+}
+
+size_t PoolStats::TotalCancelled() const {
+  size_t n = 0;
+  for (const ShardStats& s : shards) n += s.cancelled;
+  return n;
+}
+
+size_t PoolStats::TotalRejected() const {
+  size_t n = 0;
+  for (const ShardStats& s : shards) n += s.rejected;
   return n;
 }
 
@@ -34,15 +80,19 @@ double PoolStats::CacheHitRate() const {
 std::string PoolStats::ToString() const {
   std::ostringstream os;
   os << shards.size() << " shards: " << submitted << " submitted ("
-     << dedup_hits << " batch-deduped), " << completed << " completed, "
+     << dedup_hits << " batch-deduped, " << pregroup_hits << " pre-grouped), "
+     << completed << " completed, " << TotalRejected() << " rejected, "
+     << TotalExpired() << " expired, " << TotalCancelled() << " cancelled, "
      << TotalSteals() << " steals, cache hit rate " << CacheHitRate() << "\n";
   for (size_t i = 0; i < shards.size(); ++i) {
     const ShardStats& s = shards[i];
     os << "  shard " << i << ": " << s.executed << " executed (" << s.steals
-       << " stolen, " << s.stolen_from << " stolen from), depth "
-       << s.queue_depth << ", cache " << s.cache.hits << "/"
-       << (s.cache.hits + s.cache.misses) << " hits, " << s.cache_entries
-       << " entries; " << s.session.ToString() << "\n";
+       << " stolen, " << s.stolen_from << " stolen from, " << s.expired
+       << " expired, " << s.cancelled << " cancelled, " << s.rejected
+       << " rejected), depth " << s.queue_depth << (s.busy ? " busy" : "")
+       << ", cache " << s.cache.hits << "/" << (s.cache.hits + s.cache.misses)
+       << " hits, " << s.cache_entries << " entries; "
+       << s.session.ToString() << "\n";
   }
   return os.str();
 }
@@ -51,7 +101,7 @@ SessionPool::SessionPool(std::shared_ptr<const OptimizerContext> context,
                          PoolConfig config)
     : context_(std::move(context)),
       config_(std::move(config)),
-      router_(config_.num_shards, context_) {
+      router_(config_.num_shards, context_, config_.router) {
   SPORES_CHECK_GT(config_.num_shards, 0u);
   shards_.reserve(config_.num_shards);
   for (size_t i = 0; i < config_.num_shards; ++i) {
@@ -67,7 +117,7 @@ SessionPool::SessionPool(std::shared_ptr<const OptimizerContext> context,
 }
 
 SessionPool::~SessionPool() {
-  Drain();  // every promise is fulfilled before teardown
+  Drain();  // every future is completed before teardown
   {
     std::lock_guard<std::mutex> lock(park_mu_);
     shutdown_ = true;
@@ -78,18 +128,70 @@ SessionPool::~SessionPool() {
   }
 }
 
-std::shared_future<OptimizedPlan> SessionPool::Enqueue(
-    std::unique_ptr<Job> job) {
-  std::shared_future<OptimizedPlan> future =
-      job->promise.get_future().share();
-  Shard& home = *shards_[job->home_shard];
-  {
-    std::lock_guard<std::mutex> lock(done_mu_);
-    ++submitted_;
+const std::vector<size_t>& SessionPool::QueueDepths() const {
+  // Lock-free snapshot of the atomic depth mirrors (see Shard::depth):
+  // router bias is a heuristic, so a slightly stale depth is fine, and the
+  // submit hot path must neither contend with every worker's queue mutex
+  // nor heap-allocate per submission (the buffer is reused per thread).
+  static thread_local std::vector<size_t> depths;
+  depths.assign(shards_.size(), 0);
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    depths[i] = shards_[i]->depth.load(std::memory_order_relaxed);
   }
+  return depths;
+}
+
+SessionPool::Future SessionPool::Enqueue(std::unique_ptr<Job> job) {
+  Future future = Future::Make();
+  job->state = future.state_;
+  job->seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  Shard& home = *shards_[job->home_shard];
+  bool rejected = false;
   {
     std::lock_guard<std::mutex> lock(home.mu);
-    home.queue.push_back(std::move(job));
+    // Admission control: a queue at its depth bound, or whose oldest
+    // waiter has aged past the backlog threshold, is not draining — a new
+    // arrival would only wait to expire. Reject it now, while the caller
+    // can still shed load or retry elsewhere, instead of after it has
+    // burned its deadline in line.
+    const AdmissionConfig& adm = config_.admission;
+    rejected =
+        (adm.max_queue_depth > 0 && home.queue.size() >= adm.max_queue_depth);
+    if (!rejected && adm.max_queue_age_seconds > 0 && !home.queue.empty()) {
+      // Stall signal: how long the queue has gone without a dequeue while
+      // jobs wait. The front of the deque is the oldest admission (pushes
+      // are back-only, removals order-preserving), so min(front's wait,
+      // time since last pop) is exactly that — O(1), and immune to one
+      // starved low-priority waiter aging while the queue drains fine.
+      double front_wait = home.queue.front()->queued.Seconds();
+      double since_pop =
+          static_cast<double>(
+              NowNanos() - home.last_pop_ns.load(std::memory_order_relaxed)) *
+          1e-9;
+      rejected = std::min(front_wait, since_pop) > adm.max_queue_age_seconds;
+    }
+    if (rejected) {
+      ++home.rejected;
+    } else {
+      // Count the job submitted BEFORE it becomes visible in the queue
+      // (lock order home.mu -> done_mu_, used nowhere in reverse): a
+      // worker popping and completing it instantly must never drive
+      // completed_ past submitted_ under Drain()'s predicate.
+      {
+        std::lock_guard<std::mutex> done_lock(done_mu_);
+        ++submitted_;
+      }
+      job->queued.Reset();  // age clock starts at admission, not enqueue
+      home.queue.push_back(std::move(job));
+      home.depth.store(home.queue.size(), std::memory_order_relaxed);
+    }
+  }
+  if (rejected) {
+    // Complete outside the shard lock (nothing can have registered a
+    // callback yet, but Complete should never run under a pool mutex).
+    future.state_->Complete(Status::ResourceExhausted(
+        "admission: shard queue over depth/age threshold"));
+    return future;
   }
   {
     std::lock_guard<std::mutex> lock(park_mu_);
@@ -99,71 +201,146 @@ std::shared_future<OptimizedPlan> SessionPool::Enqueue(
   return future;
 }
 
-std::shared_future<OptimizedPlan> SessionPool::Submit(
-    ExprPtr expr, std::shared_ptr<const Catalog> catalog) {
-  SPORES_CHECK(expr != nullptr);
-  SPORES_CHECK(catalog != nullptr);
-  RouteDecision route = router_.Route(expr, *catalog);
+SessionPool::Future SessionPool::SubmitAsync(const ServeRequest& request) {
+  SPORES_CHECK(request.expr != nullptr);
+  SPORES_CHECK(request.catalog != nullptr);
+  RouteDecision route =
+      config_.enable_load_bias
+          ? router_.Route(request.expr, *request.catalog, QueueDepths())
+          : router_.Route(request.expr, *request.catalog);
   auto job = std::make_unique<Job>();
-  job->expr = std::move(expr);
-  job->catalog = std::move(catalog);
+  job->expr = request.expr;
+  job->catalog = request.catalog;
   job->home_shard = route.shard;
+  job->priority = request.priority;
+  job->deadline = request.deadline;
   if (route.key.ok()) job->key = std::move(route.key).value();
   if (route.program.ok()) job->translation = std::move(route.program).value();
   return Enqueue(std::move(job));
 }
 
-std::vector<std::shared_future<OptimizedPlan>> SessionPool::BatchSubmit(
+SessionPool::Future SessionPool::Submit(
+    ExprPtr expr, std::shared_ptr<const Catalog> catalog) {
+  ServeRequest request;
+  request.expr = std::move(expr);
+  request.catalog = std::move(catalog);
+  return SubmitAsync(request);
+}
+
+SessionPool::Future SessionPool::AttachMember(const Future& job_future) {
+  Future member = Future::MakeAttached(job_future.state_);
+  job_future.state_->cancel_votes_needed.fetch_add(1,
+                                                   std::memory_order_release);
+  auto member_state = member.state_;
+  job_future.then([member_state](const Future::Result& r) {
+    member_state->Complete(r);
+  });
+  return member;
+}
+
+std::vector<SessionPool::Future> SessionPool::BatchSubmit(
     const std::vector<ServeRequest>& batch) {
-  std::vector<std::shared_future<OptimizedPlan>> futures(batch.size());
-  // Dedupe groups: representative jobs keyed by exact fingerprint, with
-  // isomorphism deciding membership inside a fingerprint bucket — the same
-  // two-level test the plan cache runs. Only canonicalizable queries
-  // dedupe; a bypass query cannot prove equivalence to anything.
+  std::vector<Future> futures(batch.size());
+  // Two-level dedupe, grouped BEFORE any job is enqueued so the shared job
+  // honors every member's contract (pass 2 merges deadlines/priorities).
+  // Level 1 pre-groups by structural hash (verified with deep equality):
+  // an exact resubmission joins its twin before routing, so it skips the
+  // translate/canonicalize cost entirely — the common shape of repeated
+  // traffic. Level 2 is the canonical-form test the plan cache runs
+  // (exact fingerprint bucket, isomorphism within): it catches
+  // differently-written equivalents that level 1 cannot. Every member
+  // holds a member handle onto the group's job — so one member's Cancel()
+  // only casts a vote, never destroying a result other members wait for,
+  // and a rejection is shared by the whole group.
   struct Group {
-    std::string fingerprint;
-    Polyterm canon;
-    std::shared_future<OptimizedPlan> future;
+    RouteDecision route;  ///< by-products of the first routed member
+    std::vector<size_t> members;
+  };
+  /// Structural index: one entry per ROUTED member (group representatives
+  /// and canon-joiners alike), so any later structural twin pre-groups.
+  struct StructEntry {
+    uint64_t hash;
+    const Catalog* catalog;
+    ExprPtr expr;
+    size_t group;
   };
   std::vector<Group> groups;
-  size_t dedup_hits = 0;
+  std::vector<StructEntry> structs;
+  size_t dedup_hits = 0, pregroup_hits = 0;
   for (size_t i = 0; i < batch.size(); ++i) {
     const ServeRequest& req = batch[i];
     SPORES_CHECK(req.expr != nullptr);
     SPORES_CHECK(req.catalog != nullptr);
-    RouteDecision route = router_.Route(req.expr, *req.catalog);
-    if (route.key.ok()) {
-      const PlanCacheKey& key = route.key.value();
-      bool joined = false;
-      for (const Group& g : groups) {
-        if (g.fingerprint == key.fingerprint &&
-            PolytermIsomorphic(g.canon, key.canon)) {
-          futures[i] = g.future;  // ride the representative's optimization
-          ++dedup_hits;
-          joined = true;
-          break;
+    uint64_t structural_hash = req.expr->Hash();
+    size_t group = groups.size();  // sentinel: not joined yet
+    for (const StructEntry& e : structs) {
+      if (e.hash == structural_hash && e.catalog == req.catalog.get() &&
+          ExprEquals(e.expr, req.expr)) {
+        group = e.group;
+        ++pregroup_hits;
+        break;
+      }
+    }
+    if (group == groups.size()) {
+      RouteDecision route =
+          config_.enable_load_bias
+              ? router_.Route(req.expr, *req.catalog, QueueDepths())
+              : router_.Route(req.expr, *req.catalog);
+      if (route.key.ok()) {
+        const PlanCacheKey& key = route.key.value();
+        for (size_t g = 0; g < groups.size(); ++g) {
+          if (groups[g].route.key.ok() &&
+              groups[g].route.key.value().fingerprint == key.fingerprint &&
+              PolytermIsomorphic(groups[g].route.key.value().canon,
+                                 key.canon)) {
+            group = g;  // ride the representative's optimization
+            ++dedup_hits;
+            break;
+          }
         }
       }
-      if (joined) continue;
+      if (group == groups.size()) {
+        groups.push_back(Group{std::move(route), {}});
+      }
+      structs.push_back(
+          StructEntry{structural_hash, req.catalog.get(), req.expr, group});
+    }
+    groups[group].members.push_back(i);
+  }
+  // Pass 2: one job per group, under the LOOSEST contract across its
+  // members — best (lowest) priority, latest deadline (none if any member
+  // has none) — so no member can fail with a kDeadlineExceeded, or starve
+  // at a priority, it never asked for. Dedupe may only ever give a member
+  // a better service level than its own request, not a worse one.
+  for (const Group& g : groups) {
+    const ServeRequest& rep = batch[g.members.front()];
+    int priority = rep.priority;
+    Deadline deadline = rep.deadline;
+    for (size_t m : g.members) {
+      const ServeRequest& req = batch[m];
+      priority = std::min(priority, req.priority);
+      if (!req.deadline.has_deadline() || !deadline.has_deadline()) {
+        deadline = Deadline();
+      } else if (req.deadline.RemainingSeconds() >
+                 deadline.RemainingSeconds()) {
+        deadline = req.deadline;
+      }
     }
     auto job = std::make_unique<Job>();
-    job->expr = req.expr;
-    job->catalog = req.catalog;
-    job->home_shard = route.shard;
-    if (route.key.ok()) job->key = route.key.value();
-    if (route.program.ok()) {
-      job->translation = std::move(route.program).value();
-    }
-    if (route.key.ok()) {
-      groups.push_back(Group{job->key->fingerprint, job->key->canon,
-                             std::shared_future<OptimizedPlan>()});
-    }
-    futures[i] = Enqueue(std::move(job));
-    if (route.key.ok()) groups.back().future = futures[i];
+    job->expr = rep.expr;
+    job->catalog = rep.catalog;
+    job->home_shard = g.route.shard;
+    job->priority = priority;
+    job->deadline = deadline;
+    if (g.route.key.ok()) job->key = g.route.key.value();
+    if (g.route.program.ok()) job->translation = g.route.program.value();
+    Future job_future = Enqueue(std::move(job));
+    for (size_t m : g.members) futures[m] = AttachMember(job_future);
   }
-  if (dedup_hits > 0) {
+  if (dedup_hits > 0 || pregroup_hits > 0) {
     std::lock_guard<std::mutex> lock(done_mu_);
     dedup_hits_ += dedup_hits;
+    pregroup_hits_ += pregroup_hits;
   }
   return futures;
 }
@@ -173,10 +350,14 @@ PoolStats SessionPool::Stats() const {
   out.shards.reserve(shards_.size());
   for (const auto& shard : shards_) {
     ShardStats s;
+    s.busy = shard->busy.load(std::memory_order_relaxed);
     std::lock_guard<std::mutex> lock(shard->mu);
     s.executed = shard->executed;
     s.steals = shard->steals;
     s.stolen_from = shard->stolen_from;
+    s.expired = shard->expired;
+    s.cancelled = shard->cancelled;
+    s.rejected = shard->rejected;
     s.queue_depth = shard->queue.size();
     s.session = shard->session_stats;
     s.cache = shard->cache_stats;
@@ -187,6 +368,7 @@ PoolStats SessionPool::Stats() const {
   out.submitted = submitted_;
   out.completed = completed_;
   out.dedup_hits = dedup_hits_;
+  out.pregroup_hits = pregroup_hits_;
   return out;
 }
 
@@ -196,34 +378,61 @@ void SessionPool::Drain() {
 }
 
 std::unique_ptr<SessionPool::Job> SessionPool::NextJob(size_t self,
-                                                       bool* stolen) {
+                                                       bool* stolen,
+                                                       bool* retry_soon) {
   *stolen = false;
+  *retry_soon = false;
   Shard& own = *shards_[self];
   {
     std::lock_guard<std::mutex> lock(own.mu);
     if (!own.queue.empty()) {
-      auto job = std::move(own.queue.front());
-      own.queue.pop_front();
+      size_t best = BestJob(own.queue);
+      auto job = std::move(own.queue[best]);
+      own.queue.erase(own.queue.begin() + static_cast<ptrdiff_t>(best));
+      own.depth.store(own.queue.size(), std::memory_order_relaxed);
+      own.last_pop_ns.store(NowNanos(), std::memory_order_relaxed);
       return job;
     }
   }
   if (!config_.enable_work_stealing || shards_.size() == 1) return nullptr;
-  // Steal the oldest job of the most backlogged other queue — but only
-  // from queues holding two or more: a lone queued job is left to its home
-  // worker. Stealing it wins nothing when that worker is idle and about to
-  // pop it (every enqueue wakes all parked workers, so thieves would
-  // routinely race the home worker), and a stolen job bypasses the thief's
-  // plan cache — under light load indiscriminate stealing would starve the
-  // very cache warming the router exists to provide. Sizes are sampled one
-  // lock at a time (never two shard locks at once), so the argmax can be
-  // stale — fall back to any stealable queue.
-  size_t best = self, best_depth = 1;  // floor 1: only depth >= 2 steals
+  // A queue is stealable when it holds two or more jobs — or exactly one
+  // whose home worker has already been busy on its current optimization
+  // longer than lone_steal_busy_seconds: the strict depth>=2 floor (PR 4)
+  // protects cache warming under light load, but a lone job queued behind
+  // a long saturation would otherwise wait that saturation out with an
+  // idle worker watching. A lone job whose home worker is NOT yet over the
+  // threshold sets *retry_soon so the caller parks with a timeout and
+  // re-checks, instead of sleeping until the next enqueue.
+  auto lone_stealable = [&](const Shard& victim, bool* pending) {
+    if (config_.lone_steal_busy_seconds < 0) return false;
+    // Acquire on busy pairs with RunJob's release store, so the timestamp
+    // read below is the one published for the CURRENT job — a relaxed pair
+    // could see busy==true with a stale (or zero) busy_since_ns and treat
+    // a just-started worker as busy for an epoch.
+    if (!victim.busy.load(std::memory_order_acquire)) return false;
+    double busy_for =
+        static_cast<double>(NowNanos() -
+                            victim.busy_since_ns.load(
+                                std::memory_order_relaxed)) *
+        1e-9;
+    if (busy_for > config_.lone_steal_busy_seconds) return true;
+    *pending = true;
+    return false;
+  };
+  // Pick the most backlogged stealable queue. Depths come from the
+  // lock-free mirrors (never two shard locks at once), so the argmax can
+  // be stale — the attempt loop below re-verifies under the victim's lock
+  // and falls back to any stealable queue.
+  size_t best = self, best_depth = 0;
   for (size_t i = 0; i < shards_.size(); ++i) {
     if (i == self) continue;
-    std::lock_guard<std::mutex> lock(shards_[i]->mu);
-    if (shards_[i]->queue.size() > best_depth) {
+    Shard& victim = *shards_[i];
+    size_t depth = victim.depth.load(std::memory_order_relaxed);
+    bool stealable =
+        depth >= 2 || (depth == 1 && lone_stealable(victim, retry_soon));
+    if (stealable && depth > best_depth) {
       best = i;
-      best_depth = shards_[i]->queue.size();
+      best_depth = depth;
     }
   }
   if (best == self) return nullptr;
@@ -232,16 +441,46 @@ std::unique_ptr<SessionPool::Job> SessionPool::NextJob(size_t self,
         attempt == 0 ? best : (self + attempt) % shards_.size();
     if (victim_index == self) continue;
     Shard& victim = *shards_[victim_index];
+    bool ignored = false;
     std::lock_guard<std::mutex> lock(victim.mu);
-    if (victim.queue.size() >= 2) {
-      auto job = std::move(victim.queue.front());
-      victim.queue.pop_front();
+    bool stealable = victim.queue.size() >= 2 ||
+                     (victim.queue.size() == 1 &&
+                      lone_stealable(victim, &ignored));
+    if (stealable) {
+      size_t idx = BestJob(victim.queue);
+      auto job = std::move(victim.queue[idx]);
+      victim.queue.erase(victim.queue.begin() + static_cast<ptrdiff_t>(idx));
+      victim.depth.store(victim.queue.size(), std::memory_order_relaxed);
+      victim.last_pop_ns.store(NowNanos(), std::memory_order_relaxed);
       ++victim.stolen_from;
       *stolen = true;
       return job;
     }
   }
   return nullptr;
+}
+
+void SessionPool::FinishJob() {
+  {
+    std::lock_guard<std::mutex> lock(done_mu_);
+    ++completed_;
+  }
+  done_cv_.notify_all();
+}
+
+void SessionPool::DisposeJob(size_t self, Job& job, Status status) {
+  Shard& shard = *shards_[self];
+  bool expired = status.code() == StatusCode::kDeadlineExceeded;
+  job.state->Complete(Future::Result(std::move(status)));
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (expired) {
+      ++shard.expired;
+    } else {
+      ++shard.cancelled;
+    }
+  }
+  FinishJob();
 }
 
 void SessionPool::RunJob(size_t self, Job& job, bool stolen) {
@@ -256,18 +495,40 @@ void SessionPool::RunJob(size_t self, Job& job, bool stolen) {
   options.preserve_shared_egraph = stolen;
   options.key = job.key ? &*job.key : nullptr;
   options.translation = job.translation ? &*job.translation : nullptr;
+  // The job's remaining deadline and its future's cancel token ride into
+  // every stage: saturation clamps its runner timeout, extraction clamps or
+  // skips ILP, and Cancel() stops in-flight work at the next checkpoint.
+  options.budget.deadline = job.deadline;
+  options.budget.cancel = job.state->cancel;
+  // Publish the timestamp BEFORE the busy flag (release/acquire pair with
+  // lone_stealable): a thief that sees busy==true must also see this job's
+  // start time, not the previous job's.
+  shard.busy_since_ns.store(NowNanos(), std::memory_order_relaxed);
+  shard.busy.store(true, std::memory_order_release);
   // An exception escaping the worker body would std::terminate the whole
   // process and strand every waiter (including deduped batch members), so
-  // it is forwarded through the promise instead — where a single-session
-  // caller would have caught it — and the accounting below still runs so
-  // Drain() and the destructor stay live.
+  // it is converted to a kInternal result — errors are values on this API —
+  // and the accounting below still runs so Drain() and the destructor stay
+  // live.
+  Future::Result result = Status::Internal("unset");
   try {
     OptimizedPlan plan =
         shard.session->Optimize(job.expr, *job.catalog, options);
-    job.promise.set_value(std::move(plan));
+    if (job.state->cancel_requested.load(std::memory_order_relaxed)) {
+      // Cancelled mid-run: the runner/solver stopped via the token (or the
+      // plan raced completion). The caller asked for no result; a plan
+      // computed under a cancelled budget is reported as cancelled.
+      result = Status::Cancelled("cancelled during optimization");
+    } else {
+      result = std::move(plan);
+    }
+  } catch (const std::exception& e) {
+    result = Status::Internal(std::string("optimization threw: ") + e.what());
   } catch (...) {
-    job.promise.set_exception(std::current_exception());
+    result = Status::Internal("optimization threw a non-standard exception");
   }
+  shard.busy.store(false, std::memory_order_release);
+  job.state->Complete(std::move(result));
   {
     std::lock_guard<std::mutex> lock(shard.mu);
     ++shard.executed;
@@ -276,32 +537,49 @@ void SessionPool::RunJob(size_t self, Job& job, bool stolen) {
     shard.cache_stats = shard.session->cache_stats();
     shard.cache_entries = shard.session->PlanCacheSize();
   }
-  {
-    std::lock_guard<std::mutex> lock(done_mu_);
-    ++completed_;
-  }
-  done_cv_.notify_all();
+  FinishJob();
 }
 
 void SessionPool::WorkerLoop(size_t self) {
+  // Lone-job re-check cadence: half the busy threshold, floored so a tiny
+  // threshold cannot turn parking into a spin.
+  const double lone_retry_seconds =
+      std::max(0.005, config_.lone_steal_busy_seconds / 2.0);
   while (true) {
     uint64_t seen;
     {
       std::lock_guard<std::mutex> lock(park_mu_);
       seen = work_epoch_;
     }
-    bool stolen = false;
-    std::unique_ptr<Job> job = NextJob(self, &stolen);
+    bool stolen = false, retry_soon = false;
+    std::unique_ptr<Job> job = NextJob(self, &stolen, &retry_soon);
     if (job) {
-      RunJob(self, *job, stolen);
+      // Dequeue-time short-circuits: a cancelled or already-expired job
+      // never enters Optimize — the whole point of admission + deadlines
+      // is not spending saturation budget on work nobody is waiting for.
+      if (job->state->cancel_requested.load(std::memory_order_relaxed)) {
+        DisposeJob(self, *job, Status::Cancelled("cancelled before dequeue"));
+      } else if (job->deadline.Expired()) {
+        DisposeJob(self, *job,
+                   Status::DeadlineExceeded("deadline expired in queue"));
+      } else {
+        RunJob(self, *job, stolen);
+      }
       continue;
     }
-    // Nothing anywhere: park until an enqueue bumps the epoch. Reading the
+    // Nothing runnable: park until an enqueue bumps the epoch. Reading the
     // epoch before the scan makes the sleep missed-wakeup-free — a job
-    // enqueued after the read changes the epoch and the wait falls through.
+    // enqueued after the read changes the epoch and the wait falls
+    // through. With a pending lone-job steal the park times out so the
+    // busy threshold is re-checked without waiting for the next enqueue.
     std::unique_lock<std::mutex> lock(park_mu_);
-    park_cv_.wait(lock,
-                  [&] { return shutdown_ || work_epoch_ != seen; });
+    if (retry_soon) {
+      park_cv_.wait_for(lock, std::chrono::duration<double>(
+                                  lone_retry_seconds),
+                        [&] { return shutdown_ || work_epoch_ != seen; });
+    } else {
+      park_cv_.wait(lock, [&] { return shutdown_ || work_epoch_ != seen; });
+    }
     if (shutdown_) break;  // the destructor drained the queues already
   }
 }

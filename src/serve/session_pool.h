@@ -1,43 +1,68 @@
 // Sharded serving pool: N worker threads, each owning one OptimizerSession
-// (shard), behind a canonical-form ShardRouter.
+// (shard), behind a canonical-form ShardRouter — with an async, deadline-
+// aware job lifecycle (PR 5).
 //
 // Architecture ("When More Cores Hurts" is the cautionary tale — naive
 // shared-cache parallelism inverts scaling, so nothing mutable is shared):
 //
-//   Submit/BatchSubmit (any thread)
-//        │  route: canonicalize → hash fingerprint → home shard
+//   Submit / SubmitAsync / BatchSubmit (any thread)
+//        │  admission: reject on queue depth / backlog age
+//        │  route: canonicalize → fingerprint → affinity map
+//        │         (new classes biased toward shallow queues)
 //        ▼
 //   per-shard MPSC queues ──► worker threads, one per shard
-//        │                      │  session.Optimize (shard-local e-graph,
-//        │ steal (back)         │  plan cache, cost memo, scheduler)
-//        └──────────────────────┘
+//        │  (priority order;     │  expired jobs short-circuit to
+//        │   deadline checked    │  kDeadlineExceeded at dequeue —
+//        │   at dequeue)         │  they never enter Optimize
+//        │ steal (back)          │  session.Optimize under the job's
+//        └───────────────────────┘  StageBudget (deadline + cancel token)
+//                                      │
+//                                 ServeFuture completes: callbacks fire,
+//                                 blocked get() calls wake
 //
-//  * Shard affinity: isomorphic queries always route to the same shard, so
-//    its plan cache and warm e-graph serve them without re-saturating, and
-//    no two shards ever populate caches for the same key.
-//  * Work stealing: an idle worker takes the *oldest* job from the most
-//    backlogged other queue, but only from queues holding two or more — a
-//    lone queued job is left to its home worker (stealing it would race an
-//    idle home worker for no win and skip the cache warming below). Stolen
-//    jobs execute on the thief's session with the plan cache bypassed
-//    (QueryOptions::use_plan_cache=false) and the thief's warm shared
-//    e-graph protected (QueryOptions::preserve_shared_egraph — a foreign
-//    catalog saturates on a throwaway graph instead of resetting it):
-//    correctness is unaffected, the thief's shard-local state never
-//    degrades for its own traffic, and the home shard's cache is simply
-//    not warmed by that one job.
-//  * Batch dedupe: BatchSubmit groups a batch by canonical form (exact
-//    fingerprint + polyterm isomorphism) before enqueueing, so duplicate
-//    batch members ride one optimization and share one result.
+//  * Async lifecycle: every submission returns a ServeFuture<OptimizedPlan>
+//    (serve_future.h) carrying StatusOr — kDeadlineExceeded, kCancelled and
+//    admission's kResourceExhausted are values, not exceptions. then()
+//    registers completion callbacks; Cancel() stops queued jobs at dequeue
+//    and in-flight jobs at the optimizer's budget checkpoints (the token
+//    reaches the saturation runner and the ILP branch-and-bound).
+//  * Deadlines: jobs carry an absolute Deadline from submit; queue wait
+//    spends it too. At dequeue an expired job completes immediately; a
+//    near-expired job degrades inside the session (clamped saturation,
+//    greedy-instead-of-ILP) with provenance in OptimizedPlan::degraded.
+//  * Admission control: when configured, a submission whose home queue is
+//    at max depth — or whose oldest waiter has aged past the backlog
+//    threshold — is rejected up front (kResourceExhausted) instead of
+//    joining a queue it would only time out in.
+//  * Shard affinity + load bias: known isomorphism classes always route to
+//    their pinned shard (plan cache, warm e-graph); new classes are placed
+//    on shallow queues under load (see shard_router.h). No two shards ever
+//    populate caches for the same key.
+//  * Work stealing: an idle worker takes the best job of the most
+//    backlogged other queue — from queues holding two or more, OR holding a
+//    lone job whose home worker has already been busy on its current
+//    optimization longer than lone_steal_busy_seconds (a lone job must not
+//    wait out a long saturation; under light load the floor still protects
+//    cache warming). Stolen jobs execute on the thief's session with the
+//    plan cache bypassed (QueryOptions::use_plan_cache=false) and the
+//    thief's warm shared e-graph protected (preserve_shared_egraph).
+//  * Batch dedupe, two levels: BatchSubmit first pre-groups members by
+//    structural hash (exact resubmissions skip routing entirely — no
+//    translate/canonicalize), then groups the remainder by canonical form
+//    (fingerprint + polyterm isomorphism) so isomorphic members ride one
+//    optimization. The shared job runs under the LOOSEST contract across
+//    its members — best priority, latest deadline (none if any member has
+//    none) — so dedupe can only improve a member's service level, never
+//    fail it with a deadline or priority it didn't ask for.
 //
 // Every shared artifact (rules, e-matching trie, DimEnv) comes from the
 // read-only OptimizerContext; see optimizer_context.h for the audited
 // sharing contract. All pool methods are thread-safe.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <deque>
-#include <future>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -46,9 +71,32 @@
 #include <vector>
 
 #include "src/optimizer/optimizer_session.h"
+#include "src/serve/serve_future.h"
 #include "src/serve/shard_router.h"
+#include "src/util/deadline.h"
 
 namespace spores {
+
+/// Job priorities: lower values run first within a queue. Any int works;
+/// these are the conventional levels.
+inline constexpr int kPriorityHigh = 0;
+inline constexpr int kPriorityNormal = 1;
+inline constexpr int kPriorityLow = 2;
+
+/// Queue-side admission thresholds; 0 disables a check. Fed by the same
+/// counters PoolStats snapshots.
+struct AdmissionConfig {
+  /// Reject a submission when its home queue already holds this many jobs.
+  size_t max_queue_depth = 0;
+  /// Reject when the home queue has been STALLED longer than this: jobs
+  /// waiting, and no dequeue since the oldest waiter was admitted. Depth
+  /// says how much work is piled up; a stall says the pile is not moving —
+  /// both mean a new arrival would only wait to expire. (Deliberately NOT
+  /// the oldest waiter's raw age: under priority scheduling one starved
+  /// low-priority job can age without bound while the queue drains
+  /// high-priority traffic perfectly well.)
+  double max_queue_age_seconds = 0.0;
+};
 
 struct PoolConfig {
   size_t num_shards = 8;
@@ -56,13 +104,29 @@ struct PoolConfig {
   std::optional<SessionConfig> session;
   /// Allow idle workers to execute other shards' queued jobs.
   bool enable_work_stealing = true;
+  /// Steal a lone queued job once its home worker has been busy on its
+  /// current job longer than this (depth>=2 queues are always stealable).
+  /// Negative disables lone-job stealing (the strict PR 4 floor).
+  double lone_steal_busy_seconds = 0.1;
+  /// Give the router a queue-depth snapshot at submit so NEW isomorphism
+  /// classes are placed on shallow queues; known classes keep their pinned
+  /// shard regardless.
+  bool enable_load_bias = true;
+  RouterConfig router;
+  AdmissionConfig admission;
 };
 
-/// One query for BatchSubmit. The catalog is shared-ptr'd because the job
-/// outlives the submit call (workers read it when the job runs).
+/// One query for Submit/BatchSubmit. The catalog is shared-ptr'd because
+/// the job outlives the submit call (workers read it when the job runs).
 struct ServeRequest {
   ExprPtr expr;
   std::shared_ptr<const Catalog> catalog;
+  /// Absolute expiry for this query; queue wait counts against it. Expired
+  /// jobs short-circuit to kDeadlineExceeded at dequeue; a running job's
+  /// remaining budget steers saturation/extraction (StageBudget). Default:
+  /// none.
+  Deadline deadline = {};
+  int priority = kPriorityNormal;  ///< lower runs first (kPriority*)
 };
 
 /// Per-shard observability snapshot.
@@ -70,7 +134,11 @@ struct ShardStats {
   size_t executed = 0;      ///< jobs run on this shard's session
   size_t steals = 0;        ///< jobs this worker stole from other queues
   size_t stolen_from = 0;   ///< jobs other workers took from this queue
+  size_t expired = 0;       ///< jobs this worker expired at dequeue (no run)
+  size_t cancelled = 0;     ///< jobs this worker short-circuited as cancelled
+  size_t rejected = 0;      ///< submissions admission bounced off this queue
   size_t queue_depth = 0;   ///< jobs waiting at snapshot time
+  bool busy = false;        ///< worker mid-Optimize at snapshot time
   SessionStats session;     ///< the shard session's cumulative counters
   PlanCacheStats cache;     ///< the shard plan cache's counters
   size_t cache_entries = 0;
@@ -79,20 +147,27 @@ struct ShardStats {
 /// Pool-wide stats: per-shard snapshots plus batch-level counters.
 struct PoolStats {
   std::vector<ShardStats> shards;
-  size_t submitted = 0;   ///< jobs enqueued (after dedupe)
+  size_t submitted = 0;   ///< jobs enqueued (after dedupe, minus rejections)
   size_t dedup_hits = 0;  ///< batch members that rode another member's job
+  /// Batch members pre-grouped by structural hash — exact resubmissions
+  /// that skipped routing (translate/canonicalize) entirely. Disjoint from
+  /// dedup_hits.
+  size_t pregroup_hits = 0;
   size_t completed = 0;
 
   /// Aggregates across shards (sums; hit rate recomputed from sums).
   size_t TotalExecuted() const;
   size_t TotalSteals() const;
+  size_t TotalExpired() const;
+  size_t TotalCancelled() const;
+  size_t TotalRejected() const;
   double CacheHitRate() const;  ///< hits / (hits+misses) over all shards
   std::string ToString() const;
 };
 
 /// The sharded serving layer. Construction spawns the workers; destruction
 /// drains every queue, then joins them (no job is abandoned — every future
-/// obtained from Submit/BatchSubmit becomes ready).
+/// obtained from Submit/SubmitAsync/BatchSubmit becomes ready).
 class SessionPool {
  public:
   explicit SessionPool(std::shared_ptr<const OptimizerContext> context,
@@ -102,18 +177,26 @@ class SessionPool {
   SessionPool(const SessionPool&) = delete;
   SessionPool& operator=(const SessionPool&) = delete;
 
-  /// Routes one query to its home shard and enqueues it. Thread-safe.
-  std::shared_future<OptimizedPlan> Submit(
-      ExprPtr expr, std::shared_ptr<const Catalog> catalog);
+  /// Admits, routes and enqueues one request. Always returns a live future:
+  /// an admission rejection completes it immediately with
+  /// kResourceExhausted. Thread-safe.
+  ServeFuture<OptimizedPlan> SubmitAsync(const ServeRequest& request);
 
-  /// Routes a whole batch, deduping by canonical form first: members whose
-  /// canonical forms are isomorphic (and whose referenced inputs agree —
-  /// the fingerprint pins those) share one optimization. Returns one future
-  /// per request, index-aligned; duplicates share the representative's.
-  std::vector<std::shared_future<OptimizedPlan>> BatchSubmit(
+  /// Convenience: SubmitAsync with no deadline and normal priority.
+  ServeFuture<OptimizedPlan> Submit(ExprPtr expr,
+                                    std::shared_ptr<const Catalog> catalog);
+
+  /// Routes a whole batch with two-level dedupe (structural pre-grouping,
+  /// then canonical form): members whose canonical forms are isomorphic
+  /// (and whose referenced inputs agree — the fingerprint pins those)
+  /// share one optimization, run under the loosest deadline and best
+  /// priority of the group. Returns one future per request, index-aligned;
+  /// each is a member handle on the shared job (results — and rejections —
+  /// are shared; Cancel only votes).
+  std::vector<ServeFuture<OptimizedPlan>> BatchSubmit(
       const std::vector<ServeRequest>& batch);
 
-  /// Blocks until every job submitted so far has completed.
+  /// Blocks until every admitted job has completed.
   void Drain();
 
   /// Snapshot of per-shard and pool-wide counters. Never blocks on a
@@ -125,6 +208,9 @@ class SessionPool {
   const ShardRouter& router() const { return router_; }
 
  private:
+  using Future = ServeFuture<OptimizedPlan>;
+  using FutureState = Future::State;
+
   struct Job {
     ExprPtr expr;
     std::shared_ptr<const Catalog> catalog;
@@ -134,35 +220,72 @@ class SessionPool {
     std::optional<PlanCacheKey> key;
     std::optional<RaProgram> translation;
     size_t home_shard = 0;
-    std::promise<OptimizedPlan> promise;
+    int priority = kPriorityNormal;
+    uint64_t seq = 0;       ///< enqueue order; FIFO within a priority level
+    Deadline deadline;
+    Timer queued;           ///< started at enqueue; feeds the age admission
+    std::shared_ptr<FutureState> state;  ///< result + callbacks + cancel
   };
 
   struct Shard {
     mutable std::mutex mu;            ///< guards queue + snapshots below
     std::deque<std::unique_ptr<Job>> queue;
+    /// Mirrors queue.size(), updated under mu but readable lock-free: the
+    /// submit path samples every shard's depth for router load bias, and
+    /// must not take N shard locks per submission to do it. Approximate by
+    /// design (bias is a heuristic); admission reads the exact size under
+    /// the lock.
+    std::atomic<size_t> depth{0};
     size_t executed = 0;
     size_t steals = 0;
     size_t stolen_from = 0;
+    size_t expired = 0;
+    size_t cancelled = 0;
+    size_t rejected = 0;
     SessionStats session_stats;       ///< copied after each job
     PlanCacheStats cache_stats;
     size_t cache_entries = 0;
+    /// Worker-busy signal for lone-job stealing and stats: set around the
+    /// session call, read lock-free by thieves and Stats().
+    std::atomic<bool> busy{false};
+    std::atomic<int64_t> busy_since_ns{0};
+    /// When a job was last popped from this queue (by owner or thief);
+    /// feeds the age-admission stall signal. 0 = never popped.
+    std::atomic<int64_t> last_pop_ns{0};
     /// The session itself: touched only by the worker thread that owns
     /// this shard (stolen jobs run on the *thief's* session).
     std::unique_ptr<OptimizerSession> session;
     std::thread worker;
   };
 
-  std::shared_future<OptimizedPlan> Enqueue(std::unique_ptr<Job> job);
+  /// Admission + enqueue; the returned future is the job's (or an
+  /// immediately-rejected one).
+  Future Enqueue(std::unique_ptr<Job> job);
+  /// Lock-free queue-depth snapshot for router load bias. Returns a
+  /// thread-local buffer (valid until this thread's next call).
+  const std::vector<size_t>& QueueDepths() const;
+  /// Wraps a shared job's future in a member handle (deduped batches):
+  /// results forward to it, and Cancel completes only this handle until
+  /// every member of the job has voted (see serve_future.h).
+  Future AttachMember(const Future& job_future);
   void WorkerLoop(size_t shard_index);
-  /// Pops the next job for worker `self`: own queue front first, else the
-  /// oldest job of the most backlogged other queue (work stealing).
-  std::unique_ptr<Job> NextJob(size_t self, bool* stolen);
+  /// Pops the next job for worker `self`, best (priority, seq) first: own
+  /// queue, else the most backlogged stealable other queue. Sets
+  /// *retry_soon when a lone job exists that will become stealable once its
+  /// home worker has been busy long enough (the caller parks with a timeout
+  /// instead of indefinitely).
+  std::unique_ptr<Job> NextJob(size_t self, bool* stolen, bool* retry_soon);
+  /// Completes a dequeued-but-not-run job (expired / cancelled) and keeps
+  /// the drain accounting live.
+  void DisposeJob(size_t self, Job& job, Status status);
   void RunJob(size_t self, Job& job, bool stolen);
+  void FinishJob();  ///< drain accounting after any completion
 
   std::shared_ptr<const OptimizerContext> context_;
   PoolConfig config_;
   ShardRouter router_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<uint64_t> next_seq_{0};
 
   /// Parking lot: workers sleep here when every queue is empty; every
   /// enqueue bumps the epoch (missed-wakeup-free sleep protocol).
@@ -177,6 +300,7 @@ class SessionPool {
   size_t submitted_ = 0;
   size_t completed_ = 0;
   size_t dedup_hits_ = 0;
+  size_t pregroup_hits_ = 0;
 };
 
 }  // namespace spores

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cstdio>
-#include <vector>
 
 #include "src/rules/rules_lr.h"
 #include "src/util/check.h"
@@ -11,10 +10,12 @@
 namespace spores {
 
 ShardRouter::ShardRouter(size_t num_shards,
-                         std::shared_ptr<const OptimizerContext> ctx)
-    : num_shards_(num_shards), context_(std::move(ctx)) {
+                         std::shared_ptr<const OptimizerContext> ctx,
+                         RouterConfig config)
+    : num_shards_(num_shards), context_(std::move(ctx)), config_(config) {
   SPORES_CHECK_GT(num_shards_, 0u);
   SPORES_CHECK(context_ != nullptr);
+  SPORES_CHECK_GT(config_.affinity_capacity, 0u);
 }
 
 uint64_t ShardRouter::HashBytes(const std::string& bytes) {
@@ -26,8 +27,31 @@ uint64_t ShardRouter::HashBytes(const std::string& bytes) {
   return h;
 }
 
+size_t ShardRouter::PlaceNewClass(uint64_t fingerprint_hash,
+                                  const std::vector<size_t>* queue_depths,
+                                  bool* biased) const {
+  size_t home = fingerprint_hash % num_shards_;
+  if (queue_depths && queue_depths->size() == num_shards_) {
+    size_t shallowest = home;
+    for (size_t i = 0; i < num_shards_; ++i) {
+      if ((*queue_depths)[i] < (*queue_depths)[shallowest]) shallowest = i;
+    }
+    if ((*queue_depths)[home] >
+        (*queue_depths)[shallowest] + config_.load_bias_slack) {
+      *biased = true;
+      return shallowest;
+    }
+  }
+  return home;
+}
+
 RouteDecision ShardRouter::Route(const ExprPtr& expr,
                                  const Catalog& catalog) const {
+  return Route(expr, catalog, {});
+}
+
+RouteDecision ShardRouter::Route(const ExprPtr& expr, const Catalog& catalog,
+                                 const std::vector<size_t>& queue_depths) const {
   Timer timer;
   RouteDecision out;
   // Same translation the executing session would run: deterministic
@@ -43,14 +67,34 @@ RouteDecision ShardRouter::Route(const ExprPtr& expr,
   }
   if (out.key.ok()) {
     // The fingerprint is renaming-invariant (exact input metadata + the
-    // polyterm signature), so isomorphic queries share it — and the shard.
-    out.shard = HashBytes(out.key.value().fingerprint) % num_shards_;
+    // polyterm signature), so isomorphic queries share it — and, through
+    // the affinity map, the shard. The lookup+insert is one critical
+    // section so two racing submitters of a brand-new class agree on its
+    // placement (the second one finds the first one's pin).
+    uint64_t fp_hash = HashBytes(out.key.value().fingerprint);
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = affinity_.find(fp_hash);
+    if (it != affinity_.end()) {
+      out.known_class = true;
+      out.shard = it->second;
+    } else {
+      out.shard = PlaceNewClass(
+          fp_hash, queue_depths.empty() ? nullptr : &queue_depths,
+          &out.load_biased);
+      affinity_.emplace(fp_hash, static_cast<uint32_t>(out.shard));
+      affinity_fifo_.push_back(fp_hash);
+      if (affinity_fifo_.size() > config_.affinity_capacity) {
+        affinity_.erase(affinity_fifo_.front());
+        affinity_fifo_.pop_front();
+      }
+    }
   } else {
     // Canonicalization bypass: route on structure + the catalog signature
     // (the session keys its shared e-graph on the same fingerprint).
     // Isomorphism groups whose members are structurally distinct may split
     // across shards, but each individual query still routes
-    // deterministically.
+    // deterministically — and never load-biased, since no cache affinity
+    // exists to manage.
     char buf[32];
     std::snprintf(buf, sizeof(buf), "%016llx",
                   static_cast<unsigned long long>(expr->Hash()));

@@ -1,4 +1,4 @@
-// Canonical-form shard routing.
+// Canonical-form shard routing with load-aware placement of new classes.
 //
 // A serving deployment runs N shard-local optimizer sessions; which shard a
 // query lands on decides which plan cache and which warm e-graph it can
@@ -11,9 +11,27 @@
 // isomorphism class maps to the same shard, and a shard's plan cache sees
 // a closed key population (the isolation the routing tests pin down).
 //
+// Placement is steal-aware (PR 5): pure fingerprint hashing can pile new
+// work onto a shard that is already deep in saturation, leaving the pool to
+// fix placement after the fact by stealing — which forfeits cache warming.
+// So the router keeps an *affinity map* (fingerprint hash -> shard):
+//
+//  * A KNOWN fingerprint always routes to its pinned shard — its plan cache
+//    entry and warm e-graph region live there; load never moves it.
+//  * A NEW fingerprint defaults to hash % num_shards, but when the caller
+//    provides a queue-depth snapshot and the home queue is deeper than the
+//    shallowest by more than RouterConfig::load_bias_slack, it is placed on
+//    the shallowest queue instead — and pinned there, so the class's future
+//    members keep the new home's cache affinity.
+//
+// The map is bounded (FIFO eviction). Eviction only costs performance, not
+// correctness: a re-routed class may leave a stale cached plan on its old
+// shard and re-optimize on the new one.
+//
 // Queries whose RA term cannot be canonicalized (the plan cache bypasses
 // those too) fall back to hashing the expression's structural hash plus the
-// catalog fingerprint: still deterministic, just not isomorphism-stable.
+// catalog fingerprint: still deterministic, just not isomorphism-stable,
+// and never load-biased (there is no cache affinity to manage).
 //
 // The by-product PlanCacheKey is returned with the route so the executing
 // session can skip re-canonicalizing (see QueryOptions::key) — on a warm
@@ -21,19 +39,38 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
+#include <vector>
 
 #include "src/optimizer/optimizer_context.h"
 #include "src/optimizer/plan_cache.h"
 
 namespace spores {
 
+struct RouterConfig {
+  /// Bound on the fingerprint->shard affinity map (FIFO eviction beyond).
+  size_t affinity_capacity = 1 << 16;
+  /// A new class is moved off its hash-home only when the home queue is
+  /// deeper than the shallowest queue by MORE than this. Slack keeps
+  /// near-balanced pools on pure hash placement (deterministic, no map
+  /// churn from transient one-job differences).
+  size_t load_bias_slack = 2;
+};
+
 /// Routing decision for one query. The translation and key are by-products
 /// the executing session reuses (QueryOptions::{translation,key}) so a
 /// routed query is translated and canonicalized exactly once end to end.
 struct RouteDecision {
   size_t shard = 0;
+  /// This fingerprint was already pinned in the affinity map (its class has
+  /// been routed before — the shard's cache plausibly holds its plan).
+  bool known_class = false;
+  /// The load snapshot moved this new class off its hash-home shard.
+  bool load_biased = false;
   /// The canonical-form cache key (error == canonicalization bypass; the
   /// query was routed on its structural fallback hash instead).
   StatusOr<PlanCacheKey> key = Status::Unsupported("not routed");
@@ -42,25 +79,53 @@ struct RouteDecision {
   double seconds = 0.0;  ///< translate + canonicalize time spent routing
 };
 
-/// Stateless (beyond the shared context) and thread-safe: Route may be
-/// called from any number of submitter threads concurrently.
+/// Thread-safe: Route may be called from any number of submitter threads
+/// concurrently (the affinity map is internally synchronized).
 class ShardRouter {
  public:
-  ShardRouter(size_t num_shards, std::shared_ptr<const OptimizerContext> ctx);
+  ShardRouter(size_t num_shards, std::shared_ptr<const OptimizerContext> ctx,
+              RouterConfig config = {});
 
   size_t num_shards() const { return num_shards_; }
 
-  /// Routes one query. Deterministic: the same (expr, catalog) — or any
-  /// isomorphic rewriting of it — always maps to the same shard.
+  /// Routes one query without load information: known classes keep their
+  /// pinned shard, new classes take hash % num_shards (and are pinned).
+  ///
+  /// NOTE: every Route call IS a routing decision, not a passive probe —
+  /// a new class is pinned in the affinity map as a side effect (under
+  /// capacity pressure this can evict another pin). That is deliberate:
+  /// callers that ask "where would this land" and then submit must get
+  /// the answer they were given, so prediction-by-probing is consistent
+  /// by construction (the tests rely on it). It also means a depth-less
+  /// probe pins the hash-home and a later load-biased submit honors that
+  /// pin rather than re-balancing — affinity always beats balance once a
+  /// class is known. There is no read-only observer API on purpose.
   RouteDecision Route(const ExprPtr& expr, const Catalog& catalog) const;
+
+  /// Load-aware routing: `queue_depths[i]` is shard i's queue depth at
+  /// submit. Known classes still keep their pinned shard (cache affinity
+  /// beats balance); a new class lands on the shallowest queue when its
+  /// hash-home is more than load_bias_slack deeper.
+  RouteDecision Route(const ExprPtr& expr, const Catalog& catalog,
+                      const std::vector<size_t>& queue_depths) const;
 
   /// Stable 64-bit FNV-1a (not std::hash: shard assignment should not
   /// depend on the standard library's per-process salt).
   static uint64_t HashBytes(const std::string& bytes);
 
  private:
+  size_t PlaceNewClass(uint64_t fingerprint_hash,
+                       const std::vector<size_t>* queue_depths,
+                       bool* biased) const;
+
   size_t num_shards_;
   std::shared_ptr<const OptimizerContext> context_;
+  RouterConfig config_;
+
+  /// fingerprint hash -> pinned shard. Guarded by mu_; FIFO-bounded.
+  mutable std::mutex mu_;
+  mutable std::unordered_map<uint64_t, uint32_t> affinity_;
+  mutable std::deque<uint64_t> affinity_fifo_;
 };
 
 }  // namespace spores

@@ -73,7 +73,8 @@ struct SolverState {
 
   bool OutOfBudget() {
     if (nodes > config.max_search_nodes ||
-        timer.Seconds() > config.timeout_seconds) {
+        timer.Seconds() > config.timeout_seconds ||
+        config.cancel.cancelled()) {
       budget_exhausted = true;
       return true;
     }

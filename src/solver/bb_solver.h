@@ -7,12 +7,17 @@
 #include <vector>
 
 #include "src/solver/ilp_model.h"
+#include "src/util/cancellation.h"
 
 namespace spores {
 
 struct SolverConfig {
   double timeout_seconds = 5.0;
   uint64_t max_search_nodes = 5'000'000;
+  /// External cancellation, polled with the node/time budget at every search
+  /// node; treated as budget exhaustion (best incumbent so far is returned,
+  /// never marked proven-optimal). Inert by default.
+  CancelToken cancel;
   /// Known feasible objective (e.g. from a greedy warm start); the search
   /// prunes any branch reaching this cost. infinity = no warm start.
   double initial_upper_bound = 0.0;

@@ -1,0 +1,54 @@
+// Cooperative cancellation for long-running optimizer work.
+//
+// A CancelToken is a copyable handle to one shared cancellation flag. The
+// serving layer creates a cancellable token per job and hands copies down
+// the pipeline (session -> saturation runner -> ILP branch-and-bound);
+// ServeFuture::Cancel() flips the flag from any thread and every holder
+// observes it at its next budget checkpoint — the same places the wall-clock
+// timeout is polled, so cancellation latency is bounded by the existing
+// check cadence, and a cancelled job stops spending budget its caller has
+// already given up on.
+//
+// A default-constructed token is inert: cancelled() is constant-false and
+// RequestCancel() is a no-op, so single-shot callers pay nothing.
+#pragma once
+
+#include <atomic>
+#include <memory>
+
+namespace spores {
+
+class CancelToken {
+ public:
+  /// Inert token: never reports cancellation. The default for callers that
+  /// don't need the facility (plain Optimize calls, tests, benches).
+  CancelToken() = default;
+
+  /// A live token backed by a fresh shared flag. Copies share the flag.
+  static CancelToken Cancellable() {
+    CancelToken token;
+    token.flag_ = std::make_shared<std::atomic<bool>>(false);
+    return token;
+  }
+
+  /// Requests cancellation; every copy of this token observes it. Safe to
+  /// call from any thread, idempotent, no-op on an inert token.
+  void RequestCancel() const {
+    if (flag_) flag_->store(true, std::memory_order_relaxed);
+  }
+
+  /// True once RequestCancel was called on any copy. Relaxed load: callers
+  /// poll at budget checkpoints; no ordering is needed beyond eventually
+  /// seeing the store.
+  bool cancelled() const {
+    return flag_ && flag_->load(std::memory_order_relaxed);
+  }
+
+  /// False for the inert default token.
+  bool cancellable() const { return flag_ != nullptr; }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+}  // namespace spores

@@ -1,0 +1,48 @@
+// Per-query wall-clock deadlines for the serving pipeline.
+//
+// A Deadline is an absolute steady-clock point (or "none"): jobs carry one
+// from Submit through the queue into the optimizer stages, each of which
+// derives its own budget from RemainingSeconds() — so the budget a caller
+// grants is a property of the query, not of whichever stage happens to be
+// running when it runs out. Absolute (not duration) on purpose: time spent
+// queued counts against the caller's budget too.
+#pragma once
+
+#include <chrono>
+#include <limits>
+
+namespace spores {
+
+class Deadline {
+ public:
+  /// No deadline: never expires, infinite remaining budget. The default.
+  Deadline() = default;
+
+  /// Expires `seconds` from now (may be <= 0: already expired).
+  static Deadline AfterSeconds(double seconds) {
+    Deadline d;
+    d.has_deadline_ = true;
+    d.at_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                               std::chrono::duration<double>(seconds));
+    return d;
+  }
+
+  bool has_deadline() const { return has_deadline_; }
+
+  /// Seconds until expiry: +infinity with no deadline, negative once past.
+  double RemainingSeconds() const {
+    if (!has_deadline_) return std::numeric_limits<double>::infinity();
+    return std::chrono::duration<double>(at_ - Clock::now()).count();
+  }
+
+  bool Expired() const {
+    return has_deadline_ && Clock::now() >= at_;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  bool has_deadline_ = false;
+  Clock::time_point at_{};
+};
+
+}  // namespace spores

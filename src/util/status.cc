@@ -12,6 +12,8 @@ const char* CodeName(StatusCode code) {
     case StatusCode::kInternal: return "Internal";
     case StatusCode::kResourceExhausted: return "ResourceExhausted";
     case StatusCode::kTimeout: return "Timeout";
+    case StatusCode::kCancelled: return "Cancelled";
+    case StatusCode::kDeadlineExceeded: return "DeadlineExceeded";
   }
   return "Unknown";
 }

@@ -18,6 +18,8 @@ enum class StatusCode {
   kInternal,
   kResourceExhausted,
   kTimeout,
+  kCancelled,
+  kDeadlineExceeded,
 };
 
 /// A Status holds either success (ok) or an error code plus message.
@@ -45,6 +47,12 @@ class Status {
   }
   static Status Timeout(std::string msg) {
     return Status(StatusCode::kTimeout, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

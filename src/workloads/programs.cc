@@ -65,4 +65,21 @@ std::vector<Program> AllPrograms() {
           PnmfProgram()};
 }
 
+
+ExprPtr NonConvergingChainExpr() {
+  ExprPtr chain = Expr::Var("A");
+  for (const char* n : {"B", "C", "D", "E", "F"}) {
+    chain = Expr::MatMul(std::move(chain), Expr::Var(n));
+  }
+  return Expr::Sum(std::move(chain));
+}
+
+Catalog NonConvergingCatalog() {
+  Catalog c;
+  for (const char* n : {"A", "B", "C", "D", "E", "F"}) {
+    c.Register(n, 60, 60, 0.3);
+  }
+  return c;
+}
+
 }  // namespace spores

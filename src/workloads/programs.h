@@ -47,4 +47,15 @@ Program IntroProgram();
 /// All five benchmark programs in the paper's order.
 std::vector<Program> AllPrograms();
 
+/// A serving-test blocker: a matmul chain whose saturation does NOT
+/// converge inside any realistic budget (the AC join/association rules
+/// keep finding new matches), so a worker given a huge RunnerConfig budget
+/// stays reliably busy until its clock or cancel token stops it.
+/// serve_test's async tests and bench_serving's cancel gate both build on
+/// this; sharing one definition keeps the non-convergence invariant from
+/// drifting apart between them. `NonConvergingCatalog` registers its six
+/// 60x60 inputs at 0.3 sparsity.
+ExprPtr NonConvergingChainExpr();
+Catalog NonConvergingCatalog();
+
 }  // namespace spores

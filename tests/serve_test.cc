@@ -1,12 +1,17 @@
 // Tests of the sharded serving layer: canonical-form routing determinism,
-// per-shard plan-cache isolation, batch dedupe, pool stats aggregation,
-// single-session vs sharded plan-cost identity, and the shared
-// OptimizerContext (two sessions over one context agree with a private
-// session). serve_test runs under ThreadSanitizer in CI — the pool tests
+// load-aware placement, per-shard plan-cache isolation, batch dedupe
+// (structural pre-grouping + canonical form), pool stats aggregation,
+// single-session vs sharded plan-cost identity, the shared OptimizerContext,
+// and the PR 5 async lifecycle — completion callbacks, cancellation before
+// dequeue and mid-saturation, deadline expiry at dequeue, admission
+// rejection, degraded-plan provenance, lone-job stealing, and priority
+// ordering. serve_test runs under ThreadSanitizer in CI — the pool tests
 // double as race detectors for everything the context shares.
 #include <gtest/gtest.h>
 
+#include <mutex>
 #include <set>
+#include <thread>
 
 #include "src/ir/parser.h"
 #include "src/ir/printer.h"
@@ -34,6 +39,43 @@ std::vector<ExprPtr> DistinctQueries() {
   return out;
 }
 
+// The shared non-converging blocker workload (src/workloads/programs.h):
+// a worker given BlockerConfig's huge budget stays reliably busy on it
+// until its clock or cancel token stops it. bench_serving's cancel gate
+// uses the same definition, so the non-convergence invariant cannot drift
+// between the two files.
+ExprPtr HeavyQuery() { return NonConvergingChainExpr(); }
+
+std::shared_ptr<const Catalog> HeavyCatalog() {
+  return std::make_shared<Catalog>(NonConvergingCatalog());
+}
+
+// Session config whose saturation effectively never finishes on its own:
+// the async tests stop it with Cancel() (or leave it to the huge budget).
+SessionConfig BlockerConfig() {
+  SessionConfig cfg;
+  cfg.runner.timeout_seconds = 30.0;
+  cfg.runner.max_iterations = 1'000'000;
+  cfg.runner.max_nodes = 100'000'000;
+  cfg.extraction = ExtractionStrategy::kGreedy;
+  return cfg;
+}
+
+// Polls pool stats until some worker reports busy (the blocker was
+// dequeued and is optimizing). Returns the busy shard, or num_shards on
+// timeout.
+size_t WaitForBusyShard(const SessionPool& pool, double timeout_seconds) {
+  Timer t;
+  while (t.Seconds() < timeout_seconds) {
+    PoolStats stats = pool.Stats();
+    for (size_t s = 0; s < stats.shards.size(); ++s) {
+      if (stats.shards[s].busy) return s;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return pool.num_shards();
+}
+
 // ---- Router ----
 
 TEST(Router, DeterministicAndIsomorphismStable) {
@@ -48,8 +90,11 @@ TEST(Router, DeterministicAndIsomorphismStable) {
   ExprPtr q = ParseExpr("sum(X + Y)").value();
   RouteDecision first = router.Route(q, c);
   ASSERT_TRUE(first.key.ok());
+  EXPECT_FALSE(first.known_class);
   for (int i = 0; i < 3; ++i) {
-    EXPECT_EQ(router.Route(q, c).shard, first.shard);
+    RouteDecision again = router.Route(q, c);
+    EXPECT_EQ(again.shard, first.shard);
+    EXPECT_TRUE(again.known_class);  // pinned by the first route
   }
 
   // Isomorphic-but-differently-written query: same shard.
@@ -81,6 +126,33 @@ TEST(Router, SpreadsDistinctQueries) {
   EXPECT_GE(shards.size(), 2u);
 }
 
+TEST(Router, LoadBiasPlacesNewClassesOnShallowQueuesKeepsAffinity) {
+  auto context = std::make_shared<const OptimizerContext>();
+  ShardRouter router(4, context);
+  Catalog c;
+  c.Register("X", 200, 150, 0.1);
+  c.Register("Y", 200, 150);
+
+  // New class with shard 3 far shallower than everything else: whatever
+  // its hash-home, it must land on shard 3 (home == 3 trivially, else the
+  // bias moves it — the slack of 2 is exceeded either way).
+  ExprPtr q = ParseExpr("sum(X %*% t(Y))").value();
+  RouteDecision first = router.Route(q, c, {9, 9, 9, 0});
+  EXPECT_EQ(first.shard, 3u);
+  EXPECT_FALSE(first.known_class);
+
+  // Known class: affinity beats load — even with shard 3 now the deepest.
+  RouteDecision again = router.Route(q, c, {0, 0, 0, 9});
+  EXPECT_TRUE(again.known_class);
+  EXPECT_EQ(again.shard, 3u);
+
+  // Near-balanced depths (within the slack): a new class stays on its
+  // hash-home, no bias churn.
+  RouteDecision balanced =
+      router.Route(ParseExpr("sum(X - Y)").value(), c, {1, 1, 2, 1});
+  EXPECT_FALSE(balanced.load_biased);
+}
+
 // ---- Pool: correctness, isolation, dedupe, stats ----
 
 TEST(Pool, ServesQueriesAndIsolatesShardCaches) {
@@ -92,7 +164,9 @@ TEST(Pool, ServesQueriesAndIsolatesShardCaches) {
   auto catalog = SmallFactorizationCatalog();
   std::vector<ExprPtr> queries = DistinctQueries();
 
-  // Expected shard population, from the router directly.
+  // Expected shard population, from the router directly (this also pins
+  // every class in the affinity map, so the submissions below follow it
+  // regardless of queue depths).
   std::vector<size_t> routed_to(cfg.num_shards, 0);
   for (const ExprPtr& q : queries) {
     ++routed_to[pool.router().Route(q, *catalog).shard];
@@ -100,16 +174,20 @@ TEST(Pool, ServesQueriesAndIsolatesShardCaches) {
 
   // Submit every query twice: the second submission must be served by the
   // home shard's cache.
-  std::vector<std::shared_future<OptimizedPlan>> first, second;
+  std::vector<ServeFuture<OptimizedPlan>> first, second;
   for (const ExprPtr& q : queries) first.push_back(pool.Submit(q, catalog));
   pool.Drain();
   for (const ExprPtr& q : queries) second.push_back(pool.Submit(q, catalog));
   pool.Drain();
 
   for (size_t i = 0; i < queries.size(); ++i) {
-    EXPECT_FALSE(first[i].get().used_fallback) << i;
-    EXPECT_TRUE(second[i].get().cache_hit) << i;
-    EXPECT_EQ(second[i].get().plan_cost, first[i].get().plan_cost) << i;
+    ASSERT_TRUE(first[i].get().ok()) << i;
+    ASSERT_TRUE(second[i].get().ok()) << i;
+    EXPECT_FALSE(first[i].get().value().used_fallback) << i;
+    EXPECT_TRUE(second[i].get().value().cache_hit) << i;
+    EXPECT_EQ(second[i].get().value().plan_cost,
+              first[i].get().value().plan_cost)
+        << i;
   }
 
   // Isolation: each shard's cache holds exactly the distinct queries routed
@@ -126,9 +204,11 @@ TEST(Pool, ServesQueriesAndIsolatesShardCaches) {
   EXPECT_EQ(stats.submitted, 2 * queries.size());
   EXPECT_EQ(stats.completed, 2 * queries.size());
   EXPECT_EQ(stats.TotalSteals(), 0u);
+  EXPECT_EQ(stats.TotalRejected(), 0u);
+  EXPECT_EQ(stats.TotalExpired(), 0u);
 }
 
-TEST(Pool, BatchSubmitDedupesByCanonicalForm) {
+TEST(Pool, BatchSubmitDedupesByStructureAndCanonicalForm) {
   auto context = std::make_shared<const OptimizerContext>();
   PoolConfig cfg;
   cfg.num_shards = 2;
@@ -138,8 +218,11 @@ TEST(Pool, BatchSubmitDedupesByCanonicalForm) {
   c.Register("Y", 200, 150);
   auto catalog = std::make_shared<const Catalog>(c);
 
-  // Four batch members, two canonical forms: {0,1,3} are isomorphic
-  // (resubmission and commuted rewriting), 2 is distinct.
+  // Four batch members, two canonical forms: {0,1,3} are one class (an
+  // exact resubmission and a commuted rewriting — AC child sorting may
+  // even make 3 structurally identical, in which case it pre-groups
+  // instead of deduping; either way it rides member 0's job), 2 is
+  // distinct.
   std::vector<ServeRequest> batch = {
       {ParseExpr("sum(X + Y)").value(), catalog},
       {ParseExpr("sum(X + Y)").value(), catalog},
@@ -151,13 +234,18 @@ TEST(Pool, BatchSubmitDedupesByCanonicalForm) {
   pool.Drain();
 
   // Duplicates ride one optimization: one job, one shared result.
-  EXPECT_EQ(futures[0].get().plan_cost, futures[1].get().plan_cost);
-  EXPECT_EQ(futures[0].get().plan_cost, futures[3].get().plan_cost);
-  EXPECT_FALSE(futures[2].get().used_fallback);
+  ASSERT_TRUE(futures[0].get().ok());
+  ASSERT_TRUE(futures[2].get().ok());
+  EXPECT_EQ(futures[0].get().value().plan_cost,
+            futures[1].get().value().plan_cost);
+  EXPECT_EQ(futures[0].get().value().plan_cost,
+            futures[3].get().value().plan_cost);
+  EXPECT_FALSE(futures[2].get().value().used_fallback);
 
   PoolStats stats = pool.Stats();
-  EXPECT_EQ(stats.submitted, 2u);   // 4 members, 2 jobs
-  EXPECT_EQ(stats.dedup_hits, 2u);
+  EXPECT_EQ(stats.submitted, 2u);  // 4 members, 2 jobs
+  EXPECT_EQ(stats.dedup_hits + stats.pregroup_hits, 2u);
+  EXPECT_GE(stats.pregroup_hits, 1u);  // member 1 is an exact resubmission
   EXPECT_EQ(stats.completed, 2u);
   EXPECT_EQ(stats.TotalExecuted(), 2u);
 }
@@ -181,14 +269,15 @@ TEST(Pool, ShardedMatchesSingleSessionPlanCosts) {
   PoolConfig pool_cfg;
   pool_cfg.num_shards = 4;
   SessionPool pool(context, pool_cfg);
-  std::vector<std::shared_future<OptimizedPlan>> futures;
+  std::vector<ServeFuture<OptimizedPlan>> futures;
   for (const ExprPtr& q : queries) futures.push_back(pool.Submit(q, catalog));
   pool.Drain();
 
   size_t compared = 0;
   for (size_t i = 0; i < queries.size(); ++i) {
     const OptimizedPlan& a = expected[i];
-    const OptimizedPlan& b = futures[i].get();
+    ASSERT_TRUE(futures[i].get().ok()) << i;
+    const OptimizedPlan& b = futures[i].get().value();
     EXPECT_FALSE(a.used_fallback) << i;
     EXPECT_FALSE(b.used_fallback) << i;
     if (a.saturation.stop_reason == StopReason::kSaturated &&
@@ -214,7 +303,7 @@ TEST(Pool, WorkStealingKeepsResultsCorrect) {
   auto catalog = std::make_shared<const Catalog>(c);
 
   ExprPtr q = ParseExpr("sum(X %*% t(Y))").value();
-  std::vector<std::shared_future<OptimizedPlan>> futures;
+  std::vector<ServeFuture<OptimizedPlan>> futures;
   for (int i = 0; i < 12; ++i) futures.push_back(pool.Submit(q, catalog));
   pool.Drain();
 
@@ -224,21 +313,411 @@ TEST(Pool, WorkStealingKeepsResultsCorrect) {
   double cost = 0.0;
   size_t gated = 0;
   for (const auto& f : futures) {
-    EXPECT_FALSE(f.get().used_fallback);
-    if (!f.get().cache_hit &&
-        f.get().saturation.stop_reason != StopReason::kSaturated) {
+    ASSERT_TRUE(f.get().ok());
+    const OptimizedPlan& plan = f.get().value();
+    EXPECT_FALSE(plan.used_fallback);
+    if (!plan.cache_hit &&
+        plan.saturation.stop_reason != StopReason::kSaturated) {
       continue;
     }
     if (gated++ == 0) {
-      cost = f.get().plan_cost;
+      cost = plan.plan_cost;
     } else {
-      EXPECT_EQ(f.get().plan_cost, cost);
+      EXPECT_EQ(plan.plan_cost, cost);
     }
   }
   EXPECT_GT(gated, 0u);
   PoolStats stats = pool.Stats();
   EXPECT_EQ(stats.TotalExecuted(), futures.size());
   EXPECT_EQ(stats.completed, futures.size());
+}
+
+// ---- Async lifecycle (PR 5) ----
+
+TEST(Async, CallbacksFireOnceInRegistrationOrder) {
+  auto context = std::make_shared<const OptimizerContext>();
+  PoolConfig cfg;
+  cfg.num_shards = 1;
+  SessionPool pool(context, cfg);
+  Catalog c;
+  c.Register("X", 100, 80, 0.1);
+  c.Register("Y", 100, 80);
+  auto catalog = std::make_shared<const Catalog>(c);
+
+  std::mutex mu;
+  std::vector<int> order;
+  auto future = pool.Submit(ParseExpr("sum(X + Y)").value(), catalog);
+  // Whether these land before or after completion, each fires exactly once
+  // with the published result, in registration order.
+  future.then([&](const StatusOr<OptimizedPlan>& r) {
+    std::lock_guard<std::mutex> lock(mu);
+    ASSERT_TRUE(r.ok());
+    order.push_back(1);
+  });
+  future.then([&](const StatusOr<OptimizedPlan>& r) {
+    std::lock_guard<std::mutex> lock(mu);
+    ASSERT_TRUE(r.ok());
+    order.push_back(2);
+  });
+  pool.Drain();
+  EXPECT_TRUE(future.ready());
+  // Registered after completion: runs inline, still in order.
+  future.then([&](const StatusOr<OptimizedPlan>& r) {
+    std::lock_guard<std::mutex> lock(mu);
+    ASSERT_TRUE(r.ok());
+    order.push_back(3);
+  });
+  std::lock_guard<std::mutex> lock(mu);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Async, CancelBeforeDequeueNeverRunsTheJob) {
+  auto context = std::make_shared<const OptimizerContext>(BlockerConfig());
+  PoolConfig cfg;
+  cfg.num_shards = 1;  // one worker: the blocker serializes everything
+  SessionPool pool(context, cfg);
+
+  auto blocker = pool.Submit(HeavyQuery(), HeavyCatalog());
+  ASSERT_LT(WaitForBusyShard(pool, 10.0), pool.num_shards());
+
+  Catalog c;
+  c.Register("X", 100, 80, 0.1);
+  c.Register("Y", 100, 80);
+  auto catalog = std::make_shared<const Catalog>(c);
+  auto queued = pool.Submit(ParseExpr("sum(X + Y)").value(), catalog);
+  queued.Cancel();   // still in the queue behind the blocker
+  blocker.Cancel();  // stop the blocker so the worker gets to the queue
+  pool.Drain();
+
+  EXPECT_EQ(queued.get().status().code(), StatusCode::kCancelled);
+  EXPECT_EQ(blocker.get().status().code(), StatusCode::kCancelled);
+  PoolStats stats = pool.Stats();
+  // Only the blocker ever entered Optimize; the cancelled job was
+  // short-circuited at dequeue.
+  EXPECT_EQ(stats.shards[0].session.queries, 1u);
+  EXPECT_EQ(stats.shards[0].executed, 1u);
+  EXPECT_EQ(stats.TotalCancelled(), 1u);
+}
+
+TEST(Async, CancelMidSaturationStopsTheRunnerViaToken) {
+  auto context = std::make_shared<const OptimizerContext>(BlockerConfig());
+  PoolConfig cfg;
+  cfg.num_shards = 1;
+  SessionPool pool(context, cfg);
+
+  auto future = pool.Submit(HeavyQuery(), HeavyCatalog());
+  ASSERT_LT(WaitForBusyShard(pool, 10.0), pool.num_shards());
+
+  Timer since_cancel;
+  future.Cancel();
+  // The 30s saturation budget must NOT be what ends this: the token is
+  // checked at the runner's clock checkpoints, so completion lands within
+  // seconds even under TSan (observed ~2ms; 5s leaves loaded-CI slack
+  // while still failing if the runner ignored the token).
+  ASSERT_TRUE(future.WaitFor(15.0));
+  EXPECT_LT(since_cancel.Seconds(), 5.0);
+  EXPECT_EQ(future.get().status().code(), StatusCode::kCancelled);
+  // The future resolves before its worker records counters; Drain orders
+  // the snapshot after every stat update.
+  pool.Drain();
+  PoolStats stats = pool.Stats();
+  EXPECT_EQ(stats.shards[0].session.queries, 1u);  // it did enter Optimize
+}
+
+TEST(Async, ExpiredJobShortCircuitsAtDequeueWithoutOptimizing) {
+  auto context = std::make_shared<const OptimizerContext>();
+  PoolConfig cfg;
+  cfg.num_shards = 2;
+  SessionPool pool(context, cfg);
+  Catalog c;
+  c.Register("X", 100, 80, 0.1);
+  c.Register("Y", 100, 80);
+  auto catalog = std::make_shared<const Catalog>(c);
+
+  ServeRequest request;
+  request.expr = ParseExpr("sum(X + Y)").value();
+  request.catalog = catalog;
+  request.deadline = Deadline::AfterSeconds(-1.0);  // expired on arrival
+  auto future = pool.SubmitAsync(request);
+  pool.Drain();
+
+  EXPECT_EQ(future.get().status().code(), StatusCode::kDeadlineExceeded);
+  PoolStats stats = pool.Stats();
+  EXPECT_EQ(stats.TotalExpired(), 1u);
+  EXPECT_EQ(stats.TotalExecuted(), 0u);
+  for (const ShardStats& s : stats.shards) {
+    EXPECT_EQ(s.session.queries, 0u);  // Optimize never ran anywhere
+  }
+}
+
+TEST(Async, AdmissionRejectsUnderSyntheticBacklog) {
+  auto context = std::make_shared<const OptimizerContext>(BlockerConfig());
+  PoolConfig cfg;
+  cfg.num_shards = 1;
+  cfg.admission.max_queue_depth = 2;
+  SessionPool pool(context, cfg);
+  Catalog c;
+  c.Register("X", 100, 80, 0.1);
+  c.Register("Y", 100, 80);
+  auto catalog = std::make_shared<const Catalog>(c);
+
+  auto blocker = pool.Submit(HeavyQuery(), HeavyCatalog());
+  ASSERT_LT(WaitForBusyShard(pool, 10.0), pool.num_shards());
+
+  // The worker is pinned on the blocker, so these sit in the queue: two
+  // admitted, the third bounced (depth 2 >= max_queue_depth).
+  auto ok1 = pool.Submit(ParseExpr("sum(X + Y)").value(), catalog);
+  auto ok2 = pool.Submit(ParseExpr("sum(X * Y)").value(), catalog);
+  auto bounced = pool.Submit(ParseExpr("sum(X - Y)").value(), catalog);
+  EXPECT_TRUE(bounced.ready());  // rejected synchronously, never queued
+  EXPECT_EQ(bounced.get().status().code(), StatusCode::kResourceExhausted);
+
+  blocker.Cancel();
+  pool.Drain();
+  EXPECT_TRUE(ok1.get().ok());
+  EXPECT_TRUE(ok2.get().ok());
+  PoolStats stats = pool.Stats();
+  EXPECT_EQ(stats.TotalRejected(), 1u);
+  EXPECT_EQ(stats.submitted, 3u);  // blocker + two admitted
+  EXPECT_EQ(stats.completed, 3u);
+}
+
+TEST(Async, AgeAdmissionRejectsOnlyWhenTheQueueIsStalled) {
+  auto context = std::make_shared<const OptimizerContext>(BlockerConfig());
+  PoolConfig cfg;
+  cfg.num_shards = 1;
+  cfg.admission.max_queue_age_seconds = 0.05;
+  SessionPool pool(context, cfg);
+  Catalog c;
+  c.Register("X", 100, 80, 0.1);
+  c.Register("Y", 100, 80);
+  auto catalog = std::make_shared<const Catalog>(c);
+
+  auto blocker = pool.Submit(HeavyQuery(), HeavyCatalog());
+  ASSERT_LT(WaitForBusyShard(pool, 10.0), pool.num_shards());
+
+  // Queue just started backing up: admitted (no stall yet).
+  auto ok1 = pool.Submit(ParseExpr("sum(X + Y)").value(), catalog);
+  EXPECT_FALSE(ok1.ready());
+  // Let the backlog sit: the worker is pinned, so the queue has jobs
+  // waiting and no dequeue — a stall well past the 50ms threshold.
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  auto bounced = pool.Submit(ParseExpr("sum(X * Y)").value(), catalog);
+  EXPECT_TRUE(bounced.ready());
+  EXPECT_EQ(bounced.get().status().code(), StatusCode::kResourceExhausted);
+
+  blocker.Cancel();
+  pool.Drain();
+  EXPECT_TRUE(ok1.get().ok());
+  EXPECT_EQ(pool.Stats().TotalRejected(), 1u);
+}
+
+TEST(Async, PriorityOrdersTheQueue) {
+  auto context = std::make_shared<const OptimizerContext>(BlockerConfig());
+  PoolConfig cfg;
+  cfg.num_shards = 1;
+  cfg.enable_work_stealing = false;
+  SessionPool pool(context, cfg);
+  Catalog c;
+  c.Register("X", 100, 80, 0.1);
+  c.Register("Y", 100, 80);
+  auto catalog = std::make_shared<const Catalog>(c);
+
+  auto blocker = pool.Submit(HeavyQuery(), HeavyCatalog());
+  ASSERT_LT(WaitForBusyShard(pool, 10.0), pool.num_shards());
+
+  // Queued while the worker is pinned, in worst-first order; the worker
+  // must pop them best-priority-first once the blocker is cancelled.
+  std::mutex mu;
+  std::vector<int> completion_order;
+  auto record = [&](int tag) {
+    return [&, tag](const StatusOr<OptimizedPlan>& r) {
+      std::lock_guard<std::mutex> lock(mu);
+      EXPECT_TRUE(r.ok());
+      completion_order.push_back(tag);
+    };
+  };
+  ServeRequest low{ParseExpr("sum(X + Y)").value(), catalog, Deadline(),
+                   kPriorityLow};
+  ServeRequest normal{ParseExpr("sum(X * Y)").value(), catalog, Deadline(),
+                      kPriorityNormal};
+  ServeRequest high{ParseExpr("sum(X - Y)").value(), catalog, Deadline(),
+                    kPriorityHigh};
+  auto f_low = pool.SubmitAsync(low);
+  auto f_normal = pool.SubmitAsync(normal);
+  auto f_high = pool.SubmitAsync(high);
+  f_low.then(record(3));
+  f_normal.then(record(2));
+  f_high.then(record(1));
+
+  blocker.Cancel();
+  pool.Drain();
+  std::lock_guard<std::mutex> lock(mu);
+  EXPECT_EQ(completion_order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Async, LoneQueuedJobIsStolenFromALongBusyWorker) {
+  auto context = std::make_shared<const OptimizerContext>(BlockerConfig());
+  PoolConfig cfg;
+  cfg.num_shards = 2;
+  cfg.lone_steal_busy_seconds = 0.05;
+  SessionPool pool(context, cfg);
+  Catalog c;
+  c.Register("X", 100, 80, 0.1);
+  c.Register("Y", 100, 80);
+  auto catalog = std::make_shared<const Catalog>(c);
+
+  // Pin the blocker's shard, then find a cheap query routed to the SAME
+  // shard: it will sit alone in that queue while the other worker idles —
+  // exactly the case the depth>=2 floor used to strand.
+  size_t home = pool.router().Route(HeavyQuery(), *HeavyCatalog()).shard;
+  const char* candidates[] = {"sum(X + Y)", "sum(X * Y)", "sum(X - Y)",
+                              "sum(X %*% t(Y))", "sum(abs(X + Y))",
+                              "sum(sign(X) + Y)"};
+  ExprPtr lone;
+  for (const char* text : candidates) {
+    ExprPtr q = ParseExpr(text).value();
+    if (pool.router().Route(q, *catalog).shard == home) {
+      lone = q;
+      break;
+    }
+  }
+  ASSERT_TRUE(lone != nullptr) << "no candidate routed to the blocker shard";
+
+  auto blocker = pool.Submit(HeavyQuery(), HeavyCatalog());
+  ASSERT_LT(WaitForBusyShard(pool, 10.0), pool.num_shards());
+  auto future = pool.Submit(lone, catalog);
+
+  // The idle worker must take it once the home worker has been busy past
+  // the threshold — long before the blocker's 30s budget.
+  ASSERT_TRUE(future.WaitFor(15.0));
+  EXPECT_TRUE(future.get().ok());
+  blocker.Cancel();
+  pool.Drain();  // orders the stats snapshot after the thief's bookkeeping
+  PoolStats stats = pool.Stats();
+  EXPECT_EQ(stats.TotalSteals(), 1u);
+}
+
+TEST(Async, CancellingOneDedupedMemberDoesNotCancelTheOthers) {
+  auto context = std::make_shared<const OptimizerContext>(BlockerConfig());
+  PoolConfig cfg;
+  cfg.num_shards = 1;  // the blocker serializes: the batch stays queued
+  SessionPool pool(context, cfg);
+  Catalog c;
+  c.Register("X", 100, 80, 0.1);
+  c.Register("Y", 100, 80);
+  auto catalog = std::make_shared<const Catalog>(c);
+
+  auto blocker = pool.Submit(HeavyQuery(), HeavyCatalog());
+  ASSERT_LT(WaitForBusyShard(pool, 10.0), pool.num_shards());
+
+  // Two members, one canonical form -> one shared job.
+  std::vector<ServeRequest> batch = {
+      {ParseExpr("sum(X + Y)").value(), catalog},
+      {ParseExpr("sum(X + Y)").value(), catalog},
+  };
+  auto futures = pool.BatchSubmit(batch);
+  // Member 1 gives up: ITS handle completes kCancelled immediately, but
+  // the shared job keeps running for member 0.
+  futures[1].Cancel();
+  EXPECT_TRUE(futures[1].ready());
+  EXPECT_EQ(futures[1].get().status().code(), StatusCode::kCancelled);
+
+  blocker.Cancel();
+  pool.Drain();
+  ASSERT_TRUE(futures[0].get().ok());
+  EXPECT_FALSE(futures[0].get().value().used_fallback);
+  PoolStats stats = pool.Stats();
+  EXPECT_EQ(stats.TotalCancelled(), 0u);  // the shared job was never cancelled
+
+  // When EVERY member votes, the job itself is cancelled (here: before
+  // dequeue, behind a fresh blocker).
+  auto blocker2 = pool.Submit(HeavyQuery(), HeavyCatalog());
+  ASSERT_LT(WaitForBusyShard(pool, 10.0), pool.num_shards());
+  auto futures2 = pool.BatchSubmit(batch);  // cache would serve it, but...
+  futures2[0].Cancel();
+  futures2[1].Cancel();
+  blocker2.Cancel();
+  pool.Drain();
+  EXPECT_EQ(futures2[0].get().status().code(), StatusCode::kCancelled);
+  EXPECT_EQ(futures2[1].get().status().code(), StatusCode::kCancelled);
+  EXPECT_EQ(pool.Stats().TotalCancelled(), 1u);  // job disposed at dequeue
+}
+
+TEST(Async, DedupedBatchRunsUnderTheLoosestMemberContract) {
+  // A member must never inherit a tighter deadline (or worse priority)
+  // from whoever happened to be first in its dedupe group: the shared job
+  // takes the loosest contract, so an unconstrained member always gets
+  // its result even when its twin's deadline already expired on arrival.
+  auto context = std::make_shared<const OptimizerContext>();
+  PoolConfig cfg;
+  cfg.num_shards = 1;
+  SessionPool pool(context, cfg);
+  Catalog c;
+  c.Register("X", 100, 80, 0.1);
+  c.Register("Y", 100, 80);
+  auto catalog = std::make_shared<const Catalog>(c);
+
+  std::vector<ServeRequest> batch = {
+      {ParseExpr("sum(X + Y)").value(), catalog, Deadline::AfterSeconds(-1.0),
+       kPriorityLow},
+      {ParseExpr("sum(X + Y)").value(), catalog, Deadline(), kPriorityNormal},
+  };
+  auto futures = pool.BatchSubmit(batch);
+  pool.Drain();
+  // Merged contract: no deadline (member 1), so the job ran — BOTH members
+  // get the plan (dedupe may improve a member's service level, not fail it).
+  ASSERT_TRUE(futures[0].get().ok());
+  ASSERT_TRUE(futures[1].get().ok());
+  EXPECT_EQ(pool.Stats().TotalExpired(), 0u);
+}
+
+TEST(Async, DeadlineDegradesIlpToGreedyWithProvenanceAndNoCacheFill) {
+  // Session-level: the budget threads through QueryOptions into the
+  // stages. An enormous ilp_min_remaining_seconds makes ANY deadline
+  // degrade extraction deterministically (no timing sensitivity).
+  SessionConfig cfg;
+  cfg.extraction = ExtractionStrategy::kIlp;
+  cfg.ilp_min_remaining_seconds = 1e6;
+  OptimizerSession session(cfg);
+  Catalog c;
+  c.Register("X", 120, 90, 0.1);
+  c.Register("Y", 120, 90);
+  ExprPtr q = ParseExpr("sum(X %*% t(Y))").value();
+
+  QueryOptions with_deadline;
+  with_deadline.budget.deadline = Deadline::AfterSeconds(3600.0);
+  OptimizedPlan degraded = session.Optimize(q, c, with_deadline);
+  EXPECT_FALSE(degraded.used_fallback);
+  EXPECT_TRUE(degraded.degraded);
+  EXPECT_NE(degraded.degrade_reason.find("greedy"), std::string::npos);
+  ASSERT_FALSE(degraded.alternatives.empty());
+  EXPECT_EQ(degraded.alternatives[0].strategy, ExtractionStrategy::kGreedy);
+  // A degraded plan must not poison the cache for unconstrained queries.
+  EXPECT_EQ(session.PlanCacheSize(), 0u);
+
+  OptimizedPlan full = session.Optimize(q, c);
+  EXPECT_FALSE(full.degraded);
+  EXPECT_FALSE(full.cache_hit);  // the degraded run cached nothing
+  EXPECT_EQ(session.PlanCacheSize(), 1u);
+  // Greedy (degraded) can never beat the ILP plan it stands in for.
+  EXPECT_GE(degraded.plan_cost, full.plan_cost);
+}
+
+TEST(Async, ExpiredDeadlineInsideSessionFallsBackNotCrashes) {
+  // Defense in depth below the pool's dequeue check: a deadline that
+  // expires after translation falls back to the input with provenance.
+  OptimizerSession session;
+  Catalog c;
+  c.Register("X", 100, 80, 0.1);
+  c.Register("Y", 100, 80);
+  QueryOptions options;
+  options.budget.deadline = Deadline::AfterSeconds(-1.0);
+  OptimizedPlan plan =
+      session.Optimize(ParseExpr("sum(X + Y)").value(), c, options);
+  EXPECT_TRUE(plan.used_fallback);
+  EXPECT_NE(plan.fallback_reason.find("DeadlineExceeded"), std::string::npos);
+  EXPECT_EQ(session.stats().saturations, 0u);
 }
 
 // ---- Shared context across sessions ----
