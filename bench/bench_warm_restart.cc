@@ -1,0 +1,286 @@
+// Warm-restart benchmark: cold first-query latency vs restored-from-snapshot
+// first-query latency over the persistence tier (PR 6).
+//
+// Three phases over one persistence directory:
+//
+//  1. cold    — a fresh pool on an empty directory serves every distinct
+//     query once (cold first-query latencies), then once more (the
+//     never-restarted warm-hit baseline), then checkpoints and shuts down.
+//  2. restart — a new pool (fresh OptimizerContext, same directory)
+//     restores the snapshots and serves the same stream's first query per
+//     class (restored first-query latencies).
+//  3. verify  — per-class comparison of plan costs and cache behavior.
+//
+// Gates (exit 1 on violation; both run in every mode including --smoke, so
+// the sanitizer CI jobs drive the full save → load → serve cycle):
+//  * identity — every restored plan's cost must be BIT-IDENTICAL to the
+//    cold run's plan cost for the same class: restoring a snapshot must
+//    change nothing about optimization results.
+//  * warm-hit — at least 95% of previously-seen isomorphism classes must be
+//    served from the restored plan cache (cache_hit) without optimizing.
+//  * restored first-query latency within 2x of the never-restarted warm-hit
+//    latency is REPORT-ONLY: wall-clock gates on shared CI runners train
+//    people to ignore red, but the medians are printed and in the JSON.
+//
+// Flags:
+//   --smoke       reduced scales (CI-friendly)
+//   --shards N    pool size (default 4)
+//   --dir PATH    persistence directory (default: fresh temp dir)
+//   --json FILE   write all measurements as JSON
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/serve/session_pool.h"
+
+namespace {
+
+using namespace spores;
+using namespace spores::bench;
+
+struct DistinctQuery {
+  std::string label;
+  ExprPtr expr;
+  std::shared_ptr<const Catalog> catalog;
+};
+
+// The mixed workload bench_serving uses: every program plus local-delta
+// variants, over the program's own catalog.
+std::vector<DistinctQuery> BuildDistinct(bool smoke) {
+  std::vector<DistinctQuery> out;
+  for (const Program& prog : AllPrograms()) {
+    ScalePoint scale = ScalesFor(prog.name)[0];
+    if (smoke) {
+      scale.rows = std::max<int64_t>(scale.rows / 8, 64);
+      scale.cols = std::max<int64_t>(scale.cols / 8, 32);
+    }
+    auto catalog =
+        std::make_shared<Catalog>(DataFor(prog.name, scale).catalog);
+    out.push_back({prog.name + " base", prog.expr, catalog});
+    out.push_back({prog.name + " abs", Expr::Unary("abs", prog.expr), catalog});
+    out.push_back(
+        {prog.name + " sign", Expr::Unary("sign", prog.expr), catalog});
+  }
+  return out;
+}
+
+double Median(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+uintmax_t DirectoryBytes(const std::string& dir) {
+  uintmax_t total = 0;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (entry.is_regular_file(ec)) total += entry.file_size(ec);
+  }
+  return total;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  size_t num_shards = 4;
+  std::string dir;
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      long parsed = std::atol(argv[++i]);
+      if (parsed < 1 || parsed > 1024) {
+        std::fprintf(stderr, "--shards must be in [1, 1024]\n");
+        return 1;
+      }
+      num_shards = static_cast<size_t>(parsed);
+    }
+    if (std::strcmp(argv[i], "--dir") == 0 && i + 1 < argc) dir = argv[++i];
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
+
+  FILE* json = nullptr;
+  if (json_path) {
+    json = std::fopen(json_path, "w");
+    if (!json) {
+      std::fprintf(stderr, "cannot open %s\n", json_path);
+      return 1;
+    }
+  }
+  if (dir.empty()) {
+    dir = (std::filesystem::temp_directory_path() / "spores_warm_restart")
+              .string();
+  }
+  std::filesystem::remove_all(dir);
+
+  const std::vector<DistinctQuery> distinct = BuildDistinct(smoke);
+
+  SessionConfig cfg;  // the paper's fast serving configuration
+  cfg.runner.strategy = SaturationStrategy::kSampling;
+  cfg.extraction = ExtractionStrategy::kGreedy;
+
+  PoolConfig pool_cfg;
+  pool_cfg.num_shards = num_shards;
+  pool_cfg.session = cfg;
+  pool_cfg.persist.dir = dir;
+  pool_cfg.persist.checkpoint_on_shutdown = false;  // explicit below
+
+  std::printf("Warm restart: %zu-shard persistent SessionPool, %zu distinct "
+              "queries, dir %s%s\n\n",
+              num_shards, distinct.size(), dir.c_str(),
+              smoke ? " [smoke]" : "");
+
+  // ---- Phase 1: cold pool — first-query, warm-hit baseline, checkpoint ----
+  std::vector<double> cold_costs(distinct.size());
+  std::vector<double> cold_latency(distinct.size());
+  std::vector<double> warm_latency(distinct.size());
+  {
+    auto context = std::make_shared<const OptimizerContext>(cfg);
+    SessionPool pool(context, pool_cfg);
+    for (size_t d = 0; d < distinct.size(); ++d) {
+      Timer t;
+      auto plan = pool.Submit(distinct[d].expr, distinct[d].catalog).get();
+      cold_latency[d] = t.Seconds();
+      if (!plan.ok()) {
+        std::fprintf(stderr, "FAIL: cold optimize: %s\n",
+                     plan.status().ToString().c_str());
+        return 1;
+      }
+      cold_costs[d] = plan.value().plan_cost;
+    }
+    // Never-restarted warm hits: the same classes served again by the same
+    // live pool — the latency floor restore is measured against.
+    for (size_t d = 0; d < distinct.size(); ++d) {
+      Timer t;
+      auto plan = pool.Submit(distinct[d].expr, distinct[d].catalog).get();
+      warm_latency[d] = t.Seconds();
+      if (!plan.ok() || !plan.value().cache_hit) {
+        std::fprintf(stderr, "FAIL: live resubmission of %s was not a warm "
+                             "hit — plan-cache regression, not a persistence "
+                             "problem\n",
+                     distinct[d].label.c_str());
+        return 1;
+      }
+    }
+    pool.Drain();
+    Status st = pool.Checkpoint();
+    if (!st.ok()) {
+      std::fprintf(stderr, "FAIL: checkpoint: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+  const uintmax_t snapshot_bytes = DirectoryBytes(dir);
+
+  // ---- Phase 2: restored pool — first-query latency after restart ----
+  std::vector<double> restored_costs(distinct.size());
+  std::vector<double> restored_latency(distinct.size());
+  std::vector<bool> restored_hit(distinct.size());
+  size_t warm_shards = 0, restored_plans = 0, restored_classes = 0;
+  double restore_seconds = 0.0;
+  {
+    auto context = std::make_shared<const OptimizerContext>(cfg);
+    Timer restore_timer;
+    SessionPool pool(context, pool_cfg);
+    restore_seconds = restore_timer.Seconds();
+    PoolStats stats = pool.Stats();
+    for (const ShardStats& s : stats.shards) {
+      if (s.cold_start == ColdStartReason::kWarmRestore) ++warm_shards;
+    }
+    restored_plans = stats.TotalRestoredPlans();
+    restored_classes = stats.TotalRestoredClasses();
+    for (size_t d = 0; d < distinct.size(); ++d) {
+      Timer t;
+      auto plan = pool.Submit(distinct[d].expr, distinct[d].catalog).get();
+      restored_latency[d] = t.Seconds();
+      if (!plan.ok()) {
+        std::fprintf(stderr, "FAIL: restored optimize: %s\n",
+                     plan.status().ToString().c_str());
+        return 1;
+      }
+      restored_costs[d] = plan.value().plan_cost;
+      restored_hit[d] = plan.value().cache_hit;
+    }
+    pool.Drain();
+  }
+
+  // ---- Phase 3: verify ----
+  size_t mismatches = 0, hits = 0;
+  std::printf("%-11s %12s %12s %10s %10s  %s\n", "query", "cold-cost",
+              "restored", "cold-ms", "rest-ms", "verdict");
+  std::printf("%.70s\n", std::string(70, '-').c_str());
+  for (size_t d = 0; d < distinct.size(); ++d) {
+    bool identical = restored_costs[d] == cold_costs[d];
+    if (!identical) ++mismatches;
+    if (restored_hit[d]) ++hits;
+    std::printf("%-11s %12.5g %12.5g %10.2f %10.2f  %s%s\n",
+                distinct[d].label.c_str(), cold_costs[d], restored_costs[d],
+                cold_latency[d] * 1e3, restored_latency[d] * 1e3,
+                identical ? "identical" : "DIVERGED",
+                restored_hit[d] ? ", warm hit" : ", MISS");
+  }
+
+  const double hit_rate =
+      static_cast<double>(hits) / static_cast<double>(distinct.size());
+  const double cold_ms = Median(cold_latency) * 1e3;
+  const double warm_ms = Median(warm_latency) * 1e3;
+  const double restored_ms = Median(restored_latency) * 1e3;
+  std::printf("\n%zu/%zu warm shards, %zu plans + %zu e-classes restored in "
+              "%.1fms, %ju snapshot bytes\n",
+              warm_shards, num_shards, restored_plans, restored_classes,
+              restore_seconds * 1e3, snapshot_bytes);
+  std::printf("median first-query: cold %.2fms, restored %.2fms, "
+              "never-restarted warm hit %.2fms (restored/warm %.2fx)\n",
+              cold_ms, restored_ms, warm_ms,
+              warm_ms > 0 ? restored_ms / warm_ms : 0.0);
+  std::printf("warm-hit rate after restart: %.1f%% (%zu/%zu), identity "
+              "mismatches: %zu\n",
+              hit_rate * 100.0, hits, distinct.size(), mismatches);
+
+  if (json) {
+    std::fprintf(
+        json,
+        "{\n  \"bench\": \"warm_restart\",\n  \"smoke\": %s,\n"
+        "  \"shards\": %zu,\n  \"distinct_queries\": %zu,\n"
+        "  \"warm_shards\": %zu,\n  \"restored_plans\": %zu,\n"
+        "  \"restored_classes\": %zu,\n  \"restore_seconds\": %.6f,\n"
+        "  \"snapshot_bytes\": %ju,\n"
+        "  \"cold_first_query_ms_p50\": %.3f,\n"
+        "  \"restored_first_query_ms_p50\": %.3f,\n"
+        "  \"warm_hit_ms_p50\": %.3f,\n"
+        "  \"restored_over_warm\": %.3f,\n"
+        "  \"warm_hit_rate\": %.4f,\n  \"identity_mismatches\": %zu\n}\n",
+        smoke ? "true" : "false", num_shards, distinct.size(), warm_shards,
+        restored_plans, restored_classes, restore_seconds, snapshot_bytes,
+        cold_ms, restored_ms, warm_ms,
+        warm_ms > 0 ? restored_ms / warm_ms : 0.0, hit_rate, mismatches);
+    std::fclose(json);
+  }
+
+  int rc = 0;
+  if (mismatches > 0) {
+    std::fprintf(stderr,
+                 "FAIL: %zu restored-vs-cold plan-cost mismatches — restore "
+                 "must not change optimization results\n",
+                 mismatches);
+    rc = 1;
+  }
+  if (hit_rate < 0.95) {
+    std::fprintf(stderr,
+                 "FAIL: warm-hit rate %.1f%% below the required 95%%\n",
+                 hit_rate * 100.0);
+    rc = 1;
+  }
+  if (warm_ms > 0 && restored_ms > 2.0 * warm_ms) {
+    std::fprintf(stderr,
+                 "WARN: restored first-query %.2fms over 2x the "
+                 "never-restarted warm hit %.2fms (report-only)\n",
+                 restored_ms, warm_ms);
+  }
+  return rc;
+}

@@ -4,6 +4,22 @@
 
 namespace spores {
 
+uint64_t CostModelParamsHash() {
+  // FNV-1a over a descriptor naming every cost-relevant policy choice; the
+  // version constant changes whenever the formulas in NodeCost do.
+  const char descriptor[] =
+      "spores-cost:output-nnz;join=min-sparsity*union-size;"
+      "union=sum-sparsity;agg=bound-scaled;leaves-free";
+  uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](uint64_t byte) {
+    h ^= byte;
+    h *= 1099511628211ull;
+  };
+  for (char c : descriptor) mix(static_cast<unsigned char>(c));
+  mix(kCostModelVersion);
+  return h;
+}
+
 double CostModel::ClassNnz(const EGraph& egraph, ClassId id) const {
   const ClassData& d = egraph.Data(id);
   double size = ctx_.dims ? ctx_.dims->SizeOf(d.schema) : 1.0;

@@ -10,6 +10,15 @@
 
 namespace spores {
 
+/// Identity hash of the cost model's parameterization. The model is
+/// structural (each operator charges its estimated output nnz) with no
+/// tunable weights, so the "params" are the charging policy itself: bump
+/// kCostModelVersion whenever NodeCost's formulas change. Persisted plan
+/// stores embed this hash — a snapshot written under a different costing
+/// policy must invalidate, since cached plan choices are cost-based.
+inline constexpr uint32_t kCostModelVersion = 1;
+uint64_t CostModelParamsHash();
+
 /// Cost model over e-nodes, driven by the class analysis data (schema +
 /// sparsity invariants) and the attribute DimEnv.
 class CostModel {

@@ -1,0 +1,143 @@
+#include "src/egraph/egraph_image.h"
+
+#include <algorithm>
+
+namespace spores {
+
+EGraphImage ExtractEGraphImage(const EGraph& graph,
+                               const std::vector<ClassId>& roots) {
+  EGraphImage image;
+
+  // Discover reachable canonical classes and assign dense indices. The walk
+  // is children-after-parents DFS like CompactInto step 1; rebuild reverses
+  // it to get a mostly children-first materialization order.
+  std::unordered_map<ClassId, uint32_t> dense;
+  std::vector<ClassId> order;
+  std::vector<ClassId> stack;
+  auto discover = [&](ClassId c) {
+    c = graph.Find(c);
+    if (dense.count(c)) return;
+    dense.emplace(c, static_cast<uint32_t>(order.size()));
+    order.push_back(c);
+    stack.push_back(c);
+  };
+  for (ClassId r : roots) discover(r);
+  for (size_t i = 0; i < stack.size();) {
+    // `stack` only grows here; iterate it as a worklist by index so
+    // discover() can keep appending.
+    ClassId c = stack[i++];
+    for (NodeId nid : graph.GetClass(c).nodes) {
+      for (ClassId ch : graph.NodeAt(nid).children) discover(ch);
+    }
+  }
+
+  image.classes.resize(order.size());
+  for (uint32_t ci = 0; ci < order.size(); ++ci) {
+    const EClass& cls = graph.GetClass(order[ci]);
+    auto& out_nodes = image.classes[ci];
+    out_nodes.reserve(cls.nodes.size());
+    for (NodeId nid : cls.nodes) {
+      const ENode& n = graph.NodeAt(nid);
+      EGraphImage::Node img;
+      img.op = n.op;
+      img.sym = n.sym.str();
+      img.value = n.value;
+      img.attrs.reserve(n.attrs.size());
+      for (Symbol a : n.attrs) img.attrs.push_back(a.str());
+      img.children.reserve(n.children.size());
+      for (ClassId ch : n.children) {
+        img.children.push_back(dense.at(graph.Find(ch)));
+      }
+      out_nodes.push_back(std::move(img));
+    }
+  }
+
+  image.roots.reserve(roots.size());
+  for (ClassId r : roots) image.roots.push_back(dense.at(graph.Find(r)));
+  return image;
+}
+
+std::vector<ClassId> BuildEGraphFromImage(const EGraphImage& image,
+                                          EGraph& out) {
+  const size_t num_classes = image.classes.size();
+
+  // Re-intern payloads under this process's symbol table. kAgg attribute
+  // lists must be sorted by Symbol id, and the persisted order reflects the
+  // *writer's* intern order — re-sort here. kBind/kUnbind attrs are ordered
+  // schemas and pass through verbatim.
+  struct DecodedNode {
+    ENode proto;  // children hold dense indices until materialization
+    bool done = false;
+  };
+  std::vector<std::vector<DecodedNode>> decoded(num_classes);
+  for (size_t ci = 0; ci < num_classes; ++ci) {
+    decoded[ci].reserve(image.classes[ci].size());
+    for (const EGraphImage::Node& img : image.classes[ci]) {
+      DecodedNode d;
+      d.proto.op = img.op;
+      d.proto.sym = Symbol::Intern(img.sym);
+      d.proto.value = img.value;
+      d.proto.attrs.reserve(img.attrs.size());
+      for (const std::string& a : img.attrs) {
+        d.proto.attrs.push_back(Symbol::Intern(a));
+      }
+      if (img.op == Op::kAgg) {
+        std::sort(d.proto.attrs.begin(), d.proto.attrs.end());
+      }
+      for (uint32_t ch : img.children) {
+        d.proto.children.push_back(static_cast<ClassId>(ch));
+      }
+      decoded[ci].push_back(std::move(d));
+    }
+  }
+
+  // Bottom-up fixpoint materialization, same shape as CompactInto step 2.
+  std::vector<ClassId> map(num_classes, kInvalidClassId);
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    // Image discovery order is parents-first; walk in reverse so acyclic
+    // graphs converge in one pass.
+    for (size_t ci = num_classes; ci-- > 0;) {
+      for (DecodedNode& d : decoded[ci]) {
+        if (d.done) continue;
+        ENode copy;
+        copy.op = d.proto.op;
+        copy.sym = d.proto.sym;
+        copy.value = d.proto.value;
+        copy.attrs = d.proto.attrs;
+        copy.children.reserve(d.proto.children.size());
+        bool ready = true;
+        for (ClassId dense_child : d.proto.children) {
+          ClassId m = map[dense_child];
+          if (m == kInvalidClassId) {
+            ready = false;
+            break;
+          }
+          copy.children.push_back(out.Find(m));
+        }
+        if (!ready) continue;
+        ClassId nc = out.Add(std::move(copy));
+        if (map[ci] == kInvalidClassId) {
+          map[ci] = nc;
+        } else {
+          out.Merge(map[ci], nc);
+        }
+        d.done = true;
+        progress = true;
+      }
+    }
+    out.Rebuild();
+  }
+  out.Rebuild();
+
+  std::vector<ClassId> new_roots;
+  new_roots.reserve(image.roots.size());
+  for (uint32_t r : image.roots) {
+    ClassId m = map[r];
+    new_roots.push_back(m == kInvalidClassId ? kInvalidClassId : out.Find(m));
+  }
+  return new_roots;
+}
+
+}  // namespace spores

@@ -1,0 +1,57 @@
+// Process-independent dense image of an e-graph region, for persistence.
+//
+// An EGraphImage is what CompactInto produces, flattened into plain data:
+// classes get dense indices (0..N-1), nodes reference children by dense
+// index, and every Symbol payload is spelled out as its string. Symbol
+// intern ids are process-local — a restarted process interns in a different
+// order — so nothing id-shaped survives in the image. Sorted-symbol
+// invariants (kAgg attribute lists are kept sorted by Symbol id) are
+// re-established at rebuild time under the new process's intern order.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/egraph/egraph.h"
+#include "src/ir/ops.h"
+
+namespace spores {
+
+/// Plain-data snapshot of the classes reachable from a set of roots.
+struct EGraphImage {
+  struct Node {
+    Op op = Op::kVar;
+    std::string sym;                 ///< kVar / kUnary payload ("" = none)
+    double value = 0.0;              ///< kConst payload
+    std::vector<std::string> attrs;  ///< kAgg / kBind / kUnbind payload
+    std::vector<uint32_t> children;  ///< dense class indices
+  };
+
+  /// classes[i] = member nodes of dense class i.
+  std::vector<std::vector<Node>> classes;
+  /// Dense index of each requested root, position-aligned with the `roots`
+  /// argument to ExtractEGraphImage.
+  std::vector<uint32_t> roots;
+
+  size_t NumNodes() const {
+    size_t n = 0;
+    for (const auto& c : classes) n += c.size();
+    return n;
+  }
+};
+
+/// Flattens the classes reachable from `roots` into an image. Read-only on
+/// `graph` (callers snapshot live sessions; this must not perturb them).
+EGraphImage ExtractEGraphImage(const EGraph& graph,
+                               const std::vector<ClassId>& roots);
+
+/// Materializes an image into `out` (freshly constructed, with its own
+/// analysis). Mirrors CompactInto's bottom-up fixpoint: a node is addable
+/// once all child classes exist, Merge unifies multi-node classes, and nodes
+/// representable only through cycles are dropped (saturation re-derives
+/// them). Returns the new canonical class of each image root; a root whose
+/// class was cyclic-only maps to kInvalidClassId.
+std::vector<ClassId> BuildEGraphFromImage(const EGraphImage& image,
+                                          EGraph& out);
+
+}  // namespace spores

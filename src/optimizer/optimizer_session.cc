@@ -46,6 +46,10 @@ std::string SessionStats::ToString() const {
      << compactions << " compactions, arena peak " << arena_high_water
      << "), " << fallbacks << " fallbacks, " << compile_seconds
      << "s compile";
+  if (restored_plans || restored_classes) {
+    os << "; restored " << restored_plans << " plans, " << restored_classes
+       << " classes";
+  }
   return os.str();
 }
 
@@ -83,6 +87,49 @@ std::vector<ClassId> OptimizerSession::live_roots() const {
   out.reserve(graph_->roots.size());
   for (ClassId r : graph_->roots) out.push_back(graph_->egraph->Find(r));
   return out;
+}
+
+void OptimizerSession::ExportPlanCache(
+    const std::function<void(const PlanCacheKey&, const OptimizedPlan&)>& fn)
+    const {
+  cache_.ForEach([&fn](const std::string& fingerprint, const Polyterm& canon,
+                       const OptimizedPlan& plan) {
+    PlanCacheKey key;
+    key.fingerprint = fingerprint;
+    key.canon = canon;
+    fn(key, plan);
+  });
+}
+
+void OptimizerSession::RestorePlanCacheEntry(const PlanCacheKey& key,
+                                             OptimizedPlan plan) {
+  cache_.Insert(key, std::move(plan));
+  ++stats_.restored_plans;
+}
+
+bool OptimizerSession::ExportSharedGraph(std::string* signature,
+                                         Catalog* catalog,
+                                         EGraphImage* image) const {
+  if (!graph_ || graph_->roots.empty()) return false;
+  *signature = graph_->signature;
+  *catalog = graph_->catalog;
+  *image = ExtractEGraphImage(*graph_->egraph, graph_->roots);
+  return true;
+}
+
+size_t OptimizerSession::RestoreSharedGraph(const Catalog& catalog,
+                                            std::string signature,
+                                            const EGraphImage& image) {
+  graph_ = std::make_shared<GraphState>(catalog, std::move(signature), dims_,
+                                        context_->rules().size(),
+                                        config_.runner.scheduler);
+  std::vector<ClassId> mapped = BuildEGraphFromImage(image, *graph_->egraph);
+  for (ClassId r : mapped) {
+    if (r != kInvalidClassId) graph_->roots.push_back(r);
+  }
+  const size_t classes = graph_->egraph->NumClasses();
+  stats_.restored_classes += classes;
+  return classes;
 }
 
 StatusOr<Translation> OptimizerSession::Translate(const ExprPtr& la,
@@ -516,6 +563,9 @@ OptimizedPlan OptimizerSession::Optimize(const ExprPtr& expr,
   // would pin its weaker plan for every future isomorphic query.
   if (use_cache && key && !out.degraded) {
     cache_.Insert(*key, out);
+    // Journaling hook: fires only for organic inserts (never on restore
+    // replay), so the WAL records exactly what this process computed.
+    if (plan_insert_listener_) plan_insert_listener_(*key, out);
   }
   return out;
 }

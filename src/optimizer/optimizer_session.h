@@ -45,6 +45,7 @@
 #include <vector>
 
 #include "src/cost/cost_model.h"
+#include "src/egraph/egraph_image.h"
 #include "src/egraph/runner.h"
 #include "src/extract/extractor.h"
 #include "src/ir/expr.h"
@@ -125,6 +126,8 @@ struct SessionStats {
   size_t graph_resets = 0;  ///< catalog changes that discarded the graph
   size_t compactions = 0;   ///< arena-budget-triggered Compact() runs
   size_t arena_high_water = 0;  ///< peak shared-graph arena size observed
+  size_t restored_plans = 0;    ///< plan-cache entries loaded from a snapshot
+  size_t restored_classes = 0;  ///< e-classes rebuilt from a snapshot image
   double compile_seconds = 0.0;
 
   std::string ToString() const;
@@ -252,6 +255,41 @@ class OptimizerSession {
   /// graph (most recent last).
   std::vector<ClassId> live_roots() const;
 
+  // ---- Persistence hooks (src/persist plan store) ----
+
+  /// Observes every organic plan-cache insert (cache hits, restores, and
+  /// degraded-plan skips excluded) — the WAL journaling point. The listener
+  /// runs synchronously on the optimizing thread; keep it cheap.
+  using PlanInsertListener =
+      std::function<void(const PlanCacheKey&, const OptimizedPlan&)>;
+  void set_plan_insert_listener(PlanInsertListener listener) {
+    plan_insert_listener_ = std::move(listener);
+  }
+
+  /// Visits every cached plan, least-recently-used first (replaying the
+  /// visits through RestorePlanCacheEntry reproduces recency exactly).
+  void ExportPlanCache(
+      const std::function<void(const PlanCacheKey&, const OptimizedPlan&)>& fn)
+      const;
+
+  /// Inserts a restored entry directly (no listener, no journaling, no
+  /// degraded-plan filtering — the writer excluded degraded plans already).
+  /// Idempotent for isomorphic duplicates, like PlanCache::Insert.
+  void RestorePlanCacheEntry(const PlanCacheKey& key, OptimizedPlan plan);
+
+  /// Copies the shared graph (catalog snapshot, signature, dense image of
+  /// the live-root region) for persistence. False when no graph exists yet.
+  bool ExportSharedGraph(std::string* signature, Catalog* catalog,
+                         EGraphImage* image) const;
+
+  /// Replaces the shared graph with one rebuilt from a snapshot image.
+  /// Every attribute the image references must already be registered in the
+  /// session's DimEnv (the restore path loads the snapshot's dims section
+  /// first) — analysis and costing hard-fail on unknown attrs. Returns the
+  /// number of e-classes materialized.
+  size_t RestoreSharedGraph(const Catalog& catalog, std::string signature,
+                            const EGraphImage& image);
+
  private:
   /// Everything whose lifetime is tied to one shared e-graph: the catalog
   /// snapshot its analysis reads, the graph, the persistent scheduler, and
@@ -291,6 +329,7 @@ class OptimizerSession {
   SessionStats stats_;
   std::shared_ptr<GraphState> graph_;  ///< null until first reuse saturation
   uint64_t saturation_count_ = 0;  ///< per-query saturation seed offset
+  PlanInsertListener plan_insert_listener_;
 };
 
 }  // namespace spores

@@ -107,6 +107,22 @@ void PlanCache::Insert(const PlanCacheKey& key, OptimizedPlan plan) {
   ++stats_.insertions;
 }
 
+void PlanCache::ForEach(
+    const std::function<void(const std::string& fingerprint,
+                             const Polyterm& canon,
+                             const OptimizedPlan& plan)>& fn) const {
+  for (const auto& [fp, order] : lru_) {
+    auto it = buckets_.find(fp);
+    if (it == buckets_.end()) continue;
+    for (const Entry& e : it->second) {
+      if (e.order == order) {
+        fn(fp, e.canon, e.plan);
+        break;
+      }
+    }
+  }
+}
+
 void PlanCache::Clear() {
   buckets_.clear();
   lru_.clear();

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <string>
 #include <unordered_map>
@@ -67,6 +68,14 @@ class PlanCache {
   size_t size() const { return size_; }
   const PlanCacheStats& stats() const { return stats_; }
   void Clear();
+
+  /// Visits every entry, least-recently-used first, without touching
+  /// recency. Persisting in this order means a restore that replays
+  /// Insert() calls reproduces the recency order (and thus future eviction
+  /// behavior) exactly.
+  void ForEach(const std::function<void(const std::string& fingerprint,
+                                        const Polyterm& canon,
+                                        const OptimizedPlan& plan)>& fn) const;
 
  private:
   /// Recency list: least-recently-used at the front. Nodes name an entry by

@@ -1,0 +1,169 @@
+#include "src/persist/checkpoint.h"
+
+#include <thread>
+
+namespace spores {
+
+CheckpointManager::CheckpointManager(CheckpointConfig config,
+                                     JournalHeader identity)
+    : config_(std::move(config)), identity_(identity) {
+  journals_.reserve(identity_.shard_count);
+  for (uint32_t i = 0; i < identity_.shard_count; ++i) {
+    journals_.push_back(std::make_unique<ShardJournal>());
+  }
+}
+
+CheckpointManager::~CheckpointManager() {
+  for (auto& j : journals_) {
+    std::lock_guard<std::mutex> lock(j->mu);
+    CloseJournalLocked(*j);
+  }
+}
+
+std::string CheckpointManager::SnapshotPath(size_t shard) const {
+  return config_.dir + "/shard-" + std::to_string(shard) + ".snap";
+}
+
+std::string CheckpointManager::JournalPath(size_t shard) const {
+  return config_.dir + "/shard-" + std::to_string(shard) + ".journal";
+}
+
+std::string CheckpointManager::RotatedJournalPath(size_t shard) const {
+  return JournalPath(shard) + ".1";
+}
+
+void CheckpointManager::CloseJournalLocked(ShardJournal& j) {
+  if (j.file) {
+    std::fclose(j.file);
+    j.file = nullptr;
+  }
+}
+
+void CheckpointManager::JournalInsert(size_t shard, const PlanCacheKey& key,
+                                      const OptimizedPlan& plan) {
+  if (!enabled() || !config_.journal_inserts) return;
+  ShardJournal& j = *journals_[shard];
+  std::lock_guard<std::mutex> lock(j.mu);
+  if (!j.file) {
+    const std::string path = JournalPath(shard);
+    // Header record only on a genuinely fresh file; reopening after a
+    // process restart appends to records already gated by their own header.
+    auto existing = ReadFileToString(path);
+    const bool fresh = !existing.ok() || existing.value().empty();
+    j.file = std::fopen(path.c_str(), "ab");
+    if (!j.file) return;  // journaling is best-effort; serving never blocks
+    if (fresh) {
+      const std::string hdr =
+          EncodeJournalRecord(EncodeJournalHeaderPayload(identity_));
+      std::fwrite(hdr.data(), 1, hdr.size(), j.file);
+    }
+  }
+  const std::string rec =
+      EncodeJournalRecord(EncodeJournalInsertPayload(key, plan));
+  std::fwrite(rec.data(), 1, rec.size(), j.file);
+  // Flush per record: a torn tail is recoverable, a buffered-and-lost batch
+  // is simply gone.
+  std::fflush(j.file);
+}
+
+void CheckpointManager::FlushJournals() {
+  for (auto& j : journals_) {
+    std::lock_guard<std::mutex> lock(j->mu);
+    if (j->file) std::fflush(j->file);
+  }
+}
+
+void CheckpointManager::RotateJournal(size_t shard) {
+  if (!enabled()) return;
+  ShardJournal& j = *journals_[shard];
+  std::lock_guard<std::mutex> lock(j.mu);
+  CloseJournalLocked(j);
+  const std::string cur = JournalPath(shard);
+  const std::string rotated = RotatedJournalPath(shard);
+  auto cur_bytes = ReadFileToString(cur);
+  if (!cur_bytes.ok()) return;  // nothing journaled since last rotation
+  auto leftover = ReadFileToString(rotated);
+  if (leftover.ok()) {
+    // A previous checkpoint failed mid-write: its rotated journal still
+    // covers inserts no snapshot holds. Append rather than clobber; replay
+    // handles the embedded header record.
+    std::FILE* f = std::fopen(rotated.c_str(), "ab");
+    if (!f) return;
+    std::fwrite(cur_bytes.value().data(), 1, cur_bytes.value().size(), f);
+    std::fclose(f);
+    std::remove(cur.c_str());
+  } else {
+    std::rename(cur.c_str(), rotated.c_str());
+  }
+}
+
+Status CheckpointManager::CheckpointAll(const CaptureFn& capture,
+                                        int64_t now_unix_seconds) {
+  if (!enabled()) return Status::OK();
+  const size_t n = num_shards();
+  std::vector<Status> results(n);
+  std::vector<std::thread> threads;
+  threads.reserve(n);
+  for (size_t shard = 0; shard < n; ++shard) {
+    threads.emplace_back([this, &capture, &results, shard,
+                          now_unix_seconds] {
+      std::optional<ShardSnapshotData> data = capture(shard);
+      if (!data) return;  // skipped: keep journals, old snapshot stays valid
+      SnapshotHeader header;
+      header.rule_set_hash = identity_.rule_set_hash;
+      header.cost_model_hash = identity_.cost_model_hash;
+      header.shard_count = identity_.shard_count;
+      header.shard_index = static_cast<uint32_t>(shard);
+      header.created_unix_seconds = now_unix_seconds;
+      PlanStoreWriter writer(header);
+      results[shard] = writer.Write(*data, SnapshotPath(shard));
+      if (results[shard].ok()) {
+        // The new snapshot covers everything up to the rotation point.
+        std::remove(RotatedJournalPath(shard).c_str());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (const Status& st : results) {
+    if (!st.ok()) return st;
+  }
+  return Status::OK();
+}
+
+CheckpointManager::Restore CheckpointManager::RestoreShard(
+    size_t shard, const SnapshotExpectation& expect) const {
+  Restore out;
+  if (!enabled()) {
+    out.reason = ColdStartReason::kDisabled;
+    return out;
+  }
+  ShardRestoreResult snap = PlanStoreReader::Load(SnapshotPath(shard), expect);
+  out.reason = snap.reason;
+  out.detail = std::move(snap.detail);
+  out.created_unix_seconds = snap.created_unix_seconds;
+  if (snap.reason == ColdStartReason::kWarmRestore) {
+    out.data = std::move(snap.data);
+  }
+
+  // Journals are self-validating; replay them even without a snapshot (the
+  // very first checkpoint may never have happened). Oldest first: rotated
+  // journal, then the active one.
+  std::vector<PlanStoreEntry> journal;
+  for (const std::string& path :
+       {RotatedJournalPath(shard), JournalPath(shard)}) {
+    auto bytes = ReadFileToString(path);
+    if (!bytes.ok()) continue;
+    std::vector<PlanStoreEntry> replayed =
+        ReplayJournalImage(bytes.value(), expect);
+    for (auto& e : replayed) journal.push_back(std::move(e));
+  }
+  if (!journal.empty() && out.reason == ColdStartReason::kNoSnapshot) {
+    // Journal-only warm restore (inserts before the first checkpoint).
+    out.reason = ColdStartReason::kWarmRestore;
+    out.detail = "journal-only restore (no snapshot yet)";
+  }
+  out.journal_entries = std::move(journal);
+  return out;
+}
+
+}  // namespace spores

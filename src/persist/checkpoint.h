@@ -1,0 +1,117 @@
+// CheckpointManager: the on-disk lifecycle of a sharded plan store.
+//
+// Layout under one directory (one file pair per shard):
+//
+//   shard-<i>.snap        full snapshot (versioned container, atomic rename)
+//   shard-<i>.journal     plan-cache inserts since the last rotation
+//   shard-<i>.journal.1   rotated journal covering the checkpoint in flight
+//
+// Checkpoint protocol (crash-safe at every step):
+//
+//   1. Capture, on whatever thread owns the shard's session: copy the
+//      shard's state into plain ShardSnapshotData AND rotate its journal
+//      (.journal -> .journal.1) at the same serialization point, so the
+//      rotated journal covers exactly the inserts the copy includes.
+//   2. Write, on a checkpoint thread per shard: serialize + tmp/rename the
+//      snapshot, then delete .journal.1 — its contents are now redundant.
+//
+//   A crash before the rename leaves the old snapshot + .journal.1 +
+//   .journal, which together still reconstruct full state; the next
+//   rotation appends .journal onto a leftover .journal.1 rather than
+//   clobbering it. Restore therefore always replays .journal.1 then
+//   .journal on top of the snapshot, tolerating a torn final record.
+//
+// This class is deliberately serve-agnostic: it never touches a session or
+// pool. The serving layer supplies a capture callback (run under its own
+// threading discipline) and this class owns files, rotation, and the
+// parallel write fan-out.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/persist/plan_store.h"
+
+namespace spores {
+
+struct CheckpointConfig {
+  /// Directory for snapshot + journal files. Must exist (the serving layer
+  /// creates it); empty disables everything.
+  std::string dir;
+  /// Append every plan-cache insert to the shard's journal (fsync'd per
+  /// record). Off = state persists only at full checkpoints.
+  bool journal_inserts = true;
+};
+
+class CheckpointManager {
+ public:
+  /// `identity` stamps snapshots and journal headers (hashes, shard count).
+  CheckpointManager(CheckpointConfig config, JournalHeader identity);
+  ~CheckpointManager();
+
+  CheckpointManager(const CheckpointManager&) = delete;
+  CheckpointManager& operator=(const CheckpointManager&) = delete;
+
+  bool enabled() const { return !config_.dir.empty(); }
+  size_t num_shards() const { return identity_.shard_count; }
+
+  std::string SnapshotPath(size_t shard) const;
+  std::string JournalPath(size_t shard) const;
+  std::string RotatedJournalPath(size_t shard) const;
+
+  /// Appends one insert to the shard's journal (writing the header record
+  /// first on a fresh file). Thread-safe per shard; the serving layer calls
+  /// it from the shard's worker thread.
+  void JournalInsert(size_t shard, const PlanCacheKey& key,
+                     const OptimizedPlan& plan);
+
+  /// Flushes every open journal stream to the OS.
+  void FlushJournals();
+
+  /// Step 1 of the checkpoint protocol; call at the shard's serialization
+  /// point, atomically with the state copy.
+  void RotateJournal(size_t shard);
+
+  /// Runs the full checkpoint: capture(shard) for every shard, each on its
+  /// own checkpoint thread (capture is expected to block until the owning
+  /// thread has produced the copy), then serialize + write in parallel.
+  /// A capture returning nullopt skips that shard (its journals are kept).
+  /// Returns the first write error, after attempting every shard.
+  using CaptureFn =
+      std::function<std::optional<ShardSnapshotData>(size_t shard)>;
+  Status CheckpointAll(const CaptureFn& capture, int64_t now_unix_seconds);
+
+  /// Loads one shard: the snapshot file validated against `expect`, plus
+  /// journal replay (.journal.1 then .journal). Journals carry their own
+  /// header validation, so a warm restore is possible even with no snapshot
+  /// (first-run inserts journaled before any checkpoint), and a stale
+  /// journal next to a valid snapshot is ignored rather than fatal.
+  struct Restore {
+    ColdStartReason reason = ColdStartReason::kNoSnapshot;
+    std::string detail;
+    int64_t created_unix_seconds = 0;
+    ShardSnapshotData data;
+    /// Journal inserts to replay on top of `data.entries`, oldest first.
+    std::vector<PlanStoreEntry> journal_entries;
+  };
+  Restore RestoreShard(size_t shard, const SnapshotExpectation& expect) const;
+
+ private:
+  struct ShardJournal {
+    std::mutex mu;
+    std::FILE* file = nullptr;  // lazily opened append stream
+  };
+
+  void CloseJournalLocked(ShardJournal& j);
+
+  CheckpointConfig config_;
+  JournalHeader identity_;
+  std::vector<std::unique_ptr<ShardJournal>> journals_;
+};
+
+}  // namespace spores

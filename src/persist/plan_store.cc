@@ -1,0 +1,350 @@
+#include "src/persist/plan_store.h"
+
+#include <set>
+
+#include "src/persist/wire_format.h"
+
+namespace spores {
+
+const char* ColdStartReasonName(ColdStartReason reason) {
+  switch (reason) {
+    case ColdStartReason::kWarmRestore:
+      return "warm_restore";
+    case ColdStartReason::kNoSnapshot:
+      return "no_snapshot";
+    case ColdStartReason::kCorruptSnapshot:
+      return "corrupt_snapshot";
+    case ColdStartReason::kFormatVersionMismatch:
+      return "format_version_mismatch";
+    case ColdStartReason::kRuleSetHashMismatch:
+      return "rule_set_hash_mismatch";
+    case ColdStartReason::kCostModelHashMismatch:
+      return "cost_model_hash_mismatch";
+    case ColdStartReason::kShardCountMismatch:
+      return "shard_count_mismatch";
+    case ColdStartReason::kDisabled:
+      return "persistence_disabled";
+  }
+  return "unknown";
+}
+
+uint64_t RuleSetHash(const std::vector<Rewrite>& rules) {
+  // FNV-1a over (name, expansive) in rule order. Order-sensitive on purpose:
+  // rule indices are shared with the scheduler, so a reorder is a different
+  // compiled artifact even with the same rule names.
+  uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](uint64_t byte) {
+    h ^= byte;
+    h *= 1099511628211ull;
+  };
+  for (const Rewrite& rule : rules) {
+    for (char c : rule.name) mix(static_cast<unsigned char>(c));
+    mix(0xff);  // name terminator, so ("ab","c") != ("a","bc")
+    mix(rule.expansive ? 1 : 0);
+  }
+  return h;
+}
+
+namespace {
+
+void CollectExprAttrs(const ExprPtr& expr, std::set<std::string>* out) {
+  if (!expr) return;
+  for (Symbol a : expr->attrs) out->insert(a.str());
+  for (const ExprPtr& c : expr->children) CollectExprAttrs(c, out);
+}
+
+}  // namespace
+
+void CollectShardDims(const DimEnv& dims, ShardSnapshotData* data) {
+  std::set<std::string> attrs;
+  for (const auto& nodes : data->graph.classes) {
+    for (const EGraphImage::Node& n : nodes) {
+      for (const std::string& a : n.attrs) attrs.insert(a);
+    }
+  }
+  for (const PlanStoreEntry& e : data->entries) {
+    for (const Monomial& m : e.key.canon.monomials) {
+      for (Symbol b : m.bound) attrs.insert(b.str());
+      for (const ExprPtr& atom : m.atoms) CollectExprAttrs(atom, &attrs);
+    }
+  }
+  data->dims.clear();
+  data->dims.reserve(attrs.size());
+  for (const std::string& attr : attrs) {
+    Symbol s = Symbol::Intern(attr);
+    if (dims.Has(s)) data->dims.emplace_back(attr, dims.DimOf(s));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Section payloads
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// kCatalog section: dims map, then (when the shard had a graph) catalog
+// signature + entries.
+std::string EncodeCatalogSection(const ShardSnapshotData& data) {
+  ByteWriter w;
+  w.PutU32(static_cast<uint32_t>(data.dims.size()));
+  for (const auto& [attr, dim] : data.dims) {
+    w.PutString(attr);
+    w.PutI64(dim);
+  }
+  w.PutU8(data.has_graph ? 1 : 0);
+  if (data.has_graph) {
+    w.PutString(data.catalog_signature);
+    EncodeCatalog(data.catalog, w);
+  }
+  return w.Take();
+}
+
+Status DecodeCatalogSection(std::string_view payload, ShardSnapshotData* out) {
+  ByteReader r(payload);
+  uint32_t ndims;
+  SPORES_RETURN_IF_ERROR(r.GetU32(&ndims));
+  if (ndims > payload.size()) {
+    return Status::InvalidArgument("snapshot: implausible dims count");
+  }
+  out->dims.reserve(ndims);
+  for (uint32_t i = 0; i < ndims; ++i) {
+    std::string attr;
+    int64_t dim;
+    SPORES_RETURN_IF_ERROR(r.GetString(&attr));
+    SPORES_RETURN_IF_ERROR(r.GetI64(&dim));
+    if (dim <= 0) return Status::InvalidArgument("snapshot: bad attr dim");
+    out->dims.emplace_back(std::move(attr), dim);
+  }
+  uint8_t has_graph;
+  SPORES_RETURN_IF_ERROR(r.GetU8(&has_graph));
+  out->has_graph = has_graph != 0;
+  if (out->has_graph) {
+    SPORES_RETURN_IF_ERROR(r.GetString(&out->catalog_signature));
+    SPORES_RETURN_IF_ERROR(DecodeCatalog(r, &out->catalog));
+  }
+  return Status::OK();
+}
+
+std::string EncodePlanSection(const std::vector<PlanStoreEntry>& entries) {
+  ByteWriter w;
+  w.PutU32(static_cast<uint32_t>(entries.size()));
+  for (const PlanStoreEntry& e : entries) {
+    EncodePlanCacheKey(e.key, w);
+    EncodeOptimizedPlan(e.plan, w);
+  }
+  return w.Take();
+}
+
+Status DecodePlanSection(std::string_view payload,
+                         std::vector<PlanStoreEntry>* out) {
+  ByteReader r(payload);
+  uint32_t count;
+  SPORES_RETURN_IF_ERROR(r.GetU32(&count));
+  if (count > payload.size()) {
+    return Status::InvalidArgument("snapshot: implausible entry count");
+  }
+  out->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    PlanStoreEntry e;
+    SPORES_ASSIGN_OR_RETURN(e.key, DecodePlanCacheKey(r));
+    SPORES_ASSIGN_OR_RETURN(e.plan, DecodeOptimizedPlan(r));
+    out->push_back(std::move(e));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// PlanStoreWriter / PlanStoreReader
+// ---------------------------------------------------------------------------
+
+std::string PlanStoreWriter::Encode(const ShardSnapshotData& data) const {
+  SnapshotFileWriter file(header_);
+  file.AddSection(SectionId::kCatalog, EncodeCatalogSection(data));
+  file.AddSection(SectionId::kPlanCache, EncodePlanSection(data.entries));
+  if (data.has_graph) {
+    ByteWriter w;
+    EncodeEGraphImage(data.graph, w);
+    file.AddSection(SectionId::kEGraph, w.Take());
+  }
+  return file.Encode();
+}
+
+Status PlanStoreWriter::Write(const ShardSnapshotData& data,
+                              const std::string& path) const {
+  return AtomicWriteFile(path, Encode(data));
+}
+
+namespace {
+
+ShardRestoreResult ColdStart(ColdStartReason reason, std::string detail) {
+  ShardRestoreResult out;
+  out.reason = reason;
+  out.detail = std::move(detail);
+  return out;
+}
+
+ShardRestoreResult ParseValidated(const SnapshotFileReader& file,
+                                  const SnapshotExpectation& expect) {
+  const SnapshotHeader& h = file.header();
+  if (h.format_version != kSnapshotFormatVersion) {
+    return ColdStart(ColdStartReason::kFormatVersionMismatch,
+                     "snapshot format v" + std::to_string(h.format_version) +
+                         ", expected v" +
+                         std::to_string(kSnapshotFormatVersion));
+  }
+  if (h.rule_set_hash != expect.rule_set_hash) {
+    return ColdStart(ColdStartReason::kRuleSetHashMismatch,
+                     "rule set changed since snapshot");
+  }
+  if (h.cost_model_hash != expect.cost_model_hash) {
+    return ColdStart(ColdStartReason::kCostModelHashMismatch,
+                     "cost model changed since snapshot");
+  }
+  if (h.shard_count != expect.shard_count) {
+    // Re-placing keys across a resized pool is the distributed tier's
+    // problem; a resized pool simply starts cold.
+    return ColdStart(ColdStartReason::kShardCountMismatch,
+                     "snapshot for " + std::to_string(h.shard_count) +
+                         " shards, pool has " +
+                         std::to_string(expect.shard_count));
+  }
+
+  ShardRestoreResult out;
+  out.created_unix_seconds = h.created_unix_seconds;
+
+  auto catalog_payload = file.Section(SectionId::kCatalog);
+  auto plan_payload = file.Section(SectionId::kPlanCache);
+  if (!catalog_payload.ok()) {
+    return ColdStart(ColdStartReason::kCorruptSnapshot,
+                     catalog_payload.status().message());
+  }
+  if (!plan_payload.ok()) {
+    return ColdStart(ColdStartReason::kCorruptSnapshot,
+                     plan_payload.status().message());
+  }
+  Status st = DecodeCatalogSection(*catalog_payload, &out.data);
+  if (st.ok()) st = DecodePlanSection(*plan_payload, &out.data.entries);
+  if (st.ok() && out.data.has_graph) {
+    auto graph_payload = file.Section(SectionId::kEGraph);
+    if (!graph_payload.ok()) {
+      return ColdStart(ColdStartReason::kCorruptSnapshot,
+                       graph_payload.status().message());
+    }
+    ByteReader r(*graph_payload);
+    auto image = DecodeEGraphImage(r);
+    if (image.ok()) {
+      out.data.graph = std::move(image).value();
+    } else {
+      st = image.status();
+    }
+  }
+  if (!st.ok()) {
+    return ColdStart(ColdStartReason::kCorruptSnapshot, st.message());
+  }
+  out.reason = ColdStartReason::kWarmRestore;
+  return out;
+}
+
+}  // namespace
+
+ShardRestoreResult PlanStoreReader::Load(const std::string& path,
+                                         const SnapshotExpectation& expect) {
+  auto image = ReadFileToString(path);
+  if (!image.ok()) {
+    return ColdStart(ColdStartReason::kNoSnapshot, image.status().message());
+  }
+  return Parse(*image, expect);
+}
+
+ShardRestoreResult PlanStoreReader::Parse(std::string_view image,
+                                          const SnapshotExpectation& expect) {
+  auto file = SnapshotFileReader::Parse(image);
+  if (!file.ok()) {
+    return ColdStart(ColdStartReason::kCorruptSnapshot,
+                     file.status().message());
+  }
+  return ParseValidated(*file, expect);
+}
+
+// ---------------------------------------------------------------------------
+// Journal records
+// ---------------------------------------------------------------------------
+
+namespace {
+constexpr uint8_t kJournalRecHeader = 1;
+constexpr uint8_t kJournalRecInsert = 2;
+}  // namespace
+
+std::string EncodeJournalHeaderPayload(const JournalHeader& header) {
+  ByteWriter w;
+  w.PutU8(kJournalRecHeader);
+  w.PutU32(header.format_version);
+  w.PutU64(header.rule_set_hash);
+  w.PutU64(header.cost_model_hash);
+  w.PutU32(header.shard_count);
+  w.PutU32(header.shard_index);
+  return w.Take();
+}
+
+std::string EncodeJournalInsertPayload(const PlanCacheKey& key,
+                                       const OptimizedPlan& plan) {
+  ByteWriter w;
+  w.PutU8(kJournalRecInsert);
+  EncodePlanCacheKey(key, w);
+  EncodeOptimizedPlan(plan, w);
+  return w.Take();
+}
+
+namespace {
+
+// Validates one header record payload against the expectation.
+bool JournalHeaderMatches(ByteReader& r, const SnapshotExpectation& expect) {
+  JournalHeader h;
+  if (!r.GetU32(&h.format_version).ok() || !r.GetU64(&h.rule_set_hash).ok() ||
+      !r.GetU64(&h.cost_model_hash).ok() || !r.GetU32(&h.shard_count).ok() ||
+      !r.GetU32(&h.shard_index).ok()) {
+    return false;
+  }
+  return h.format_version == kSnapshotFormatVersion &&
+         h.rule_set_hash == expect.rule_set_hash &&
+         h.cost_model_hash == expect.cost_model_hash &&
+         h.shard_count == expect.shard_count;
+}
+
+}  // namespace
+
+std::vector<PlanStoreEntry> ReplayJournalImage(
+    std::string_view image, const SnapshotExpectation& expect) {
+  std::vector<PlanStoreEntry> out;
+  const std::vector<std::string> records = DecodeJournalRecords(image);
+
+  // The first record must be a valid header; a journal written under other
+  // rules/costs (or a resized pool) is worthless but harmless. Header
+  // records may also recur mid-stream — journal rotation concatenates files
+  // when a prior checkpoint failed — and each one re-gates what follows.
+  bool validated = false;
+  for (const std::string& record : records) {
+    ByteReader r(record);
+    uint8_t type;
+    if (!r.GetU8(&type).ok()) break;
+    if (type == kJournalRecHeader) {
+      validated = JournalHeaderMatches(r, expect);
+      if (!validated) break;
+      continue;
+    }
+    if (!validated || type != kJournalRecInsert) break;
+    PlanStoreEntry e;
+    auto key = DecodePlanCacheKey(r);
+    if (!key.ok()) break;
+    e.key = std::move(key).value();
+    auto plan = DecodeOptimizedPlan(r);
+    if (!plan.ok()) break;
+    e.plan = std::move(plan).value();
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+}  // namespace spores

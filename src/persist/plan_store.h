@@ -1,0 +1,145 @@
+// The shard-level plan store: what one serving shard persists (its plan
+// cache, its saturated e-graph image, the catalog + attribute dims both
+// depend on) and the writer/reader pair that moves it through the versioned
+// snapshot container.
+//
+// Restore NEVER fails a caller: every invalid-snapshot outcome — missing
+// file, corruption, format/rule/cost version skew — collapses to "cold
+// start" with a machine-readable ColdStartReason, because a serving pool
+// must come up whether or not last run's state is usable. The one hard rule:
+// a plan extracted under different rules or costs is never served, so the
+// rule-set and cost-model hashes gate the whole file.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/egraph/egraph_image.h"
+#include "src/egraph/rewrite.h"
+#include "src/optimizer/optimized_plan.h"
+#include "src/optimizer/plan_cache.h"
+#include "src/persist/snapshot_format.h"
+
+namespace spores {
+
+/// Why a shard came up cold (kWarmRestore = it didn't).
+enum class ColdStartReason {
+  kWarmRestore = 0,
+  kNoSnapshot,             ///< no snapshot file on disk (first run)
+  kCorruptSnapshot,        ///< framing, CRC, or decode failure
+  kFormatVersionMismatch,  ///< written by a different snapshot format
+  kRuleSetHashMismatch,    ///< rule set changed since the snapshot
+  kCostModelHashMismatch,  ///< costing policy changed since the snapshot
+  kShardCountMismatch,     ///< pool resized; key placement is stale
+  kDisabled,               ///< persistence not configured
+};
+
+const char* ColdStartReasonName(ColdStartReason reason);
+
+/// Identity hash of a compiled rule set (names + expansive flags, order-
+/// sensitive): two processes agree iff they compiled the same R_EQ. Embedded
+/// in every snapshot header; a mismatch invalidates the whole file.
+uint64_t RuleSetHash(const std::vector<Rewrite>& rules);
+
+/// One persisted plan-cache entry.
+struct PlanStoreEntry {
+  PlanCacheKey key;
+  OptimizedPlan plan;
+};
+
+/// Everything one shard persists, as plain data decoupled from the live
+/// session (capture copies under the shard's own serialization; writing
+/// happens later on a checkpoint thread).
+struct ShardSnapshotData {
+  /// Plan-cache entries, least-recently-used first, so replaying them in
+  /// order reproduces the cache's recency order exactly.
+  std::vector<PlanStoreEntry> entries;
+
+  /// Attribute dimensions for every attr appearing in the e-graph image or
+  /// plan keys (name -> dimension). RaAnalysis and the cost model hard-fail
+  /// on unknown attrs, so the graph cannot be rebuilt without these.
+  std::vector<std::pair<std::string, int64_t>> dims;
+
+  /// The shared e-graph, when the shard had one.
+  bool has_graph = false;
+  std::string catalog_signature;  ///< signature the graph was keyed on
+  Catalog catalog;                ///< the graph's catalog snapshot
+  EGraphImage graph;              ///< dense root-scoped image
+};
+
+/// Fills `data->dims` with (attr, dimension) for every attribute the
+/// snapshot references — e-graph image payloads plus plan-key monomials —
+/// resolved against the live DimEnv. Attributes deliberately unregistered
+/// there (the plan cache's $cache_row/$cache_col output sentinels) are
+/// skipped: nothing on the restore path ever reads their dimension.
+void CollectShardDims(const DimEnv& dims, ShardSnapshotData* data);
+
+/// What a restore attempt is validated against.
+struct SnapshotExpectation {
+  uint64_t rule_set_hash = 0;
+  uint64_t cost_model_hash = 0;
+  uint32_t shard_count = 0;
+};
+
+/// Result of loading one shard's snapshot. `data` is meaningful only when
+/// `reason == kWarmRestore`.
+struct ShardRestoreResult {
+  ColdStartReason reason = ColdStartReason::kNoSnapshot;
+  std::string detail;  ///< human-readable cause for logs/inspect
+  int64_t created_unix_seconds = 0;
+  ShardSnapshotData data;
+};
+
+/// Serializes one shard's state into the snapshot container.
+class PlanStoreWriter {
+ public:
+  /// `header.shard_index`/`shard_count` identify the shard; the hashes are
+  /// passed explicitly (rather than derived internally) so tests can write
+  /// deliberately skewed snapshots.
+  explicit PlanStoreWriter(SnapshotHeader header) : header_(header) {}
+
+  std::string Encode(const ShardSnapshotData& data) const;
+  Status Write(const ShardSnapshotData& data, const std::string& path) const;
+
+ private:
+  SnapshotHeader header_;
+};
+
+/// Deserializes + validates one shard's snapshot.
+class PlanStoreReader {
+ public:
+  static ShardRestoreResult Load(const std::string& path,
+                                 const SnapshotExpectation& expect);
+  static ShardRestoreResult Parse(std::string_view image,
+                                  const SnapshotExpectation& expect);
+};
+
+// ---------------------------------------------------------------------------
+// Journal records (plan-cache inserts between full checkpoints).
+// ---------------------------------------------------------------------------
+
+/// A journal file's first record declares what the rest was written under;
+/// replay validates it exactly like a snapshot header.
+struct JournalHeader {
+  uint32_t format_version = kSnapshotFormatVersion;
+  uint64_t rule_set_hash = 0;
+  uint64_t cost_model_hash = 0;
+  uint32_t shard_count = 0;
+  uint32_t shard_index = 0;
+};
+
+std::string EncodeJournalHeaderPayload(const JournalHeader& header);
+std::string EncodeJournalInsertPayload(const PlanCacheKey& key,
+                                       const OptimizedPlan& plan);
+
+/// Decodes a journal file image into plan-cache inserts. Returns an empty
+/// vector when the leading header record is missing or fails validation (a
+/// stale journal is silently useless, never an error), and stops at the
+/// first torn/corrupt record per WAL convention. Header records may recur
+/// mid-stream — rotation concatenates journal files when a prior checkpoint
+/// failed — and each re-gates the records after it.
+std::vector<PlanStoreEntry> ReplayJournalImage(
+    std::string_view image, const SnapshotExpectation& expect);
+
+}  // namespace spores

@@ -1,0 +1,298 @@
+#include "src/persist/snapshot_format.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "src/util/crc32.h"
+
+namespace spores {
+
+// ---------------------------------------------------------------------------
+// ByteWriter / ByteReader
+// ---------------------------------------------------------------------------
+
+void ByteWriter::PutU32(uint32_t v) {
+  char b[4];
+  for (int i = 0; i < 4; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  buf_.append(b, 4);
+}
+
+void ByteWriter::PutU64(uint64_t v) {
+  char b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  buf_.append(b, 8);
+}
+
+void ByteWriter::PutDouble(double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(bits);
+}
+
+void ByteWriter::PutString(std::string_view s) {
+  PutU32(static_cast<uint32_t>(s.size()));
+  buf_.append(s.data(), s.size());
+}
+
+void ByteWriter::PutBytes(const void* data, size_t len) {
+  buf_.append(static_cast<const char*>(data), len);
+}
+
+Status ByteReader::Need(size_t n) {
+  if (remaining() < n) {
+    return Status::InvalidArgument("snapshot: truncated payload");
+  }
+  return Status::OK();
+}
+
+Status ByteReader::GetU8(uint8_t* out) {
+  SPORES_RETURN_IF_ERROR(Need(1));
+  *out = static_cast<uint8_t>(bytes_[pos_++]);
+  return Status::OK();
+}
+
+Status ByteReader::GetU32(uint32_t* out) {
+  SPORES_RETURN_IF_ERROR(Need(4));
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<uint8_t>(bytes_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 4;
+  *out = v;
+  return Status::OK();
+}
+
+Status ByteReader::GetU64(uint64_t* out) {
+  SPORES_RETURN_IF_ERROR(Need(8));
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<uint8_t>(bytes_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 8;
+  *out = v;
+  return Status::OK();
+}
+
+Status ByteReader::GetI64(int64_t* out) {
+  uint64_t v;
+  SPORES_RETURN_IF_ERROR(GetU64(&v));
+  *out = static_cast<int64_t>(v);
+  return Status::OK();
+}
+
+Status ByteReader::GetDouble(double* out) {
+  uint64_t bits;
+  SPORES_RETURN_IF_ERROR(GetU64(&bits));
+  std::memcpy(out, &bits, sizeof(bits));
+  return Status::OK();
+}
+
+Status ByteReader::GetString(std::string* out) {
+  uint32_t len;
+  SPORES_RETURN_IF_ERROR(GetU32(&len));
+  SPORES_RETURN_IF_ERROR(Need(len));
+  out->assign(bytes_.data() + pos_, len);
+  pos_ += len;
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot container
+// ---------------------------------------------------------------------------
+
+const char* SectionIdName(SectionId id) {
+  switch (id) {
+    case SectionId::kCatalog:
+      return "catalog";
+    case SectionId::kPlanCache:
+      return "plan_cache";
+    case SectionId::kEGraph:
+      return "egraph";
+    case SectionId::kRouter:
+      return "router";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// Header layout: magic, format_version, rule_set_hash, cost_model_hash,
+// created_unix_seconds, shard_count, shard_index, then the CRC of everything
+// before it.
+std::string EncodeHeader(const SnapshotHeader& h) {
+  ByteWriter w;
+  w.PutU32(kSnapshotMagic);
+  w.PutU32(h.format_version);
+  w.PutU64(h.rule_set_hash);
+  w.PutU64(h.cost_model_hash);
+  w.PutI64(h.created_unix_seconds);
+  w.PutU32(h.shard_count);
+  w.PutU32(h.shard_index);
+  std::string body = w.Take();
+  ByteWriter crc;
+  crc.PutU32(Crc32(body));
+  return body + crc.Take();
+}
+
+}  // namespace
+
+void SnapshotFileWriter::AddSection(SectionId id, std::string payload) {
+  sections_.emplace_back(id, std::move(payload));
+}
+
+std::string SnapshotFileWriter::Encode() const {
+  std::string out = EncodeHeader(header_);
+  for (const auto& [id, payload] : sections_) {
+    ByteWriter frame;
+    frame.PutU32(static_cast<uint32_t>(id));
+    frame.PutU64(payload.size());
+    frame.PutU32(Crc32(payload));
+    out += frame.Take();
+    out += payload;
+  }
+  return out;
+}
+
+Status SnapshotFileWriter::WriteToFile(const std::string& path) const {
+  return AtomicWriteFile(path, Encode());
+}
+
+StatusOr<SnapshotFileReader> SnapshotFileReader::Open(const std::string& path) {
+  SPORES_ASSIGN_OR_RETURN(std::string image, ReadFileToString(path));
+  return Parse(image);
+}
+
+StatusOr<SnapshotFileReader> SnapshotFileReader::Parse(std::string_view image) {
+  ByteReader r(image);
+  SnapshotFileReader reader;
+  SnapshotHeader& h = reader.header_;
+
+  uint32_t magic;
+  SPORES_RETURN_IF_ERROR(r.GetU32(&magic));
+  if (magic != kSnapshotMagic) {
+    return Status::InvalidArgument("snapshot: bad magic");
+  }
+  SPORES_RETURN_IF_ERROR(r.GetU32(&h.format_version));
+  SPORES_RETURN_IF_ERROR(r.GetU64(&h.rule_set_hash));
+  SPORES_RETURN_IF_ERROR(r.GetU64(&h.cost_model_hash));
+  SPORES_RETURN_IF_ERROR(r.GetI64(&h.created_unix_seconds));
+  SPORES_RETURN_IF_ERROR(r.GetU32(&h.shard_count));
+  SPORES_RETURN_IF_ERROR(r.GetU32(&h.shard_index));
+  uint32_t stored_header_crc;
+  SPORES_RETURN_IF_ERROR(r.GetU32(&stored_header_crc));
+  // The header body is everything up to (but excluding) its CRC field.
+  const size_t header_body_len = image.size() - r.remaining() - 4;
+  if (Crc32(image.substr(0, header_body_len)) != stored_header_crc) {
+    return Status::InvalidArgument("snapshot: header CRC mismatch");
+  }
+
+  while (!r.AtEnd()) {
+    uint32_t raw_id;
+    uint64_t len;
+    SectionInfo info;
+    SPORES_RETURN_IF_ERROR(r.GetU32(&raw_id));
+    SPORES_RETURN_IF_ERROR(r.GetU64(&len));
+    SPORES_RETURN_IF_ERROR(r.GetU32(&info.stored_crc));
+    if (len > r.remaining()) {
+      return Status::InvalidArgument("snapshot: truncated section");
+    }
+    info.id = static_cast<SectionId>(raw_id);
+    info.payload.resize(len);
+    for (size_t i = 0; i < len; ++i) {
+      uint8_t b;
+      SPORES_RETURN_IF_ERROR(r.GetU8(&b));
+      info.payload[i] = static_cast<char>(b);
+    }
+    info.crc_ok = Crc32(info.payload) == info.stored_crc;
+    reader.sections_.push_back(std::move(info));
+  }
+  return reader;
+}
+
+StatusOr<std::string_view> SnapshotFileReader::Section(SectionId id) const {
+  for (const auto& s : sections_) {
+    if (s.id != id) continue;
+    if (!s.crc_ok) {
+      return Status::InvalidArgument(std::string("snapshot: section '") +
+                                     SectionIdName(id) + "' CRC mismatch");
+    }
+    return std::string_view(s.payload);
+  }
+  return Status::NotFound(std::string("snapshot: no section '") +
+                          SectionIdName(id) + "'");
+}
+
+// ---------------------------------------------------------------------------
+// Journal framing
+// ---------------------------------------------------------------------------
+
+std::string EncodeJournalRecord(std::string_view payload) {
+  ByteWriter w;
+  w.PutU32(kJournalRecordMagic);
+  w.PutU32(static_cast<uint32_t>(payload.size()));
+  w.PutU32(Crc32(payload));
+  std::string out = w.Take();
+  out.append(payload.data(), payload.size());
+  return out;
+}
+
+std::vector<std::string> DecodeJournalRecords(std::string_view image) {
+  std::vector<std::string> records;
+  ByteReader r(image);
+  while (!r.AtEnd()) {
+    uint32_t magic, len, crc;
+    if (!r.GetU32(&magic).ok() || magic != kJournalRecordMagic) break;
+    if (!r.GetU32(&len).ok() || !r.GetU32(&crc).ok()) break;
+    if (len > r.remaining()) break;  // torn tail: crash mid-append
+    std::string payload(len, '\0');
+    bool ok = true;
+    for (uint32_t i = 0; i < len && ok; ++i) {
+      uint8_t b;
+      ok = r.GetU8(&b).ok();
+      payload[i] = static_cast<char>(b);
+    }
+    if (!ok || Crc32(payload) != crc) break;
+    records.push_back(std::move(payload));
+  }
+  return records;
+}
+
+// ---------------------------------------------------------------------------
+// File helpers
+// ---------------------------------------------------------------------------
+
+StatusOr<std::string> ReadFileToString(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) return Status::NotFound("cannot open " + path);
+  std::string data;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) data.append(buf, n);
+  const bool read_err = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_err) return Status::Internal("read error on " + path);
+  return data;
+}
+
+Status AtomicWriteFile(const std::string& path, std::string_view data) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (!f) return Status::Internal("cannot create " + tmp);
+  const size_t written = std::fwrite(data.data(), 1, data.size(), f);
+  const bool flush_err = std::fflush(f) != 0;
+  std::fclose(f);
+  if (written != data.size() || flush_err) {
+    std::remove(tmp.c_str());
+    return Status::Internal("short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Internal("rename failed for " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace spores

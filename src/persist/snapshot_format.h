@@ -1,0 +1,181 @@
+// Versioned binary container for shard snapshots, plus WAL journal framing.
+//
+// A snapshot file is:
+//
+//   [SnapshotHeader][Section]...[Section]
+//
+// The header carries the format version and two invalidation hashes (rule set,
+// cost-model params): a reader that sees any mismatch refuses the whole file —
+// plans extracted under different rules or costs must never be served. Each
+// section is independently CRC32-framed so the inspect tool can tell *which*
+// part of a corrupt file rotted, and so a reader can fail before decoding a
+// single byte of damaged payload.
+//
+// A journal file is a flat sequence of CRC-framed records appended between
+// full checkpoints. A torn final record (crash mid-append) is a normal stop
+// point for replay, not an error; anything after the first bad frame is
+// ignored.
+//
+// All integers are little-endian fixed width. No compression, no alignment
+// tricks: the distributed tier will reuse this framing on the wire, and
+// debuggability beats density at this scale (caches are a few MB).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace spores {
+
+// ---------------------------------------------------------------------------
+// Primitive byte-buffer encode/decode.
+// ---------------------------------------------------------------------------
+
+/// Appends little-endian primitives to a growable byte buffer.
+class ByteWriter {
+ public:
+  void PutU8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  void PutI64(int64_t v) { PutU64(static_cast<uint64_t>(v)); }
+  void PutDouble(double v);
+  /// u32 length prefix + raw bytes.
+  void PutString(std::string_view s);
+  void PutBytes(const void* data, size_t len);
+
+  const std::string& bytes() const { return buf_; }
+  std::string Take() { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  std::string buf_;
+};
+
+/// Cursor over an immutable byte span; every read is bounds-checked and
+/// returns a Status instead of trusting the input (snapshots are untrusted
+/// bytes off disk).
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view bytes) : bytes_(bytes) {}
+
+  Status GetU8(uint8_t* out);
+  Status GetU32(uint32_t* out);
+  Status GetU64(uint64_t* out);
+  Status GetI64(int64_t* out);
+  Status GetDouble(double* out);
+  Status GetString(std::string* out);
+
+  size_t remaining() const { return bytes_.size() - pos_; }
+  bool AtEnd() const { return pos_ == bytes_.size(); }
+
+ private:
+  Status Need(size_t n);
+  std::string_view bytes_;
+  size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Snapshot container.
+// ---------------------------------------------------------------------------
+
+inline constexpr uint32_t kSnapshotMagic = 0x53505153u;  // "SQPS"
+inline constexpr uint32_t kSnapshotFormatVersion = 1;
+
+/// Section ids. Values are part of the on-disk format; append only.
+enum class SectionId : uint32_t {
+  kCatalog = 1,    // matrix metadata + attr dims for everything referenced
+  kPlanCache = 2,  // plan-cache entries, LRU-oldest first
+  kEGraph = 3,     // dense root-scoped e-graph image
+  kRouter = 4,     // fingerprint-hash → shard affinity pins
+};
+
+const char* SectionIdName(SectionId id);
+
+struct SnapshotHeader {
+  uint32_t format_version = kSnapshotFormatVersion;
+  uint64_t rule_set_hash = 0;
+  uint64_t cost_model_hash = 0;
+  int64_t created_unix_seconds = 0;
+  uint32_t shard_count = 0;
+  uint32_t shard_index = 0;
+};
+
+/// Accumulates sections in memory, then writes the whole snapshot atomically
+/// (tmp file + rename) so readers never observe a half-written snapshot.
+class SnapshotFileWriter {
+ public:
+  explicit SnapshotFileWriter(SnapshotHeader header) : header_(header) {}
+
+  void AddSection(SectionId id, std::string payload);
+
+  /// Serializes header + sections to `<path>.tmp` and renames over `path`.
+  Status WriteToFile(const std::string& path) const;
+
+  /// The full encoded file image (header + sections); used by tests to
+  /// corrupt specific bytes without going through the filesystem twice.
+  std::string Encode() const;
+
+ private:
+  SnapshotHeader header_;
+  std::vector<std::pair<SectionId, std::string>> sections_;
+};
+
+/// Parses a snapshot file. Header CRC and structural framing are validated in
+/// Open(); per-section payload CRCs are validated lazily so the inspect tool
+/// can report each section's health individually.
+class SnapshotFileReader {
+ public:
+  struct SectionInfo {
+    SectionId id;
+    std::string payload;
+    uint32_t stored_crc = 0;
+    bool crc_ok = false;
+  };
+
+  /// Reads and structurally validates `path`. Returns InvalidArgument for any
+  /// framing/CRC problem, NotFound if the file does not exist.
+  static StatusOr<SnapshotFileReader> Open(const std::string& path);
+
+  /// Same, from an in-memory image (tests, inspect of piped data).
+  static StatusOr<SnapshotFileReader> Parse(std::string_view image);
+
+  const SnapshotHeader& header() const { return header_; }
+  const std::vector<SectionInfo>& sections() const { return sections_; }
+
+  /// Payload of the first section with `id` iff its CRC checks out.
+  /// InvalidArgument on CRC mismatch, NotFound if absent.
+  StatusOr<std::string_view> Section(SectionId id) const;
+
+ private:
+  SnapshotHeader header_;
+  std::vector<SectionInfo> sections_;
+};
+
+// ---------------------------------------------------------------------------
+// Journal framing.
+// ---------------------------------------------------------------------------
+
+inline constexpr uint32_t kJournalRecordMagic = 0x4a525350u;  // "PSRJ"
+
+/// Frames `payload` as one journal record (magic + length + CRC + bytes).
+std::string EncodeJournalRecord(std::string_view payload);
+
+/// Splits a journal file image into intact record payloads. Stops silently at
+/// the first torn/corrupt frame — everything before it is trustworthy, the
+/// tail is the crash artifact WAL replay is designed to tolerate.
+std::vector<std::string> DecodeJournalRecords(std::string_view image);
+
+// ---------------------------------------------------------------------------
+// Small file helpers shared by checkpoint/restore/inspect.
+// ---------------------------------------------------------------------------
+
+/// Reads an entire file. NotFound if it does not exist.
+StatusOr<std::string> ReadFileToString(const std::string& path);
+
+/// Writes `data` to `<path>.tmp` then renames onto `path` (atomic on POSIX).
+Status AtomicWriteFile(const std::string& path, std::string_view data);
+
+}  // namespace spores

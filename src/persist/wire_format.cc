@@ -1,0 +1,357 @@
+#include "src/persist/wire_format.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace spores {
+
+namespace {
+
+// Upper bound on decoded element counts, derived from what the remaining
+// bytes could possibly hold (every element costs >= 1 byte). Rejecting
+// counts beyond it keeps a corrupt length field from turning into a
+// multi-gigabyte resize.
+Status CheckCount(uint32_t count, size_t remaining, const char* what) {
+  if (count > remaining) {
+    return Status::InvalidArgument(std::string("snapshot: implausible ") +
+                                   what + " count");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Expr
+// ---------------------------------------------------------------------------
+
+void EncodeExpr(const ExprPtr& expr, ByteWriter& w) {
+  // Postorder flatten; shared nodes (the tree is a DAG through ExprPtr)
+  // appear once.
+  std::vector<const Expr*> order;
+  std::unordered_map<const Expr*, uint32_t> index;
+  std::vector<std::pair<const Expr*, size_t>> stack;  // node, next child
+  stack.emplace_back(expr.get(), 0);
+  while (!stack.empty()) {
+    auto& [node, next] = stack.back();
+    if (index.count(node)) {
+      stack.pop_back();
+      continue;
+    }
+    if (next < node->children.size()) {
+      const Expr* child = node->children[next++].get();
+      if (!index.count(child)) stack.emplace_back(child, 0);
+      continue;
+    }
+    index.emplace(node, static_cast<uint32_t>(order.size()));
+    order.push_back(node);
+    stack.pop_back();
+  }
+
+  w.PutU32(static_cast<uint32_t>(order.size()));
+  for (const Expr* node : order) {
+    w.PutU8(static_cast<uint8_t>(node->op));
+    w.PutString(node->sym.str());
+    w.PutDouble(node->value);
+    w.PutU32(static_cast<uint32_t>(node->attrs.size()));
+    for (Symbol a : node->attrs) w.PutString(a.str());
+    w.PutU32(static_cast<uint32_t>(node->children.size()));
+    for (const ExprPtr& c : node->children) w.PutU32(index.at(c.get()));
+  }
+}
+
+StatusOr<ExprPtr> DecodeExpr(ByteReader& r) {
+  uint32_t count;
+  SPORES_RETURN_IF_ERROR(r.GetU32(&count));
+  SPORES_RETURN_IF_ERROR(CheckCount(count, r.remaining(), "expr node"));
+  if (count == 0) return Status::InvalidArgument("snapshot: empty expr");
+
+  std::vector<ExprPtr> nodes;
+  nodes.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    uint8_t raw_op;
+    std::string sym;
+    double value;
+    SPORES_RETURN_IF_ERROR(r.GetU8(&raw_op));
+    SPORES_RETURN_IF_ERROR(r.GetString(&sym));
+    SPORES_RETURN_IF_ERROR(r.GetDouble(&value));
+    if (raw_op > static_cast<uint8_t>(Op::kUnbind)) {
+      return Status::InvalidArgument("snapshot: unknown expr op");
+    }
+    const Op op = static_cast<Op>(raw_op);
+
+    uint32_t nattrs;
+    SPORES_RETURN_IF_ERROR(r.GetU32(&nattrs));
+    SPORES_RETURN_IF_ERROR(CheckCount(nattrs, r.remaining(), "expr attr"));
+    std::vector<Symbol> attrs;
+    attrs.reserve(nattrs);
+    for (uint32_t a = 0; a < nattrs; ++a) {
+      std::string name;
+      SPORES_RETURN_IF_ERROR(r.GetString(&name));
+      attrs.push_back(Symbol::Intern(name));
+    }
+    // kAgg attr lists are sorted by Symbol id — the writer's order encodes
+    // the *writer's* intern order, so re-sort under ours. kBind/kUnbind
+    // attrs are ordered schemas and pass through verbatim.
+    if (op == Op::kAgg) std::sort(attrs.begin(), attrs.end());
+
+    uint32_t nchildren;
+    SPORES_RETURN_IF_ERROR(r.GetU32(&nchildren));
+    SPORES_RETURN_IF_ERROR(CheckCount(nchildren, r.remaining(), "expr child"));
+    std::vector<ExprPtr> children;
+    children.reserve(nchildren);
+    for (uint32_t c = 0; c < nchildren; ++c) {
+      uint32_t child_idx;
+      SPORES_RETURN_IF_ERROR(r.GetU32(&child_idx));
+      if (child_idx >= nodes.size()) {
+        // Postorder guarantees children precede parents; anything else is
+        // corruption (and would be a cycle).
+        return Status::InvalidArgument("snapshot: forward expr child ref");
+      }
+      children.push_back(nodes[child_idx]);
+    }
+    nodes.push_back(Expr::Make(op, Symbol::Intern(sym), value,
+                               std::move(attrs), std::move(children)));
+  }
+  return nodes.back();
+}
+
+// ---------------------------------------------------------------------------
+// Catalog
+// ---------------------------------------------------------------------------
+
+void EncodeCatalog(const Catalog& catalog, ByteWriter& w) {
+  std::vector<std::pair<std::string, MatrixMeta>> entries;
+  entries.reserve(catalog.entries().size());
+  for (const auto& [sym, meta] : catalog.entries()) {
+    entries.emplace_back(sym.str(), meta);
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  w.PutU32(static_cast<uint32_t>(entries.size()));
+  for (const auto& [name, meta] : entries) {
+    w.PutString(name);
+    w.PutI64(meta.shape.rows);
+    w.PutI64(meta.shape.cols);
+    w.PutDouble(meta.sparsity);
+  }
+}
+
+Status DecodeCatalog(ByteReader& r, Catalog* out) {
+  uint32_t count;
+  SPORES_RETURN_IF_ERROR(r.GetU32(&count));
+  SPORES_RETURN_IF_ERROR(CheckCount(count, r.remaining(), "catalog entry"));
+  for (uint32_t i = 0; i < count; ++i) {
+    std::string name;
+    int64_t rows, cols;
+    double sparsity;
+    SPORES_RETURN_IF_ERROR(r.GetString(&name));
+    SPORES_RETURN_IF_ERROR(r.GetI64(&rows));
+    SPORES_RETURN_IF_ERROR(r.GetI64(&cols));
+    SPORES_RETURN_IF_ERROR(r.GetDouble(&sparsity));
+    if (rows <= 0 || cols <= 0 || sparsity < 0.0 || sparsity > 1.0) {
+      return Status::InvalidArgument("snapshot: bad catalog entry");
+    }
+    out->Register(name, rows, cols, sparsity);
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Polyterm
+// ---------------------------------------------------------------------------
+
+void EncodePolyterm(const Polyterm& p, ByteWriter& w) {
+  w.PutDouble(p.constant);
+  w.PutU32(static_cast<uint32_t>(p.monomials.size()));
+  for (const Monomial& m : p.monomials) {
+    w.PutDouble(m.coeff);
+    w.PutU32(static_cast<uint32_t>(m.bound.size()));
+    for (Symbol b : m.bound) w.PutString(b.str());
+    w.PutU32(static_cast<uint32_t>(m.atoms.size()));
+    for (const ExprPtr& atom : m.atoms) EncodeExpr(atom, w);
+  }
+}
+
+StatusOr<Polyterm> DecodePolyterm(ByteReader& r) {
+  Polyterm p;
+  SPORES_RETURN_IF_ERROR(r.GetDouble(&p.constant));
+  uint32_t nmono;
+  SPORES_RETURN_IF_ERROR(r.GetU32(&nmono));
+  SPORES_RETURN_IF_ERROR(CheckCount(nmono, r.remaining(), "monomial"));
+  p.monomials.reserve(nmono);
+  for (uint32_t i = 0; i < nmono; ++i) {
+    Monomial m;
+    SPORES_RETURN_IF_ERROR(r.GetDouble(&m.coeff));
+    uint32_t nbound;
+    SPORES_RETURN_IF_ERROR(r.GetU32(&nbound));
+    SPORES_RETURN_IF_ERROR(CheckCount(nbound, r.remaining(), "bound attr"));
+    m.bound.reserve(nbound);
+    for (uint32_t b = 0; b < nbound; ++b) {
+      std::string name;
+      SPORES_RETURN_IF_ERROR(r.GetString(&name));
+      m.bound.push_back(Symbol::Intern(name));
+    }
+    uint32_t natoms;
+    SPORES_RETURN_IF_ERROR(r.GetU32(&natoms));
+    SPORES_RETURN_IF_ERROR(CheckCount(natoms, r.remaining(), "atom"));
+    m.atoms.reserve(natoms);
+    for (uint32_t a = 0; a < natoms; ++a) {
+      SPORES_ASSIGN_OR_RETURN(ExprPtr atom, DecodeExpr(r));
+      m.atoms.push_back(std::move(atom));
+    }
+    // Sorted-bound and hash-sorted-atom invariants are stated in the new
+    // process's intern order / hash values; re-establish both.
+    m.Normalize();
+    p.monomials.push_back(std::move(m));
+  }
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// PlanCacheKey / OptimizedPlan
+// ---------------------------------------------------------------------------
+
+void EncodePlanCacheKey(const PlanCacheKey& key, ByteWriter& w) {
+  // Fingerprints are built from catalog metadata strings and the polyterm
+  // signature (coefficients + counts) — all process-stable — so the string
+  // round-trips verbatim.
+  w.PutString(key.fingerprint);
+  EncodePolyterm(key.canon, w);
+}
+
+StatusOr<PlanCacheKey> DecodePlanCacheKey(ByteReader& r) {
+  PlanCacheKey key;
+  SPORES_RETURN_IF_ERROR(r.GetString(&key.fingerprint));
+  SPORES_ASSIGN_OR_RETURN(key.canon, DecodePolyterm(r));
+  return key;
+}
+
+void EncodeOptimizedPlan(const OptimizedPlan& plan, ByteWriter& w) {
+  EncodeExpr(plan.plan, w);
+  w.PutDouble(plan.plan_cost);
+  w.PutDouble(plan.original_cost);
+  w.PutU8(plan.optimal ? 1 : 0);
+  w.PutU32(static_cast<uint32_t>(plan.alternatives.size()));
+  for (const PlanChoice& c : plan.alternatives) {
+    w.PutU8(c.strategy == ExtractionStrategy::kIlp ? 1 : 0);
+    w.PutU8(c.optimal ? 1 : 0);
+    w.PutDouble(c.cost);
+    w.PutU8(c.la ? 1 : 0);
+    if (c.la) EncodeExpr(c.la, w);
+  }
+}
+
+StatusOr<OptimizedPlan> DecodeOptimizedPlan(ByteReader& r) {
+  OptimizedPlan plan;
+  SPORES_ASSIGN_OR_RETURN(plan.plan, DecodeExpr(r));
+  SPORES_RETURN_IF_ERROR(r.GetDouble(&plan.plan_cost));
+  SPORES_RETURN_IF_ERROR(r.GetDouble(&plan.original_cost));
+  uint8_t optimal;
+  SPORES_RETURN_IF_ERROR(r.GetU8(&optimal));
+  plan.optimal = optimal != 0;
+  uint32_t nalts;
+  SPORES_RETURN_IF_ERROR(r.GetU32(&nalts));
+  SPORES_RETURN_IF_ERROR(CheckCount(nalts, r.remaining(), "alternative"));
+  plan.alternatives.reserve(nalts);
+  for (uint32_t i = 0; i < nalts; ++i) {
+    PlanChoice c;
+    uint8_t ilp, opt, has_la;
+    SPORES_RETURN_IF_ERROR(r.GetU8(&ilp));
+    SPORES_RETURN_IF_ERROR(r.GetU8(&opt));
+    SPORES_RETURN_IF_ERROR(r.GetDouble(&c.cost));
+    SPORES_RETURN_IF_ERROR(r.GetU8(&has_la));
+    c.strategy = ilp ? ExtractionStrategy::kIlp : ExtractionStrategy::kGreedy;
+    c.optimal = opt != 0;
+    if (has_la) {
+      SPORES_ASSIGN_OR_RETURN(c.la, DecodeExpr(r));
+    }
+    plan.alternatives.push_back(std::move(c));
+  }
+  return plan;
+}
+
+// ---------------------------------------------------------------------------
+// EGraphImage
+// ---------------------------------------------------------------------------
+
+void EncodeEGraphImage(const EGraphImage& image, ByteWriter& w) {
+  w.PutU32(static_cast<uint32_t>(image.classes.size()));
+  for (const auto& nodes : image.classes) {
+    w.PutU32(static_cast<uint32_t>(nodes.size()));
+    for (const EGraphImage::Node& n : nodes) {
+      w.PutU8(static_cast<uint8_t>(n.op));
+      w.PutString(n.sym);
+      w.PutDouble(n.value);
+      w.PutU32(static_cast<uint32_t>(n.attrs.size()));
+      for (const std::string& a : n.attrs) w.PutString(a);
+      w.PutU32(static_cast<uint32_t>(n.children.size()));
+      for (uint32_t c : n.children) w.PutU32(c);
+    }
+  }
+  w.PutU32(static_cast<uint32_t>(image.roots.size()));
+  for (uint32_t r : image.roots) w.PutU32(r);
+}
+
+StatusOr<EGraphImage> DecodeEGraphImage(ByteReader& r) {
+  EGraphImage image;
+  uint32_t nclasses;
+  SPORES_RETURN_IF_ERROR(r.GetU32(&nclasses));
+  SPORES_RETURN_IF_ERROR(CheckCount(nclasses, r.remaining(), "egraph class"));
+  image.classes.resize(nclasses);
+  for (uint32_t ci = 0; ci < nclasses; ++ci) {
+    uint32_t nnodes;
+    SPORES_RETURN_IF_ERROR(r.GetU32(&nnodes));
+    SPORES_RETURN_IF_ERROR(CheckCount(nnodes, r.remaining(), "egraph node"));
+    image.classes[ci].reserve(nnodes);
+    for (uint32_t ni = 0; ni < nnodes; ++ni) {
+      EGraphImage::Node n;
+      uint8_t raw_op;
+      SPORES_RETURN_IF_ERROR(r.GetU8(&raw_op));
+      if (raw_op > static_cast<uint8_t>(Op::kUnbind)) {
+        return Status::InvalidArgument("snapshot: unknown e-node op");
+      }
+      n.op = static_cast<Op>(raw_op);
+      SPORES_RETURN_IF_ERROR(r.GetString(&n.sym));
+      SPORES_RETURN_IF_ERROR(r.GetDouble(&n.value));
+      uint32_t nattrs;
+      SPORES_RETURN_IF_ERROR(r.GetU32(&nattrs));
+      SPORES_RETURN_IF_ERROR(CheckCount(nattrs, r.remaining(), "e-node attr"));
+      n.attrs.reserve(nattrs);
+      for (uint32_t a = 0; a < nattrs; ++a) {
+        std::string name;
+        SPORES_RETURN_IF_ERROR(r.GetString(&name));
+        n.attrs.push_back(std::move(name));
+      }
+      uint32_t nchildren;
+      SPORES_RETURN_IF_ERROR(r.GetU32(&nchildren));
+      SPORES_RETURN_IF_ERROR(
+          CheckCount(nchildren, r.remaining(), "e-node child"));
+      n.children.reserve(nchildren);
+      for (uint32_t c = 0; c < nchildren; ++c) {
+        uint32_t child;
+        SPORES_RETURN_IF_ERROR(r.GetU32(&child));
+        if (child >= nclasses) {
+          return Status::InvalidArgument("snapshot: e-node child out of range");
+        }
+        n.children.push_back(child);
+      }
+      image.classes[ci].push_back(std::move(n));
+    }
+  }
+  uint32_t nroots;
+  SPORES_RETURN_IF_ERROR(r.GetU32(&nroots));
+  SPORES_RETURN_IF_ERROR(CheckCount(nroots, r.remaining(), "egraph root"));
+  image.roots.reserve(nroots);
+  for (uint32_t i = 0; i < nroots; ++i) {
+    uint32_t root;
+    SPORES_RETURN_IF_ERROR(r.GetU32(&root));
+    if (root >= nclasses) {
+      return Status::InvalidArgument("snapshot: root out of range");
+    }
+    image.roots.push_back(root);
+  }
+  return image;
+}
+
+}  // namespace spores

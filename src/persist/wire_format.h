@@ -1,0 +1,59 @@
+// Process-independent codecs for the optimizer's plan-store payloads: Expr
+// DAGs, catalogs, canonical polyterms, optimized plans, and e-graph images.
+//
+// Two cross-process hazards shape every codec here:
+//
+//  1. Symbol intern ids are process-local, so symbols travel as strings and
+//     are re-interned on decode.
+//  2. Several invariants are phrased in terms of the *current* process's
+//     intern order (kAgg attribute lists and Monomial::bound are sorted by
+//     Symbol id; monomial atoms by structural hash). Decoders re-establish
+//     them — DecodePolyterm re-Normalize()s each monomial, DecodeExpr
+//     re-sorts kAgg attrs — rather than trusting the writer's order.
+//
+// Everything decodes defensively (bounds-checked, Status on malformed
+// input): snapshot payloads are untrusted bytes off disk even after their
+// section CRC passes, since a CRC protects against rot, not against writer
+// bugs or version drift.
+//
+// This is the wire format the distributed shared-nothing tier will reuse;
+// keep it free of any in-memory pointer or id.
+#pragma once
+
+#include "src/canon/canonical.h"
+#include "src/egraph/egraph_image.h"
+#include "src/ir/expr.h"
+#include "src/optimizer/optimized_plan.h"
+#include "src/optimizer/plan_cache.h"
+#include "src/persist/snapshot_format.h"
+
+namespace spores {
+
+/// Expr trees encode as a postorder node table (children reference earlier
+/// entries by index), so shared subtrees serialize once and decode without
+/// recursion. The root is the last entry.
+void EncodeExpr(const ExprPtr& expr, ByteWriter& w);
+StatusOr<ExprPtr> DecodeExpr(ByteReader& r);
+
+/// Catalog entries, sorted by name for deterministic bytes.
+void EncodeCatalog(const Catalog& catalog, ByteWriter& w);
+Status DecodeCatalog(ByteReader& r, Catalog* out);
+
+void EncodePolyterm(const Polyterm& p, ByteWriter& w);
+StatusOr<Polyterm> DecodePolyterm(ByteReader& r);
+
+void EncodePlanCacheKey(const PlanCacheKey& key, ByteWriter& w);
+StatusOr<PlanCacheKey> DecodePlanCacheKey(ByteReader& r);
+
+/// Persists the servable core of an OptimizedPlan: the plan, its costs,
+/// optimality, and the extraction alternatives (provenance). Per-query
+/// transients (timings, saturation report, fallback/degrade flags) are
+/// deliberately dropped — degraded plans are never persisted at all, per the
+/// plan cache's never-cache-degraded rule.
+void EncodeOptimizedPlan(const OptimizedPlan& plan, ByteWriter& w);
+StatusOr<OptimizedPlan> DecodeOptimizedPlan(ByteReader& r);
+
+void EncodeEGraphImage(const EGraphImage& image, ByteWriter& w);
+StatusOr<EGraphImage> DecodeEGraphImage(ByteReader& r);
+
+}  // namespace spores

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <ctime>
 #include <exception>
+#include <filesystem>
 #include <sstream>
 
 #include "src/canon/isomorphism.h"
+#include "src/cost/cost_model.h"
 #include "src/util/check.h"
 
 namespace spores {
@@ -66,6 +69,18 @@ size_t PoolStats::TotalRejected() const {
   return n;
 }
 
+size_t PoolStats::TotalRestoredPlans() const {
+  size_t n = 0;
+  for (const ShardStats& s : shards) n += s.session.restored_plans;
+  return n;
+}
+
+size_t PoolStats::TotalRestoredClasses() const {
+  size_t n = 0;
+  for (const ShardStats& s : shards) n += s.session.restored_classes;
+  return n;
+}
+
 double PoolStats::CacheHitRate() const {
   size_t hits = 0, misses = 0;
   for (const ShardStats& s : shards) {
@@ -92,7 +107,14 @@ std::string PoolStats::ToString() const {
        << " rejected), depth " << s.queue_depth << (s.busy ? " busy" : "")
        << ", cache " << s.cache.hits << "/" << (s.cache.hits + s.cache.misses)
        << " hits, " << s.cache_entries << " entries; "
-       << s.session.ToString() << "\n";
+       << s.session.ToString();
+    if (s.cold_start != ColdStartReason::kDisabled) {
+      os << "; startup " << ColdStartReasonName(s.cold_start);
+      if (s.snapshot_age_seconds >= 0) {
+        os << " (snapshot age " << s.snapshot_age_seconds << "s)";
+      }
+    }
+    os << "\n";
   }
   return os.str();
 }
@@ -110,14 +132,102 @@ SessionPool::SessionPool(std::shared_ptr<const OptimizerContext> context,
         std::make_unique<OptimizerSession>(context_, config_.session);
     shards_.push_back(std::move(shard));
   }
+  if (!config_.persist.dir.empty()) {
+    // CheckpointManager expects the directory to exist; creating it is the
+    // serving layer's job. Failure surfaces as kNoSnapshot + best-effort
+    // journaling, not a crash — persistence must never stop serving.
+    std::error_code ec;
+    std::filesystem::create_directories(config_.persist.dir, ec);
+    JournalHeader identity;
+    identity.rule_set_hash = RuleSetHash(context_->rules());
+    identity.cost_model_hash = CostModelParamsHash();
+    identity.shard_count = static_cast<uint32_t>(config_.num_shards);
+    CheckpointConfig ck;
+    ck.dir = config_.persist.dir;
+    ck.journal_inserts = config_.persist.journal_inserts;
+    manager_ = std::make_unique<CheckpointManager>(ck, identity);
+    // Restore before any worker exists: the whole load — dims, graph
+    // rebuild, cache replay, router pins — runs in this single-threaded
+    // window, so sessions never see concurrent restore + serve traffic.
+    RestoreShards();
+    if (config_.persist.journal_inserts) {
+      // The WAL hook, installed AFTER restore so replayed entries are never
+      // re-journaled (RestorePlanCacheEntry bypasses the listener anyway;
+      // this keeps the ordering obviously right). Fires on the worker
+      // thread at every organic insert.
+      for (size_t i = 0; i < config_.num_shards; ++i) {
+        shards_[i]->session->set_plan_insert_listener(
+            [this, i](const PlanCacheKey& key, const OptimizedPlan& plan) {
+              manager_->JournalInsert(i, key, plan);
+            });
+      }
+    }
+  }
   // Workers start only after every shard exists: a thief scans all queues.
   for (size_t i = 0; i < config_.num_shards; ++i) {
     shards_[i]->worker = std::thread([this, i] { WorkerLoop(i); });
   }
 }
 
+void SessionPool::RestoreShards() {
+  SnapshotExpectation expect;
+  expect.rule_set_hash = RuleSetHash(context_->rules());
+  expect.cost_model_hash = CostModelParamsHash();
+  expect.shard_count = static_cast<uint32_t>(config_.num_shards);
+  const int64_t now = static_cast<int64_t>(std::time(nullptr));
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    Shard& shard = *shards_[i];
+    CheckpointManager::Restore r = manager_->RestoreShard(i, expect);
+    shard.cold_start = r.reason;
+    shard.cold_start_detail = std::move(r.detail);
+    if (r.reason != ColdStartReason::kWarmRestore) continue;
+    if (r.created_unix_seconds > 0) {
+      shard.snapshot_age_seconds =
+          std::max<int64_t>(0, now - r.created_unix_seconds);
+    }
+    // Dims first: analysis and costing hard-fail on unknown attributes, so
+    // the graph rebuild and any later costing need every persisted
+    // (attr, dim) registered. DimEnv is write-once-monotone and the values
+    // were read from this very env last run, so re-registering live
+    // attributes is a no-op.
+    for (const auto& dim : r.data.dims) {
+      context_->dims()->Set(Symbol::Intern(dim.first), dim.second);
+    }
+    if (r.data.has_graph) {
+      shard.session->RestoreSharedGraph(r.data.catalog,
+                                        std::move(r.data.catalog_signature),
+                                        r.data.graph);
+    }
+    // Snapshot entries are LRU-first with journal entries after them, so
+    // replaying in order reproduces the cache's recency order (and thus
+    // its eviction behavior) exactly. Each class is re-pinned to this
+    // shard — a restored plan the router routes elsewhere is a cache entry
+    // nobody ever hits.
+    auto replay = [&](std::vector<PlanStoreEntry>& entries) {
+      for (PlanStoreEntry& e : entries) {
+        router_.RestorePin(e.key.fingerprint, i);
+        shard.session->RestorePlanCacheEntry(e.key, std::move(e.plan));
+      }
+    };
+    replay(r.data.entries);
+    replay(r.journal_entries);
+    // Publish restore counters so Stats() reflects the warm state before
+    // the first job snapshots them organically.
+    shard.session_stats = shard.session->stats();
+    shard.cache_stats = shard.session->cache_stats();
+    shard.cache_entries = shard.session->PlanCacheSize();
+  }
+}
+
 SessionPool::~SessionPool() {
   Drain();  // every future is completed before teardown
+  if (manager_ && config_.persist.checkpoint_on_shutdown) {
+    // Workers are idle but still alive, so the capture tasks have threads
+    // to run on. The result is advisory at shutdown: the journals still
+    // hold anything a failed snapshot write would have covered.
+    Status st = Checkpoint();
+    (void)st;
+  }
   {
     std::lock_guard<std::mutex> lock(park_mu_);
     shutdown_ = true;
@@ -362,6 +472,9 @@ PoolStats SessionPool::Stats() const {
     s.session = shard->session_stats;
     s.cache = shard->cache_stats;
     s.cache_entries = shard->cache_entries;
+    s.cold_start = shard->cold_start;
+    s.cold_start_detail = shard->cold_start_detail;
+    s.snapshot_age_seconds = shard->snapshot_age_seconds;
     out.shards.push_back(std::move(s));
   }
   std::lock_guard<std::mutex> lock(done_mu_);
@@ -373,8 +486,86 @@ PoolStats SessionPool::Stats() const {
 }
 
 void SessionPool::Drain() {
-  std::unique_lock<std::mutex> lock(done_mu_);
-  done_cv_.wait(lock, [&] { return completed_ == submitted_; });
+  {
+    std::unique_lock<std::mutex> lock(done_mu_);
+    done_cv_.wait(lock, [&] { return completed_ == submitted_; });
+  }
+  // A drained pool's journaled state is on disk, not in a stdio buffer:
+  // callers use Drain() as the quiesce point before copying/inspecting the
+  // persistence directory.
+  if (manager_) manager_->FlushJournals();
+}
+
+Status SessionPool::Checkpoint() {
+  if (!manager_) {
+    return Status::Unsupported("persistence not configured (persist.dir)");
+  }
+  // One checkpoint at a time: the per-shard control slot holds one task.
+  std::lock_guard<std::mutex> lock(checkpoint_mu_);
+  return manager_->CheckpointAll(
+      [this](size_t shard) -> std::optional<ShardSnapshotData> {
+        ShardSnapshotData data;
+        WithShardSession(shard, [&](OptimizerSession& session) {
+          // Rotating at the same serialization point as the copy makes the
+          // rotated journal cover exactly the inserts the copy includes —
+          // no insert is in both the snapshot and a surviving journal, and
+          // none is in neither.
+          manager_->RotateJournal(shard);
+          session.ExportPlanCache(
+              [&](const PlanCacheKey& key, const OptimizedPlan& plan) {
+                data.entries.push_back(PlanStoreEntry{key, plan});
+              });
+          data.has_graph = session.ExportSharedGraph(
+              &data.catalog_signature, &data.catalog, &data.graph);
+        });
+        // Dim collection reads the internally-synchronized shared DimEnv
+        // against our own copy — it can run here on the checkpoint thread,
+        // keeping the worker pause to the copy itself.
+        CollectShardDims(*context_->dims(), &data);
+        return data;
+      },
+      static_cast<int64_t>(std::time(nullptr)));
+}
+
+void SessionPool::WithShardSession(
+    size_t index, const std::function<void(OptimizerSession&)>& fn) {
+  Shard& shard = *shards_[index];
+  struct Signal {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+  };
+  auto sig = std::make_shared<Signal>();
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    SPORES_CHECK(!shard.control);  // checkpoint_mu_ admits one at a time
+    shard.control = [&fn, sig, &shard] {
+      fn(*shard.session);
+      std::lock_guard<std::mutex> done_lock(sig->mu);
+      sig->done = true;
+      sig->cv.notify_all();
+    };
+  }
+  // Wake a parked worker to find the task — the same missed-wakeup-free
+  // epoch protocol enqueues use. A busy worker picks it up at the top of
+  // its next loop iteration, after the current job.
+  {
+    std::lock_guard<std::mutex> lock(park_mu_);
+    ++work_epoch_;
+  }
+  park_cv_.notify_all();
+  std::unique_lock<std::mutex> wait_lock(sig->mu);
+  sig->cv.wait(wait_lock, [&] { return sig->done; });
+}
+
+void SessionPool::RunControl(size_t self) {
+  Shard& shard = *shards_[self];
+  std::function<void()> task;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    task.swap(shard.control);
+  }
+  if (task) task();
 }
 
 std::unique_ptr<SessionPool::Job> SessionPool::NextJob(size_t self,
@@ -551,6 +742,9 @@ void SessionPool::WorkerLoop(size_t self) {
       std::lock_guard<std::mutex> lock(park_mu_);
       seen = work_epoch_;
     }
+    // A pending control task (checkpoint capture) runs between jobs on
+    // this thread — the only thread allowed to touch the session.
+    RunControl(self);
     bool stolen = false, retry_soon = false;
     std::unique_ptr<Job> job = NextJob(self, &stolen, &retry_soon);
     if (job) {

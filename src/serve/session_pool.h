@@ -46,6 +46,13 @@
 //    cache warming). Stolen jobs execute on the thief's session with the
 //    plan cache bypassed (QueryOptions::use_plan_cache=false) and the
 //    thief's warm shared e-graph protected (preserve_shared_egraph).
+//  * Warm restarts (PR 6): with PoolConfig::persist.dir set, each shard's
+//    plan cache and saturated e-graph checkpoint to versioned snapshot
+//    files (Checkpoint(); inserts between checkpoints are WAL-journaled),
+//    and the constructor restores them on the next start — after
+//    validating the format version and the rule-set/cost-model hashes.
+//    Any mismatch or corruption collapses to a clean cold start with the
+//    reason in ShardStats::cold_start; restore never fails construction.
 //  * Batch dedupe, two levels: BatchSubmit first pre-groups members by
 //    structural hash (exact resubmissions skip routing entirely — no
 //    translate/canonicalize), then groups the remainder by canonical form
@@ -71,6 +78,7 @@
 #include <vector>
 
 #include "src/optimizer/optimizer_session.h"
+#include "src/persist/checkpoint.h"
 #include "src/serve/serve_future.h"
 #include "src/serve/shard_router.h"
 #include "src/util/deadline.h"
@@ -98,6 +106,19 @@ struct AdmissionConfig {
   double max_queue_age_seconds = 0.0;
 };
 
+/// Warm-restart persistence (src/persist): one snapshot + journal file pair
+/// per shard under `dir`. An empty dir disables persistence entirely (no
+/// files, no listener, zero serving overhead).
+struct PersistenceConfig {
+  /// Snapshot/journal directory (created if missing); empty disables.
+  std::string dir;
+  /// WAL-journal every organic plan-cache insert (flushed per record), so
+  /// plans optimized between checkpoints survive a crash too.
+  bool journal_inserts = true;
+  /// Run a full Checkpoint() in the destructor, after the final drain.
+  bool checkpoint_on_shutdown = true;
+};
+
 struct PoolConfig {
   size_t num_shards = 8;
   /// Per-shard session config; defaults to the context's base_config.
@@ -114,6 +135,7 @@ struct PoolConfig {
   bool enable_load_bias = true;
   RouterConfig router;
   AdmissionConfig admission;
+  PersistenceConfig persist;
 };
 
 /// One query for Submit/BatchSubmit. The catalog is shared-ptr'd because
@@ -142,6 +164,13 @@ struct ShardStats {
   SessionStats session;     ///< the shard session's cumulative counters
   PlanCacheStats cache;     ///< the shard plan cache's counters
   size_t cache_entries = 0;
+  /// How this shard came up (kWarmRestore = snapshot/journal state loaded;
+  /// kDisabled = persistence not configured). Fixed at construction.
+  ColdStartReason cold_start = ColdStartReason::kDisabled;
+  std::string cold_start_detail;  ///< human-readable cause for cold starts
+  /// Age of the restored snapshot at pool construction; -1 when no snapshot
+  /// was restored (cold start, or a journal-only warm restore).
+  int64_t snapshot_age_seconds = -1;
 };
 
 /// Pool-wide stats: per-shard snapshots plus batch-level counters.
@@ -161,6 +190,8 @@ struct PoolStats {
   size_t TotalExpired() const;
   size_t TotalCancelled() const;
   size_t TotalRejected() const;
+  size_t TotalRestoredPlans() const;    ///< plan-cache entries from snapshots
+  size_t TotalRestoredClasses() const;  ///< e-classes rebuilt from snapshots
   double CacheHitRate() const;  ///< hits / (hits+misses) over all shards
   std::string ToString() const;
 };
@@ -196,8 +227,23 @@ class SessionPool {
   std::vector<ServeFuture<OptimizedPlan>> BatchSubmit(
       const std::vector<ServeRequest>& batch);
 
-  /// Blocks until every admitted job has completed.
+  /// Blocks until every admitted job has completed, then flushes any
+  /// pending journal writes to the OS (a drained pool's journaled state is
+  /// on disk, not in a stdio buffer).
   void Drain();
+
+  /// Writes a full snapshot of every shard through the checkpoint protocol
+  /// (see src/persist/checkpoint.h): each shard's plan cache and shared
+  /// e-graph are captured ON ITS OWN WORKER THREAD between jobs — a short
+  /// per-shard pause, never a global stop-the-world — with its journal
+  /// rotated at the same serialization point, then serialized and written
+  /// on parallel checkpoint threads. Serving continues throughout. Returns
+  /// kFailedPrecondition when persistence is not configured. Must not be
+  /// called from a pool worker thread (the capture would deadlock on the
+  /// very worker it waits for).
+  Status Checkpoint();
+
+  bool persistence_enabled() const { return manager_ != nullptr; }
 
   /// Snapshot of per-shard and pool-wide counters. Never blocks on a
   /// running optimization (session stats are snapshotted by the worker
@@ -256,6 +302,14 @@ class SessionPool {
     /// this shard (stolen jobs run on the *thief's* session).
     std::unique_ptr<OptimizerSession> session;
     std::thread worker;
+    /// Pool-internal control task (checkpoint capture), run by the owning
+    /// worker between jobs — the only way any other thread touches the
+    /// session. Guarded by mu; at most one pending (checkpoint_mu_).
+    std::function<void()> control;
+    /// Warm-restart provenance, written once before the worker spawns.
+    ColdStartReason cold_start = ColdStartReason::kDisabled;
+    std::string cold_start_detail;
+    int64_t snapshot_age_seconds = -1;
   };
 
   /// Admission + enqueue; the returned future is the job's (or an
@@ -280,12 +334,26 @@ class SessionPool {
   void DisposeJob(size_t self, Job& job, Status status);
   void RunJob(size_t self, Job& job, bool stolen);
   void FinishJob();  ///< drain accounting after any completion
+  /// Constructor-time restore: loads every shard's snapshot + journals,
+  /// repopulates sessions/router, records cold-start provenance. Runs
+  /// before any worker spawns (single-threaded window — no locks needed).
+  void RestoreShards();
+  /// Runs `fn` against shard's session ON ITS OWNER WORKER THREAD, between
+  /// jobs, and blocks until it has run. Caller must hold checkpoint_mu_.
+  void WithShardSession(size_t shard,
+                        const std::function<void(OptimizerSession&)>& fn);
+  /// Runs the shard's pending control task, if any (called by its worker).
+  void RunControl(size_t self);
 
   std::shared_ptr<const OptimizerContext> context_;
   PoolConfig config_;
   ShardRouter router_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<uint64_t> next_seq_{0};
+
+  /// Snapshot/journal lifecycle (null when persist.dir is empty).
+  std::unique_ptr<CheckpointManager> manager_;
+  std::mutex checkpoint_mu_;  ///< serializes Checkpoint() calls
 
   /// Parking lot: workers sleep here when every queue is empty; every
   /// enqueue bumps the epoch (missed-wakeup-free sleep protocol).

@@ -50,6 +50,19 @@ RouteDecision ShardRouter::Route(const ExprPtr& expr,
   return Route(expr, catalog, {});
 }
 
+void ShardRouter::RestorePin(const std::string& fingerprint, size_t shard) {
+  if (shard >= num_shards_) return;
+  const uint64_t fp_hash = HashBytes(fingerprint);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (affinity_.count(fp_hash)) return;  // live routing outranks replay
+  affinity_.emplace(fp_hash, static_cast<uint32_t>(shard));
+  affinity_fifo_.push_back(fp_hash);
+  if (affinity_fifo_.size() > config_.affinity_capacity) {
+    affinity_.erase(affinity_fifo_.front());
+    affinity_fifo_.pop_front();
+  }
+}
+
 RouteDecision ShardRouter::Route(const ExprPtr& expr, const Catalog& catalog,
                                  const std::vector<size_t>& queue_depths) const {
   Timer timer;

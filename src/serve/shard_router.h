@@ -113,6 +113,13 @@ class ShardRouter {
   /// depend on the standard library's per-process salt).
   static uint64_t HashBytes(const std::string& bytes);
 
+  /// Re-pins a persisted class to the shard that holds its restored plan,
+  /// so placement stays stable across restarts (a restored plan the router
+  /// would route elsewhere is a cache entry nobody ever hits). An existing
+  /// pin wins — live routing decisions outrank snapshot replays. FIFO-
+  /// bounded like organic pins.
+  void RestorePin(const std::string& fingerprint, size_t shard);
+
  private:
   size_t PlaceNewClass(uint64_t fingerprint_hash,
                        const std::vector<size_t>* queue_depths,

@@ -1,0 +1,53 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected) for snapshot/journal integrity
+// checks. Software table implementation: persistence is dominated by disk
+// writes, not checksumming, and a dependency-free checksum keeps the wire
+// format self-contained for the distributed tier.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace spores {
+
+namespace detail {
+
+inline const uint32_t* Crc32Table() {
+  static const auto table = [] {
+    static uint32_t t[256];
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace detail
+
+/// Extends a running CRC-32 with `data`. Start from kCrc32Init and finish
+/// with Crc32Finish (the init/finish split lets callers checksum streamed
+/// sections without buffering them twice).
+inline constexpr uint32_t kCrc32Init = 0xffffffffu;
+
+inline uint32_t Crc32Update(uint32_t crc, const void* data, size_t len) {
+  const uint32_t* table = detail::Crc32Table();
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < len; ++i) {
+    crc = table[(crc ^ p[i]) & 0xffu] ^ (crc >> 8);
+  }
+  return crc;
+}
+
+inline uint32_t Crc32Finish(uint32_t crc) { return crc ^ 0xffffffffu; }
+
+/// One-shot CRC-32 of a byte string.
+inline uint32_t Crc32(std::string_view bytes) {
+  return Crc32Finish(Crc32Update(kCrc32Init, bytes.data(), bytes.size()));
+}
+
+}  // namespace spores

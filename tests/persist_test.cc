@@ -1,0 +1,502 @@
+// Tests of the persistence tier (PR 6): snapshot container framing + CRCs,
+// wire-format round trips, journal replay, and the SessionPool warm-restart
+// path end to end — save → load → identical plan costs and cache-hit
+// behavior, plus every invalid-snapshot scenario (truncation, bit flips,
+// rule-set / cost-model / format / shard-count skew) recovering to a clean
+// cold start with the reason surfaced. The checkpoint-concurrent-with-
+// serving test runs under ThreadSanitizer in CI, so it doubles as the race
+// detector for the control-task handoff between checkpoint and worker
+// threads.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+#include "src/cost/cost_model.h"
+#include "src/ir/parser.h"
+#include "src/persist/checkpoint.h"
+#include "src/persist/plan_store.h"
+#include "src/persist/snapshot_format.h"
+#include "src/persist/wire_format.h"
+#include "src/serve/session_pool.h"
+#include "src/util/crc32.h"
+#include "src/workloads/generators.h"
+#include "src/workloads/programs.h"
+
+namespace spores {
+namespace {
+
+namespace fs = std::filesystem;
+
+// A fresh, empty persistence directory per test.
+std::string FreshDir(const std::string& name) {
+  fs::path dir = fs::path(::testing::TempDir()) / ("spores_persist_" + name);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+std::string ReadAll(const std::string& path) {
+  auto bytes = ReadFileToString(path);
+  EXPECT_TRUE(bytes.ok()) << path;
+  return bytes.ok() ? bytes.value() : std::string();
+}
+
+void WriteAll(const std::string& path, const std::string& data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+  ASSERT_TRUE(out.good()) << path;
+}
+
+std::shared_ptr<const Catalog> SmallCatalog() {
+  return std::make_shared<Catalog>(
+      MakeFactorizationData(250, 200, 6, 0.02, 31).catalog);
+}
+
+std::vector<ExprPtr> DistinctQueries() {
+  std::vector<ExprPtr> out;
+  for (const Program& prog : {AlsProgram(), PnmfProgram(), IntroProgram()}) {
+    out.push_back(prog.expr);
+    out.push_back(Expr::Unary("abs", prog.expr));
+    out.push_back(Expr::Unary("sign", prog.expr));
+  }
+  return out;
+}
+
+// The fast serving configuration every pool test uses.
+SessionConfig ServingConfig() {
+  SessionConfig cfg;
+  cfg.runner.strategy = SaturationStrategy::kSampling;
+  cfg.extraction = ExtractionStrategy::kGreedy;
+  return cfg;
+}
+
+PoolConfig PersistentPool(const std::string& dir, size_t shards = 2) {
+  PoolConfig cfg;
+  cfg.num_shards = shards;
+  cfg.persist.dir = dir;
+  return cfg;
+}
+
+// Runs every distinct query through a fresh persistent pool and returns
+// (query -> plan cost). The pool checkpoints on destruction by default.
+std::vector<double> PopulatePool(const std::string& dir, size_t shards,
+                                 bool checkpoint_on_shutdown = true) {
+  auto context = std::make_shared<const OptimizerContext>(ServingConfig());
+  PoolConfig cfg = PersistentPool(dir, shards);
+  cfg.persist.checkpoint_on_shutdown = checkpoint_on_shutdown;
+  SessionPool pool(context, cfg);
+  auto catalog = SmallCatalog();
+  std::vector<double> costs;
+  for (const ExprPtr& q : DistinctQueries()) {
+    auto plan = pool.Submit(q, catalog).get();
+    EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+    costs.push_back(plan.ok() ? plan.value().plan_cost : -1.0);
+  }
+  pool.Drain();
+  return costs;
+}
+
+SnapshotExpectation ExpectationFor(const OptimizerContext& context,
+                                   uint32_t shards) {
+  SnapshotExpectation expect;
+  expect.rule_set_hash = RuleSetHash(context.rules());
+  expect.cost_model_hash = CostModelParamsHash();
+  expect.shard_count = shards;
+  return expect;
+}
+
+// ---- Primitives ----
+
+TEST(Crc32Test, KnownAnswer) {
+  // The IEEE CRC-32 check value.
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(Crc32(""), 0u);
+}
+
+TEST(ByteCodecTest, RoundTripsEveryPrimitive) {
+  ByteWriter w;
+  w.PutU8(0xab);
+  w.PutU32(0xdeadbeef);
+  w.PutU64(0x0123456789abcdefull);
+  w.PutI64(-42);
+  w.PutDouble(3.5);
+  w.PutString("polyterm");
+  ByteReader r(w.bytes());
+  uint8_t u8;
+  uint32_t u32;
+  uint64_t u64;
+  int64_t i64;
+  double d;
+  std::string s;
+  ASSERT_TRUE(r.GetU8(&u8).ok());
+  ASSERT_TRUE(r.GetU32(&u32).ok());
+  ASSERT_TRUE(r.GetU64(&u64).ok());
+  ASSERT_TRUE(r.GetI64(&i64).ok());
+  ASSERT_TRUE(r.GetDouble(&d).ok());
+  ASSERT_TRUE(r.GetString(&s).ok());
+  EXPECT_EQ(u8, 0xab);
+  EXPECT_EQ(u32, 0xdeadbeefu);
+  EXPECT_EQ(u64, 0x0123456789abcdefull);
+  EXPECT_EQ(i64, -42);
+  EXPECT_EQ(d, 3.5);
+  EXPECT_EQ(s, "polyterm");
+  EXPECT_TRUE(r.AtEnd());
+  // Reads past the end fail instead of trusting the input.
+  EXPECT_FALSE(r.GetU8(&u8).ok());
+}
+
+TEST(WireFormatTest, ExprRoundTrip) {
+  auto parsed = ParseExpr("sum(t(A) %*% (B * 2) + sqrt(abs(A %*% B)))");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ByteWriter w;
+  EncodeExpr(parsed.value(), w);
+  ByteReader r(w.bytes());
+  auto decoded = DecodeExpr(r);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_TRUE(ExprEquals(parsed.value(), decoded.value()));
+  EXPECT_EQ(parsed.value()->Hash(), decoded.value()->Hash());
+}
+
+TEST(WireFormatTest, DecodeRejectsGarbage) {
+  ByteReader r(std::string_view("\xff\xff\xff\xff garbage"));
+  EXPECT_FALSE(DecodeExpr(r).ok());
+}
+
+TEST(SnapshotContainerTest, SectionsRoundTripWithCrc) {
+  SnapshotHeader header;
+  header.rule_set_hash = 0x1111;
+  header.cost_model_hash = 0x2222;
+  header.created_unix_seconds = 1000;
+  header.shard_count = 4;
+  header.shard_index = 2;
+  SnapshotFileWriter writer(header);
+  writer.AddSection(SectionId::kPlanCache, "plan-bytes");
+  writer.AddSection(SectionId::kCatalog, "catalog-bytes");
+  const std::string image = writer.Encode();
+
+  auto reader = SnapshotFileReader::Parse(image);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  EXPECT_EQ(reader.value().header().rule_set_hash, 0x1111u);
+  EXPECT_EQ(reader.value().header().shard_index, 2u);
+  ASSERT_EQ(reader.value().sections().size(), 2u);
+  for (const auto& s : reader.value().sections()) EXPECT_TRUE(s.crc_ok);
+  auto payload = reader.value().Section(SectionId::kPlanCache);
+  ASSERT_TRUE(payload.ok());
+  EXPECT_EQ(*payload, "plan-bytes");
+  EXPECT_FALSE(reader.value().Section(SectionId::kEGraph).ok());
+}
+
+TEST(SnapshotContainerTest, BitFlipFailsExactlyTheDamagedSection) {
+  SnapshotHeader header;
+  SnapshotFileWriter writer(header);
+  writer.AddSection(SectionId::kPlanCache, std::string(64, 'p'));
+  writer.AddSection(SectionId::kCatalog, std::string(64, 'c'));
+  std::string image = writer.Encode();
+  // Flip one bit in the LAST section's payload (near the end of the file,
+  // past the header and the first section).
+  image[image.size() - 10] ^= 0x40;
+
+  auto reader = SnapshotFileReader::Parse(image);
+  ASSERT_TRUE(reader.ok());  // framing is intact; only one payload rotted
+  EXPECT_TRUE(reader.value().Section(SectionId::kPlanCache).ok());
+  auto damaged = reader.value().Section(SectionId::kCatalog);
+  EXPECT_FALSE(damaged.ok());
+  EXPECT_EQ(damaged.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SnapshotContainerTest, JournalReplayStopsAtTornTail) {
+  std::string image = EncodeJournalRecord("first") +
+                      EncodeJournalRecord("second") +
+                      EncodeJournalRecord("third").substr(0, 9);  // torn
+  std::vector<std::string> records = DecodeJournalRecords(image);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0], "first");
+  EXPECT_EQ(records[1], "second");
+}
+
+// ---- Pool round trip ----
+
+TEST(WarmRestartTest, RoundTripRestoresPlansAndCacheBehavior) {
+  const std::string dir = FreshDir("roundtrip");
+  const std::vector<double> first_costs = PopulatePool(dir, 2);
+
+  auto context = std::make_shared<const OptimizerContext>(ServingConfig());
+  SessionPool pool(context, PersistentPool(dir, 2));
+  PoolStats stats = pool.Stats();
+  size_t restored = 0;
+  for (const ShardStats& s : stats.shards) {
+    EXPECT_EQ(s.cold_start, ColdStartReason::kWarmRestore)
+        << ColdStartReasonName(s.cold_start) << ": " << s.cold_start_detail;
+    EXPECT_GE(s.snapshot_age_seconds, 0);
+    restored += s.session.restored_plans;
+  }
+  EXPECT_EQ(restored, DistinctQueries().size());
+  EXPECT_EQ(stats.TotalRestoredPlans(), restored);
+
+  // Every previously-seen query must now be a warm hit with a bit-identical
+  // plan cost: restore changed NOTHING about optimization results.
+  auto catalog = SmallCatalog();
+  std::vector<ExprPtr> queries = DistinctQueries();
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto plan = pool.Submit(queries[i], catalog).get();
+    ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+    EXPECT_TRUE(plan.value().cache_hit) << "query " << i << " missed";
+    EXPECT_EQ(plan.value().plan_cost, first_costs[i]) << "query " << i;
+  }
+  pool.Drain();
+  EXPECT_EQ(pool.Stats().CacheHitRate(), 1.0);
+}
+
+TEST(WarmRestartTest, JournalOnlyRestoreBeforeFirstCheckpoint) {
+  const std::string dir = FreshDir("journal_only");
+  // No shutdown checkpoint: the journals are the only persisted state.
+  const std::vector<double> first_costs =
+      PopulatePool(dir, 2, /*checkpoint_on_shutdown=*/false);
+  ASSERT_TRUE(fs::exists(fs::path(dir) / "shard-0.journal") ||
+              fs::exists(fs::path(dir) / "shard-1.journal"));
+  ASSERT_FALSE(fs::exists(fs::path(dir) / "shard-0.snap"));
+
+  auto context = std::make_shared<const OptimizerContext>(ServingConfig());
+  SessionPool pool(context, PersistentPool(dir, 2));
+  size_t restored = 0, warm_shards = 0;
+  for (const ShardStats& s : pool.Stats().shards) {
+    restored += s.session.restored_plans;
+    if (s.cold_start == ColdStartReason::kWarmRestore) {
+      ++warm_shards;
+      // Journal-only restores have no snapshot file, hence no age.
+      EXPECT_EQ(s.snapshot_age_seconds, -1);
+    }
+  }
+  EXPECT_GT(warm_shards, 0u);
+  EXPECT_EQ(restored, DistinctQueries().size());
+
+  auto catalog = SmallCatalog();
+  std::vector<ExprPtr> queries = DistinctQueries();
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto plan = pool.Submit(queries[i], catalog).get();
+    ASSERT_TRUE(plan.ok());
+    EXPECT_TRUE(plan.value().cache_hit);
+    EXPECT_EQ(plan.value().plan_cost, first_costs[i]);
+  }
+  pool.Drain();
+}
+
+TEST(WarmRestartTest, DrainFlushesJournalWhilePoolIsLive) {
+  const std::string dir = FreshDir("drain_flush");
+  auto context = std::make_shared<const OptimizerContext>(ServingConfig());
+  PoolConfig cfg = PersistentPool(dir, 1);
+  cfg.persist.checkpoint_on_shutdown = false;
+  SessionPool pool(context, cfg);
+  auto catalog = SmallCatalog();
+  for (const ExprPtr& q : DistinctQueries()) {
+    ASSERT_TRUE(pool.Submit(q, catalog).get().ok());
+  }
+  pool.Drain();
+  // The pool is still alive — Drain() itself must have pushed every insert
+  // to the OS, so the journal replays in full right now.
+  std::vector<PlanStoreEntry> replayed = ReplayJournalImage(
+      ReadAll(dir + "/shard-0.journal"), ExpectationFor(*context, 1));
+  EXPECT_EQ(replayed.size(), DistinctQueries().size());
+}
+
+TEST(WarmRestartTest, ExplicitCheckpointRotatesJournals) {
+  const std::string dir = FreshDir("explicit_ckpt");
+  auto context = std::make_shared<const OptimizerContext>(ServingConfig());
+  PoolConfig cfg = PersistentPool(dir, 2);
+  cfg.persist.checkpoint_on_shutdown = false;
+  SessionPool pool(context, cfg);
+  auto catalog = SmallCatalog();
+  for (const ExprPtr& q : DistinctQueries()) {
+    ASSERT_TRUE(pool.Submit(q, catalog).get().ok());
+  }
+  pool.Drain();
+  ASSERT_TRUE(pool.Checkpoint().ok());
+  // The snapshot now covers everything; the journals were rotated away and
+  // deleted after the successful write.
+  EXPECT_TRUE(fs::exists(fs::path(dir) / "shard-0.snap"));
+  EXPECT_FALSE(fs::exists(fs::path(dir) / "shard-0.journal"));
+  EXPECT_FALSE(fs::exists(fs::path(dir) / "shard-0.journal.1"));
+}
+
+TEST(WarmRestartTest, CheckpointWithoutPersistenceIsAnError) {
+  auto context = std::make_shared<const OptimizerContext>(ServingConfig());
+  SessionPool pool(context, PoolConfig{});
+  EXPECT_FALSE(pool.persistence_enabled());
+  EXPECT_FALSE(pool.Checkpoint().ok());
+  for (const ShardStats& s : pool.Stats().shards) {
+    EXPECT_EQ(s.cold_start, ColdStartReason::kDisabled);
+  }
+}
+
+// ---- Corruption and skew: every scenario must cold-start cleanly ----
+
+// Each corruption case shares this shape: damage the persisted state, bring
+// up a new pool, assert the expected reason AND that the pool still serves.
+void ExpectColdStartAndServe(const std::string& dir, size_t shards,
+                             ColdStartReason expected_reason,
+                             size_t expect_on_shard = 0) {
+  auto context = std::make_shared<const OptimizerContext>(ServingConfig());
+  SessionPool pool(context, PersistentPool(dir, shards));
+  PoolStats stats = pool.Stats();
+  EXPECT_EQ(stats.shards[expect_on_shard].cold_start, expected_reason)
+      << "got " << ColdStartReasonName(stats.shards[expect_on_shard].cold_start)
+      << ": " << stats.shards[expect_on_shard].cold_start_detail;
+  EXPECT_FALSE(stats.shards[expect_on_shard].cold_start_detail.empty());
+  EXPECT_EQ(stats.shards[expect_on_shard].session.restored_plans, 0u);
+  // The pool must serve normally regardless.
+  auto plan = pool.Submit(DistinctQueries()[0], SmallCatalog()).get();
+  EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+  pool.Drain();
+}
+
+TEST(ColdStartTest, TruncatedSnapshotFile) {
+  const std::string dir = FreshDir("truncated");
+  PopulatePool(dir, 2);
+  const std::string path = dir + "/shard-0.snap";
+  std::string image = ReadAll(path);
+  ASSERT_GT(image.size(), 64u);
+  WriteAll(path, image.substr(0, image.size() / 2));
+  ExpectColdStartAndServe(dir, 2, ColdStartReason::kCorruptSnapshot);
+}
+
+TEST(ColdStartTest, BitFlippedSectionPayload) {
+  const std::string dir = FreshDir("bitflip");
+  PopulatePool(dir, 2);
+  const std::string path = dir + "/shard-0.snap";
+  std::string image = ReadAll(path);
+  ASSERT_GT(image.size(), 64u);
+  image[image.size() - 16] ^= 0x01;  // one bit, deep in a section payload
+  WriteAll(path, image);
+  ExpectColdStartAndServe(dir, 2, ColdStartReason::kCorruptSnapshot);
+}
+
+TEST(ColdStartTest, RuleSetHashMismatch) {
+  const std::string dir = FreshDir("rule_skew");
+  SnapshotHeader header;
+  header.rule_set_hash = 0xdeadbeef;  // no rule set hashes to this
+  header.cost_model_hash = CostModelParamsHash();
+  header.shard_count = 2;
+  header.shard_index = 0;
+  ASSERT_TRUE(
+      PlanStoreWriter(header).Write({}, dir + "/shard-0.snap").ok());
+  ExpectColdStartAndServe(dir, 2, ColdStartReason::kRuleSetHashMismatch);
+}
+
+TEST(ColdStartTest, CostModelHashMismatch) {
+  const std::string dir = FreshDir("cost_skew");
+  auto context = std::make_shared<const OptimizerContext>(ServingConfig());
+  SnapshotHeader header;
+  header.rule_set_hash = RuleSetHash(context->rules());
+  header.cost_model_hash = CostModelParamsHash() ^ 1;  // one version off
+  header.shard_count = 2;
+  header.shard_index = 0;
+  ASSERT_TRUE(
+      PlanStoreWriter(header).Write({}, dir + "/shard-0.snap").ok());
+  ExpectColdStartAndServe(dir, 2, ColdStartReason::kCostModelHashMismatch);
+}
+
+TEST(ColdStartTest, FormatVersionMismatch) {
+  const std::string dir = FreshDir("format_skew");
+  auto context = std::make_shared<const OptimizerContext>(ServingConfig());
+  SnapshotHeader header;
+  header.format_version = kSnapshotFormatVersion + 1;
+  header.rule_set_hash = RuleSetHash(context->rules());
+  header.cost_model_hash = CostModelParamsHash();
+  header.shard_count = 2;
+  header.shard_index = 0;
+  ASSERT_TRUE(
+      PlanStoreWriter(header).Write({}, dir + "/shard-0.snap").ok());
+  ExpectColdStartAndServe(dir, 2, ColdStartReason::kFormatVersionMismatch);
+}
+
+TEST(ColdStartTest, ShardCountMismatchAfterResize) {
+  const std::string dir = FreshDir("resize");
+  PopulatePool(dir, 2);
+  // Same directory, resized pool: placement is stale, both old shards must
+  // start cold (re-placing keys is the distributed tier's job, not ours).
+  ExpectColdStartAndServe(dir, 3, ColdStartReason::kShardCountMismatch, 0);
+  // A stale journal under the old shard count is equally useless.
+  auto context = std::make_shared<const OptimizerContext>(ServingConfig());
+  std::vector<PlanStoreEntry> replayed = ReplayJournalImage(
+      EncodeJournalRecord(EncodeJournalHeaderPayload(
+          {kSnapshotFormatVersion, RuleSetHash(context->rules()),
+           CostModelParamsHash(), 2, 0})),
+      ExpectationFor(*context, 3));
+  EXPECT_TRUE(replayed.empty());
+}
+
+TEST(ColdStartTest, MissingDirectoryIsJustNoSnapshot) {
+  const std::string dir =
+      FreshDir("fresh_start") + "/nested/never_created_before";
+  auto context = std::make_shared<const OptimizerContext>(ServingConfig());
+  SessionPool pool(context, PersistentPool(dir, 2));
+  for (const ShardStats& s : pool.Stats().shards) {
+    EXPECT_EQ(s.cold_start, ColdStartReason::kNoSnapshot);
+  }
+  // The pool created the directory, so journaling works immediately.
+  auto plan = pool.Submit(DistinctQueries()[0], SmallCatalog()).get();
+  EXPECT_TRUE(plan.ok());
+  pool.Drain();
+  EXPECT_TRUE(fs::exists(dir));
+}
+
+// ---- Concurrency (runs under TSan in CI) ----
+
+TEST(WarmRestartTest, CheckpointConcurrentWithServing) {
+  const std::string dir = FreshDir("concurrent");
+  auto context = std::make_shared<const OptimizerContext>(ServingConfig());
+  PoolConfig cfg = PersistentPool(dir, 2);
+  cfg.persist.checkpoint_on_shutdown = false;
+  std::vector<double> live_costs;
+  {
+    SessionPool pool(context, cfg);
+    auto catalog = SmallCatalog();
+    std::vector<ExprPtr> queries = DistinctQueries();
+    std::vector<ServeFuture<OptimizedPlan>> futures;
+    std::thread submitter([&] {
+      for (int round = 0; round < 3; ++round) {
+        for (const ExprPtr& q : queries) {
+          futures.push_back(pool.Submit(q, catalog));
+        }
+      }
+    });
+    // Checkpoints race the submissions: captures interleave with running
+    // jobs on every worker, and rotation races journal appends.
+    for (int i = 0; i < 3; ++i) {
+      EXPECT_TRUE(pool.Checkpoint().ok());
+    }
+    submitter.join();
+    for (auto& f : futures) {
+      auto plan = f.get();
+      ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+    }
+    pool.Drain();
+    for (const ExprPtr& q : queries) {
+      auto plan = pool.Submit(q, catalog).get();
+      ASSERT_TRUE(plan.ok());
+      live_costs.push_back(plan.value().plan_cost);
+    }
+    EXPECT_TRUE(pool.Checkpoint().ok());
+  }
+  // Whatever interleaving the checkpoints saw, the final one restores to
+  // the same plans the live pool served.
+  auto restored_context =
+      std::make_shared<const OptimizerContext>(ServingConfig());
+  SessionPool pool(restored_context, PersistentPool(dir, 2));
+  EXPECT_GT(pool.Stats().TotalRestoredPlans(), 0u);
+  auto catalog = SmallCatalog();
+  std::vector<ExprPtr> queries = DistinctQueries();
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto plan = pool.Submit(queries[i], catalog).get();
+    ASSERT_TRUE(plan.ok());
+    EXPECT_TRUE(plan.value().cache_hit);
+    EXPECT_EQ(plan.value().plan_cost, live_costs[i]);
+  }
+  pool.Drain();
+}
+
+}  // namespace
+}  // namespace spores
