@@ -31,7 +31,7 @@ spores::Catalog Densified(const spores::Catalog& catalog,
   for (const char* name : {"X", "U", "V", "W", "H", "y", "w", "p", "r"}) {
     Symbol s = Symbol::Intern(name);
     if (inputs.Has(s)) {
-      const Matrix& m = inputs.Get(s);
+      const Matrix& m = *inputs.Find(s);
       out.Register(name, m.rows(), m.cols(), 1.0);
     }
   }

@@ -5,13 +5,48 @@
 //   saturation — SPORES (equality saturation + ILP extraction)
 // The expected shape (paper): saturation >= opt2 >= base everywhere;
 // ALS / MLR / PNMF show saturation strictly ahead of opt2.
+//
+// Flags: --smoke (scaled-down inputs for CI), --reps N (timing repeats,
+// min is kept), --json FILE (flat row: every prog/scale/optimizer cell in
+// seconds, keyed "<prog>_<scale>_<optimizer>_seconds" — the format the
+// kernel-speedup comparisons against older binaries consume).
+#include <cstring>
+#include <map>
+
 #include "bench/bench_common.h"
 
 #include "src/ir/printer.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace spores;
   using namespace spores::bench;
+
+  bool smoke = false;
+  int reps = 3;
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
+      long parsed = std::atol(argv[++i]);
+      if (parsed < 1 || parsed > 100) {
+        std::fprintf(stderr, "--reps must be in [1, 100], got %s\n", argv[i]);
+        return 1;
+      }
+      reps = static_cast<int>(parsed);
+    }
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
+
+  FILE* json = nullptr;
+  if (json_path) {
+    json = std::fopen(json_path, "w");
+    if (!json) {
+      std::fprintf(stderr, "cannot open %s\n", json_path);
+      return 1;
+    }
+  }
 
   std::printf("Figure 15 reproduction: run time [sec] per optimizer.\n");
   std::printf("(sizes scaled down from the paper's cluster; see "
@@ -24,8 +59,14 @@ int main() {
   // cache keys on (program, scale), so no cross-contamination between rows.
   OptimizerSession saturation;
 
+  // Cell label -> seconds, in row order (std::map keeps output stable).
+  std::map<std::string, double> cells;
   for (const Program& prog : AllPrograms()) {
-    for (const ScalePoint& scale : ScalesFor(prog.name)) {
+    for (ScalePoint scale : ScalesFor(prog.name)) {
+      if (smoke) {
+        scale.rows = std::max<int64_t>(64, scale.rows / 8);
+        scale.cols = std::max<int64_t>(32, scale.cols / 8);
+      }
       WorkloadData data = DataFor(prog.name, scale);
 
       HeuristicOptimizer base(OptLevel::kBase);
@@ -35,18 +76,27 @@ int main() {
       ExprPtr plan_opt2 = opt2.Optimize(prog.expr, data.catalog);
       ExprPtr plan_sat = saturation.Optimize(prog.expr, data.catalog).plan;
 
-      double t_base = TimeExecution(plan_base, data.inputs);
-      double t_opt2 = TimeExecution(plan_opt2, data.inputs);
-      double t_sat = TimeExecution(plan_sat, data.inputs);
+      double t_base = TimeExecution(plan_base, data.inputs, reps);
+      double t_opt2 = TimeExecution(plan_opt2, data.inputs, reps);
+      double t_sat = TimeExecution(plan_sat, data.inputs, reps);
+      if (t_base < 0 || t_opt2 < 0 || t_sat < 0) return 1;
 
       std::printf("%-6s %-10s %10.4f %10.4f %10.4f   %.2fx\n",
                   prog.name.c_str(), scale.label.c_str(), t_base, t_opt2,
                   t_sat, t_opt2 / t_sat);
+      std::string key = prog.name + "_" + scale.label;
+      cells[key + "_base_seconds"] = t_base;
+      cells[key + "_opt2_seconds"] = t_opt2;
+      cells[key + "_saturation_seconds"] = t_sat;
     }
   }
   std::printf("\nPlans chosen at the largest scale:\n");
   for (const Program& prog : AllPrograms()) {
     ScalePoint scale = ScalesFor(prog.name).back();
+    if (smoke) {
+      scale.rows = std::max<int64_t>(64, scale.rows / 8);
+      scale.cols = std::max<int64_t>(32, scale.cols / 8);
+    }
     WorkloadData data = DataFor(prog.name, scale);
     // Replays through the session above: these are all plan-cache hits.
     ExprPtr plan = saturation.Optimize(prog.expr, data.catalog).plan;
@@ -54,5 +104,16 @@ int main() {
                 ToString(prog.expr).c_str(), ToString(plan).c_str());
   }
   std::printf("\nsession: %s\n", saturation.stats().ToString().c_str());
+
+  if (json) {
+    std::fprintf(json, "{\n  \"bench\": \"fig15_runtime\",\n"
+                 "  \"smoke\": %s,\n  \"reps\": %d",
+                 smoke ? "true" : "false", reps);
+    for (const auto& [key, seconds] : cells) {
+      std::fprintf(json, ",\n  \"%s\": %.6f", key.c_str(), seconds);
+    }
+    std::fprintf(json, "\n}\n");
+    std::fclose(json);
+  }
   return 0;
 }

@@ -1,0 +1,298 @@
+// End-to-end optimize→execute benchmark: streams a mixed Fig-15-style
+// workload (all five evaluation programs plus the intro example) through the
+// sharded SessionPool, executes every returned plan with the
+// allocation-reusing executor, and HARD-GATES optimized-vs-unoptimized
+// result equivalence on every stream entry (fp tolerance; exit 1 on any
+// mismatch). Reports per-query end-to-end latency (optimize + execute),
+// the optimized-vs-unoptimized execution speedup geomean, and the arena's
+// buffer-reuse accounting.
+//
+// Flags: --smoke (scaled-down inputs, CI), --json FILE (flat JSON row),
+//        --shards N, --reps N.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/optimizer/optimizer_context.h"
+#include "src/runtime/executor.h"
+#include "src/serve/session_pool.h"
+#include "src/util/rng.h"
+#include "src/util/timer.h"
+
+namespace {
+
+using namespace spores;
+using namespace spores::bench;
+
+/// One distinct workload query: a program at one scale, with its generated
+/// data kept alive for the whole run.
+struct E2eQuery {
+  std::string name;
+  ExprPtr expr;
+  std::shared_ptr<WorkloadData> data;
+  std::shared_ptr<const Catalog> catalog;
+};
+
+std::vector<E2eQuery> BuildQueries(bool smoke) {
+  std::vector<Program> programs = AllPrograms();
+  programs.push_back(IntroProgram());
+  std::vector<E2eQuery> queries;
+  for (const Program& prog : programs) {
+    ScalePoint s = ScalesFor(prog.name).front();
+    if (smoke) {
+      s.rows = std::max<int64_t>(64, s.rows / 8);
+      s.cols = std::max<int64_t>(32, s.cols / 8);
+    }
+    E2eQuery q;
+    q.name = prog.name;
+    q.expr = prog.expr;
+    q.data = std::make_shared<WorkloadData>(DataFor(prog.name, s));
+    q.catalog = std::shared_ptr<const Catalog>(q.data, &q.data->catalog);
+    queries.push_back(std::move(q));
+  }
+  return queries;
+}
+
+double Percentile(std::vector<double> v, double q) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  size_t idx = static_cast<size_t>(q * static_cast<double>(v.size() - 1));
+  return v[idx];
+}
+
+double MaxAbs(const Matrix& m) {
+  double mx = 0;
+  const std::vector<double>& vals =
+      m.is_sparse() ? m.csr_values() : m.values();
+  for (double v : vals) mx = std::max(mx, std::fabs(v));
+  return mx;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  size_t num_shards = 4;
+  int reps = 0;  // 0 = default per mode
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      long parsed = std::atol(argv[++i]);
+      if (parsed < 1 || parsed > 1024) {
+        std::fprintf(stderr, "--shards must be in [1, 1024], got %s\n",
+                     argv[i]);
+        return 1;
+      }
+      num_shards = static_cast<size_t>(parsed);
+    }
+    if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
+      long parsed = std::atol(argv[++i]);
+      if (parsed < 1 || parsed > 100) {
+        std::fprintf(stderr, "--reps must be in [1, 100], got %s\n", argv[i]);
+        return 1;
+      }
+      reps = static_cast<int>(parsed);
+    }
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
+  if (reps == 0) reps = smoke ? 2 : 3;
+
+  // Validate the output path before measuring (matching the sibling
+  // benches): a bad path must not cost a full run or masquerade as a gate
+  // failure.
+  FILE* json = nullptr;
+  if (json_path) {
+    json = std::fopen(json_path, "w");
+    if (!json) {
+      std::fprintf(stderr, "cannot open %s\n", json_path);
+      return 1;
+    }
+  }
+
+  const std::vector<E2eQuery> queries = BuildQueries(smoke);
+  std::printf("End-to-end optimize+execute: %zu programs x %d repeats "
+              "through a %zu-shard SessionPool, hw threads %u%s\n\n",
+              queries.size(), reps, num_shards,
+              std::thread::hardware_concurrency(), smoke ? " [smoke]" : "");
+
+  // One arena for the whole stream: kernel outputs and DAG intermediates
+  // recycle across queries (the point of the executor overhaul).
+  ExecutorArena arena;
+  ExecStats stats;
+
+  // ---- Reference pass: execute every unoptimized expression ----
+  // The minimum over `reps` runs is the unoptimized execution time; the
+  // (deterministic) result is the equivalence reference.
+  std::vector<Matrix> reference;
+  std::vector<double> unopt_seconds(queries.size(), 1e99);
+  std::vector<double> ref_tolerance(queries.size());
+  for (size_t d = 0; d < queries.size(); ++d) {
+    for (int r = 0; r < reps; ++r) {
+      Timer t;
+      auto res = Execute(queries[d].expr, queries[d].data->inputs, &arena,
+                         &stats);
+      double sec = t.Seconds();
+      if (!res.ok()) {
+        std::fprintf(stderr, "FAIL: unoptimized %s failed: %s\n",
+                     queries[d].name.c_str(),
+                     res.status().ToString().c_str());
+        return 1;
+      }
+      unopt_seconds[d] = std::min(unopt_seconds[d], sec);
+      if (r + 1 == reps) reference.push_back(std::move(res).value());
+    }
+    // Optimized plans reassociate fp arithmetic; the gate is relative to
+    // the reference's magnitude, not bit-exact.
+    ref_tolerance[d] = 1e-8 + 1e-6 * MaxAbs(reference[d]);
+  }
+
+  // ---- Streamed optimize→execute through the pool ----
+  SessionConfig cfg;  // the paper's fast serving configuration
+  cfg.runner.strategy = SaturationStrategy::kSampling;
+  cfg.extraction = ExtractionStrategy::kGreedy;
+
+  std::vector<size_t> stream;
+  for (int r = 0; r < reps; ++r) {
+    for (size_t d = 0; d < queries.size(); ++d) stream.push_back(d);
+  }
+  Rng rng(2024);
+  for (size_t i = stream.size(); i > 1; --i) {
+    std::swap(stream[i - 1], stream[rng.Uniform(i)]);
+  }
+
+  std::vector<double> opt_exec_seconds(queries.size(), 1e99);
+  std::vector<double> optimize_seconds(queries.size(), 1e99);
+  std::vector<double> e2e_latencies;
+  std::vector<double> max_diff(queries.size(), 0.0);
+  size_t compared = 0, mismatches = 0, cache_hits = 0;
+  double stream_seconds = 0;
+  {
+    auto context = std::make_shared<const OptimizerContext>(cfg);
+    PoolConfig pool_cfg;
+    pool_cfg.num_shards = num_shards;
+    SessionPool pool(context, pool_cfg);
+    Timer stream_timer;
+    for (size_t d : stream) {
+      Timer t;
+      // The future must outlive `result`: get() returns a reference into
+      // its shared state.
+      ServeFuture<OptimizedPlan> future =
+          pool.Submit(queries[d].expr, queries[d].catalog);
+      const StatusOr<OptimizedPlan>& result = future.get();
+      if (!result.ok()) {
+        std::fprintf(stderr, "FAIL: optimize %s failed: %s\n",
+                     queries[d].name.c_str(),
+                     result.status().ToString().c_str());
+        return 1;
+      }
+      double opt_sec = t.Seconds();
+      if (result.value().cache_hit) ++cache_hits;
+
+      Timer te;
+      auto executed =
+          Execute(result.value().plan, queries[d].data->inputs, &arena,
+                  &stats);
+      double exec_sec = te.Seconds();
+      if (!executed.ok()) {
+        std::fprintf(stderr, "FAIL: optimized %s failed: %s\n",
+                     queries[d].name.c_str(),
+                     executed.status().ToString().c_str());
+        return 1;
+      }
+
+      // The hard gate: every optimized result must match its unoptimized
+      // reference within fp tolerance.
+      double diff = Matrix::MaxAbsDiff(reference[d], executed.value());
+      max_diff[d] = std::max(max_diff[d], diff);
+      ++compared;
+      if (!(diff <= ref_tolerance[d])) {
+        ++mismatches;
+        std::fprintf(stderr,
+                     "FAIL: %s optimized result diverges: max abs diff "
+                     "%.3e > tol %.3e\n",
+                     queries[d].name.c_str(), diff, ref_tolerance[d]);
+      }
+
+      optimize_seconds[d] = std::min(optimize_seconds[d], opt_sec);
+      opt_exec_seconds[d] = std::min(opt_exec_seconds[d], exec_sec);
+      e2e_latencies.push_back(opt_sec + exec_sec);
+    }
+    pool.Drain();
+    stream_seconds = stream_timer.Seconds();
+  }
+
+  // ---- Report ----
+  std::printf("%-6s %12s %12s %8s %12s %12s\n", "prog", "unopt[ms]",
+              "opt[ms]", "speedup", "optimize[ms]", "max|diff|");
+  std::printf("%.66s\n", std::string(66, '-').c_str());
+  double log_sum = 0;
+  for (size_t d = 0; d < queries.size(); ++d) {
+    double speedup = unopt_seconds[d] / std::max(opt_exec_seconds[d], 1e-9);
+    log_sum += std::log(speedup);
+    std::printf("%-6s %12.3f %12.3f %7.2fx %12.3f %12.3e\n",
+                queries[d].name.c_str(), unopt_seconds[d] * 1e3,
+                opt_exec_seconds[d] * 1e3, speedup,
+                optimize_seconds[d] * 1e3, max_diff[d]);
+  }
+  double exec_speedup_geomean =
+      std::exp(log_sum / static_cast<double>(queries.size()));
+  double p50 = Percentile(e2e_latencies, 0.50);
+  double p95 = Percentile(e2e_latencies, 0.95);
+  const BufferPool::Stats& ps = arena.pool_stats();
+  std::printf("\nstream: %zu entries in %.3fs; e2e latency p50 %.1fms, "
+              "p95 %.1fms; plan-cache hits %zu\n",
+              stream.size(), stream_seconds, p50 * 1e3, p95 * 1e3,
+              cache_hits);
+  std::printf("exec speedup geomean (optimized vs unoptimized plan): "
+              "%.2fx\n", exec_speedup_geomean);
+  std::printf("executor: %zu ops, %zu CSE hits, %zu eager releases; "
+              "buffer pool: %zu reuse hits, %zu fresh allocs, %.1f MB "
+              "held\n",
+              stats.ops_executed, stats.cse_hits, stats.eager_releases,
+              ps.reuse_hits, ps.fresh_allocs,
+              static_cast<double>(ps.bytes_held) / (1024.0 * 1024.0));
+  std::printf("equivalence: %zu compared, %zu mismatches\n", compared,
+              mismatches);
+
+  if (json) {
+    std::fprintf(
+        json,
+        "{\n  \"bench\": \"runtime_e2e\",\n  \"smoke\": %s,\n"
+        "  \"shards\": %zu,\n  \"hardware_threads\": %u,\n"
+        "  \"distinct_queries\": %zu,\n  \"stream_entries\": %zu,\n"
+        "  \"stream_seconds\": %.6f,\n"
+        "  \"e2e_p50_ms\": %.3f,\n  \"e2e_p95_ms\": %.3f,\n"
+        "  \"exec_speedup_geomean\": %.3f,\n"
+        "  \"plan_cache_hits\": %zu,\n"
+        "  \"ops_executed\": %zu,\n  \"cse_hits\": %zu,\n"
+        "  \"eager_releases\": %zu,\n"
+        "  \"buffer_reuse_hits\": %zu,\n  \"buffer_fresh_allocs\": %zu,\n"
+        "  \"buffer_bytes_held\": %zu,\n"
+        "  \"equivalence_compared\": %zu,\n"
+        "  \"equivalence_mismatches\": %zu\n}\n",
+        smoke ? "true" : "false", num_shards,
+        std::thread::hardware_concurrency(), queries.size(), stream.size(),
+        stream_seconds, p50 * 1e3, p95 * 1e3, exec_speedup_geomean,
+        cache_hits, stats.ops_executed, stats.cse_hits, stats.eager_releases,
+        ps.reuse_hits, ps.fresh_allocs, ps.bytes_held, compared, mismatches);
+    std::fclose(json);
+  }
+
+  if (mismatches > 0) {
+    std::fprintf(stderr, "FAIL: %zu equivalence mismatches\n", mismatches);
+    return 1;
+  }
+  std::printf("\nPASS: every optimized plan matched its unoptimized "
+              "reference.\n");
+  return 0;
+}

@@ -46,12 +46,12 @@ int main() {
         std::fprintf(stderr, "%s\n", grad.status().ToString().c_str());
         return 1;
       }
-      Matrix u = state.Get(Symbol::Intern("U"));
-      state.Bind("U", Sub(u, Scale(grad.value(), eta)));
+      const Matrix* u = state.Find(Symbol::Intern("U"));
+      state.Bind("U", Sub(*u, Scale(grad.value(), eta)));
       // Track the residual norm cheaply via the fused wsloss.
-      loss = WsLoss(state.Get(Symbol::Intern("X")),
-                    state.Get(Symbol::Intern("U")),
-                    state.Get(Symbol::Intern("V")));
+      loss = WsLoss(*state.Find(Symbol::Intern("X")),
+                    *state.Find(Symbol::Intern("U")),
+                    *state.Find(Symbol::Intern("V")));
     }
     std::printf("%-10s %d iterations in %7.1f ms, final loss %.4f\n", name,
                 iterations, t.Millis(), loss);

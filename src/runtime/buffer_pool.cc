@@ -1,0 +1,109 @@
+#include "src/runtime/buffer_pool.h"
+
+#include <algorithm>
+
+namespace spores {
+
+namespace {
+
+thread_local BufferPool* tls_pool = nullptr;
+
+}  // namespace
+
+BufferPool::BufferPool(size_t max_held_bytes)
+    : max_held_bytes_(max_held_bytes) {}
+
+size_t BufferPool::ClassOfCapacity(size_t capacity) {
+  size_t c = 0;
+  while ((size_t{1} << (c + 1)) <= capacity && c + 1 < kNumClasses) ++c;
+  return c;
+}
+
+size_t BufferPool::ClassForRequest(size_t n) {
+  size_t c = 0;
+  while ((size_t{1} << c) < n && c + 1 < kNumClasses) ++c;
+  return c;
+}
+
+template <typename T>
+std::vector<T> BufferPool::AcquireImpl(
+    std::vector<std::vector<T>> (&classes)[kNumClasses], size_t n,
+    bool zero) {
+  // Search the exact class and one above: anything larger wastes too much
+  // capacity on a small request.
+  size_t first = ClassForRequest(n);
+  for (size_t c = first; c < std::min(first + 2, kNumClasses); ++c) {
+    auto& list = classes[c];
+    if (list.empty()) continue;
+    std::vector<T> v = std::move(list.back());
+    list.pop_back();
+    stats_.bytes_held -= v.capacity() * sizeof(T);
+    ++stats_.reuse_hits;
+    v.resize(n);
+    if (zero) std::fill(v.begin(), v.end(), T{});
+    return v;
+  }
+  ++stats_.fresh_allocs;
+  if (zero) return std::vector<T>(n, T{});
+  std::vector<T> v;
+  v.reserve(std::max<size_t>(n, size_t{1} << first));
+  v.resize(n);
+  return v;
+}
+
+template <typename T>
+void BufferPool::ReleaseImpl(
+    std::vector<std::vector<T>> (&classes)[kNumClasses], std::vector<T>&& v) {
+  size_t bytes = v.capacity() * sizeof(T);
+  if (bytes == 0) return;
+  if (stats_.bytes_held + bytes > max_held_bytes_) {
+    ++stats_.dropped;
+    return;  // v frees on scope exit
+  }
+  ++stats_.released;
+  stats_.bytes_held += bytes;
+  classes[ClassOfCapacity(v.capacity())].push_back(std::move(v));
+}
+
+std::vector<double> BufferPool::AcquireDoubles(size_t n, bool zero) {
+  return AcquireImpl(double_classes_, n, zero);
+}
+
+std::vector<int64_t> BufferPool::AcquireIndices(size_t n, bool zero) {
+  return AcquireImpl(index_classes_, n, zero);
+}
+
+void BufferPool::Release(std::vector<double>&& v) {
+  ReleaseImpl(double_classes_, std::move(v));
+}
+
+void BufferPool::Release(std::vector<int64_t>&& v) {
+  ReleaseImpl(index_classes_, std::move(v));
+}
+
+void BufferPool::Recycle(Matrix&& m) {
+  if (m.is_sparse()) {
+    Release(std::move(m.row_ptr_));
+    Release(std::move(m.col_idx_));
+    Release(std::move(m.vals_));
+  } else {
+    Release(std::move(m.dense_));
+  }
+  m = Matrix();
+}
+
+void BufferPool::Clear() {
+  for (auto& list : double_classes_) list.clear();
+  for (auto& list : index_classes_) list.clear();
+  stats_.bytes_held = 0;
+}
+
+BufferPool* BufferPool::Current() { return tls_pool; }
+
+BufferPool::ScopedUse::ScopedUse(BufferPool* pool) : prev_(tls_pool) {
+  tls_pool = pool;
+}
+
+BufferPool::ScopedUse::~ScopedUse() { tls_pool = prev_; }
+
+}  // namespace spores

@@ -1,0 +1,93 @@
+// Size-class recycler for the runtime's payload vectors (dense values, CSR
+// index/value arrays). The executor's biggest hidden cost was allocation:
+// every kernel built its output in a fresh std::vector (page faults + zero
+// fill), and every intermediate died at the end of the whole execution.
+// A BufferPool keeps released buffers in power-of-two size-class freelists
+// so the next kernel output of a similar size reuses warm, already-mapped
+// memory — across a DAG (eager release at an intermediate's last use) and
+// across a batch (ExecutorArena holds one pool for many Execute calls).
+//
+// Thread model: a BufferPool is NOT internally synchronized. The executor
+// installs it on the evaluating thread (ScopedUse); kernels allocate
+// outputs and scratch on the calling thread only — pool worker threads
+// never touch it (parallel ranges write into pre-allocated outputs).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/runtime/matrix.h"
+
+namespace spores {
+
+class BufferPool {
+ public:
+  struct Stats {
+    size_t reuse_hits = 0;    ///< acquisitions served from a freelist
+    size_t fresh_allocs = 0;  ///< acquisitions that had to allocate
+    size_t released = 0;      ///< buffers returned to the pool
+    size_t dropped = 0;       ///< returns discarded by the byte cap
+    size_t bytes_held = 0;    ///< bytes currently parked in freelists
+  };
+
+  /// `max_held_bytes` caps parked memory; returns past the cap are freed
+  /// instead of pooled (a pool must bound, not grow, the footprint).
+  explicit BufferPool(size_t max_held_bytes = kDefaultMaxHeldBytes);
+
+  /// A vector with size() == n. Contents are UNSPECIFIED (reused buffers
+  /// carry stale values) unless `zero` is set; callers either fully
+  /// overwrite or ask for zeros.
+  std::vector<double> AcquireDoubles(size_t n, bool zero = false);
+  std::vector<int64_t> AcquireIndices(size_t n, bool zero = false);
+
+  void Release(std::vector<double>&& v);
+  void Release(std::vector<int64_t>&& v);
+
+  /// Strips a dead matrix's payload vectors into the freelists.
+  void Recycle(Matrix&& m);
+
+  /// Frees everything parked.
+  void Clear();
+
+  const Stats& stats() const { return stats_; }
+
+  /// The pool installed on this thread (innermost ScopedUse), or null.
+  /// Kernels route output allocations through this; see kernels.cc.
+  static BufferPool* Current();
+
+  /// RAII thread-local installation for the duration of an execution.
+  class ScopedUse {
+   public:
+    explicit ScopedUse(BufferPool* pool);
+    ~ScopedUse();
+    ScopedUse(const ScopedUse&) = delete;
+    ScopedUse& operator=(const ScopedUse&) = delete;
+
+   private:
+    BufferPool* prev_;
+  };
+
+  static constexpr size_t kDefaultMaxHeldBytes = size_t{256} << 20;
+
+ private:
+  // Freelist layout: class c holds buffers with capacity in
+  // [2^c, 2^(c+1)); AcquireX(n) searches upward from ceil_log2(n), so any
+  // hit has capacity >= n and resize(n) never reallocates.
+  static constexpr size_t kNumClasses = 40;
+  static size_t ClassOfCapacity(size_t capacity);
+  static size_t ClassForRequest(size_t n);
+
+  template <typename T>
+  std::vector<T> AcquireImpl(std::vector<std::vector<T>> (&classes)[kNumClasses],
+                             size_t n, bool zero);
+  template <typename T>
+  void ReleaseImpl(std::vector<std::vector<T>> (&classes)[kNumClasses],
+                   std::vector<T>&& v);
+
+  size_t max_held_bytes_;
+  std::vector<std::vector<double>> double_classes_[kNumClasses];
+  std::vector<std::vector<int64_t>> index_classes_[kNumClasses];
+  Stats stats_;
+};
+
+}  // namespace spores

@@ -1,8 +1,11 @@
 #include "src/runtime/executor.h"
 
+#include <utility>
+
 #include "src/ir/printer.h"
 #include "src/runtime/fused.h"
 #include "src/runtime/kernels.h"
+#include "src/util/timer.h"
 
 namespace spores {
 
@@ -10,10 +13,17 @@ void Bindings::Bind(std::string_view name, Matrix value) {
   values_[Symbol::Intern(name)] = std::move(value);
 }
 
-const Matrix& Bindings::Get(Symbol name) const {
+StatusOr<const Matrix*> Bindings::Get(Symbol name) const {
   auto it = values_.find(name);
-  SPORES_CHECK_MSG(it != values_.end(), name.str().c_str());
-  return it->second;
+  if (it == values_.end()) {
+    return Status::NotFound("unbound input: " + name.str());
+  }
+  return &it->second;
+}
+
+const Matrix* Bindings::Find(Symbol name) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? nullptr : &it->second;
 }
 
 Catalog Bindings::ToCatalog() const {
@@ -28,157 +38,385 @@ Catalog Bindings::ToCatalog() const {
 
 namespace {
 
+// Flattens nested matmuls into a chain of factors for optimal
+// re-association, folding a transposed leaf t(X) into a flag on X so the
+// transpose is never materialized (MMChainT dispatches the fused
+// TransLeft/TransRight kernels at the leaves).
+void FlattenChainT(const ExprPtr& e, std::vector<ExprPtr>* nodes,
+                   std::vector<uint8_t>* flags) {
+  if (e->op == Op::kMatMul) {
+    FlattenChainT(e->children[0], nodes, flags);
+    FlattenChainT(e->children[1], nodes, flags);
+    return;
+  }
+  if (e->op == Op::kTranspose) {
+    nodes->push_back(e->children[0]);
+    flags->push_back(1);
+    return;
+  }
+  nodes->push_back(e);
+  flags->push_back(0);
+}
+
+bool KnownUnary(const std::string& fn) {
+  return fn == "exp" || fn == "log" || fn == "sqrt" || fn == "sigmoid" ||
+         fn == "sign" || fn == "abs";
+}
+
 class Evaluator {
  public:
-  Evaluator(const Bindings& inputs, ExecStats* stats)
-      : inputs_(inputs), stats_(stats) {}
+  Evaluator(const Bindings& inputs, ExecStats* stats, BufferPool* pool)
+      : inputs_(inputs), stats_(stats), pool_(pool) {}
 
-  StatusOr<Matrix> Eval(const ExprPtr& e) {
-    auto it = cache_.find(e.get());
-    if (it != cache_.end()) {
-      if (stats_) ++stats_->cse_hits;
-      return it->second;
+  /// Pass 1: memoized shape inference + consumption counting. All
+  /// recoverable failures (unbound input, shape mismatch anywhere in the
+  /// DAG, unknown unary, non-const pow exponent, non-LA op) surface here;
+  /// after Analyze succeeds, evaluation cannot fail.
+  Status Analyze(const ExprPtr& e) {
+    if (auto it = nodes_.find(e.get()); it != nodes_.end()) {
+      return Status::OK();  // shared node: children already counted once
     }
-    SPORES_ASSIGN_OR_RETURN(Matrix m, EvalImpl(e));
-    if (stats_) {
-      ++stats_->ops_executed;
-      stats_->peak_cells_allocated += static_cast<double>(m.size());
-    }
-    cache_.emplace(e.get(), m);
-    return m;
-  }
-
- private:
-  // Flattens nested matmuls into a chain for optimal re-association.
-  void FlattenChain(const ExprPtr& e, std::vector<ExprPtr>* out) {
-    if (e->op == Op::kMatMul) {
-      FlattenChain(e->children[0], out);
-      FlattenChain(e->children[1], out);
-      return;
-    }
-    out->push_back(e);
-  }
-
-  StatusOr<Matrix> EvalImpl(const ExprPtr& e) {
+    nodes_.emplace(e.get(), NodeState{});  // breaks would-be cycles early
+    int64_t rows = 0, cols = 0;
     switch (e->op) {
-      case Op::kVar:
-        if (!inputs_.Has(e->sym)) {
+      case Op::kVar: {
+        const Matrix* m = inputs_.Find(e->sym);
+        if (m == nullptr) {
           return Status::NotFound("unbound input: " + e->sym.str());
         }
-        return inputs_.Get(e->sym);
+        rows = m->rows();
+        cols = m->cols();
+        break;
+      }
       case Op::kConst:
-        return Matrix::Scalar(e->value);
+        rows = cols = 1;
+        break;
       case Op::kMatMul: {
-        // Fused transpose-matmul (the SystemML pattern): never materialize
-        // t(X) for t(X) %*% B, A %*% t(B), or t(A) %*% t(B).
-        const ExprPtr& lhs = e->children[0];
-        const ExprPtr& rhs = e->children[1];
-        bool lt = lhs->op == Op::kTranspose;
-        bool rt = rhs->op == Op::kTranspose;
-        if (lt && rt) {
-          SPORES_ASSIGN_OR_RETURN(Matrix a, Eval(lhs->children[0]));
-          SPORES_ASSIGN_OR_RETURN(Matrix b, Eval(rhs->children[0]));
-          // t(A) %*% t(B) = t(B %*% A); the transpose happens on the
-          // (usually small) result.
-          return Transpose(MatMul(b, a));
+        std::vector<ExprPtr> factors;
+        std::vector<uint8_t> flags;
+        FlattenChainT(e, &factors, &flags);
+        std::vector<int64_t> er(factors.size()), ec(factors.size());
+        for (size_t i = 0; i < factors.size(); ++i) {
+          SPORES_RETURN_IF_ERROR(AnalyzeDep(factors[i]));
+          const NodeState& st = nodes_.at(factors[i].get());
+          er[i] = flags[i] ? st.cols : st.rows;
+          ec[i] = flags[i] ? st.rows : st.cols;
         }
-        if (lt) {
-          SPORES_ASSIGN_OR_RETURN(Matrix a, Eval(lhs->children[0]));
-          SPORES_ASSIGN_OR_RETURN(Matrix b, Eval(rhs));
-          return TransLeftMatMul(a, b);
+        for (size_t i = 0; i + 1 < factors.size(); ++i) {
+          if (ec[i] != er[i + 1]) {
+            return Status::InvalidArgument(
+                "matmul shape mismatch: inner dims " + std::to_string(ec[i]) +
+                " vs " + std::to_string(er[i + 1]) + " in " + ToString(e));
+          }
         }
-        if (rt) {
-          SPORES_ASSIGN_OR_RETURN(Matrix a, Eval(lhs));
-          SPORES_ASSIGN_OR_RETURN(Matrix b, Eval(rhs->children[0]));
-          return TransRightMatMul(a, b);
-        }
-        std::vector<ExprPtr> chain_exprs;
-        FlattenChain(e, &chain_exprs);
-        std::vector<Matrix> chain;
-        chain.reserve(chain_exprs.size());
-        for (const ExprPtr& c : chain_exprs) {
-          SPORES_ASSIGN_OR_RETURN(Matrix m, Eval(c));
-          chain.push_back(std::move(m));
-        }
-        // Scalar factors can sneak in via 1x1 ends; MMChain handles shapes.
-        return MMChain(chain);
+        rows = er.front();
+        cols = ec.back();
+        break;
       }
-      case Op::kElemMul: {
-        SPORES_ASSIGN_OR_RETURN(Matrix a, Eval(e->children[0]));
-        SPORES_ASSIGN_OR_RETURN(Matrix b, Eval(e->children[1]));
-        return Mul(a, b);
-      }
-      case Op::kElemPlus: {
-        SPORES_ASSIGN_OR_RETURN(Matrix a, Eval(e->children[0]));
-        SPORES_ASSIGN_OR_RETURN(Matrix b, Eval(e->children[1]));
-        return Add(a, b);
-      }
-      case Op::kElemMinus: {
-        SPORES_ASSIGN_OR_RETURN(Matrix a, Eval(e->children[0]));
-        SPORES_ASSIGN_OR_RETURN(Matrix b, Eval(e->children[1]));
-        return Sub(a, b);
-      }
+      case Op::kElemMul:
+      case Op::kElemPlus:
+      case Op::kElemMinus:
       case Op::kElemDiv: {
-        SPORES_ASSIGN_OR_RETURN(Matrix a, Eval(e->children[0]));
-        SPORES_ASSIGN_OR_RETURN(Matrix b, Eval(e->children[1]));
-        return Div(a, b);
+        SPORES_RETURN_IF_ERROR(AnalyzeDep(e->children[0]));
+        SPORES_RETURN_IF_ERROR(AnalyzeDep(e->children[1]));
+        const NodeState& a = nodes_.at(e->children[0].get());
+        const NodeState& b = nodes_.at(e->children[1].get());
+        auto combine = [](int64_t x, int64_t y) -> int64_t {
+          if (x == y) return x;
+          if (x == 1) return y;
+          if (y == 1) return x;
+          return -1;
+        };
+        rows = combine(a.rows, b.rows);
+        cols = combine(a.cols, b.cols);
+        if (rows < 0 || cols < 0) {
+          return Status::InvalidArgument(
+              "incompatible elementwise shapes: " + std::to_string(a.rows) +
+              "x" + std::to_string(a.cols) + " vs " + std::to_string(b.rows) +
+              "x" + std::to_string(b.cols) + " in " + ToString(e));
+        }
+        break;
       }
       case Op::kPow: {
-        SPORES_ASSIGN_OR_RETURN(Matrix a, Eval(e->children[0]));
-        return PowElem(a, e->children[1]->value);
+        if (e->children[1]->op != Op::kConst) {
+          return Status::Unsupported("pow exponent must be a constant in " +
+                                     ToString(e));
+        }
+        SPORES_RETURN_IF_ERROR(AnalyzeDep(e->children[0]));
+        const NodeState& a = nodes_.at(e->children[0].get());
+        rows = a.rows;
+        cols = a.cols;
+        break;
       }
-      case Op::kNeg: {
-        SPORES_ASSIGN_OR_RETURN(Matrix a, Eval(e->children[0]));
-        return Scale(a, -1.0);
+      case Op::kNeg:
+      case Op::kSProp: {
+        SPORES_RETURN_IF_ERROR(AnalyzeDep(e->children[0]));
+        const NodeState& a = nodes_.at(e->children[0].get());
+        rows = a.rows;
+        cols = a.cols;
+        break;
       }
       case Op::kTranspose: {
-        SPORES_ASSIGN_OR_RETURN(Matrix a, Eval(e->children[0]));
-        return Transpose(a);
+        SPORES_RETURN_IF_ERROR(AnalyzeDep(e->children[0]));
+        const NodeState& a = nodes_.at(e->children[0].get());
+        rows = a.cols;
+        cols = a.rows;
+        break;
       }
       case Op::kRowAgg: {
-        SPORES_ASSIGN_OR_RETURN(Matrix a, Eval(e->children[0]));
-        return RowSums(a);
+        SPORES_RETURN_IF_ERROR(AnalyzeDep(e->children[0]));
+        rows = nodes_.at(e->children[0].get()).rows;
+        cols = 1;
+        break;
       }
       case Op::kColAgg: {
-        SPORES_ASSIGN_OR_RETURN(Matrix a, Eval(e->children[0]));
-        return ColSums(a);
+        SPORES_RETURN_IF_ERROR(AnalyzeDep(e->children[0]));
+        rows = 1;
+        cols = nodes_.at(e->children[0].get()).cols;
+        break;
       }
       case Op::kSumAgg: {
-        SPORES_ASSIGN_OR_RETURN(Matrix a, Eval(e->children[0]));
-        return Matrix::Scalar(SumAll(a));
+        SPORES_RETURN_IF_ERROR(AnalyzeDep(e->children[0]));
+        rows = cols = 1;
+        break;
       }
       case Op::kUnary: {
-        SPORES_ASSIGN_OR_RETURN(Matrix a, Eval(e->children[0]));
-        return Unary(e->sym.str(), a);
-      }
-      case Op::kSProp: {
-        SPORES_ASSIGN_OR_RETURN(Matrix a, Eval(e->children[0]));
-        return SProp(a);
+        if (!KnownUnary(e->sym.str())) {
+          return Status::Unsupported("unknown unary fn: " + e->sym.str());
+        }
+        SPORES_RETURN_IF_ERROR(AnalyzeDep(e->children[0]));
+        const NodeState& a = nodes_.at(e->children[0].get());
+        rows = a.rows;
+        cols = a.cols;
+        break;
       }
       case Op::kWsLoss: {
-        SPORES_ASSIGN_OR_RETURN(Matrix x, Eval(e->children[0]));
-        SPORES_ASSIGN_OR_RETURN(Matrix u, Eval(e->children[1]));
-        SPORES_ASSIGN_OR_RETURN(Matrix v, Eval(e->children[2]));
-        return Matrix::Scalar(WsLoss(x, u, v));
+        SPORES_RETURN_IF_ERROR(AnalyzeDep(e->children[0]));
+        SPORES_RETURN_IF_ERROR(AnalyzeDep(e->children[1]));
+        SPORES_RETURN_IF_ERROR(AnalyzeDep(e->children[2]));
+        const NodeState& x = nodes_.at(e->children[0].get());
+        const NodeState& u = nodes_.at(e->children[1].get());
+        const NodeState& v = nodes_.at(e->children[2].get());
+        if (u.rows != x.rows || v.rows != x.cols || u.cols != v.cols) {
+          return Status::InvalidArgument(
+              "wsloss shape mismatch: X " + std::to_string(x.rows) + "x" +
+              std::to_string(x.cols) + ", U " + std::to_string(u.rows) + "x" +
+              std::to_string(u.cols) + ", V " + std::to_string(v.rows) + "x" +
+              std::to_string(v.cols));
+        }
+        rows = cols = 1;
+        break;
       }
       default:
         return Status::Unsupported("Execute: non-LA op " +
                                    std::string(OpName(e->op)) + " in " +
                                    ToString(e));
     }
+    NodeState& st = nodes_.at(e.get());
+    st.rows = rows;
+    st.cols = cols;
+    return Status::OK();
+  }
+
+  /// The root's value is consumed once by the caller.
+  void AddRootUse(const ExprPtr& e) { ++nodes_.at(e.get()).remaining; }
+
+  /// Pass 2 (post-Analyze, cannot fail): bottom-up evaluation with CSE,
+  /// borrowed input values, and eager release at last use.
+  const Matrix* Eval(const ExprPtr& e) {
+    NodeState& st = nodes_.at(e.get());
+    if (st.computed) {
+      if (stats_) ++stats_->cse_hits;
+      return st.ref ? st.ref : &st.owned;
+    }
+    if (e->op == Op::kVar) {
+      st.ref = inputs_.Find(e->sym);  // non-null: Analyze checked
+      st.computed = true;
+      if (stats_) {
+        ++stats_->ops_executed;
+        stats_->peak_cells_allocated += static_cast<double>(st.ref->size());
+      }
+      return st.ref;
+    }
+    Matrix m = EvalImpl(e);
+    if (stats_) {
+      ++stats_->ops_executed;
+      stats_->peak_cells_allocated += static_cast<double>(m.size());
+    }
+    st.owned = std::move(m);
+    st.computed = true;
+    return &st.owned;
+  }
+
+  /// Moves the root's value out (or copies it when the root is a bound
+  /// input, which the caller owns).
+  Matrix TakeResult(const ExprPtr& e) {
+    NodeState& st = nodes_.at(e.get());
+    return st.ref ? *st.ref : std::move(st.owned);
+  }
+
+ private:
+  struct NodeState {
+    int64_t rows = 0;
+    int64_t cols = 0;
+    int remaining = 0;  ///< consumptions left before eager release
+    bool computed = false;
+    const Matrix* ref = nullptr;  ///< borrowed from Bindings (kVar)
+    Matrix owned;                 ///< computed value
+  };
+
+  Status AnalyzeDep(const ExprPtr& dep) {
+    SPORES_RETURN_IF_ERROR(Analyze(dep));
+    ++nodes_.at(dep.get()).remaining;
+    return Status::OK();
+  }
+
+  /// One consumption of a node's value; at the last one, a computed
+  /// intermediate's payload recycles into the pool immediately.
+  void Consumed(const ExprPtr& e) {
+    NodeState& st = nodes_.at(e.get());
+    if (--st.remaining == 0 && st.ref == nullptr && pool_ != nullptr) {
+      pool_->Recycle(std::move(st.owned));
+      if (stats_) ++stats_->eager_releases;
+    }
+  }
+
+  /// Times the kernel dispatch only — deps are evaluated by the caller
+  /// before this runs, so child time is never attributed to the parent.
+  template <typename F>
+  Matrix Timed(const ExprPtr& e, F&& kernel_call) {
+    if (!stats_) return kernel_call();
+    Timer timer;
+    Matrix m = kernel_call();
+    OpProfile p;
+    p.op = OpName(e->op).data();  // OpName returns literal-backed views
+    p.rows = m.rows();
+    p.cols = m.cols();
+    p.out_nnz = m.is_sparse() ? m.Nnz()
+                              : (stats_->track_dense_nnz ? m.Nnz() : -1);
+    p.seconds = timer.Seconds();
+    stats_->profile.push_back(p);
+    return m;
+  }
+
+  template <typename F>
+  Matrix EvalUnaryOp(const ExprPtr& e, F&& f) {
+    const Matrix* a = Eval(e->children[0]);
+    Matrix m = Timed(e, [&] { return f(*a); });
+    Consumed(e->children[0]);
+    return m;
+  }
+
+  template <typename F>
+  Matrix EvalBinaryOp(const ExprPtr& e, F&& f) {
+    const Matrix* a = Eval(e->children[0]);
+    const Matrix* b = Eval(e->children[1]);
+    Matrix m = Timed(e, [&] { return f(*a, *b); });
+    Consumed(e->children[0]);
+    Consumed(e->children[1]);
+    return m;
+  }
+
+  Matrix EvalImpl(const ExprPtr& e) {
+    switch (e->op) {
+      case Op::kConst:
+        return Matrix::Scalar(e->value);
+      case Op::kMatMul: {
+        std::vector<ExprPtr> factors;
+        std::vector<uint8_t> flags;
+        FlattenChainT(e, &factors, &flags);
+        std::vector<const Matrix*> chain;
+        chain.reserve(factors.size());
+        for (const ExprPtr& f : factors) chain.push_back(Eval(f));
+        Matrix m = Timed(e, [&] { return MMChainT(chain, flags); });
+        for (const ExprPtr& f : factors) Consumed(f);
+        return m;
+      }
+      case Op::kElemMul:
+        return EvalBinaryOp(e, [](const Matrix& a, const Matrix& b) {
+          return Mul(a, b);
+        });
+      case Op::kElemPlus:
+        return EvalBinaryOp(e, [](const Matrix& a, const Matrix& b) {
+          return Add(a, b);
+        });
+      case Op::kElemMinus:
+        return EvalBinaryOp(e, [](const Matrix& a, const Matrix& b) {
+          return Sub(a, b);
+        });
+      case Op::kElemDiv:
+        return EvalBinaryOp(e, [](const Matrix& a, const Matrix& b) {
+          return Div(a, b);
+        });
+      case Op::kPow: {
+        const double exponent = e->children[1]->value;
+        return EvalUnaryOp(
+            e, [exponent](const Matrix& a) { return PowElem(a, exponent); });
+      }
+      case Op::kNeg:
+        return EvalUnaryOp(e, [](const Matrix& a) { return Scale(a, -1.0); });
+      case Op::kTranspose:
+        return EvalUnaryOp(e, [](const Matrix& a) { return Transpose(a); });
+      case Op::kRowAgg:
+        return EvalUnaryOp(e, [](const Matrix& a) { return RowSums(a); });
+      case Op::kColAgg:
+        return EvalUnaryOp(e, [](const Matrix& a) { return ColSums(a); });
+      case Op::kSumAgg:
+        return EvalUnaryOp(
+            e, [](const Matrix& a) { return Matrix::Scalar(SumAll(a)); });
+      case Op::kUnary: {
+        const std::string fn = e->sym.str();
+        return EvalUnaryOp(
+            e, [&fn](const Matrix& a) { return Unary(fn, a); });
+      }
+      case Op::kSProp:
+        return EvalUnaryOp(e, [](const Matrix& a) { return SProp(a); });
+      case Op::kWsLoss: {
+        const Matrix* x = Eval(e->children[0]);
+        const Matrix* u = Eval(e->children[1]);
+        const Matrix* v = Eval(e->children[2]);
+        Matrix m = Timed(e, [&] { return Matrix::Scalar(WsLoss(*x, *u, *v)); });
+        Consumed(e->children[0]);
+        Consumed(e->children[1]);
+        Consumed(e->children[2]);
+        return m;
+      }
+      default:
+        // Analyze rejected everything else before evaluation started.
+        SPORES_CHECK_MSG(false, "EvalImpl: unanalyzed op");
+        return Matrix();
+    }
   }
 
   const Bindings& inputs_;
   ExecStats* stats_;
-  std::unordered_map<const Expr*, Matrix> cache_;
+  BufferPool* pool_;
+  std::unordered_map<const Expr*, NodeState> nodes_;
 };
+
+StatusOr<Matrix> ExecuteWithPool(const ExprPtr& expr, const Bindings& inputs,
+                                 BufferPool* pool, ExecStats* stats) {
+  Evaluator evaluator(inputs, stats, pool);
+  SPORES_RETURN_IF_ERROR(evaluator.Analyze(expr));
+  evaluator.AddRootUse(expr);
+  BufferPool::ScopedUse scoped(pool);
+  evaluator.Eval(expr);
+  return evaluator.TakeResult(expr);
+}
 
 }  // namespace
 
 StatusOr<Matrix> Execute(const ExprPtr& expr, const Bindings& inputs,
                          ExecStats* stats) {
-  Evaluator evaluator(inputs, stats);
-  return evaluator.Eval(expr);
+  // Private pool: intermediates still recycle within this one DAG.
+  BufferPool pool;
+  return ExecuteWithPool(expr, inputs, &pool, stats);
+}
+
+StatusOr<Matrix> Execute(const ExprPtr& expr, const Bindings& inputs,
+                         ExecutorArena* arena, ExecStats* stats) {
+  if (arena == nullptr) return Execute(expr, inputs, stats);
+  return ExecuteWithPool(expr, inputs, &arena->pool(), stats);
 }
 
 }  // namespace spores

@@ -2,11 +2,27 @@
 // common-subexpression caching (shared Expr nodes evaluate once) and
 // matmul-chain flattening (the mmchain effect). This is the substitute for
 // SystemML's runtime (DESIGN.md).
+//
+// Execution happens in two passes:
+//  1. Analyze — memoized shape inference over the DAG. Every recoverable
+//     input problem (unbound symbol, mid-DAG shape mismatch, unknown unary,
+//     non-LA op) surfaces here as a Status BEFORE any kernel runs; the
+//     kernels' own SPORES_CHECKs are thereby unreachable invariants, not
+//     error paths. Analyze also counts how many times each node's value is
+//     consumed.
+//  2. Evaluate — bottom-up with a zero-copy cache (bound inputs are
+//     borrowed from the Bindings, computed values owned) and eager release:
+//     when an intermediate's last consumer has run, its payload recycles
+//     into the BufferPool immediately instead of living to the end of the
+//     DAG.
 #pragma once
 
+#include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "src/ir/expr.h"
+#include "src/runtime/buffer_pool.h"
 #include "src/runtime/matrix.h"
 #include "src/util/status.h"
 
@@ -17,7 +33,12 @@ class Bindings {
  public:
   void Bind(std::string_view name, Matrix value);
   bool Has(Symbol name) const { return values_.count(name) > 0; }
-  const Matrix& Get(Symbol name) const;
+
+  /// The bound value, or NotFound for an unbound symbol (no crash).
+  StatusOr<const Matrix*> Get(Symbol name) const;
+
+  /// The bound value, or null when unbound — the non-erroring lookup.
+  const Matrix* Find(Symbol name) const;
 
   /// Derives a Catalog (shapes + measured sparsity) from the bound values.
   Catalog ToCatalog() const;
@@ -26,15 +47,51 @@ class Bindings {
   std::unordered_map<Symbol, Matrix> values_;
 };
 
+/// One executed operator's footprint, for feedback-driven costing.
+struct OpProfile {
+  const char* op = "";      ///< operator name (OpName)
+  int64_t rows = 0;         ///< output rows
+  int64_t cols = 0;         ///< output cols
+  int64_t out_nnz = -1;     ///< observed output non-zeros; -1 when not
+                            ///< measured (dense outputs are only scanned
+                            ///< when ExecStats::track_dense_nnz is set —
+                            ///< the scan is O(size) and would pollute
+                            ///< timings otherwise)
+  double seconds = 0.0;     ///< wall time of the kernel dispatch
+};
+
 struct ExecStats {
   size_t ops_executed = 0;
   size_t cse_hits = 0;
   double peak_cells_allocated = 0;  ///< sum of output cells, a memory proxy
+  size_t eager_releases = 0;  ///< intermediates recycled at their last use
+  bool track_dense_nnz = false;  ///< opt-in exact nnz for dense outputs
+  std::vector<OpProfile> profile;  ///< per-op wall time + observed nnz
+};
+
+/// Buffer reuse scope spanning many Execute calls: kernel outputs and
+/// eagerly-released intermediates recycle across the DAGs of a whole batch
+/// (or a serving shard's lifetime), not just within one expression.
+/// Not internally synchronized — one arena per executing thread.
+class ExecutorArena {
+ public:
+  explicit ExecutorArena(
+      size_t max_held_bytes = BufferPool::kDefaultMaxHeldBytes)
+      : pool_(max_held_bytes) {}
+
+  BufferPool& pool() { return pool_; }
+  const BufferPool::Stats& pool_stats() const { return pool_.stats(); }
+
+ private:
+  BufferPool pool_;
 };
 
 /// Evaluates `expr` against `inputs`. Shared subtrees (same Expr node)
-/// compute once.
+/// compute once. Without an arena, a private per-execution pool still
+/// recycles intermediates within the DAG.
 StatusOr<Matrix> Execute(const ExprPtr& expr, const Bindings& inputs,
                          ExecStats* stats = nullptr);
+StatusOr<Matrix> Execute(const ExprPtr& expr, const Bindings& inputs,
+                         ExecutorArena* arena, ExecStats* stats = nullptr);
 
 }  // namespace spores

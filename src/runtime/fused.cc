@@ -2,8 +2,11 @@
 
 #include <functional>
 #include <limits>
+#include <utility>
 
+#include "src/runtime/buffer_pool.h"
 #include "src/runtime/kernels.h"
+#include "src/runtime/simd.h"
 
 namespace spores {
 
@@ -11,44 +14,51 @@ double WsLoss(const Matrix& x, const Matrix& u, const Matrix& v) {
   SPORES_CHECK_EQ(u.rows(), x.rows());
   SPORES_CHECK_EQ(v.rows(), x.cols());
   SPORES_CHECK_EQ(u.cols(), v.cols());
-  Matrix du = u.ToDense();
-  Matrix dv = v.ToDense();
-  int64_t k = du.cols();
+  Matrix du_own, dv_own;
+  const Matrix* du = &u;
+  const Matrix* dv = &v;
+  if (u.is_sparse()) {
+    du_own = u.ToDense();
+    du = &du_own;
+  }
+  if (v.is_sparse()) {
+    dv_own = v.ToDense();
+    dv = &dv_own;
+  }
+  const int64_t k = du->cols();
+  const double* uv = du->values().data();
+  const double* vv = dv->values().data();
 
   // Term 3: sum_{ab} (U^T U)_ab (V^T V)_ab — O((M+N) k^2).
-  Matrix utu = MatMul(Transpose(du), du);
-  Matrix vtv = MatMul(Transpose(dv), dv);
-  double term3 = 0.0;
-  for (size_t i = 0; i < utu.values().size(); ++i) {
-    term3 += utu.values()[i] * vtv.values()[i];
-  }
+  Matrix utu = TransLeftMatMul(*du, *du);
+  Matrix vtv = TransLeftMatMul(*dv, *dv);
+  const double term3 = simd::Dot(utu.values().data(), vtv.values().data(),
+                                 static_cast<int64_t>(utu.values().size()));
 
   // Terms 1 and 2 stream over X's non-zeros.
   double term1 = 0.0, term2 = 0.0;
-  auto dot_uv = [&](int64_t r, int64_t c) {
-    const double* urow = &du.values()[static_cast<size_t>(r * k)];
-    const double* vrow = &dv.values()[static_cast<size_t>(c * k)];
-    double d = 0.0;
-    for (int64_t t = 0; t < k; ++t) d += urow[t] * vrow[t];
-    return d;
-  };
   if (x.is_sparse()) {
     for (int64_t r = 0; r < x.rows(); ++r) {
+      const double* urow = uv + r * k;
       for (int64_t p = x.row_ptr()[static_cast<size_t>(r)];
            p < x.row_ptr()[static_cast<size_t>(r) + 1]; ++p) {
-        int64_t c = x.col_idx()[static_cast<size_t>(p)];
-        double xv = x.csr_values()[static_cast<size_t>(p)];
+        const int64_t c = x.col_idx()[static_cast<size_t>(p)];
+        const double xv = x.csr_values()[static_cast<size_t>(p)];
         term1 += xv * xv;
-        term2 += xv * dot_uv(r, c);
+        term2 += xv * simd::Dot(urow, vv + c * k, k);
       }
     }
   } else {
+    const double* xv_data = x.values().data();
+    const int64_t cols = x.cols();
     for (int64_t r = 0; r < x.rows(); ++r) {
-      for (int64_t c = 0; c < x.cols(); ++c) {
-        double xv = x.At(r, c);
+      const double* xrow = xv_data + r * cols;
+      const double* urow = uv + r * k;
+      for (int64_t c = 0; c < cols; ++c) {
+        const double xv = xrow[c];
         if (xv == 0.0) continue;
         term1 += xv * xv;
-        term2 += xv * dot_uv(r, c);
+        term2 += xv * simd::Dot(urow, vv + c * k, k);
       }
     }
   }
@@ -57,17 +67,33 @@ double WsLoss(const Matrix& x, const Matrix& u, const Matrix& v) {
 
 Matrix SProp(const Matrix& p) {
   if (p.is_sparse()) {
-    // 0 * (1 - 0) == 0: support is preserved.
-    std::vector<std::tuple<int64_t, int64_t, double>> triplets;
+    // 0 * (1 - 0) == 0: support is preserved. Direct CSR structure copy
+    // (no triplet round-trip); v == 1 produces a zero that gets compacted.
+    const auto& rp = p.row_ptr();
+    const auto& ci = p.col_idx();
+    const auto& vv = p.csr_values();
+    std::vector<int64_t> orp(rp.size());
+    std::vector<int64_t> oci(ci.size());
+    std::vector<double> ovv(vv.size());
+    size_t out_k = 0;
+    orp[0] = 0;
     for (int64_t r = 0; r < p.rows(); ++r) {
-      for (int64_t k = p.row_ptr()[static_cast<size_t>(r)];
-           k < p.row_ptr()[static_cast<size_t>(r) + 1]; ++k) {
-        double v = p.csr_values()[static_cast<size_t>(k)];
-        triplets.emplace_back(r, p.col_idx()[static_cast<size_t>(k)],
-                              v * (1.0 - v));
+      for (int64_t k = rp[static_cast<size_t>(r)];
+           k < rp[static_cast<size_t>(r) + 1]; ++k) {
+        const double v = vv[static_cast<size_t>(k)];
+        const double o = v * (1.0 - v);
+        if (o != 0.0) {
+          oci[out_k] = ci[static_cast<size_t>(k)];
+          ovv[out_k] = o;
+          ++out_k;
+        }
       }
+      orp[static_cast<size_t>(r) + 1] = static_cast<int64_t>(out_k);
     }
-    return Matrix::FromTriplets(p.rows(), p.cols(), std::move(triplets));
+    oci.resize(out_k);
+    ovv.resize(out_k);
+    return Matrix::FromCsr(p.rows(), p.cols(), std::move(orp), std::move(oci),
+                           std::move(ovv));
   }
   Matrix out = Matrix::Dense(p.rows(), p.cols());
   const auto& pv = p.values();
@@ -77,17 +103,60 @@ Matrix SProp(const Matrix& p) {
 }
 
 Matrix MMChain(const std::vector<Matrix>& chain) {
-  SPORES_CHECK(!chain.empty());
-  size_t n = chain.size();
-  if (n == 1) return chain[0];
+  std::vector<const Matrix*> ptrs;
+  ptrs.reserve(chain.size());
+  for (const Matrix& m : chain) ptrs.push_back(&m);
+  return MMChainT(ptrs, std::vector<uint8_t>(chain.size(), 0));
+}
 
-  // dims[i] x dims[i+1] is the shape of chain[i].
+namespace {
+
+// A chain interval's value: either a borrowed leaf (possibly flagged
+// transposed, never materialized) or an owned intermediate product.
+struct ChainNode {
+  const Matrix* borrowed = nullptr;
+  Matrix owned;
+  bool transposed = false;
+
+  const Matrix& mat() const { return borrowed ? *borrowed : owned; }
+};
+
+Matrix MulNodes(const ChainNode& l, const ChainNode& r) {
+  const Matrix& a = l.mat();
+  const Matrix& b = r.mat();
+  if (l.transposed && r.transposed) {
+    // t(A) %*% t(B) = t(B %*% A); the transpose lands on the result.
+    return Transpose(MatMul(b, a));
+  }
+  if (l.transposed) return TransLeftMatMul(a, b);
+  if (r.transposed) return TransRightMatMul(a, b);
+  return MatMul(a, b);
+}
+
+}  // namespace
+
+Matrix MMChainT(const std::vector<const Matrix*>& chain,
+                const std::vector<uint8_t>& transposed) {
+  SPORES_CHECK(!chain.empty());
+  SPORES_CHECK_EQ(chain.size(), transposed.size());
+  const size_t n = chain.size();
+  if (n == 1) {
+    return transposed[0] ? Transpose(*chain[0]) : *chain[0];
+  }
+
+  // dims[i] x dims[i+1] is the effective shape of factor i.
+  auto eff_rows = [&](size_t i) {
+    return transposed[i] ? chain[i]->cols() : chain[i]->rows();
+  };
+  auto eff_cols = [&](size_t i) {
+    return transposed[i] ? chain[i]->rows() : chain[i]->cols();
+  };
   std::vector<int64_t> dims(n + 1);
   for (size_t i = 0; i < n; ++i) {
-    dims[i] = chain[i].rows();
-    if (i + 1 < n) SPORES_CHECK_EQ(chain[i].cols(), chain[i + 1].rows());
+    dims[i] = eff_rows(i);
+    if (i + 1 < n) SPORES_CHECK_EQ(eff_cols(i), eff_rows(i + 1));
   }
-  dims[n] = chain[n - 1].cols();
+  dims[n] = eff_cols(n - 1);
 
   // Interval DP for optimal association.
   std::vector<std::vector<double>> costs(
@@ -109,13 +178,28 @@ Matrix MMChain(const std::vector<Matrix>& chain) {
       }
     }
   }
-  std::function<Matrix(size_t, size_t)> eval = [&](size_t i,
-                                                   size_t j) -> Matrix {
-    if (i == j) return chain[i];
-    size_t s = split[i][j];
-    return MatMul(eval(i, s), eval(s + 1, j));
+
+  std::function<ChainNode(size_t, size_t)> eval =
+      [&](size_t i, size_t j) -> ChainNode {
+    if (i == j) {
+      ChainNode leaf;
+      leaf.borrowed = chain[i];
+      leaf.transposed = transposed[i] != 0;
+      return leaf;
+    }
+    const size_t s = split[i][j];
+    ChainNode l = eval(i, s);
+    ChainNode r = eval(s + 1, j);
+    ChainNode out;
+    out.owned = MulNodes(l, r);
+    // Recycle owned intermediates as soon as they are folded in.
+    if (BufferPool* pool = BufferPool::Current()) {
+      if (!l.borrowed) pool->Recycle(std::move(l.owned));
+      if (!r.borrowed) pool->Recycle(std::move(r.owned));
+    }
+    return out;
   };
-  return eval(0, n - 1);
+  return eval(0, n - 1).owned;
 }
 
 }  // namespace spores

@@ -3,6 +3,7 @@
 // where several of the paper's speedups come from.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "src/runtime/matrix.h"
@@ -21,5 +22,13 @@ Matrix SProp(const Matrix& p);
 /// association order (classic interval DP over dimensions), the effect of
 /// SystemML's fused mmchain operator.
 Matrix MMChain(const std::vector<Matrix>& chain);
+
+/// mmchain with per-factor transpose flags: factor i participates as
+/// t(*chain[i]) when transposed[i] is non-zero. The DP runs over effective
+/// (post-transpose) dimensions and transposed factors are never
+/// materialized — leaf products dispatch to the fused TransLeftMatMul /
+/// TransRightMatMul kernels (or t(B %*% A) when both sides are flagged).
+Matrix MMChainT(const std::vector<const Matrix*>& chain,
+                const std::vector<uint8_t>& transposed);
 
 }  // namespace spores

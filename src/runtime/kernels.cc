@@ -1,19 +1,69 @@
 #include "src/runtime/kernels.h"
 
+#include <algorithm>
 #include <cmath>
-#include <functional>
+#include <cstring>
 #include <string>
+#include <utility>
+#include <vector>
+
+#include "src/runtime/buffer_pool.h"
+#include "src/runtime/simd.h"
+#include "src/util/thread_pool.h"
 
 namespace spores {
 
 namespace {
 
-// Broadcast index helper: maps output (r, c) to the operand's cell.
-inline double BroadcastAt(const Matrix& m, int64_t r, int64_t c) {
-  int64_t rr = m.rows() == 1 ? 0 : r;
-  int64_t cc = m.cols() == 1 ? 0 : c;
-  return m.At(rr, cc);
+using simd::Axpy;
+using simd::Dot;
+
+// ---------------------------------------------------------------------------
+// Allocation: outputs and scratch come from the thread-local BufferPool when
+// one is installed (ScopedUse in the executor), else plain vectors. Reused
+// buffers carry stale values, so every path below either fully overwrites or
+// asks for zeros.
+// ---------------------------------------------------------------------------
+
+std::vector<double> AllocDoubles(size_t n, bool zero) {
+  if (BufferPool* pool = BufferPool::Current()) {
+    return pool->AcquireDoubles(n, zero);
+  }
+  return std::vector<double>(n, 0.0);
 }
+
+std::vector<int64_t> AllocIndices(size_t n, bool zero = false) {
+  if (BufferPool* pool = BufferPool::Current()) {
+    return pool->AcquireIndices(n, zero);
+  }
+  return std::vector<int64_t>(n, 0);
+}
+
+Matrix DenseOut(int64_t rows, int64_t cols, bool zero) {
+  return Matrix::FromValues(
+      rows, cols, AllocDoubles(static_cast<size_t>(rows * cols), zero));
+}
+
+void RecycleScratch(std::vector<double>&& v) {
+  if (BufferPool* pool = BufferPool::Current()) pool->Release(std::move(v));
+}
+
+void RecycleScratch(Matrix&& m) {
+  if (BufferPool* pool = BufferPool::Current()) pool->Recycle(std::move(m));
+}
+
+// Rows per chunk so each chunk carries at least `min_work` units (cells,
+// flops) — below that the ParallelFor serial fallback kicks in.
+int64_t GrainRows(int64_t work_per_row, int64_t min_work) {
+  return std::max<int64_t>(1, min_work / std::max<int64_t>(1, work_per_row));
+}
+
+constexpr int64_t kMinCellsPerChunk = int64_t{1} << 15;
+constexpr int64_t kMinFlopsPerChunk = int64_t{1} << 16;
+
+// ---------------------------------------------------------------------------
+// Broadcasting
+// ---------------------------------------------------------------------------
 
 void CheckBroadcastable(const Matrix& a, const Matrix& b, int64_t* rows,
                         int64_t* cols) {
@@ -27,166 +77,641 @@ void CheckBroadcastable(const Matrix& a, const Matrix& b, int64_t* rows,
   *cols = combine(a.cols(), b.cols());
 }
 
-// Generic dense elementwise with broadcasting.
-template <typename F>
-Matrix DenseElemwise(const Matrix& a, const Matrix& b, F f) {
-  int64_t rows, cols;
-  CheckBroadcastable(a, b, &rows, &cols);
-  Matrix out = Matrix::Dense(rows, cols);
-  // Fast path: identical dense shapes.
-  if (!a.is_sparse() && !b.is_sparse() && a.rows() == rows &&
-      b.rows() == rows && a.cols() == cols && b.cols() == cols) {
-    const auto& av = a.values();
-    const auto& bv = b.values();
-    auto& ov = out.values();
-    for (size_t i = 0; i < ov.size(); ++i) ov[i] = f(av[i], bv[i]);
-    return out;
-  }
-  auto& ov = out.values();
-  for (int64_t r = 0; r < rows; ++r) {
-    for (int64_t c = 0; c < cols; ++c) {
-      ov[static_cast<size_t>(r * cols + c)] =
-          f(BroadcastAt(a, r, c), BroadcastAt(b, r, c));
+// Strided view of a dense operand under a broadcast output shape: a size-1
+// dimension contributes stride 0, so `data + r * row_stride + c * col_stride`
+// is the recycled cell. Replaces the old per-cell At() (two bounds CHECKs and
+// a branch per cell).
+struct BcastView {
+  const double* data;
+  int64_t row_stride;
+  int64_t col_stride;
+};
+
+BcastView ViewOf(const Matrix& m) {
+  return BcastView{m.values().data(), m.rows() == 1 ? 0 : m.cols(),
+                   m.cols() == 1 ? int64_t{0} : int64_t{1}};
+}
+
+// Densify through the pool (Matrix::ToDense always heap-allocates).
+Matrix DensifyPooled(const Matrix& m) {
+  if (!m.is_sparse()) return m;
+  Matrix out = DenseOut(m.rows(), m.cols(), /*zero=*/true);
+  double* ov = out.values().data();
+  const auto& rp = m.row_ptr();
+  const auto& ci = m.col_idx();
+  const auto& vv = m.csr_values();
+  const int64_t cols = m.cols();
+  for (int64_t r = 0; r < m.rows(); ++r) {
+    double* orow = ov + r * cols;
+    for (int64_t k = rp[static_cast<size_t>(r)];
+         k < rp[static_cast<size_t>(r) + 1]; ++k) {
+      orow[ci[static_cast<size_t>(k)]] = vv[static_cast<size_t>(k)];
     }
   }
   return out;
 }
 
-// Sparse-aware multiply: iterate only the sparse operand's non-zeros.
-Matrix SparseMulBroadcast(const Matrix& sp, const Matrix& other, bool swap) {
+// Dense elementwise with broadcasting: row-parallel stride loops, with the
+// inner column loop specialized on whether each operand recycles a column.
+template <typename F>
+Matrix DenseElemwise(const Matrix& a_in, const Matrix& b_in, F f) {
   int64_t rows, cols;
-  if (!swap) {
-    CheckBroadcastable(sp, other, &rows, &cols);
-  } else {
-    CheckBroadcastable(other, sp, &rows, &cols);
+  CheckBroadcastable(a_in, b_in, &rows, &cols);
+  Matrix a_own, b_own;  // keep pooled densified copies alive
+  const Matrix* a = &a_in;
+  const Matrix* b = &b_in;
+  if (a_in.is_sparse()) {
+    a_own = DensifyPooled(a_in);
+    a = &a_own;
   }
-  SPORES_CHECK(sp.rows() == rows && sp.cols() == cols);
-  std::vector<std::tuple<int64_t, int64_t, double>> triplets;
-  triplets.reserve(static_cast<size_t>(sp.Nnz()));
+  if (b_in.is_sparse()) {
+    b_own = DensifyPooled(b_in);
+    b = &b_own;
+  }
+  Matrix out = DenseOut(rows, cols, /*zero=*/false);
+  double* ov = out.values().data();
+  const BcastView va = ViewOf(*a);
+  const BcastView vb = ViewOf(*b);
+  auto body = [&](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      const double* pa = va.data + r * va.row_stride;
+      const double* pb = vb.data + r * vb.row_stride;
+      double* po = ov + r * cols;
+      if (va.col_stride == 1 && vb.col_stride == 1) {
+        for (int64_t c = 0; c < cols; ++c) po[c] = f(pa[c], pb[c]);
+      } else if (va.col_stride == 1) {
+        const double y = pb[0];
+        for (int64_t c = 0; c < cols; ++c) po[c] = f(pa[c], y);
+      } else if (vb.col_stride == 1) {
+        const double x = pa[0];
+        for (int64_t c = 0; c < cols; ++c) po[c] = f(x, pb[c]);
+      } else {
+        const double v = f(pa[0], pb[0]);
+        for (int64_t c = 0; c < cols; ++c) po[c] = v;
+      }
+    }
+  };
+  ThreadPool::Current().ParallelFor(rows, GrainRows(cols, kMinCellsPerChunk),
+                                    body);
+  if (a == &a_own) RecycleScratch(std::move(a_own));
+  if (b == &b_own) RecycleScratch(std::move(b_own));
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Sparse elementwise fast paths (no FromTriplets sort, no densification)
+// ---------------------------------------------------------------------------
+
+// a + b_scale * b over equal-shape CSR inputs: per-row two-pointer merge,
+// zero sums dropped (matches the FromTriplets-based path this replaces).
+Matrix CsrMerge(const Matrix& a, const Matrix& b, double b_scale) {
+  const int64_t rows = a.rows(), cols = a.cols();
+  const auto& arp = a.row_ptr();
+  const auto& aci = a.col_idx();
+  const auto& avv = a.csr_values();
+  const auto& brp = b.row_ptr();
+  const auto& bci = b.col_idx();
+  const auto& bvv = b.csr_values();
+  const size_t bound = avv.size() + bvv.size();
+  std::vector<int64_t> rp = AllocIndices(static_cast<size_t>(rows) + 1);
+  std::vector<int64_t> ci = AllocIndices(bound);
+  std::vector<double> vv = AllocDoubles(bound, /*zero=*/false);
+  size_t out_k = 0;
+  rp[0] = 0;
+  for (int64_t r = 0; r < rows; ++r) {
+    int64_t pa = arp[static_cast<size_t>(r)];
+    const int64_t ea = arp[static_cast<size_t>(r) + 1];
+    int64_t pb = brp[static_cast<size_t>(r)];
+    const int64_t eb = brp[static_cast<size_t>(r) + 1];
+    while (pa < ea || pb < eb) {
+      int64_t c;
+      double v;
+      if (pb >= eb ||
+          (pa < ea && aci[static_cast<size_t>(pa)] < bci[static_cast<size_t>(pb)])) {
+        c = aci[static_cast<size_t>(pa)];
+        v = avv[static_cast<size_t>(pa)];
+        ++pa;
+      } else if (pa >= ea ||
+                 bci[static_cast<size_t>(pb)] < aci[static_cast<size_t>(pa)]) {
+        c = bci[static_cast<size_t>(pb)];
+        v = b_scale * bvv[static_cast<size_t>(pb)];
+        ++pb;
+      } else {
+        c = aci[static_cast<size_t>(pa)];
+        v = avv[static_cast<size_t>(pa)] +
+            b_scale * bvv[static_cast<size_t>(pb)];
+        ++pa;
+        ++pb;
+      }
+      if (v != 0.0) {
+        ci[out_k] = c;
+        vv[out_k] = v;
+        ++out_k;
+      }
+    }
+    rp[static_cast<size_t>(r) + 1] = static_cast<int64_t>(out_k);
+  }
+  ci.resize(out_k);
+  vv.resize(out_k);
+  return Matrix::FromCsr(rows, cols, std::move(rp), std::move(ci),
+                         std::move(vv));
+}
+
+// a * b over equal-shape CSR inputs: per-row two-pointer intersection.
+Matrix CsrIntersect(const Matrix& a, const Matrix& b) {
+  const int64_t rows = a.rows(), cols = a.cols();
+  const auto& arp = a.row_ptr();
+  const auto& aci = a.col_idx();
+  const auto& avv = a.csr_values();
+  const auto& brp = b.row_ptr();
+  const auto& bci = b.col_idx();
+  const auto& bvv = b.csr_values();
+  const size_t bound = std::min(avv.size(), bvv.size());
+  std::vector<int64_t> rp = AllocIndices(static_cast<size_t>(rows) + 1);
+  std::vector<int64_t> ci = AllocIndices(bound);
+  std::vector<double> vv = AllocDoubles(bound, /*zero=*/false);
+  size_t out_k = 0;
+  rp[0] = 0;
+  for (int64_t r = 0; r < rows; ++r) {
+    int64_t pa = arp[static_cast<size_t>(r)];
+    const int64_t ea = arp[static_cast<size_t>(r) + 1];
+    int64_t pb = brp[static_cast<size_t>(r)];
+    const int64_t eb = brp[static_cast<size_t>(r) + 1];
+    while (pa < ea && pb < eb) {
+      const int64_t ca = aci[static_cast<size_t>(pa)];
+      const int64_t cb = bci[static_cast<size_t>(pb)];
+      if (ca < cb) {
+        ++pa;
+      } else if (cb < ca) {
+        ++pb;
+      } else {
+        const double v =
+            avv[static_cast<size_t>(pa)] * bvv[static_cast<size_t>(pb)];
+        if (v != 0.0) {
+          ci[out_k] = ca;
+          vv[out_k] = v;
+          ++out_k;
+        }
+        ++pa;
+        ++pb;
+      }
+    }
+    rp[static_cast<size_t>(r) + 1] = static_cast<int64_t>(out_k);
+  }
+  ci.resize(out_k);
+  vv.resize(out_k);
+  return Matrix::FromCsr(rows, cols, std::move(rp), std::move(ci),
+                         std::move(vv));
+}
+
+// Structure-copying transform over a CSR input: same support, transformed
+// values, zeros compacted out (pow/apply/scale/division can hit zero via
+// underflow).
+template <typename F>
+Matrix CsrTransform(const Matrix& a, F f) {
+  const auto& arp = a.row_ptr();
+  const auto& aci = a.col_idx();
+  const auto& avv = a.csr_values();
+  std::vector<int64_t> rp = AllocIndices(arp.size());
+  std::vector<int64_t> ci = AllocIndices(avv.size());
+  std::vector<double> vv = AllocDoubles(avv.size(), /*zero=*/false);
+  size_t out_k = 0;
+  rp[0] = 0;
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    for (int64_t k = arp[static_cast<size_t>(r)];
+         k < arp[static_cast<size_t>(r) + 1]; ++k) {
+      const double v = f(avv[static_cast<size_t>(k)], r,
+                         aci[static_cast<size_t>(k)]);
+      if (v != 0.0) {
+        ci[out_k] = aci[static_cast<size_t>(k)];
+        vv[out_k] = v;
+        ++out_k;
+      }
+    }
+    rp[static_cast<size_t>(r) + 1] = static_cast<int64_t>(out_k);
+  }
+  ci.resize(out_k);
+  vv.resize(out_k);
+  return Matrix::FromCsr(a.rows(), a.cols(), std::move(rp), std::move(ci),
+                         std::move(vv));
+}
+
+// Equal-shape sparse +/- dense: copy (or negate) the dense side once, then
+// scatter the sparse side's non-zeros — nnz work on the sparse operand
+// instead of densifying it. `sparse_sign`/`dense_sign` select among
+// sp+dn, sp-dn, dn-sp.
+Matrix SparseDenseAdd(const Matrix& sp, const Matrix& dn, double sparse_sign,
+                      double dense_sign) {
+  const int64_t rows = sp.rows(), cols = sp.cols();
+  Matrix out = DenseOut(rows, cols, /*zero=*/false);
+  double* ov = out.values().data();
+  const double* dv = dn.values().data();
+  const int64_t total = rows * cols;
+  if (dense_sign == 1.0) {
+    ThreadPool::Current().ParallelFor(
+        total, kMinCellsPerChunk, [&](int64_t i0, int64_t i1) {
+          std::memcpy(ov + i0, dv + i0,
+                      static_cast<size_t>(i1 - i0) * sizeof(double));
+        });
+  } else {
+    ThreadPool::Current().ParallelFor(total, kMinCellsPerChunk,
+                                      [&](int64_t i0, int64_t i1) {
+                                        for (int64_t i = i0; i < i1; ++i) {
+                                          ov[i] = -dv[i];
+                                        }
+                                      });
+  }
   const auto& rp = sp.row_ptr();
   const auto& ci = sp.col_idx();
   const auto& vv = sp.csr_values();
-  for (int64_t r = 0; r < rows; ++r) {
-    for (int64_t k = rp[static_cast<size_t>(r)];
-         k < rp[static_cast<size_t>(r) + 1]; ++k) {
-      int64_t c = ci[static_cast<size_t>(k)];
-      double v = vv[static_cast<size_t>(k)] * BroadcastAt(other, r, c);
-      if (v != 0.0) triplets.emplace_back(r, c, v);
-    }
-  }
-  return Matrix::FromTriplets(rows, cols, std::move(triplets));
+  // Row-partitioned scatter: rows are disjoint, so parallel ranges never
+  // touch the same output cell.
+  const int64_t nnz_per_row =
+      static_cast<int64_t>(vv.size()) / std::max<int64_t>(1, rows);
+  ThreadPool::Current().ParallelFor(
+      rows, GrainRows(nnz_per_row, kMinCellsPerChunk),
+      [&](int64_t r0, int64_t r1) {
+        for (int64_t r = r0; r < r1; ++r) {
+          double* orow = ov + r * cols;
+          for (int64_t k = rp[static_cast<size_t>(r)];
+               k < rp[static_cast<size_t>(r) + 1]; ++k) {
+            orow[ci[static_cast<size_t>(k)]] +=
+                sparse_sign * vv[static_cast<size_t>(k)];
+          }
+        }
+      });
+  return out;
 }
 
-// Sparse + sparse with equal shapes: CSR merge.
-Matrix SparseAdd(const Matrix& a, const Matrix& b, double b_scale) {
-  SPORES_CHECK_EQ(a.rows(), b.rows());
-  SPORES_CHECK_EQ(a.cols(), b.cols());
-  std::vector<std::tuple<int64_t, int64_t, double>> triplets;
-  triplets.reserve(static_cast<size_t>(a.Nnz() + b.Nnz()));
-  for (int64_t r = 0; r < a.rows(); ++r) {
-    for (int64_t k = a.row_ptr()[static_cast<size_t>(r)];
-         k < a.row_ptr()[static_cast<size_t>(r) + 1]; ++k) {
-      triplets.emplace_back(r, a.col_idx()[static_cast<size_t>(k)],
-                            a.csr_values()[static_cast<size_t>(k)]);
+// sp .* other (or sp ./ other) where the output support is within sp's
+// support and `other` broadcasts over sp's shape. Dense `other` reads
+// through a stride view; a sparse `other` (rare: both-sparse broadcast)
+// falls back to At().
+template <typename F>
+Matrix SparseTimesBroadcast(const Matrix& sp, const Matrix& other, F f) {
+  if (!other.is_sparse()) {
+    const BcastView vo = ViewOf(other);
+    return CsrTransform(sp, [&](double v, int64_t r, int64_t c) {
+      return f(v, vo.data[r * vo.row_stride + c * vo.col_stride]);
+    });
+  }
+  return CsrTransform(sp, [&](double v, int64_t r, int64_t c) {
+    const int64_t rr = other.rows() == 1 ? 0 : r;
+    const int64_t cc = other.cols() == 1 ? 0 : c;
+    return f(v, other.At(rr, cc));
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Matmul family
+// ---------------------------------------------------------------------------
+
+// Dense GEMM: B packed into KC x NC panels (contiguous, pool-backed) so the
+// AVX2 axpy microkernel streams unit-stride, with rows of A partitioned
+// across the pool per panel. Falls through to a plain ikj loop when the
+// whole product is small.
+constexpr int64_t kGemmKc = 256;
+constexpr int64_t kGemmNc = 1024;
+
+Matrix DenseGemm(const Matrix& a, const Matrix& b) {
+  const int64_t m = a.rows(), n = b.cols(), kk = a.cols();
+  Matrix out = DenseOut(m, n, /*zero=*/true);
+  double* C = out.values().data();
+  const double* A = a.values().data();
+  const double* B = b.values().data();
+  if (m * n * kk <= kMinFlopsPerChunk) {
+    for (int64_t r = 0; r < m; ++r) {
+      const double* arow = A + r * kk;
+      double* crow = C + r * n;
+      for (int64_t j = 0; j < kk; ++j) {
+        const double av = arow[j];
+        if (av == 0.0) continue;
+        Axpy(av, B + j * n, crow, n);
+      }
     }
-    for (int64_t k = b.row_ptr()[static_cast<size_t>(r)];
-         k < b.row_ptr()[static_cast<size_t>(r) + 1]; ++k) {
-      triplets.emplace_back(r, b.col_idx()[static_cast<size_t>(k)],
-                            b_scale * b.csr_values()[static_cast<size_t>(k)]);
+    return out;
+  }
+  const bool pack = kk > kGemmKc || n > kGemmNc;
+  std::vector<double> panel;
+  if (pack) {
+    panel = AllocDoubles(
+        static_cast<size_t>(std::min(kGemmKc, kk) * std::min(kGemmNc, n)),
+        /*zero=*/false);
+  }
+  for (int64_t jc = 0; jc < n; jc += kGemmNc) {
+    const int64_t nb = std::min(kGemmNc, n - jc);
+    for (int64_t kc = 0; kc < kk; kc += kGemmKc) {
+      const int64_t kb = std::min(kGemmKc, kk - kc);
+      const double* bp;
+      int64_t bstride;
+      if (pack) {
+        for (int64_t k = 0; k < kb; ++k) {
+          std::memcpy(panel.data() + k * nb, B + (kc + k) * n + jc,
+                      static_cast<size_t>(nb) * sizeof(double));
+        }
+        bp = panel.data();
+        bstride = nb;
+      } else {
+        bp = B;  // B itself is one contiguous kb x nb panel
+        bstride = n;
+      }
+      ThreadPool::Current().ParallelFor(
+          m, GrainRows(nb * kb, kMinFlopsPerChunk),
+          [&](int64_t r0, int64_t r1) {
+            for (int64_t r = r0; r < r1; ++r) {
+              const double* arow = A + r * kk + kc;
+              double* crow = C + r * n + jc;
+              for (int64_t k = 0; k < kb; ++k) {
+                const double av = arow[k];
+                if (av == 0.0) continue;
+                Axpy(av, bp + k * bstride, crow, nb);
+              }
+            }
+          });
     }
   }
-  return Matrix::FromTriplets(a.rows(), a.cols(), std::move(triplets));
+  if (pack) RecycleScratch(std::move(panel));
+  return out;
 }
+
+// Sparse x dense: rows of the sparse operand partition cleanly.
+Matrix SparseDenseMatMul(const Matrix& a, const Matrix& b) {
+  const int64_t m = a.rows(), n = b.cols();
+  Matrix out = DenseOut(m, n, /*zero=*/true);
+  double* C = out.values().data();
+  const double* B = b.values().data();
+  const auto& rp = a.row_ptr();
+  const auto& ci = a.col_idx();
+  const auto& vv = a.csr_values();
+  const int64_t flops_per_row =
+      n * (static_cast<int64_t>(vv.size()) / std::max<int64_t>(1, m) + 1);
+  ThreadPool::Current().ParallelFor(
+      m, GrainRows(flops_per_row, kMinFlopsPerChunk),
+      [&](int64_t r0, int64_t r1) {
+        for (int64_t r = r0; r < r1; ++r) {
+          double* crow = C + r * n;
+          for (int64_t p = rp[static_cast<size_t>(r)];
+               p < rp[static_cast<size_t>(r) + 1]; ++p) {
+            Axpy(vv[static_cast<size_t>(p)],
+                 B + ci[static_cast<size_t>(p)] * n, crow, n);
+          }
+        }
+      });
+  return out;
+}
+
+// Dense x sparse: per output row, walk A's row and expand the matching CSR
+// rows of B — row-partitioned (the old kernel streamed B's non-zeros with a
+// serial column-scattered inner loop over all of A).
+Matrix DenseSparseMatMul(const Matrix& a, const Matrix& b) {
+  const int64_t m = a.rows(), n = b.cols(), kk = a.cols();
+  Matrix out = DenseOut(m, n, /*zero=*/true);
+  double* C = out.values().data();
+  const double* A = a.values().data();
+  const auto& rp = b.row_ptr();
+  const auto& ci = b.col_idx();
+  const auto& vv = b.csr_values();
+  const int64_t work_per_row =
+      kk + static_cast<int64_t>(vv.size()) / std::max<int64_t>(1, kk) * kk;
+  ThreadPool::Current().ParallelFor(
+      m, GrainRows(work_per_row, kMinFlopsPerChunk),
+      [&](int64_t r0, int64_t r1) {
+        for (int64_t r = r0; r < r1; ++r) {
+          const double* arow = A + r * kk;
+          double* crow = C + r * n;
+          for (int64_t j = 0; j < kk; ++j) {
+            const double av = arow[j];
+            if (av == 0.0) continue;
+            for (int64_t p = rp[static_cast<size_t>(j)];
+                 p < rp[static_cast<size_t>(j) + 1]; ++p) {
+              crow[ci[static_cast<size_t>(p)]] +=
+                  av * vv[static_cast<size_t>(p)];
+            }
+          }
+        }
+      });
+  return out;
+}
+
+// CSR x CSR (Gustavson): chunks of output rows are built independently with
+// a dense sparse-accumulator per chunk, then stitched. The result stays CSR
+// unless it densifies past 25% — sparse-sparse products in the workloads
+// (selection/permutation-like chains) keep sparse outputs sparse.
+Matrix SparseSparseMatMul(const Matrix& a, const Matrix& b) {
+  const int64_t m = a.rows(), n = b.cols();
+  const auto& arp = a.row_ptr();
+  const auto& aci = a.col_idx();
+  const auto& avv = a.csr_values();
+  const auto& brp = b.row_ptr();
+  const auto& bci = b.col_idx();
+  const auto& bvv = b.csr_values();
+
+  ThreadPool& pool = ThreadPool::Current();
+  const int64_t target_chunks =
+      std::min<int64_t>(pool.num_threads(),
+                        std::max<int64_t>(1, static_cast<int64_t>(avv.size()) /
+                                                 (int64_t{1} << 14)));
+  const int64_t nchunks = std::max<int64_t>(
+      1, std::min<int64_t>(target_chunks, m));
+
+  struct Chunk {
+    int64_t r0 = 0, r1 = 0;
+    std::vector<int64_t> ci;
+    std::vector<double> vv;
+    std::vector<int64_t> row_nnz;
+  };
+  std::vector<Chunk> chunks(static_cast<size_t>(nchunks));
+  for (int64_t c = 0; c < nchunks; ++c) {
+    chunks[static_cast<size_t>(c)].r0 = m * c / nchunks;
+    chunks[static_cast<size_t>(c)].r1 = m * (c + 1) / nchunks;
+  }
+
+  pool.ParallelFor(nchunks, 1, [&](int64_t c0, int64_t c1) {
+    // Scratch is plain-allocated: worker threads must not touch the
+    // caller's BufferPool (it is single-threaded by contract).
+    std::vector<double> acc(static_cast<size_t>(n), 0.0);
+    std::vector<int64_t> touched;
+    for (int64_t c = c0; c < c1; ++c) {
+      Chunk& ch = chunks[static_cast<size_t>(c)];
+      ch.row_nnz.assign(static_cast<size_t>(ch.r1 - ch.r0), 0);
+      for (int64_t r = ch.r0; r < ch.r1; ++r) {
+        touched.clear();
+        for (int64_t p = arp[static_cast<size_t>(r)];
+             p < arp[static_cast<size_t>(r) + 1]; ++p) {
+          const int64_t j = aci[static_cast<size_t>(p)];
+          const double av = avv[static_cast<size_t>(p)];
+          for (int64_t q = brp[static_cast<size_t>(j)];
+               q < brp[static_cast<size_t>(j) + 1]; ++q) {
+            const int64_t col = bci[static_cast<size_t>(q)];
+            if (acc[static_cast<size_t>(col)] == 0.0) {
+              touched.push_back(col);
+            }
+            acc[static_cast<size_t>(col)] += av * bvv[static_cast<size_t>(q)];
+          }
+        }
+        // CSR wants sorted columns; cancellation to exact 0.0 is dropped.
+        std::sort(touched.begin(), touched.end());
+        int64_t emitted = 0;
+        for (int64_t col : touched) {
+          const double v = acc[static_cast<size_t>(col)];
+          acc[static_cast<size_t>(col)] = 0.0;
+          if (v == 0.0) continue;  // either cancelled or a re-touched zero
+          ch.ci.push_back(col);
+          ch.vv.push_back(v);
+          ++emitted;
+        }
+        ch.row_nnz[static_cast<size_t>(r - ch.r0)] = emitted;
+      }
+    }
+  });
+
+  size_t total_nnz = 0;
+  for (const Chunk& ch : chunks) total_nnz += ch.vv.size();
+  std::vector<int64_t> rp = AllocIndices(static_cast<size_t>(m) + 1);
+  std::vector<int64_t> ci = AllocIndices(total_nnz);
+  std::vector<double> vv = AllocDoubles(total_nnz, /*zero=*/false);
+  rp[0] = 0;
+  size_t at = 0;
+  int64_t row = 0;
+  for (const Chunk& ch : chunks) {
+    for (int64_t nnz : ch.row_nnz) {
+      rp[static_cast<size_t>(row) + 1] = rp[static_cast<size_t>(row)] + nnz;
+      ++row;
+    }
+    if (!ch.ci.empty()) {
+      std::memcpy(ci.data() + at, ch.ci.data(),
+                  ch.ci.size() * sizeof(int64_t));
+      std::memcpy(vv.data() + at, ch.vv.data(), ch.vv.size() * sizeof(double));
+      at += ch.ci.size();
+    }
+  }
+  Matrix out = Matrix::FromCsr(m, n, std::move(rp), std::move(ci),
+                               std::move(vv));
+  if (static_cast<int64_t>(total_nnz) * 4 > m * n) {
+    Matrix dense = DensifyPooled(out);
+    RecycleScratch(std::move(out));
+    return dense;
+  }
+  return out;
+}
+
+// Touched-cols note: a re-touched column whose running sum passed through
+// exact 0.0 gets pushed twice; the second visit sees acc == 0.0 after the
+// first emit cleared it and is dropped by the v == 0.0 guard above. The
+// duplicate push is handled by clearing acc at emit time.
 
 }  // namespace
 
+// ---------------------------------------------------------------------------
+// Elementwise
+// ---------------------------------------------------------------------------
+
 Matrix Add(const Matrix& a, const Matrix& b) {
-  if (a.is_sparse() && b.is_sparse() && a.rows() == b.rows() &&
-      a.cols() == b.cols()) {
-    return SparseAdd(a, b, 1.0);
+  if (a.rows() == b.rows() && a.cols() == b.cols()) {
+    if (a.is_sparse() && b.is_sparse()) return CsrMerge(a, b, 1.0);
+    if (a.is_sparse() && !b.is_sparse()) return SparseDenseAdd(a, b, 1.0, 1.0);
+    if (!a.is_sparse() && b.is_sparse()) return SparseDenseAdd(b, a, 1.0, 1.0);
   }
-  Matrix da = a.is_sparse() ? a.ToDense() : a;
-  Matrix db = b.is_sparse() ? b.ToDense() : b;
-  return DenseElemwise(da, db, [](double x, double y) { return x + y; });
+  return DenseElemwise(a, b, [](double x, double y) { return x + y; });
 }
 
 Matrix Sub(const Matrix& a, const Matrix& b) {
-  if (a.is_sparse() && b.is_sparse() && a.rows() == b.rows() &&
-      a.cols() == b.cols()) {
-    return SparseAdd(a, b, -1.0);
+  if (a.rows() == b.rows() && a.cols() == b.cols()) {
+    if (a.is_sparse() && b.is_sparse()) return CsrMerge(a, b, -1.0);
+    if (a.is_sparse() && !b.is_sparse()) {
+      return SparseDenseAdd(a, b, 1.0, -1.0);
+    }
+    if (!a.is_sparse() && b.is_sparse()) {
+      return SparseDenseAdd(b, a, -1.0, 1.0);
+    }
   }
-  Matrix da = a.is_sparse() ? a.ToDense() : a;
-  Matrix db = b.is_sparse() ? b.ToDense() : b;
-  return DenseElemwise(da, db, [](double x, double y) { return x - y; });
+  return DenseElemwise(a, b, [](double x, double y) { return x - y; });
 }
 
 Matrix Mul(const Matrix& a, const Matrix& b) {
   // Scalar fast paths.
   if (a.IsScalar()) return Scale(b, a.AsScalar());
   if (b.IsScalar()) return Scale(a, b.AsScalar());
+  if (a.is_sparse() && b.is_sparse() && a.rows() == b.rows() &&
+      a.cols() == b.cols()) {
+    return CsrIntersect(a, b);
+  }
   // Sparsity-exploiting paths: the output's support is within the sparse
   // operand's support.
   if (a.is_sparse() && a.rows() >= b.rows() && a.cols() >= b.cols()) {
-    return SparseMulBroadcast(a, b, false);
+    return SparseTimesBroadcast(a, b,
+                                [](double x, double y) { return x * y; });
   }
   if (b.is_sparse() && b.rows() >= a.rows() && b.cols() >= a.cols()) {
-    return SparseMulBroadcast(b, a, true);
+    return SparseTimesBroadcast(b, a,
+                                [](double x, double y) { return x * y; });
   }
-  Matrix da = a.is_sparse() ? a.ToDense() : a;
-  Matrix db = b.is_sparse() ? b.ToDense() : b;
-  return DenseElemwise(da, db, [](double x, double y) { return x * y; });
+  return DenseElemwise(a, b, [](double x, double y) { return x * y; });
 }
 
 Matrix Div(const Matrix& a, const Matrix& b) {
   if (a.is_sparse() && b.rows() <= a.rows() && b.cols() <= a.cols()) {
-    // 0 / y == 0: iterate a's non-zeros only.
-    Matrix recip = Apply(b.is_sparse() ? b.ToDense() : b,
-                         [](double v) { return 1.0 / v; }, false);
-    return SparseMulBroadcast(a, recip, false);
+    // 0 / y == 0: iterate a's non-zeros only. Matches the historical
+    // reciprocal-then-multiply form (x * (1/y)) bit for bit.
+    return SparseTimesBroadcast(
+        a, b, [](double x, double y) { return x * (1.0 / y); });
   }
-  Matrix da = a.is_sparse() ? a.ToDense() : a;
-  Matrix db = b.is_sparse() ? b.ToDense() : b;
-  return DenseElemwise(da, db, [](double x, double y) { return x / y; });
+  return DenseElemwise(a, b, [](double x, double y) { return x / y; });
 }
 
 Matrix PowElem(const Matrix& a, double exponent) {
   if (a.is_sparse() && exponent > 0) {
-    std::vector<std::tuple<int64_t, int64_t, double>> triplets;
-    for (int64_t r = 0; r < a.rows(); ++r) {
-      for (int64_t k = a.row_ptr()[static_cast<size_t>(r)];
-           k < a.row_ptr()[static_cast<size_t>(r) + 1]; ++k) {
-        triplets.emplace_back(
-            r, a.col_idx()[static_cast<size_t>(k)],
-            std::pow(a.csr_values()[static_cast<size_t>(k)], exponent));
-      }
-    }
-    return Matrix::FromTriplets(a.rows(), a.cols(), std::move(triplets));
+    return CsrTransform(a, [exponent](double v, int64_t, int64_t) {
+      return std::pow(v, exponent);
+    });
   }
-  Matrix da = a.ToDense();
-  Matrix out = Matrix::Dense(a.rows(), a.cols());
-  for (size_t i = 0; i < out.values().size(); ++i) {
-    out.values()[i] = std::pow(da.values()[i], exponent);
-  }
+  Matrix da;
+  if (a.is_sparse()) da = DensifyPooled(a);
+  const double* av = (a.is_sparse() ? da : a).values().data();
+  Matrix out = DenseOut(a.rows(), a.cols(), /*zero=*/false);
+  double* ov = out.values().data();
+  ThreadPool::Current().ParallelFor(
+      a.size(), kMinCellsPerChunk, [&](int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i) ov[i] = std::pow(av[i], exponent);
+      });
+  if (a.is_sparse()) RecycleScratch(std::move(da));
   return out;
 }
 
 Matrix Apply(const Matrix& a, double (*fn)(double), bool preserves_zero) {
   if (a.is_sparse() && preserves_zero) {
-    std::vector<std::tuple<int64_t, int64_t, double>> triplets;
+    return CsrTransform(a, [fn](double v, int64_t, int64_t) { return fn(v); });
+  }
+  if (a.is_sparse()) {
+    // Non-zero-preserving fn over CSR: every absent cell maps to fn(0), so
+    // fill with that once and overwrite the stored non-zeros — no dense
+    // intermediate of the input.
+    const double fill = fn(0.0);
+    Matrix out = DenseOut(a.rows(), a.cols(), /*zero=*/false);
+    double* ov = out.values().data();
+    std::fill(ov, ov + a.size(), fill);
+    const auto& rp = a.row_ptr();
+    const auto& ci = a.col_idx();
+    const auto& vv = a.csr_values();
+    const int64_t cols = a.cols();
     for (int64_t r = 0; r < a.rows(); ++r) {
-      for (int64_t k = a.row_ptr()[static_cast<size_t>(r)];
-           k < a.row_ptr()[static_cast<size_t>(r) + 1]; ++k) {
-        triplets.emplace_back(r, a.col_idx()[static_cast<size_t>(k)],
-                              fn(a.csr_values()[static_cast<size_t>(k)]));
+      double* orow = ov + r * cols;
+      for (int64_t k = rp[static_cast<size_t>(r)];
+           k < rp[static_cast<size_t>(r) + 1]; ++k) {
+        orow[ci[static_cast<size_t>(k)]] = fn(vv[static_cast<size_t>(k)]);
       }
     }
-    return Matrix::FromTriplets(a.rows(), a.cols(), std::move(triplets));
+    return out;
   }
-  Matrix da = a.ToDense();
-  Matrix out = Matrix::Dense(a.rows(), a.cols());
-  for (size_t i = 0; i < out.values().size(); ++i) {
-    out.values()[i] = fn(da.values()[i]);
-  }
+  Matrix out = DenseOut(a.rows(), a.cols(), /*zero=*/false);
+  double* ov = out.values().data();
+  const double* av = a.values().data();
+  ThreadPool::Current().ParallelFor(a.size(), kMinCellsPerChunk,
+                                    [&](int64_t i0, int64_t i1) {
+                                      for (int64_t i = i0; i < i1; ++i) {
+                                        ov[i] = fn(av[i]);
+                                      }
+                                    });
   return out;
 }
 
@@ -210,230 +735,262 @@ Matrix Unary(const std::string& fn, const Matrix& a) {
   return a;
 }
 
+// ---------------------------------------------------------------------------
+// Matmul
+// ---------------------------------------------------------------------------
+
 Matrix MatMul(const Matrix& a, const Matrix& b) {
   SPORES_CHECK_EQ(a.cols(), b.rows());
-  int64_t m = a.rows(), n = b.cols(), kk = a.cols();
-  Matrix out = Matrix::Dense(m, n);
-  auto& ov = out.values();
-
-  if (a.is_sparse()) {
-    Matrix db = b.is_sparse() ? b.ToDense() : b;
-    const auto& bv = db.values();
-    for (int64_t r = 0; r < m; ++r) {
-      for (int64_t p = a.row_ptr()[static_cast<size_t>(r)];
-           p < a.row_ptr()[static_cast<size_t>(r) + 1]; ++p) {
-        int64_t j = a.col_idx()[static_cast<size_t>(p)];
-        double av = a.csr_values()[static_cast<size_t>(p)];
-        const double* brow = &bv[static_cast<size_t>(j * n)];
-        double* orow = &ov[static_cast<size_t>(r * n)];
-        for (int64_t c = 0; c < n; ++c) orow[c] += av * brow[c];
-      }
-    }
-    return out;
-  }
-  if (b.is_sparse()) {
-    const auto& av = a.values();
-    for (int64_t j = 0; j < kk; ++j) {
-      for (int64_t p = b.row_ptr()[static_cast<size_t>(j)];
-           p < b.row_ptr()[static_cast<size_t>(j) + 1]; ++p) {
-        int64_t c = b.col_idx()[static_cast<size_t>(p)];
-        double bvv = b.csr_values()[static_cast<size_t>(p)];
-        for (int64_t r = 0; r < m; ++r) {
-          ov[static_cast<size_t>(r * n + c)] +=
-              av[static_cast<size_t>(r * kk + j)] * bvv;
-        }
-      }
-    }
-    return out;
-  }
-  // Dense x dense: ikj loop order for locality.
-  const auto& av = a.values();
-  const auto& bv = b.values();
-  for (int64_t r = 0; r < m; ++r) {
-    for (int64_t j = 0; j < kk; ++j) {
-      double avv = av[static_cast<size_t>(r * kk + j)];
-      if (avv == 0.0) continue;
-      const double* brow = &bv[static_cast<size_t>(j * n)];
-      double* orow = &ov[static_cast<size_t>(r * n)];
-      for (int64_t c = 0; c < n; ++c) orow[c] += avv * brow[c];
-    }
-  }
-  return out;
+  if (a.is_sparse() && b.is_sparse()) return SparseSparseMatMul(a, b);
+  if (a.is_sparse()) return SparseDenseMatMul(a, b);
+  if (b.is_sparse()) return DenseSparseMatMul(a, b);
+  return DenseGemm(a, b);
 }
 
 Matrix TransLeftMatMul(const Matrix& a, const Matrix& b) {
   SPORES_CHECK_EQ(a.rows(), b.rows());
-  int64_t m = a.cols(), n = b.cols(), kk = a.rows();
-  Matrix out = Matrix::Dense(m, n);
-  auto& ov = out.values();
   if (a.is_sparse()) {
-    // out[j, c] += A[r, j] * B[r, c]: stream A's non-zeros row by row.
-    Matrix db = b.is_sparse() ? b.ToDense() : b;
-    const auto& bv = db.values();
-    for (int64_t r = 0; r < kk; ++r) {
-      const double* brow = &bv[static_cast<size_t>(r * n)];
-      for (int64_t p = a.row_ptr()[static_cast<size_t>(r)];
-           p < a.row_ptr()[static_cast<size_t>(r) + 1]; ++p) {
-        int64_t j = a.col_idx()[static_cast<size_t>(p)];
-        double av = a.csr_values()[static_cast<size_t>(p)];
-        double* orow = &ov[static_cast<size_t>(j * n)];
-        for (int64_t c = 0; c < n; ++c) orow[c] += av * brow[c];
-      }
-    }
+    // t(A) in CSR is a counting-sort away (O(nnz)); the product then runs
+    // the row-partitioned sparse matmuls instead of a serial scatter.
+    Matrix at = Transpose(a);
+    Matrix out = MatMul(at, b);
+    RecycleScratch(std::move(at));
     return out;
   }
+  const int64_t m = a.cols(), n = b.cols(), kk = a.rows();
   if (b.is_sparse()) {
-    // out[j, c] += A[r, j] * B[r, c]: stream B's non-zeros.
-    const auto& av = a.values();
-    for (int64_t r = 0; r < kk; ++r) {
-      const double* arow = &av[static_cast<size_t>(r * m)];
-      for (int64_t p = b.row_ptr()[static_cast<size_t>(r)];
-           p < b.row_ptr()[static_cast<size_t>(r) + 1]; ++p) {
-        int64_t c = b.col_idx()[static_cast<size_t>(p)];
-        double bvv = b.csr_values()[static_cast<size_t>(p)];
-        for (int64_t j = 0; j < m; ++j) {
-          ov[static_cast<size_t>(j * n + c)] += arow[j] * bvv;
-        }
-      }
-    }
+    // Dense t(A) is one blocked pass; the dense x sparse kernel then
+    // partitions rows of the output.
+    Matrix at = Transpose(a);
+    Matrix out = DenseSparseMatMul(at, b);
+    RecycleScratch(std::move(at));
     return out;
   }
-  const auto& av = a.values();
-  const auto& bv = b.values();
-  for (int64_t r = 0; r < kk; ++r) {
-    const double* arow = &av[static_cast<size_t>(r * m)];
-    const double* brow = &bv[static_cast<size_t>(r * n)];
-    for (int64_t j = 0; j < m; ++j) {
-      double ajr = arow[j];
-      if (ajr == 0.0) continue;
-      double* orow = &ov[static_cast<size_t>(j * n)];
-      for (int64_t c = 0; c < n; ++c) orow[c] += ajr * brow[c];
-    }
-  }
+  Matrix out = DenseOut(m, n, /*zero=*/true);
+  double* C = out.values().data();
+  const double* A = a.values().data();
+  const double* B = b.values().data();
+  // Partition output rows j; each range streams A and B once and owns its
+  // C rows exclusively.
+  ThreadPool::Current().ParallelFor(
+      m, GrainRows(kk * n, kMinFlopsPerChunk),
+      [&](int64_t j0, int64_t j1) {
+        for (int64_t r = 0; r < kk; ++r) {
+          const double* arow = A + r * m;
+          const double* brow = B + r * n;
+          for (int64_t j = j0; j < j1; ++j) {
+            const double ajr = arow[j];
+            if (ajr == 0.0) continue;
+            Axpy(ajr, brow, C + j * n, n);
+          }
+        }
+      });
   return out;
 }
 
 Matrix TransRightMatMul(const Matrix& a, const Matrix& b) {
   SPORES_CHECK_EQ(a.cols(), b.cols());
-  int64_t m = a.rows(), n = b.rows(), kk = a.cols();
-  Matrix out = Matrix::Dense(m, n);
-  auto& ov = out.values();
+  const int64_t m = a.rows(), n = b.rows(), kk = a.cols();
+  if (a.is_sparse() && b.is_sparse()) {
+    Matrix bt = Transpose(b);
+    Matrix out = SparseSparseMatMul(a, bt);
+    RecycleScratch(std::move(bt));
+    return out;
+  }
   if (b.is_sparse()) {
-    // out[r, i] += A[r, j] * B[i, j]: stream B's non-zeros.
-    Matrix da = a.is_sparse() ? a.ToDense() : a;
-    const auto& av = da.values();
-    for (int64_t i = 0; i < n; ++i) {
-      for (int64_t p = b.row_ptr()[static_cast<size_t>(i)];
-           p < b.row_ptr()[static_cast<size_t>(i) + 1]; ++p) {
-        int64_t j = b.col_idx()[static_cast<size_t>(p)];
-        double bv = b.csr_values()[static_cast<size_t>(p)];
-        for (int64_t r = 0; r < m; ++r) {
-          ov[static_cast<size_t>(r * n + i)] +=
-              av[static_cast<size_t>(r * kk + j)] * bv;
-        }
-      }
-    }
+    // out[r, i] = <A row r, B row i>: B's CSR rows are gathered against the
+    // dense A row — row-partitioned over r (the old kernel scattered into
+    // output columns serially).
+    Matrix da = a;  // a is dense here
+    const double* A = da.values().data();
+    Matrix out = DenseOut(m, n, /*zero=*/false);
+    double* C = out.values().data();
+    const auto& rp = b.row_ptr();
+    const auto& ci = b.col_idx();
+    const auto& vv = b.csr_values();
+    const int64_t flops_per_row = static_cast<int64_t>(vv.size()) + n;
+    ThreadPool::Current().ParallelFor(
+        m, GrainRows(flops_per_row, kMinFlopsPerChunk),
+        [&](int64_t r0, int64_t r1) {
+          for (int64_t r = r0; r < r1; ++r) {
+            const double* arow = A + r * kk;
+            double* crow = C + r * n;
+            for (int64_t i = 0; i < n; ++i) {
+              double acc = 0.0;
+              for (int64_t p = rp[static_cast<size_t>(i)];
+                   p < rp[static_cast<size_t>(i) + 1]; ++p) {
+                acc += arow[ci[static_cast<size_t>(p)]] *
+                       vv[static_cast<size_t>(p)];
+              }
+              crow[i] = acc;
+            }
+          }
+        });
     return out;
   }
   if (a.is_sparse()) {
-    // out[r, i] += A[r, j] * B[i, j]: stream A's non-zeros.
-    const auto& bvv = b.values();
-    for (int64_t r = 0; r < m; ++r) {
-      double* orow = &ov[static_cast<size_t>(r * n)];
-      for (int64_t p = a.row_ptr()[static_cast<size_t>(r)];
-           p < a.row_ptr()[static_cast<size_t>(r) + 1]; ++p) {
-        int64_t j = a.col_idx()[static_cast<size_t>(p)];
-        double av = a.csr_values()[static_cast<size_t>(p)];
-        for (int64_t i = 0; i < n; ++i) {
-          orow[i] += av * bvv[static_cast<size_t>(i * kk + j)];
-        }
-      }
-    }
+    // out[r, i] = <A row r (sparse), B row i (dense)>: gather from B's
+    // contiguous row — row-partitioned over r.
+    Matrix out = DenseOut(m, n, /*zero=*/false);
+    double* C = out.values().data();
+    const double* B = b.values().data();
+    const auto& rp = a.row_ptr();
+    const auto& ci = a.col_idx();
+    const auto& vv = a.csr_values();
+    const int64_t flops_per_row =
+        n * (static_cast<int64_t>(vv.size()) / std::max<int64_t>(1, m) + 1);
+    ThreadPool::Current().ParallelFor(
+        m, GrainRows(flops_per_row, kMinFlopsPerChunk),
+        [&](int64_t r0, int64_t r1) {
+          for (int64_t r = r0; r < r1; ++r) {
+            double* crow = C + r * n;
+            const int64_t pa = rp[static_cast<size_t>(r)];
+            const int64_t ea = rp[static_cast<size_t>(r) + 1];
+            for (int64_t i = 0; i < n; ++i) {
+              const double* brow = B + i * kk;
+              double acc = 0.0;
+              for (int64_t p = pa; p < ea; ++p) {
+                acc += vv[static_cast<size_t>(p)] *
+                       brow[ci[static_cast<size_t>(p)]];
+              }
+              crow[i] = acc;
+            }
+          }
+        });
     return out;
   }
-  const auto& av = a.values();
-  const auto& bvv = b.values();
-  for (int64_t r = 0; r < m; ++r) {
-    const double* arow = &av[static_cast<size_t>(r * kk)];
-    double* orow = &ov[static_cast<size_t>(r * n)];
-    for (int64_t i = 0; i < n; ++i) {
-      const double* brow = &bvv[static_cast<size_t>(i * kk)];
-      double dot = 0.0;
-      for (int64_t j = 0; j < kk; ++j) dot += arow[j] * brow[j];
-      orow[i] = dot;
-    }
-  }
+  Matrix out = DenseOut(m, n, /*zero=*/false);
+  double* C = out.values().data();
+  const double* A = a.values().data();
+  const double* B = b.values().data();
+  ThreadPool::Current().ParallelFor(
+      m, GrainRows(n * kk, kMinFlopsPerChunk), [&](int64_t r0, int64_t r1) {
+        for (int64_t r = r0; r < r1; ++r) {
+          const double* arow = A + r * kk;
+          double* crow = C + r * n;
+          for (int64_t i = 0; i < n; ++i) {
+            crow[i] = Dot(arow, B + i * kk, kk);
+          }
+        }
+      });
   return out;
 }
 
+// ---------------------------------------------------------------------------
+// Transpose / aggregates / scale
+// ---------------------------------------------------------------------------
+
 Matrix Transpose(const Matrix& a) {
   if (a.is_sparse()) {
-    std::vector<std::tuple<int64_t, int64_t, double>> triplets;
-    triplets.reserve(static_cast<size_t>(a.Nnz()));
-    for (int64_t r = 0; r < a.rows(); ++r) {
-      for (int64_t k = a.row_ptr()[static_cast<size_t>(r)];
-           k < a.row_ptr()[static_cast<size_t>(r) + 1]; ++k) {
-        triplets.emplace_back(a.col_idx()[static_cast<size_t>(k)], r,
-                              a.csr_values()[static_cast<size_t>(k)]);
+    // Counting sort on column indices: O(nnz + cols), no triplet sort.
+    // Scattering in row-major source order keeps each output row's columns
+    // sorted.
+    const auto& rp = a.row_ptr();
+    const auto& ci = a.col_idx();
+    const auto& vv = a.csr_values();
+    const int64_t tr = a.cols(), tc = a.rows();
+    std::vector<int64_t> trp = AllocIndices(static_cast<size_t>(tr) + 1,
+                                            /*zero=*/true);
+    std::vector<int64_t> tci = AllocIndices(vv.size());
+    std::vector<double> tvv = AllocDoubles(vv.size(), /*zero=*/false);
+    for (int64_t c : ci) ++trp[static_cast<size_t>(c) + 1];
+    for (size_t i = 1; i < trp.size(); ++i) trp[i] += trp[i - 1];
+    std::vector<int64_t> next(trp.begin(), trp.end() - 1);
+    for (int64_t r = 0; r < tc; ++r) {
+      for (int64_t k = rp[static_cast<size_t>(r)];
+           k < rp[static_cast<size_t>(r) + 1]; ++k) {
+        const int64_t c = ci[static_cast<size_t>(k)];
+        const int64_t pos = next[static_cast<size_t>(c)]++;
+        tci[static_cast<size_t>(pos)] = r;
+        tvv[static_cast<size_t>(pos)] = vv[static_cast<size_t>(k)];
       }
     }
-    return Matrix::FromTriplets(a.cols(), a.rows(), std::move(triplets));
+    return Matrix::FromCsr(tr, tc, std::move(trp), std::move(tci),
+                           std::move(tvv));
   }
-  Matrix out = Matrix::Dense(a.cols(), a.rows());
-  const auto& av = a.values();
-  auto& ov = out.values();
-  for (int64_t r = 0; r < a.rows(); ++r) {
-    for (int64_t c = 0; c < a.cols(); ++c) {
-      ov[static_cast<size_t>(c * a.rows() + r)] =
-          av[static_cast<size_t>(r * a.cols() + c)];
-    }
-  }
+  const int64_t rows = a.rows(), cols = a.cols();
+  Matrix out = DenseOut(cols, rows, /*zero=*/false);
+  double* ov = out.values().data();
+  const double* av = a.values().data();
+  // 32x32 tiles keep both the read and write side within a few cache lines;
+  // parallel over bands of output rows (source columns).
+  constexpr int64_t kTile = 32;
+  ThreadPool::Current().ParallelFor(
+      cols, GrainRows(rows, kMinCellsPerChunk), [&](int64_t c0, int64_t c1) {
+        for (int64_t ct = c0; ct < c1; ct += kTile) {
+          const int64_t ce = std::min(ct + kTile, c1);
+          for (int64_t rt = 0; rt < rows; rt += kTile) {
+            const int64_t re = std::min(rt + kTile, rows);
+            for (int64_t c = ct; c < ce; ++c) {
+              for (int64_t r = rt; r < re; ++r) {
+                ov[c * rows + r] = av[r * cols + c];
+              }
+            }
+          }
+        }
+      });
   return out;
 }
 
 Matrix RowSums(const Matrix& a) {
-  Matrix out = Matrix::Dense(a.rows(), 1);
-  auto& ov = out.values();
+  Matrix out = DenseOut(a.rows(), 1, /*zero=*/false);
+  double* ov = out.values().data();
+  const int64_t cols = a.cols();
   if (a.is_sparse()) {
-    for (int64_t r = 0; r < a.rows(); ++r) {
-      double s = 0.0;
-      for (int64_t k = a.row_ptr()[static_cast<size_t>(r)];
-           k < a.row_ptr()[static_cast<size_t>(r) + 1]; ++k) {
-        s += a.csr_values()[static_cast<size_t>(k)];
-      }
-      ov[static_cast<size_t>(r)] = s;
-    }
+    const auto& rp = a.row_ptr();
+    const auto& vv = a.csr_values();
+    ThreadPool::Current().ParallelFor(
+        a.rows(), GrainRows(cols, kMinCellsPerChunk),
+        [&](int64_t r0, int64_t r1) {
+          for (int64_t r = r0; r < r1; ++r) {
+            double s = 0.0;
+            for (int64_t k = rp[static_cast<size_t>(r)];
+                 k < rp[static_cast<size_t>(r) + 1]; ++k) {
+              s += vv[static_cast<size_t>(k)];
+            }
+            ov[r] = s;
+          }
+        });
     return out;
   }
-  const auto& av = a.values();
-  for (int64_t r = 0; r < a.rows(); ++r) {
-    double s = 0.0;
-    for (int64_t c = 0; c < a.cols(); ++c) {
-      s += av[static_cast<size_t>(r * a.cols() + c)];
-    }
-    ov[static_cast<size_t>(r)] = s;
-  }
+  const double* av = a.values().data();
+  ThreadPool::Current().ParallelFor(
+      a.rows(), GrainRows(cols, kMinCellsPerChunk),
+      [&](int64_t r0, int64_t r1) {
+        for (int64_t r = r0; r < r1; ++r) {
+          const double* arow = av + r * cols;
+          double s = 0.0;
+          for (int64_t c = 0; c < cols; ++c) s += arow[c];
+          ov[r] = s;
+        }
+      });
   return out;
 }
 
+// ColSums and SumAll stay serial in the historical accumulation order: they
+// are single-pass memory-bound, and a fixed association keeps results
+// bitwise independent of thread count (the runtime_test identity checks
+// rely on that).
 Matrix ColSums(const Matrix& a) {
-  Matrix out = Matrix::Dense(1, a.cols());
-  auto& ov = out.values();
+  Matrix out = DenseOut(1, a.cols(), /*zero=*/true);
+  double* ov = out.values().data();
   if (a.is_sparse()) {
+    const auto& rp = a.row_ptr();
+    const auto& ci = a.col_idx();
+    const auto& vv = a.csr_values();
     for (int64_t r = 0; r < a.rows(); ++r) {
-      for (int64_t k = a.row_ptr()[static_cast<size_t>(r)];
-           k < a.row_ptr()[static_cast<size_t>(r) + 1]; ++k) {
-        ov[static_cast<size_t>(a.col_idx()[static_cast<size_t>(k)])] +=
-            a.csr_values()[static_cast<size_t>(k)];
+      for (int64_t k = rp[static_cast<size_t>(r)];
+           k < rp[static_cast<size_t>(r) + 1]; ++k) {
+        ov[ci[static_cast<size_t>(k)]] += vv[static_cast<size_t>(k)];
       }
     }
     return out;
   }
-  const auto& av = a.values();
+  const double* av = a.values().data();
+  const int64_t cols = a.cols();
   for (int64_t r = 0; r < a.rows(); ++r) {
-    for (int64_t c = 0; c < a.cols(); ++c) {
-      ov[static_cast<size_t>(c)] += av[static_cast<size_t>(r * a.cols() + c)];
-    }
+    const double* arow = av + r * cols;
+    for (int64_t c = 0; c < cols; ++c) ov[c] += arow[c];
   }
   return out;
 }
@@ -451,22 +1008,18 @@ double SumAll(const Matrix& a) {
 Matrix Scale(const Matrix& a, double s) {
   if (a.is_sparse()) {
     if (s == 0.0) return Matrix::Sparse(a.rows(), a.cols());
-    Matrix out = a;
-    // Copy CSR and scale values in place via triplets round-trip to keep the
-    // Matrix API surface small.
-    std::vector<std::tuple<int64_t, int64_t, double>> triplets;
-    triplets.reserve(static_cast<size_t>(a.Nnz()));
-    for (int64_t r = 0; r < a.rows(); ++r) {
-      for (int64_t k = a.row_ptr()[static_cast<size_t>(r)];
-           k < a.row_ptr()[static_cast<size_t>(r) + 1]; ++k) {
-        triplets.emplace_back(r, a.col_idx()[static_cast<size_t>(k)],
-                              s * a.csr_values()[static_cast<size_t>(k)]);
-      }
-    }
-    return Matrix::FromTriplets(a.rows(), a.cols(), std::move(triplets));
+    return CsrTransform(a,
+                        [s](double v, int64_t, int64_t) { return s * v; });
   }
-  Matrix out = a;
-  for (double& v : out.values()) v *= s;
+  Matrix out = DenseOut(a.rows(), a.cols(), /*zero=*/false);
+  double* ov = out.values().data();
+  const double* av = a.values().data();
+  ThreadPool::Current().ParallelFor(a.size(), kMinCellsPerChunk,
+                                    [&](int64_t i0, int64_t i1) {
+                                      for (int64_t i = i0; i < i1; ++i) {
+                                        ov[i] = s * av[i];
+                                      }
+                                    });
   return out;
 }
 

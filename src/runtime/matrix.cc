@@ -19,9 +19,34 @@ Matrix Matrix::Dense(int64_t rows, int64_t cols) {
 
 Matrix Matrix::FromValues(int64_t rows, int64_t cols,
                           std::vector<double> values) {
+  SPORES_CHECK_GT(rows, 0);
+  SPORES_CHECK_GT(cols, 0);
   SPORES_CHECK_EQ(static_cast<int64_t>(values.size()), rows * cols);
-  Matrix m = Dense(rows, cols);
+  Matrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.sparse_ = false;
   m.dense_ = std::move(values);
+  return m;
+}
+
+Matrix Matrix::FromCsr(int64_t rows, int64_t cols,
+                       std::vector<int64_t> row_ptr,
+                       std::vector<int64_t> col_idx,
+                       std::vector<double> vals) {
+  SPORES_CHECK_GT(rows, 0);
+  SPORES_CHECK_GT(cols, 0);
+  SPORES_CHECK_EQ(static_cast<int64_t>(row_ptr.size()), rows + 1);
+  SPORES_CHECK_EQ(row_ptr.front(), 0);
+  SPORES_CHECK_EQ(row_ptr.back(), static_cast<int64_t>(col_idx.size()));
+  SPORES_CHECK_EQ(col_idx.size(), vals.size());
+  Matrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.sparse_ = true;
+  m.row_ptr_ = std::move(row_ptr);
+  m.col_idx_ = std::move(col_idx);
+  m.vals_ = std::move(vals);
   return m;
 }
 

@@ -33,6 +33,16 @@ class Matrix {
       int64_t rows, int64_t cols,
       std::vector<std::tuple<int64_t, int64_t, double>> triplets);
 
+  /// CSR from prebuilt arrays (the kernels' no-sort fast path; FromTriplets
+  /// pays an O(nnz log nnz) sort this skips). Contract, checked cheaply:
+  /// row_ptr has rows+1 monotone entries bracketing col_idx/vals; col
+  /// indices must be sorted and unique within each row, and values nonzero
+  /// (callers compact zeros out — every kernel in kernels.cc does).
+  static Matrix FromCsr(int64_t rows, int64_t cols,
+                        std::vector<int64_t> row_ptr,
+                        std::vector<int64_t> col_idx,
+                        std::vector<double> vals);
+
   /// Uniform-random dense entries in [lo, hi).
   static Matrix RandomDense(int64_t rows, int64_t cols, Rng& rng,
                             double lo = 0.0, double hi = 1.0);
@@ -81,6 +91,8 @@ class Matrix {
   std::vector<double> vals_;
 
   friend class MatrixBuilder;
+  /// Strips payload vectors for recycling (buffer_pool.h).
+  friend class BufferPool;
 };
 
 }  // namespace spores

@@ -1,0 +1,91 @@
+// Internal vectorized microkernels for the runtime (kernels.cc, fused.cc).
+// Explicit SIMD is gated twice, per the "optional explicit SIMD behind a
+// feature check" contract: compile-time (x86-64 with GCC/Clang target
+// attributes) and runtime (__builtin_cpu_supports), so the same binary runs
+// on machines without AVX2 — it just takes the scalar loops, which are
+// written restrict/contiguous so the autovectorizer can still help.
+//
+// Determinism: Axpy is element-independent (bitwise identical to scalar).
+// Dot uses fixed 8-wide accumulator association — deterministic for a given
+// binary and input, independent of thread count.
+#pragma once
+
+#include <cstdint>
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define SPORES_SIMD_X86 1
+#include <immintrin.h>
+#endif
+
+namespace spores {
+namespace simd {
+
+#if defined(SPORES_SIMD_X86)
+
+inline bool HasAvx2Fma() {
+  static const bool has =
+      __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+  return has;
+}
+
+__attribute__((target("avx2,fma"))) inline void AxpyAvx2(
+    double a, const double* __restrict x, double* __restrict y, int64_t n) {
+  const __m256d va = _mm256_set1_pd(a);
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256d y0 = _mm256_loadu_pd(y + i);
+    __m256d y1 = _mm256_loadu_pd(y + i + 4);
+    y0 = _mm256_fmadd_pd(va, _mm256_loadu_pd(x + i), y0);
+    y1 = _mm256_fmadd_pd(va, _mm256_loadu_pd(x + i + 4), y1);
+    _mm256_storeu_pd(y + i, y0);
+    _mm256_storeu_pd(y + i + 4, y1);
+  }
+  for (; i < n; ++i) y[i] += a * x[i];
+}
+
+__attribute__((target("avx2,fma"))) inline double DotAvx2(
+    const double* __restrict x, const double* __restrict y, int64_t n) {
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(x + i), _mm256_loadu_pd(y + i),
+                           acc0);
+    acc1 = _mm256_fmadd_pd(_mm256_loadu_pd(x + i + 4),
+                           _mm256_loadu_pd(y + i + 4), acc1);
+  }
+  const __m256d acc = _mm256_add_pd(acc0, acc1);
+  double lanes[4];
+  _mm256_storeu_pd(lanes, acc);
+  double s = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+  for (; i < n; ++i) s += x[i] * y[i];
+  return s;
+}
+
+#endif  // SPORES_SIMD_X86
+
+/// y[0..n) += a * x[0..n).
+inline void Axpy(double a, const double* __restrict x, double* __restrict y,
+                 int64_t n) {
+#if defined(SPORES_SIMD_X86)
+  if (n >= 16 && HasAvx2Fma()) {
+    AxpyAvx2(a, x, y, n);
+    return;
+  }
+#endif
+  for (int64_t i = 0; i < n; ++i) y[i] += a * x[i];
+}
+
+/// sum_i x[i] * y[i].
+inline double Dot(const double* __restrict x, const double* __restrict y,
+                  int64_t n) {
+#if defined(SPORES_SIMD_X86)
+  if (n >= 16 && HasAvx2Fma()) return DotAvx2(x, y, n);
+#endif
+  double s = 0.0;
+  for (int64_t i = 0; i < n; ++i) s += x[i] * y[i];
+  return s;
+}
+
+}  // namespace simd
+}  // namespace spores

@@ -1,0 +1,146 @@
+#include "src/util/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace spores {
+
+namespace {
+
+/// Set while a pool worker runs task ranges: a kernel called from inside a
+/// worker (nested parallelism) must run serially, not wait on the pool it
+/// is currently a worker of.
+thread_local bool tls_in_worker = false;
+
+/// Innermost ScopedPool override for this thread; null = use Global().
+thread_local ThreadPool* tls_override = nullptr;
+
+int ResolveThreads(int threads) {
+  if (threads > 0) return threads;
+  if (const char* env = std::getenv("SPORES_NUM_THREADS")) {
+    int parsed = std::atoi(env);
+    if (parsed > 0) return parsed;
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(int threads) : num_threads_(ResolveThreads(threads)) {
+  workers_.reserve(static_cast<size_t>(num_threads_ - 1));
+  for (int i = 1; i < num_threads_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::RunRanges(Task& task) {
+  const size_t count = task.ranges.size();
+  while (true) {
+    size_t i = task.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= count) break;
+    (*task.fn)(task.ranges[i].first, task.ranges[i].second);
+    if (task.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lk(task.mu);
+      task.done = true;
+      task.done_cv.notify_all();
+    }
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen = 0;
+  while (true) {
+    std::shared_ptr<Task> task;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait(lk, [&] { return shutdown_ || epoch_ != seen; });
+      if (shutdown_) return;
+      seen = epoch_;
+      task = task_;
+    }
+    if (!task) continue;
+    tls_in_worker = true;
+    RunRanges(*task);
+    tls_in_worker = false;
+  }
+}
+
+void ThreadPool::ParallelFor(
+    int64_t n, int64_t grain,
+    const std::function<void(int64_t, int64_t)>& fn) {
+  if (n <= 0) return;
+  if (grain < 1) grain = 1;
+  if (num_threads_ == 1 || n < 2 * grain || tls_in_worker) {
+    fn(0, n);
+    return;
+  }
+  // Concurrent caller: the pool is busy with someone else's ParallelFor.
+  // Run serial on this thread rather than queueing (see header).
+  std::unique_lock<std::mutex> run_lk(run_mu_, std::try_to_lock);
+  if (!run_lk.owns_lock()) {
+    fn(0, n);
+    return;
+  }
+
+  int64_t chunks = std::min<int64_t>(num_threads_, n / grain);
+  if (chunks < 2) {
+    fn(0, n);
+    return;
+  }
+  auto task = std::make_shared<Task>();
+  task->fn = &fn;
+  task->ranges.reserve(static_cast<size_t>(chunks));
+  int64_t base = n / chunks, rem = n % chunks, begin = 0;
+  for (int64_t c = 0; c < chunks; ++c) {
+    int64_t len = base + (c < rem ? 1 : 0);
+    task->ranges.emplace_back(begin, begin + len);
+    begin += len;
+  }
+  task->remaining.store(task->ranges.size(), std::memory_order_relaxed);
+
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    task_ = task;
+    ++epoch_;
+  }
+  cv_.notify_all();
+
+  // The caller races the workers for ranges, then waits for stragglers.
+  RunRanges(*task);
+  {
+    std::unique_lock<std::mutex> lk(task->mu);
+    task->done_cv.wait(lk, [&] { return task->done; });
+  }
+  // Detach the finished task so late-waking workers see nothing to do.
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (task_ == task) task_.reset();
+  }
+}
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool pool(0);
+  return pool;
+}
+
+ThreadPool& ThreadPool::Current() {
+  return tls_override ? *tls_override : Global();
+}
+
+ThreadPool::ScopedPool::ScopedPool(ThreadPool* pool) : prev_(tls_override) {
+  tls_override = pool;
+}
+
+ThreadPool::ScopedPool::~ScopedPool() { tls_override = prev_; }
+
+}  // namespace spores

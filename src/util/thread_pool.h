@@ -1,0 +1,111 @@
+// Shared thread pool with a static-partition ParallelFor: the runtime
+// kernels' parallelism substrate. Design constraints (ROADMAP: "When More
+// Cores Hurts" warns naive parallelization collapses):
+//  * one long-lived pool, reused across every kernel call — never a
+//    per-call std::thread spawn (thread creation costs ~50µs, a mid-size
+//    kernel runs in less);
+//  * static contiguous partitioning, no work stealing: kernel iterations
+//    are uniform (rows of a matmul), so stealing buys nothing and costs
+//    cache affinity + synchronization;
+//  * serial fallback below a grain threshold, when the pool has one
+//    thread, and for nested calls — so 1-core CI numbers are honest
+//    (serial code path, not parallel overhead on one core) and worker
+//    threads never deadlock waiting on themselves;
+//  * concurrent ParallelFor callers (e.g. several serving shards executing
+//    plans at once) do not queue behind each other: a caller that cannot
+//    take the pool immediately runs its range serially on its own thread.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace spores {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads - 1` workers (the caller participates in every
+  /// ParallelFor). `threads <= 0` sizes from SPORES_NUM_THREADS, falling
+  /// back to std::thread::hardware_concurrency().
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  /// Runs fn(begin, end) over a partition of [0, n) into at most
+  /// num_threads() contiguous ranges of roughly n / num_threads()
+  /// iterations each, never smaller than `grain`. The calling thread
+  /// executes ranges too and returns only when every range has run.
+  /// Falls back to a single fn(0, n) on the calling thread when:
+  ///  * n < 2 * grain (parallelism would not pay for its synchronization),
+  ///  * the pool has a single thread,
+  ///  * the caller is itself a pool worker (no nested parallelism), or
+  ///  * another ParallelFor currently owns the pool (run serial instead of
+  ///    queueing — the caller IS a core; letting it idle wastes it).
+  /// fn must not throw.
+  void ParallelFor(int64_t n, int64_t grain,
+                   const std::function<void(int64_t, int64_t)>& fn);
+
+  /// Process-wide pool, created on first use. Sized from SPORES_NUM_THREADS
+  /// when set, else hardware_concurrency.
+  static ThreadPool& Global();
+
+  /// The pool kernels use: the innermost ScopedPool override on this
+  /// thread, else Global().
+  static ThreadPool& Current();
+
+  /// RAII kernel-pool override for the current thread (tests pin kernels
+  /// to an explicit pool size regardless of hardware; benches compare
+  /// 1-thread vs N-thread executions of the same binary).
+  class ScopedPool {
+   public:
+    explicit ScopedPool(ThreadPool* pool);
+    ~ScopedPool();
+    ScopedPool(const ScopedPool&) = delete;
+    ScopedPool& operator=(const ScopedPool&) = delete;
+
+   private:
+    ThreadPool* prev_;
+  };
+
+ private:
+  /// One ParallelFor invocation: the shared range list plus completion
+  /// accounting. Workers hold a shared_ptr so a task outlives ParallelFor
+  /// returning on the caller (a late worker may still be draining).
+  struct Task {
+    const std::function<void(int64_t, int64_t)>* fn = nullptr;
+    std::vector<std::pair<int64_t, int64_t>> ranges;
+    std::atomic<size_t> next{0};       ///< next unclaimed range index
+    std::atomic<size_t> remaining{0};  ///< ranges not yet finished
+    std::mutex mu;
+    std::condition_variable done_cv;
+    bool done = false;
+  };
+
+  void WorkerLoop();
+  static void RunRanges(Task& task);
+
+  int num_threads_ = 1;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;  ///< guards task_/epoch_/shutdown_ handoff to workers
+  std::condition_variable cv_;
+  std::shared_ptr<Task> task_;
+  uint64_t epoch_ = 0;
+  bool shutdown_ = false;
+
+  /// Held for the duration of one ParallelFor: concurrent callers that
+  /// fail try_lock run serially instead of blocking.
+  std::mutex run_mu_;
+};
+
+}  // namespace spores

@@ -2,12 +2,16 @@
 // broadcast and sparse fast paths), fused operators, and the DAG executor.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <vector>
 
 #include "src/ir/parser.h"
+#include "src/runtime/buffer_pool.h"
 #include "src/runtime/executor.h"
 #include "src/runtime/fused.h"
 #include "src/runtime/kernels.h"
+#include "src/util/thread_pool.h"
 
 namespace spores {
 namespace {
@@ -286,9 +290,9 @@ TEST(Executor, MatMulChainUsesOptimalOrder) {
   // Peak cells must be far below the 500x300 dense intermediate.
   EXPECT_LT(stats.peak_cells_allocated, 30000.0);
   // And numerics must match the naive order.
-  Matrix naive = MatMul(MatMul(b.Get(Symbol::Intern("U")),
-                               Transpose(b.Get(Symbol::Intern("V")))),
-                        b.Get(Symbol::Intern("w")));
+  Matrix naive = MatMul(MatMul(*b.Find(Symbol::Intern("U")),
+                               Transpose(*b.Find(Symbol::Intern("V")))),
+                        *b.Find(Symbol::Intern("w")));
   EXPECT_LT(Matrix::MaxAbsDiff(r.value(), naive), 1e-9);
 }
 
@@ -325,6 +329,334 @@ INSTANTIATE_TEST_SUITE_P(Exprs, ExecutorParsedSweep,
                                            "colSums(X) %*% t(Y) %*% X",
                                            "exp(X * 0.1)", "sprop(X)",
                                            "-X + Y", "(X + Y) ^ 2"));
+
+// ---- Randomized kernel equivalence (the PR-7 kernel overhaul) ----
+// Every optimized kernel path — blocked/packed dense GEMM, CSR merges,
+// nnz-only elementwise, fused transpose matmuls — must agree with a naive
+// triple-loop / per-cell reference across representations and sparsities.
+
+Matrix NaiveMatMul(const Matrix& a, const Matrix& b) {
+  Matrix r = Matrix::Dense(a.rows(), b.cols());
+  for (int64_t i = 0; i < a.rows(); ++i)
+    for (int64_t k = 0; k < a.cols(); ++k) {
+      double av = a.At(i, k);
+      if (av == 0) continue;
+      for (int64_t j = 0; j < b.cols(); ++j)
+        r.values()[i * b.cols() + j] += av * b.At(k, j);
+    }
+  return r;
+}
+
+struct KernelCase {
+  int64_t m, k, n;
+  double sa, sb;  // sparsity of a and b (1.0 = dense representation)
+};
+
+class KernelEquivalence : public ::testing::TestWithParam<KernelCase> {};
+
+TEST_P(KernelEquivalence, MatMulFamilyMatchesNaive) {
+  KernelCase c = GetParam();
+  Rng rng(41);
+  Matrix a = c.sa < 1.0 ? Matrix::RandomSparse(c.m, c.k, c.sa, rng, -1, 1)
+                        : Matrix::RandomDense(c.m, c.k, rng, -1, 1);
+  Matrix b = c.sb < 1.0 ? Matrix::RandomSparse(c.k, c.n, c.sb, rng, -1, 1)
+                        : Matrix::RandomDense(c.k, c.n, rng, -1, 1);
+  double tol = 1e-10 * static_cast<double>(c.k);
+  EXPECT_LT(Matrix::MaxAbsDiff(MatMul(a, b), NaiveMatMul(a, b)), tol);
+  // t(at) %*% b via the fused kernel vs the same product materialized
+  // (at is k x m, so t(at) %*% b == a %*% b).
+  Matrix at = Transpose(a);
+  EXPECT_LT(Matrix::MaxAbsDiff(TransLeftMatMul(at, b),
+                               NaiveMatMul(a, b)), tol);
+  // a %*% t(b) likewise (shapes: (m x k) x t(n x k) needs b as n x k).
+  Matrix bt = Transpose(b);  // n x k
+  EXPECT_LT(Matrix::MaxAbsDiff(TransRightMatMul(a, bt),
+                               NaiveMatMul(a, b)), tol);
+}
+
+TEST_P(KernelEquivalence, ElementwiseMatchesPerCell) {
+  KernelCase c = GetParam();
+  Rng rng(43);
+  Matrix a = c.sa < 1.0 ? Matrix::RandomSparse(c.m, c.k, c.sa, rng, -1, 1)
+                        : Matrix::RandomDense(c.m, c.k, rng, -1, 1);
+  Matrix b = c.sb < 1.0 ? Matrix::RandomSparse(c.m, c.k, c.sb, rng, -1, 1)
+                        : Matrix::RandomDense(c.m, c.k, rng, -1, 1);
+  for (auto op : {Add, Sub, Mul}) {
+    Matrix got = op(a, b);
+    for (int64_t i = 0; i < c.m; ++i)
+      for (int64_t j = 0; j < c.k; ++j) {
+        double want = op == Add   ? a.At(i, j) + b.At(i, j)
+                      : op == Sub ? a.At(i, j) - b.At(i, j)
+                                  : a.At(i, j) * b.At(i, j);
+        ASSERT_NEAR(got.At(i, j), want, 1e-12) << i << "," << j;
+      }
+  }
+  EXPECT_NEAR(SumAll(a), SumAll(a.is_sparse() ? a.ToDense() : a.ToSparse()),
+              1e-9);
+  EXPECT_LT(Matrix::MaxAbsDiff(Transpose(Transpose(a)), a), 0.0 + 1e-15);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapesAndSparsities, KernelEquivalence,
+    ::testing::Values(KernelCase{3, 5, 4, 1.0, 1.0},      // tiny dense
+                      KernelCase{64, 80, 48, 1.0, 1.0},   // packed-panel GEMM
+                      KernelCase{40, 64, 32, 0.1, 1.0},   // CSR x dense
+                      KernelCase{40, 64, 32, 1.0, 0.1},   // dense x CSR
+                      KernelCase{50, 60, 40, 0.1, 0.2},   // SpGEMM
+                      KernelCase{30, 30, 30, 0.9, 0.9},   // near-dense CSR
+                      KernelCase{1, 100, 1, 0.3, 0.3},    // vector edge
+                      KernelCase{128, 1, 128, 1.0, 1.0}));  // outer product
+
+// ---- Serial vs parallel identity ----
+// The kernels promise thread-count-independent results (disjoint row
+// partitions; fixed-association SIMD dot). Identical means bitwise: the
+// diff must be exactly zero, not merely small.
+
+TEST(ThreadPoolKernels, ParallelMatchesSerialBitwise) {
+  Rng rng(44);
+  Matrix a = Matrix::RandomDense(150, 90, rng, -1, 1);
+  Matrix b = Matrix::RandomDense(90, 70, rng, -1, 1);
+  Matrix sa = Matrix::RandomSparse(150, 90, 0.1, rng, -1, 1);
+  Matrix sb = Matrix::RandomSparse(90, 70, 0.15, rng, -1, 1);
+
+  ThreadPool serial(1), wide(4);
+  auto run_all = [&](ThreadPool* pool) {
+    ThreadPool::ScopedPool use(pool);
+    std::vector<Matrix> out;
+    out.push_back(MatMul(a, b));
+    out.push_back(MatMul(sa, b));
+    out.push_back(MatMul(a, sb));
+    out.push_back(MatMul(sa, sb));
+    out.push_back(TransLeftMatMul(a, a));
+    out.push_back(TransRightMatMul(b, b));
+    out.push_back(Add(a, Scale(a, 2.0)));
+    out.push_back(Add(sa, a));
+    out.push_back(Transpose(a));
+    out.push_back(RowSums(a));
+    out.push_back(ColSums(sa));
+    return out;
+  };
+  std::vector<Matrix> s = run_all(&serial), p = run_all(&wide);
+  ASSERT_EQ(s.size(), p.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    EXPECT_EQ(Matrix::MaxAbsDiff(s[i], p[i]), 0.0) << "kernel #" << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(1000, 1, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (int i = 0; i < 1000; ++i) ASSERT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPoolTest, SmallRangeRunsSerially) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.ParallelFor(10, 100, [&](int64_t begin, int64_t end) {
+    calls.fetch_add(1);
+    EXPECT_EQ(begin, 0);
+    EXPECT_EQ(end, 10);
+  });
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ThreadPoolTest, NestedParallelForFallsBackSerially) {
+  ThreadPool pool(4);
+  std::atomic<int> inner_total{0};
+  pool.ParallelFor(8, 1, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      pool.ParallelFor(5, 1, [&](int64_t b2, int64_t e2) {
+        inner_total.fetch_add(static_cast<int>(e2 - b2));
+      });
+    }
+  });
+  EXPECT_EQ(inner_total.load(), 40);
+}
+
+// ---- BufferPool accounting ----
+
+TEST(BufferPoolTest, ReusesReleasedBuffers) {
+  BufferPool pool;
+  std::vector<double> v = pool.AcquireDoubles(1000);
+  EXPECT_EQ(v.size(), 1000u);
+  EXPECT_EQ(pool.stats().fresh_allocs, 1u);
+  pool.Release(std::move(v));
+  EXPECT_EQ(pool.stats().released, 1u);
+  // Same size class (and a slightly smaller request) must hit the freelist.
+  std::vector<double> w = pool.AcquireDoubles(900);
+  EXPECT_EQ(w.size(), 900u);
+  EXPECT_EQ(pool.stats().reuse_hits, 1u);
+  EXPECT_EQ(pool.stats().fresh_allocs, 1u);
+}
+
+TEST(BufferPoolTest, ZeroRequestedBuffersAreZero) {
+  BufferPool pool;
+  std::vector<double> v = pool.AcquireDoubles(64);
+  for (auto& x : v) x = 7.0;  // dirty it
+  pool.Release(std::move(v));
+  std::vector<double> z = pool.AcquireDoubles(64, /*zero=*/true);
+  for (double x : z) ASSERT_EQ(x, 0.0);
+}
+
+TEST(BufferPoolTest, ByteCapDropsInsteadOfGrowing) {
+  BufferPool pool(/*max_held_bytes=*/1024);
+  std::vector<double> big = pool.AcquireDoubles(4096);  // 32 KB > cap
+  pool.Release(std::move(big));
+  EXPECT_EQ(pool.stats().dropped, 1u);
+  EXPECT_EQ(pool.stats().bytes_held, 0u);
+}
+
+TEST(BufferPoolTest, RecycleStripsMatrixPayload) {
+  BufferPool pool;
+  Rng rng(45);
+  pool.Recycle(Matrix::RandomDense(20, 20, rng));
+  EXPECT_GT(pool.stats().bytes_held, 0u);
+  // The 400-double payload parks in the [256, 512) capacity class; a
+  // request at that class's floor must reuse it.
+  std::vector<double> v = pool.AcquireDoubles(256);
+  EXPECT_EQ(pool.stats().reuse_hits, 1u);
+}
+
+TEST(BufferPoolTest, ScopedUseInstallsAndRestores) {
+  EXPECT_EQ(BufferPool::Current(), nullptr);
+  BufferPool pool;
+  {
+    BufferPool::ScopedUse use(&pool);
+    EXPECT_EQ(BufferPool::Current(), &pool);
+  }
+  EXPECT_EQ(BufferPool::Current(), nullptr);
+}
+
+// ---- Executor: arena reuse, eager release, profiling, error paths ----
+
+TEST(Executor, ArenaReusesBuffersAcrossRuns) {
+  Rng rng(46);
+  Bindings b;
+  b.Bind("X", Matrix::RandomDense(60, 60, rng, -1, 1));
+  auto e = ParseExpr("t(X) %*% X + X * 2");
+  ASSERT_TRUE(e.ok());
+  ExecutorArena arena;
+  auto first = Execute(e.value(), b, &arena);
+  ASSERT_TRUE(first.ok());
+  size_t hits_after_first = arena.pool_stats().reuse_hits;
+  auto second = Execute(e.value(), b, &arena);
+  ASSERT_TRUE(second.ok());
+  // The second DAG's intermediates come from the first run's recycled
+  // buffers.
+  EXPECT_GT(arena.pool_stats().reuse_hits, hits_after_first);
+  EXPECT_EQ(Matrix::MaxAbsDiff(first.value(), second.value()), 0.0);
+}
+
+TEST(Executor, EagerlyReleasesDeadIntermediates) {
+  Rng rng(47);
+  Bindings b;
+  b.Bind("X", Matrix::RandomDense(40, 40, rng, -1, 1));
+  // A chain of intermediates, each dead after its parent consumes it.
+  auto e = ParseExpr("sum(exp((X + 1) * 0.01) - X)");
+  ASSERT_TRUE(e.ok());
+  ExecStats stats;
+  auto r = Execute(e.value(), b, &stats);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(stats.eager_releases, 0u);
+}
+
+TEST(Executor, ProfileRecordsPerOpTimeAndNnz) {
+  Rng rng(48);
+  Bindings b;
+  b.Bind("S", Matrix::RandomSparse(50, 50, 0.1, rng, 1, 2));
+  auto e = ParseExpr("sqrt(S) * 3");
+  ASSERT_TRUE(e.ok());
+  ExecStats stats;
+  auto r = Execute(e.value(), b, &stats);
+  ASSERT_TRUE(r.ok());
+  ASSERT_FALSE(stats.profile.empty());
+  bool saw_sparse_nnz = false;
+  for (const OpProfile& p : stats.profile) {
+    EXPECT_GE(p.seconds, 0.0);
+    EXPECT_GT(p.rows, 0);
+    if (p.out_nnz >= 0) saw_sparse_nnz = true;
+  }
+  EXPECT_TRUE(saw_sparse_nnz);  // sparse outputs report observed nnz
+}
+
+TEST(Executor, ShapeMismatchMidDagIsInvalidArgument) {
+  Rng rng(49);
+  Bindings b;
+  b.Bind("X", Matrix::RandomDense(4, 5, rng));
+  b.Bind("Y", Matrix::RandomDense(6, 5, rng));
+  // The mismatch is inside the DAG (matmul inner dims), not at a leaf.
+  auto r = Execute(Expr::Sum(Expr::MatMul(Expr::Var("X"), Expr::Var("Y"))),
+                   b);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  // Incompatible elementwise shapes likewise.
+  auto r2 = Execute(Expr::Plus(Expr::Var("X"), Expr::Var("Y")), b);
+  ASSERT_FALSE(r2.ok());
+  EXPECT_EQ(r2.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Executor, UnknownUnaryIsUnsupported) {
+  Bindings b;
+  b.Bind("X", SmallDense());
+  auto r = Execute(Expr::Unary("frobnicate", Expr::Var("X")), b);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnsupported);
+}
+
+TEST(Executor, AnalyzeFailsBeforeAnyKernelRuns) {
+  Rng rng(50);
+  Bindings b;
+  b.Bind("X", Matrix::RandomDense(5, 5, rng));
+  // The unbound leaf is deep in the DAG; no op may execute before the
+  // error surfaces.
+  ExprPtr e = Expr::Sum(Expr::MatMul(
+      Expr::Plus(Expr::Var("X"), Expr::Var("X")), Expr::Var("missing")));
+  ExecStats stats;
+  auto r = Execute(e, b, &stats);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(stats.ops_executed, 0u);
+  EXPECT_TRUE(stats.profile.empty());
+}
+
+TEST(Fused, MMChainTMatchesExplicitTransposes) {
+  Rng rng(51);
+  // Chain: t(A) %*% B %*% t(C) with awkward dims so order matters.
+  Matrix a = Matrix::RandomDense(30, 6, rng, -1, 1);   // t(a): 6 x 30
+  Matrix b = Matrix::RandomDense(30, 25, rng, -1, 1);  // 30 x 25
+  Matrix c = Matrix::RandomDense(8, 25, rng, -1, 1);   // t(c): 25 x 8
+  Matrix naive = MatMul(MatMul(Transpose(a), b), Transpose(c));
+  Matrix fused = MMChainT({&a, &b, &c}, {1, 0, 1});
+  EXPECT_LT(Matrix::MaxAbsDiff(fused, naive), 1e-9);
+}
+
+TEST(Executor, TransposedChainAvoidsMaterializingTransposes)  {
+  Rng rng(52);
+  Bindings b;
+  b.Bind("U", Matrix::RandomDense(400, 4, rng));
+  b.Bind("V", Matrix::RandomDense(400, 300, rng));
+  // t(U) %*% V: the fused kernel reads U's columns in place; a
+  // materialized t(U) would add a 4x400 copy but, more tellingly, the
+  // plan's peak stays near the 4x300 output.
+  auto e = ParseExpr("t(U) %*% V %*% t(V) %*% U");
+  ASSERT_TRUE(e.ok());
+  ExecStats stats;
+  auto r = Execute(e.value(), b, &stats);
+  ASSERT_TRUE(r.ok());
+  Matrix u = *b.Find(Symbol::Intern("U"));
+  Matrix v = *b.Find(Symbol::Intern("V"));
+  Matrix naive = MatMul(MatMul(MatMul(Transpose(u), v), Transpose(v)), u);
+  EXPECT_LT(Matrix::MaxAbsDiff(r.value(), naive), 1e-7);
+  // peak_cells_allocated sums every node result, and each of the four
+  // leaf occurrences counts its input: 2*(1600 + 120000) + the 4x4 root
+  // = 243232 cells. Anything above that means a transpose was
+  // materialized as its own node (+120000) or the chain order went bad
+  // (+160000 for a 400x400 product) — the fused kernel must add nothing.
+  EXPECT_LT(stats.peak_cells_allocated, 244000.0);
+}
 
 }  // namespace
 }  // namespace spores
