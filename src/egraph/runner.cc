@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "src/util/check.h"
+#include "src/util/fault_injection.h"
 
 namespace spores {
 
@@ -89,6 +90,11 @@ RunnerReport Runner::Run() {
   // convergence.
   bool verify_pass = false;
   for (size_t iter = 0; iter < config_.max_iterations; ++iter) {
+    // Chaos site: a thrown fault here leaves the e-graph mid-churn, which
+    // is exactly the state shard supervision must recover from (the
+    // session is poisoned and rebuilt); a delay models a stuck iteration
+    // the watchdog has to notice.
+    fault::Point("saturate");
     report.iterations = iter + 1;
     uint64_t version_before = egraph_->Version();
     bool restricted = false;

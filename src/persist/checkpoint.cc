@@ -2,6 +2,8 @@
 
 #include <thread>
 
+#include "src/util/fault_injection.h"
+
 namespace spores {
 
 CheckpointManager::CheckpointManager(CheckpointConfig config,
@@ -58,9 +60,19 @@ void CheckpointManager::JournalInsert(size_t shard, const PlanCacheKey& key,
       std::fwrite(hdr.data(), 1, hdr.size(), j.file);
     }
   }
+  // Chaos site, contained in full: journaling is best-effort, so an
+  // injected throw/bad_alloc/status drops the record and serving
+  // continues; a torn kind persists only a record prefix — the genuine
+  // crash-mid-append tail replay has to tolerate.
+  bool torn = false;
+  try {
+    if (!fault::PointStatus("journal_write", &torn).ok()) return;
+  } catch (const std::exception&) {
+    return;
+  }
   const std::string rec =
       EncodeJournalRecord(EncodeJournalInsertPayload(key, plan));
-  std::fwrite(rec.data(), 1, rec.size(), j.file);
+  std::fwrite(rec.data(), 1, torn ? rec.size() / 2 : rec.size(), j.file);
   // Flush per record: a torn tail is recoverable, a buffered-and-lost batch
   // is simply gone.
   std::fflush(j.file);
@@ -107,19 +119,34 @@ Status CheckpointManager::CheckpointAll(const CaptureFn& capture,
   for (size_t shard = 0; shard < n; ++shard) {
     threads.emplace_back([this, &capture, &results, shard,
                           now_unix_seconds] {
-      std::optional<ShardSnapshotData> data = capture(shard);
-      if (!data) return;  // skipped: keep journals, old snapshot stays valid
-      SnapshotHeader header;
-      header.rule_set_hash = identity_.rule_set_hash;
-      header.cost_model_hash = identity_.cost_model_hash;
-      header.shard_count = identity_.shard_count;
-      header.shard_index = static_cast<uint32_t>(shard);
-      header.created_unix_seconds = now_unix_seconds;
-      PlanStoreWriter writer(header);
-      results[shard] = writer.Write(*data, SnapshotPath(shard));
-      if (results[shard].ok()) {
-        // The new snapshot covers everything up to the rotation point.
-        std::remove(RotatedJournalPath(shard).c_str());
+      // Full exception containment: this lambda is a thread top-level, so
+      // anything escaping (bad_alloc mid-serialize, an injected fault)
+      // would std::terminate the process. Convert to Status and make sure
+      // a partially written snapshot tmp never outlives the failure.
+      try {
+        std::optional<ShardSnapshotData> data = capture(shard);
+        if (!data) return;  // skipped: keep journals, old snapshot valid
+        SnapshotHeader header;
+        header.rule_set_hash = identity_.rule_set_hash;
+        header.cost_model_hash = identity_.cost_model_hash;
+        header.shard_count = identity_.shard_count;
+        header.shard_index = static_cast<uint32_t>(shard);
+        header.created_unix_seconds = now_unix_seconds;
+        PlanStoreWriter writer(header);
+        results[shard] = writer.Write(*data, SnapshotPath(shard));
+        if (results[shard].ok()) {
+          // The new snapshot covers everything up to the rotation point.
+          std::remove(RotatedJournalPath(shard).c_str());
+        }
+      } catch (const std::bad_alloc&) {
+        std::remove((SnapshotPath(shard) + ".tmp").c_str());
+        results[shard] = Status::ResourceExhausted(
+            "checkpoint shard " + std::to_string(shard) +
+            ": allocation failed mid-serialize");
+      } catch (const std::exception& e) {
+        std::remove((SnapshotPath(shard) + ".tmp").c_str());
+        results[shard] = Status::Internal(
+            "checkpoint shard " + std::to_string(shard) + ": " + e.what());
       }
     });
   }

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "src/util/crc32.h"
+#include "src/util/fault_injection.h"
 
 namespace spores {
 
@@ -279,14 +280,30 @@ StatusOr<std::string> ReadFileToString(const std::string& path) {
 
 Status AtomicWriteFile(const std::string& path, std::string_view data) {
   const std::string tmp = path + ".tmp";
+  // Chaos site. Status-errors fire before the tmp exists; an injected torn
+  // write persists only a prefix of the data (the crash-mid-write case)
+  // and must still clean up the tmp — that is the contract the
+  // checkpoint regression test pins. Thrown kinds are contained here:
+  // this is a Status boundary, callers must never see an exception.
+  bool torn = false;
+  Status injected;
+  try {
+    injected = fault::PointStatus("snapshot_write", &torn);
+  } catch (const std::exception& e) {
+    return Status::Internal(std::string("snapshot write failed: ") +
+                            e.what());
+  }
+  if (!injected.ok()) return injected;
   std::FILE* f = std::fopen(tmp.c_str(), "wb");
   if (!f) return Status::Internal("cannot create " + tmp);
-  const size_t written = std::fwrite(data.data(), 1, data.size(), f);
+  const size_t to_write = torn ? data.size() / 2 : data.size();
+  const size_t written = std::fwrite(data.data(), 1, to_write, f);
   const bool flush_err = std::fflush(f) != 0;
   std::fclose(f);
-  if (written != data.size() || flush_err) {
+  if (torn || written != to_write || flush_err) {
     std::remove(tmp.c_str());
-    return Status::Internal("short write to " + tmp);
+    return torn ? Status::Internal("injected torn write to " + tmp)
+                : Status::Internal("short write to " + tmp);
   }
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     std::remove(tmp.c_str());

@@ -29,6 +29,10 @@ template <typename T>
 std::vector<T> BufferPool::AcquireImpl(
     std::vector<std::vector<T>> (&classes)[kNumClasses], size_t n,
     bool zero) {
+  if (live_bytes_cap_ != 0 &&
+      stats_.live_bytes + n * sizeof(T) > live_bytes_cap_) {
+    throw PoolMemoryLimitError();
+  }
   // Search the exact class and one above: anything larger wastes too much
   // capacity on a small request.
   size_t first = ClassForRequest(n);
@@ -41,14 +45,26 @@ std::vector<T> BufferPool::AcquireImpl(
     ++stats_.reuse_hits;
     v.resize(n);
     if (zero) std::fill(v.begin(), v.end(), T{});
+    NoteAcquired(v.capacity() * sizeof(T));
     return v;
   }
   ++stats_.fresh_allocs;
-  if (zero) return std::vector<T>(n, T{});
   std::vector<T> v;
-  v.reserve(std::max<size_t>(n, size_t{1} << first));
-  v.resize(n);
+  if (zero) {
+    v.assign(n, T{});
+  } else {
+    v.reserve(std::max<size_t>(n, size_t{1} << first));
+    v.resize(n);
+  }
+  NoteAcquired(v.capacity() * sizeof(T));
   return v;
+}
+
+void BufferPool::NoteAcquired(size_t bytes) {
+  stats_.live_bytes += bytes;
+  if (stats_.live_bytes > stats_.live_high_water) {
+    stats_.live_high_water = stats_.live_bytes;
+  }
 }
 
 template <typename T>
@@ -56,6 +72,7 @@ void BufferPool::ReleaseImpl(
     std::vector<std::vector<T>> (&classes)[kNumClasses], std::vector<T>&& v) {
   size_t bytes = v.capacity() * sizeof(T);
   if (bytes == 0) return;
+  stats_.live_bytes -= std::min(bytes, stats_.live_bytes);
   if (stats_.bytes_held + bytes > max_held_bytes_) {
     ++stats_.dropped;
     return;  // v frees on scope exit

@@ -14,11 +14,23 @@
 #pragma once
 
 #include <cstdint>
+#include <new>
 #include <vector>
 
 #include "src/runtime/matrix.h"
 
 namespace spores {
+
+/// Thrown when an execution's outstanding pooled bytes would exceed the
+/// cap set by set_live_bytes_cap(). Derives from std::bad_alloc so the
+/// executor's allocation containment maps it to kResourceExhausted like
+/// any other allocation failure.
+class PoolMemoryLimitError : public std::bad_alloc {
+ public:
+  const char* what() const noexcept override {
+    return "BufferPool live-bytes cap exceeded";
+  }
+};
 
 class BufferPool {
  public:
@@ -28,6 +40,8 @@ class BufferPool {
     size_t released = 0;      ///< buffers returned to the pool
     size_t dropped = 0;       ///< returns discarded by the byte cap
     size_t bytes_held = 0;    ///< bytes currently parked in freelists
+    size_t live_bytes = 0;       ///< bytes handed out, not yet returned
+    size_t live_high_water = 0;  ///< max live_bytes observed
   };
 
   /// `max_held_bytes` caps parked memory; returns past the cap are freed
@@ -50,6 +64,19 @@ class BufferPool {
   void Clear();
 
   const Stats& stats() const { return stats_; }
+
+  /// Memory-pressure degradation knob: when nonzero, an Acquire that would
+  /// push outstanding (handed-out, unreturned) bytes past the cap throws
+  /// PoolMemoryLimitError instead of allocating. 0 (default) = unlimited.
+  /// Accounting is best-effort: vectors released to the pool that were
+  /// never acquired from it subtract saturating at zero.
+  void set_live_bytes_cap(size_t cap) { live_bytes_cap_ = cap; }
+  size_t live_bytes_cap() const { return live_bytes_cap_; }
+
+  /// Restarts live-bytes accounting. The executor calls this at the start
+  /// of every evaluation attempt: buffers destroyed on exception unwind
+  /// never pass through Release, so the cap is per-attempt by design.
+  void BeginExecution() { stats_.live_bytes = 0; }
 
   /// The pool installed on this thread (innermost ScopedUse), or null.
   /// Kernels route output allocations through this; see kernels.cc.
@@ -83,8 +110,10 @@ class BufferPool {
   template <typename T>
   void ReleaseImpl(std::vector<std::vector<T>> (&classes)[kNumClasses],
                    std::vector<T>&& v);
+  void NoteAcquired(size_t bytes);
 
   size_t max_held_bytes_;
+  size_t live_bytes_cap_ = 0;
   std::vector<std::vector<double>> double_classes_[kNumClasses];
   std::vector<std::vector<int64_t>> index_classes_[kNumClasses];
   Stats stats_;

@@ -5,6 +5,7 @@
 #include "src/ir/printer.h"
 #include "src/runtime/fused.h"
 #include "src/runtime/kernels.h"
+#include "src/util/fault_injection.h"
 #include "src/util/timer.h"
 
 namespace spores {
@@ -318,6 +319,7 @@ class Evaluator {
   }
 
   Matrix EvalImpl(const ExprPtr& e) {
+    fault::Point("executor_eval");
     switch (e->op) {
       case Op::kConst:
         return Matrix::Scalar(e->value);
@@ -394,14 +396,47 @@ class Evaluator {
   std::unordered_map<const Expr*, NodeState> nodes_;
 };
 
-StatusOr<Matrix> ExecuteWithPool(const ExprPtr& expr, const Bindings& inputs,
-                                 BufferPool* pool, ExecStats* stats) {
+// One evaluation attempt. Analyze runs (and fails) as a Status before any
+// kernel does; evaluation itself may throw (allocation failure, injected
+// fault) and is contained by the caller.
+StatusOr<Matrix> EvalOnce(const ExprPtr& expr, const Bindings& inputs,
+                          BufferPool* pool, ExecStats* stats) {
   Evaluator evaluator(inputs, stats, pool);
   SPORES_RETURN_IF_ERROR(evaluator.Analyze(expr));
   evaluator.AddRootUse(expr);
+  if (pool != nullptr) pool->BeginExecution();
   BufferPool::ScopedUse scoped(pool);
   evaluator.Eval(expr);
   return evaluator.TakeResult(expr);
+}
+
+StatusOr<Matrix> ExecuteWithPool(const ExprPtr& expr, const Bindings& inputs,
+                                 BufferPool* pool, ExecStats* stats) {
+  // Allocation-failure containment: a std::bad_alloc anywhere under Eval
+  // (kernel output, pool cap overflow, injected fault) must surface as a
+  // Status, never std::terminate. On the first allocation failure the DAG
+  // retries once under PreferSparseScope — kernels with a sparse
+  // alternative then keep outputs sparse, so the retry allocates strictly
+  // less. Everything the failed attempt acquired was pool-scoped and is
+  // recycled or freed on unwind.
+  try {
+    return EvalOnce(expr, inputs, pool, stats);
+  } catch (const std::bad_alloc& e) {
+    if (stats) ++stats->memory_fallbacks;
+    try {
+      PreferSparseScope prefer_sparse;
+      return EvalOnce(expr, inputs, pool, stats);
+    } catch (const std::bad_alloc& retry) {
+      return Status::ResourceExhausted(
+          std::string("allocation failed during execution: ") +
+          retry.what());
+    } catch (const std::exception& retry) {
+      return Status::Internal(
+          std::string("execution failed on sparse retry: ") + retry.what());
+    }
+  } catch (const std::exception& e) {
+    return Status::Internal(std::string("execution failed: ") + e.what());
+  }
 }
 
 }  // namespace

@@ -65,6 +65,8 @@ struct ExecStats {
   size_t cse_hits = 0;
   double peak_cells_allocated = 0;  ///< sum of output cells, a memory proxy
   size_t eager_releases = 0;  ///< intermediates recycled at their last use
+  size_t memory_fallbacks = 0;  ///< executions retried under PreferSparse
+                                ///< after an allocation failure
   bool track_dense_nnz = false;  ///< opt-in exact nnz for dense outputs
   std::vector<OpProfile> profile;  ///< per-op wall time + observed nnz
 };

@@ -9,11 +9,15 @@
 
 #include "src/runtime/buffer_pool.h"
 #include "src/runtime/simd.h"
+#include "src/util/fault_injection.h"
 #include "src/util/thread_pool.h"
 
 namespace spores {
 
 namespace {
+
+// Depth of PreferSparseScope nesting on this thread (see kernels.h).
+thread_local int tls_prefer_sparse = 0;
 
 using simd::Axpy;
 using simd::Dot;
@@ -26,6 +30,7 @@ using simd::Dot;
 // ---------------------------------------------------------------------------
 
 std::vector<double> AllocDoubles(size_t n, bool zero) {
+  fault::Point("kernel_alloc");
   if (BufferPool* pool = BufferPool::Current()) {
     return pool->AcquireDoubles(n, zero);
   }
@@ -33,6 +38,7 @@ std::vector<double> AllocDoubles(size_t n, bool zero) {
 }
 
 std::vector<int64_t> AllocIndices(size_t n, bool zero = false) {
+  fault::Point("kernel_alloc");
   if (BufferPool* pool = BufferPool::Current()) {
     return pool->AcquireIndices(n, zero);
   }
@@ -587,7 +593,8 @@ Matrix SparseSparseMatMul(const Matrix& a, const Matrix& b) {
   }
   Matrix out = Matrix::FromCsr(m, n, std::move(rp), std::move(ci),
                                std::move(vv));
-  if (static_cast<int64_t>(total_nnz) * 4 > m * n) {
+  if (!PreferSparseScope::Active() &&
+      static_cast<int64_t>(total_nnz) * 4 > m * n) {
     Matrix dense = DensifyPooled(out);
     RecycleScratch(std::move(out));
     return dense;
@@ -1022,5 +1029,13 @@ Matrix Scale(const Matrix& a, double s) {
                                     });
   return out;
 }
+
+PreferSparseScope::PreferSparseScope() : prev_(tls_prefer_sparse) {
+  ++tls_prefer_sparse;
+}
+
+PreferSparseScope::~PreferSparseScope() { tls_prefer_sparse = prev_; }
+
+bool PreferSparseScope::Active() { return tls_prefer_sparse > 0; }
 
 }  // namespace spores

@@ -41,4 +41,22 @@ double SumAll(const Matrix& a);
 /// Scalar multiply.
 Matrix Scale(const Matrix& a, double s);
 
+/// Memory-pressure degradation: while a scope is alive on this thread,
+/// kernels with a sparse/streaming alternative keep sparse outputs sparse
+/// (e.g. sparse x sparse skips its densify-past-25% conversion) so a
+/// retried execution allocates strictly less. Nestable; executor-internal.
+class PreferSparseScope {
+ public:
+  PreferSparseScope();
+  ~PreferSparseScope();
+  PreferSparseScope(const PreferSparseScope&) = delete;
+  PreferSparseScope& operator=(const PreferSparseScope&) = delete;
+
+  /// True when any PreferSparseScope is alive on the calling thread.
+  static bool Active();
+
+ private:
+  int prev_;
+};
+
 }  // namespace spores

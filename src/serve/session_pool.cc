@@ -5,6 +5,7 @@
 #include <ctime>
 #include <exception>
 #include <filesystem>
+#include <new>
 #include <sstream>
 
 #include "src/canon/isomorphism.h"
@@ -69,6 +70,12 @@ size_t PoolStats::TotalRejected() const {
   return n;
 }
 
+size_t PoolStats::TotalRestarts() const {
+  size_t n = 0;
+  for (const ShardStats& s : shards) n += s.restarts;
+  return n;
+}
+
 size_t PoolStats::TotalRestoredPlans() const {
   size_t n = 0;
   for (const ShardStats& s : shards) n += s.session.restored_plans;
@@ -98,7 +105,14 @@ std::string PoolStats::ToString() const {
      << dedup_hits << " batch-deduped, " << pregroup_hits << " pre-grouped), "
      << completed << " completed, " << TotalRejected() << " rejected, "
      << TotalExpired() << " expired, " << TotalCancelled() << " cancelled, "
-     << TotalSteals() << " steals, cache hit rate " << CacheHitRate() << "\n";
+     << TotalSteals() << " steals, cache hit rate " << CacheHitRate();
+  // Fault-containment counters appear only once something fired, so the
+  // healthy-path output is unchanged.
+  if (TotalRestarts() > 0 || quarantined > 0 || shed > 0) {
+    os << "; containment: " << TotalRestarts() << " shard restarts, "
+       << quarantined << " quarantined, " << shed << " shed";
+  }
+  os << "\n";
   for (size_t i = 0; i < shards.size(); ++i) {
     const ShardStats& s = shards[i];
     os << "  shard " << i << ": " << s.executed << " executed (" << s.steals
@@ -113,6 +127,11 @@ std::string PoolStats::ToString() const {
       if (s.snapshot_age_seconds >= 0) {
         os << " (snapshot age " << s.snapshot_age_seconds << "s)";
       }
+    }
+    if (s.restarts > 0) {
+      os << "; restarts " << s.restarts << " (" << s.restart_poisoned
+         << " poisoned, " << s.restart_bad_alloc << " bad_alloc, "
+         << s.restart_hangs << " hangs)" << (s.poisoned ? " POISONED" : "");
     }
     os << "\n";
   }
@@ -167,17 +186,54 @@ SessionPool::SessionPool(std::shared_ptr<const OptimizerContext> context,
   for (size_t i = 0; i < config_.num_shards; ++i) {
     shards_[i]->worker = std::thread([this, i] { WorkerLoop(i); });
   }
+  if (config_.supervision.enable) {
+    watchdog_ = std::thread([this] { WatchdogLoop(); });
+  }
 }
 
-void SessionPool::RestoreShards() {
+CheckpointManager::Restore SessionPool::RestoreIntoSession(
+    size_t index, OptimizerSession& session) {
   SnapshotExpectation expect;
   expect.rule_set_hash = RuleSetHash(context_->rules());
   expect.cost_model_hash = CostModelParamsHash();
   expect.shard_count = static_cast<uint32_t>(config_.num_shards);
+  CheckpointManager::Restore r = manager_->RestoreShard(index, expect);
+  if (r.reason != ColdStartReason::kWarmRestore) return r;
+  // Dims first: analysis and costing hard-fail on unknown attributes, so
+  // the graph rebuild and any later costing need every persisted
+  // (attr, dim) registered. DimEnv is write-once-monotone and the values
+  // were read from this very env last run, so re-registering live
+  // attributes is a no-op.
+  for (const auto& dim : r.data.dims) {
+    context_->dims()->Set(Symbol::Intern(dim.first), dim.second);
+  }
+  if (r.data.has_graph) {
+    session.RestoreSharedGraph(r.data.catalog,
+                               std::move(r.data.catalog_signature),
+                               r.data.graph);
+  }
+  // Snapshot entries are LRU-first with journal entries after them, so
+  // replaying in order reproduces the cache's recency order (and thus
+  // its eviction behavior) exactly. Each class is re-pinned to this
+  // shard — a restored plan the router routes elsewhere is a cache entry
+  // nobody ever hits. (On a mid-serve rebuild the pin is a no-op for
+  // classes already live-routed; RestorePin lets existing pins win.)
+  auto replay = [&](std::vector<PlanStoreEntry>& entries) {
+    for (PlanStoreEntry& e : entries) {
+      router_.RestorePin(e.key.fingerprint, index);
+      session.RestorePlanCacheEntry(e.key, std::move(e.plan));
+    }
+  };
+  replay(r.data.entries);
+  replay(r.journal_entries);
+  return r;
+}
+
+void SessionPool::RestoreShards() {
   const int64_t now = static_cast<int64_t>(std::time(nullptr));
   for (size_t i = 0; i < shards_.size(); ++i) {
     Shard& shard = *shards_[i];
-    CheckpointManager::Restore r = manager_->RestoreShard(i, expect);
+    CheckpointManager::Restore r = RestoreIntoSession(i, *shard.session);
     shard.cold_start = r.reason;
     shard.cold_start_detail = std::move(r.detail);
     if (r.reason != ColdStartReason::kWarmRestore) continue;
@@ -185,32 +241,6 @@ void SessionPool::RestoreShards() {
       shard.snapshot_age_seconds =
           std::max<int64_t>(0, now - r.created_unix_seconds);
     }
-    // Dims first: analysis and costing hard-fail on unknown attributes, so
-    // the graph rebuild and any later costing need every persisted
-    // (attr, dim) registered. DimEnv is write-once-monotone and the values
-    // were read from this very env last run, so re-registering live
-    // attributes is a no-op.
-    for (const auto& dim : r.data.dims) {
-      context_->dims()->Set(Symbol::Intern(dim.first), dim.second);
-    }
-    if (r.data.has_graph) {
-      shard.session->RestoreSharedGraph(r.data.catalog,
-                                        std::move(r.data.catalog_signature),
-                                        r.data.graph);
-    }
-    // Snapshot entries are LRU-first with journal entries after them, so
-    // replaying in order reproduces the cache's recency order (and thus
-    // its eviction behavior) exactly. Each class is re-pinned to this
-    // shard — a restored plan the router routes elsewhere is a cache entry
-    // nobody ever hits.
-    auto replay = [&](std::vector<PlanStoreEntry>& entries) {
-      for (PlanStoreEntry& e : entries) {
-        router_.RestorePin(e.key.fingerprint, i);
-        shard.session->RestorePlanCacheEntry(e.key, std::move(e.plan));
-      }
-    };
-    replay(r.data.entries);
-    replay(r.journal_entries);
     // Publish restore counters so Stats() reflects the warm state before
     // the first job snapshots them organically.
     shard.session_stats = shard.session->stats();
@@ -227,6 +257,16 @@ SessionPool::~SessionPool() {
     // hold anything a failed snapshot write would have covered.
     Status st = Checkpoint();
     (void)st;
+  }
+  // Stop the watchdog before the workers: a dying watchdog must never fire
+  // a cancel into a worker that is mid-teardown.
+  if (watchdog_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(watchdog_mu_);
+      watchdog_stop_ = true;
+    }
+    watchdog_cv_.notify_all();
+    watchdog_.join();
   }
   {
     std::lock_guard<std::mutex> lock(park_mu_);
@@ -256,6 +296,43 @@ SessionPool::Future SessionPool::Enqueue(std::unique_ptr<Job> job) {
   job->state = future.state_;
   job->seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
   Shard& home = *shards_[job->home_shard];
+  // Poison-query quarantine: a canonical form that has crashed or hung
+  // shards `strikes` times is turned away before it can take down another
+  // worker — checked ahead of depth/age admission so a poison query never
+  // consumes an admission slot either.
+  if (config_.quarantine.strikes > 0 && QuarantineRejects(QuarantineHash(*job))) {
+    {
+      std::lock_guard<std::mutex> lock(home.mu);
+      ++home.rejected;
+    }
+    quarantined_.fetch_add(1, std::memory_order_relaxed);
+    future.state_->Complete(Status::FailedPrecondition(
+        "quarantined: this query repeatedly crashed or hung optimizer "
+        "shards"));
+    return future;
+  }
+  // Memory-pressure shedding: while the pool-wide e-graph arena (lock-free
+  // sum of per-shard node mirrors) is over the configured ceiling, the
+  // cheap-to-retry low-priority tail is rejected up front so high-priority
+  // traffic keeps a session to run on.
+  if (config_.admission.shed_arena_nodes > 0 &&
+      job->priority >= kPriorityLow) {
+    size_t arena_total = 0;
+    for (const auto& s : shards_) {
+      arena_total += s->arena_nodes.load(std::memory_order_relaxed);
+    }
+    if (arena_total > config_.admission.shed_arena_nodes) {
+      {
+        std::lock_guard<std::mutex> lock(home.mu);
+        ++home.rejected;
+      }
+      shed_.fetch_add(1, std::memory_order_relaxed);
+      future.state_->Complete(Status::ResourceExhausted(
+          "shed: pool e-graph memory over threshold, low-priority work "
+          "rejected"));
+      return future;
+    }
+  }
   bool rejected = false;
   {
     std::lock_guard<std::mutex> lock(home.mu);
@@ -461,6 +538,7 @@ PoolStats SessionPool::Stats() const {
   for (const auto& shard : shards_) {
     ShardStats s;
     s.busy = shard->busy.load(std::memory_order_relaxed);
+    s.poisoned = shard->poisoned.load(std::memory_order_relaxed);
     std::lock_guard<std::mutex> lock(shard->mu);
     s.executed = shard->executed;
     s.steals = shard->steals;
@@ -475,8 +553,14 @@ PoolStats SessionPool::Stats() const {
     s.cold_start = shard->cold_start;
     s.cold_start_detail = shard->cold_start_detail;
     s.snapshot_age_seconds = shard->snapshot_age_seconds;
+    s.restarts = shard->restarts;
+    s.restart_poisoned = shard->restart_poisoned;
+    s.restart_bad_alloc = shard->restart_bad_alloc;
+    s.restart_hangs = shard->restart_hangs;
     out.shards.push_back(std::move(s));
   }
+  out.quarantined = quarantined_.load(std::memory_order_relaxed);
+  out.shed = shed_.load(std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(done_mu_);
   out.submitted = submitted_;
   out.completed = completed_;
@@ -619,8 +703,12 @@ std::unique_ptr<SessionPool::Job> SessionPool::NextJob(size_t self,
     if (i == self) continue;
     Shard& victim = *shards_[i];
     size_t depth = victim.depth.load(std::memory_order_relaxed);
+    // A poisoned shard's worker is busy rebuilding its session — its queue
+    // drains to peers at ANY depth until the rebuild clears the flag.
     bool stealable =
-        depth >= 2 || (depth == 1 && lone_stealable(victim, retry_soon));
+        depth >= 2 ||
+        (depth >= 1 && victim.poisoned.load(std::memory_order_acquire)) ||
+        (depth == 1 && lone_stealable(victim, retry_soon));
     if (stealable && depth > best_depth) {
       best = i;
       best_depth = depth;
@@ -635,6 +723,8 @@ std::unique_ptr<SessionPool::Job> SessionPool::NextJob(size_t self,
     bool ignored = false;
     std::lock_guard<std::mutex> lock(victim.mu);
     bool stealable = victim.queue.size() >= 2 ||
+                     (!victim.queue.empty() &&
+                      victim.poisoned.load(std::memory_order_acquire)) ||
                      (victim.queue.size() == 1 &&
                       lone_stealable(victim, &ignored));
     if (stealable) {
@@ -676,6 +766,9 @@ void SessionPool::DisposeJob(size_t self, Job& job, Status status) {
 
 void SessionPool::RunJob(size_t self, Job& job, bool stolen) {
   Shard& shard = *shards_[self];
+  const bool supervised = config_.supervision.enable;
+  const uint64_t qhash =
+      (supervised || config_.quarantine.strikes > 0) ? QuarantineHash(job) : 0;
   QueryOptions options;
   // A stolen job bypasses the thief's plan cache entirely: the router
   // assigned its canonical form to another shard, and a shard's cache must
@@ -694,14 +787,36 @@ void SessionPool::RunJob(size_t self, Job& job, bool stolen) {
   // Publish the timestamp BEFORE the busy flag (release/acquire pair with
   // lone_stealable): a thief that sees busy==true must also see this job's
   // start time, not the previous job's.
-  shard.busy_since_ns.store(NowNanos(), std::memory_order_relaxed);
+  const int64_t started_ns = NowNanos();
+  shard.busy_since_ns.store(started_ns, std::memory_order_relaxed);
   shard.busy.store(true, std::memory_order_release);
+  if (supervised) {
+    // Register for the watchdog: the hang threshold is a multiple of the
+    // job's own remaining budget (a job allowed 100ms that is still running
+    // at 300ms is stuck — the deadline machinery inside the session should
+    // have stopped it long ago), with a fixed default for deadline-less
+    // jobs.
+    Shard::RunningJob run;
+    run.state = job.state;
+    run.started_ns = started_ns;
+    run.quarantine_hash = qhash;
+    run.hang_seconds =
+        job.deadline.has_deadline()
+            ? std::max(0.01, config_.supervision.hang_grace *
+                                 job.deadline.RemainingSeconds())
+            : config_.supervision.default_hang_seconds;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.running = std::move(run);
+  }
   // An exception escaping the worker body would std::terminate the whole
   // process and strand every waiter (including deduped batch members), so
   // it is converted to a kInternal result — errors are values on this API —
   // and the accounting below still runs so Drain() and the destructor stay
-  // live.
+  // live. Under supervision an escape additionally poisons the session:
+  // the e-graph/cache were mid-mutation when the stack unwound, so the
+  // shard is rebuilt in place before it runs anything else.
   Future::Result result = Status::Internal("unset");
+  std::optional<RestartCause> poison;
   try {
     OptimizedPlan plan =
         shard.session->Optimize(job.expr, *job.catalog, options);
@@ -713,13 +828,49 @@ void SessionPool::RunJob(size_t self, Job& job, bool stolen) {
     } else {
       result = std::move(plan);
     }
+  } catch (const std::bad_alloc&) {
+    result = Status::ResourceExhausted(
+        "optimization ran out of memory; shed load or retry");
+    if (supervised) poison = RestartCause::kBadAlloc;
   } catch (const std::exception& e) {
     result = Status::Internal(std::string("optimization threw: ") + e.what());
+    if (supervised) poison = RestartCause::kPoisoned;
   } catch (...) {
     result = Status::Internal("optimization threw a non-standard exception");
+    if (supervised) poison = RestartCause::kPoisoned;
   }
   shard.busy.store(false, std::memory_order_release);
+  if (supervised) {
+    bool hang_flagged = false;
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      if (shard.running) hang_flagged = shard.running->hang_flagged;
+      shard.running.reset();
+    }
+    if (hang_flagged) {
+      // The watchdog force-stopped this job via its cancel token. Whatever
+      // Optimize returned was computed under a budget the caller never
+      // granted; the session's state was mid-flight when yanked. Hang is
+      // the cause even if the unwind also threw.
+      result = Status::DeadlineExceeded(
+          "watchdog: optimization exceeded its hang threshold");
+      poison = RestartCause::kHang;
+    }
+  }
+  if (poison) {
+    // Mark poisoned BEFORE completing the future and wake the peers, so
+    // the queue behind this shard starts draining elsewhere while the
+    // rebuild (possibly a full warm restore) runs here.
+    shard.poisoned.store(true, std::memory_order_release);
+    QuarantineStrike(qhash);
+    {
+      std::lock_guard<std::mutex> lock(park_mu_);
+      ++work_epoch_;
+    }
+    park_cv_.notify_all();
+  }
   job.state->Complete(std::move(result));
+  if (poison) RebuildShard(self, *poison);
   {
     std::lock_guard<std::mutex> lock(shard.mu);
     ++shard.executed;
@@ -728,7 +879,136 @@ void SessionPool::RunJob(size_t self, Job& job, bool stolen) {
     shard.cache_stats = shard.session->cache_stats();
     shard.cache_entries = shard.session->PlanCacheSize();
   }
+  const EGraph* graph = shard.session->shared_egraph();
+  shard.arena_nodes.store(graph ? graph->NumNodes() : 0,
+                          std::memory_order_relaxed);
   FinishJob();
+}
+
+void SessionPool::RebuildShard(size_t self, RestartCause cause) {
+  Shard& shard = *shards_[self];
+  // Build and warm-restore the replacement session before swapping it in.
+  // This runs on the shard's own worker thread between jobs — the only
+  // thread allowed to touch the session — while peers steal the queue
+  // (poisoned shards are stealable at any depth). The poisoned session is
+  // only ever destroyed here, never used again.
+  std::unique_ptr<OptimizerSession> fresh;
+  try {
+    fresh = std::make_unique<OptimizerSession>(context_, config_.session);
+    if (manager_) RestoreIntoSession(self, *fresh);
+  } catch (const std::exception&) {
+    // The warm restore itself failed (allocation pressure, injected fault,
+    // corrupt snapshot racing a checkpoint): fall back to a plain cold
+    // session — a cold shard that serves beats a warm one that crashed.
+    fresh = std::make_unique<OptimizerSession>(context_, config_.session);
+  }
+  if (manager_ && config_.persist.journal_inserts) {
+    fresh->set_plan_insert_listener(
+        [this, self](const PlanCacheKey& key, const OptimizedPlan& plan) {
+          manager_->JournalInsert(self, key, plan);
+        });
+  }
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.session = std::move(fresh);
+    ++shard.restarts;
+    switch (cause) {
+      case RestartCause::kPoisoned:
+        ++shard.restart_poisoned;
+        break;
+      case RestartCause::kBadAlloc:
+        ++shard.restart_bad_alloc;
+        break;
+      case RestartCause::kHang:
+        ++shard.restart_hangs;
+        break;
+    }
+    shard.session_stats = shard.session->stats();
+    shard.cache_stats = shard.session->cache_stats();
+    shard.cache_entries = shard.session->PlanCacheSize();
+  }
+  const EGraph* graph = shard.session->shared_egraph();
+  shard.arena_nodes.store(graph ? graph->NumNodes() : 0,
+                          std::memory_order_relaxed);
+  shard.poisoned.store(false, std::memory_order_release);
+}
+
+uint64_t SessionPool::QuarantineHash(const Job& job) {
+  // Canonical fingerprint when routing produced one (catches rewritten
+  // equivalents of a poison query), structural hash otherwise — still
+  // deterministic for exact resubmissions of non-canonicalizable input.
+  return job.key ? ShardRouter::HashBytes(job.key->fingerprint)
+                 : job.expr->Hash();
+}
+
+bool SessionPool::QuarantineRejects(uint64_t hash) {
+  const int64_t ttl_ns =
+      static_cast<int64_t>(config_.quarantine.ttl_seconds * 1e9);
+  std::lock_guard<std::mutex> lock(quarantine_mu_);
+  auto it = quarantine_.find(hash);
+  if (it == quarantine_.end()) return false;
+  if (NowNanos() - it->second.last_strike_ns > ttl_ns) {
+    // Strikes expired: forgive. (Its FIFO slot stays; eviction tolerates
+    // already-erased entries.)
+    quarantine_.erase(it);
+    return false;
+  }
+  return it->second.strikes >= config_.quarantine.strikes;
+}
+
+void SessionPool::QuarantineStrike(uint64_t hash) {
+  if (config_.quarantine.strikes == 0) return;
+  std::lock_guard<std::mutex> lock(quarantine_mu_);
+  auto it = quarantine_.find(hash);
+  if (it == quarantine_.end()) {
+    // Bounded record: at capacity the oldest offender is forgotten first
+    // (entries the TTL already erased just fall through).
+    while (quarantine_.size() >= config_.quarantine.capacity &&
+           !quarantine_order_.empty()) {
+      quarantine_.erase(quarantine_order_.front());
+      quarantine_order_.pop_front();
+    }
+    it = quarantine_.emplace(hash, QuarantineEntry{}).first;
+    quarantine_order_.push_back(hash);
+  }
+  ++it->second.strikes;
+  it->second.last_strike_ns = NowNanos();
+}
+
+void SessionPool::WatchdogLoop() {
+  const auto poll = std::chrono::duration<double>(
+      std::max(0.001, config_.supervision.poll_seconds));
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(watchdog_mu_);
+      watchdog_cv_.wait_for(lock, poll, [&] { return watchdog_stop_; });
+      if (watchdog_stop_) return;
+    }
+    const int64_t now = NowNanos();
+    for (auto& shard_ptr : shards_) {
+      Shard& shard = *shard_ptr;
+      std::shared_ptr<FutureState> to_cancel;
+      {
+        std::lock_guard<std::mutex> lock(shard.mu);
+        if (shard.running && !shard.running->hang_flagged) {
+          const double busy_for =
+              static_cast<double>(now - shard.running->started_ns) * 1e-9;
+          if (busy_for > shard.running->hang_seconds) {
+            shard.running->hang_flagged = true;
+            to_cancel = shard.running->state;
+          }
+        }
+      }
+      // Fire the cancel token OUTSIDE the shard lock. This is deliberately
+      // the raw token, not RequestCancelJob(): the caller didn't cancel,
+      // the watchdog did — RunJob maps the flagged completion to
+      // kDeadlineExceeded (+ rebuild), not kCancelled. Saturation and the
+      // ILP solver observe the token at their next budget checkpoint and
+      // unwind cooperatively; a site that never polls again is the
+      // worker's loss, but the queue has already drained to peers.
+      if (to_cancel) to_cancel->cancel.RequestCancel();
+    }
+  }
 }
 
 void SessionPool::WorkerLoop(size_t self) {

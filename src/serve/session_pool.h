@@ -75,6 +75,7 @@
 #include <optional>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "src/optimizer/optimizer_session.h"
@@ -104,6 +105,44 @@ struct AdmissionConfig {
   /// low-priority job can age without bound while the queue drains
   /// high-priority traffic perfectly well.)
   double max_queue_age_seconds = 0.0;
+  /// Memory-pressure shedding: reject kPriorityLow-and-below submissions
+  /// (kResourceExhausted) while the pool-wide e-graph arena — summed over
+  /// every shard's lock-free node-count mirror, refreshed after each job —
+  /// exceeds this many nodes. 0 disables. High-priority traffic keeps
+  /// flowing; the cheap-to-retry tail is shed first.
+  size_t shed_arena_nodes = 0;
+};
+
+/// Shard supervision: a watchdog detects hung workers, and worker-top-level
+/// exceptions / allocation failures poison the shard's session, which is
+/// then rebuilt in place (warm-restored from its last checkpoint when
+/// persistence is on) while peers drain its queue. Inert by default.
+struct SupervisionConfig {
+  /// Enables the watchdog thread and poison/rebuild handling.
+  bool enable = false;
+  /// A running job is declared hung once its worker has been busy on it
+  /// longer than hang_grace x the job's deadline budget at start (jobs
+  /// without a deadline use default_hang_seconds). The watchdog then fires
+  /// the job's cancel token — saturation and ILP stop at their next budget
+  /// checkpoint — and the job completes kDeadlineExceeded; the shard is
+  /// treated as poisoned and rebuilt (its state was mid-flight when
+  /// force-stopped).
+  double hang_grace = 3.0;
+  /// Hang threshold for jobs submitted without a deadline.
+  double default_hang_seconds = 30.0;
+  /// Watchdog poll cadence.
+  double poll_seconds = 0.05;
+};
+
+/// Poison-query quarantine: queries whose canonical fingerprint has
+/// crashed or hung shards `strikes` times are rejected at admission with
+/// kFailedPrecondition instead of taking down another worker. The record
+/// is bounded (FIFO eviction past `capacity`) and strikes expire after
+/// `ttl_seconds`. Inert unless strikes > 0.
+struct QuarantineConfig {
+  size_t strikes = 0;  ///< offenses before rejection; 0 disables
+  double ttl_seconds = 300.0;
+  size_t capacity = 1024;
 };
 
 /// Warm-restart persistence (src/persist): one snapshot + journal file pair
@@ -136,6 +175,8 @@ struct PoolConfig {
   RouterConfig router;
   AdmissionConfig admission;
   PersistenceConfig persist;
+  SupervisionConfig supervision;
+  QuarantineConfig quarantine;
 };
 
 /// One query for Submit/BatchSubmit. The catalog is shared-ptr'd because
@@ -171,6 +212,13 @@ struct ShardStats {
   /// Age of the restored snapshot at pool construction; -1 when no snapshot
   /// was restored (cold start, or a journal-only warm restore).
   int64_t snapshot_age_seconds = -1;
+  /// Supervision: how often this shard's session was rebuilt in place, and
+  /// why (a rebuild has exactly one cause, so the causes sum to restarts).
+  size_t restarts = 0;
+  size_t restart_poisoned = 0;   ///< cause: exception escaped the optimizer
+  size_t restart_bad_alloc = 0;  ///< cause: allocation failure
+  size_t restart_hangs = 0;      ///< cause: watchdog-detected hang
+  bool poisoned = false;  ///< mid-rebuild at snapshot time (queue stealable)
 };
 
 /// Pool-wide stats: per-shard snapshots plus batch-level counters.
@@ -183,6 +231,8 @@ struct PoolStats {
   /// dedup_hits.
   size_t pregroup_hits = 0;
   size_t completed = 0;
+  size_t quarantined = 0;  ///< submissions rejected by the poison blacklist
+  size_t shed = 0;  ///< low-priority submissions shed under memory pressure
 
   /// Aggregates across shards (sums; hit rate recomputed from sums).
   size_t TotalExecuted() const;
@@ -190,6 +240,7 @@ struct PoolStats {
   size_t TotalExpired() const;
   size_t TotalCancelled() const;
   size_t TotalRejected() const;
+  size_t TotalRestarts() const;  ///< shard sessions rebuilt by supervision
   size_t TotalRestoredPlans() const;    ///< plan-cache entries from snapshots
   size_t TotalRestoredClasses() const;  ///< e-classes rebuilt from snapshots
   double CacheHitRate() const;  ///< hits / (hits+misses) over all shards
@@ -310,6 +361,31 @@ class SessionPool {
     ColdStartReason cold_start = ColdStartReason::kDisabled;
     std::string cold_start_detail;
     int64_t snapshot_age_seconds = -1;
+    /// Supervision view of the currently running job, registered by RunJob
+    /// around Optimize (guarded by mu). The watchdog reads it under mu and
+    /// copies the shared state out before acting — the Job itself stays
+    /// owned by the worker and is never touched from outside.
+    struct RunningJob {
+      std::shared_ptr<FutureState> state;
+      double hang_seconds = 0;  ///< this job's hang threshold
+      int64_t started_ns = 0;
+      uint64_t quarantine_hash = 0;
+      bool hang_flagged = false;  ///< watchdog fired the cancel token
+    };
+    std::optional<RunningJob> running;
+    /// Set by the worker the moment a job poisons this session, cleared
+    /// when the in-place rebuild finishes. While set, peers may steal from
+    /// this queue at ANY depth (its owner is busy rebuilding).
+    std::atomic<bool> poisoned{false};
+    /// Rebuild counters (guarded by mu; causes sum to restarts).
+    size_t restarts = 0;
+    size_t restart_poisoned = 0;
+    size_t restart_bad_alloc = 0;
+    size_t restart_hangs = 0;
+    /// Shared e-graph node-count mirror for pool-wide memory-pressure
+    /// shedding: refreshed by the worker after each job, summed lock-free
+    /// at admission.
+    std::atomic<size_t> arena_nodes{0};
   };
 
   /// Admission + enqueue; the returned future is the job's (or an
@@ -338,6 +414,25 @@ class SessionPool {
   /// repopulates sessions/router, records cold-start provenance. Runs
   /// before any worker spawns (single-threaded window — no locks needed).
   void RestoreShards();
+  /// Loads shard `index`'s snapshot + journals into `session` (dims,
+  /// graph rebuild, cache replay, router re-pins) — the per-shard half of
+  /// RestoreShards, reused by RebuildShard for warm in-place rebuilds.
+  CheckpointManager::Restore RestoreIntoSession(size_t index,
+                                                OptimizerSession& session);
+  /// Why a shard session was rebuilt (one cause per rebuild).
+  enum class RestartCause { kPoisoned, kBadAlloc, kHang };
+  /// Replaces shard `self`'s poisoned session with a fresh one built from
+  /// the shared context, warm-restored from its last checkpoint when
+  /// persistence is on. Runs ON THE SHARD'S OWN WORKER THREAD, between
+  /// jobs — the only thread allowed to touch the session.
+  void RebuildShard(size_t self, RestartCause cause);
+  /// The fingerprint-hash identity quarantine tracks for a job: canonical
+  /// fingerprint when the router produced a key, structural expression
+  /// hash otherwise (still deterministic for exact resubmissions).
+  static uint64_t QuarantineHash(const Job& job);
+  bool QuarantineRejects(uint64_t hash);  ///< check at admission
+  void QuarantineStrike(uint64_t hash);   ///< record a crash/hang
+  void WatchdogLoop();
   /// Runs `fn` against shard's session ON ITS OWNER WORKER THREAD, between
   /// jobs, and blocks until it has run. Caller must hold checkpoint_mu_.
   void WithShardSession(size_t shard,
@@ -369,6 +464,24 @@ class SessionPool {
   size_t completed_ = 0;
   size_t dedup_hits_ = 0;
   size_t pregroup_hits_ = 0;
+
+  /// Poison-query quarantine: fingerprint hash -> strike record. Bounded
+  /// (FIFO eviction) and TTL'd; see QuarantineConfig.
+  struct QuarantineEntry {
+    size_t strikes = 0;
+    int64_t last_strike_ns = 0;
+  };
+  mutable std::mutex quarantine_mu_;
+  std::unordered_map<uint64_t, QuarantineEntry> quarantine_;
+  std::deque<uint64_t> quarantine_order_;  ///< FIFO for capacity eviction
+  std::atomic<size_t> quarantined_{0};
+  std::atomic<size_t> shed_{0};
+
+  /// Watchdog thread (supervision.enable only).
+  std::thread watchdog_;
+  std::mutex watchdog_mu_;
+  std::condition_variable watchdog_cv_;
+  bool watchdog_stop_ = false;
 };
 
 }  // namespace spores

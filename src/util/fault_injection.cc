@@ -1,0 +1,227 @@
+#include "src/util/fault_injection.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+namespace spores {
+namespace {
+
+// Probabilities quantize to parts-per-million.
+constexpr uint64_t kDen = 1000000;
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t HashSite(std::string_view site) {
+  uint64_t h = 1469598103934665603ULL;  // FNV-1a 64
+  for (char c : site) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+bool ParseKind(std::string_view token, FaultKind* out) {
+  if (token == "throw") { *out = FaultKind::kThrow; return true; }
+  if (token == "bad_alloc") { *out = FaultKind::kBadAlloc; return true; }
+  if (token == "status" || token == "status-error" ||
+      token == "status_error") {
+    *out = FaultKind::kStatusError;
+    return true;
+  }
+  if (token == "delay") { *out = FaultKind::kDelay; return true; }
+  if (token == "torn" || token == "torn-write" || token == "torn_write") {
+    *out = FaultKind::kTornWrite;
+    return true;
+  }
+  return false;
+}
+
+std::vector<std::string> SplitOn(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= s.size()) {
+    size_t end = s.find(sep, start);
+    if (end == std::string::npos) end = s.size();
+    out.push_back(s.substr(start, end - start));
+    start = end + 1;
+    if (end == s.size()) break;
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kThrow: return "throw";
+    case FaultKind::kBadAlloc: return "bad_alloc";
+    case FaultKind::kStatusError: return "status";
+    case FaultKind::kDelay: return "delay";
+    case FaultKind::kTornWrite: return "torn";
+  }
+  return "unknown";
+}
+
+FaultInjector::FaultInjector() {
+  const char* spec = std::getenv("SPORES_FAULT");
+  if (spec == nullptr || spec[0] == '\0') return;
+  uint64_t seed = 0;
+  if (const char* seed_env = std::getenv("SPORES_FAULT_SEED")) {
+    seed = std::strtoull(seed_env, nullptr, 10);
+  }
+  // A malformed env spec must not crash the process; it just stays off.
+  (void)Configure(spec, seed);
+}
+
+FaultInjector& FaultInjector::Instance() {
+  static FaultInjector* instance = new FaultInjector();
+  return *instance;
+}
+
+Status FaultInjector::Configure(const std::string& spec, uint64_t seed) {
+  std::lock_guard<std::mutex> lock(config_mu_);
+  enabled_.store(false, std::memory_order_release);
+  rules_.clear();
+  seed_ = seed;
+  if (spec.empty()) return Status::OK();
+  for (const std::string& entry : SplitOn(spec, ',')) {
+    if (entry.empty()) continue;
+    std::vector<std::string> fields = SplitOn(entry, ':');
+    if (fields.size() < 3 || fields.size() > 4) {
+      rules_.clear();
+      return Status::InvalidArgument("fault spec entry needs "
+                                     "site:probability:kind[:millis]: " +
+                                     entry);
+    }
+    auto rule = std::make_unique<Rule>();
+    rule->site = fields[0];
+    char* end = nullptr;
+    double prob = std::strtod(fields[1].c_str(), &end);
+    if (end == fields[1].c_str() || *end != '\0' || prob < 0.0 ||
+        prob > 1.0) {
+      rules_.clear();
+      return Status::InvalidArgument("fault probability must be in [0,1]: " +
+                                     entry);
+    }
+    rule->threshold = static_cast<uint64_t>(prob * static_cast<double>(kDen));
+    if (prob >= 1.0) rule->threshold = kDen;  // avoid rounding below certain
+    if (!ParseKind(fields[2], &rule->kind)) {
+      rules_.clear();
+      return Status::InvalidArgument("unknown fault kind: " + entry);
+    }
+    if (fields.size() == 4) {
+      long millis = std::strtol(fields[3].c_str(), nullptr, 10);
+      if (millis < 0) millis = 0;
+      rule->delay_millis = static_cast<int>(millis);
+    }
+    rules_.push_back(std::move(rule));
+  }
+  if (!rules_.empty()) enabled_.store(true, std::memory_order_release);
+  return Status::OK();
+}
+
+void FaultInjector::Reset() {
+  std::lock_guard<std::mutex> lock(config_mu_);
+  enabled_.store(false, std::memory_order_release);
+  rules_.clear();
+  seed_ = 0;
+}
+
+std::optional<FaultAction> FaultInjector::Sample(std::string_view site) {
+  if (!enabled_.load(std::memory_order_acquire)) return std::nullopt;
+  for (const std::unique_ptr<Rule>& rule : rules_) {
+    if (rule->site != "*" && rule->site != site) continue;
+    uint64_t n = rule->sampled.fetch_add(1, std::memory_order_relaxed);
+    if (rule->threshold == 0) continue;
+    uint64_t h = SplitMix64(seed_ ^ HashSite(site) ^ (n * 0x2545f4914f6cdd1dULL));
+    if (h % kDen >= rule->threshold) continue;
+    rule->fired.fetch_add(1, std::memory_order_relaxed);
+    FaultAction action;
+    action.kind = rule->kind;
+    action.delay_millis = rule->delay_millis;
+    return action;
+  }
+  return std::nullopt;
+}
+
+uint64_t FaultInjector::FireCount(std::string_view site) const {
+  uint64_t total = 0;
+  for (const std::unique_ptr<Rule>& rule : rules_) {
+    if (rule->site == "*" || rule->site == site) {
+      total += rule->fired.load(std::memory_order_relaxed);
+    }
+  }
+  return total;
+}
+
+uint64_t FaultInjector::TotalFired() const {
+  uint64_t total = 0;
+  for (const std::unique_ptr<Rule>& rule : rules_) {
+    total += rule->fired.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+uint64_t FaultInjector::TotalSampled() const {
+  uint64_t total = 0;
+  for (const std::unique_ptr<Rule>& rule : rules_) {
+    total += rule->sampled.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+namespace fault {
+
+void ThrowOrDelay(std::string_view site, const FaultAction& action) {
+  switch (action.kind) {
+    case FaultKind::kBadAlloc:
+      throw std::bad_alloc();
+    case FaultKind::kDelay:
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(action.delay_millis));
+      return;
+    case FaultKind::kTornWrite:
+      // Not meaningful at a non-write site; treat as a throw so the fault
+      // still surfaces instead of silently passing.
+    case FaultKind::kThrow:
+    case FaultKind::kStatusError:
+      throw FaultInjectedError("injected fault at " + std::string(site));
+  }
+}
+
+Status PointStatus(std::string_view site, bool* torn) {
+  if (torn != nullptr) *torn = false;
+  FaultInjector& inj = FaultInjector::Instance();
+  if (!inj.enabled()) return Status::OK();
+  std::optional<FaultAction> action = inj.Sample(site);
+  if (!action) return Status::OK();
+  switch (action->kind) {
+    case FaultKind::kStatusError:
+      return Status::Internal("injected fault at " + std::string(site));
+    case FaultKind::kTornWrite:
+      if (torn != nullptr) {
+        *torn = true;
+        return Status::OK();
+      }
+      return Status::Internal("injected torn write at " + std::string(site));
+    case FaultKind::kDelay:
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(action->delay_millis));
+      return Status::OK();
+    case FaultKind::kBadAlloc:
+      throw std::bad_alloc();
+    case FaultKind::kThrow:
+      throw FaultInjectedError("injected fault at " + std::string(site));
+  }
+  return Status::OK();
+}
+
+}  // namespace fault
+
+}  // namespace spores

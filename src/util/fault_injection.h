@@ -1,0 +1,140 @@
+// Process-wide deterministic fault injection for chaos testing.
+//
+// The serving stack threads named fault *sites* through its riskiest code
+// paths (kernel allocation, executor evaluation, snapshot/journal writes,
+// the saturation loop). In production builds the injector is disabled and
+// every site costs one relaxed atomic load. Tests and CI enable it via
+// the environment:
+//
+//   SPORES_FAULT=site:probability:kind[,site:probability:kind...]
+//   SPORES_FAULT_SEED=12345        (optional, default 0)
+//
+// where `site` is a site name or `*` (matches every site), `probability`
+// is a float in [0,1], and `kind` is one of:
+//
+//   throw       throw FaultInjectedError (a std::runtime_error)
+//   bad_alloc   throw std::bad_alloc
+//   status      return a non-ok Status (status-capable sites; others throw)
+//   delay       sleep (default 20ms; optional 4th field = millis)
+//   torn        torn write: the site persists only a prefix of its record
+//
+// Triggering is seeded-deterministic: whether the N-th evaluation of a
+// site fires depends only on (seed, site, N), never on wall-clock or
+// address-space layout, so a failing chaos run replays exactly.
+//
+// Known sites (any string is accepted; these are the ones wired up):
+//   kernel_alloc    runtime kernel buffer allocation (BufferPool path)
+//   executor_eval   Evaluator::Eval per-node dispatch
+//   snapshot_write  AtomicWriteFile for snapshot containers
+//   journal_write   CheckpointManager::JournalInsert record append
+//   saturate        Runner budget checkpoints inside equality saturation
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <new>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace spores {
+
+enum class FaultKind {
+  kThrow,
+  kBadAlloc,
+  kStatusError,
+  kDelay,
+  kTornWrite,
+};
+
+const char* FaultKindName(FaultKind kind);
+
+/// The exception thrown by `throw`-kind faults. Distinct from ordinary
+/// runtime errors so tests can tell an injected fault from a real bug.
+class FaultInjectedError : public std::runtime_error {
+ public:
+  explicit FaultInjectedError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// One fired or sampled fault, handed back to the site for local handling.
+struct FaultAction {
+  FaultKind kind;
+  int delay_millis = 0;  ///< only meaningful for kDelay
+};
+
+class FaultInjector {
+ public:
+  /// The process-wide injector. First call latches SPORES_FAULT /
+  /// SPORES_FAULT_SEED from the environment (if set).
+  static FaultInjector& Instance();
+
+  /// (Re)configures from a spec string. Empty spec disables. Not safe to
+  /// call concurrently with Sample() — configure while serving is down.
+  Status Configure(const std::string& spec, uint64_t seed = 0);
+
+  /// Disables injection and clears all rules and counters.
+  void Reset();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Deterministically decides whether the next evaluation of `site`
+  /// fires. Returns the action to perform, or nullopt. Thread-safe.
+  std::optional<FaultAction> Sample(std::string_view site);
+
+  /// How many times faults fired at `site` (exact or via `*`).
+  uint64_t FireCount(std::string_view site) const;
+  uint64_t TotalFired() const;
+  uint64_t TotalSampled() const;
+
+ private:
+  struct Rule {
+    std::string site;  // "*" matches everything
+    uint64_t threshold = 0;  // fire when hash(seed,site,n) % kDen < threshold
+    FaultKind kind = FaultKind::kThrow;
+    int delay_millis = 20;
+    std::atomic<uint64_t> sampled{0};
+    std::atomic<uint64_t> fired{0};
+  };
+
+  FaultInjector();
+
+  std::atomic<bool> enabled_{false};
+  uint64_t seed_ = 0;
+  // Immutable after Configure(); Sample only reads. Rules live behind
+  // unique_ptr so their atomics have stable addresses.
+  std::vector<std::unique_ptr<Rule>> rules_;
+  // Serializes Configure/Reset against each other (not against Sample).
+  std::mutex config_mu_;
+};
+
+namespace fault {
+
+/// Implements Point()'s slow path (out of line: <thread> not needed here).
+void ThrowOrDelay(std::string_view site, const FaultAction& action);
+
+/// Throw-style site: fires kThrow/kBadAlloc/kStatusError as exceptions
+/// and serves kDelay inline. Use where the caller can only unwind.
+inline void Point(std::string_view site) {
+  FaultInjector& inj = FaultInjector::Instance();
+  if (!inj.enabled()) return;
+  std::optional<FaultAction> action = inj.Sample(site);
+  if (!action) return;
+  ThrowOrDelay(site, *action);
+}
+
+/// Status-style site (I/O): kStatusError becomes a non-ok Status,
+/// kTornWrite sets *torn so the caller truncates its own write, kDelay
+/// sleeps inline, kThrow/kBadAlloc throw (callers contain them).
+Status PointStatus(std::string_view site, bool* torn);
+
+}  // namespace fault
+
+}  // namespace spores

@@ -14,6 +14,7 @@ const char* CodeName(StatusCode code) {
     case StatusCode::kTimeout: return "Timeout";
     case StatusCode::kCancelled: return "Cancelled";
     case StatusCode::kDeadlineExceeded: return "DeadlineExceeded";
+    case StatusCode::kFailedPrecondition: return "FailedPrecondition";
   }
   return "Unknown";
 }

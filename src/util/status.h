@@ -20,6 +20,7 @@ enum class StatusCode {
   kTimeout,
   kCancelled,
   kDeadlineExceeded,
+  kFailedPrecondition,
 };
 
 /// A Status holds either success (ok) or an error code plus message.
@@ -53,6 +54,9 @@ class Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

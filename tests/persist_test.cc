@@ -22,6 +22,7 @@
 #include "src/persist/wire_format.h"
 #include "src/serve/session_pool.h"
 #include "src/util/crc32.h"
+#include "src/util/fault_injection.h"
 #include "src/workloads/generators.h"
 #include "src/workloads/programs.h"
 
@@ -319,6 +320,44 @@ TEST(WarmRestartTest, ExplicitCheckpointRotatesJournals) {
   EXPECT_TRUE(fs::exists(fs::path(dir) / "shard-0.snap"));
   EXPECT_FALSE(fs::exists(fs::path(dir) / "shard-0.journal"));
   EXPECT_FALSE(fs::exists(fs::path(dir) / "shard-0.journal.1"));
+}
+
+TEST(WarmRestartTest, FailedCheckpointLeavesNoTmpFiles) {
+  // Regression: a failure mid-serialize (torn write, allocation failure)
+  // used to strand the snapshot's .tmp file in the persistence directory;
+  // every failure path must clean it up, and the previous snapshot must
+  // stay intact and restorable.
+  const std::string dir = FreshDir("no_tmp_on_failure");
+  auto context = std::make_shared<const OptimizerContext>(ServingConfig());
+  PoolConfig cfg = PersistentPool(dir, 2);
+  cfg.persist.checkpoint_on_shutdown = false;
+  SessionPool pool(context, cfg);
+  auto catalog = SmallCatalog();
+  for (const ExprPtr& q : DistinctQueries()) {
+    ASSERT_TRUE(pool.Submit(q, catalog).get().ok());
+  }
+  pool.Drain();
+  ASSERT_TRUE(pool.Checkpoint().ok());  // a good snapshot to preserve
+  const std::string good = ReadAll(dir + "/shard-0.snap");
+
+  auto no_tmp_files = [&] {
+    for (const auto& entry : fs::directory_iterator(dir)) {
+      if (entry.path().extension() == ".tmp") return false;
+    }
+    return true;
+  };
+  FaultInjector& inj = FaultInjector::Instance();
+  for (const char* kind : {"torn", "bad_alloc", "throw"}) {
+    ASSERT_TRUE(
+        inj.Configure(std::string("snapshot_write:1:") + kind).ok());
+    EXPECT_FALSE(pool.Checkpoint().ok()) << kind;
+    EXPECT_TRUE(no_tmp_files()) << kind;
+    // The failed write never touched the published snapshot.
+    EXPECT_EQ(ReadAll(dir + "/shard-0.snap"), good) << kind;
+  }
+  inj.Reset();
+  EXPECT_TRUE(pool.Checkpoint().ok());  // healthy again once faults stop
+  EXPECT_TRUE(no_tmp_files());
 }
 
 TEST(WarmRestartTest, CheckpointWithoutPersistenceIsAnError) {

@@ -14,7 +14,10 @@
 //
 // Diagnostic only: never modifies a file, and a corrupt file is a normal
 // input (that is what the tool is for), reported field by field instead of
-// rejected whole. Exits 1 only when a file cannot be read at all.
+// rejected whole. The exit code makes it scriptable as a CI corruption
+// gate: 0 = every file healthy, 1 = a file could not be read at all,
+// 2 = usage error, 3 = integrity findings (section CRC mismatch,
+// unparseable snapshot container, or a journal torn tail).
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
@@ -86,13 +89,16 @@ void DescribeEGraphSection(std::string_view payload) {
               image.value().roots.size());
 }
 
-void InspectSnapshot(const std::string& path, std::string_view image) {
+/// Returns the number of integrity findings (CRC mismatches, unparseable
+/// container) — the process exit code reports them to scripts.
+size_t InspectSnapshot(const std::string& path, std::string_view image) {
   auto file = SnapshotFileReader::Parse(image);
   if (!file.ok()) {
     std::printf("  UNREADABLE snapshot: %s\n",
                 file.status().ToString().c_str());
-    return;
+    return 1;
   }
+  size_t findings = 0;
   const SnapshotHeader& h = file.value().header();
   std::printf("  snapshot container (%zu bytes)\n", image.size());
   std::printf("    format version   %u%s\n", h.format_version,
@@ -109,7 +115,10 @@ void InspectSnapshot(const std::string& path, std::string_view image) {
     std::printf("    section %-10s %8zu bytes, crc %08x %s\n",
                 SectionIdName(section.id), section.payload.size(),
                 section.stored_crc, section.crc_ok ? "ok" : "MISMATCH");
-    if (!section.crc_ok) continue;
+    if (!section.crc_ok) {
+      ++findings;
+      continue;
+    }
     switch (section.id) {
       case SectionId::kPlanCache:
         DescribePlanSection(section.payload);
@@ -125,9 +134,11 @@ void InspectSnapshot(const std::string& path, std::string_view image) {
     }
   }
   (void)path;
+  return findings;
 }
 
-void InspectJournal(std::string_view image) {
+/// Returns 1 when the journal ends in a torn record, else 0.
+size_t InspectJournal(std::string_view image) {
   const std::vector<std::string> records = DecodeJournalRecords(image);
   size_t headers = 0, inserts = 0, unknown = 0, decoded_bytes = 0;
   for (const std::string& record : records) {
@@ -156,13 +167,13 @@ void InspectJournal(std::string_view image) {
       ++unknown;
     }
   }
+  const bool torn = decoded_bytes < image.size();
   std::printf("  journal (%zu bytes): %zu intact records — %zu header, %zu "
               "insert%s%s\n",
               image.size(), records.size(), headers, inserts,
               unknown ? ", some unknown-type" : "",
-              decoded_bytes < image.size() ? "; TORN TAIL (expected after a "
-                                             "crash mid-append)"
-                                           : "");
+              torn ? "; TORN TAIL (expected after a crash mid-append)" : "");
+  return torn ? 1 : 0;
 }
 
 int Inspect(const std::string& path) {
@@ -176,12 +187,10 @@ int Inspect(const std::string& path) {
     uint32_t magic = 0;
     std::memcpy(&magic, image.value().data(), 4);
     if (magic == kSnapshotMagic) {
-      InspectSnapshot(path, image.value());
-      return 0;
+      return InspectSnapshot(path, image.value()) > 0 ? 3 : 0;
     }
     if (magic == kJournalRecordMagic) {
-      InspectJournal(image.value());
-      return 0;
+      return InspectJournal(image.value()) > 0 ? 3 : 0;
     }
   }
   std::printf("  not a SPORES snapshot or journal (no magic)\n");
