@@ -1,0 +1,356 @@
+// Multicore scaling study for the contention-hardened serving core (PR 9):
+// the same mixed query stream pushed through the SessionPool at shard
+// scales 1/2/4/8/16, with as many submitter threads as shards, reporting
+// per-scale throughput, completion-latency percentiles, and the PR 9
+// contention telemetry (consumer-guard/router/intern/DimEnv slow-path
+// hits, steals, parking events) against a single blocking session
+// baseline.
+//
+// Honesty rules, learned from bench_serving:
+//  * identity — at EVERY scale, each distinct query whose first non-cached
+//    execution converged must extract a bit-identical plan cost to the
+//    single-session baseline. Hard gate in every mode, including --smoke:
+//    concurrency may move work, never change answers.
+//  * speedup — the >= 8-shard row must reach >= 3x the single session, but
+//    the gate only arms in full mode on hardware with >= 8 concurrent
+//    threads. On smaller machines every row still runs and reports
+//    (queueing behavior, contention counters and identity are hardware-
+//    independent); the wall-clock claim is labeled report-only rather
+//    than pretending one core can demonstrate parallel speedup.
+//  * scales above the machine are NOT skipped: oversubscribed rows are
+//    where the lock-free spine earns its keep (mutex queues collapse
+//    under preemption-while-holding; the MPSC exchange cannot).
+//
+// Flags:
+//   --smoke       scales {1,2}, fewer repeats, shrunk catalogs (CI)
+//   --json FILE   write the full sweep as JSON (BENCH_pr9.json in CI)
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/serve/session_pool.h"
+#include "src/util/rng.h"
+
+namespace {
+
+using namespace spores;
+using namespace spores::bench;
+
+struct DistinctQuery {
+  std::string label;
+  ExprPtr expr;
+  std::shared_ptr<const Catalog> catalog;
+};
+
+struct Outcome {
+  double cost = 0.0;
+  bool converged = false;
+  bool fallback = false;
+  bool recorded = false;
+
+  /// First non-cached execution only (same policy as bench_serving): a
+  /// stolen repeat may stop on a budget where the first run converged, and
+  /// must not evict the gated observation.
+  void Observe(const OptimizedPlan& plan) {
+    if (recorded || plan.cache_hit) return;
+    recorded = true;
+    cost = plan.plan_cost;
+    converged = plan.saturation.stop_reason == StopReason::kSaturated;
+    fallback = plan.used_fallback;
+  }
+};
+
+std::vector<DistinctQuery> BuildDistinct(bool smoke) {
+  std::vector<DistinctQuery> out;
+  for (const Program& prog : AllPrograms()) {
+    ScalePoint scale = ScalesFor(prog.name)[0];
+    if (smoke) {
+      scale.rows = std::max<int64_t>(scale.rows / 8, 64);
+      scale.cols = std::max<int64_t>(scale.cols / 8, 32);
+    }
+    auto catalog =
+        std::make_shared<Catalog>(DataFor(prog.name, scale).catalog);
+    out.push_back({prog.name + " base", prog.expr, catalog});
+    out.push_back({prog.name + " abs", Expr::Unary("abs", prog.expr), catalog});
+    out.push_back(
+        {prog.name + " sign", Expr::Unary("sign", prog.expr), catalog});
+  }
+  return out;
+}
+
+double Percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  double idx = p * static_cast<double>(sorted.size() - 1);
+  size_t lo = static_cast<size_t>(idx);
+  size_t hi = std::min(lo + 1, sorted.size() - 1);
+  double frac = idx - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+/// One row of the sweep: everything measured at a single (shards, threads)
+/// scale. Contention counters come straight from PoolStats (monotone,
+/// slow-path-only — see src/util/contention.h).
+struct ScaleRow {
+  size_t shards = 0;
+  size_t threads = 0;
+  double seconds = 0.0;
+  double qps = 0.0;
+  double speedup = 0.0;  ///< vs the single blocking session
+  double p50_ms = 0.0, p95_ms = 0.0, p99_ms = 0.0;
+  size_t steals = 0;
+  size_t park_events = 0;
+  uint64_t pop_lock_contended = 0;
+  uint64_t router_contended = 0;
+  uint64_t intern_contended = 0;
+  uint64_t dim_write_contended = 0;
+  double cache_hit_rate = 0.0;
+  size_t compared = 0, mismatches = 0, skipped = 0;
+  size_t submitted = 0, completed = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
+
+  FILE* json = nullptr;
+  if (json_path) {
+    json = std::fopen(json_path, "w");
+    if (!json) {
+      std::fprintf(stderr, "cannot open %s\n", json_path);
+      return 1;
+    }
+  }
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  const std::vector<size_t> scales =
+      smoke ? std::vector<size_t>{1, 2} : std::vector<size_t>{1, 2, 4, 8, 16};
+  const std::vector<DistinctQuery> distinct = BuildDistinct(smoke);
+  const int kRepeats = smoke ? 2 : 4;
+
+  // The query stream: every distinct query kRepeats times, shuffled once
+  // with a fixed seed — every scale (and the baseline) sees the identical
+  // stream, so rows are comparable.
+  std::vector<size_t> stream;
+  for (int r = 0; r < kRepeats; ++r) {
+    for (size_t d = 0; d < distinct.size(); ++d) stream.push_back(d);
+  }
+  Rng rng(2024);
+  for (size_t i = stream.size(); i > 1; --i) {
+    std::swap(stream[i - 1], stream[rng.Uniform(i)]);
+  }
+
+  SessionConfig cfg;  // the paper's fast serving configuration
+  cfg.runner.strategy = SaturationStrategy::kSampling;
+  cfg.extraction = ExtractionStrategy::kGreedy;
+
+  std::printf("Scaling study: shards x submitter-threads sweep over "
+              "{%zu..%zu}, %zu distinct x %d repeats = %zu stream entries, "
+              "hw threads %u%s\n\n",
+              scales.front(), scales.back(), distinct.size(), kRepeats,
+              stream.size(), hw, smoke ? " [smoke]" : "");
+
+  // ---- Baseline: one blocking session, stream order ----
+  std::vector<Outcome> single(distinct.size());
+  Timer t;
+  {
+    OptimizerSession session(cfg);
+    for (size_t d : stream) {
+      single[d].Observe(
+          session.Optimize(distinct[d].expr, *distinct[d].catalog));
+    }
+  }
+  const double single_seconds = t.Seconds();
+  std::printf("baseline: single session, %.2fs (%.1f q/s)\n\n",
+              single_seconds,
+              static_cast<double>(stream.size()) / single_seconds);
+
+  // ---- Sweep ----
+  std::vector<ScaleRow> rows;
+  int rc = 0;
+  std::printf("%6s %7s %8s %8s %8s %7s %6s %6s %9s %9s  %s\n", "shards",
+              "threads", "seconds", "q/s", "speedup", "p99ms", "steals",
+              "parks", "contended", "cachehit", "identity");
+  std::printf("%.100s\n", std::string(100, '-').c_str());
+  for (size_t scale : scales) {
+    ScaleRow row;
+    row.shards = scale;
+    // One submitter thread per shard: submission-side parallelism grows
+    // with the pool, which is exactly what the lock-free enqueue path has
+    // to absorb. Above hw this oversubscribes on purpose (see header).
+    row.threads = scale;
+
+    std::vector<Outcome> sharded(distinct.size());
+    std::mutex observe_mu;  // guards sharded[] + latencies (bench-side only)
+    std::vector<double> latencies;
+    latencies.reserve(stream.size());
+
+    t.Reset();
+    {
+      auto context = std::make_shared<const OptimizerContext>(cfg);
+      PoolConfig pool_cfg;
+      pool_cfg.num_shards = scale;
+      SessionPool pool(context, pool_cfg);
+      std::vector<std::thread> submitters;
+      for (size_t tid = 0; tid < row.threads; ++tid) {
+        submitters.emplace_back([&, tid] {
+          // Round-robin slice of the shared stream; priorities rotate
+          // through high/normal/low to keep all queue levels exercised
+          // (priority never changes a result, only ordering).
+          for (size_t i = tid; i < stream.size(); i += row.threads) {
+            const DistinctQuery& q = distinct[stream[i]];
+            ServeRequest request;
+            request.expr = q.expr;
+            request.catalog = q.catalog;
+            request.priority = static_cast<int>(i % 3);
+            Timer submit_timer;
+            auto future = pool.SubmitAsync(request);
+            future.then([&, submit_timer,
+                         d = stream[i]](const StatusOr<OptimizedPlan>& r) {
+              std::lock_guard<std::mutex> lock(observe_mu);
+              latencies.push_back(submit_timer.Seconds());
+              if (r.ok()) sharded[d].Observe(r.value());
+            });
+          }
+        });
+      }
+      for (auto& s : submitters) s.join();
+      pool.Drain();
+      row.seconds = t.Seconds();  // first submit through full drain
+
+      PoolStats stats = pool.Stats();
+      row.steals = stats.TotalSteals();
+      row.park_events = stats.park_events;
+      row.pop_lock_contended = stats.pop_lock_contended;
+      row.router_contended = stats.router_contended;
+      row.intern_contended = stats.intern_contended;
+      row.dim_write_contended = stats.dim_write_contended;
+      row.cache_hit_rate = stats.CacheHitRate();
+      row.submitted = stats.submitted;
+      row.completed = stats.completed;
+    }
+    row.qps = static_cast<double>(stream.size()) / row.seconds;
+    row.speedup = row.seconds > 0 ? single_seconds / row.seconds : 0.0;
+    std::sort(latencies.begin(), latencies.end());
+    row.p50_ms = Percentile(latencies, 0.50) * 1e3;
+    row.p95_ms = Percentile(latencies, 0.95) * 1e3;
+    row.p99_ms = Percentile(latencies, 0.99) * 1e3;
+
+    // Identity gate at this scale (hard, every mode).
+    for (size_t d = 0; d < distinct.size(); ++d) {
+      const Outcome& a = single[d];
+      const Outcome& b = sharded[d];
+      if (!a.converged || !b.converged || a.fallback || b.fallback) {
+        ++row.skipped;
+        continue;
+      }
+      ++row.compared;
+      if (a.cost != b.cost) ++row.mismatches;
+    }
+
+    const uint64_t contended_total =
+        row.pop_lock_contended + row.router_contended + row.intern_contended +
+        row.dim_write_contended;
+    char identity[64];
+    std::snprintf(identity, sizeof(identity), "%zu/%zu ok, %zu n/a",
+                  row.compared - row.mismatches, row.compared, row.skipped);
+    std::printf("%6zu %7zu %8.2f %8.1f %7.2fx %7.1f %6zu %6zu %9llu %8.2f%%  "
+                "%s\n",
+                row.shards, row.threads, row.seconds, row.qps, row.speedup,
+                row.p99_ms, row.steals, row.park_events,
+                static_cast<unsigned long long>(contended_total),
+                100.0 * row.cache_hit_rate, identity);
+
+    if (row.mismatches > 0) {
+      std::fprintf(stderr,
+                   "FAIL: %zu plan-cost mismatches vs single session at "
+                   "%zu shards\n",
+                   row.mismatches, row.shards);
+      rc = 1;
+    }
+    if (row.compared == 0) {
+      std::fprintf(stderr, "FAIL: no identity comparisons at %zu shards\n",
+                   row.shards);
+      rc = 1;
+    }
+    if (row.completed != row.submitted) {
+      std::fprintf(stderr,
+                   "FAIL: drain accounting at %zu shards: %zu submitted, "
+                   "%zu completed\n",
+                   row.shards, row.submitted, row.completed);
+      rc = 1;
+    }
+    rows.push_back(row);
+  }
+
+  // ---- Speedup gate (>= 8 shards, armed only on real parallel hardware) --
+  const bool gate_speedup = !smoke && hw >= 8;
+  double best_at_8 = 0.0;
+  for (const ScaleRow& row : rows) {
+    if (row.shards >= 8) best_at_8 = std::max(best_at_8, row.speedup);
+  }
+  if (!smoke) {
+    if (gate_speedup && best_at_8 < 3.0) {
+      std::fprintf(stderr,
+                   "FAIL: best speedup at >= 8 shards is %.2fx, below the "
+                   "required 3x\n",
+                   best_at_8);
+      rc = 1;
+    } else if (!gate_speedup) {
+      std::printf("\nspeedup gate: report-only (%u hardware threads < 8 — "
+                  "wall-clock parallel speedup is not demonstrable here; "
+                  "best >= 8-shard row: %.2fx)\n",
+                  hw, best_at_8);
+    } else {
+      std::printf("\nspeedup gate: PASS (%.2fx at >= 8 shards)\n", best_at_8);
+    }
+  }
+
+  if (json) {
+    std::fprintf(json,
+                 "{\n  \"bench\": \"scaling\",\n  \"smoke\": %s,\n"
+                 "  \"hardware_threads\": %u,\n"
+                 "  \"speedup_gate_armed\": %s,\n"
+                 "  \"distinct_queries\": %zu,\n  \"stream_entries\": %zu,\n"
+                 "  \"single_seconds\": %.6f,\n  \"rows\": [\n",
+                 smoke ? "true" : "false", hw,
+                 gate_speedup ? "true" : "false", distinct.size(),
+                 stream.size(), single_seconds);
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const ScaleRow& r = rows[i];
+      std::fprintf(
+          json,
+          "    {\"shards\": %zu, \"threads\": %zu, \"seconds\": %.6f, "
+          "\"qps\": %.3f, \"speedup\": %.3f, \"p50_ms\": %.3f, "
+          "\"p95_ms\": %.3f, \"p99_ms\": %.3f, \"steals\": %zu, "
+          "\"park_events\": %zu, \"pop_lock_contended\": %llu, "
+          "\"router_contended\": %llu, \"intern_contended\": %llu, "
+          "\"dim_write_contended\": %llu, \"cache_hit_rate\": %.4f, "
+          "\"identity_compared\": %zu, \"identity_mismatches\": %zu, "
+          "\"identity_skipped\": %zu}%s\n",
+          r.shards, r.threads, r.seconds, r.qps, r.speedup, r.p50_ms,
+          r.p95_ms, r.p99_ms, r.steals, r.park_events,
+          static_cast<unsigned long long>(r.pop_lock_contended),
+          static_cast<unsigned long long>(r.router_contended),
+          static_cast<unsigned long long>(r.intern_contended),
+          static_cast<unsigned long long>(r.dim_write_contended),
+          r.cache_hit_rate, r.compared, r.mismatches, r.skipped,
+          i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(json, "  ]\n}\n");
+    std::fclose(json);
+  }
+  return rc;
+}

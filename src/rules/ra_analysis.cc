@@ -10,36 +10,44 @@ namespace spores {
 
 void DimEnv::Set(Symbol attr, int64_t dim) {
   SPORES_CHECK_GT(dim, 0);
-  std::unique_lock<std::shared_mutex> lock(mu_);
-  auto it = dims_.find(attr);
-  if (it != dims_.end()) {
+  Bucket& b = BucketOf(attr);
+  std::unique_lock<std::shared_mutex> lock(b.mu, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    write_contended_.fetch_add(1, std::memory_order_relaxed);
+    lock.lock();
+  }
+  auto it = b.dims.find(attr);
+  if (it != b.dims.end()) {
     SPORES_CHECK_MSG(it->second == dim, "attribute re-bound to new dimension");
     return;
   }
-  dims_.emplace(attr, dim);
+  b.dims.emplace(attr, dim);
 }
 
 int64_t DimEnv::DimOf(Symbol attr) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
-  auto it = dims_.find(attr);
-  SPORES_CHECK_MSG(it != dims_.end(), attr.str().c_str());
+  const Bucket& b = BucketOf(attr);
+  std::shared_lock<std::shared_mutex> lock(b.mu);
+  auto it = b.dims.find(attr);
+  SPORES_CHECK_MSG(it != b.dims.end(), attr.str().c_str());
   return it->second;
 }
 
 bool DimEnv::Has(Symbol attr) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
-  return dims_.count(attr) > 0;
+  const Bucket& b = BucketOf(attr);
+  std::shared_lock<std::shared_mutex> lock(b.mu);
+  return b.dims.count(attr) > 0;
 }
 
 double DimEnv::SizeOf(const std::vector<Symbol>& attrs) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
   double size = 1.0;
   for (Symbol a : attrs) {
-    auto it = dims_.find(a);
-    SPORES_CHECK_MSG(it != dims_.end(), a.str().c_str());
-    size *= static_cast<double>(it->second);
+    size *= static_cast<double>(DimOf(a));
   }
   return size;
+}
+
+uint64_t DimEnv::WriteContended() const {
+  return write_contended_.load(std::memory_order_relaxed);
 }
 
 std::vector<Symbol> AttrUnion(const std::vector<Symbol>& a,

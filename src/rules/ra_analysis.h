@@ -5,7 +5,9 @@
 // translation, analysis, cost model, and extraction.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <shared_mutex>
 #include <unordered_map>
@@ -22,9 +24,16 @@ namespace spores {
 /// attribute to a different dimension is a checked error), so one DimEnv can
 /// back many concurrent optimizer sessions — deterministic LA->RA attribute
 /// naming folds the dimension into every generated name, so racing Set calls
-/// for the same attribute always agree and the winner is irrelevant. Reads
-/// take a shared lock; a read following any Set of that attribute (on any
-/// thread, ordered by the lock) sees it.
+/// for the same attribute always agree and the winner is irrelevant.
+///
+/// Sharded against contention (PR 9): entries are distributed across
+/// cache-line-aligned buckets by symbol hash, each with its own
+/// reader-writer lock, so sessions on different serving shards only collide
+/// when they touch attributes hashing into the same bucket. Reads take that
+/// bucket's shared lock; a read following any Set of that attribute (on any
+/// thread, ordered by the bucket lock) sees it. SizeOf locks one bucket at
+/// a time — safe because entries are write-once, so there is no multi-
+/// attribute invariant a bucket-at-a-time walk could observe half-updated.
 class DimEnv {
  public:
   DimEnv() = default;
@@ -40,9 +49,25 @@ class DimEnv {
   /// must be bound.
   double SizeOf(const std::vector<Symbol>& attrs) const;
 
+  /// Set() calls that found their bucket's writer lock held. Monotone; a
+  /// profile counter for the scaling study, not a synchronization point.
+  uint64_t WriteContended() const;
+
  private:
-  mutable std::shared_mutex mu_;
-  std::unordered_map<Symbol, int64_t> dims_;
+  static constexpr size_t kBucketBits = 4;
+  static constexpr size_t kNumBuckets = size_t{1} << kBucketBits;  // 16
+
+  struct alignas(64) Bucket {
+    mutable std::shared_mutex mu;
+    std::unordered_map<Symbol, int64_t> dims;
+  };
+
+  Bucket& BucketOf(Symbol attr) const {
+    return buckets_[std::hash<Symbol>{}(attr) & (kNumBuckets - 1)];
+  }
+
+  mutable Bucket buckets_[kNumBuckets];
+  mutable std::atomic<uint64_t> write_contended_{0};
 };
 
 /// Shared context threaded through analysis, rules, cost and extraction.

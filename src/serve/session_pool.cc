@@ -11,6 +11,7 @@
 #include "src/canon/isomorphism.h"
 #include "src/cost/cost_model.h"
 #include "src/util/check.h"
+#include "src/util/symbol.h"
 
 namespace spores {
 
@@ -20,22 +21,6 @@ int64_t NowNanos() {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
-}
-
-/// Index of the best job in `queue`: lowest priority value first, FIFO
-/// (enqueue seq) within a level. Queues are short; a linear scan beats
-/// maintaining a heap under the shard mutex.
-template <typename Queue>
-size_t BestJob(const Queue& queue) {
-  size_t best = 0;
-  for (size_t i = 1; i < queue.size(); ++i) {
-    if (queue[i]->priority < queue[best]->priority ||
-        (queue[i]->priority == queue[best]->priority &&
-         queue[i]->seq < queue[best]->seq)) {
-      best = i;
-    }
-  }
-  return best;
 }
 
 }  // namespace
@@ -112,6 +97,13 @@ std::string PoolStats::ToString() const {
     os << "; containment: " << TotalRestarts() << " shard restarts, "
        << quarantined << " quarantined, " << shed << " shed";
   }
+  // Same deal for contention: uncontended runs print nothing new.
+  if (pop_lock_contended > 0 || router_contended > 0 || intern_contended > 0 ||
+      dim_write_contended > 0) {
+    os << "; contention: " << pop_lock_contended << " pop-lock, "
+       << router_contended << " router, " << intern_contended << " intern, "
+       << dim_write_contended << " dim-write (" << park_events << " parks)";
+  }
   os << "\n";
   for (size_t i = 0; i < shards.size(); ++i) {
     const ShardStats& s = shards[i];
@@ -182,6 +174,13 @@ SessionPool::SessionPool(std::shared_ptr<const OptimizerContext> context,
       }
     }
   }
+  // Seed every shard's published stats mirror so Stats() has something to
+  // read before the first job. Republishing is idempotent — the mirror is
+  // always re-read from the session itself, so cold pools report zeros and
+  // warm pools their restored counters.
+  for (auto& shard : shards_) {
+    PublishSnapshot(*shard);
+  }
   // Workers start only after every shard exists: a thief scans all queues.
   for (size_t i = 0; i < config_.num_shards; ++i) {
     shards_[i]->worker = std::thread([this, i] { WorkerLoop(i); });
@@ -243,9 +242,7 @@ void SessionPool::RestoreShards() {
     }
     // Publish restore counters so Stats() reflects the warm state before
     // the first job snapshots them organically.
-    shard.session_stats = shard.session->stats();
-    shard.cache_stats = shard.session->cache_stats();
-    shard.cache_entries = shard.session->PlanCacheSize();
+    PublishSnapshot(shard);
   }
 }
 
@@ -276,35 +273,55 @@ SessionPool::~SessionPool() {
   for (auto& shard : shards_) {
     if (shard->worker.joinable()) shard->worker.join();
   }
+  // Drain() proved every pushed job was popped; this defensive sweep only
+  // matters if that invariant is ever broken, and keeps the intrusive
+  // queue from leaking in that case.
+  for (auto& shard : shards_) {
+    while (MpscNode* node = shard->queue.PopHighestPriority()) {
+      delete static_cast<Job*>(node);
+    }
+  }
 }
 
 const std::vector<size_t>& SessionPool::QueueDepths() const {
-  // Lock-free snapshot of the atomic depth mirrors (see Shard::depth):
-  // router bias is a heuristic, so a slightly stale depth is fine, and the
-  // submit hot path must neither contend with every worker's queue mutex
-  // nor heap-allocate per submission (the buffer is reused per thread).
+  // Lock-free snapshot of the HotMirror depths: router bias is a
+  // heuristic, so a slightly stale depth is fine, and the submit hot path
+  // must neither contend with the workers nor heap-allocate per
+  // submission (the buffer is reused per thread).
   static thread_local std::vector<size_t> depths;
   depths.assign(shards_.size(), 0);
   for (size_t i = 0; i < shards_.size(); ++i) {
-    depths[i] = shards_[i]->depth.load(std::memory_order_relaxed);
+    depths[i] = shards_[i]->hot.depth.load(std::memory_order_relaxed);
   }
   return depths;
+}
+
+void SessionPool::WakeWorkers() {
+  work_epoch_.fetch_add(1, std::memory_order_seq_cst);
+  // Dekker handshake with WorkerLoop: it registers in parked_ BEFORE
+  // re-checking the epoch. In the seq_cst total order either our bump
+  // precedes its re-check (it sees new work and never sleeps) or its
+  // registration precedes our load here (we see parked_ > 0 and wake it).
+  if (parked_.load(std::memory_order_seq_cst) == 0) return;
+  // Empty lock/unlock before notify: a worker between its predicate check
+  // and the actual block holds park_mu_, so acquiring it here means every
+  // registered sleeper is either fully blocked (notify reaches it) or has
+  // not yet evaluated the predicate (it will see the bumped epoch).
+  { std::lock_guard<std::mutex> lock(park_mu_); }
+  park_cv_.notify_all();
 }
 
 SessionPool::Future SessionPool::Enqueue(std::unique_ptr<Job> job) {
   Future future = Future::Make();
   job->state = future.state_;
-  job->seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
   Shard& home = *shards_[job->home_shard];
   // Poison-query quarantine: a canonical form that has crashed or hung
   // shards `strikes` times is turned away before it can take down another
   // worker — checked ahead of depth/age admission so a poison query never
   // consumes an admission slot either.
-  if (config_.quarantine.strikes > 0 && QuarantineRejects(QuarantineHash(*job))) {
-    {
-      std::lock_guard<std::mutex> lock(home.mu);
-      ++home.rejected;
-    }
+  if (config_.quarantine.strikes > 0 &&
+      QuarantineRejects(QuarantineHash(*job))) {
+    home.rejected.fetch_add(1, std::memory_order_relaxed);
     quarantined_.fetch_add(1, std::memory_order_relaxed);
     future.state_->Complete(Status::FailedPrecondition(
         "quarantined: this query repeatedly crashed or hung optimizer "
@@ -319,13 +336,10 @@ SessionPool::Future SessionPool::Enqueue(std::unique_ptr<Job> job) {
       job->priority >= kPriorityLow) {
     size_t arena_total = 0;
     for (const auto& s : shards_) {
-      arena_total += s->arena_nodes.load(std::memory_order_relaxed);
+      arena_total += s->hot.arena_nodes.load(std::memory_order_relaxed);
     }
     if (arena_total > config_.admission.shed_arena_nodes) {
-      {
-        std::lock_guard<std::mutex> lock(home.mu);
-        ++home.rejected;
-      }
+      home.rejected.fetch_add(1, std::memory_order_relaxed);
       shed_.fetch_add(1, std::memory_order_relaxed);
       future.state_->Complete(Status::ResourceExhausted(
           "shed: pool e-graph memory over threshold, low-priority work "
@@ -333,58 +347,49 @@ SessionPool::Future SessionPool::Enqueue(std::unique_ptr<Job> job) {
       return future;
     }
   }
-  bool rejected = false;
-  {
-    std::lock_guard<std::mutex> lock(home.mu);
-    // Admission control: a queue at its depth bound, or whose oldest
-    // waiter has aged past the backlog threshold, is not draining — a new
-    // arrival would only wait to expire. Reject it now, while the caller
-    // can still shed load or retry elsewhere, instead of after it has
-    // burned its deadline in line.
-    const AdmissionConfig& adm = config_.admission;
-    rejected =
-        (adm.max_queue_depth > 0 && home.queue.size() >= adm.max_queue_depth);
-    if (!rejected && adm.max_queue_age_seconds > 0 && !home.queue.empty()) {
-      // Stall signal: how long the queue has gone without a dequeue while
-      // jobs wait. The front of the deque is the oldest admission (pushes
-      // are back-only, removals order-preserving), so min(front's wait,
-      // time since last pop) is exactly that — O(1), and immune to one
-      // starved low-priority waiter aging while the queue drains fine.
-      double front_wait = home.queue.front()->queued.Seconds();
-      double since_pop =
-          static_cast<double>(
-              NowNanos() - home.last_pop_ns.load(std::memory_order_relaxed)) *
-          1e-9;
-      rejected = std::min(front_wait, since_pop) > adm.max_queue_age_seconds;
-    }
-    if (rejected) {
-      ++home.rejected;
-    } else {
-      // Count the job submitted BEFORE it becomes visible in the queue
-      // (lock order home.mu -> done_mu_, used nowhere in reverse): a
-      // worker popping and completing it instantly must never drive
-      // completed_ past submitted_ under Drain()'s predicate.
-      {
-        std::lock_guard<std::mutex> done_lock(done_mu_);
-        ++submitted_;
-      }
-      job->queued.Reset();  // age clock starts at admission, not enqueue
-      home.queue.push_back(std::move(job));
-      home.depth.store(home.queue.size(), std::memory_order_relaxed);
-    }
+  // Admission control, lock-free off the HotMirror: a queue at its depth
+  // bound, or stalled past the backlog threshold, is not draining — a new
+  // arrival would only wait to expire. Reject it now, while the caller
+  // can still shed load or retry elsewhere, instead of after it has
+  // burned its deadline in line. The reads are racy by a handful of
+  // nanoseconds against concurrent pops/pushes; admission thresholds are
+  // load-shedding heuristics and tolerate that by design.
+  const AdmissionConfig& adm = config_.admission;
+  const size_t depth = home.hot.depth.load(std::memory_order_acquire);
+  bool rejected =
+      (adm.max_queue_depth > 0 && depth >= adm.max_queue_depth);
+  if (!rejected && adm.max_queue_age_seconds > 0 && depth > 0) {
+    // Stall signal: how long the CURRENT backlog has sat with no dequeue.
+    // The clock starts at the later of (last pop, queue became non-empty):
+    // a recent pop means the pile is moving; a recently-refilled queue
+    // hasn't been waiting yet. Immune to one starved low-priority waiter
+    // aging while the queue drains fine (that bumps last_pop_ns).
+    const int64_t moving_since =
+        std::max(home.hot.last_pop_ns.load(std::memory_order_relaxed),
+                 home.hot.nonempty_since_ns.load(std::memory_order_relaxed));
+    const double stalled_for =
+        static_cast<double>(NowNanos() - moving_since) * 1e-9;
+    rejected = stalled_for > adm.max_queue_age_seconds;
   }
   if (rejected) {
-    // Complete outside the shard lock (nothing can have registered a
-    // callback yet, but Complete should never run under a pool mutex).
+    home.rejected.fetch_add(1, std::memory_order_relaxed);
     future.state_->Complete(Status::ResourceExhausted(
         "admission: shard queue over depth/age threshold"));
     return future;
   }
-  {
-    std::lock_guard<std::mutex> lock(park_mu_);
-    ++work_epoch_;
+  // Count the job submitted BEFORE it becomes visible in the queue: a
+  // worker popping and completing it instantly must never drive
+  // completed_ past submitted_ under Drain()'s predicate.
+  submitted_.fetch_add(1, std::memory_order_acq_rel);
+  // Depth up BEFORE the push: a consumer that sees the node also sees
+  // depth > 0, so its post-pop fetch_sub can never underflow; and depth==0
+  // remains a proof of emptiness (see HotMirror::depth).
+  if (home.hot.depth.fetch_add(1, std::memory_order_acq_rel) == 0) {
+    home.hot.nonempty_since_ns.store(NowNanos(), std::memory_order_relaxed);
   }
-  park_cv_.notify_all();
+  const int priority = job->priority;
+  home.queue.Push(job.release(), priority);
+  WakeWorkers();
   return future;
 }
 
@@ -524,55 +529,94 @@ std::vector<SessionPool::Future> SessionPool::BatchSubmit(
     Future job_future = Enqueue(std::move(job));
     for (size_t m : g.members) futures[m] = AttachMember(job_future);
   }
-  if (dedup_hits > 0 || pregroup_hits > 0) {
-    std::lock_guard<std::mutex> lock(done_mu_);
-    dedup_hits_ += dedup_hits;
-    pregroup_hits_ += pregroup_hits;
+  if (pregroup_hits > 0) {
+    pregroup_hits_.fetch_add(pregroup_hits, std::memory_order_relaxed);
+  }
+  if (dedup_hits > 0) {
+    dedup_hits_.fetch_add(dedup_hits, std::memory_order_relaxed);
   }
   return futures;
 }
 
 PoolStats SessionPool::Stats() const {
+  // Lock-free, weakly consistent (contract in session_pool.h): relaxed
+  // counter reads plus the worker-published session/cache mirror.
   PoolStats out;
   out.shards.reserve(shards_.size());
   for (const auto& shard : shards_) {
     ShardStats s;
     s.busy = shard->busy.load(std::memory_order_relaxed);
     s.poisoned = shard->poisoned.load(std::memory_order_relaxed);
-    std::lock_guard<std::mutex> lock(shard->mu);
-    s.executed = shard->executed;
-    s.steals = shard->steals;
-    s.stolen_from = shard->stolen_from;
-    s.expired = shard->expired;
-    s.cancelled = shard->cancelled;
-    s.rejected = shard->rejected;
-    s.queue_depth = shard->queue.size();
-    s.session = shard->session_stats;
-    s.cache = shard->cache_stats;
-    s.cache_entries = shard->cache_entries;
+    s.executed = shard->executed.load(std::memory_order_relaxed);
+    s.steals = shard->steals.load(std::memory_order_relaxed);
+    s.stolen_from = shard->stolen_from.load(std::memory_order_relaxed);
+    s.expired = shard->expired.load(std::memory_order_relaxed);
+    s.cancelled = shard->cancelled.load(std::memory_order_relaxed);
+    s.rejected = shard->rejected.load(std::memory_order_relaxed);
+    s.queue_depth = shard->hot.depth.load(std::memory_order_relaxed);
+    s.pop_lock_contended = shard->pop_lock.contended();
+    const SessionSnapshot& snap = shard->snapshot;
+    s.session.queries = snap.queries.load(std::memory_order_relaxed);
+    s.session.cache_hits = snap.cache_hits.load(std::memory_order_relaxed);
+    s.session.cache_misses =
+        snap.cache_misses.load(std::memory_order_relaxed);
+    s.session.fallbacks = snap.fallbacks.load(std::memory_order_relaxed);
+    s.session.saturations = snap.saturations.load(std::memory_order_relaxed);
+    s.session.graph_reuses =
+        snap.graph_reuses.load(std::memory_order_relaxed);
+    s.session.graph_resets =
+        snap.graph_resets.load(std::memory_order_relaxed);
+    s.session.compactions = snap.compactions.load(std::memory_order_relaxed);
+    s.session.arena_high_water =
+        snap.arena_high_water.load(std::memory_order_relaxed);
+    s.session.restored_plans =
+        snap.restored_plans.load(std::memory_order_relaxed);
+    s.session.restored_classes =
+        snap.restored_classes.load(std::memory_order_relaxed);
+    s.session.compile_seconds =
+        snap.compile_seconds.load(std::memory_order_relaxed);
+    s.cache.hits = snap.cache_lookups_hit.load(std::memory_order_relaxed);
+    s.cache.misses = snap.cache_lookups_miss.load(std::memory_order_relaxed);
+    s.cache.insertions =
+        snap.cache_insertions.load(std::memory_order_relaxed);
+    s.cache.evictions = snap.cache_evictions.load(std::memory_order_relaxed);
+    s.cache_entries = snap.cache_entries.load(std::memory_order_relaxed);
+    // Written once before the workers spawned; immutable since.
     s.cold_start = shard->cold_start;
     s.cold_start_detail = shard->cold_start_detail;
     s.snapshot_age_seconds = shard->snapshot_age_seconds;
-    s.restarts = shard->restarts;
-    s.restart_poisoned = shard->restart_poisoned;
-    s.restart_bad_alloc = shard->restart_bad_alloc;
-    s.restart_hangs = shard->restart_hangs;
+    s.restarts = shard->restarts.load(std::memory_order_relaxed);
+    s.restart_poisoned =
+        shard->restart_poisoned.load(std::memory_order_relaxed);
+    s.restart_bad_alloc =
+        shard->restart_bad_alloc.load(std::memory_order_relaxed);
+    s.restart_hangs = shard->restart_hangs.load(std::memory_order_relaxed);
+    out.pop_lock_contended += s.pop_lock_contended;
     out.shards.push_back(std::move(s));
   }
   out.quarantined = quarantined_.load(std::memory_order_relaxed);
   out.shed = shed_.load(std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(done_mu_);
-  out.submitted = submitted_;
-  out.completed = completed_;
-  out.dedup_hits = dedup_hits_;
-  out.pregroup_hits = pregroup_hits_;
+  // completed before submitted: submitted only grows and every completion
+  // was counted as submitted first, so this read order guarantees the
+  // documented completed <= submitted invariant.
+  out.completed = completed_.load(std::memory_order_acquire);
+  out.submitted = submitted_.load(std::memory_order_acquire);
+  out.dedup_hits = dedup_hits_.load(std::memory_order_relaxed);
+  out.pregroup_hits = pregroup_hits_.load(std::memory_order_relaxed);
+  out.park_events = park_events_.load(std::memory_order_relaxed);
+  out.router_contended = router_.ContendedAcquisitions();
+  out.intern_contended = Symbol::InternContended();
+  out.dim_write_contended = context_->dims()->WriteContended();
   return out;
 }
 
 void SessionPool::Drain() {
   {
     std::unique_lock<std::mutex> lock(done_mu_);
-    done_cv_.wait(lock, [&] { return completed_ == submitted_; });
+    done_cv_.wait(lock, [&] {
+      return completed_.load(std::memory_order_acquire) ==
+             submitted_.load(std::memory_order_acquire);
+    });
   }
   // A drained pool's journaled state is on disk, not in a stdio buffer:
   // callers use Drain() as the quiesce point before copying/inspecting the
@@ -629,25 +673,26 @@ void SessionPool::WithShardSession(
       sig->done = true;
       sig->cv.notify_all();
     };
+    shard.has_control.store(true, std::memory_order_release);
   }
   // Wake a parked worker to find the task — the same missed-wakeup-free
   // epoch protocol enqueues use. A busy worker picks it up at the top of
   // its next loop iteration, after the current job.
-  {
-    std::lock_guard<std::mutex> lock(park_mu_);
-    ++work_epoch_;
-  }
-  park_cv_.notify_all();
+  WakeWorkers();
   std::unique_lock<std::mutex> wait_lock(sig->mu);
   sig->cv.wait(wait_lock, [&] { return sig->done; });
 }
 
 void SessionPool::RunControl(size_t self) {
   Shard& shard = *shards_[self];
+  // Hot path: one relaxed-ish load. The mutex is touched only when a
+  // control task actually exists (checkpoints — rare).
+  if (!shard.has_control.load(std::memory_order_acquire)) return;
   std::function<void()> task;
   {
     std::lock_guard<std::mutex> lock(shard.mu);
     task.swap(shard.control);
+    shard.has_control.store(false, std::memory_order_relaxed);
   }
   if (task) task();
 }
@@ -658,16 +703,25 @@ std::unique_ptr<SessionPool::Job> SessionPool::NextJob(size_t self,
   *stolen = false;
   *retry_soon = false;
   Shard& own = *shards_[self];
-  {
-    std::lock_guard<std::mutex> lock(own.mu);
-    if (!own.queue.empty()) {
-      size_t best = BestJob(own.queue);
-      auto job = std::move(own.queue[best]);
-      own.queue.erase(own.queue.begin() + static_cast<ptrdiff_t>(best));
-      own.depth.store(own.queue.size(), std::memory_order_relaxed);
-      own.last_pop_ns.store(NowNanos(), std::memory_order_relaxed);
-      return job;
+  // Own queue first. depth == 0 proves emptiness (it is incremented before
+  // every push), so the guard lock is skipped entirely on an idle shard.
+  if (own.hot.depth.load(std::memory_order_acquire) > 0) {
+    own.pop_lock.lock();  // owner blocks (briefly): thieves bounce instead
+    MpscNode* node = own.queue.PopHighestPriority();
+    if (node != nullptr) {
+      own.hot.depth.fetch_sub(1, std::memory_order_acq_rel);
+      own.hot.last_pop_ns.store(NowNanos(), std::memory_order_relaxed);
     }
+    own.pop_lock.unlock();
+    if (node != nullptr) {
+      return std::unique_ptr<Job>(static_cast<Job*>(node));
+    }
+    // depth > 0 but nothing popped: a push is in flight (its depth bump
+    // lands before the node does — see Enqueue), or a thief emptied the
+    // queue between our depth read and the lock. The producer's epoch
+    // bump follows its push, so parking is safe; the timed park below is
+    // belt and braces against pathological preemption mid-push.
+    *retry_soon = true;
   }
   if (!config_.enable_work_stealing || shards_.size() == 1) return nullptr;
   // A queue is stealable when it holds two or more jobs — or exactly one
@@ -695,14 +749,14 @@ std::unique_ptr<SessionPool::Job> SessionPool::NextJob(size_t self,
     return false;
   };
   // Pick the most backlogged stealable queue. Depths come from the
-  // lock-free mirrors (never two shard locks at once), so the argmax can
-  // be stale — the attempt loop below re-verifies under the victim's lock
-  // and falls back to any stealable queue.
+  // lock-free mirrors, so the argmax can be stale — the attempt loop
+  // below re-verifies under the victim's consumer guard and falls back to
+  // any stealable queue.
   size_t best = self, best_depth = 0;
   for (size_t i = 0; i < shards_.size(); ++i) {
     if (i == self) continue;
     Shard& victim = *shards_[i];
-    size_t depth = victim.depth.load(std::memory_order_relaxed);
+    size_t depth = victim.hot.depth.load(std::memory_order_relaxed);
     // A poisoned shard's worker is busy rebuilding its session — its queue
     // drains to peers at ANY depth until the rebuild clears the flag.
     bool stealable =
@@ -720,48 +774,87 @@ std::unique_ptr<SessionPool::Job> SessionPool::NextJob(size_t self,
         attempt == 0 ? best : (self + attempt) % shards_.size();
     if (victim_index == self) continue;
     Shard& victim = *shards_[victim_index];
+    // The bounded fallback lock, confined to the steal path: try_lock only
+    // — a victim mid-dequeue (or another thief) makes us bounce to the
+    // next candidate, never wait. The owner's own pops stay unconstested
+    // one-CAS acquisitions whenever no thief is active.
+    if (!victim.pop_lock.try_lock()) continue;
     bool ignored = false;
-    std::lock_guard<std::mutex> lock(victim.mu);
-    bool stealable = victim.queue.size() >= 2 ||
-                     (!victim.queue.empty() &&
-                      victim.poisoned.load(std::memory_order_acquire)) ||
-                     (victim.queue.size() == 1 &&
-                      lone_stealable(victim, &ignored));
+    const size_t depth = victim.hot.depth.load(std::memory_order_acquire);
+    bool stealable =
+        depth >= 2 ||
+        (depth >= 1 && victim.poisoned.load(std::memory_order_acquire)) ||
+        (depth == 1 && lone_stealable(victim, &ignored));
+    MpscNode* node = nullptr;
     if (stealable) {
-      size_t idx = BestJob(victim.queue);
-      auto job = std::move(victim.queue[idx]);
-      victim.queue.erase(victim.queue.begin() + static_cast<ptrdiff_t>(idx));
-      victim.depth.store(victim.queue.size(), std::memory_order_relaxed);
-      victim.last_pop_ns.store(NowNanos(), std::memory_order_relaxed);
-      ++victim.stolen_from;
+      node = victim.queue.PopHighestPriority();
+      if (node != nullptr) {
+        victim.hot.depth.fetch_sub(1, std::memory_order_acq_rel);
+        victim.hot.last_pop_ns.store(NowNanos(), std::memory_order_relaxed);
+        victim.stolen_from.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    victim.pop_lock.unlock();
+    if (node != nullptr) {
       *stolen = true;
-      return job;
+      return std::unique_ptr<Job>(static_cast<Job*>(node));
     }
   }
   return nullptr;
 }
 
 void SessionPool::FinishJob() {
-  {
-    std::lock_guard<std::mutex> lock(done_mu_);
-    ++completed_;
+  const size_t done = completed_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  // Only the completion that reaches the quiescent point pays the mutex;
+  // every other completion is one atomic increment. The empty lock/unlock
+  // pairs with Drain()'s predicate evaluation under done_mu_ (same
+  // lock-before-notify reasoning as WakeWorkers).
+  if (done == submitted_.load(std::memory_order_acquire)) {
+    { std::lock_guard<std::mutex> lock(done_mu_); }
+    done_cv_.notify_all();
   }
-  done_cv_.notify_all();
 }
 
 void SessionPool::DisposeJob(size_t self, Job& job, Status status) {
   Shard& shard = *shards_[self];
   bool expired = status.code() == StatusCode::kDeadlineExceeded;
   job.state->Complete(Future::Result(std::move(status)));
-  {
-    std::lock_guard<std::mutex> lock(shard.mu);
-    if (expired) {
-      ++shard.expired;
-    } else {
-      ++shard.cancelled;
-    }
+  if (expired) {
+    shard.expired.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    shard.cancelled.fetch_add(1, std::memory_order_relaxed);
   }
   FinishJob();
+}
+
+void SessionPool::PublishSnapshot(Shard& shard) {
+  // Field-wise relaxed republish (single writer: the owning worker, or the
+  // constructor before workers spawn). Stats() reads each field tear-free;
+  // cross-field skew is within the documented weak-consistency contract.
+  const SessionStats st = shard.session->stats();
+  const PlanCacheStats cs = shard.session->cache_stats();
+  SessionSnapshot& snap = shard.snapshot;
+  snap.queries.store(st.queries, std::memory_order_relaxed);
+  snap.cache_hits.store(st.cache_hits, std::memory_order_relaxed);
+  snap.cache_misses.store(st.cache_misses, std::memory_order_relaxed);
+  snap.fallbacks.store(st.fallbacks, std::memory_order_relaxed);
+  snap.saturations.store(st.saturations, std::memory_order_relaxed);
+  snap.graph_reuses.store(st.graph_reuses, std::memory_order_relaxed);
+  snap.graph_resets.store(st.graph_resets, std::memory_order_relaxed);
+  snap.compactions.store(st.compactions, std::memory_order_relaxed);
+  snap.arena_high_water.store(st.arena_high_water, std::memory_order_relaxed);
+  snap.restored_plans.store(st.restored_plans, std::memory_order_relaxed);
+  snap.restored_classes.store(st.restored_classes, std::memory_order_relaxed);
+  snap.compile_seconds.store(st.compile_seconds, std::memory_order_relaxed);
+  snap.cache_lookups_hit.store(cs.hits, std::memory_order_relaxed);
+  snap.cache_lookups_miss.store(cs.misses, std::memory_order_relaxed);
+  snap.cache_insertions.store(cs.insertions, std::memory_order_relaxed);
+  snap.cache_evictions.store(cs.evictions, std::memory_order_relaxed);
+  snap.cache_entries.store(shard.session->PlanCacheSize(),
+                           std::memory_order_relaxed);
+  const EGraph* graph = shard.session->shared_egraph();
+  shard.hot.arena_nodes.store(graph ? graph->NumNodes() : 0,
+                              std::memory_order_relaxed);
 }
 
 void SessionPool::RunJob(size_t self, Job& job, bool stolen) {
@@ -863,25 +956,13 @@ void SessionPool::RunJob(size_t self, Job& job, bool stolen) {
     // rebuild (possibly a full warm restore) runs here.
     shard.poisoned.store(true, std::memory_order_release);
     QuarantineStrike(qhash);
-    {
-      std::lock_guard<std::mutex> lock(park_mu_);
-      ++work_epoch_;
-    }
-    park_cv_.notify_all();
+    WakeWorkers();
   }
   job.state->Complete(std::move(result));
   if (poison) RebuildShard(self, *poison);
-  {
-    std::lock_guard<std::mutex> lock(shard.mu);
-    ++shard.executed;
-    if (stolen) ++shard.steals;
-    shard.session_stats = shard.session->stats();
-    shard.cache_stats = shard.session->cache_stats();
-    shard.cache_entries = shard.session->PlanCacheSize();
-  }
-  const EGraph* graph = shard.session->shared_egraph();
-  shard.arena_nodes.store(graph ? graph->NumNodes() : 0,
-                          std::memory_order_relaxed);
+  shard.executed.fetch_add(1, std::memory_order_relaxed);
+  if (stolen) shard.steals.fetch_add(1, std::memory_order_relaxed);
+  PublishSnapshot(shard);
   FinishJob();
 }
 
@@ -908,28 +989,22 @@ void SessionPool::RebuildShard(size_t self, RestartCause cause) {
           manager_->JournalInsert(self, key, plan);
         });
   }
-  {
-    std::lock_guard<std::mutex> lock(shard.mu);
-    shard.session = std::move(fresh);
-    ++shard.restarts;
-    switch (cause) {
-      case RestartCause::kPoisoned:
-        ++shard.restart_poisoned;
-        break;
-      case RestartCause::kBadAlloc:
-        ++shard.restart_bad_alloc;
-        break;
-      case RestartCause::kHang:
-        ++shard.restart_hangs;
-        break;
-    }
-    shard.session_stats = shard.session->stats();
-    shard.cache_stats = shard.session->cache_stats();
-    shard.cache_entries = shard.session->PlanCacheSize();
+  // The swap itself needs no lock: only this worker thread ever touches
+  // the session (Stats() reads the published snapshot, not the session).
+  shard.session = std::move(fresh);
+  shard.restarts.fetch_add(1, std::memory_order_relaxed);
+  switch (cause) {
+    case RestartCause::kPoisoned:
+      shard.restart_poisoned.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case RestartCause::kBadAlloc:
+      shard.restart_bad_alloc.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case RestartCause::kHang:
+      shard.restart_hangs.fetch_add(1, std::memory_order_relaxed);
+      break;
   }
-  const EGraph* graph = shard.session->shared_egraph();
-  shard.arena_nodes.store(graph ? graph->NumNodes() : 0,
-                          std::memory_order_relaxed);
+  PublishSnapshot(shard);
   shard.poisoned.store(false, std::memory_order_release);
 }
 
@@ -1013,15 +1088,15 @@ void SessionPool::WatchdogLoop() {
 
 void SessionPool::WorkerLoop(size_t self) {
   // Lone-job re-check cadence: half the busy threshold, floored so a tiny
-  // threshold cannot turn parking into a spin.
+  // threshold cannot turn parking into a spin. Also the retry cadence for
+  // an observed in-flight push.
   const double lone_retry_seconds =
       std::max(0.005, config_.lone_steal_busy_seconds / 2.0);
   while (true) {
-    uint64_t seen;
-    {
-      std::lock_guard<std::mutex> lock(park_mu_);
-      seen = work_epoch_;
-    }
+    // Epoch read BEFORE the scan: any push that lands after this read
+    // bumps the epoch, so the park below falls straight through. seq_cst
+    // pairs with WakeWorkers (see its Dekker comment).
+    const uint64_t seen = work_epoch_.load(std::memory_order_seq_cst);
     // A pending control task (checkpoint capture) runs between jobs on
     // this thread — the only thread allowed to touch the session.
     RunControl(self);
@@ -1041,20 +1116,35 @@ void SessionPool::WorkerLoop(size_t self) {
       }
       continue;
     }
-    // Nothing runnable: park until an enqueue bumps the epoch. Reading the
-    // epoch before the scan makes the sleep missed-wakeup-free — a job
-    // enqueued after the read changes the epoch and the wait falls
-    // through. With a pending lone-job steal the park times out so the
-    // busy threshold is re-checked without waiting for the next enqueue.
-    std::unique_lock<std::mutex> lock(park_mu_);
-    if (retry_soon) {
-      park_cv_.wait_for(lock, std::chrono::duration<double>(
-                                  lone_retry_seconds),
-                        [&] { return shutdown_ || work_epoch_ != seen; });
-    } else {
-      park_cv_.wait(lock, [&] { return shutdown_ || work_epoch_ != seen; });
+    // Nothing runnable: park until an enqueue bumps the epoch. Register
+    // as parked FIRST, then re-check the epoch — the other half of the
+    // WakeWorkers handshake. A bump that raced the scan is caught here
+    // without ever touching the mutex.
+    parked_.fetch_add(1, std::memory_order_seq_cst);
+    if (work_epoch_.load(std::memory_order_seq_cst) != seen) {
+      parked_.fetch_sub(1, std::memory_order_relaxed);
+      continue;
     }
-    if (shutdown_) break;  // the destructor drained the queues already
+    park_events_.fetch_add(1, std::memory_order_relaxed);
+    bool stop = false;
+    {
+      std::unique_lock<std::mutex> lock(park_mu_);
+      auto wake = [&] {
+        return shutdown_ ||
+               work_epoch_.load(std::memory_order_relaxed) != seen;
+      };
+      if (retry_soon) {
+        // A lone-job steal pending its busy threshold, or an in-flight
+        // push: time out and re-check instead of waiting for an enqueue.
+        park_cv_.wait_for(
+            lock, std::chrono::duration<double>(lone_retry_seconds), wake);
+      } else {
+        park_cv_.wait(lock, wake);
+      }
+      stop = shutdown_;
+    }
+    parked_.fetch_sub(1, std::memory_order_relaxed);
+    if (stop) break;  // the destructor drained the queues already
   }
 }
 

@@ -1,24 +1,51 @@
 // Sharded serving pool: N worker threads, each owning one OptimizerSession
 // (shard), behind a canonical-form ShardRouter — with an async, deadline-
-// aware job lifecycle (PR 5).
+// aware job lifecycle (PR 5) and a lock-free submission spine (PR 9).
 //
 // Architecture ("When More Cores Hurts" is the cautionary tale — naive
 // shared-cache parallelism inverts scaling, so nothing mutable is shared):
 //
 //   Submit / SubmitAsync / BatchSubmit (any thread)
-//        │  admission: reject on queue depth / backlog age
+//        │  admission: reject on queue depth / backlog stall
 //        │  route: canonicalize → fingerprint → affinity map
 //        │         (new classes biased toward shallow queues)
 //        ▼
-//   per-shard MPSC queues ──► worker threads, one per shard
-//        │  (priority order;     │  expired jobs short-circuit to
-//        │   deadline checked    │  kDeadlineExceeded at dequeue —
-//        │   at dequeue)         │  they never enter Optimize
-//        │ steal (back)          │  session.Optimize under the job's
-//        └───────────────────────┘  StageBudget (deadline + cancel token)
+//   per-shard lock-free MPSC queues ──► worker threads, one per shard
+//        │  (priority levels;       │  expired jobs short-circuit to
+//        │   deadline checked       │  kDeadlineExceeded at dequeue —
+//        │   at dequeue)            │  they never enter Optimize
+//        │ steal (back)             │  session.Optimize under the job's
+//        └────────────────────────-─┘  StageBudget (deadline + cancel token)
 //                                      │
 //                                 ServeFuture completes: callbacks fire,
 //                                 blocked get() calls wake
+//
+// Concurrency contract (PR 9 — see also README "Serving layer"):
+//
+//  * Submission is lock-free end to end: admission reads the per-shard
+//    HotMirror (cache-line-padded atomics), the enqueue is a Vyukov MPSC
+//    push (src/serve/shard_queue.h — one exchange + one release store, no
+//    allocation: jobs are intrusive nodes), drain accounting is an atomic
+//    increment, and the worker wakeup takes the parking mutex only when a
+//    worker is actually asleep (Dekker-style epoch/parked protocol).
+//  * Dequeue is single-consumer per shard, enforced by a per-shard
+//    consumer-guard SpinLock: the owner takes lock() (uncontended: one
+//    CAS), thieves take try_lock() and bounce to the next victim instead
+//    of waiting — the bounded fallback lock confined to the steal path.
+//    Priority levels are separate FIFO queues behind an atomic occupancy
+//    bitmap; steal-oldest-from-deepest and the lone-job busy rule keep
+//    their exact PR 4/8 semantics, re-verified under the victim's guard.
+//  * Stats() is fully lock-free and WEAKLY CONSISTENT: every counter is a
+//    relaxed atomic read, and the per-shard session/cache stats live in a
+//    field-wise atomic mirror republished by the owning worker after each
+//    job (not an atomic<shared_ptr> blob — libstdc++'s lock-bit protocol
+//    for those is invisible to race checkers).
+//    Counters are individually monotone and never torn, but one snapshot
+//    may mix reads from different instants — e.g. a job can appear in
+//    `completed` before its shard's `executed` shows it, and per-shard
+//    sums can transiently disagree with pool totals. `completed` <=
+//    `submitted` always holds (completed is read first; submitted only
+//    grows). Anything needing a quiescent view should Drain() first.
 //
 //  * Async lifecycle: every submission returns a ServeFuture<OptimizedPlan>
 //    (serve_future.h) carrying StatusOr — kDeadlineExceeded, kCancelled and
@@ -31,9 +58,9 @@
 //    near-expired job degrades inside the session (clamped saturation,
 //    greedy-instead-of-ILP) with provenance in OptimizedPlan::degraded.
 //  * Admission control: when configured, a submission whose home queue is
-//    at max depth — or whose oldest waiter has aged past the backlog
-//    threshold — is rejected up front (kResourceExhausted) instead of
-//    joining a queue it would only time out in.
+//    at max depth — or stalled past the backlog threshold — is rejected up
+//    front (kResourceExhausted) instead of joining a queue it would only
+//    time out in.
 //  * Shard affinity + load bias: known isomorphism classes always route to
 //    their pinned shard (plan cache, warm e-graph); new classes are placed
 //    on shallow queues under load (see shard_router.h). No two shards ever
@@ -81,29 +108,35 @@
 #include "src/optimizer/optimizer_session.h"
 #include "src/persist/checkpoint.h"
 #include "src/serve/serve_future.h"
+#include "src/serve/shard_queue.h"
 #include "src/serve/shard_router.h"
+#include "src/util/contention.h"
 #include "src/util/deadline.h"
 
 namespace spores {
 
-/// Job priorities: lower values run first within a queue. Any int works;
-/// these are the conventional levels.
+/// Job priorities: lower values run first within a queue. The pool keeps
+/// ShardQueue::kPriorityLevels distinct levels (0 = most urgent); values
+/// outside [0, kPriorityLevels) are clamped to the nearest level — the
+/// conventional kPriority* constants all map within range.
 inline constexpr int kPriorityHigh = 0;
 inline constexpr int kPriorityNormal = 1;
 inline constexpr int kPriorityLow = 2;
 
 /// Queue-side admission thresholds; 0 disables a check. Fed by the same
-/// counters PoolStats snapshots.
+/// lock-free per-shard mirrors PoolStats snapshots.
 struct AdmissionConfig {
   /// Reject a submission when its home queue already holds this many jobs.
   size_t max_queue_depth = 0;
   /// Reject when the home queue has been STALLED longer than this: jobs
-  /// waiting, and no dequeue since the oldest waiter was admitted. Depth
-  /// says how much work is piled up; a stall says the pile is not moving —
-  /// both mean a new arrival would only wait to expire. (Deliberately NOT
-  /// the oldest waiter's raw age: under priority scheduling one starved
-  /// low-priority job can age without bound while the queue drains
-  /// high-priority traffic perfectly well.)
+  /// waiting, and no dequeue for that long while they wait. Depth says how
+  /// much work is piled up; a stall says the pile is not moving — both
+  /// mean a new arrival would only wait to expire. Measured lock-free as
+  /// now - max(last dequeue, instant the queue last became non-empty) —
+  /// the elapsed time the CURRENT backlog has sat unserved. (Deliberately
+  /// NOT any single waiter's raw age: under priority scheduling one
+  /// starved low-priority job can age without bound while the queue
+  /// drains high-priority traffic perfectly well.)
   double max_queue_age_seconds = 0.0;
   /// Memory-pressure shedding: reject kPriorityLow-and-below submissions
   /// (kResourceExhausted) while the pool-wide e-graph arena — summed over
@@ -192,7 +225,7 @@ struct ServeRequest {
   int priority = kPriorityNormal;  ///< lower runs first (kPriority*)
 };
 
-/// Per-shard observability snapshot.
+/// Per-shard observability snapshot. Weakly consistent: see Stats().
 struct ShardStats {
   size_t executed = 0;      ///< jobs run on this shard's session
   size_t steals = 0;        ///< jobs this worker stole from other queues
@@ -205,6 +238,10 @@ struct ShardStats {
   SessionStats session;     ///< the shard session's cumulative counters
   PlanCacheStats cache;     ///< the shard plan cache's counters
   size_t cache_entries = 0;
+  /// Contended acquisitions of this shard's consumer-guard SpinLock:
+  /// thieves bouncing off a busy dequeue, or the owner finding a thief
+  /// inside. The scaling study's per-shard contention signal.
+  uint64_t pop_lock_contended = 0;
   /// How this shard came up (kWarmRestore = snapshot/journal state loaded;
   /// kDisabled = persistence not configured). Fixed at construction.
   ColdStartReason cold_start = ColdStartReason::kDisabled;
@@ -221,7 +258,8 @@ struct ShardStats {
   bool poisoned = false;  ///< mid-rebuild at snapshot time (queue stealable)
 };
 
-/// Pool-wide stats: per-shard snapshots plus batch-level counters.
+/// Pool-wide stats: per-shard snapshots plus batch-level counters. Weakly
+/// consistent (lock-free snapshot); see Stats() for the exact contract.
 struct PoolStats {
   std::vector<ShardStats> shards;
   size_t submitted = 0;   ///< jobs enqueued (after dedupe, minus rejections)
@@ -233,6 +271,14 @@ struct PoolStats {
   size_t completed = 0;
   size_t quarantined = 0;  ///< submissions rejected by the poison blacklist
   size_t shed = 0;  ///< low-priority submissions shed under memory pressure
+
+  /// Contention telemetry (PR 9): slow-path counters on every lock the
+  /// serving spine still takes, plus parking activity. All monotone.
+  size_t park_events = 0;  ///< times a worker entered the parking lot
+  uint64_t pop_lock_contended = 0;   ///< sum of shard consumer-guard hits
+  uint64_t router_contended = 0;     ///< router affinity-bucket mutex hits
+  uint64_t intern_contended = 0;     ///< symbol intern-shard mutex hits
+  uint64_t dim_write_contended = 0;  ///< DimEnv bucket writer-lock hits
 
   /// Aggregates across shards (sums; hit rate recomputed from sums).
   size_t TotalExecuted() const;
@@ -261,7 +307,7 @@ class SessionPool {
 
   /// Admits, routes and enqueues one request. Always returns a live future:
   /// an admission rejection completes it immediately with
-  /// kResourceExhausted. Thread-safe.
+  /// kResourceExhausted. Thread-safe; the enqueue itself is lock-free.
   ServeFuture<OptimizedPlan> SubmitAsync(const ServeRequest& request);
 
   /// Convenience: SubmitAsync with no deadline and normal priority.
@@ -296,9 +342,18 @@ class SessionPool {
 
   bool persistence_enabled() const { return manager_ != nullptr; }
 
-  /// Snapshot of per-shard and pool-wide counters. Never blocks on a
-  /// running optimization (session stats are snapshotted by the worker
-  /// after each job).
+  /// Lock-free snapshot of per-shard and pool-wide counters. Never blocks
+  /// — not on a running optimization, not on a submit storm, not on
+  /// another Stats() call.
+  ///
+  /// Weak-consistency contract: every value is read atomically (no torn
+  /// reads) and every counter is individually monotone, but the snapshot
+  /// as a whole is NOT a single instant — fields may mix states from
+  /// moments a few microseconds apart. Guaranteed: completed <= submitted.
+  /// NOT guaranteed: per-shard sums equal to pool totals, queue_depth
+  /// consistent with executed, or the session/cache mirror (published by the
+  /// worker after each job) reflecting the most recent job. Drain() first
+  /// for a quiescent, exact view.
   PoolStats Stats() const;
 
   size_t num_shards() const { return shards_.size(); }
@@ -308,7 +363,11 @@ class SessionPool {
   using Future = ServeFuture<OptimizedPlan>;
   using FutureState = Future::State;
 
-  struct Job {
+  /// A queued query. Jobs are intrusive MPSC nodes: ownership passes from
+  /// the submitting thread into the lock-free shard queue (release()) and
+  /// back out at dequeue (the popping worker re-wraps the raw node). After
+  /// a drained destructor every pushed job has been popped.
+  struct Job : MpscNode {
     ExprPtr expr;
     std::shared_ptr<const Catalog> catalog;
     /// Router by-products (when canonicalizable): the executing session
@@ -318,45 +377,103 @@ class SessionPool {
     std::optional<RaProgram> translation;
     size_t home_shard = 0;
     int priority = kPriorityNormal;
-    uint64_t seq = 0;       ///< enqueue order; FIFO within a priority level
     Deadline deadline;
-    Timer queued;           ///< started at enqueue; feeds the age admission
     std::shared_ptr<FutureState> state;  ///< result + callbacks + cancel
   };
 
-  struct Shard {
-    mutable std::mutex mu;            ///< guards queue + snapshots below
-    std::deque<std::unique_ptr<Job>> queue;
-    /// Mirrors queue.size(), updated under mu but readable lock-free: the
-    /// submit path samples every shard's depth for router load bias, and
-    /// must not take N shard locks per submission to do it. Approximate by
-    /// design (bias is a heuristic); admission reads the exact size under
-    /// the lock.
+  /// Everything the submit hot path reads or writes about a shard, padded
+  /// to its own cache line so N submitting threads sampling every shard's
+  /// depth never false-share with each other or with worker-side state
+  /// (satellite of PR 9: this unifies the old separate depth / arena_nodes
+  /// mirrors and the stall clocks into one struct).
+  struct alignas(64) HotMirror {
+    /// Queue depth. Incremented BEFORE the lock-free push, decremented
+    /// AFTER a successful pop — so depth == 0 proves the queue is empty,
+    /// while depth > 0 with an empty-looking queue means a push is still
+    /// in flight (the consumer retries; see shard_queue.h).
     std::atomic<size_t> depth{0};
-    size_t executed = 0;
-    size_t steals = 0;
-    size_t stolen_from = 0;
-    size_t expired = 0;
-    size_t cancelled = 0;
-    size_t rejected = 0;
-    SessionStats session_stats;       ///< copied after each job
-    PlanCacheStats cache_stats;
-    size_t cache_entries = 0;
+    /// Shared e-graph node count, refreshed by the worker after each job;
+    /// summed lock-free at admission for memory-pressure shedding.
+    std::atomic<size_t> arena_nodes{0};
+    /// When a job was last popped from this queue (by owner or thief);
+    /// with nonempty_since_ns, the lock-free stall signal. 0 = never.
+    std::atomic<int64_t> last_pop_ns{0};
+    /// When the queue last transitioned empty -> non-empty (depth 0 -> 1).
+    std::atomic<int64_t> nonempty_since_ns{0};
+  };
+
+  /// Worker-side session/cache counters, re-published field-by-field after
+  /// each job so Stats() reads them lock-free. A field-wise relaxed-atomic
+  /// mirror rather than an atomic<shared_ptr> blob: every field is written
+  /// only by the shard's owning worker and read tear-free by Stats(), which
+  /// is exactly the documented weak-consistency contract (individually
+  /// monotone counters that may mix instants). libstdc++'s
+  /// atomic<shared_ptr> uses an internal lock-bit protocol that race
+  /// checkers cannot model, so the blob form was not TSan-clean.
+  struct SessionSnapshot {
+    // SessionStats mirror.
+    std::atomic<size_t> queries{0};
+    std::atomic<size_t> cache_hits{0};
+    std::atomic<size_t> cache_misses{0};
+    std::atomic<size_t> fallbacks{0};
+    std::atomic<size_t> saturations{0};
+    std::atomic<size_t> graph_reuses{0};
+    std::atomic<size_t> graph_resets{0};
+    std::atomic<size_t> compactions{0};
+    std::atomic<size_t> arena_high_water{0};
+    std::atomic<size_t> restored_plans{0};
+    std::atomic<size_t> restored_classes{0};
+    std::atomic<double> compile_seconds{0.0};
+    // PlanCacheStats mirror.
+    std::atomic<size_t> cache_lookups_hit{0};
+    std::atomic<size_t> cache_lookups_miss{0};
+    std::atomic<size_t> cache_insertions{0};
+    std::atomic<size_t> cache_evictions{0};
+    std::atomic<size_t> cache_entries{0};
+  };
+
+  struct Shard {
+    HotMirror hot;  ///< first member: keeps its line at a known offset
+    /// Lock-free MPSC job queue, one FIFO per priority level.
+    ShardQueue queue;
+    /// Consumer guard: serializes dequeues (the queue is single-consumer).
+    /// The owner takes lock(); thieves take try_lock() and bounce. Its
+    /// contended() counter feeds ShardStats::pop_lock_contended.
+    SpinLock pop_lock;
+    /// Relaxed per-shard counters; written by whichever worker performs
+    /// the event, aggregated lock-free by Stats().
+    std::atomic<size_t> executed{0};
+    std::atomic<size_t> steals{0};
+    std::atomic<size_t> stolen_from{0};
+    std::atomic<size_t> expired{0};
+    std::atomic<size_t> cancelled{0};
+    std::atomic<size_t> rejected{0};
     /// Worker-busy signal for lone-job stealing and stats: set around the
     /// session call, read lock-free by thieves and Stats().
     std::atomic<bool> busy{false};
     std::atomic<int64_t> busy_since_ns{0};
-    /// When a job was last popped from this queue (by owner or thief);
-    /// feeds the age-admission stall signal. 0 = never popped.
-    std::atomic<int64_t> last_pop_ns{0};
+    /// Set by the worker the moment a job poisons this session, cleared
+    /// when the in-place rebuild finishes. While set, peers may steal from
+    /// this queue at ANY depth (its owner is busy rebuilding).
+    std::atomic<bool> poisoned{false};
+    /// Rebuild counters (owner-written, relaxed; causes sum to restarts).
+    std::atomic<size_t> restarts{0};
+    std::atomic<size_t> restart_poisoned{0};
+    std::atomic<size_t> restart_bad_alloc{0};
+    std::atomic<size_t> restart_hangs{0};
+    /// Session/cache stats mirror, re-published by the owning worker after
+    /// each job (and each rebuild/restore). Stats() reads it lock-free.
+    alignas(64) SessionSnapshot snapshot;
     /// The session itself: touched only by the worker thread that owns
     /// this shard (stolen jobs run on the *thief's* session).
     std::unique_ptr<OptimizerSession> session;
     std::thread worker;
-    /// Pool-internal control task (checkpoint capture), run by the owning
-    /// worker between jobs — the only way any other thread touches the
-    /// session. Guarded by mu; at most one pending (checkpoint_mu_).
+    /// Control-plane state (cold paths only), still mutex-guarded: the
+    /// checkpoint control slot and the watchdog's view of the running job.
+    /// has_control lets the worker's hot loop skip the mutex entirely.
+    mutable std::mutex mu;
     std::function<void()> control;
+    std::atomic<bool> has_control{false};
     /// Warm-restart provenance, written once before the worker spawns.
     ColdStartReason cold_start = ColdStartReason::kDisabled;
     std::string cold_start_detail;
@@ -373,23 +490,10 @@ class SessionPool {
       bool hang_flagged = false;  ///< watchdog fired the cancel token
     };
     std::optional<RunningJob> running;
-    /// Set by the worker the moment a job poisons this session, cleared
-    /// when the in-place rebuild finishes. While set, peers may steal from
-    /// this queue at ANY depth (its owner is busy rebuilding).
-    std::atomic<bool> poisoned{false};
-    /// Rebuild counters (guarded by mu; causes sum to restarts).
-    size_t restarts = 0;
-    size_t restart_poisoned = 0;
-    size_t restart_bad_alloc = 0;
-    size_t restart_hangs = 0;
-    /// Shared e-graph node-count mirror for pool-wide memory-pressure
-    /// shedding: refreshed by the worker after each job, summed lock-free
-    /// at admission.
-    std::atomic<size_t> arena_nodes{0};
   };
 
   /// Admission + enqueue; the returned future is the job's (or an
-  /// immediately-rejected one).
+  /// immediately-rejected one). Lock-free on the admitted path.
   Future Enqueue(std::unique_ptr<Job> job);
   /// Lock-free queue-depth snapshot for router load bias. Returns a
   /// thread-local buffer (valid until this thread's next call).
@@ -399,17 +503,26 @@ class SessionPool {
   /// every member of the job has voted (see serve_future.h).
   Future AttachMember(const Future& job_future);
   void WorkerLoop(size_t shard_index);
-  /// Pops the next job for worker `self`, best (priority, seq) first: own
-  /// queue, else the most backlogged stealable other queue. Sets
-  /// *retry_soon when a lone job exists that will become stealable once its
-  /// home worker has been busy long enough (the caller parks with a timeout
-  /// instead of indefinitely).
+  /// Pops the next job for worker `self`, highest priority (FIFO within a
+  /// level) first: own queue, else steal the best job of the most
+  /// backlogged stealable other queue. Sets *retry_soon when the caller
+  /// should park with a timeout instead of indefinitely: a lone job
+  /// pending its busy threshold, or an in-flight push observed mid-pop.
   std::unique_ptr<Job> NextJob(size_t self, bool* stolen, bool* retry_soon);
   /// Completes a dequeued-but-not-run job (expired / cancelled) and keeps
   /// the drain accounting live.
   void DisposeJob(size_t self, Job& job, Status status);
   void RunJob(size_t self, Job& job, bool stolen);
   void FinishJob();  ///< drain accounting after any completion
+  /// Bumps the work epoch and wakes parked workers. Touches park_mu_ only
+  /// when someone is actually parked (the common enqueue pays two atomic
+  /// ops). The seq_cst epoch/parked pair is the missed-wakeup guard: a
+  /// worker re-checks the epoch after registering as parked, so either it
+  /// sees our bump, or we see its registration.
+  void WakeWorkers();
+  /// Publishes `shard`'s session/cache stats mirror + arena mirror. Owner
+  /// worker thread (or pre-worker constructor) only.
+  void PublishSnapshot(Shard& shard);
   /// Constructor-time restore: loads every shard's snapshot + journals,
   /// repopulates sessions/router, records cold-start provenance. Runs
   /// before any worker spawns (single-threaded window — no locks needed).
@@ -444,26 +557,33 @@ class SessionPool {
   PoolConfig config_;
   ShardRouter router_;
   std::vector<std::unique_ptr<Shard>> shards_;
-  std::atomic<uint64_t> next_seq_{0};
 
   /// Snapshot/journal lifecycle (null when persist.dir is empty).
   std::unique_ptr<CheckpointManager> manager_;
   std::mutex checkpoint_mu_;  ///< serializes Checkpoint() calls
 
-  /// Parking lot: workers sleep here when every queue is empty; every
-  /// enqueue bumps the epoch (missed-wakeup-free sleep protocol).
+  /// Parking lot. Producers never touch park_mu_ unless parked_ > 0 (see
+  /// WakeWorkers); workers take it only to actually sleep. Both epoch and
+  /// parked are seq_cst at the handshake points — the classic two-flag
+  /// store-then-check-the-other protocol needs the total order.
+  std::atomic<uint64_t> work_epoch_{0};
+  std::atomic<uint32_t> parked_{0};
+  std::atomic<uint64_t> park_events_{0};
   mutable std::mutex park_mu_;
   std::condition_variable park_cv_;
-  uint64_t work_epoch_ = 0;
-  bool shutdown_ = false;
+  bool shutdown_ = false;  ///< guarded by park_mu_ (checked while parking)
 
-  /// Drain accounting.
+  /// Drain accounting, lock-free on the hot path: submitted_ is bumped
+  /// BEFORE a job becomes visible in its queue (so completed_ can never
+  /// pass it), completed_ after any completion; done_mu_/done_cv_ exist
+  /// only so Drain() can sleep, and FinishJob touches them only on the
+  /// completion that reaches completed == submitted.
+  std::atomic<size_t> submitted_{0};
+  std::atomic<size_t> completed_{0};
+  std::atomic<size_t> dedup_hits_{0};
+  std::atomic<size_t> pregroup_hits_{0};
   mutable std::mutex done_mu_;
   std::condition_variable done_cv_;
-  size_t submitted_ = 0;
-  size_t completed_ = 0;
-  size_t dedup_hits_ = 0;
-  size_t pregroup_hits_ = 0;
 
   /// Poison-query quarantine: fingerprint hash -> strike record. Bounded
   /// (FIFO eviction) and TTL'd; see QuarantineConfig.

@@ -1,0 +1,219 @@
+// Lock-free multi-producer single-consumer job queues for the session pool
+// (PR 9). Replaces the per-shard mutex + std::deque: producers (Enqueue and
+// control-plane threads, any number of them) push with one atomic exchange
+// and one release store — no lock, no allocation (nodes are intrusive) — so
+// submission on one core never serializes against submission on another.
+//
+// Structure:
+//
+//   MpscIntrusiveQueue   one Vyukov-style intrusive MPSC queue: lock-free
+//                        multi-producer Push, single-consumer Pop.
+//   ShardQueue           kPriorityLevels of those plus an atomic occupancy
+//                        bitmap, giving strict-priority FIFO-within-level
+//                        dequeue without scanning empty levels.
+//
+// Consumer-side exclusivity is NOT provided here: exactly one thread may be
+// inside Pop()/Front()/PopHighestPriority()/FrontHighestPriority() at a
+// time. The session
+// pool enforces that with a per-shard consumer-guard SpinLock (owner takes
+// lock(), thieves take try_lock() and bounce instead of waiting — the
+// "bounded fallback lock" confined to the steal path).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/util/tsan_annotate.h"
+
+namespace spores {
+
+/// Base class for anything pushed onto an MpscIntrusiveQueue. The queue
+/// links nodes through this hook; a node may sit in at most one queue.
+struct MpscNode {
+  std::atomic<MpscNode*> next{nullptr};
+};
+
+/// Vyukov intrusive MPSC queue.
+///
+/// Push is lock-free and wait-free for each producer (one exchange, one
+/// store). Pop is single-consumer. The one subtlety of this design: between
+/// a producer's tail exchange and its next-pointer store, the chain from
+/// head to tail is momentarily broken — Pop() observing that window returns
+/// nullptr even though the queue is non-empty ("in-flight push"). Callers
+/// must therefore never use Pop() == nullptr to conclude emptiness; use
+/// Empty() (tail inspection) for that, and treat nullptr-with-nonempty as
+/// "retry shortly". The session pool's depth counters + parking epoch
+/// already provide that retry loop.
+class MpscIntrusiveQueue {
+ public:
+  MpscIntrusiveQueue() : tail_(&stub_), head_(&stub_) {
+    stub_.next.store(nullptr, std::memory_order_relaxed);
+  }
+  MpscIntrusiveQueue(const MpscIntrusiveQueue&) = delete;
+  MpscIntrusiveQueue& operator=(const MpscIntrusiveQueue&) = delete;
+
+  /// Multi-producer; lock-free. Publication edge: the release store to
+  /// prev->next makes every write the producer made to *node (and before)
+  /// visible to the consumer that acquires it in Pop().
+  void Push(MpscNode* node) {
+    node->next.store(nullptr, std::memory_order_relaxed);
+    SPORES_ANNOTATE_HAPPENS_BEFORE(node);
+    MpscNode* prev = tail_.exchange(node, std::memory_order_acq_rel);
+    // Window: a Pop between the exchange above and the store below sees a
+    // broken chain and returns nullptr (see class comment).
+    prev->next.store(node, std::memory_order_release);
+  }
+
+  /// Single-consumer. Returns nullptr if the queue is empty OR a push is
+  /// in flight (indistinguishable here; see class comment).
+  MpscNode* Pop() {
+    MpscNode* head = head_;
+    MpscNode* next = head->next.load(std::memory_order_acquire);
+    if (head == &stub_) {
+      if (next == nullptr) return nullptr;  // empty or in-flight push
+      head_ = next;
+      head = next;
+      next = next->next.load(std::memory_order_acquire);
+    }
+    if (next != nullptr) {
+      head_ = next;
+      SPORES_ANNOTATE_HAPPENS_AFTER(head);
+      return head;
+    }
+    // head is the last visible node. If it is also the tail, re-route the
+    // tail through the stub so the queue stays well-formed after we take
+    // the node; otherwise a push is in flight — bail and let the caller
+    // retry (taking head now would strand the in-flight node).
+    if (tail_.load(std::memory_order_acquire) != head) return nullptr;
+    Push(&stub_);
+    next = head->next.load(std::memory_order_acquire);
+    if (next == nullptr) return nullptr;  // another push slid in first
+    head_ = next;
+    SPORES_ANNOTATE_HAPPENS_AFTER(head);
+    return head;
+  }
+
+  /// Consumer-side peek at the oldest element without removing it. Same
+  /// in-flight caveat as Pop(): may return nullptr while non-Empty().
+  MpscNode* Front() {
+    MpscNode* head = head_;
+    if (head != &stub_) return head;
+    return head->next.load(std::memory_order_acquire);
+  }
+
+  /// True iff no node is in the queue and no push is in flight. Safe from
+  /// any thread, but only a point-in-time answer.
+  bool Empty() const {
+    return tail_.load(std::memory_order_acquire) == &stub_ &&
+           stub_.next.load(std::memory_order_acquire) == nullptr;
+  }
+
+ private:
+  // Producers touch only tail_; the consumer touches head_ and node links.
+  // Separate cache lines so pushes do not invalidate the consumer's line.
+  alignas(64) std::atomic<MpscNode*> tail_;
+  alignas(64) MpscNode* head_;
+  MpscNode stub_;
+};
+
+/// Priority-striped MPSC queue: one MpscIntrusiveQueue per priority level
+/// plus an occupancy bitmap so the consumer finds the highest-priority
+/// non-empty level with one atomic load + count-trailing-zeros.
+///
+/// Priority contract: levels 0 (highest) through kPriorityLevels-1; pushes
+/// with larger priority values are clamped to the lowest level. (The pool's
+/// public kPriorityHigh/Normal/Low = 0/1/2 all map within range; clamping
+/// only affects out-of-range custom priorities, which previously got exact
+/// integer ordering — the clamp trades that unused generality for O(1)
+/// dequeue.) Within a level, FIFO per producer; across producers, order is
+/// the linearization order of the tail exchanges.
+///
+/// Occupancy protocol (the subtle part):
+///  * Producer: Push first, THEN set the level's bit (release not needed —
+///    the queue's own release edge publishes the node; the bit is only a
+///    hint). A consumer that clears the bit after our push but before our
+///    set will re-set it via the recheck below at worst one extra time.
+///  * Consumer: on finding a level's bit set but Pop() returning nullptr,
+///    clear the bit, then RE-CHECK Empty(); if the level is non-empty (or
+///    a push is in flight), restore the bit. This never strands a node:
+///    either the recheck sees the push's tail exchange and restores the
+///    bit, or the push's fetch_or (which follows its exchange) re-sets it.
+class ShardQueue {
+ public:
+  static constexpr int kPriorityLevels = 4;
+
+  static int LevelFor(int priority) {
+    if (priority < 0) return 0;
+    if (priority >= kPriorityLevels) return kPriorityLevels - 1;
+    return priority;
+  }
+
+  /// Multi-producer; lock-free.
+  void Push(MpscNode* node, int priority) {
+    int level = LevelFor(priority);
+    levels_[level].Push(node);
+    occupancy_.fetch_or(uint32_t{1} << level, std::memory_order_release);
+  }
+
+  /// Single-consumer: pop from the highest-priority non-empty level. If
+  /// `level_out` is non-null, receives the level popped from. Returns
+  /// nullptr when all levels are empty or every non-empty level has a push
+  /// in flight (retry shortly; see MpscIntrusiveQueue).
+  MpscNode* PopHighestPriority(int* level_out = nullptr) {
+    uint32_t occ = occupancy_.load(std::memory_order_acquire);
+    while (occ != 0) {
+      int level = __builtin_ctz(occ);
+      MpscNode* node = levels_[level].Pop();
+      if (node != nullptr) {
+        if (levels_[level].Empty()) ClearBitCarefully(level);
+        if (level_out != nullptr) *level_out = level;
+        return node;
+      }
+      if (levels_[level].Empty()) {
+        ClearBitCarefully(level);
+      }
+      // In-flight push on this level, or emptied under us: move on to the
+      // next candidate level this round; the caller's retry loop (depth
+      // counter + parking epoch) guarantees we come back.
+      occ &= ~(uint32_t{1} << level);
+    }
+    return nullptr;
+  }
+
+  /// Single-consumer: the oldest element of the highest-priority non-empty
+  /// level, without removing it. nullptr under the same caveats as Pop.
+  MpscNode* FrontHighestPriority() {
+    uint32_t occ = occupancy_.load(std::memory_order_acquire);
+    while (occ != 0) {
+      int level = __builtin_ctz(occ);
+      MpscNode* node = levels_[level].Front();
+      if (node != nullptr) return node;
+      occ &= ~(uint32_t{1} << level);
+    }
+    return nullptr;
+  }
+
+  /// True iff every level is empty with no push in flight. Any thread.
+  bool Empty() const {
+    for (int i = 0; i < kPriorityLevels; ++i) {
+      if (!levels_[i].Empty()) return false;
+    }
+    return true;
+  }
+
+ private:
+  void ClearBitCarefully(int level) {
+    occupancy_.fetch_and(~(uint32_t{1} << level), std::memory_order_acq_rel);
+    // Recheck after clearing: a producer may have pushed between our Pop
+    // and the clear (its fetch_or may already have happened). Restoring on
+    // non-Empty() closes the race; the cost is at most one spurious bit.
+    if (!levels_[level].Empty()) {
+      occupancy_.fetch_or(uint32_t{1} << level, std::memory_order_release);
+    }
+  }
+
+  MpscIntrusiveQueue levels_[kPriorityLevels];
+  std::atomic<uint32_t> occupancy_{0};
+};
+
+}  // namespace spores

@@ -53,14 +53,21 @@ RouteDecision ShardRouter::Route(const ExprPtr& expr,
 void ShardRouter::RestorePin(const std::string& fingerprint, size_t shard) {
   if (shard >= num_shards_) return;
   const uint64_t fp_hash = HashBytes(fingerprint);
-  std::lock_guard<std::mutex> lock(mu_);
-  if (affinity_.count(fp_hash)) return;  // live routing outranks replay
-  affinity_.emplace(fp_hash, static_cast<uint32_t>(shard));
-  affinity_fifo_.push_back(fp_hash);
-  if (affinity_fifo_.size() > config_.affinity_capacity) {
-    affinity_.erase(affinity_fifo_.front());
-    affinity_fifo_.pop_front();
+  AffinityBucket& bucket = BucketOf(fp_hash);
+  std::lock_guard<InstrumentedMutex> lock(bucket.mu);
+  if (bucket.pins.count(fp_hash)) return;  // live routing outranks replay
+  bucket.pins.emplace(fp_hash, static_cast<uint32_t>(shard));
+  bucket.fifo.push_back(fp_hash);
+  if (bucket.fifo.size() > BucketCapacity()) {
+    bucket.pins.erase(bucket.fifo.front());
+    bucket.fifo.pop_front();
   }
+}
+
+uint64_t ShardRouter::ContendedAcquisitions() const {
+  uint64_t total = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) total += buckets_[i].mu.contended();
+  return total;
 }
 
 RouteDecision ShardRouter::Route(const ExprPtr& expr, const Catalog& catalog,
@@ -82,23 +89,26 @@ RouteDecision ShardRouter::Route(const ExprPtr& expr, const Catalog& catalog,
     // The fingerprint is renaming-invariant (exact input metadata + the
     // polyterm signature), so isomorphic queries share it — and, through
     // the affinity map, the shard. The lookup+insert is one critical
-    // section so two racing submitters of a brand-new class agree on its
-    // placement (the second one finds the first one's pin).
+    // section (the class's bucket lock) so two racing submitters of a
+    // brand-new class agree on its placement — the second one finds the
+    // first one's pin. Different classes usually hash to different
+    // buckets and never contend.
     uint64_t fp_hash = HashBytes(out.key.value().fingerprint);
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = affinity_.find(fp_hash);
-    if (it != affinity_.end()) {
+    AffinityBucket& bucket = BucketOf(fp_hash);
+    std::lock_guard<InstrumentedMutex> lock(bucket.mu);
+    auto it = bucket.pins.find(fp_hash);
+    if (it != bucket.pins.end()) {
       out.known_class = true;
       out.shard = it->second;
     } else {
       out.shard = PlaceNewClass(
           fp_hash, queue_depths.empty() ? nullptr : &queue_depths,
           &out.load_biased);
-      affinity_.emplace(fp_hash, static_cast<uint32_t>(out.shard));
-      affinity_fifo_.push_back(fp_hash);
-      if (affinity_fifo_.size() > config_.affinity_capacity) {
-        affinity_.erase(affinity_fifo_.front());
-        affinity_fifo_.pop_front();
+      bucket.pins.emplace(fp_hash, static_cast<uint32_t>(out.shard));
+      bucket.fifo.push_back(fp_hash);
+      if (bucket.fifo.size() > BucketCapacity()) {
+        bucket.pins.erase(bucket.fifo.front());
+        bucket.fifo.pop_front();
       }
     }
   } else {

@@ -38,16 +38,17 @@
 // shard the whole optimize collapses to one cache probe.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "src/optimizer/optimizer_context.h"
 #include "src/optimizer/plan_cache.h"
+#include "src/util/contention.h"
 
 namespace spores {
 
@@ -80,7 +81,10 @@ struct RouteDecision {
 };
 
 /// Thread-safe: Route may be called from any number of submitter threads
-/// concurrently (the affinity map is internally synchronized).
+/// concurrently. The affinity map is sharded into cache-line-aligned
+/// buckets by fingerprint hash (PR 9), so concurrent submitters only
+/// contend when their classes hash into the same bucket; each bucket's
+/// lock is contention-instrumented for the scaling study.
 class ShardRouter {
  public:
   ShardRouter(size_t num_shards, std::shared_ptr<const OptimizerContext> ctx,
@@ -120,19 +124,40 @@ class ShardRouter {
   /// bounded like organic pins.
   void RestorePin(const std::string& fingerprint, size_t shard);
 
+  /// Contended acquisitions of the affinity-bucket locks since
+  /// construction (summed). Monotone; the scaling study's view of router
+  /// pressure.
+  uint64_t ContendedAcquisitions() const;
+
  private:
+  static constexpr size_t kBucketBits = 4;
+  static constexpr size_t kNumBuckets = size_t{1} << kBucketBits;  // 16
+
+  /// One affinity-map stripe: fingerprint hash -> pinned shard, guarded by
+  /// its own lock, FIFO-bounded at capacity/kNumBuckets. The bound moving
+  /// from global to per-bucket only changes WHICH pin eviction forgets
+  /// under pressure — eviction was already a performance heuristic, never
+  /// correctness (see the map comment at the top of this header).
+  struct alignas(64) AffinityBucket {
+    mutable InstrumentedMutex mu;
+    std::unordered_map<uint64_t, uint32_t> pins;
+    std::deque<uint64_t> fifo;
+  };
+
   size_t PlaceNewClass(uint64_t fingerprint_hash,
                        const std::vector<size_t>* queue_depths,
                        bool* biased) const;
+  AffinityBucket& BucketOf(uint64_t fingerprint_hash) const {
+    return buckets_[fingerprint_hash & (kNumBuckets - 1)];
+  }
+  size_t BucketCapacity() const {
+    return std::max<size_t>(1, config_.affinity_capacity / kNumBuckets);
+  }
 
   size_t num_shards_;
   std::shared_ptr<const OptimizerContext> context_;
   RouterConfig config_;
-
-  /// fingerprint hash -> pinned shard. Guarded by mu_; FIFO-bounded.
-  mutable std::mutex mu_;
-  mutable std::unordered_map<uint64_t, uint32_t> affinity_;
-  mutable std::deque<uint64_t> affinity_fifo_;
+  mutable AffinityBucket buckets_[kNumBuckets];
 };
 
 }  // namespace spores

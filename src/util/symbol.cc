@@ -5,57 +5,88 @@
 #include <unordered_map>
 
 #include "src/util/check.h"
+#include "src/util/contention.h"
 
 namespace spores {
 
 namespace {
 
 // The intern table serves two very different access patterns under
-// concurrency: Intern/Fresh (writes, rare after warmup, serialized by `mu`)
-// and str() (reads, on hot paths of every serving shard). Reads are
-// lock-free: interned strings live in fixed-size chunks whose addresses
-// never change, chunk pointers are published with release stores, and the
-// table size is release-published only after the new string is fully
-// constructed — so any reader that observes id < size (acquire) also
-// observes the string bytes. A shard can therefore stringify symbols
-// (catalog fingerprints, diagnostics) without contending with other shards'
-// translations interning fresh attribute names.
+// concurrency: Intern/Fresh (writes, rare after warmup) and str() (reads,
+// on hot paths of every serving shard).
+//
+// Writers are sharded N ways by string hash (PR 9): each shard owns its own
+// lock, index, and string storage, so two threads interning different
+// strings contend only when their hashes collide on a shard — the
+// single-mutex table this replaces serialized every translation in the
+// process, which is exactly the kind of invisible-at-1-core bottleneck the
+// scaling study exists to catch. Chunk allocation moved under the per-shard
+// locks with everything else, so storage growth for one shard never blocks
+// writers of another.
+//
+// Reads stay lock-free: interned strings live in fixed-size chunks whose
+// addresses never change, chunk pointers are published with release stores,
+// and each shard's size is release-published only after the new string is
+// fully constructed — so any reader that observes local_id < size (acquire)
+// also observes the string bytes.
+//
+// Id encoding: id = (local_index << kShardBits) | shard. Unique, stable,
+// lock-free to decode — but not dense, and dependent on interning order,
+// so only the strings (never the ids) may cross a process boundary.
+constexpr size_t kShardBits = 4;
+constexpr size_t kNumShards = size_t{1} << kShardBits;  // 16 shards
+constexpr size_t kShardMask = kNumShards - 1;
 constexpr size_t kChunkBits = 12;  // 4096 symbols per chunk
 constexpr size_t kChunkSize = size_t{1} << kChunkBits;
-constexpr size_t kMaxChunks = 1 << 14;  // 64M symbols: effectively unbounded
+constexpr size_t kMaxChunks = 1 << 12;  // 16M symbols per shard
 
-struct InternTable {
-  std::mutex mu;  // guards writers: index, fresh_counter, chunk allocation
+struct InternShard {
+  InstrumentedMutex mu;  // guards writers: index + chunk allocation
   std::atomic<std::string*> chunks[kMaxChunks] = {};
   std::atomic<uint32_t> size{0};
   // Keys are views into the chunk-stored strings (stable addresses).
   std::unordered_map<std::string_view, uint32_t> index;
-  uint64_t fresh_counter = 0;
 
-  InternTable() { InternLocked(""); }  // id 0 == empty symbol
-
+  /// Caller holds mu. Returns the shard-local index.
   uint32_t InternLocked(std::string_view name) {
     auto it = index.find(name);
     if (it != index.end()) return it->second;
-    uint32_t id = size.load(std::memory_order_relaxed);
-    size_t chunk = id >> kChunkBits;
+    uint32_t local = size.load(std::memory_order_relaxed);
+    size_t chunk = local >> kChunkBits;
     SPORES_CHECK_LT(chunk, kMaxChunks);
     std::string* block = chunks[chunk].load(std::memory_order_relaxed);
     if (block == nullptr) {
       block = new std::string[kChunkSize];
       chunks[chunk].store(block, std::memory_order_release);
     }
-    block[id & (kChunkSize - 1)] = std::string(name);
-    size.store(id + 1, std::memory_order_release);
-    index.emplace(std::string_view(block[id & (kChunkSize - 1)]), id);
-    return id;
+    block[local & (kChunkSize - 1)] = std::string(name);
+    size.store(local + 1, std::memory_order_release);
+    index.emplace(std::string_view(block[local & (kChunkSize - 1)]), local);
+    return local;
   }
 
-  const std::string& At(uint32_t id) const {
-    SPORES_CHECK_LT(id, size.load(std::memory_order_acquire));
+  const std::string& At(uint32_t local) const {
+    SPORES_CHECK_LT(local, size.load(std::memory_order_acquire));
     const std::string* block =
-        chunks[id >> kChunkBits].load(std::memory_order_acquire);
-    return block[id & (kChunkSize - 1)];
+        chunks[local >> kChunkBits].load(std::memory_order_acquire);
+    return block[local & (kChunkSize - 1)];
+  }
+};
+
+struct InternTable {
+  InternShard shards[kNumShards];
+  std::atomic<uint64_t> fresh_counter{0};
+
+  InternTable() {
+    // Symbol() defaults to id 0 and empty() tests id == 0, so "" must get
+    // exactly id 0: pre-intern it into shard 0 slot 0 regardless of its
+    // hash (Intern special-cases the empty string symmetrically).
+    std::lock_guard<InstrumentedMutex> lock(shards[0].mu);
+    shards[0].InternLocked("");
+  }
+
+  static size_t ShardOf(std::string_view name) {
+    return std::hash<std::string_view>{}(name)&kShardMask;
   }
 };
 
@@ -67,23 +98,54 @@ InternTable& Table() {
 }  // namespace
 
 Symbol Symbol::Intern(std::string_view name) {
+  if (name.empty()) return Symbol();  // pre-interned as id 0
   InternTable& t = Table();
-  std::lock_guard<std::mutex> lock(t.mu);
-  return Symbol(t.InternLocked(name));
+  size_t shard = InternTable::ShardOf(name);
+  InternShard& s = t.shards[shard];
+  std::lock_guard<InstrumentedMutex> lock(s.mu);
+  uint32_t local = s.InternLocked(name);
+  return Symbol(static_cast<uint32_t>((local << kShardBits) | shard));
 }
 
 Symbol Symbol::Fresh(std::string_view prefix) {
   InternTable& t = Table();
-  std::lock_guard<std::mutex> lock(t.mu);
+  // The counter is global (one fetch_add, no lock); only the uniqueness
+  // probe and insert take the candidate's shard lock. Very occasionally a
+  // candidate is already taken (someone Intern()ed "p$3" literally) and the
+  // loop draws the next number — same semantics as the old global-mutex
+  // scan, without serializing unrelated Fresh calls.
   while (true) {
-    std::string candidate =
-        std::string(prefix) + "$" + std::to_string(t.fresh_counter++);
-    if (t.index.find(candidate) == t.index.end()) {
-      return Symbol(t.InternLocked(candidate));
+    uint64_t n = t.fresh_counter.fetch_add(1, std::memory_order_relaxed);
+    std::string candidate = std::string(prefix) + "$" + std::to_string(n);
+    size_t shard = InternTable::ShardOf(candidate);
+    InternShard& s = t.shards[shard];
+    std::lock_guard<InstrumentedMutex> lock(s.mu);
+    if (s.index.find(candidate) == s.index.end()) {
+      uint32_t local = s.InternLocked(candidate);
+      return Symbol(static_cast<uint32_t>((local << kShardBits) | shard));
     }
   }
 }
 
-const std::string& Symbol::str() const { return Table().At(id_); }
+uint64_t Symbol::InternContended() {
+  InternTable& t = Table();
+  uint64_t total = 0;
+  for (size_t i = 0; i < kNumShards; ++i) total += t.shards[i].mu.contended();
+  return total;
+}
+
+size_t Symbol::InternedCount() {
+  InternTable& t = Table();
+  size_t total = 0;
+  for (size_t i = 0; i < kNumShards; ++i) {
+    total += t.shards[i].size.load(std::memory_order_acquire);
+  }
+  return total;
+}
+
+const std::string& Symbol::str() const {
+  const InternShard& s = Table().shards[id_ & kShardMask];
+  return s.At(id_ >> kShardBits);
+}
 
 }  // namespace spores

@@ -2,10 +2,15 @@
 // sets and operator payloads cheap to hash and compare. Interning is global
 // and append-only; Symbol values stay valid for the process lifetime.
 //
-// Fully thread-safe: Intern/Fresh serialize on the table mutex, and str()
-// is lock-free (interned strings live at stable addresses and are
-// release-published before their id escapes), so concurrent serving shards
-// can intern and stringify without contention.
+// Fully thread-safe, and sharded against contention (PR 9): the intern
+// table is split N ways by string hash, so writers contend only with
+// writers hashing into the same shard — translation on one serving shard
+// no longer serializes against translation on another. str() stays
+// lock-free (interned strings live at stable addresses and are
+// release-published before their id escapes). Ids encode the owning shard
+// in their low bits: unique and stable for the process lifetime, but NOT
+// dense and NOT comparable across processes — persistent formats must
+// store the string (src/persist/wire_format.h already does).
 #pragma once
 
 #include <cstdint>
@@ -24,8 +29,15 @@ class Symbol {
   /// Intern `name`, returning the canonical Symbol for it.
   static Symbol Intern(std::string_view name);
 
-  /// Generate a fresh symbol "`prefix``n`" guaranteed unused so far.
+  /// Generate a fresh symbol "`prefix`$`n`" guaranteed unused so far.
   static Symbol Fresh(std::string_view prefix);
+
+  /// Contended intern-shard lock acquisitions since process start (the
+  /// scaling study's view of symbol-table pressure). Monotone, global.
+  static uint64_t InternContended();
+
+  /// Total interned symbols (all shards).
+  static size_t InternedCount();
 
   const std::string& str() const;
   uint32_t id() const { return id_; }

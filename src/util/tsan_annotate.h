@@ -1,0 +1,64 @@
+// Race-checker annotations for the hand-rolled synchronization in the
+// lock-free serving queues (src/serve/shard_queue.h).
+//
+// ThreadSanitizer models C++ atomics natively, so the queues are already
+// TSan-checkable as written. These macros exist for two reasons:
+//
+//  1. Checkers that do NOT model atomics (helgrind/DRD) need explicit
+//     happens-before edges or they drown the build in false positives.
+//     With SPORES_ANNOTATE defined the macros emit the matching client
+//     requests (valgrind) or __tsan_acquire/__tsan_release calls (TSan
+//     builds), pinning the intended edges down explicitly.
+//  2. They document, at the exact source line, WHERE the publication edge
+//     of each lock-free structure lives — so a future edit that moves a
+//     store out from under its release cannot do so silently: the
+//     annotation stops matching the code next to it.
+//
+// Unannotated builds compile the macros to nothing; there is no runtime
+// cost outside checker builds. Enable with -DSPORES_ANNOTATE (the CMake
+// option SPORES_ANNOTATE=ON adds it; CI's TSan job builds with it on).
+#pragma once
+
+#if defined(SPORES_ANNOTATE)
+
+// GCC spells TSan __SANITIZE_THREAD__; clang needs __has_feature, which
+// GCC's preprocessor rejects inside a compound condition — hence the
+// two-step detection.
+#if defined(__SANITIZE_THREAD__)
+#define SPORES_TSAN_ACTIVE 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define SPORES_TSAN_ACTIVE 1
+#endif
+#endif
+
+#if defined(SPORES_TSAN_ACTIVE)
+// TSan build: reinforce the atomic edges with explicit acquire/release
+// annotations on the address (harmless duplication of what the atomics
+// already establish; keeps the edge visible even if the atomic is later
+// weakened by mistake to relaxed).
+extern "C" {
+void __tsan_acquire(void* addr);
+void __tsan_release(void* addr);
+}
+#define SPORES_ANNOTATE_HAPPENS_BEFORE(addr) \
+  __tsan_release(const_cast<void*>(static_cast<const void*>(addr)))
+#define SPORES_ANNOTATE_HAPPENS_AFTER(addr) \
+  __tsan_acquire(const_cast<void*>(static_cast<const void*>(addr)))
+#elif defined(__has_include) && __has_include(<valgrind/helgrind.h>)
+#include <valgrind/helgrind.h>
+#define SPORES_ANNOTATE_HAPPENS_BEFORE(addr) \
+  ANNOTATE_HAPPENS_BEFORE(const_cast<void*>(static_cast<const void*>(addr)))
+#define SPORES_ANNOTATE_HAPPENS_AFTER(addr) \
+  ANNOTATE_HAPPENS_AFTER(const_cast<void*>(static_cast<const void*>(addr)))
+#else
+#define SPORES_ANNOTATE_HAPPENS_BEFORE(addr) (void)(addr)
+#define SPORES_ANNOTATE_HAPPENS_AFTER(addr) (void)(addr)
+#endif
+
+#else  // !SPORES_ANNOTATE
+
+#define SPORES_ANNOTATE_HAPPENS_BEFORE(addr) ((void)0)
+#define SPORES_ANNOTATE_HAPPENS_AFTER(addr) ((void)0)
+
+#endif

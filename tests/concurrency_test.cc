@@ -1,0 +1,462 @@
+// Concurrency-core stress tests (PR 9), written to run under
+// ThreadSanitizer in CI: the lock-free MPSC shard queues (unit-level FIFO,
+// priority ordering, multi-producer exactly-once delivery), the sharded
+// symbol intern table and DimEnv under hammering writers, and the session
+// pool's full lock-free spine — 8 producer threads submitting mixed-
+// priority traffic with randomized cancels, work stealing, PR 8
+// supervision poisons, and concurrent lock-free Stats()/Checkpoint()
+// snapshots — with a bitwise plan-cost identity gate against a direct
+// single-session reference (the same contract every serving PR has
+// shipped under).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <deque>
+#include <filesystem>
+#include <random>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "src/rules/ra_analysis.h"
+#include "src/serve/session_pool.h"
+#include "src/serve/shard_queue.h"
+#include "src/util/fault_injection.h"
+#include "src/util/symbol.h"
+#include "src/workloads/generators.h"
+#include "src/workloads/programs.h"
+
+namespace spores {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct InjectorGuard {
+  InjectorGuard() { FaultInjector::Instance().Reset(); }
+  ~InjectorGuard() { FaultInjector::Instance().Reset(); }
+};
+
+// ---- MpscIntrusiveQueue / ShardQueue units ----
+
+struct TestNode : MpscNode {
+  explicit TestNode(int v) : value(v) {}
+  int value;
+};
+
+TEST(MpscQueue, SingleThreadFifo) {
+  MpscIntrusiveQueue q;
+  EXPECT_TRUE(q.Empty());
+  EXPECT_EQ(q.Pop(), nullptr);
+  std::deque<TestNode> nodes;  // deque: nodes hold an atomic, can't move
+  for (int i = 0; i < 100; ++i) {
+    nodes.emplace_back(i);
+    q.Push(&nodes.back());
+  }
+  EXPECT_FALSE(q.Empty());
+  EXPECT_EQ(static_cast<TestNode*>(q.Front())->value, 0);
+  for (int i = 0; i < 100; ++i) {
+    MpscNode* n = q.Pop();
+    ASSERT_NE(n, nullptr) << i;
+    EXPECT_EQ(static_cast<TestNode*>(n)->value, i);
+  }
+  EXPECT_EQ(q.Pop(), nullptr);
+  EXPECT_TRUE(q.Empty());
+}
+
+TEST(MpscQueue, EightProducersDeliverExactlyOnce) {
+  constexpr int kProducers = 8;
+  constexpr int kPerProducer = 2000;
+  MpscIntrusiveQueue q;
+  // Pre-allocated so producer threads never race the allocator; ids encode
+  // (producer, index) for the per-producer FIFO check.
+  std::vector<std::deque<TestNode>> nodes(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    for (int i = 0; i < kPerProducer; ++i) {
+      nodes[p].emplace_back(p * kPerProducer + i);
+    }
+  }
+  std::atomic<bool> go{false};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      for (int i = 0; i < kPerProducer; ++i) q.Push(&nodes[p][i]);
+    });
+  }
+  go.store(true, std::memory_order_release);
+  // Single consumer on this thread, concurrent with the pushes. Pop() may
+  // return nullptr mid-push (documented); keep going until all arrived.
+  std::vector<int> last_seen(kProducers, -1);
+  size_t received = 0;
+  while (received < size_t{kProducers} * kPerProducer) {
+    MpscNode* n = q.Pop();
+    if (n == nullptr) continue;
+    ++received;
+    int v = static_cast<TestNode*>(n)->value;
+    int p = v / kPerProducer, i = v % kPerProducer;
+    // Per-producer order is preserved even when producers interleave.
+    EXPECT_LT(last_seen[p], i);
+    last_seen[p] = i;
+  }
+  for (auto& t : producers) t.join();
+  EXPECT_EQ(q.Pop(), nullptr);
+  EXPECT_TRUE(q.Empty());
+}
+
+TEST(ShardQueue, StrictPriorityThenFifoAndClamping) {
+  ShardQueue q;
+  std::deque<TestNode> nodes;
+  // Push (priority, value); -5 and 99 exercise the clamp.
+  const std::pair<int, int> pushes[] = {{2, 0}, {0, 1}, {1, 2}, {2, 3},
+                                        {0, 4}, {99, 5}, {-5, 6}, {1, 7}};
+  for (auto [prio, val] : pushes) {
+    nodes.emplace_back(val);
+    q.Push(&nodes.back(), prio);
+  }
+  // Expected: level 0 FIFO (1, 4, 6-clamped-high), then level 1 (2, 7),
+  // then level 2 (0, 3), then level 3 (5 clamped low).
+  const int expected[] = {1, 4, 6, 2, 7, 0, 3, 5};
+  for (int e : expected) {
+    MpscNode* n = q.PopHighestPriority();
+    ASSERT_NE(n, nullptr);
+    EXPECT_EQ(static_cast<TestNode*>(n)->value, e);
+  }
+  EXPECT_EQ(q.PopHighestPriority(), nullptr);
+  EXPECT_TRUE(q.Empty());
+}
+
+TEST(ShardQueue, ConcurrentMixedPriorityDrain) {
+  constexpr int kProducers = 8;
+  constexpr int kPerProducer = 1500;
+  ShardQueue q;
+  std::vector<std::deque<TestNode>> nodes(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    for (int i = 0; i < kPerProducer; ++i) {
+      nodes[p].emplace_back(p * kPerProducer + i);
+    }
+  }
+  std::atomic<bool> go{false};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      std::mt19937 rng(p);
+      for (int i = 0; i < kPerProducer; ++i) {
+        q.Push(&nodes[p][i], static_cast<int>(rng() % 4));
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+  std::set<int> seen;
+  while (seen.size() < size_t{kProducers} * kPerProducer) {
+    MpscNode* n = q.PopHighestPriority();
+    if (n == nullptr) continue;
+    EXPECT_TRUE(seen.insert(static_cast<TestNode*>(n)->value).second);
+  }
+  for (auto& t : producers) t.join();
+  EXPECT_TRUE(q.Empty());
+}
+
+// ---- Sharded intern table / DimEnv ----
+
+TEST(ShardedSymbols, ConcurrentInternAgreesAndFreshStaysUnique) {
+  constexpr int kThreads = 8;
+  constexpr int kNames = 400;
+  // Every thread interns the same kNames names (plus fresh symbols);
+  // all threads must get the identical id for a given name.
+  std::vector<std::vector<uint32_t>> ids(kThreads,
+                                         std::vector<uint32_t>(kNames));
+  std::vector<std::vector<Symbol>> fresh(kThreads);
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      for (int i = 0; i < kNames; ++i) {
+        ids[t][i] = Symbol::Intern("stress_attr_" + std::to_string(i)).id();
+        if (i % 16 == 0) {
+          fresh[t].push_back(Symbol::Fresh("stress"));
+          // Reads stay lock-free while writers hammer other shards.
+          EXPECT_FALSE(fresh[t].back().str().empty());
+        }
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+  for (auto& t : threads) t.join();
+  for (int t = 1; t < kThreads; ++t) EXPECT_EQ(ids[t], ids[0]);
+  // Fresh symbols are globally unique across all threads.
+  std::set<uint32_t> fresh_ids;
+  for (const auto& per_thread : fresh) {
+    for (Symbol s : per_thread) {
+      EXPECT_TRUE(fresh_ids.insert(s.id()).second) << s.str();
+    }
+  }
+  // Round-trips survive the sharded encoding.
+  for (int i = 0; i < kNames; ++i) {
+    EXPECT_EQ(Symbol::Intern("stress_attr_" + std::to_string(i)).id(),
+              ids[0][i]);
+  }
+  EXPECT_EQ(Symbol::Intern(""), Symbol());  // "" stays the default symbol
+  EXPECT_TRUE(Symbol().empty());
+}
+
+TEST(ShardedDimEnv, ConcurrentWriteOnceReaders) {
+  constexpr int kThreads = 8;
+  constexpr int kAttrs = 300;
+  DimEnv env;
+  std::vector<Symbol> attrs;
+  for (int i = 0; i < kAttrs; ++i) {
+    attrs.push_back(Symbol::Intern("dim_attr_" + std::to_string(i)));
+  }
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      std::mt19937 rng(t);
+      for (int round = 0; round < 4; ++round) {
+        for (int i = 0; i < kAttrs; ++i) {
+          // Racing Sets always agree on the value (the write-once
+          // contract); interleaved reads must see a bound value.
+          env.Set(attrs[i], 10 + (i % 50));
+          if (rng() % 4 == 0) {
+            EXPECT_EQ(env.DimOf(attrs[i]), 10 + (i % 50));
+            EXPECT_TRUE(env.Has(attrs[i]));
+          }
+        }
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+  for (auto& t : threads) t.join();
+  double product = env.SizeOf({attrs[0], attrs[1], attrs[2]});
+  EXPECT_DOUBLE_EQ(product, 10.0 * 11.0 * 12.0);
+}
+
+// ---- Pool stress: producers + steals + poisons + snapshots ----
+
+std::shared_ptr<const Catalog> StressCatalog() {
+  return std::make_shared<Catalog>(
+      MakeFactorizationData(250, 200, 6, 0.02, 31).catalog);
+}
+
+std::vector<ExprPtr> StressQueries() {
+  std::vector<ExprPtr> out;
+  for (const Program& prog : {AlsProgram(), PnmfProgram(), IntroProgram()}) {
+    out.push_back(prog.expr);
+    out.push_back(Expr::Unary("abs", prog.expr));
+    out.push_back(Expr::Unary("sign", prog.expr));
+  }
+  return out;
+}
+
+SessionConfig ServingConfig() {
+  SessionConfig cfg;
+  cfg.runner.strategy = SaturationStrategy::kSampling;
+  cfg.extraction = ExtractionStrategy::kGreedy;
+  return cfg;
+}
+
+// The stress scenario every new lock-free structure has to survive at
+// once: 8 producers × mixed priorities × aggressive lone-job stealing ×
+// randomized cancels × supervision-driven poisons (deterministic fault
+// injection) × concurrent lock-free Stats() polling. Under TSan this is
+// the PR's primary race detector; the assertions keep it honest in
+// normal builds too.
+TEST(ConcurrencyStress, ProducersStealsPoisonsAndSnapshots) {
+  InjectorGuard guard;
+  constexpr int kProducers = 8;
+  constexpr int kPerProducer = 30;
+  auto context = std::make_shared<const OptimizerContext>(ServingConfig());
+  auto catalog = StressCatalog();
+  std::vector<ExprPtr> queries = StressQueries();
+  // A low-rate deterministic saturation fault: some optimizations throw,
+  // poisoning their shard; supervision rebuilds it in place while peers
+  // drain its queue (poisoned queues are stealable at any depth).
+  ASSERT_TRUE(
+      FaultInjector::Instance().Configure("saturate:0.02:throw").ok());
+  PoolConfig cfg;
+  cfg.num_shards = 4;
+  cfg.supervision.enable = true;
+  cfg.quarantine.strikes = 0;  // a strike would starve repeated queries
+  cfg.lone_steal_busy_seconds = 0.001;  // maximize steal pressure
+  {
+    SessionPool pool(context, cfg);
+    std::atomic<bool> go{false};
+    std::atomic<bool> stop_stats{false};
+    std::atomic<size_t> resolved{0};
+    // Concurrent snapshot reader: Stats() is lock-free and must never
+    // block or crash while producers and workers hammer the pool.
+    std::thread stats_poller([&] {
+      while (!stop_stats.load(std::memory_order_acquire)) {
+        PoolStats stats = pool.Stats();
+        EXPECT_LE(stats.completed, stats.submitted);
+        std::this_thread::yield();
+      }
+    });
+    std::vector<std::thread> producers;
+    for (int p = 0; p < kProducers; ++p) {
+      producers.emplace_back([&, p] {
+        while (!go.load(std::memory_order_acquire)) {
+          std::this_thread::yield();
+        }
+        std::mt19937 rng(1000 + p);
+        for (int i = 0; i < kPerProducer; ++i) {
+          ServeRequest req;
+          req.expr = queries[rng() % queries.size()];
+          req.catalog = catalog;
+          req.priority = static_cast<int>(rng() % 3);
+          auto future = pool.SubmitAsync(req);
+          if (rng() % 8 == 0) future.Cancel();
+          // Every future must resolve to SOMETHING — a plan, kCancelled,
+          // or a contained fault (kInternal) — never hang or crash.
+          auto result = future.get();
+          if (!result.ok()) {
+            EXPECT_TRUE(result.status().code() == StatusCode::kCancelled ||
+                        result.status().code() == StatusCode::kInternal)
+                << result.status().ToString();
+          }
+          resolved.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+    go.store(true, std::memory_order_release);
+    for (auto& t : producers) t.join();
+    pool.Drain();
+    stop_stats.store(true, std::memory_order_release);
+    stats_poller.join();
+    EXPECT_EQ(resolved.load(), size_t{kProducers} * kPerProducer);
+    PoolStats stats = pool.Stats();
+    EXPECT_EQ(stats.completed, stats.submitted);
+    // The injected faults actually exercised the poison path.
+    EXPECT_GE(stats.TotalRestarts(), 1u);
+    for (const ShardStats& s : stats.shards) EXPECT_FALSE(s.poisoned);
+  }
+}
+
+// Checkpoint() captures shard snapshots on the worker threads while
+// producers keep submitting — the control-slot protocol vs the lock-free
+// queue spine. Persistence needs a directory; everything else matches the
+// stress above (minus poisons: a checkpoint of a mid-rebuild shard is
+// legal but makes the assertion story noisy).
+TEST(ConcurrencyStress, CheckpointsDuringSubmissionStorm) {
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 20;
+  fs::path dir = fs::path(::testing::TempDir()) / "spores_conc_ckpt";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  auto context = std::make_shared<const OptimizerContext>(ServingConfig());
+  auto catalog = StressCatalog();
+  std::vector<ExprPtr> queries = StressQueries();
+  PoolConfig cfg;
+  cfg.num_shards = 2;
+  cfg.persist.dir = dir.string();
+  {
+    SessionPool pool(context, cfg);
+    std::atomic<bool> go{false};
+    std::vector<std::thread> producers;
+    for (int p = 0; p < kProducers; ++p) {
+      producers.emplace_back([&, p] {
+        while (!go.load(std::memory_order_acquire)) {
+          std::this_thread::yield();
+        }
+        std::mt19937 rng(77 + p);
+        for (int i = 0; i < kPerProducer; ++i) {
+          auto r = pool.Submit(queries[rng() % queries.size()], catalog).get();
+          EXPECT_TRUE(r.ok()) << r.status().ToString();
+        }
+      });
+    }
+    go.store(true, std::memory_order_release);
+    for (int c = 0; c < 3; ++c) {
+      EXPECT_TRUE(pool.Checkpoint().ok());
+    }
+    for (auto& t : producers) t.join();
+    pool.Drain();
+    EXPECT_TRUE(pool.Checkpoint().ok());
+  }
+  fs::remove_all(dir);
+}
+
+// Bitwise plan-cost identity: the pool under maximal concurrency churn
+// (stealing, priorities, 8 producers) must produce exactly the plans a
+// direct single session produces — the concurrency core may move work
+// around, never change its result. (Stolen jobs run cache-bypassed on the
+// thief's session; converged saturation makes their costs identical to
+// the home shard's, which is precisely what this pins down.)
+TEST(ConcurrencyStress, PlanCostsBitwiseIdenticalToDirectSession) {
+  SessionConfig cfg;  // full (non-sampling) saturation: costs must be exact
+  cfg.extraction = ExtractionStrategy::kGreedy;
+  // Fresh graph per query: on a SHARED warm graph, converged costs are
+  // history-dependent (another query's terms can join a class reachable
+  // from this query and hand extraction a cheaper node), so bitwise
+  // identity across different shard histories would be unsound. With
+  // reuse off, saturation is confluent per (query, catalog) and identity
+  // under arbitrary interleaving/stealing is a theorem, not a hope.
+  cfg.reuse_egraph = false;
+  auto context = std::make_shared<const OptimizerContext>(cfg);
+  auto catalog = StressCatalog();
+  std::vector<ExprPtr> queries = StressQueries();
+  std::vector<OptimizedPlan> reference;
+  {
+    OptimizerSession direct(context);
+    for (const ExprPtr& q : queries) {
+      reference.push_back(direct.Optimize(q, *catalog));
+    }
+  }
+  PoolConfig pool_cfg;
+  pool_cfg.num_shards = 4;
+  pool_cfg.lone_steal_busy_seconds = 0.001;
+  SessionPool pool(context, pool_cfg);
+  constexpr int kProducers = 8;
+  std::atomic<bool> go{false};
+  std::atomic<size_t> compared{0};
+  std::vector<std::thread> producers;
+  std::vector<Status> failures(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      std::mt19937 rng(31 + p);
+      for (int round = 0; round < 3; ++round) {
+        for (size_t qi = 0; qi < queries.size(); ++qi) {
+          ServeRequest req;
+          req.expr = queries[qi];
+          req.catalog = catalog;
+          req.priority = static_cast<int>(rng() % 3);
+          auto result = pool.SubmitAsync(req).get();
+          if (!result.ok()) {
+            failures[p] = result.status();
+            return;
+          }
+          const OptimizedPlan& got = result.value();
+          const OptimizedPlan& want = reference[qi];
+          // Same guard as the serve_test identity gate: only converged
+          // runs promise exact cost equality (a budget-stopped run's cost
+          // depends on where it stopped, which concurrency may shift).
+          if (got.used_fallback || want.used_fallback) continue;
+          if (!got.cache_hit &&
+              got.saturation.stop_reason != StopReason::kSaturated) {
+            continue;
+          }
+          if (want.saturation.stop_reason != StopReason::kSaturated) continue;
+          if (got.plan_cost != want.plan_cost) {  // bitwise, no tolerance
+            failures[p] = Status::Internal("plan cost diverged");
+            return;
+          }
+          compared.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+  for (auto& t : producers) t.join();
+  for (const Status& s : failures) EXPECT_TRUE(s.ok()) << s.ToString();
+  EXPECT_GT(compared.load(), 0u);
+  pool.Drain();
+  PoolStats stats = pool.Stats();
+  EXPECT_EQ(stats.completed, stats.submitted);
+}
+
+}  // namespace
+}  // namespace spores
