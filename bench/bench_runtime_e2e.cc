@@ -20,8 +20,10 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "src/ir/printer.h"
 #include "src/optimizer/optimizer_context.h"
 #include "src/runtime/executor.h"
+#include "src/serve/execution_feedback.h"
 #include "src/serve/session_pool.h"
 #include "src/util/rng.h"
 #include "src/util/timer.h"
@@ -231,6 +233,181 @@ int main(int argc, char** argv) {
     stream_seconds = stream_timer.Seconds();
   }
 
+  // ---- Two-pass calibrated replay (PR 10 feedback loop) ----
+  // Pass 1 (cold): optimize + execute each query once, the execution
+  // profile harvested with track_dense_nnz on and fed back through
+  // SessionPool::RecordExecution. Pass 2 (calibrated): replay the same
+  // queries against the same pool. Hard gates, exit 1 on violation:
+  //  (a) a query whose served plan is unchanged must reproduce its pass-1
+  //      result BIT-exactly, and a drift-re-extracted plan must still
+  //      match the unoptimized reference within fp tolerance;
+  //  (b) the whole feedback loop must not run a single extra saturation —
+  //      drift re-optimization re-EXTRACTS against the warm e-graph only.
+  struct PassResult {
+    ExprPtr plan;
+    Matrix result;
+    std::string plan_text;
+    double pred = 0;     ///< model-predicted plan cost (cost units)
+    double obs = 0;      ///< summed per-op wall seconds from the profile
+    double latency = 0;  ///< optimize + execute, seconds
+  };
+  size_t replay_failures = 0, replaced_plans = 0;
+  double cold_ms = 0, calibrated_ms = 0, track_overhead = 0;
+  double dispersion_cold = 0, dispersion_calibrated = 0;
+  size_t recalibrations = 0, drift_invalidations = 0, re_extractions = 0;
+  size_t saturations_pass1 = 0, saturations_pass2 = 0;
+  {
+    auto context = std::make_shared<const OptimizerContext>(cfg);
+    PoolConfig pool_cfg;
+    pool_cfg.num_shards = num_shards;
+    pool_cfg.enable_work_stealing = false;  // stolen jobs bypass the cache
+    SessionPool pool(context, pool_cfg);
+    ExecStats replay_stats;
+    replay_stats.track_dense_nnz = true;  // exact nnz for calibration cells
+
+    auto run_pass = [&](bool feed, std::vector<PassResult>* out) {
+      out->clear();
+      for (const E2eQuery& q : queries) {
+        Timer t;
+        ServeFuture<OptimizedPlan> future = pool.Submit(q.expr, q.catalog);
+        const StatusOr<OptimizedPlan>& result = future.get();
+        if (!result.ok()) {
+          std::fprintf(stderr, "FAIL: replay optimize %s failed: %s\n",
+                       q.name.c_str(), result.status().ToString().c_str());
+          ++replay_failures;
+          return;
+        }
+        auto executed = Execute(result.value().plan, q.data->inputs, &arena,
+                                &replay_stats);
+        double latency = t.Seconds();
+        if (!executed.ok()) {
+          std::fprintf(stderr, "FAIL: replay execute %s failed: %s\n",
+                       q.name.c_str(), executed.status().ToString().c_str());
+          ++replay_failures;
+          return;
+        }
+        double obs_seconds = 0;
+        for (const OpProfile& p : replay_stats.profile) {
+          obs_seconds += p.seconds;
+        }
+        if (feed) {
+          pool.RecordExecution(
+              MakeExecutionFeedback(result.value(), replay_stats));
+        }
+        PassResult r;
+        r.plan = result.value().plan;
+        r.result = std::move(executed).value();
+        r.plan_text = ToString(result.value().plan);
+        r.pred = result.value().plan_cost;
+        r.obs = obs_seconds;
+        r.latency = latency;
+        out->push_back(std::move(r));
+      }
+      pool.Drain();  // also waits for posted feedback to be absorbed
+    };
+
+    // Mean |log(obs/pred)| deviation after fitting one global scale: a
+    // unit-free measure of how tightly predicted cost tracks observed
+    // seconds. Lower = better-calibrated cost model.
+    auto dispersion = [](const std::vector<PassResult>& pass) {
+      double sum_log = 0;
+      size_t n = 0;
+      for (const PassResult& r : pass) {
+        if (r.pred > 0 && r.obs > 0) {
+          sum_log += std::log(r.obs / r.pred);
+          ++n;
+        }
+      }
+      if (n == 0) return 0.0;
+      const double mean_log = sum_log / static_cast<double>(n);
+      double dev = 0;
+      for (const PassResult& r : pass) {
+        if (r.pred > 0 && r.obs > 0) {
+          dev += std::fabs(std::log(r.obs / r.pred) - mean_log);
+        }
+      }
+      return dev / static_cast<double>(n);
+    };
+    auto total_saturations = [&pool] {
+      size_t n = 0;
+      for (const ShardStats& s : pool.Stats().shards) {
+        n += s.session.saturations;
+      }
+      return n;
+    };
+
+    std::vector<PassResult> pass1, pass2;
+    run_pass(/*feed=*/true, &pass1);
+    saturations_pass1 = total_saturations();
+    run_pass(/*feed=*/false, &pass2);
+    saturations_pass2 = total_saturations();
+
+    if (pass1.size() == queries.size() && pass2.size() == queries.size()) {
+      for (size_t d = 0; d < queries.size(); ++d) {
+        cold_ms += pass1[d].latency * 1e3;
+        calibrated_ms += pass2[d].latency * 1e3;
+        // Both passes must match the unoptimized reference regardless.
+        if (!(Matrix::MaxAbsDiff(reference[d], pass1[d].result) <=
+              ref_tolerance[d]) ||
+            !(Matrix::MaxAbsDiff(reference[d], pass2[d].result) <=
+              ref_tolerance[d])) {
+          std::fprintf(stderr, "FAIL: replay %s diverges from reference\n",
+                       queries[d].name.c_str());
+          ++replay_failures;
+        }
+        if (pass1[d].plan_text == pass2[d].plan_text) {
+          // Same plan, same inputs: replay must be bit-equivalent.
+          if (Matrix::MaxAbsDiff(pass1[d].result, pass2[d].result) != 0.0) {
+            std::fprintf(stderr,
+                         "FAIL: replay %s not bit-equivalent across passes "
+                         "despite an unchanged plan\n",
+                         queries[d].name.c_str());
+            ++replay_failures;
+          }
+        } else {
+          ++replaced_plans;  // drift re-extraction swapped the plan
+        }
+      }
+      dispersion_cold = dispersion(pass1);
+      dispersion_calibrated = dispersion(pass2);
+
+      // track_dense_nnz overhead: the served plans re-executed with exact
+      // dense-nnz counting off vs on (min over reps, shared arena).
+      double off_sec = 0, on_sec = 0;
+      for (size_t d = 0; d < queries.size(); ++d) {
+        double off = 1e99, on = 1e99;
+        for (int r = 0; r < reps; ++r) {
+          ExecStats off_stats;
+          Timer t1;
+          (void)Execute(pass2[d].plan, queries[d].data->inputs, &arena,
+                        &off_stats);
+          off = std::min(off, t1.Seconds());
+          ExecStats on_stats;
+          on_stats.track_dense_nnz = true;
+          Timer t2;
+          (void)Execute(pass2[d].plan, queries[d].data->inputs, &arena,
+                        &on_stats);
+          on = std::min(on, t2.Seconds());
+        }
+        off_sec += off;
+        on_sec += on;
+      }
+      track_overhead = off_sec > 0 ? on_sec / off_sec - 1.0 : 0.0;
+    }
+
+    PoolStats replay_pool_stats = pool.Stats();
+    recalibrations = replay_pool_stats.TotalRecalibrations();
+    drift_invalidations = replay_pool_stats.TotalDriftInvalidations();
+    re_extractions = replay_pool_stats.TotalReExtractions();
+  }
+  if (saturations_pass2 != saturations_pass1) {
+    std::fprintf(stderr,
+                 "FAIL: feedback replay ran %zu extra saturation(s) — drift "
+                 "re-optimization must only re-extract\n",
+                 saturations_pass2 - saturations_pass1);
+    ++replay_failures;
+  }
+
   // ---- Report ----
   std::printf("%-6s %12s %12s %8s %12s %12s\n", "prog", "unopt[ms]",
               "opt[ms]", "speedup", "optimize[ms]", "max|diff|");
@@ -263,6 +440,17 @@ int main(int argc, char** argv) {
               static_cast<double>(ps.bytes_held) / (1024.0 * 1024.0));
   std::printf("equivalence: %zu compared, %zu mismatches\n", compared,
               mismatches);
+  std::printf(
+      "\ncalibrated replay: cold %.1fms -> calibrated %.1fms (%zu queries); "
+      "cost dispersion %.3f -> %.3f (mean |log(obs/pred)|)\n",
+      cold_ms, calibrated_ms, queries.size(), dispersion_cold,
+      dispersion_calibrated);
+  std::printf(
+      "feedback: %zu recalibrations, %zu drift invalidations, %zu warm "
+      "re-extractions (%zu plans replaced); saturations %zu -> %zu across "
+      "passes; track_dense_nnz overhead %+.1f%%\n",
+      recalibrations, drift_invalidations, re_extractions, replaced_plans,
+      saturations_pass1, saturations_pass2, track_overhead * 100.0);
 
   if (json) {
     std::fprintf(
@@ -279,12 +467,27 @@ int main(int argc, char** argv) {
         "  \"buffer_reuse_hits\": %zu,\n  \"buffer_fresh_allocs\": %zu,\n"
         "  \"buffer_bytes_held\": %zu,\n"
         "  \"equivalence_compared\": %zu,\n"
-        "  \"equivalence_mismatches\": %zu\n}\n",
+        "  \"equivalence_mismatches\": %zu,\n"
+        "  \"replay_cold_ms\": %.3f,\n  \"replay_calibrated_ms\": %.3f,\n"
+        "  \"replay_dispersion_cold\": %.4f,\n"
+        "  \"replay_dispersion_calibrated\": %.4f,\n"
+        "  \"replay_recalibrations\": %zu,\n"
+        "  \"replay_drift_invalidations\": %zu,\n"
+        "  \"replay_re_extractions\": %zu,\n"
+        "  \"replay_replaced_plans\": %zu,\n"
+        "  \"replay_saturations_pass1\": %zu,\n"
+        "  \"replay_saturations_pass2\": %zu,\n"
+        "  \"track_dense_nnz_overhead\": %.4f,\n"
+        "  \"replay_failures\": %zu\n}\n",
         smoke ? "true" : "false", num_shards,
         std::thread::hardware_concurrency(), queries.size(), stream.size(),
         stream_seconds, p50 * 1e3, p95 * 1e3, exec_speedup_geomean,
         cache_hits, stats.ops_executed, stats.cse_hits, stats.eager_releases,
-        ps.reuse_hits, ps.fresh_allocs, ps.bytes_held, compared, mismatches);
+        ps.reuse_hits, ps.fresh_allocs, ps.bytes_held, compared, mismatches,
+        cold_ms, calibrated_ms, dispersion_cold, dispersion_calibrated,
+        recalibrations, drift_invalidations, re_extractions, replaced_plans,
+        saturations_pass1, saturations_pass2, track_overhead,
+        replay_failures);
     std::fclose(json);
   }
 
@@ -292,7 +495,13 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "FAIL: %zu equivalence mismatches\n", mismatches);
     return 1;
   }
+  if (replay_failures > 0) {
+    std::fprintf(stderr, "FAIL: %zu calibrated-replay gate failures\n",
+                 replay_failures);
+    return 1;
+  }
   std::printf("\nPASS: every optimized plan matched its unoptimized "
-              "reference.\n");
+              "reference; calibrated replay bit-stable, zero extra "
+              "saturations.\n");
   return 0;
 }

@@ -1,0 +1,208 @@
+#include "src/cost/calibration.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace spores {
+
+CostCategory CategoryForOpName(std::string_view op) {
+  // Contractions: the runtime's matrix products and the RA join they lower
+  // from — the cost model's min-sparsity * union-size charges.
+  if (op == "mmul" || op == "join") return CostCategory::kContract;
+  // Reductions: aggregates and their LA spellings.
+  if (op == "agg" || op == "rowSums" || op == "colSums" || op == "sum" ||
+      op == "wsloss") {
+    return CostCategory::kReduce;
+  }
+  // Everything else — elementwise arithmetic, unary maps, union — matches
+  // NodeCost's dense-union default and the union charge.
+  return CostCategory::kElemwise;
+}
+
+const char* CostCategoryName(CostCategory c) {
+  switch (c) {
+    case CostCategory::kContract: return "contract";
+    case CostCategory::kElemwise: return "elemwise";
+    case CostCategory::kReduce: return "reduce";
+  }
+  return "unknown";
+}
+
+int32_t ShapeBucket(double cells) {
+  if (!(cells > 1.0)) return 0;
+  return static_cast<int32_t>(std::floor(std::log2(cells)));
+}
+
+int32_t SparsityBucket(double density) {
+  if (!(density > 0.0)) return -9;
+  if (density >= 1.0) return 0;
+  int32_t b = static_cast<int32_t>(std::floor(std::log10(density)));
+  return std::max<int32_t>(-9, std::min<int32_t>(0, b));
+}
+
+CalibrationTable::CalibrationTable(CalibrationConfig config)
+    : config_(config) {}
+
+bool CalibrationTable::RepublishLocked(const AggKey& key) {
+  if (baseline_unit_ <= 0.0) return false;
+  const bool category_wide = key.shape_bucket == kCategoryWideBucket;
+  double weighted_unit = 0.0;
+  double weight = 0.0;
+  uint64_t samples = 0;
+  for (const auto& [ck, cell] : cells_) {
+    if (static_cast<uint8_t>(CategoryForOpName(ck.op)) != key.category) {
+      continue;
+    }
+    if (!category_wide && (ck.shape_bucket != key.shape_bucket ||
+                           ck.sparsity_bucket != key.sparsity_bucket)) {
+      continue;
+    }
+    double w = static_cast<double>(cell.samples);
+    weighted_unit += w * cell.unit_seconds;
+    weight += w;
+    samples += cell.samples;
+  }
+  if (samples < config_.min_samples || weight <= 0.0) return false;
+  double candidate = (weighted_unit / weight) / baseline_unit_;
+  candidate = std::max(config_.min_multiplier,
+                       std::min(config_.max_multiplier, candidate));
+  auto it = published_.find(key);
+  double current = it == published_.end() ? 1.0 : it->second;
+  // Dead band: republish only when the candidate moved by more than the
+  // configured fraction of the current published value.
+  if (std::fabs(candidate - current) <= config_.dead_band * current) {
+    return false;
+  }
+  published_[key] = candidate;
+  return true;
+}
+
+bool CalibrationTable::Record(const std::vector<CalibrationSample>& samples) {
+  if (samples.empty()) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  std::set<AggKey> touched;
+  for (const CalibrationSample& s : samples) {
+    if (s.seconds < 0.0 || s.rows < 0 || s.cols < 0) continue;
+    const double cells =
+        std::max<double>(1.0, static_cast<double>(s.rows) *
+                                  static_cast<double>(s.cols));
+    const double observed =
+        s.out_nnz >= 0 ? std::max<double>(1.0, static_cast<double>(s.out_nnz))
+                       : cells;
+    const double unit = s.seconds / observed;
+    const double density = s.out_nnz >= 0 ? observed / cells : 1.0;
+    CellKey key{s.op, ShapeBucket(cells), SparsityBucket(density)};
+    Cell& cell = cells_[key];
+    if (cell.samples == 0) {
+      cell.unit_seconds = unit;
+      cell.density = density;
+    } else {
+      cell.unit_seconds += config_.ewma_alpha * (unit - cell.unit_seconds);
+      cell.density += config_.ewma_alpha * (density - cell.density);
+    }
+    ++cell.samples;
+    if (baseline_samples_ == 0) {
+      baseline_unit_ = unit;
+    } else {
+      baseline_unit_ += config_.ewma_alpha * (unit - baseline_unit_);
+    }
+    ++baseline_samples_;
+    uint8_t cat = static_cast<uint8_t>(CategoryForOpName(s.op));
+    touched.insert(AggKey{cat, key.shape_bucket, key.sparsity_bucket});
+    touched.insert(AggKey{cat, kCategoryWideBucket, 0});
+  }
+  bool bumped = false;
+  for (const AggKey& key : touched) bumped |= RepublishLocked(key);
+  if (bumped) version_.fetch_add(1, std::memory_order_release);
+  return bumped;
+}
+
+double CalibrationTable::ObservedCostUnits(
+    const std::vector<CalibrationSample>& samples) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (baseline_samples_ < config_.min_samples || baseline_unit_ <= 0.0) {
+    return -1.0;
+  }
+  double total = 0.0;
+  for (const CalibrationSample& s : samples) {
+    if (s.seconds > 0.0) total += s.seconds;
+  }
+  return total / baseline_unit_;
+}
+
+double CalibrationTable::Multiplier(CostCategory category, double dense_cells,
+                                    double density) const {
+  if (version_.load(std::memory_order_acquire) == 0) return 1.0;
+  std::lock_guard<std::mutex> lock(mu_);
+  AggKey key{static_cast<uint8_t>(category), ShapeBucket(dense_cells),
+             SparsityBucket(density)};
+  auto it = published_.find(key);
+  if (it != published_.end()) return it->second;
+  auto wide = published_.find(
+      AggKey{static_cast<uint8_t>(category), kCategoryWideBucket, 0});
+  if (wide != published_.end()) return wide->second;
+  return 1.0;
+}
+
+size_t CalibrationTable::cell_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cells_.size();
+}
+
+uint64_t CalibrationTable::total_samples() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return baseline_samples_;
+}
+
+CalibrationImage CalibrationTable::Export() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  CalibrationImage image;
+  image.version = version_.load(std::memory_order_acquire);
+  image.baseline_samples = baseline_samples_;
+  image.baseline_unit_seconds = baseline_unit_;
+  image.cells.reserve(cells_.size());
+  for (const auto& [key, cell] : cells_) {
+    CalibrationCellImage c;
+    c.op = key.op;
+    c.shape_bucket = key.shape_bucket;
+    c.sparsity_bucket = key.sparsity_bucket;
+    c.samples = cell.samples;
+    c.unit_seconds = cell.unit_seconds;
+    c.density = cell.density;
+    image.cells.push_back(std::move(c));
+  }
+  image.published.reserve(published_.size());
+  for (const auto& [key, multiplier] : published_) {
+    CalibrationPublishedImage p;
+    p.category = key.category;
+    p.shape_bucket = key.shape_bucket;
+    p.sparsity_bucket = key.sparsity_bucket;
+    p.multiplier = multiplier;
+    image.published.push_back(p);
+  }
+  return image;
+}
+
+void CalibrationTable::Restore(const CalibrationImage& image) {
+  std::lock_guard<std::mutex> lock(mu_);
+  cells_.clear();
+  published_.clear();
+  for (const CalibrationCellImage& c : image.cells) {
+    Cell cell;
+    cell.samples = c.samples;
+    cell.unit_seconds = c.unit_seconds;
+    cell.density = c.density;
+    cells_[CellKey{c.op, c.shape_bucket, c.sparsity_bucket}] = cell;
+  }
+  for (const CalibrationPublishedImage& p : image.published) {
+    if (p.category > static_cast<uint8_t>(CostCategory::kReduce)) continue;
+    published_[AggKey{p.category, p.shape_bucket, p.sparsity_bucket}] =
+        p.multiplier;
+  }
+  baseline_unit_ = image.baseline_unit_seconds;
+  baseline_samples_ = image.baseline_samples;
+  version_.store(image.version, std::memory_order_release);
+}
+
+}  // namespace spores

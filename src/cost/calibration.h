@@ -1,0 +1,192 @@
+// Feedback-driven cost calibration (closing the ROADMAP's observe →
+// calibrate → re-extract loop): the executor's per-op profiles
+// (ExecStats::profile) are folded into a CalibrationTable that learns, per
+// (op, shape-bucket, log-sparsity-bucket) cell, how many wall-seconds one
+// output cell actually costs — and publishes per-category cost multipliers
+// the CostModel applies on top of its a-priori output-nnz charges.
+//
+// Publication is deliberately sticky: a cell's candidate multiplier must
+// move past a relative dead band before the published value (and the table
+// version) changes, so memoized costs (CostMemo) are only invalidated when
+// the calibrated world view actually moved, and repeated observations of
+// the same behavior are exact no-ops. A pristine table (version 0) is a
+// guaranteed bitwise no-op for every cost: CostModel skips the multiply
+// entirely, which keeps the plan-cost identity gates (concurrency_test,
+// chaos_test, bench_scaling) byte-exact for feedback-free runs.
+//
+// The table is decoupled from the runtime on purpose — samples are plain
+// (op name, shape, observed nnz, seconds) records, so spores_cost keeps no
+// link dependency on spores_runtime.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace spores {
+
+/// One executed operator's observation, shaped after runtime OpProfile but
+/// with an owned op name (profiles borrow OpName literals; feedback may
+/// outlive the DAG that produced it).
+struct CalibrationSample {
+  std::string op;
+  int64_t rows = 0;
+  int64_t cols = 0;
+  /// Observed output non-zeros; -1 when the executor did not count them
+  /// (dense output with ExecStats::track_dense_nnz off) — treated as dense.
+  int64_t out_nnz = -1;
+  double seconds = 0.0;
+};
+
+/// Cost-model-facing operator families. Runtime ops are finer-grained than
+/// the RA cost model's node kinds, so calibration aggregates observations
+/// into the category the corresponding RA charge belongs to: contractions
+/// (join/mmul — the min-sparsity * union-size charges), reductions
+/// (agg/rowSums/colSums/sum), and elementwise work (everything else,
+/// matching NodeCost's dense-union default and the union charge).
+enum class CostCategory : uint8_t { kContract = 0, kElemwise = 1, kReduce = 2 };
+
+CostCategory CategoryForOpName(std::string_view op);
+const char* CostCategoryName(CostCategory c);
+
+/// Knobs (see README "Adaptive costing" for the table).
+struct CalibrationConfig {
+  /// EWMA smoothing for per-cell unit-seconds and density estimates.
+  double ewma_alpha = 0.3;
+  /// Relative dead band: a published multiplier only moves (bumping the
+  /// table version and invalidating memoized costs) when the candidate
+  /// differs from it by more than this fraction.
+  double dead_band = 0.25;
+  /// Samples a (category, shape, sparsity) aggregate needs before it may
+  /// publish a non-unit multiplier.
+  uint64_t min_samples = 3;
+  /// Published multipliers are clamped into [min_multiplier, max_multiplier]
+  /// so one pathological observation cannot invert every plan choice.
+  double min_multiplier = 0.25;
+  double max_multiplier = 8.0;
+  /// Predicted/observed cost ratio beyond which a cached plan is considered
+  /// drifted: outside [1/t, t] the session invalidates the entry and
+  /// re-extracts against the warm e-graph. <= 1 disables drift handling.
+  double drift_threshold = 4.0;
+};
+
+/// log2 bucket of a dense cell count (floor(log2(max(1, cells)))).
+int32_t ShapeBucket(double cells);
+/// log10 bucket of a density in (0, 1], clamped to [-9, 0]; non-positive
+/// densities land in the sparsest bucket, >= 1 in the dense bucket 0.
+int32_t SparsityBucket(double density);
+
+/// Wide bucket sentinel used by persistence for category-level multipliers.
+inline constexpr int32_t kCategoryWideBucket = INT32_MIN;
+
+struct CalibrationCellImage {
+  std::string op;
+  int32_t shape_bucket = 0;
+  int32_t sparsity_bucket = 0;
+  uint64_t samples = 0;
+  double unit_seconds = 0.0;
+  double density = 0.0;
+};
+
+struct CalibrationPublishedImage {
+  uint8_t category = 0;
+  int32_t shape_bucket = 0;  ///< kCategoryWideBucket for category-level rows
+  int32_t sparsity_bucket = 0;
+  double multiplier = 1.0;
+};
+
+/// Process-independent image of a table (persisted as its own snapshot
+/// section; see src/persist/plan_store.h).
+struct CalibrationImage {
+  uint64_t version = 0;
+  uint64_t baseline_samples = 0;
+  double baseline_unit_seconds = 0.0;
+  std::vector<CalibrationCellImage> cells;
+  std::vector<CalibrationPublishedImage> published;
+};
+
+/// Thread-safe observed-cost aggregate. One per OptimizerSession (written by
+/// the shard's own worker via RecordExecution, read during extraction by the
+/// same thread, and read by checkpoint captures / Stats on that worker too —
+/// the mutex is for the cross-thread restore and inspection paths).
+class CalibrationTable {
+ public:
+  explicit CalibrationTable(CalibrationConfig config = {});
+
+  /// Folds a batch of samples in. Returns true iff a published multiplier
+  /// moved past the dead band (the table version was bumped, so memoized
+  /// costs computed against the old version must be discarded).
+  bool Record(const std::vector<CalibrationSample>& samples);
+
+  /// Observed execution cost of a batch in cost-model units (output cells at
+  /// baseline speed): total seconds / baseline unit-seconds. Comparable to a
+  /// plan's predicted model cost. Returns -1 until the baseline has seen
+  /// min_samples observations.
+  double ObservedCostUnits(const std::vector<CalibrationSample>& samples) const;
+
+  /// Published multiplier for a cost-model charge of `category` producing an
+  /// output of `dense_cells` cells at `density`. Exactly 1.0 for a pristine
+  /// table and for any (category, bucket) that has not published.
+  double Multiplier(CostCategory category, double dense_cells,
+                    double density) const;
+
+  /// Bumped on every published-multiplier move; 0 = pristine (no multiplier
+  /// has ever published — costs are guaranteed un-multiplied).
+  uint64_t version() const {
+    return version_.load(std::memory_order_acquire);
+  }
+
+  size_t cell_count() const;
+  uint64_t total_samples() const;
+  const CalibrationConfig& config() const { return config_; }
+
+  CalibrationImage Export() const;
+  /// Replaces the table's state with `image` (warm-restart restore path).
+  void Restore(const CalibrationImage& image);
+
+ private:
+  struct CellKey {
+    std::string op;
+    int32_t shape_bucket = 0;
+    int32_t sparsity_bucket = 0;
+    bool operator<(const CellKey& o) const {
+      if (op != o.op) return op < o.op;
+      if (shape_bucket != o.shape_bucket) return shape_bucket < o.shape_bucket;
+      return sparsity_bucket < o.sparsity_bucket;
+    }
+  };
+  struct Cell {
+    uint64_t samples = 0;
+    double unit_seconds = 0.0;  ///< EWMA seconds per observed output cell
+    double density = 0.0;       ///< EWMA observed output density
+  };
+  struct AggKey {
+    uint8_t category = 0;
+    int32_t shape_bucket = 0;
+    int32_t sparsity_bucket = 0;
+    bool operator<(const AggKey& o) const {
+      if (category != o.category) return category < o.category;
+      if (shape_bucket != o.shape_bucket) return shape_bucket < o.shape_bucket;
+      return sparsity_bucket < o.sparsity_bucket;
+    }
+  };
+
+  /// Recomputes the aggregate multiplier candidate for one (category,
+  /// shape, sparsity) key — or the category-wide key when shape_bucket is
+  /// kCategoryWideBucket — and publishes it if it clears the dead band.
+  bool RepublishLocked(const AggKey& key);
+
+  CalibrationConfig config_;
+  mutable std::mutex mu_;
+  std::map<CellKey, Cell> cells_;          // ordered: deterministic export
+  std::map<AggKey, double> published_;     // only keys that have published
+  double baseline_unit_ = 0.0;             ///< EWMA unit-seconds, all samples
+  uint64_t baseline_samples_ = 0;
+  std::atomic<uint64_t> version_{0};
+};
+
+}  // namespace spores

@@ -9,7 +9,8 @@ uint64_t CostModelParamsHash() {
   // version constant changes whenever the formulas in NodeCost do.
   const char descriptor[] =
       "spores-cost:output-nnz;join=min-sparsity*union-size;"
-      "union=sum-sparsity;agg=bound-scaled;leaves-free";
+      "union=sum-sparsity;agg=bound-scaled;leaves-free;"
+      "calibrated-category-multipliers";
   uint64_t h = 1469598103934665603ull;
   auto mix = [&h](uint64_t byte) {
     h ^= byte;
@@ -27,6 +28,10 @@ double CostModel::ClassNnz(const EGraph& egraph, ClassId id) const {
 }
 
 double CostModel::NodeCost(const EGraph& egraph, const ENode& node) const {
+  double base = 0.0;
+  double dense_size = 0.0;
+  double sparsity = 1.0;
+  CostCategory category = CostCategory::kElemwise;
   switch (node.op) {
     // Structural / free operators: leaves cost nothing (inputs already
     // exist); bind/unbind are metadata-only.
@@ -42,20 +47,24 @@ double CostModel::NodeCost(const EGraph& egraph, const ENode& node) const {
       const ClassData& a = egraph.Data(node.children[0]);
       const ClassData& b = egraph.Data(node.children[1]);
       std::vector<Symbol> schema = AttrUnion(a.schema, b.schema);
-      double sparsity = std::min(a.sparsity, b.sparsity);
-      double size = ctx_.dims ? ctx_.dims->SizeOf(schema) : 1.0;
+      sparsity = std::min(a.sparsity, b.sparsity);
+      dense_size = ctx_.dims ? ctx_.dims->SizeOf(schema) : 1.0;
       // Joining with a scalar constant is a free coefficient fold.
       if (a.schema.empty() && a.constant) return 0.0;
       if (b.schema.empty() && b.constant) return 0.0;
-      return sparsity * size;
+      category = CostCategory::kContract;
+      base = sparsity * dense_size;
+      break;
     }
     case Op::kUnion: {
       const ClassData& a = egraph.Data(node.children[0]);
       const ClassData& b = egraph.Data(node.children[1]);
       std::vector<Symbol> schema = AttrUnion(a.schema, b.schema);
-      double sparsity = std::min(1.0, a.sparsity + b.sparsity);
-      double size = ctx_.dims ? ctx_.dims->SizeOf(schema) : 1.0;
-      return sparsity * size;
+      sparsity = std::min(1.0, a.sparsity + b.sparsity);
+      dense_size = ctx_.dims ? ctx_.dims->SizeOf(schema) : 1.0;
+      category = CostCategory::kElemwise;
+      base = sparsity * dense_size;
+      break;
     }
     case Op::kAgg: {
       // Output materialization of the aggregate.
@@ -69,9 +78,11 @@ double CostModel::NodeCost(const EGraph& egraph, const ENode& node) const {
           }
         }
       }
-      double sparsity = std::min(1.0, bound_size * a.sparsity);
-      double size = ctx_.dims ? ctx_.dims->SizeOf(schema) : 1.0;
-      return sparsity * size;
+      sparsity = std::min(1.0, bound_size * a.sparsity);
+      dense_size = ctx_.dims ? ctx_.dims->SizeOf(schema) : 1.0;
+      category = CostCategory::kReduce;
+      base = sparsity * dense_size;
+      break;
     }
     default: {
       // Uninterpreted elementwise ops: dense-ish work over the union schema.
@@ -79,14 +90,31 @@ double CostModel::NodeCost(const EGraph& egraph, const ENode& node) const {
       for (ClassId c : node.children) {
         schema = AttrUnion(schema, egraph.Data(c).schema);
       }
-      double size = ctx_.dims ? ctx_.dims->SizeOf(schema) : 1.0;
-      return size;
+      dense_size = ctx_.dims ? ctx_.dims->SizeOf(schema) : 1.0;
+      category = CostCategory::kElemwise;
+      base = dense_size;
+      break;
     }
   }
+  // Calibrated multiplier on top of the a-priori charge. Skipped — not
+  // multiplied by 1.0, skipped — for a null or pristine table, so runs that
+  // never record feedback produce bit-identical costs.
+  if (base <= 0.0 || calibration_ == nullptr) return base;
+  if (calibration_->version() == 0) return base;
+  return base * calibration_->Multiplier(category, dense_size, sparsity);
+}
+
+void CostMemo::SyncCalibration(const CostModel& cost) {
+  uint64_t v = cost.calibration_version();
+  if (v == calibration_version_) return;
+  calibration_version_ = v;
+  nodes_.clear();
+  classes_.clear();
 }
 
 double CostMemo::NodeCost(const CostModel& cost, const EGraph& egraph,
                           NodeId nid) {
+  SyncCalibration(cost);
   if (nodes_.size() <= nid) nodes_.resize(egraph.ArenaSize());
   const ENode& node = egraph.NodeAt(nid);
   // Any change to a child class (merge, repair, refined analysis data) bumps
@@ -107,6 +135,7 @@ double CostMemo::NodeCost(const CostModel& cost, const EGraph& egraph,
 
 double CostMemo::ClassNnz(const CostModel& cost, const EGraph& egraph,
                           ClassId id) {
+  SyncCalibration(cost);
   ClassId c = egraph.Find(id);
   if (classes_.size() <= c) classes_.resize(egraph.NumClassSlots());
   uint64_t stamp = egraph.ClassVersion(c) + 1;

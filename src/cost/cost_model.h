@@ -5,6 +5,7 @@
 // work a fused matmul performs; leaves and structural nodes are free.
 #pragma once
 
+#include "src/cost/calibration.h"
 #include "src/egraph/egraph.h"
 #include "src/rules/ra_analysis.h"
 
@@ -16,14 +17,20 @@ namespace spores {
 /// kCostModelVersion whenever NodeCost's formulas change. Persisted plan
 /// stores embed this hash — a snapshot written under a different costing
 /// policy must invalidate, since cached plan choices are cost-based.
-inline constexpr uint32_t kCostModelVersion = 1;
+inline constexpr uint32_t kCostModelVersion = 2;
 uint64_t CostModelParamsHash();
 
 /// Cost model over e-nodes, driven by the class analysis data (schema +
-/// sparsity invariants) and the attribute DimEnv.
+/// sparsity invariants) and the attribute DimEnv. An optional calibration
+/// table scales each non-zero charge by the learned multiplier for the
+/// node's (category, shape-bucket, sparsity-bucket); a null or pristine
+/// (version 0) table is a guaranteed bitwise no-op — the multiply is
+/// skipped entirely, so feedback-free runs cost identically to PR 7's.
 class CostModel {
  public:
-  explicit CostModel(RaContext ctx) : ctx_(std::move(ctx)) {}
+  explicit CostModel(RaContext ctx,
+                     const CalibrationTable* calibration = nullptr)
+      : ctx_(std::move(ctx)), calibration_(calibration) {}
 
   /// Cost of selecting `node`, whose class analysis data is `data`.
   double NodeCost(const EGraph& egraph, const ENode& node) const;
@@ -33,8 +40,16 @@ class CostModel {
 
   const RaContext& context() const { return ctx_; }
 
+  /// Version of the attached calibration table (0: none or pristine).
+  /// CostMemo keys its validity on this — a version move means memoized
+  /// costs were computed under a stale world view.
+  uint64_t calibration_version() const {
+    return calibration_ ? calibration_->version() : 0;
+  }
+
  private:
   RaContext ctx_;
+  const CalibrationTable* calibration_ = nullptr;
 };
 
 /// Version-tagged memo for extraction-time cost lookups. A node's cost is a
@@ -64,6 +79,15 @@ class CostMemo {
     uint64_t stamp = 0;  ///< 0 = empty; else 1 + newest dependency version
     double value = 0.0;
   };
+
+  /// Class-version stamps catch graph changes but not calibration moves —
+  /// a recalibration changes node costs with no graph edit. Every memoized
+  /// value is additionally tied to the cost model's calibration version;
+  /// on mismatch the whole memo is discarded (recalibrations are rare and
+  /// globally invalidating by design — the dead band keeps them so).
+  void SyncCalibration(const CostModel& cost);
+
+  uint64_t calibration_version_ = 0;
   std::vector<Entry> nodes_;    // NodeId-indexed
   std::vector<Entry> classes_;  // canonical-ClassId-indexed
 };

@@ -59,6 +59,13 @@ struct OptimizedPlan {
   /// degraded plans are never inserted into the plan cache.
   bool degraded = false;
   std::string degrade_reason;
+  /// Fingerprint of the plan-cache key this plan was optimized under (empty
+  /// when no key was available, e.g. canonicalization bypass or cache-off
+  /// calls). Routes execution feedback — OptimizerSession::RecordExecution /
+  /// SessionPool::RecordExecution — back to the owning cache entry for
+  /// drift-triggered re-extraction. Derived, not persisted: restore paths
+  /// re-set it from the entry's key.
+  std::string cache_fingerprint;
   StageTimings timings;
   RunnerReport saturation;     ///< zero-valued on cache hits and fallbacks
   /// All extraction choices computed this call (chosen one first). Contains

@@ -40,6 +40,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/cost/calibration.h"
 #include "src/egraph/pattern_program.h"
 #include "src/egraph/rewrite.h"
 #include "src/egraph/runner.h"
@@ -76,6 +77,11 @@ struct SessionConfig {
   /// branch-and-bound solve is the one stage that can't produce a partial
   /// answer fast); recorded as OptimizedPlan::degraded provenance.
   double ilp_min_remaining_seconds = 0.05;
+  /// Feedback-driven cost calibration knobs (EWMA alpha, dead band, drift
+  /// threshold, multiplier clamps). Inert until execution feedback is
+  /// actually recorded — a session that never sees RecordExecution costs
+  /// bit-identically to one without calibration.
+  CalibrationConfig calibration;
 };
 
 /// Compile-once, share-everywhere optimizer state. Construct one, hand a

@@ -50,6 +50,15 @@ std::string SessionStats::ToString() const {
     os << "; restored " << restored_plans << " plans, " << restored_classes
        << " classes";
   }
+  if (recalibrations || drift_invalidations || re_extractions ||
+      plan_upgrades || restored_calibration_cells) {
+    os << "; feedback: " << recalibrations << " recalibrations, "
+       << drift_invalidations << " drift invalidations, " << re_extractions
+       << " re-extractions, " << plan_upgrades << " upgrades";
+    if (restored_calibration_cells) {
+      os << ", " << restored_calibration_cells << " restored cells";
+    }
+  }
   return os.str();
 }
 
@@ -75,7 +84,8 @@ OptimizerSession::OptimizerSession(
     : context_(std::move(context)),
       config_(config ? std::move(*config) : context_->base_config()),
       dims_(context_->dims()),
-      cache_(config_.enable_plan_cache ? config_.plan_cache_capacity : 0) {}
+      cache_(config_.enable_plan_cache ? config_.plan_cache_capacity : 0),
+      calibration_(config_.calibration) {}
 
 const EGraph* OptimizerSession::shared_egraph() const {
   return graph_ ? graph_->egraph.get() : nullptr;
@@ -262,22 +272,22 @@ StatusOr<Saturation> OptimizerSession::Saturate(const Translation& t,
     s.report = runner.Run();
     s.root = s.egraph->Find(root);
   }
-  CostModel cost(RaContext{&catalog, dims_});
+  CostModel cost(RaContext{&catalog, dims_}, &calibration_);
   s.original_cost = TermCost(*s.egraph, cost, t.program.ra);
   s.seconds = timer.Seconds();
   return s;
 }
 
-StatusOr<Extraction> OptimizerSession::Extract(const Saturation& s,
-                                               const Translation& t,
-                                               const Catalog& catalog,
-                                               const StageBudget& budget) const {
+StatusOr<Extraction> OptimizerSession::Extract(
+    const Saturation& s, const Translation& t, const Catalog& catalog,
+    const StageBudget& budget,
+    std::optional<ExtractionStrategy> force_strategy) const {
   if (!s.egraph) {
     return Status::InvalidArgument("Extract: empty saturation");
   }
   Timer timer;
   RaContext ctx{&catalog, dims_};
-  CostModel cost(ctx);
+  CostModel cost(ctx, &calibration_);
   // When extracting from the session's shared graph, reuse its persistent
   // cost memo so classes unchanged since earlier queries are never
   // re-costed; a one-off graph gets a call-local memo inside the extractor.
@@ -323,7 +333,8 @@ StatusOr<Extraction> OptimizerSession::Extract(const Saturation& s,
   };
 
   Extraction result;
-  ExtractionStrategy chosen_strategy = config_.extraction;
+  ExtractionStrategy chosen_strategy =
+      force_strategy ? *force_strategy : config_.extraction;
   if (chosen_strategy == ExtractionStrategy::kIlp && degrade_ilp) {
     chosen_strategy = ExtractionStrategy::kGreedy;
     result.degraded_to_greedy = true;
@@ -558,6 +569,14 @@ OptimizedPlan OptimizerSession::Optimize(const ExprPtr& expr,
   out.plan = config_.apply_fusion ? Fuse(e.chosen.la) : e.chosen.la;
   out.timings.fuse_seconds = stage.Seconds();
 
+  if (key) out.cache_fingerprint = key->fingerprint;
+  // Warm re-extraction anchor: when this optimization ran on the session's
+  // shared graph, record what a later drift invalidation (or degraded-plan
+  // upgrade) needs to re-run Extract without saturating.
+  if (use_cache && key && graph_ && s.egraph.get() == graph_->egraph.get()) {
+    RecordReextractAnchor(*key, s.root, expr, t.program, out.degraded);
+  }
+
   // Degraded plans are deliberately not cached: the cache must only serve
   // what an unconstrained run would have produced, or one rushed query
   // would pin its weaker plan for every future isomorphic query.
@@ -568,6 +587,123 @@ OptimizedPlan OptimizerSession::Optimize(const ExprPtr& expr,
     if (plan_insert_listener_) plan_insert_listener_(*key, out);
   }
   return out;
+}
+
+void OptimizerSession::RecordReextractAnchor(const PlanCacheKey& key,
+                                             ClassId root, const ExprPtr& la,
+                                             const RaProgram& program,
+                                             bool degraded) {
+  GraphState& g = *graph_;
+  GraphState::ReextractInfo info;
+  info.key = key;
+  info.root = root;
+  info.translation.la = la;
+  info.translation.program = program;
+  info.degraded = degraded;
+  g.reextract[key.fingerprint] = std::move(info);
+  // Bound the anchor map to the cache capacity (degraded plans are not
+  // cached but still anchored, so the map can briefly run ahead).
+  while (g.reextract.size() > std::max<size_t>(1, config_.plan_cache_capacity)) {
+    g.reextract.erase(g.reextract.begin());
+  }
+  if (degraded &&
+      std::find(pending_upgrades_.begin(), pending_upgrades_.end(),
+                key.fingerprint) == pending_upgrades_.end()) {
+    pending_upgrades_.push_back(key.fingerprint);
+    if (pending_upgrades_.size() > 32) pending_upgrades_.pop_front();
+  }
+}
+
+bool OptimizerSession::ReextractAndReplace(
+    const std::string& fingerprint, const GraphState::ReextractInfo& info,
+    std::optional<ExtractionStrategy> force_strategy) {
+  GraphState& g = *graph_;
+  // Rebuild a Saturation view of the warm graph — by construction no
+  // saturation runs here, which is the invariant serve_test asserts via
+  // SessionStats::saturations.
+  Saturation s;
+  s.egraph = std::shared_ptr<EGraph>(graph_, g.egraph.get());
+  s.root = g.egraph->Find(info.root);
+  s.reused_graph = true;
+  StatusOr<Extraction> extracted =
+      Extract(s, info.translation, g.catalog, StageBudget{}, force_strategy);
+  if (!extracted.ok()) return false;
+  Extraction& e = extracted.value();
+  OptimizedPlan out;
+  out.plan = config_.apply_fusion ? Fuse(e.chosen.la) : e.chosen.la;
+  out.plan_cost = e.chosen.cost;
+  out.optimal = e.chosen.optimal;
+  out.alternatives = std::move(e.alternatives);
+  out.cache_fingerprint = fingerprint;
+  CostModel cost(RaContext{&g.catalog, dims_}, &calibration_);
+  out.original_cost = TermCost(*g.egraph, cost, info.translation.program.ra);
+  // Erase + Insert: Insert alone would only refresh the stale entry.
+  cache_.Erase(info.key);
+  cache_.Insert(info.key, out);
+  if (plan_insert_listener_) plan_insert_listener_(info.key, out);
+  return true;
+}
+
+FeedbackResult OptimizerSession::RecordExecution(
+    const ExecutionFeedback& feedback) {
+  FeedbackResult result;
+  if (!feedback.samples.empty()) {
+    if (calibration_.Record(feedback.samples)) {
+      ++stats_.recalibrations;
+      result.recalibrated = true;
+    }
+    result.observed_cost_units =
+        calibration_.ObservedCostUnits(feedback.samples);
+  }
+  const double threshold = config_.calibration.drift_threshold;
+  if (threshold <= 1.0 || feedback.fingerprint.empty() ||
+      feedback.predicted_cost <= 0.0 || result.observed_cost_units <= 0.0) {
+    return result;
+  }
+  double ratio = result.observed_cost_units / feedback.predicted_cost;
+  if (ratio <= threshold && ratio >= 1.0 / threshold) return result;
+  result.drift_detected = true;
+  if (!graph_) return result;
+  auto it = graph_->reextract.find(feedback.fingerprint);
+  if (it == graph_->reextract.end()) return result;
+  GraphState::ReextractInfo& info = it->second;
+  // Unchanged multipliers reproduce the same extraction — skip.
+  if (info.reextracted_at_version == calibration_.version()) return result;
+  ++stats_.drift_invalidations;
+  if (ReextractAndReplace(feedback.fingerprint, info, std::nullopt)) {
+    info.reextracted_at_version = calibration_.version();
+    ++stats_.re_extractions;
+    result.reextracted = true;
+  }
+  return result;
+}
+
+bool OptimizerSession::UpgradeOnePendingPlan() {
+  while (!pending_upgrades_.empty()) {
+    if (!graph_) {
+      pending_upgrades_.clear();
+      return false;
+    }
+    std::string fingerprint = std::move(pending_upgrades_.front());
+    pending_upgrades_.pop_front();
+    auto it = graph_->reextract.find(fingerprint);
+    if (it == graph_->reextract.end() || !it->second.degraded) continue;
+    if (!ReextractAndReplace(fingerprint, it->second,
+                             ExtractionStrategy::kIlp)) {
+      return false;
+    }
+    it->second.degraded = false;
+    it->second.reextracted_at_version = calibration_.version();
+    ++stats_.plan_upgrades;
+    return true;
+  }
+  return false;
+}
+
+size_t OptimizerSession::RestoreCalibration(const CalibrationImage& image) {
+  calibration_.Restore(image);
+  stats_.restored_calibration_cells += image.cells.size();
+  return image.cells.size();
 }
 
 }  // namespace spores

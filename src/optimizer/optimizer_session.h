@@ -39,11 +39,14 @@
 // context, so a session is exactly the per-shard mutable state.
 #pragma once
 
+#include <deque>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "src/cost/calibration.h"
 #include "src/cost/cost_model.h"
 #include "src/egraph/egraph_image.h"
 #include "src/egraph/runner.h"
@@ -128,6 +131,15 @@ struct SessionStats {
   size_t arena_high_water = 0;  ///< peak shared-graph arena size observed
   size_t restored_plans = 0;    ///< plan-cache entries loaded from a snapshot
   size_t restored_classes = 0;  ///< e-classes rebuilt from a snapshot image
+  // Feedback loop (RecordExecution): calibration moves and the re-extraction
+  // work they trigger. `saturations` deliberately does NOT move on any of
+  // these — drift re-optimization re-*extracts* against the warm graph,
+  // never re-saturates (asserted by serve_test and bench_runtime_e2e).
+  size_t recalibrations = 0;       ///< calibration version bumps observed
+  size_t drift_invalidations = 0;  ///< cached plans invalidated for drift
+  size_t re_extractions = 0;       ///< drift-triggered warm re-extractions
+  size_t plan_upgrades = 0;        ///< degraded plans upgraded to full ILP
+  size_t restored_calibration_cells = 0;  ///< cells loaded from a snapshot
   double compile_seconds = 0.0;
 
   std::string ToString() const;
@@ -165,6 +177,30 @@ struct QueryOptions {
   /// past the deadline (it is effectively free); everything else degrades
   /// or aborts as the budget runs out, and degraded plans are not cached.
   StageBudget budget;
+};
+
+/// What one execution of an optimized plan observed, fed back through
+/// RecordExecution. Build `samples` from ExecStats::profile (see
+/// src/serve/execution_feedback.h for the conversion helper).
+struct ExecutionFeedback {
+  /// OptimizedPlan::cache_fingerprint of the executed plan; empty disables
+  /// drift handling for this record (calibration still happens).
+  std::string fingerprint;
+  /// The plan's predicted model cost (OptimizedPlan::plan_cost) at the time
+  /// it was handed out; <= 0 disables drift handling.
+  double predicted_cost = 0.0;
+  std::vector<CalibrationSample> samples;
+};
+
+/// What RecordExecution did with one feedback record.
+struct FeedbackResult {
+  bool recalibrated = false;    ///< a published multiplier moved (version bump)
+  bool drift_detected = false;  ///< predicted/observed outside the threshold
+  bool reextracted = false;     ///< the cached plan was replaced via warm
+                                ///< re-extraction (no saturation)
+  /// Observed cost of this execution in model units (-1 until the
+  /// calibration baseline has warmed up).
+  double observed_cost_units = -1.0;
 };
 
 /// A long-lived optimizer: construct once, call Optimize per query. The
@@ -223,14 +259,49 @@ class OptimizerSession {
   /// scoped to the classes reachable from the query's root. `budget` clamps
   /// the ILP solve to the remaining deadline — and degrades it to greedy
   /// entirely when under ilp_min_remaining_seconds (Extraction::
-  /// degraded_to_greedy).
-  StatusOr<Extraction> Extract(const Saturation& s, const Translation& t,
-                               const Catalog& catalog,
-                               const StageBudget& budget = {}) const;
+  /// degraded_to_greedy). `force_strategy` overrides config().extraction
+  /// for this call (the degraded-plan upgrade path forces a full ILP solve
+  /// regardless of the session default).
+  StatusOr<Extraction> Extract(
+      const Saturation& s, const Translation& t, const Catalog& catalog,
+      const StageBudget& budget = {},
+      std::optional<ExtractionStrategy> force_strategy = std::nullopt) const;
 
   /// Fused-operator post-pass (always applies; Optimize gates it on
   /// config.apply_fusion).
   ExprPtr Fuse(const ExprPtr& la) const;
+
+  // ---- Feedback loop (observe -> calibrate -> re-extract) ----
+
+  /// Feeds one executed plan's observations back: folds the samples into
+  /// the session's calibration table (counting `recalibrations` when a
+  /// multiplier publishes), then — when the predicted/observed cost ratio
+  /// falls outside [1/drift_threshold, drift_threshold] — invalidates the
+  /// plan-cache entry named by `feedback.fingerprint` and re-extracts it
+  /// against the still-warm shared e-graph. Re-extraction never saturates:
+  /// `SessionStats::saturations` is untouched by this call. Plans whose
+  /// warm-graph anchor is gone (graph reset or compacted since) keep their
+  /// cached plan — it is still correct, just possibly stale.
+  FeedbackResult RecordExecution(const ExecutionFeedback& feedback);
+
+  /// Upgrades one pending degraded plan (deadline-degraded extraction
+  /// recorded by Optimize) to a full ILP extraction against the warm graph,
+  /// inserting the result into the plan cache. Returns true when an upgrade
+  /// ran; callers (the pool's shallow-queue control path) invoke this only
+  /// when idle. Counts SessionStats::plan_upgrades.
+  bool UpgradeOnePendingPlan();
+
+  /// Degraded plans queued for background upgrade.
+  size_t PendingUpgrades() const { return pending_upgrades_.size(); }
+
+  const CalibrationTable& calibration() const { return calibration_; }
+
+  /// Snapshot of the calibration table for persistence.
+  CalibrationImage ExportCalibration() const { return calibration_.Export(); }
+
+  /// Replaces the calibration table from a snapshot image; returns the
+  /// number of cells restored (counted in restored_calibration_cells).
+  size_t RestoreCalibration(const CalibrationImage& image);
 
   // ---- Introspection ----
 
@@ -309,6 +380,25 @@ class OptimizerSession {
     /// untouched. Lifetime-tied to `egraph` (discarded with it on
     /// reset/Compact).
     CostMemo cost_memo;
+    /// Warm re-extraction anchors, by cache-key fingerprint: everything
+    /// needed to re-run Extract for a cached plan against this graph
+    /// without re-saturating (root class, translation, key). Classes never
+    /// die within one GraphState, so anchors stay valid until the state is
+    /// replaced (reset/Compact) — at which point the map dies with it and
+    /// drift handling for those plans degrades to keep-the-cached-plan.
+    struct ReextractInfo {
+      PlanCacheKey key;
+      ClassId root = kInvalidClassId;
+      Translation translation;
+      bool degraded = false;  ///< awaiting a background ILP upgrade
+      /// Calibration version the last drift re-extraction ran under; a
+      /// drifted plan is re-extracted at most once per calibration world
+      /// view (re-running under unchanged multipliers reproduces the same
+      /// plan — skipping it keeps persistent mispredictions from burning
+      /// an extraction per execution).
+      uint64_t reextracted_at_version = UINT64_MAX;
+    };
+    std::map<std::string, ReextractInfo> reextract;
   };
 
   OptimizedPlan Fallback(const ExprPtr& expr, const Status& status,
@@ -319,6 +409,17 @@ class OptimizerSession {
   GraphState& EnsureSharedGraph(const Catalog& catalog, std::string sig);
   void CompactSharedGraph();
   void RecordRoot(ClassId root);
+  /// Records a warm re-extraction anchor for `key` after a successful
+  /// shared-graph optimization (and queues degraded plans for upgrade).
+  void RecordReextractAnchor(const PlanCacheKey& key, ClassId root,
+                             const ExprPtr& la, const RaProgram& program,
+                             bool degraded);
+  /// Re-extracts the plan anchored by `info` against the warm shared graph
+  /// (no saturation by construction) and replaces the cache entry. Fires
+  /// the plan-insert listener so the WAL journals the replacement.
+  bool ReextractAndReplace(const std::string& fingerprint,
+                           const GraphState::ReextractInfo& info,
+                           std::optional<ExtractionStrategy> force_strategy);
 
   /// Shared immutable compile state (rules, trie, DimEnv); everything below
   /// is this session's private mutable state.
@@ -330,6 +431,12 @@ class OptimizerSession {
   std::shared_ptr<GraphState> graph_;  ///< null until first reuse saturation
   uint64_t saturation_count_ = 0;  ///< per-query saturation seed offset
   PlanInsertListener plan_insert_listener_;
+  /// Learned cost multipliers (config_.calibration knobs). Extraction and
+  /// term costing read it; RecordExecution writes it.
+  CalibrationTable calibration_;
+  /// Fingerprints of degraded plans awaiting a background ILP upgrade
+  /// (validated against graph_->reextract when popped).
+  std::deque<std::string> pending_upgrades_;
 };
 
 }  // namespace spores

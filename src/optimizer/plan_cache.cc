@@ -107,6 +107,22 @@ void PlanCache::Insert(const PlanCacheKey& key, OptimizedPlan plan) {
   ++stats_.insertions;
 }
 
+bool PlanCache::Erase(const PlanCacheKey& key) {
+  auto it = buckets_.find(key.fingerprint);
+  if (it == buckets_.end()) return false;
+  std::vector<Entry>& bucket = it->second;
+  for (size_t i = 0; i < bucket.size(); ++i) {
+    if (PolytermIsomorphic(bucket[i].canon, key.canon)) {
+      lru_.erase(bucket[i].lru_pos);
+      bucket.erase(bucket.begin() + i);
+      --size_;
+      if (bucket.empty()) buckets_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
 void PlanCache::ForEach(
     const std::function<void(const std::string& fingerprint,
                              const Polyterm& canon,

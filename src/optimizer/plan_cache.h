@@ -65,6 +65,11 @@ class PlanCache {
   /// Evicts the least-recently-used entry when at capacity.
   void Insert(const PlanCacheKey& key, OptimizedPlan plan);
 
+  /// Removes the entry isomorphic to `key`, if present. The drift
+  /// re-optimization path uses Erase + Insert to *replace* a stale plan —
+  /// Insert alone only refreshes recency for an isomorphic entry.
+  bool Erase(const PlanCacheKey& key);
+
   size_t size() const { return size_; }
   const PlanCacheStats& stats() const { return stats_; }
   void Clear();

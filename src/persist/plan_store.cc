@@ -153,6 +153,90 @@ Status DecodePlanSection(std::string_view payload,
   return Status::OK();
 }
 
+// kCalibration section: the learned cost-calibration table (PR 10). Op
+// names are stored as strings — never interned symbol ids — so the image
+// is process-independent, like every other section. A leading sub-version
+// lets the cell schema evolve without burning a SectionId.
+constexpr uint32_t kCalibrationWireVersion = 1;
+
+std::string EncodeCalibrationSection(const CalibrationImage& image) {
+  ByteWriter w;
+  w.PutU32(kCalibrationWireVersion);
+  w.PutU64(image.version);
+  w.PutU64(image.baseline_samples);
+  w.PutDouble(image.baseline_unit_seconds);
+  w.PutU32(static_cast<uint32_t>(image.cells.size()));
+  for (const CalibrationCellImage& c : image.cells) {
+    w.PutString(c.op);
+    w.PutI64(c.shape_bucket);
+    w.PutI64(c.sparsity_bucket);
+    w.PutU64(c.samples);
+    w.PutDouble(c.unit_seconds);
+    w.PutDouble(c.density);
+  }
+  w.PutU32(static_cast<uint32_t>(image.published.size()));
+  for (const CalibrationPublishedImage& p : image.published) {
+    w.PutU8(p.category);
+    w.PutI64(p.shape_bucket);
+    w.PutI64(p.sparsity_bucket);
+    w.PutDouble(p.multiplier);
+  }
+  return w.Take();
+}
+
+Status DecodeCalibrationSection(std::string_view payload,
+                                CalibrationImage* out) {
+  ByteReader r(payload);
+  uint32_t wire;
+  SPORES_RETURN_IF_ERROR(r.GetU32(&wire));
+  if (wire != kCalibrationWireVersion) {
+    return Status::InvalidArgument(
+        "snapshot: unknown calibration wire version");
+  }
+  SPORES_RETURN_IF_ERROR(r.GetU64(&out->version));
+  SPORES_RETURN_IF_ERROR(r.GetU64(&out->baseline_samples));
+  SPORES_RETURN_IF_ERROR(r.GetDouble(&out->baseline_unit_seconds));
+  uint32_t ncells;
+  SPORES_RETURN_IF_ERROR(r.GetU32(&ncells));
+  if (ncells > payload.size()) {
+    return Status::InvalidArgument(
+        "snapshot: implausible calibration cell count");
+  }
+  out->cells.reserve(ncells);
+  for (uint32_t i = 0; i < ncells; ++i) {
+    CalibrationCellImage c;
+    int64_t shape, sparsity;
+    SPORES_RETURN_IF_ERROR(r.GetString(&c.op));
+    SPORES_RETURN_IF_ERROR(r.GetI64(&shape));
+    SPORES_RETURN_IF_ERROR(r.GetI64(&sparsity));
+    SPORES_RETURN_IF_ERROR(r.GetU64(&c.samples));
+    SPORES_RETURN_IF_ERROR(r.GetDouble(&c.unit_seconds));
+    SPORES_RETURN_IF_ERROR(r.GetDouble(&c.density));
+    c.shape_bucket = static_cast<int32_t>(shape);
+    c.sparsity_bucket = static_cast<int32_t>(sparsity);
+    out->cells.push_back(std::move(c));
+  }
+  uint32_t npublished;
+  SPORES_RETURN_IF_ERROR(r.GetU32(&npublished));
+  if (npublished > payload.size()) {
+    return Status::InvalidArgument(
+        "snapshot: implausible calibration multiplier count");
+  }
+  out->published.reserve(npublished);
+  for (uint32_t i = 0; i < npublished; ++i) {
+    CalibrationPublishedImage p;
+    int64_t shape, sparsity;
+    SPORES_RETURN_IF_ERROR(r.GetU8(&p.category));
+    SPORES_RETURN_IF_ERROR(r.GetI64(&shape));
+    SPORES_RETURN_IF_ERROR(r.GetI64(&sparsity));
+    SPORES_RETURN_IF_ERROR(r.GetDouble(&p.multiplier));
+    p.shape_bucket = static_cast<int32_t>(shape);
+    p.sparsity_bucket = static_cast<int32_t>(sparsity);
+    out->published.push_back(std::move(p));
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -167,6 +251,10 @@ std::string PlanStoreWriter::Encode(const ShardSnapshotData& data) const {
     ByteWriter w;
     EncodeEGraphImage(data.graph, w);
     file.AddSection(SectionId::kEGraph, w.Take());
+  }
+  if (data.calibration.version > 0 || !data.calibration.cells.empty()) {
+    file.AddSection(SectionId::kCalibration,
+                    EncodeCalibrationSection(data.calibration));
   }
   return file.Encode();
 }
@@ -238,6 +326,19 @@ ShardRestoreResult ParseValidated(const SnapshotFileReader& file,
       out.data.graph = std::move(image).value();
     } else {
       st = image.status();
+    }
+  }
+  if (st.ok()) {
+    // The calibration section is optional (a pristine table writes none).
+    // Present-but-damaged is a hard cold start like any other section: a
+    // half-trusted cost table would silently skew every later extraction.
+    auto calibration_payload = file.Section(SectionId::kCalibration);
+    if (calibration_payload.ok()) {
+      st = DecodeCalibrationSection(*calibration_payload,
+                                    &out.data.calibration);
+    } else if (calibration_payload.status().code() != StatusCode::kNotFound) {
+      return ColdStart(ColdStartReason::kCorruptSnapshot,
+                       calibration_payload.status().message());
     }
   }
   if (!st.ok()) {

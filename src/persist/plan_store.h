@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "src/cost/calibration.h"
 #include "src/egraph/egraph_image.h"
 #include "src/egraph/rewrite.h"
 #include "src/optimizer/optimized_plan.h"
@@ -66,6 +67,12 @@ struct ShardSnapshotData {
   std::string catalog_signature;  ///< signature the graph was keyed on
   Catalog catalog;                ///< the graph's catalog snapshot
   EGraphImage graph;              ///< dense root-scoped image
+
+  /// The shard's learned cost-calibration table (PR 10), persisted as its
+  /// own CRC'd section whenever it holds any observations. An empty image
+  /// (no cells, version 0) writes no section; restore of a section-less
+  /// snapshot leaves the session's table pristine.
+  CalibrationImage calibration;
 };
 
 /// Fills `data->dims` with (attr, dimension) for every attribute the

@@ -114,6 +114,8 @@ const char* SectionIdName(SectionId id) {
       return "egraph";
     case SectionId::kRouter:
       return "router";
+    case SectionId::kCalibration:
+      return "calibration";
   }
   return "unknown";
 }

@@ -86,10 +86,11 @@ inline constexpr uint32_t kSnapshotFormatVersion = 1;
 
 /// Section ids. Values are part of the on-disk format; append only.
 enum class SectionId : uint32_t {
-  kCatalog = 1,    // matrix metadata + attr dims for everything referenced
-  kPlanCache = 2,  // plan-cache entries, LRU-oldest first
-  kEGraph = 3,     // dense root-scoped e-graph image
-  kRouter = 4,     // fingerprint-hash → shard affinity pins
+  kCatalog = 1,      // matrix metadata + attr dims for everything referenced
+  kPlanCache = 2,    // plan-cache entries, LRU-oldest first
+  kEGraph = 3,       // dense root-scoped e-graph image
+  kRouter = 4,       // fingerprint-hash → shard affinity pins
+  kCalibration = 5,  // learned cost-calibration table (PR 10)
 };
 
 const char* SectionIdName(SectionId id);

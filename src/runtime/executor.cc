@@ -401,6 +401,11 @@ class Evaluator {
 // fault) and is contained by the caller.
 StatusOr<Matrix> EvalOnce(const ExprPtr& expr, const Bindings& inputs,
                           BufferPool* pool, ExecStats* stats) {
+  // The profile describes exactly one evaluation attempt: without this
+  // reset a stats object reused across an arena's batches accumulates
+  // every DAG's rows forever (and a memory-fallback retry would double-
+  // count its own first attempt).
+  if (stats != nullptr) stats->profile.clear();
   Evaluator evaluator(inputs, stats, pool);
   SPORES_RETURN_IF_ERROR(evaluator.Analyze(expr));
   evaluator.AddRootUse(expr);

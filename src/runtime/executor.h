@@ -68,7 +68,13 @@ struct ExecStats {
   size_t memory_fallbacks = 0;  ///< executions retried under PreferSparse
                                 ///< after an allocation failure
   bool track_dense_nnz = false;  ///< opt-in exact nnz for dense outputs
-  std::vector<OpProfile> profile;  ///< per-op wall time + observed nnz
+  /// Per-op wall time + observed nnz for the MOST RECENT Execute call:
+  /// cleared at the start of every evaluation attempt (including the
+  /// sparse retry after an allocation failure), so a long-lived ExecStats
+  /// reused across an arena's DAG batches never grows without bound.
+  /// Consumers feeding calibration must harvest it between calls. The
+  /// cumulative counters above are NOT reset.
+  std::vector<OpProfile> profile;
 };
 
 /// Buffer reuse scope spanning many Execute calls: kernel outputs and

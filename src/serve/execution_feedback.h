@@ -1,0 +1,49 @@
+// Bridges the runtime's per-op execution profile (ExecStats::profile) to
+// the optimizer's calibration feedback (ExecutionFeedback) without coupling
+// the serving tier to the runtime at link time: everything here is inline
+// over header-only types, so spores_serve never links spores_runtime — only
+// callers that actually execute plans (benches, applications) pay that dep.
+//
+// Intended use on an executing thread:
+//
+//   ExecStats stats;
+//   stats.track_dense_nnz = true;  // dense outputs get exact nnz; without
+//                                  // it dense rows carry out_nnz = -1 and
+//                                  // calibration falls back to the shape
+//   auto result = Execute(plan.expr, inputs, &arena, &stats);
+//   pool.RecordExecution(MakeExecutionFeedback(plan, stats));
+//
+// ExecStats::profile holds only the MOST RECENT Execute call (cleared at
+// the start of every evaluation attempt), so harvest it between calls.
+#pragma once
+
+#include "src/optimizer/optimized_plan.h"
+#include "src/optimizer/optimizer_session.h"
+#include "src/runtime/executor.h"
+
+namespace spores {
+
+/// Converts one executed plan + its execution profile into the feedback
+/// record RecordExecution consumes. The plan supplies the drift inputs
+/// (cache fingerprint + predicted cost); the profile supplies the samples.
+/// A plan that never went through the plan cache (empty fingerprint) still
+/// calibrates — it just cannot trigger a re-extraction.
+inline ExecutionFeedback MakeExecutionFeedback(const OptimizedPlan& plan,
+                                               const ExecStats& stats) {
+  ExecutionFeedback out;
+  out.fingerprint = plan.cache_fingerprint;
+  out.predicted_cost = plan.plan_cost;
+  out.samples.reserve(stats.profile.size());
+  for (const OpProfile& p : stats.profile) {
+    CalibrationSample s;
+    s.op = p.op;
+    s.rows = p.rows;
+    s.cols = p.cols;
+    s.out_nnz = p.out_nnz;
+    s.seconds = p.seconds;
+    out.samples.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace spores

@@ -73,6 +73,30 @@ size_t PoolStats::TotalRestoredClasses() const {
   return n;
 }
 
+size_t PoolStats::TotalRecalibrations() const {
+  size_t n = 0;
+  for (const ShardStats& s : shards) n += s.session.recalibrations;
+  return n;
+}
+
+size_t PoolStats::TotalDriftInvalidations() const {
+  size_t n = 0;
+  for (const ShardStats& s : shards) n += s.session.drift_invalidations;
+  return n;
+}
+
+size_t PoolStats::TotalReExtractions() const {
+  size_t n = 0;
+  for (const ShardStats& s : shards) n += s.session.re_extractions;
+  return n;
+}
+
+size_t PoolStats::TotalPlanUpgrades() const {
+  size_t n = 0;
+  for (const ShardStats& s : shards) n += s.session.plan_upgrades;
+  return n;
+}
+
 double PoolStats::CacheHitRate() const {
   size_t hits = 0, misses = 0;
   for (const ShardStats& s : shards) {
@@ -96,6 +120,14 @@ std::string PoolStats::ToString() const {
   if (TotalRestarts() > 0 || quarantined > 0 || shed > 0) {
     os << "; containment: " << TotalRestarts() << " shard restarts, "
        << quarantined << " quarantined, " << shed << " shed";
+  }
+  // Feedback loop: silent until an execution was actually recorded.
+  if (TotalRecalibrations() > 0 || TotalDriftInvalidations() > 0 ||
+      TotalReExtractions() > 0 || TotalPlanUpgrades() > 0) {
+    os << "; feedback: " << TotalRecalibrations() << " recalibrations, "
+       << TotalDriftInvalidations() << " drift invalidations, "
+       << TotalReExtractions() << " re-extractions, " << TotalPlanUpgrades()
+       << " upgrades";
   }
   // Same deal for contention: uncontended runs print nothing new.
   if (pop_lock_contended > 0 || router_contended > 0 || intern_contended > 0 ||
@@ -210,6 +242,11 @@ CheckpointManager::Restore SessionPool::RestoreIntoSession(
     session.RestoreSharedGraph(r.data.catalog,
                                std::move(r.data.catalog_signature),
                                r.data.graph);
+  }
+  // Learned costs come back before any plan replay or new extraction: a
+  // warm shard resumes costing exactly where the snapshot left off.
+  if (r.data.calibration.version > 0 || !r.data.calibration.cells.empty()) {
+    session.RestoreCalibration(r.data.calibration);
   }
   // Snapshot entries are LRU-first with journal entries after them, so
   // replaying in order reproduces the cache's recency order (and thus
@@ -573,6 +610,16 @@ PoolStats SessionPool::Stats() const {
         snap.restored_plans.load(std::memory_order_relaxed);
     s.session.restored_classes =
         snap.restored_classes.load(std::memory_order_relaxed);
+    s.session.recalibrations =
+        snap.recalibrations.load(std::memory_order_relaxed);
+    s.session.drift_invalidations =
+        snap.drift_invalidations.load(std::memory_order_relaxed);
+    s.session.re_extractions =
+        snap.re_extractions.load(std::memory_order_relaxed);
+    s.session.plan_upgrades =
+        snap.plan_upgrades.load(std::memory_order_relaxed);
+    s.session.restored_calibration_cells =
+        snap.restored_calibration_cells.load(std::memory_order_relaxed);
     s.session.compile_seconds =
         snap.compile_seconds.load(std::memory_order_relaxed);
     s.cache.hits = snap.cache_lookups_hit.load(std::memory_order_relaxed);
@@ -610,6 +657,53 @@ PoolStats SessionPool::Stats() const {
   return out;
 }
 
+void SessionPool::RecordExecution(ExecutionFeedback feedback) {
+  // The owner of the plan-cache entry — pin when the router still has one,
+  // stable hash home otherwise — must process this record: drift handling
+  // erases/replaces an entry only that shard's cache can hold. A record
+  // whose pin was FIFO-evicted still calibrates the hash-home shard; its
+  // drift lookup just misses (the anchor lives where the pin pointed).
+  const size_t shard_index =
+      router_.PinnedShardOrHash(feedback.fingerprint) % shards_.size();
+  Shard& shard = *shards_[shard_index];
+  // Count it into the drain accounting BEFORE it becomes visible, exactly
+  // like a job enqueue: Drain() then waits for pending feedback, so a
+  // caller can submit feedback, Drain(), and read calibrated Stats().
+  submitted_.fetch_add(1, std::memory_order_acq_rel);
+  {
+    std::lock_guard<std::mutex> lock(shard.feedback_mu);
+    shard.feedback.push_back(std::move(feedback));
+    shard.has_feedback.store(true, std::memory_order_release);
+  }
+  WakeWorkers();
+}
+
+void SessionPool::DrainFeedback(size_t self) {
+  Shard& shard = *shards_[self];
+  if (!shard.has_feedback.load(std::memory_order_acquire)) return;
+  while (true) {
+    ExecutionFeedback fb;
+    {
+      std::lock_guard<std::mutex> lock(shard.feedback_mu);
+      if (shard.feedback.empty()) {
+        shard.has_feedback.store(false, std::memory_order_relaxed);
+        return;
+      }
+      fb = std::move(shard.feedback.front());
+      shard.feedback.pop_front();
+    }
+    try {
+      shard.session->RecordExecution(fb);
+    } catch (const std::exception&) {
+      // Feedback is advisory: a re-extraction that runs out of memory (or
+      // hits an injected fault) must not take the worker down — the cached
+      // plan it would have replaced is still correct, just stale.
+    }
+    PublishSnapshot(shard);
+    FinishJob();
+  }
+}
+
 void SessionPool::Drain() {
   {
     std::unique_lock<std::mutex> lock(done_mu_);
@@ -645,6 +739,7 @@ Status SessionPool::Checkpoint() {
               });
           data.has_graph = session.ExportSharedGraph(
               &data.catalog_signature, &data.catalog, &data.graph);
+          data.calibration = session.ExportCalibration();
         });
         // Dim collection reads the internally-synchronized shared DimEnv
         // against our own copy — it can run here on the checkpoint thread,
@@ -845,6 +940,13 @@ void SessionPool::PublishSnapshot(Shard& shard) {
   snap.arena_high_water.store(st.arena_high_water, std::memory_order_relaxed);
   snap.restored_plans.store(st.restored_plans, std::memory_order_relaxed);
   snap.restored_classes.store(st.restored_classes, std::memory_order_relaxed);
+  snap.recalibrations.store(st.recalibrations, std::memory_order_relaxed);
+  snap.drift_invalidations.store(st.drift_invalidations,
+                                 std::memory_order_relaxed);
+  snap.re_extractions.store(st.re_extractions, std::memory_order_relaxed);
+  snap.plan_upgrades.store(st.plan_upgrades, std::memory_order_relaxed);
+  snap.restored_calibration_cells.store(st.restored_calibration_cells,
+                                        std::memory_order_relaxed);
   snap.compile_seconds.store(st.compile_seconds, std::memory_order_relaxed);
   snap.cache_lookups_hit.store(cs.hits, std::memory_order_relaxed);
   snap.cache_lookups_miss.store(cs.misses, std::memory_order_relaxed);
@@ -1098,8 +1200,10 @@ void SessionPool::WorkerLoop(size_t self) {
     // pairs with WakeWorkers (see its Dekker comment).
     const uint64_t seen = work_epoch_.load(std::memory_order_seq_cst);
     // A pending control task (checkpoint capture) runs between jobs on
-    // this thread — the only thread allowed to touch the session.
+    // this thread — the only thread allowed to touch the session. So does
+    // pending execution feedback (calibration + drift re-extraction).
     RunControl(self);
+    DrainFeedback(self);
     bool stolen = false, retry_soon = false;
     std::unique_ptr<Job> job = NextJob(self, &stolen, &retry_soon);
     if (job) {
@@ -1115,6 +1219,27 @@ void SessionPool::WorkerLoop(size_t self) {
         RunJob(self, *job, stolen);
       }
       continue;
+    }
+    // Shallow-queue background upgrade: with no job runnable anywhere and
+    // our own queue empty, spend the lull turning one deadline-degraded
+    // cached plan into a full ILP extraction against the warm graph. One
+    // upgrade per loop iteration: an enqueue racing the upgrade bumped the
+    // epoch read above, so the very next iteration sees the real job —
+    // queued traffic always outranks background polish.
+    if (config_.upgrade_when_shallow) {
+      Shard& own = *shards_[self];
+      if (own.hot.depth.load(std::memory_order_acquire) == 0 &&
+          own.session->PendingUpgrades() > 0) {
+        bool upgraded = false;
+        try {
+          upgraded = own.session->UpgradeOnePendingPlan();
+        } catch (const std::exception&) {
+          // Background polish must never take a worker down; the degraded
+          // plan it would have replaced is still correct.
+        }
+        PublishSnapshot(own);
+        if (upgraded) continue;
+      }
     }
     // Nothing runnable: park until an enqueue bumps the epoch. Register
     // as parked FIRST, then re-check the epoch — the other half of the

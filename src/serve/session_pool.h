@@ -205,6 +205,11 @@ struct PoolConfig {
   /// classes are placed on shallow queues; known classes keep their pinned
   /// shard regardless.
   bool enable_load_bias = true;
+  /// Background upgrade of degraded plans: an idle worker whose own queue
+  /// is empty spends the lull upgrading one deadline-degraded cached plan
+  /// to a full ILP extraction against its warm e-graph (never competing
+  /// with queued traffic — a runnable job always wins the loop iteration).
+  bool upgrade_when_shallow = true;
   RouterConfig router;
   AdmissionConfig admission;
   PersistenceConfig persist;
@@ -289,6 +294,11 @@ struct PoolStats {
   size_t TotalRestarts() const;  ///< shard sessions rebuilt by supervision
   size_t TotalRestoredPlans() const;    ///< plan-cache entries from snapshots
   size_t TotalRestoredClasses() const;  ///< e-classes rebuilt from snapshots
+  /// Feedback-loop aggregates (RecordExecution / background upgrades).
+  size_t TotalRecalibrations() const;
+  size_t TotalDriftInvalidations() const;
+  size_t TotalReExtractions() const;
+  size_t TotalPlanUpgrades() const;
   double CacheHitRate() const;  ///< hits / (hits+misses) over all shards
   std::string ToString() const;
 };
@@ -328,6 +338,19 @@ class SessionPool {
   /// pending journal writes to the OS (a drained pool's journaled state is
   /// on disk, not in a stdio buffer).
   void Drain();
+
+  /// Feeds one executed plan's observations back into the pool (the
+  /// observe half of the observe -> calibrate -> re-extract loop; build
+  /// the record with MakeExecutionFeedback, src/serve/execution_feedback.h).
+  /// The record is routed to the shard that owns the plan's cache entry —
+  /// its router affinity pin when one survives, the stable fingerprint
+  /// hash otherwise — and processed by that shard's OWN worker between
+  /// jobs, so sessions stay single-threaded. Asynchronous: the call is an
+  /// enqueue; Drain() waits for pending feedback like any other work.
+  /// Effects land in SessionStats::{recalibrations, drift_invalidations,
+  /// re_extractions}; drift re-optimization re-extracts against the warm
+  /// e-graph and never re-saturates. Thread-safe.
+  void RecordExecution(ExecutionFeedback feedback);
 
   /// Writes a full snapshot of every shard through the checkpoint protocol
   /// (see src/persist/checkpoint.h): each shard's plan cache and shared
@@ -423,6 +446,11 @@ class SessionPool {
     std::atomic<size_t> arena_high_water{0};
     std::atomic<size_t> restored_plans{0};
     std::atomic<size_t> restored_classes{0};
+    std::atomic<size_t> recalibrations{0};
+    std::atomic<size_t> drift_invalidations{0};
+    std::atomic<size_t> re_extractions{0};
+    std::atomic<size_t> plan_upgrades{0};
+    std::atomic<size_t> restored_calibration_cells{0};
     std::atomic<double> compile_seconds{0.0};
     // PlanCacheStats mirror.
     std::atomic<size_t> cache_lookups_hit{0};
@@ -474,6 +502,15 @@ class SessionPool {
     mutable std::mutex mu;
     std::function<void()> control;
     std::atomic<bool> has_control{false};
+    /// Execution-feedback inbox: RecordExecution appends from executing
+    /// threads; the owning worker drains it between jobs (the session is
+    /// touched by exactly one thread, same as jobs and control tasks).
+    /// Mutex-guarded — feedback arrives at execution granularity, a cold
+    /// path next to the lock-free submission spine; has_feedback keeps
+    /// the worker's idle loop off the mutex.
+    std::mutex feedback_mu;
+    std::deque<ExecutionFeedback> feedback;
+    std::atomic<bool> has_feedback{false};
     /// Warm-restart provenance, written once before the worker spawns.
     ColdStartReason cold_start = ColdStartReason::kDisabled;
     std::string cold_start_detail;
@@ -552,6 +589,10 @@ class SessionPool {
                         const std::function<void(OptimizerSession&)>& fn);
   /// Runs the shard's pending control task, if any (called by its worker).
   void RunControl(size_t self);
+  /// Drains shard `self`'s execution-feedback inbox into its session
+  /// (calibration + drift re-extraction), republishing the stats mirror
+  /// and keeping the drain accounting live. Owner worker thread only.
+  void DrainFeedback(size_t self);
 
   std::shared_ptr<const OptimizerContext> context_;
   PoolConfig config_;

@@ -64,6 +64,14 @@ void ShardRouter::RestorePin(const std::string& fingerprint, size_t shard) {
   }
 }
 
+size_t ShardRouter::PinnedShardOrHash(const std::string& fingerprint) const {
+  const uint64_t fp_hash = HashBytes(fingerprint);
+  AffinityBucket& bucket = BucketOf(fp_hash);
+  std::lock_guard<InstrumentedMutex> lock(bucket.mu);
+  auto it = bucket.pins.find(fp_hash);
+  return it != bucket.pins.end() ? it->second : fp_hash % num_shards_;
+}
+
 uint64_t ShardRouter::ContendedAcquisitions() const {
   uint64_t total = 0;
   for (size_t i = 0; i < kNumBuckets; ++i) total += buckets_[i].mu.contended();

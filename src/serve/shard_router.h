@@ -124,6 +124,13 @@ class ShardRouter {
   /// bounded like organic pins.
   void RestorePin(const std::string& fingerprint, size_t shard);
 
+  /// The shard `fingerprint` is currently pinned to, or its stable hash
+  /// home when the class has no pin (never routed, or FIFO-evicted). This
+  /// IS a read-only probe — unlike Route it never pins — because its
+  /// caller (execution feedback) must find the shard that already owns
+  /// the plan-cache entry, not make a placement decision.
+  size_t PinnedShardOrHash(const std::string& fingerprint) const;
+
   /// Contended acquisitions of the affinity-bucket locks since
   /// construction (summed). Monotone; the scaling study's view of router
   /// pressure.

@@ -160,5 +160,114 @@ TEST(CostMemo, AgreesWithModelAndTracksVersions) {
                    f.cost.ClassNnz(*f.egraph, bound));
 }
 
+// ---- Calibration (PR 10): bucketing, EWMA, dead band, memo invalidation ----
+
+TEST(Calibration, BucketBoundaries) {
+  // Shape: floor(log2(cells)); degenerate sizes collapse to bucket 0.
+  EXPECT_EQ(ShapeBucket(0.0), 0);
+  EXPECT_EQ(ShapeBucket(1.0), 0);
+  EXPECT_EQ(ShapeBucket(2.0), 1);
+  EXPECT_EQ(ShapeBucket(1023.0), 9);
+  EXPECT_EQ(ShapeBucket(1024.0), 10);
+  // Sparsity: floor(log10(density)), clamped to [-9, 0].
+  EXPECT_EQ(SparsityBucket(1.0), 0);
+  EXPECT_EQ(SparsityBucket(2.0), 0);     // over-dense clamps to the dense bucket
+  EXPECT_EQ(SparsityBucket(0.1), -1);
+  EXPECT_EQ(SparsityBucket(0.09), -2);
+  EXPECT_EQ(SparsityBucket(1e-12), -9);  // sparser than the last bucket
+  EXPECT_EQ(SparsityBucket(0.0), -9);    // degenerate densities
+  EXPECT_EQ(SparsityBucket(-1.0), -9);
+}
+
+TEST(Calibration, DeadBandKeepsSteadyObservationsPristine) {
+  // Identical observations make every candidate multiplier exactly 1.0 —
+  // inside the dead band, so the table never publishes: version stays 0
+  // and the cost model's multiply stays skipped (bitwise no-op guarantee).
+  CalibrationTable table;
+  std::vector<CalibrationSample> steady;
+  for (int i = 0; i < 16; ++i) steady.push_back({"add", 64, 64, -1, 1e-3});
+  EXPECT_FALSE(table.Record(steady));
+  EXPECT_EQ(table.version(), 0u);
+  EXPECT_DOUBLE_EQ(table.Multiplier(CostCategory::kElemwise, 4096.0, 1.0),
+                   1.0);
+  EXPECT_EQ(table.cell_count(), 1u);
+  EXPECT_EQ(table.total_samples(), 16u);
+}
+
+TEST(Calibration, EwmaCellEstimateConvergesToNewRegime) {
+  CalibrationTable table;
+  // A few observations under the old regime, then a sustained shift: the
+  // per-cell EWMA must converge to the new unit cost, not average forever.
+  std::vector<CalibrationSample> old_regime = {{"mmul", 64, 64, -1, 4e-3}};
+  for (int i = 0; i < 3; ++i) table.Record(old_regime);
+  std::vector<CalibrationSample> new_regime = {{"mmul", 64, 64, -1, 4e-1}};
+  for (int i = 0; i < 40; ++i) table.Record(new_regime);
+
+  CalibrationImage image = table.Export();
+  ASSERT_EQ(image.cells.size(), 1u);
+  const double unit = 4e-1 / 4096.0;  // seconds per output cell, new regime
+  EXPECT_NEAR(image.cells[0].unit_seconds, unit, 0.01 * unit);
+  EXPECT_EQ(image.cells[0].samples, 43u);
+  EXPECT_EQ(image.baseline_samples, 43u);
+}
+
+TEST(Calibration, MixedRegimePublishesClampedMultipliers) {
+  CalibrationTable table;
+  // Contractions vastly slower per cell than elementwise: both categories
+  // publish, in opposite directions, and both respect the clamps.
+  std::vector<CalibrationSample> mixed;
+  for (int i = 0; i < 4; ++i) {
+    mixed.push_back({"add", 64, 64, -1, 1e-6});
+    mixed.push_back({"mmul", 64, 64, -1, 1.0});
+  }
+  EXPECT_TRUE(table.Record(mixed));
+  EXPECT_GT(table.version(), 0u);
+
+  const double cells = 64.0 * 64.0;
+  double contract = table.Multiplier(CostCategory::kContract, cells, 1.0);
+  double elemwise = table.Multiplier(CostCategory::kElemwise, cells, 1.0);
+  EXPECT_GT(contract, 1.25);
+  EXPECT_LE(contract, 8.0);   // max_multiplier clamp
+  EXPECT_LT(elemwise, 0.75);
+  EXPECT_GE(elemwise, 0.25);  // min_multiplier clamp
+  // An unobserved category keeps the identity multiplier.
+  EXPECT_DOUBLE_EQ(table.Multiplier(CostCategory::kReduce, cells, 1.0), 1.0);
+}
+
+TEST(CostMemo, RecalibrationInvalidatesMemoizedCosts) {
+  Fixture f;
+  CalibrationTable table;
+  CostModel calibrated(f.ctx, &table);
+  Symbol i = Symbol::Intern("cvi"), j = Symbol::Intern("cvj");
+  f.dims->Set(i, 1000);
+  f.dims->Set(j, 500);
+  ExprPtr join = Expr::Join({Expr::Bind({i, j}, Expr::Var("Xd")),
+                             Expr::Bind({i, j}, Expr::Var("Xd"))});
+  ClassId id = f.egraph->AddExpr(join);
+  f.egraph->Rebuild();
+  NodeId nid = f.egraph->GetClass(id).nodes.back();
+
+  CostMemo memo;
+  // Pristine table: the multiplier path is skipped entirely — memoized
+  // costs are bit-identical to the uncalibrated model's.
+  EXPECT_DOUBLE_EQ(memo.NodeCost(calibrated, *f.egraph, nid), 500000.0);
+
+  // Recalibrate with contractions observed far slower than elementwise.
+  // The version bump must discard the memo: same node, same graph, and
+  // yet a different (calibrated) cost — matching the model exactly.
+  std::vector<CalibrationSample> mixed;
+  for (int k = 0; k < 4; ++k) {
+    mixed.push_back({"add", 1000, 500, -1, 1e-6});
+    mixed.push_back({"mmul", 1000, 500, -1, 10.0});
+  }
+  ASSERT_TRUE(table.Record(mixed));
+  double recalibrated = memo.NodeCost(calibrated, *f.egraph, nid);
+  EXPECT_GT(recalibrated, 500000.0);
+  EXPECT_DOUBLE_EQ(recalibrated,
+                   calibrated.NodeCost(*f.egraph, f.egraph->NodeAt(nid)));
+  // Memoized lookups stay stable at the new version.
+  EXPECT_DOUBLE_EQ(memo.NodeCost(calibrated, *f.egraph, nid), recalibrated);
+}
+
 }  // namespace
 }  // namespace spores

@@ -251,6 +251,44 @@ TEST(WarmRestartTest, RoundTripRestoresPlansAndCacheBehavior) {
   EXPECT_EQ(pool.Stats().CacheHitRate(), 1.0);
 }
 
+TEST(WarmRestartTest, CalibrationTableSurvivesRestart) {
+  const std::string dir = FreshDir("calibration_roundtrip");
+  auto context = std::make_shared<const OptimizerContext>(ServingConfig());
+  {
+    PoolConfig cfg = PersistentPool(dir, 1);
+    cfg.persist.checkpoint_on_shutdown = true;
+    SessionPool pool(context, cfg);
+    ASSERT_TRUE(pool.Submit(DistinctQueries()[0], SmallCatalog()).get().ok());
+    // Observations skewed enough to publish multipliers (and bump the
+    // table version): contractions 1000x slower per cell than elementwise.
+    ExecutionFeedback fb;
+    for (int i = 0; i < 4; ++i) {
+      fb.samples.push_back({"add", 100, 100, -1, 1e-3});
+      fb.samples.push_back({"mmul", 100, 100, -1, 1.0});
+    }
+    pool.RecordExecution(fb);
+    pool.Drain();
+    EXPECT_GE(pool.Stats().TotalRecalibrations(), 1u);
+  }  // shutdown checkpoint writes shard-0.snap
+
+  // The snapshot carries the learned table in its own section.
+  ShardRestoreResult r = PlanStoreReader::Load(dir + "/shard-0.snap",
+                                               ExpectationFor(*context, 1));
+  ASSERT_EQ(r.reason, ColdStartReason::kWarmRestore) << r.detail;
+  EXPECT_GT(r.data.calibration.version, 0u);
+  EXPECT_FALSE(r.data.calibration.cells.empty());
+  EXPECT_FALSE(r.data.calibration.published.empty());
+  EXPECT_EQ(r.data.calibration.baseline_samples, 8u);
+
+  // A restarted pool resumes costing exactly where the snapshot left off.
+  SessionPool pool(context, PersistentPool(dir, 1));
+  PoolStats stats = pool.Stats();
+  EXPECT_EQ(stats.shards[0].cold_start, ColdStartReason::kWarmRestore)
+      << stats.shards[0].cold_start_detail;
+  EXPECT_EQ(stats.shards[0].session.restored_calibration_cells,
+            r.data.calibration.cells.size());
+}
+
 TEST(WarmRestartTest, JournalOnlyRestoreBeforeFirstCheckpoint) {
   const std::string dir = FreshDir("journal_only");
   // No shutdown checkpoint: the journals are the only persisted state.
@@ -410,6 +448,45 @@ TEST(ColdStartTest, BitFlippedSectionPayload) {
   image[image.size() - 16] ^= 0x01;  // one bit, deep in a section payload
   WriteAll(path, image);
   ExpectColdStartAndServe(dir, 2, ColdStartReason::kCorruptSnapshot);
+}
+
+TEST(ColdStartTest, BitFlippedCalibrationSectionColdStartsClean) {
+  const std::string dir = FreshDir("calibration_bitflip");
+  auto context = std::make_shared<const OptimizerContext>(ServingConfig());
+  SnapshotHeader header;
+  header.rule_set_hash = RuleSetHash(context->rules());
+  header.cost_model_hash = CostModelParamsHash();
+  header.shard_count = 1;
+  header.shard_index = 0;
+
+  ShardSnapshotData data;
+  data.calibration.version = 3;
+  data.calibration.baseline_samples = 5;
+  data.calibration.baseline_unit_seconds = 1e-6;
+  data.calibration.cells.push_back({"mmul", 13, -2, 5, 2e-6, 0.01});
+  data.calibration.published.push_back(
+      {static_cast<uint8_t>(CostCategory::kContract), 13, -2, 2.0});
+  const std::string path = dir + "/shard-0.snap";
+  ASSERT_TRUE(PlanStoreWriter(header).Write(data, path).ok());
+
+  // Intact, the calibration-only snapshot restores the table verbatim.
+  ShardRestoreResult intact =
+      PlanStoreReader::Load(path, ExpectationFor(*context, 1));
+  ASSERT_EQ(intact.reason, ColdStartReason::kWarmRestore) << intact.detail;
+  EXPECT_EQ(intact.data.calibration.version, 3u);
+  ASSERT_EQ(intact.data.calibration.cells.size(), 1u);
+  EXPECT_EQ(intact.data.calibration.cells[0].op, "mmul");
+  EXPECT_EQ(intact.data.calibration.cells[0].shape_bucket, 13);
+  ASSERT_EQ(intact.data.calibration.published.size(), 1u);
+  EXPECT_EQ(intact.data.calibration.published[0].multiplier, 2.0);
+
+  // One flipped bit in the section: a half-trusted cost table would skew
+  // every later extraction, so the whole file cold-starts clean.
+  std::string image = ReadAll(path);
+  ASSERT_GT(image.size(), 64u);
+  image[image.size() - 3] ^= 0x40;  // calibration is the last section
+  WriteAll(path, image);
+  ExpectColdStartAndServe(dir, 1, ColdStartReason::kCorruptSnapshot);
 }
 
 TEST(ColdStartTest, RuleSetHashMismatch) {

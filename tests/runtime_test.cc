@@ -582,6 +582,27 @@ TEST(Executor, ProfileRecordsPerOpTimeAndNnz) {
   EXPECT_TRUE(saw_sparse_nnz);  // sparse outputs report observed nnz
 }
 
+TEST(Executor, ProfileResetsPerExecuteInsteadOfAccumulating) {
+  Rng rng(50);
+  Bindings b;
+  b.Bind("S", Matrix::RandomSparse(50, 50, 0.1, rng, 1, 2));
+  auto e = ParseExpr("sqrt(S) * 3");
+  ASSERT_TRUE(e.ok());
+  ExecStats stats;
+  ExecutorArena arena;
+  ASSERT_TRUE(Execute(e.value(), b, &arena, &stats).ok());
+  const size_t after_first = stats.profile.size();
+  const size_t ops_after_first = stats.ops_executed;
+  ASSERT_GT(after_first, 0u);
+  // A long-lived ExecStats (serving keeps one per shard beside the arena)
+  // must describe the MOST RECENT DAG only — profile entries used to
+  // accumulate across calls, growing without bound over a pool's lifetime.
+  ASSERT_TRUE(Execute(e.value(), b, &arena, &stats).ok());
+  EXPECT_EQ(stats.profile.size(), after_first);
+  // The cumulative counters, by contrast, keep counting.
+  EXPECT_EQ(stats.ops_executed, 2 * ops_after_first);
+}
+
 TEST(Executor, ShapeMismatchMidDagIsInvalidArgument) {
   Rng rng(49);
   Bindings b;

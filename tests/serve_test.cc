@@ -815,5 +815,101 @@ TEST(Context, PrecomputedKeyServesWarmHitWithoutTranslation) {
   EXPECT_EQ(uncached.plan_cost, cold.plan_cost);
 }
 
+// ---- Feedback: calibration, drift re-extraction, background upgrades ----
+
+TEST(Feedback, DriftReextractsWarmGraphWithoutResaturating) {
+  auto context = std::make_shared<const OptimizerContext>();
+  PoolConfig cfg;
+  cfg.num_shards = 1;
+  cfg.enable_work_stealing = false;
+  SessionPool pool(context, cfg);
+  auto catalog = SmallFactorizationCatalog();
+  ExprPtr q = AlsProgram().expr;
+
+  auto plan = pool.Submit(q, catalog).get();
+  ASSERT_TRUE(plan.ok());
+  ASSERT_FALSE(plan.value().cache_fingerprint.empty());
+  pool.Drain();
+  const size_t saturations_before = pool.Stats().shards[0].session.saturations;
+
+  // Warm the calibration baseline past min_samples with fingerprint-less
+  // feedback: pure calibration, no drift check can fire yet.
+  ExecutionFeedback warmup;
+  for (int i = 0; i < 4; ++i) {
+    warmup.samples.push_back({"add", 100, 100, -1, 1.0});
+  }
+  pool.RecordExecution(warmup);
+  pool.Drain();
+
+  // Report the cached plan as running absurdly FASTER than predicted: the
+  // observed/predicted ratio collapses below 1/drift_threshold no matter
+  // what the model predicted (predicted cost is always >= 1 here), so the
+  // shard invalidates the entry and re-extracts against its warm e-graph.
+  ExecutionFeedback drifted;
+  drifted.fingerprint = plan.value().cache_fingerprint;
+  drifted.predicted_cost = plan.value().plan_cost;
+  // Three samples: enough for the contract cell to clear min_samples and
+  // publish its (clamped) multiplier — a real recalibration, not just drift.
+  for (int i = 0; i < 3; ++i) {
+    drifted.samples.push_back({"mmul", 1, 1, -1, 1e-9});
+  }
+  pool.RecordExecution(drifted);
+  pool.Drain();
+
+  PoolStats stats = pool.Stats();
+  EXPECT_GE(stats.TotalRecalibrations(), 1u);
+  EXPECT_EQ(stats.TotalDriftInvalidations(), 1u);
+  EXPECT_EQ(stats.TotalReExtractions(), 1u);
+  // The hard invariant: drift re-optimization re-EXTRACTS on the warm
+  // graph — it never re-saturates.
+  EXPECT_EQ(stats.shards[0].session.saturations, saturations_before);
+
+  // The replacement plan took the cache slot; the query still serves warm.
+  auto again = pool.Submit(q, catalog).get();
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(again.value().cache_hit);
+}
+
+TEST(Feedback, ShallowQueueUpgradesDegradedPlanToFullIlp) {
+  // Deadline + enormous ilp_min_remaining_seconds degrades extraction to
+  // greedy deterministically (same trick as the Async deadline test). The
+  // degraded plan is never cached — but it is queued for upgrade, and the
+  // worker polishes it to full ILP as soon as its queue runs shallow.
+  SessionConfig session_cfg;
+  session_cfg.extraction = ExtractionStrategy::kIlp;
+  session_cfg.ilp_min_remaining_seconds = 1e6;
+  auto context = std::make_shared<const OptimizerContext>(session_cfg);
+  PoolConfig cfg;
+  cfg.num_shards = 1;
+  cfg.enable_work_stealing = false;
+  SessionPool pool(context, cfg);
+  Catalog c;
+  c.Register("X", 120, 90, 0.1);
+  c.Register("Y", 120, 90);
+  auto catalog = std::make_shared<const Catalog>(c);
+  ExprPtr q = ParseExpr("sum(X %*% t(Y))").value();
+
+  ServeRequest request{q, catalog, Deadline::AfterSeconds(3600.0)};
+  auto degraded = pool.SubmitAsync(request).get();
+  ASSERT_TRUE(degraded.ok());
+  EXPECT_TRUE(degraded.value().degraded);
+
+  // The upgrade happens off the serving path; poll for it.
+  Timer t;
+  while (pool.Stats().TotalPlanUpgrades() == 0 && t.Seconds() < 20.0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  PoolStats stats = pool.Stats();
+  ASSERT_EQ(stats.TotalPlanUpgrades(), 1u);
+
+  // The upgraded full-ILP plan now serves from the cache: warm hit, no
+  // degradation provenance, and never costlier than the greedy stand-in.
+  auto warm = pool.Submit(q, catalog).get();
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm.value().cache_hit);
+  EXPECT_FALSE(warm.value().degraded);
+  EXPECT_LE(warm.value().plan_cost, degraded.value().plan_cost);
+}
+
 }  // namespace
 }  // namespace spores

@@ -89,6 +89,23 @@ void DescribeEGraphSection(std::string_view payload) {
               image.value().roots.size());
 }
 
+void DescribeCalibrationSection(std::string_view payload) {
+  ByteReader r(payload);
+  uint32_t wire, ncells = 0;
+  uint64_t version = 0, baseline_samples = 0;
+  double baseline_unit_seconds = 0.0;
+  if (!r.GetU32(&wire).ok() || !r.GetU64(&version).ok() ||
+      !r.GetU64(&baseline_samples).ok() ||
+      !r.GetDouble(&baseline_unit_seconds).ok() || !r.GetU32(&ncells).ok()) {
+    std::printf("      (payload too short for a calibration header)\n");
+    return;
+  }
+  std::printf("      calibration v%" PRIu64 ": %u cell%s, %" PRIu64
+              " baseline sample%s\n",
+              version, ncells, ncells == 1 ? "" : "s", baseline_samples,
+              baseline_samples == 1 ? "" : "s");
+}
+
 /// Returns the number of integrity findings (CRC mismatches, unparseable
 /// container) — the process exit code reports them to scripts.
 size_t InspectSnapshot(const std::string& path, std::string_view image) {
@@ -128,6 +145,9 @@ size_t InspectSnapshot(const std::string& path, std::string_view image) {
         break;
       case SectionId::kEGraph:
         DescribeEGraphSection(section.payload);
+        break;
+      case SectionId::kCalibration:
+        DescribeCalibrationSection(section.payload);
         break;
       default:
         break;
